@@ -1,0 +1,293 @@
+package swp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+	"repro/internal/regalloc"
+)
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 6). Each table/figure benchmark compiles the full
+// 211-loop suite for the relevant machines and reports the paper's metric
+// via b.ReportMetric, so `go test -bench . -benchmem` both times the
+// pipeline and reproduces the numbers recorded in EXPERIMENTS.md.
+
+var (
+	suiteOnce sync.Once
+	suite     []*ir.Loop
+)
+
+func paperSuite() []*ir.Loop {
+	suiteOnce.Do(func() { suite = loopgen.Suite() })
+	return suite
+}
+
+func runPaper(b *testing.B, cfgs []*machine.Config) []*exper.ConfigResult {
+	b.Helper()
+	results := exper.RunSuite(paperSuite(), cfgs, exper.Options{
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+	for _, r := range results {
+		if errs := r.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+	}
+	return results
+}
+
+// BenchmarkTable1IPC regenerates Table 1: IPC of clustered software
+// pipelines. Reported metrics: ideal_ipc plus one clustered-IPC metric per
+// machine (the paper's row "Clustered": 9.3/6.2/8.4/7.5/6.9/6.8; ideal 8.6).
+func BenchmarkTable1IPC(b *testing.B) {
+	cfgs := machine.PaperConfigs()
+	for i := 0; i < b.N; i++ {
+		results := runPaper(b, cfgs)
+		b.ReportMetric(results[0].MeanIdealIPC(), "ideal_ipc")
+		names := []string{"ipc_2cl_emb", "ipc_2cl_cu", "ipc_4cl_emb", "ipc_4cl_cu", "ipc_8cl_emb", "ipc_8cl_cu"}
+		for ci, r := range results {
+			b.ReportMetric(r.MeanClusterIPC(), names[ci])
+		}
+	}
+}
+
+// BenchmarkTable2Degradation regenerates Table 2: normalized degradation
+// over ideal schedules (paper arithmetic means: 111/150/126/122/162/133;
+// harmonic: 109/127/119/115/138/124).
+func BenchmarkTable2Degradation(b *testing.B) {
+	cfgs := machine.PaperConfigs()
+	for i := 0; i < b.N; i++ {
+		results := runPaper(b, cfgs)
+		arith := []string{"arith_2cl_emb", "arith_2cl_cu", "arith_4cl_emb", "arith_4cl_cu", "arith_8cl_emb", "arith_8cl_cu"}
+		harm := []string{"harm_2cl_emb", "harm_2cl_cu", "harm_4cl_emb", "harm_4cl_cu", "harm_8cl_emb", "harm_8cl_cu"}
+		for ci, r := range results {
+			a, h := r.MeanDegradation()
+			b.ReportMetric(a, arith[ci])
+			b.ReportMetric(h, harm[ci])
+		}
+	}
+}
+
+// benchFigure regenerates one of Figures 5-7: the share of loops with no
+// degradation at all (the histograms' 0.00% bucket, the paper's headline
+// comparison with Nystrom and Eichenberger) for both copy models at the
+// given cluster count.
+func benchFigure(b *testing.B, clusters int) {
+	cfgs := []*machine.Config{
+		machine.MustClustered16(clusters, machine.Embedded),
+		machine.MustClustered16(clusters, machine.CopyUnit),
+	}
+	for i := 0; i < b.N; i++ {
+		results := runPaper(b, cfgs)
+		b.ReportMetric(results[0].ZeroDegradationPercent(), "zero_pct_embedded")
+		b.ReportMetric(results[1].ZeroDegradationPercent(), "zero_pct_copyunit")
+		// The full histograms are printed by cmd/experiments; here the
+		// tail mass (>=50% degradation) summarizes the distribution shape.
+		for ri, r := range results {
+			tail := 0.0
+			for _, d := range r.Degradations() {
+				if d >= 50 {
+					tail++
+				}
+			}
+			tail = 100 * tail / float64(len(r.Degradations()))
+			if ri == 0 {
+				b.ReportMetric(tail, "tail50_pct_embedded")
+			} else {
+				b.ReportMetric(tail, "tail50_pct_copyunit")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5Histogram: 2 clusters of 8 units (paper: ~60% of loops
+// at zero degradation).
+func BenchmarkFigure5Histogram(b *testing.B) { benchFigure(b, 2) }
+
+// BenchmarkFigure6Histogram: 4 clusters of 4 units (paper: ~50%).
+func BenchmarkFigure6Histogram(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFigure7Histogram: 8 clusters of 2 units (paper: ~40%).
+func BenchmarkFigure7Histogram(b *testing.B) { benchFigure(b, 8) }
+
+// BenchmarkPartitionerComparison is the Section 3/6.3 ablation: the RCG
+// greedy heuristic against Ellis's BUG and the blind baselines on the
+// 4-cluster embedded machine (arithmetic mean degradation each).
+func BenchmarkPartitionerComparison(b *testing.B) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	methods := []partition.Partitioner{
+		partition.Greedy{}, partition.BUG{}, partition.UAS{}, partition.RoundRobin{}, partition.SingleBank{},
+	}
+	metrics := []string{"deg_rcg", "deg_bug", "deg_uas", "deg_roundrobin", "deg_singlebank"}
+	for i := 0; i < b.N; i++ {
+		for mi, m := range methods {
+			results := exper.RunSuite(paperSuite(), []*machine.Config{cfg}, exper.Options{
+				Codegen: codegen.Options{Partitioner: m, SkipAlloc: true},
+			})
+			a, _ := results[0].MeanDegradation()
+			b.ReportMetric(a, metrics[mi])
+		}
+	}
+}
+
+// BenchmarkWeightsAblation measures what each RCG weighting ingredient
+// contributes on the 4-cluster embedded machine: the full heuristic, no
+// anti-affinity edges, no load balancing, and no invariant-edge scaling.
+func BenchmarkWeightsAblation(b *testing.B) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	full := core.DefaultWeights()
+	noAnti := full
+	noAnti.AntiAffinity = 0
+	noBalance := full
+	noBalance.Balance = 0
+	noInvScale := full
+	noInvScale.InvariantScale = 1
+	variants := []struct {
+		name string
+		w    core.Weights
+	}{
+		{"deg_full", full},
+		{"deg_no_antiaffinity", noAnti},
+		{"deg_no_balance", noBalance},
+		{"deg_no_invariant_scaling", noInvScale},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, v := range variants {
+			w := v.w
+			results := exper.RunSuite(paperSuite(), []*machine.Config{cfg}, exper.Options{
+				Codegen: codegen.Options{Weights: &w, SkipAlloc: true},
+			})
+			a, _ := results[0].MeanDegradation()
+			b.ReportMetric(a, v.name)
+		}
+	}
+}
+
+// BenchmarkRefinementStudy measures the Section 6.3 iteration: mean
+// degradation and zero-degradation share for the greedy partition alone
+// and with iterative refinement, on the 2-cluster copy-unit machine where
+// iteration helps most.
+func BenchmarkRefinementStudy(b *testing.B) {
+	cfgs := []*machine.Config{machine.MustClustered16(2, machine.CopyUnit)}
+	for i := 0; i < b.N; i++ {
+		rows := exper.RefineStudy(paperSuite(), cfgs, 0)
+		b.ReportMetric(rows[0].GreedyMean, "deg_greedy")
+		b.ReportMetric(rows[0].RefinedMean, "deg_refined")
+		b.ReportMetric(rows[0].GreedyZero, "zero_pct_greedy")
+		b.ReportMetric(rows[0].RefinedZero, "zero_pct_refined")
+	}
+}
+
+// BenchmarkRecurrenceBonus measures the Nystrom-style recurrence-aware
+// weighting extension (core.Weights.RecurrenceBonus) on the 8-cluster
+// embedded machine, where a copy on a recurrence is most expensive:
+// bonus 1 is the paper's heuristic, larger values pull recurrence
+// operations' registers together harder.
+func BenchmarkRecurrenceBonus(b *testing.B) {
+	cfg := machine.MustClustered16(8, machine.Embedded)
+	for i := 0; i < b.N; i++ {
+		for _, bonus := range []float64{1, 2, 4} {
+			w := core.DefaultWeights()
+			w.RecurrenceBonus = bonus
+			results := exper.RunSuite(paperSuite(), []*machine.Config{cfg}, exper.Options{
+				Codegen: codegen.Options{Weights: &w, SkipAlloc: true},
+			})
+			a, _ := results[0].MeanDegradation()
+			b.ReportMetric(a, fmt.Sprintf("deg_bonus_%g", bonus))
+		}
+	}
+}
+
+// --- Component micro-benchmarks: where the compile time goes. ---
+
+func BenchmarkDDGBuild(b *testing.B) {
+	loops := paperSuite()
+	cfg := machine.Ideal16()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loops[i%len(loops)]
+		ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	}
+}
+
+func BenchmarkModuloScheduleIdeal(b *testing.B) {
+	loops := paperSuite()
+	cfg := machine.Ideal16()
+	graphs := make([]*ddg.Graph, len(loops))
+	for i, l := range loops {
+		graphs[i] = ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := modulo.Run(graphs[i%len(graphs)], cfg, modulo.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRCGBuildAndPartition(b *testing.B) {
+	loops := paperSuite()
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	idealCfg := codegen.IdealOf(cfg)
+	views := make([]core.ScheduledBlock, len(loops))
+	for i, l := range loops {
+		g := ddg.Build(l.Body, idealCfg, ddg.Options{Carried: true})
+		s, err := modulo.Run(g, idealCfg, modulo.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		views[i] = codegen.IdealView(l.Body, g, idealCfg, s)
+	}
+	w := core.DefaultWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.Build([]core.ScheduledBlock{views[i%len(views)]}, w)
+		if _, err := g.Partition(cfg.Clusters, w, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaitinBriggsColoring(b *testing.B) {
+	cfg := machine.Ideal16()
+	loops := paperSuite()
+	type job struct {
+		ranges []regalloc.LiveRange
+		ii     int
+	}
+	jobs := make([]job, 0, len(loops))
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		s, err := modulo.Run(g, cfg, modulo.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, job{regalloc.KernelRanges(g, s), s.II})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i%len(jobs)]
+		regalloc.Color(j.ranges, j.ii, 32)
+	}
+}
+
+func BenchmarkFullPipelineSingleLoop(b *testing.B) {
+	loops := paperSuite()
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Compile(loops[i%len(loops)], cfg, codegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

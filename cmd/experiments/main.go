@@ -1,0 +1,188 @@
+// Command experiments regenerates the paper's evaluation (Section 6):
+// Table 1 (IPC of clustered software pipelines), Table 2 (degradation over
+// ideal schedules, normalized) and Figures 5-7 (histograms of per-loop
+// degradation on the 2-, 4- and 8-cluster machines), plus a comparison of
+// partitioning methods as an ablation.
+//
+// Usage:
+//
+//	experiments [-n loops] [-workers n] [-table 1|2] [-figure 5|6|7] [-compare] [-v]
+//
+// With no selection flags every table and figure is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func main() {
+	n := flag.Int("n", 211, "number of suite loops (211 = paper scale)")
+	workers := flag.Int("workers", 0, "parallel compilations (0 = all CPUs)")
+	table := flag.Int("table", 0, "print only this table (1 or 2)")
+	figure := flag.Int("figure", 0, "print only this figure (5, 6 or 7)")
+	compare := flag.Bool("compare", false, "compare partitioning methods (ablation)")
+	latency := flag.Bool("latency", false, "copy-latency sensitivity sweep (Section 6.3)")
+	pressure := flag.Bool("pressure", false, "register pressure and spill study")
+	refine := flag.Bool("refine", false, "iterative partition refinement study (Section 6.3)")
+	scheduler := flag.Bool("scheduler", false, "Rau vs lifetime-sensitive scheduler study (Section 6.3)")
+	units := flag.Bool("units", false, "general-purpose vs C6x-style typed units study (Section 6.1)")
+	jsonOut := flag.Bool("json", false, "emit per-loop results as JSON instead of tables")
+	all := flag.Bool("all", false, "run every table, figure and side study")
+	suite := flag.String("suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
+	verbose := flag.Bool("v", false, "also print the per-machine summary")
+	flag.Parse()
+
+	var loops []*ir.Loop
+	switch *suite {
+	case "spec":
+		loops = loopgen.Generate(loopgen.Params{N: *n, Seed: loopgen.DefaultParams().Seed})
+	case "livermore":
+		loops = loopgen.Livermore()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+	cfgs := machine.PaperConfigs()
+
+	if *compare {
+		runComparison(loops, cfgs, *workers)
+		return
+	}
+	if *pressure {
+		fmt.Print(exper.FormatPressure(exper.PressureStudy(loops, *workers)))
+		return
+	}
+	if *refine {
+		fmt.Print(exper.FormatRefine(exper.RefineStudy(loops, cfgs, *workers)))
+		return
+	}
+	if *scheduler {
+		study := []*machine.Config{machine.Ideal16()}
+		study = append(study, cfgs...)
+		fmt.Print(exper.FormatScheduler(exper.SchedulerStudy(loops, study, *workers)))
+		return
+	}
+	if *units {
+		fmt.Print(exper.FormatUnits(exper.UnitsStudy(loops, *workers)))
+		return
+	}
+	if *latency {
+		for _, clusters := range []int{2, 4, 8} {
+			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.FormatCopyLatencySweep(points, clusters, machine.CopyUnit))
+		}
+		return
+	}
+
+	results := exper.RunSuite(loops, cfgs, exper.Options{Workers: *workers})
+	reportErrors(results)
+
+	if *jsonOut {
+		if err := exper.WriteJSON(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	printAll := *table == 0 && *figure == 0
+	if printAll || *table == 1 {
+		fmt.Println(exper.Table1(results))
+	}
+	if printAll || *table == 2 {
+		fmt.Println(exper.Table2(results))
+	}
+	for fig, clusters := range map[int]int{5: 2, 6: 4, 7: 8} {
+		if printAll || *figure == fig {
+			fmt.Printf("Figure %d. ", fig)
+			fmt.Println(exper.Figure(results, clusters))
+		}
+	}
+	if *verbose {
+		fmt.Println(exper.Summary(results))
+	}
+	if *all {
+		fmt.Println(exper.Summary(results))
+		fmt.Println("== Partitioner comparison ==")
+		runComparison(loops, cfgs, *workers)
+		fmt.Println("\n== Copy-latency sensitivity ==")
+		for _, clusters := range []int{2, 4, 8} {
+			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(exper.FormatCopyLatencySweep(points, clusters, machine.CopyUnit))
+		}
+		fmt.Println("== Register pressure ==")
+		fmt.Println(exper.FormatPressure(exper.PressureStudy(loops, *workers)))
+		fmt.Println("== Iterative refinement ==")
+		fmt.Println(exper.FormatRefine(exper.RefineStudy(loops, cfgs, *workers)))
+		fmt.Println("== Scheduler modes ==")
+		study := append([]*machine.Config{machine.Ideal16()}, cfgs...)
+		fmt.Println(exper.FormatScheduler(exper.SchedulerStudy(loops, study, *workers)))
+		fmt.Println("== Unit generality ==")
+		fmt.Println(exper.FormatUnits(exper.UnitsStudy(loops, *workers)))
+	}
+}
+
+// runComparison reruns the suite with each partitioning method and prints
+// the Table-2 style means side by side: the Section 3/6.3 context (RCG
+// greedy vs. Ellis's BUG) plus the round-robin/random/single-bank ablation
+// floor and ceiling.
+func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int) {
+	methods := []partition.Partitioner{
+		partition.Greedy{},
+		partition.BUG{},
+		partition.UAS{},
+		partition.RoundRobin{},
+		partition.Random{Seed: 1},
+		partition.SingleBank{},
+	}
+	fmt.Printf("%-12s", "method")
+	for _, cfg := range cfgs {
+		fmt.Printf("  %9s", fmt.Sprintf("%dcl/%s", cfg.Clusters, model(cfg)))
+	}
+	fmt.Println("   (arithmetic mean degradation, 100 = ideal)")
+	for _, m := range methods {
+		results := exper.RunSuite(loops, cfgs, exper.Options{
+			Workers: workers,
+			Codegen: codegen.Options{Partitioner: m, SkipAlloc: true},
+		})
+		reportErrors(results)
+		fmt.Printf("%-12s", m.Name())
+		for _, r := range results {
+			a, _ := r.MeanDegradation()
+			fmt.Printf("  %9.0f", a)
+		}
+		fmt.Println()
+	}
+}
+
+func model(cfg *machine.Config) string {
+	if cfg.Model == machine.CopyUnit {
+		return "cu"
+	}
+	return "emb"
+}
+
+func reportErrors(results []*exper.ConfigResult) {
+	for _, r := range results {
+		for _, err := range r.Errors() {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command swpc compiles loops from the synthetic suite through the full
+// partitioning pipeline and reports per-loop detail: the ideal and
+// clustered kernels, the register component graph partition, copy counts,
+// per-bank pressure and the initiation intervals.
+//
+// Usage:
+//
+//	swpc [-n suiteSize] [-loop index] [-clusters n] [-model embedded|copyunit]
+//	     [-partitioner rcg|bug|roundrobin|random|single] [-dump] [-worst k]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swpc: ")
+	n := flag.Int("n", 211, "suite size")
+	loopIdx := flag.Int("loop", -1, "compile only this loop index")
+	clusters := flag.Int("clusters", 4, "cluster count (2, 4 or 8)")
+	modelName := flag.String("model", "embedded", "copy model: embedded or copyunit")
+	partName := flag.String("partitioner", "rcg", "rcg, bug, roundrobin, random or single")
+	dump := flag.Bool("dump", false, "dump IR, partition and kernels")
+	worst := flag.Int("worst", 0, "report the k worst-degrading loops")
+	breakdown := flag.Bool("breakdown", false, "report per-archetype aggregates")
+	file := flag.String("file", "", "compile a loop parsed from this file instead of the suite")
+	refined := flag.Bool("refined", false, "apply iterative partition refinement (with -loop or -file)")
+	machineFile := flag.String("machine", "", "target a machine parsed from this description file")
+	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
+	flag.Parse()
+
+	var cfg *machine.Config
+	if *machineFile != "" {
+		src, err := os.ReadFile(*machineFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = machine.Parse(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		model := machine.Embedded
+		switch *modelName {
+		case "embedded":
+		case "copyunit":
+			model = machine.CopyUnit
+		default:
+			log.Fatalf("unknown model %q", *modelName)
+		}
+		var err error
+		cfg, err = machine.Clustered16(*clusters, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	part := pickPartitioner(*partName)
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loop, err := ir.ParseLoop(*file, string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		compileAndReport(loop, cfg, part, *dump, *refined, *emit)
+		return
+	}
+
+	loops := loopgen.Generate(loopgen.Params{N: *n, Seed: loopgen.DefaultParams().Seed})
+
+	if *loopIdx >= 0 {
+		if *loopIdx >= len(loops) {
+			log.Fatalf("loop %d out of range (suite has %d)", *loopIdx, len(loops))
+		}
+		compileAndReport(loops[*loopIdx], cfg, part, *dump, *refined, *emit)
+		return
+	}
+
+	results := exper.RunSuite(loops, []*machine.Config{cfg}, exper.Options{
+		Codegen: codegen.Options{Partitioner: part},
+	})
+	r := results[0]
+	for _, err := range r.Errors() {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	}
+	fmt.Print(exper.Summary(results))
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(exper.FormatBreakdown(r))
+	}
+	if *worst > 0 {
+		fmt.Printf("\nworst %d loops by degradation:\n", *worst)
+		fmt.Printf("%-22s %5s %7s %7s %7s %7s %7s\n", "loop", "ops", "idealII", "partII", "deg%", "copies", "press")
+		for i, idx := range r.SortedByDegradation() {
+			if i >= *worst {
+				break
+			}
+			o := r.Outcomes[idx]
+			fmt.Printf("%-22s %5d %7d %7d %6.0f%% %7d %7d\n",
+				o.Loop, o.Ops, o.IdealII, o.PartII, o.Degradation-100, o.KernelCopies, o.MaxPressure)
+		}
+	}
+}
+
+func pickPartitioner(name string) partition.Partitioner {
+	switch name {
+	case "rcg":
+		return partition.Greedy{}
+	case "bug":
+		return partition.BUG{}
+	case "roundrobin":
+		return partition.RoundRobin{}
+	case "random":
+		return partition.Random{Seed: 1}
+	case "single":
+		return partition.SingleBank{}
+	default:
+		log.Fatalf("unknown partitioner %q", name)
+		return nil
+	}
+}
+
+func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner, dump, refined, emit bool) {
+	var res *codegen.Result
+	var err error
+	if refined {
+		var stats *codegen.RefineStats
+		res, stats, err = codegen.CompileRefined(loop, cfg, codegen.Options{Partitioner: part}, codegen.RefineOptions{})
+		if err == nil {
+			fmt.Printf("refinement: %d rounds, %d/%d moves kept, II %d -> %d\n",
+				stats.Rounds, stats.MovesKept, stats.MovesTried, stats.StartII, stats.FinalII)
+		}
+	} else {
+		res, err = codegen.Compile(loop, cfg, codegen.Options{Partitioner: part})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loop %s on %s (partitioner %s)\n", loop.Name, cfg.Name, res.PartitionerName)
+	fmt.Printf("  ops=%d  kernel copies=%d  invariant copies=%d\n",
+		len(loop.Body.Ops), res.Copies.KernelCopies, res.Copies.InvariantCopies)
+	fmt.Printf("  ideal II=%d (IPC %.2f)   clustered II=%d (IPC %.2f)   degradation=%.0f%%\n",
+		res.IdealII(), res.IdealIPC(), res.PartII(), res.ClusteredIPC(), res.Degradation()-100)
+	fmt.Printf("  ideal RecMII=%d  clustered RecMII=%d\n", res.IdealGraph.RecMII(), res.PartGraph.RecMII())
+	fmt.Printf("  bank sizes: %v  spills=%d  max pressure=%d\n",
+		res.Assignment.Counts(), res.Spills(), res.MaxPressure())
+	if emit {
+		listing, err := codegen.Emit(res, codegen.EmitOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(listing)
+	}
+	if dump {
+		fmt.Printf("\noriginal body:\n%s", loop.Body)
+		fmt.Printf("\npartition:\n")
+		for _, r := range loop.Body.Registers() {
+			fmt.Printf("  %s -> bank %d\n", r, res.Assignment.Bank(r))
+		}
+		fmt.Printf("\nclustered body (with copies):\n%s", res.Copies.Body)
+		fmt.Printf("\nideal kernel (II=%d):\n%s", res.IdealII(), res.IdealSched.Kernel(loop.Body.Ops))
+		fmt.Printf("\nclustered kernel (II=%d):\n%s", res.PartII(), res.PartSched.Kernel(res.Copies.Body.Ops))
+	}
+}

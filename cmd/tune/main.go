@@ -1,0 +1,65 @@
+// Command tune runs the paper's Section 7 future-work experiment:
+// off-line stochastic optimization of the RCG weighting heuristic. It
+// tunes on a training slice of the loop suite, then reports how the tuned
+// weights generalize to a held-out slice — for the default coefficients
+// and the tuned ones side by side.
+//
+// Usage:
+//
+//	tune [-train n] [-test n] [-iters n] [-seed s] [-clusters n]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/tune"
+)
+
+func main() {
+	trainN := flag.Int("train", 60, "training loops")
+	testN := flag.Int("test", 120, "held-out loops")
+	iters := flag.Int("iters", 40, "search iterations")
+	seed := flag.Int64("seed", 1, "search seed")
+	clusters := flag.Int("clusters", 0, "tune for one cluster count only (0 = all six machines)")
+	flag.Parse()
+
+	base := loopgen.DefaultParams()
+	train := loopgen.Generate(loopgen.Params{N: *trainN, Seed: base.Seed + 1})
+	heldOut := loopgen.Generate(loopgen.Params{N: *testN, Seed: base.Seed + 2})
+
+	cfgs := machine.PaperConfigs()
+	if *clusters != 0 {
+		cfgs = nil
+		for _, m := range []machine.CopyModel{machine.Embedded, machine.CopyUnit} {
+			cfgs = append(cfgs, machine.MustClustered16(*clusters, m))
+		}
+	}
+
+	trainObj := tune.SuiteObjective(train, cfgs, 0)
+	testObj := tune.SuiteObjective(heldOut, cfgs, 0)
+
+	fmt.Printf("tuning on %d loops, %d machines, %d iterations...\n", len(train), len(cfgs), *iters)
+	res := tune.Search(trainObj, tune.Options{Iterations: *iters, Seed: *seed})
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "train deg.", "held-out deg.")
+	fmt.Printf("%-22s %12.2f %12.2f\n", "default weights", res.StartScore, testObj(res.Start))
+	fmt.Printf("%-22s %12.2f %12.2f\n", "tuned weights", res.Score, testObj(res.Best))
+
+	fmt.Printf("\ntuned coefficients (default in parentheses):\n")
+	d := core.DefaultWeights()
+	fmt.Printf("  Affinity       %7.3f  (%.3f)\n", res.Best.Affinity, d.Affinity)
+	fmt.Printf("  AntiAffinity   %7.3f  (%.3f)\n", res.Best.AntiAffinity, d.AntiAffinity)
+	fmt.Printf("  CriticalBonus  %7.3f  (%.3f)\n", res.Best.CriticalBonus, d.CriticalBonus)
+	fmt.Printf("  DepthBase      %7.3f  (%.3f)\n", res.Best.DepthBase, d.DepthBase)
+	fmt.Printf("  Balance        %7.3f  (%.3f)\n", res.Best.Balance, d.Balance)
+	fmt.Printf("  InvariantScale %7.3f  (%.3f)\n", res.Best.InvariantScale, d.InvariantScale)
+
+	fmt.Printf("\naccepted improvements:\n")
+	for _, s := range res.History {
+		fmt.Printf("  iter %3d: %.2f\n", s.Iteration, s.Score)
+	}
+}

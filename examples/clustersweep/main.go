@@ -1,0 +1,74 @@
+// Clustersweep runs a slice of the synthetic SPEC95-style loop suite over
+// every paper machine and over all partitioning methods, reproducing the
+// evaluation's central comparison in miniature: how much schedule quality
+// each clustering costs, and how much of that cost is the partitioner's
+// fault (RCG greedy vs. BUG vs. blind baselines).
+//
+// Run with:
+//
+//	go run ./examples/clustersweep [-n loops]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/exper"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func main() {
+	n := flag.Int("n", 60, "suite loops to sweep")
+	flag.Parse()
+	loops := loopgen.Generate(loopgen.Params{N: *n, Seed: loopgen.DefaultParams().Seed})
+	cfgs := machine.PaperConfigs()
+
+	methods := []partition.Partitioner{
+		partition.Greedy{},
+		partition.BUG{},
+		partition.UAS{},
+		partition.RoundRobin{},
+		partition.SingleBank{},
+	}
+	fmt.Printf("sweeping %d loops x %d machines x %d partitioners\n\n", len(loops), len(cfgs), len(methods))
+
+	fmt.Printf("%-12s", "method")
+	for _, cfg := range cfgs {
+		fmt.Printf("  %9s", fmt.Sprintf("%dcl/%s", cfg.Clusters, short(cfg)))
+	}
+	fmt.Println("   (arith mean degradation; 100 = ideal)")
+
+	for _, m := range methods {
+		results := exper.RunSuite(loops, cfgs, exper.Options{
+			Codegen: codegen.Options{Partitioner: m, SkipAlloc: true},
+		})
+		for _, r := range results {
+			if errs := r.Errors(); len(errs) > 0 {
+				log.Fatal(errs[0])
+			}
+		}
+		fmt.Printf("%-12s", m.Name())
+		for _, r := range results {
+			a, _ := r.MeanDegradation()
+			fmt.Printf("  %9.0f", a)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nShapes to notice (they mirror the paper's Section 3 discussion):")
+	fmt.Println("  - rcg-greedy leads; bug and uas (the schedule-driven methods) trail it;")
+	fmt.Println("  - the blind baselines are far worse everywhere;")
+	fmt.Println("  - single-bank is catastrophic at 8 clusters (everything on 2 FUs);")
+	fmt.Println("  - degradation grows with cluster count for every method.")
+}
+
+func short(cfg *machine.Config) string {
+	if cfg.Model == machine.CopyUnit {
+		return "cu"
+	}
+	return "emb"
+}

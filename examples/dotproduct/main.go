@@ -1,0 +1,66 @@
+// Dotproduct software-pipelines an unrolled dot-product loop
+//
+//	for i: s += a[i] * b[i]     (4 lanes, one partial sum each)
+//
+// on the paper's six clustered machines and the 16-wide ideal machine,
+// showing how the initiation interval, copy count and register pressure
+// react to cluster count and copy model. It then prints the clustered
+// kernel for the 4x4 embedded machine so the modulo schedule's stages and
+// inter-cluster copies are visible.
+//
+// Run with:
+//
+//	go run ./examples/dotproduct
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/fixtures"
+	"repro/internal/machine"
+)
+
+func main() {
+	loop := fixtures.DotProduct(4)
+	fmt.Println("=== Loop body (4 lanes, one accumulator each) ===")
+	fmt.Print(loop.Body)
+
+	fmt.Println("\n=== Across machines ===")
+	fmt.Printf("%-38s %4s %4s %7s %7s %6s %7s\n", "machine", "II", "deg%", "IPC", "copies", "press", "spills")
+
+	ideal := machine.Ideal16()
+	res, err := codegen.Compile(loop, ideal, codegen.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(ideal.Name, res)
+
+	var show *codegen.Result
+	for _, cfg := range machine.PaperConfigs() {
+		res, err := codegen.Compile(loop, cfg, codegen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(cfg.Name, res)
+		if cfg.Clusters == 4 && cfg.Model == machine.Embedded {
+			show = res
+		}
+	}
+
+	fmt.Printf("\n=== Clustered kernel on %s (II=%d, %d stages) ===\n",
+		show.Cfg.Name, show.PartII(), show.PartSched.Stages())
+	fmt.Print(show.PartSched.Kernel(show.Copies.Body.Ops))
+
+	fmt.Println("\nEach kernel row issues once per II; [cN sM] marks the cluster and")
+	fmt.Println("pipeline stage. The carried accumulator adds bound the II at the")
+	fmt.Println("float-add latency; the partitioner keeps each lane's chain in one")
+	fmt.Println("bank so no copy lands on the recurrence.")
+}
+
+func report(name string, res *codegen.Result) {
+	fmt.Printf("%-38s %4d %4.0f %7.2f %7d %6d %7d\n",
+		name, res.PartII(), res.Degradation()-100, res.ClusteredIPC(),
+		res.Copies.KernelCopies, res.MaxPressure(), res.Spills())
+}

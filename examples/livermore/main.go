@@ -1,0 +1,73 @@
+// Livermore compiles the twelve classic Livermore kernels for the
+// 4-cluster embedded machine, as written and after 4-way unrolling, and
+// shows why the paper's SPEC95 loops (which reached the pipeliner after
+// conventional unrolling) partition so much better than raw source loops:
+// a single un-unrolled expression tree is one connected dataflow that any
+// partition must cut, while unrolled lanes give the partitioner
+// independent work to deal out to clusters.
+//
+// Run with:
+//
+//	go run ./examples/livermore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/transform"
+)
+
+func main() {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	fmt.Printf("Livermore kernels on %s\n\n", cfg.Name)
+	fmt.Printf("%-28s %-16s | %-16s | %-16s\n", "", "as written", "unrolled x4", "unrolled+reassoc")
+	fmt.Printf("%-28s %4s %6s %4s | %4s %6s %4s | %4s %6s %4s\n",
+		"kernel", "II", "deg%", "cp", "II", "deg%", "cp", "II", "deg%", "cp")
+
+	var rawDeg, unrolledDeg, reassocDeg float64
+	n := 0
+	for _, l := range loopgen.Livermore() {
+		raw, err := codegen.Compile(l, cfg, codegen.Options{SkipAlloc: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		un, err := transform.Unroll(l.Clone(), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unres, err := codegen.Compile(un, cfg, codegen.Options{SkipAlloc: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ra, _, err := transform.UnrollReassoc(l.Clone(), 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rares, err := codegen.Compile(ra, cfg, codegen.Options{SkipAlloc: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %4d %5.0f%% %4d | %4d %5.0f%% %4d | %4d %5.0f%% %4d\n",
+			l.Name,
+			raw.PartII(), raw.Degradation()-100, raw.Copies.KernelCopies,
+			unres.PartII(), unres.Degradation()-100, unres.Copies.KernelCopies,
+			rares.PartII(), rares.Degradation()-100, rares.Copies.KernelCopies)
+		rawDeg += raw.Degradation()
+		unrolledDeg += unres.Degradation()
+		reassocDeg += rares.Degradation()
+		n++
+	}
+	fmt.Printf("\nmean degradation: %.0f as written, %.0f unrolled, %.0f unrolled+reassociated\n",
+		rawDeg/float64(n), unrolledDeg/float64(n), reassocDeg/float64(n))
+	fmt.Println("\nThree stages of the preprocessing story. As written, each kernel is")
+	fmt.Println("one expression tree that any partition must cut. Plain unrolling")
+	fmt.Println("hands the partitioner independent lanes — but chains reductions like")
+	fmt.Println("the inner product (k03) serially, making them worse. Re-association")
+	fmt.Println("(transform.UnrollReassoc) splits those accumulators into per-lane")
+	fmt.Println("partial sums, recovering the reductions too — the preparation the")
+	fmt.Println("paper's SPEC95 loops had received before software pipelining.")
+}

@@ -1,0 +1,123 @@
+// Pipeline shows the complete software-pipelining code shape the paper's
+// Section 2 describes: a loop is modulo-scheduled, its kernel is unrolled
+// and renamed by modulo variable expansion (values living longer than the
+// II get multiple names), and prelude/postlude code is generated to fill
+// and drain the pipeline. The program prints each artifact and closes by
+// executing both the original loop and the rewritten kernel on concrete
+// data to show they compute identical results.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+func main() {
+	// A first-order filter: y[i] = x*a + b[i]; x = y[i] — a real
+	// recurrence plus streaming traffic.
+	l := ir.NewLoop("pipeline.filter")
+	b := ir.NewLoopBuilder(l)
+	x := l.NewReg(ir.Float)
+	a := l.NewReg(ir.Float)
+	lb := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	t := l.NewReg(ir.Float)
+	b.MulInto(t, x, a)
+	b.AddInto(x, t, lb)
+	b.Store(x, ir.MemRef{Base: "y", Coeff: 1})
+	side := b.Load(ir.Float, ir.MemRef{Base: "c", Coeff: 1})
+	b.Store(b.Mul(side, a), ir.MemRef{Base: "d", Coeff: 1})
+
+	cfg := machine.Ideal16()
+	fmt.Println("=== Loop body ===")
+	fmt.Print(l.Body)
+
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	fmt.Printf("\nRecMII = %d (mul 2 + add 2 around the carried x)\n", g.RecMII())
+
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Modulo schedule: II=%d, %d stages, IPC %.2f ===\n", s.II, s.Stages(), s.IPC())
+	fmt.Print(s.Kernel(l.Body.Ops))
+
+	const trip = 12
+	e, err := modulo.Expand(s, l.Body, trip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Expanded pipeline for %d iterations ===\n", trip)
+	fmt.Print(e)
+	fmt.Printf("total %d cycles vs %d sequential (%.1fx speedup), code growth %.1fx\n",
+		e.TotalCycles, trip*s.Length, float64(trip*s.Length)/float64(e.TotalCycles),
+		e.CodeGrowth(len(l.Body.Ops)))
+
+	// Modulo variable expansion needs lifetimes longer than the II to
+	// bite; a two-lane product loop scheduled at II=2 has 3-cycle
+	// load-to-multiply spans, so several values need two names each.
+	l2 := ir.NewLoop("pipeline.products")
+	b2 := ir.NewLoopBuilder(l2)
+	for k := 0; k < 2; k++ {
+		la := b2.Load(ir.Float, ir.MemRef{Base: "p", Coeff: 2, Offset: k})
+		lc := b2.Load(ir.Float, ir.MemRef{Base: "q", Coeff: 2, Offset: k})
+		m := b2.Mul(la, lc)
+		b2.Store(m, ir.MemRef{Base: "r", Coeff: 2, Offset: k})
+	}
+	g2 := ddg.Build(l2.Body, cfg, ddg.Options{Carried: true})
+	s2, err := modulo.Run(g2, cfg, modulo.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	work := l2.Clone()
+	mve, err := codegen.ExpandVariables(work, g2, s2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Modulo variable expansion on %s (II=%d): unroll %d ===\n",
+		l2.Name, s2.II, mve.Unroll)
+	for r, n := range mve.Names {
+		if n > 1 {
+			fmt.Printf("  %s needs %d names (lifetime > II): %v\n", r, n, mve.NameOf[r])
+		}
+	}
+	fmt.Print(mve.Body)
+
+	// Execute both versions of the second loop.
+	const seed = 2026
+	mveTrip := mve.Unroll * 6
+	orig := interp.New(seed)
+	orig.SeedLiveIns(l2.Body)
+	if err := orig.RunLoop(l2.Body, mveTrip); err != nil {
+		log.Fatal(err)
+	}
+	ren := interp.New(seed)
+	ren.SeedLiveIns(l2.Body)
+	for r, bank := range mve.NameOf {
+		v := ren.LiveInValue(r)
+		for _, nr := range bank {
+			ren.Regs[nr] = v
+		}
+	}
+	if err := ren.RunLoop(mve.Body, mveTrip/mve.Unroll); err != nil {
+		log.Fatal(err)
+	}
+	if err := interp.SameStores(orig.Stores, ren.Stores); err != nil {
+		log.Fatalf("semantics diverged: %v", err)
+	}
+	fmt.Printf("\nexecuted original and renamed kernels for %d iterations: %d stores, identical streams\n",
+		mveTrip, len(orig.Stores))
+	mveCost, rotCost := mve.RegisterCost()
+	fmt.Printf("register names: %d with software MVE vs %d with a rotating register file\n",
+		mveCost, rotCost)
+}

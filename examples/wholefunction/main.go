@@ -1,0 +1,93 @@
+// Wholefunction applies the register component graph partitioning to
+// straight-line (non-loop) code, exercising the claim the paper makes in
+// its comparison with Nystrom and Eichenberger: "our greedy partitioning
+// method is easily applicable to entire programs, since we could easily
+// use both non-loop and loop code to build our register component graph".
+//
+// The program builds a basic block mixing two independent floating-point
+// expression trees with an integer address computation, compiles it for
+// 2- and 4-cluster machines, and shows the schedule cost of partitioning
+// straight-line code (where every copy's latency lands directly on the
+// makespan, unlike in a pipelined kernel).
+//
+// Run with:
+//
+//	go run ./examples/wholefunction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func buildBlock() *ir.Loop {
+	l := ir.NewLoop("wholefunction.block")
+	l.Body.Depth = 0
+	b := ir.NewLoopBuilder(l)
+
+	// Tree 1: e1 = (a*b + c) * (a + c)
+	a := b.Load(ir.Float, ir.MemRef{Base: "a"})
+	c := b.Load(ir.Float, ir.MemRef{Base: "c"})
+	ab := b.Mul(a, b.Load(ir.Float, ir.MemRef{Base: "b"}))
+	t1 := b.Add(ab, c)
+	t2 := b.Add(a, c)
+	e1 := b.Mul(t1, t2)
+	b.Store(e1, ir.MemRef{Base: "e1"})
+
+	// Tree 2: e2 = (d - f) / (d + f)
+	d := b.Load(ir.Float, ir.MemRef{Base: "d"})
+	f := b.Load(ir.Float, ir.MemRef{Base: "f"})
+	num := b.Sub(d, f)
+	den := b.Add(d, f)
+	e2 := b.Div(num, den)
+	b.Store(e2, ir.MemRef{Base: "e2"})
+
+	// Integer address computation: idx = ((i << 2) + j) & mask
+	i := b.Load(ir.Int, ir.MemRef{Base: "i"})
+	j := b.Load(ir.Int, ir.MemRef{Base: "j"})
+	two := b.Imm(ir.Int, 2)
+	sh := b.Shl(i, two)
+	sum := b.Add(sh, j)
+	mask := b.Imm(ir.Int, 1023)
+	idx := b.And(sum, mask)
+	b.Store(idx, ir.MemRef{Base: "idx"})
+	return l
+}
+
+func main() {
+	loop := buildBlock()
+	fmt.Println("=== Straight-line block ===")
+	fmt.Print(loop.Body)
+
+	for _, clusters := range []int{2, 4} {
+		cfg, err := machine.Clustered16(clusters, machine.Embedded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := codegen.CompileBlock(loop, cfg, codegen.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s ===\n", cfg.Name)
+		fmt.Printf("ideal makespan %d cycles; partitioned %d cycles (%.0f%% degradation), %d copies\n",
+			res.IdealLength(), res.PartLength(), res.Degradation()-100, res.Copies.KernelCopies)
+		fmt.Println("components of the register graph (independent trees separate freely):")
+		for i, comp := range res.RCG.Components() {
+			fmt.Printf("  component %d: %v\n", i, comp)
+		}
+		counts := res.Assignment.Counts()
+		fmt.Printf("bank occupancy: %v\n", counts)
+	}
+
+	fmt.Println("\nThe two floating-point trees and the integer address chain form")
+	fmt.Println("separate affinity components, so the partitioner's first move is to")
+	fmt.Println("deal whole components to different banks. The remaining copies come")
+	fmt.Println("from Figure 4's balance term splitting the larger trees for issue")
+	fmt.Println("bandwidth — and unlike in a pipelined kernel, each copy's latency")
+	fmt.Println("lands directly on the straight-line makespan, which is why the")
+	fmt.Println("paper concentrates its evaluation on software-pipelined loops.")
+}

@@ -1,0 +1,157 @@
+// Package codegen implements the paper's five-step code-generation
+// framework for partitioned register banks (Section 4):
+//
+//  1. build intermediate code with symbolic registers, assuming a single
+//     infinite register bank;
+//  2. build data dependence DAGs and schedule assuming that ideal bank;
+//  3. partition the registers to register banks with a pluggable method
+//     (the RCG greedy heuristic by default);
+//  4. insert inter-cluster copies, rebuild the dependence graph, and
+//     re-schedule with every operation pinned to the cluster that owns its
+//     registers;
+//  5. run Chaitin/Briggs graph-coloring register assignment per bank.
+//
+// The package reports the metrics the evaluation uses: ideal and
+// partitioned II, IPC under both copy models, copy counts, degradation,
+// per-bank pressure and spills.
+package codegen
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// CopyInsertion is the outcome of step 4's copy insertion.
+type CopyInsertion struct {
+	// Body is the rewritten loop body with kernel copies inserted before
+	// their consumers.
+	Body *ir.Block
+	// ClusterOf pins each operation of Body to a cluster: the bank of the
+	// operation's defined register (for stores, of the stored value; for
+	// copies, the destination bank).
+	ClusterOf []int
+	// KernelCopies counts copies added to the loop body; each repeats
+	// every iteration and competes for issue resources.
+	KernelCopies int
+	// InvariantCopies counts copies of loop-invariant values, which are
+	// hoisted to the loop preheader: the copied value never changes, so a
+	// single copy before the loop suffices and the kernel pays nothing.
+	// (The paper's Rocket compiler pipeline schedules loop kernels after
+	// classic loop optimizations; keeping an invariant copy inside the
+	// kernel would be an artifact, not a cost of partitioning.)
+	InvariantCopies int
+	// Hoisted lists the preheader copies as {destination, source} pairs,
+	// in insertion order — the code a real preheader would execute once
+	// before the loop. The interpreter-based equivalence tests replay
+	// them to seed the rewritten body's state.
+	Hoisted [][2]ir.Reg
+}
+
+// InsertCopies rewrites the loop body for the register-bank assignment:
+// every operation is pinned to its home cluster, and every use of a
+// register living in a different bank is routed through an inter-cluster
+// copy into a fresh register in the home bank. Copies of values computed
+// inside the loop are emitted into the kernel immediately before their
+// first consumer and reused by later consumers in the same iteration;
+// copies of loop invariants are hoisted (counted, not emitted).
+//
+// The assignment is extended in place with the banks of the fresh copy
+// registers, so the caller's later phases (re-scheduling, allocation) see
+// a total map.
+func InsertCopies(loop *ir.Loop, asg *core.Assignment, cfg *machine.Config) *CopyInsertion {
+	return insertCopies(loop, asg, cfg, true)
+}
+
+// InsertCopiesStraightLine is InsertCopies for non-loop code: there is no
+// preheader to hoist into, so copies of upward-exposed (live-in) values
+// are emitted into the block like any other copy.
+func InsertCopiesStraightLine(loop *ir.Loop, asg *core.Assignment, cfg *machine.Config) *CopyInsertion {
+	return insertCopies(loop, asg, cfg, false)
+}
+
+func insertCopies(loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, hoistInvariants bool) *CopyInsertion {
+	return insertCopiesBlock(loop.Body, loop.NewReg, asg, hoistInvariants)
+}
+
+// insertCopiesBlock is the block-level engine shared by the loop pipeline
+// and whole-function compilation; newReg allocates fresh registers from
+// whatever owns the block's numbering.
+func insertCopiesBlock(src *ir.Block, newReg func(ir.Class) ir.Reg, asg *core.Assignment, hoistInvariants bool) *CopyInsertion {
+	res := &CopyInsertion{Body: &ir.Block{Depth: src.Depth}}
+	definedInBody := src.Defined()
+
+	// avail[r][cluster] is the register holding r's value in that cluster
+	// for the remainder of the current iteration.
+	avail := make(map[ir.Reg]map[int]ir.Reg)
+	lookup := func(r ir.Reg, cl int) (ir.Reg, bool) {
+		m := avail[r]
+		if m == nil {
+			return ir.NoReg, false
+		}
+		c, ok := m[cl]
+		return c, ok
+	}
+	record := func(r ir.Reg, cl int, c ir.Reg) {
+		m := avail[r]
+		if m == nil {
+			m = make(map[int]ir.Reg)
+			avail[r] = m
+		}
+		m[cl] = c
+	}
+
+	newCopyReg := func(u ir.Reg, home int) ir.Reg {
+		c := newReg(u.Class)
+		asg.Of[c] = home
+		record(u, home, c)
+		return c
+	}
+
+	for _, op := range src.Ops {
+		home := homeCluster(op, asg)
+		n := op.Clone()
+		for ui, u := range n.Uses {
+			if asg.Bank(u) == home {
+				continue
+			}
+			if c, ok := lookup(u, home); ok {
+				n.Uses[ui] = c
+				continue
+			}
+			c := newCopyReg(u, home)
+			if definedInBody[u] || !hoistInvariants {
+				res.Body.Append(&ir.Op{
+					Code: ir.Copy, Class: u.Class,
+					Defs: []ir.Reg{c}, Uses: []ir.Reg{u},
+				})
+				res.ClusterOf = append(res.ClusterOf, home)
+				res.KernelCopies++
+			} else {
+				res.InvariantCopies++ // hoisted to the preheader
+				res.Hoisted = append(res.Hoisted, [2]ir.Reg{c, u})
+			}
+			n.Uses[ui] = c
+		}
+		res.Body.Append(n)
+		res.ClusterOf = append(res.ClusterOf, home)
+	}
+	res.Body.Renumber()
+	for i, op := range res.Body.Ops {
+		op.ID = i
+	}
+	return res
+}
+
+// homeCluster returns the cluster an operation must execute on: the bank
+// of its defined register, or — for stores, which define nothing — the
+// bank of the value being stored.
+func homeCluster(op *ir.Op, asg *core.Assignment) int {
+	if d := op.Def(); d != ir.NoReg {
+		return asg.Bank(d)
+	}
+	if len(op.Uses) > 0 {
+		return asg.Bank(op.Uses[0])
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/modulo"
+)
+
+// This file renders the pipeline's end product: the software-pipelined
+// loop as scheduled machine code with physical registers. After step 5
+// every surviving virtual register has a bank and a machine register
+// number; Emit combines that assignment with the modulo schedule's
+// prelude/kernel/postlude expansion into the listing a code generator
+// would hand to the assembler.
+
+// EmitOptions controls the listing.
+type EmitOptions struct {
+	// Trip is the iteration count to expand for (0 means stages+2, the
+	// smallest pipeline that shows a steady state).
+	Trip int
+}
+
+// Emit renders the compiled loop as annotated machine code. The result
+// must have been compiled with register allocation (not SkipAlloc).
+func Emit(res *Result, opt EmitOptions) (string, error) {
+	if res.Alloc == nil {
+		return "", fmt.Errorf("codegen: Emit needs a result compiled with register allocation")
+	}
+	trip := opt.Trip
+	if trip <= 0 {
+		trip = res.PartSched.Stages() + 2
+	}
+	e, err := modulo.Expand(res.PartSched, res.Copies.Body, trip)
+	if err != nil {
+		return "", err
+	}
+
+	name := func(r ir.Reg) string {
+		bank := res.Assignment.Bank(r)
+		alloc := res.Alloc[bank]
+		if alloc != nil {
+			if c, ok := alloc.Colors[r]; ok {
+				return fmt.Sprintf("b%dr%d", bank, c)
+			}
+		}
+		return fmt.Sprintf("b%d!%s", bank, r) // spilled or unallocated
+	}
+	renderOp := func(op *ir.Op) string {
+		c := op.Clone()
+		// Re-render with physical names by textual substitution on a
+		// fresh clone's operand strings; the printer has no hook for
+		// alternate register names, so rebuild the operand list manually.
+		var parts []string
+		for _, d := range c.Defs {
+			parts = append(parts, name(d))
+		}
+		if c.Code == ir.Store && c.Mem != nil {
+			parts = append(parts, c.Mem.String())
+		}
+		for _, u := range c.Uses {
+			parts = append(parts, name(u))
+		}
+		if c.Code == ir.Load && c.Mem != nil {
+			parts = append(parts, c.Mem.String())
+		}
+		if c.Code == ir.LoadImm {
+			parts = append(parts, fmt.Sprintf("#%d", c.Imm))
+		}
+		return c.Code.String() + " " + strings.Join(parts, ", ")
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s on %s\n", res.Loop.Name, res.Cfg.Name)
+	fmt.Fprintf(&sb, "; II=%d stages=%d trip=%d total=%d cycles\n",
+		e.II, e.Stages, e.Trip, e.TotalCycles)
+	if len(res.Copies.Hoisted) > 0 {
+		sb.WriteString("preheader:\n")
+		for _, pair := range res.Copies.Hoisted {
+			fmt.Fprintf(&sb, "    move %s, %s\n", name(pair[0]), name(pair[1]))
+		}
+	}
+	section := func(title string, rows [][]modulo.Instance) {
+		fmt.Fprintf(&sb, "%s:\n", title)
+		for cyc, row := range rows {
+			if len(row) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  c%-3d", cyc)
+			for i, inst := range row {
+				if i > 0 {
+					sb.WriteString(" || ")
+				} else {
+					sb.WriteString(" ")
+				}
+				fmt.Fprintf(&sb, "[u%d] %s", res.PartSched.Cluster[inst.Op], renderOp(res.Copies.Body.Ops[inst.Op]))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	section("prelude", e.Prelude)
+	section(fmt.Sprintf("kernel (repeats %d times)", e.KernelReps), e.Kernel)
+	if len(e.Postlude) > 0 {
+		section("postlude", e.Postlude)
+	}
+	return sb.String(), nil
+}

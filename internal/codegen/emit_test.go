@@ -1,0 +1,63 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func TestEmitListing(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	cfg := machine.MustClustered16(2, machine.Embedded)
+	res, err := Compile(l, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Emit(res, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kernel (repeats", "prelude", "II=", "b0r", "||"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Physical names only: no bare virtual registers like " f3," outside
+	// spill markers.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " f") && !strings.Contains(line, "!") && !strings.HasPrefix(line, ";") {
+			t.Errorf("virtual register leaked into listing: %q", line)
+		}
+	}
+}
+
+func TestEmitRequiresAllocation(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	res, err := Compile(l, machine.MustClustered16(2, machine.Embedded), Options{SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Emit(res, EmitOptions{}); err == nil {
+		t.Error("Emit accepted a result without allocation")
+	}
+}
+
+func TestEmitSuiteSmoke(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.CopyUnit)
+	for _, l := range loopgen.Generate(loopgen.Params{N: 8, Seed: 47}) {
+		res, err := Compile(l, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Emit(res, EmitOptions{Trip: res.PartSched.Stages() + 3})
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if !strings.Contains(out, "kernel") {
+			t.Errorf("%s: listing incomplete", l.Name)
+		}
+	}
+}

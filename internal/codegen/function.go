@@ -1,0 +1,161 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// FunctionBlock is one block's compilation inside a whole-function run.
+type FunctionBlock struct {
+	// Source is the original block.
+	Source *ir.Block
+	// IdealGraph and IdealSched are the block's DDD and ideal schedule.
+	IdealGraph *ddg.Graph
+	IdealSched *sched.Schedule
+	// Copies, PartGraph and PartSched are the clustered rewrite and
+	// schedule.
+	Copies    *CopyInsertion
+	PartGraph *ddg.Graph
+	PartSched *sched.Schedule
+}
+
+// Degradation returns the block's makespan ratio (100 = ideal).
+func (fb *FunctionBlock) Degradation() float64 {
+	if fb.IdealSched.Length == 0 {
+		return 100
+	}
+	return 100 * float64(fb.PartSched.Length) / float64(fb.IdealSched.Length)
+}
+
+// FunctionResult is the outcome of whole-function partitioning: one
+// register-to-bank assignment shared by every block, derived from a single
+// register component graph built over all of them — the paper's "global in
+// nature" framework, where the RCG's nesting-depth weighting makes the
+// innermost blocks dominate the partition.
+type FunctionResult struct {
+	Fn            *ir.Function
+	Cfg, IdealCfg *machine.Config
+	// RCG is the function-wide register component graph (nil when a
+	// non-RCG partitioner was used).
+	RCG *core.RCG
+	// Assignment maps every register of the function to a bank.
+	Assignment *core.Assignment
+	// Blocks holds per-block schedules, in function order.
+	Blocks []*FunctionBlock
+}
+
+// WeightedDegradation estimates the whole function's dynamic slowdown by
+// weighting each block's makespan with 10^depth (the same execution
+// frequency estimate the RCG weighting uses for nesting depth).
+func (fr *FunctionResult) WeightedDegradation() float64 {
+	ideal, part := 0.0, 0.0
+	for _, fb := range fr.Blocks {
+		w := math.Pow(10, float64(fb.Source.Depth))
+		ideal += w * float64(fb.IdealSched.Length)
+		part += w * float64(fb.PartSched.Length)
+	}
+	if ideal == 0 {
+		return 100
+	}
+	return 100 * part / ideal
+}
+
+// Copies sums the inserted inter-cluster copies across blocks.
+func (fr *FunctionResult) Copies() int {
+	n := 0
+	for _, fb := range fr.Blocks {
+		n += fb.Copies.KernelCopies
+	}
+	return n
+}
+
+// CompileFunction partitions an entire function's registers at once and
+// schedules every block under the shared assignment. All blocks feed a
+// single register component graph, so a value flowing between blocks pulls
+// its producers and consumers toward one bank, and deeply nested blocks
+// outweigh shallow ones in the greedy order.
+func CompileFunction(f *ir.Function, cfg *machine.Config, opt Options) (*FunctionResult, error) {
+	if err := ir.VerifyFunction(f); err != nil {
+		return nil, err
+	}
+	if len(f.Blocks) == 0 {
+		return nil, fmt.Errorf("codegen: function %q has no blocks", f.Name)
+	}
+	weights := core.DefaultWeights()
+	if opt.Weights != nil {
+		weights = *opt.Weights
+	}
+	res := &FunctionResult{Fn: f, Cfg: cfg, IdealCfg: IdealOf(cfg)}
+
+	// Pass 1: per-block ideal schedules and RCG views.
+	views := make([]core.ScheduledBlock, 0, len(f.Blocks))
+	for _, b := range f.Blocks {
+		g := ddg.Build(b, res.IdealCfg, ddg.Options{Carried: false})
+		s, err := sched.List(g, res.IdealCfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: ideal scheduling of %q: %w", f.Name, err)
+		}
+		res.Blocks = append(res.Blocks, &FunctionBlock{Source: b, IdealGraph: g, IdealSched: s})
+		views = append(views, core.ScheduledBlock{
+			Block:  b,
+			Time:   s.Time,
+			Length: s.Length,
+			Slack:  sched.Slack(g, res.IdealCfg, s.Length),
+		})
+	}
+
+	// Pass 2: one partition for the whole function.
+	if opt.Partitioner != nil {
+		// Non-RCG methods see the function's largest block as their
+		// scheduling context (BUG and UAS are per-context algorithms);
+		// registers they never saw default to bank 0.
+		biggest := 0
+		for i, b := range f.Blocks {
+			if len(b.Ops) > len(f.Blocks[biggest].Ops) {
+				biggest = i
+			}
+		}
+		asg, err := opt.Partitioner.Assign(&partition.Input{
+			Block:   f.Blocks[biggest],
+			Graph:   res.Blocks[biggest].IdealGraph,
+			Ideal:   views[biggest],
+			Cfg:     cfg,
+			Weights: weights,
+			Pre:     opt.Pre,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Assignment = asg
+	} else {
+		res.RCG = core.Build(views, weights)
+		asg, err := res.RCG.Partition(cfg.Clusters, weights, opt.Pre)
+		if err != nil {
+			return nil, err
+		}
+		res.Assignment = asg
+	}
+
+	// Pass 3: rewrite and re-schedule every block under the assignment.
+	for _, fb := range res.Blocks {
+		fb.Copies = insertCopiesBlock(fb.Source, f.NewReg, res.Assignment, false)
+		if err := ir.VerifyBlock(fb.Copies.Body); err != nil {
+			return nil, fmt.Errorf("codegen: function copy insertion: %w", err)
+		}
+		fb.PartGraph = ddg.Build(fb.Copies.Body, cfg, ddg.Options{Carried: false})
+		clusterOf := fb.Copies.ClusterOf
+		s, err := sched.List(fb.PartGraph, cfg, func(i int) int { return clusterOf[i] })
+		if err != nil {
+			return nil, fmt.Errorf("codegen: clustered scheduling of %q: %w", f.Name, err)
+		}
+		fb.PartSched = s
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// buildTestFunction makes a three-block function: a shallow prologue, a
+// hot innermost block (depth 2) and an epilogue, with a value flowing from
+// the prologue into the hot block.
+func buildTestFunction() (*ir.Function, ir.Reg) {
+	f := ir.NewFunction("test")
+	pro := f.NewBlock(0)
+	hot := f.NewBlock(2)
+	epi := f.NewBlock(0)
+
+	bp := ir.NewBlockBuilder(f, pro)
+	scale := bp.Load(ir.Float, ir.MemRef{Base: "scale"})
+	base := bp.Load(ir.Float, ir.MemRef{Base: "base"})
+	init := bp.Mul(scale, base)
+	bp.Store(init, ir.MemRef{Base: "tmp"})
+
+	bh := ir.NewBlockBuilder(f, hot)
+	for k := 0; k < 6; k++ {
+		x := bh.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 6, Offset: k})
+		y := bh.Mul(x, scale) // cross-block use of scale
+		z := bh.Add(y, init)  // cross-block use of init
+		bh.Store(z, ir.MemRef{Base: "b", Coeff: 6, Offset: k})
+	}
+
+	be := ir.NewBlockBuilder(f, epi)
+	last := be.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 0, Offset: 0})
+	be.Store(be.Mul(last, scale), ir.MemRef{Base: "out"})
+	return f, scale
+}
+
+func TestCompileFunctionBasics(t *testing.T) {
+	f, _ := buildTestFunction()
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, err := CompileFunction(f, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 3 {
+		t.Fatalf("compiled %d blocks", len(res.Blocks))
+	}
+	if res.RCG == nil {
+		t.Fatal("RCG missing for the default partitioner")
+	}
+	for _, r := range f.Registers() {
+		if _, ok := res.Assignment.Of[r]; !ok {
+			t.Errorf("register %s unassigned", r)
+		}
+	}
+	if d := res.WeightedDegradation(); d < 100 || d > 400 {
+		t.Errorf("weighted degradation %f implausible", d)
+	}
+	for bi, fb := range res.Blocks {
+		if fb.PartSched.Length < fb.IdealSched.Length {
+			t.Errorf("block %d clustered schedule beat ideal", bi)
+		}
+		// Copies must make every op's uses bank-local.
+		for i, op := range fb.Copies.Body.Ops {
+			if op.Code == ir.Copy {
+				continue
+			}
+			home := fb.Copies.ClusterOf[i]
+			for _, u := range op.Uses {
+				if res.Assignment.Bank(u) != home {
+					t.Errorf("block %d op %d uses %s from a foreign bank", bi, i, u)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileFunctionSharedAssignment(t *testing.T) {
+	// The function-wide RCG must give a cross-block value a single bank:
+	// its uses in the hot block see it without surprise copies when the
+	// affinity is strong enough, and in any case every block agrees on
+	// where it lives.
+	f, scale := buildTestFunction()
+	cfg := machine.MustClustered16(2, machine.Embedded)
+	res, err := CompileFunction(f, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, ok := res.Assignment.Of[scale]
+	if !ok {
+		t.Fatal("cross-block register unassigned")
+	}
+	if bank < 0 || bank >= cfg.Clusters {
+		t.Fatalf("bank %d out of range", bank)
+	}
+}
+
+func TestCompileFunctionHotBlockDominates(t *testing.T) {
+	// With depth weighting, the hot block's registers carry ~100x the
+	// node weight of the prologue's; the partition must therefore keep
+	// the hot block's chains clean even at 8 clusters. A weak check that
+	// is robust to heuristic details: the hot block's degradation must
+	// not exceed the function's worst block by definition and must stay
+	// below the catastrophic single-cluster bound.
+	f, _ := buildTestFunction()
+	cfg := machine.MustClustered16(8, machine.Embedded)
+	res, err := CompileFunction(f, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := res.Blocks[1]
+	serialBound := 100.0 * float64(len(hot.Copies.Body.Ops)) / float64(hot.IdealSched.Length) * float64(1) // ops on 1 FU pair
+	if hot.Degradation() >= serialBound && serialBound > 100 {
+		t.Errorf("hot block degradation %f reached the single-cluster bound %f", hot.Degradation(), serialBound)
+	}
+	if res.Copies() == 0 {
+		t.Log("function compiled with zero copies (clean split)")
+	}
+}
+
+func TestCompileFunctionEmpty(t *testing.T) {
+	f := ir.NewFunction("empty")
+	if _, err := CompileFunction(f, machine.MustClustered16(2, machine.Embedded), Options{}); err == nil {
+		t.Error("empty function accepted")
+	}
+}
+
+func TestCompileFunctionWithExplicitPartitioner(t *testing.T) {
+	f, _ := buildTestFunction()
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, err := CompileFunction(f, cfg, Options{Partitioner: partition.RoundRobin{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCG != nil {
+		t.Error("RCG should be nil for non-RCG partitioners")
+	}
+	for bi, fb := range res.Blocks {
+		if fb.PartSched == nil {
+			t.Errorf("block %d unscheduled", bi)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/modulo"
+)
+
+// This file implements modulo variable expansion (Lam, PLDI 1988): when a
+// value's lifetime exceeds the II, consecutive iterations would overwrite
+// it before its consumers have read it. Machines without rotating register
+// files solve this in the compiler by unrolling the kernel and renaming
+// such registers round-robin across the copies. The modulo scheduler in
+// this reproduction deliberately drops loop-carried anti/output register
+// dependences (see internal/ddg), and this pass is the transformation that
+// makes that legal in generated code; the per-bank register cost it
+// implies (ceil(lifetime/II) names per value) is what internal/regalloc
+// charges during coloring.
+
+// MVE is the result of modulo variable expansion on a loop kernel.
+type MVE struct {
+	// Unroll is the kernel unroll factor: the largest per-register name
+	// requirement. Each register's name count is then rounded up to a
+	// divisor of Unroll so the round-robin renaming cycles an integral
+	// number of times per unrolled body (Lam's "reduced" unrolling — the
+	// alternative, unrolling by the LCM of all name counts, explodes on
+	// mixed-latency kernels). The rounding can cost a few extra names per
+	// value; the allocator's ceil(lifetime/II) charge is the lower bound a
+	// rotating register file would achieve.
+	Unroll int
+	// Names maps each expanded register to how many names it received
+	// (MinNames rounded up to a divisor of Unroll).
+	Names map[ir.Reg]int
+	// MinNames maps each register to ceil(lifetime/II) — the minimum a
+	// rotating register file would need. The difference Names-MinNames is
+	// the register cost of doing MVE in software.
+	MinNames map[ir.Reg]int
+	// Body is the unrolled kernel: Unroll renamed copies of the original
+	// body in program order. Iteration u's copy uses name (u mod n) for a
+	// register with n names; a use reading a value defined d iterations
+	// earlier uses name ((u-d) mod n).
+	Body *ir.Block
+	// NameOf reports the renamed register for (original register, name
+	// index); registers with one name map to themselves.
+	NameOf map[ir.Reg][]ir.Reg
+}
+
+// ExpandVariables performs modulo variable expansion for the given kernel
+// schedule. The dependence graph supplies lifetimes (via true edges and
+// their distances) and the def-use distances needed to rename uses.
+// Fresh registers are allocated from the loop.
+func ExpandVariables(loop *ir.Loop, g *ddg.Graph, s *modulo.Schedule) (*MVE, error) {
+	body := loop.Body
+	if len(g.Ops) != len(body.Ops) {
+		return nil, fmt.Errorf("codegen: graph covers %d ops, body has %d", len(g.Ops), len(body.Ops))
+	}
+	// Lifetime per register: def issue time to last (distance-adjusted)
+	// use; names = ceil(lifetime / II), minimum 1.
+	defTime := make(map[ir.Reg]int)
+	for i, op := range body.Ops {
+		for _, d := range op.Defs {
+			if _, ok := defTime[d]; !ok {
+				defTime[d] = s.Time[i]
+			}
+		}
+	}
+	end := make(map[ir.Reg]int)
+	for from := range g.Ops {
+		for _, e := range g.Out[from] {
+			if e.Kind != ddg.True {
+				continue
+			}
+			if t := s.Time[e.To] + e.Distance*s.II + 1; t > end[e.Reg] {
+				end[e.Reg] = t
+			}
+		}
+	}
+	names := make(map[ir.Reg]int)
+	minNames := make(map[ir.Reg]int)
+	unroll := 1
+	for r, t0 := range defTime {
+		n := 1
+		if e, ok := end[r]; ok && e > t0 {
+			n = (e - t0 + s.II - 1) / s.II
+			if n < 1 {
+				n = 1
+			}
+		}
+		names[r] = n
+		minNames[r] = n
+		if n > unroll {
+			unroll = n
+		}
+	}
+	// Defensive cap: suite lifetimes span a few IIs, so the factor stays
+	// tiny; a pathological input gets a clear error, not a code explosion.
+	if unroll > 64 {
+		return nil, fmt.Errorf("codegen: MVE unroll factor %d exceeds 64", unroll)
+	}
+	// Round every name count up to a divisor of the unroll factor so that
+	// (iteration mod names) advances consistently across unrolled bodies.
+	for r, n := range names {
+		for unroll%n != 0 {
+			n++
+		}
+		names[r] = n
+	}
+
+	mve := &MVE{
+		Unroll:   unroll,
+		Names:    names,
+		MinNames: minNames,
+		Body:     &ir.Block{Depth: body.Depth},
+		NameOf:   make(map[ir.Reg][]ir.Reg),
+	}
+	nameFor := func(r ir.Reg, idx int) ir.Reg {
+		n := names[r]
+		if n <= 1 {
+			return r
+		}
+		bank := mve.NameOf[r]
+		if bank == nil {
+			bank = make([]ir.Reg, n)
+			bank[0] = r // name 0 keeps the original register
+			for k := 1; k < n; k++ {
+				bank[k] = loop.NewReg(r.Class)
+			}
+			mve.NameOf[r] = bank
+		}
+		return bank[((idx%n)+n)%n]
+	}
+	// Distance from each use back to its reaching def, from true edges.
+	useDist := make(map[[2]interface{}]int) // (opIdx, reg) -> distance
+	for from := range g.Ops {
+		for _, e := range g.Out[from] {
+			if e.Kind == ddg.True {
+				useDist[[2]interface{}{e.To, e.Reg}] = e.Distance
+			}
+		}
+	}
+
+	for u := 0; u < unroll; u++ {
+		for i, op := range body.Ops {
+			c := op.Clone()
+			for di, d := range c.Defs {
+				c.Defs[di] = nameFor(d, u)
+			}
+			for ui, r := range c.Uses {
+				if _, isDef := defTime[r]; !isDef {
+					continue // loop invariant: never renamed
+				}
+				d := useDist[[2]interface{}{i, r}]
+				c.Uses[ui] = nameFor(r, u-d)
+			}
+			if c.Mem != nil {
+				// The unrolled loop's induction variable advances by
+				// Unroll original iterations per trip, so copy u's
+				// subscript Coeff*i+Off becomes (Coeff*U)*i' + Coeff*u+Off.
+				c.Mem.Offset = c.Mem.Coeff*u + c.Mem.Offset
+				c.Mem.Coeff *= unroll
+			}
+			c.Comment = fmt.Sprintf("iter+%d", u)
+			mve.Body.Append(c)
+		}
+	}
+	mve.Body.Renumber()
+	return mve, nil
+}
+
+// RegisterCost returns the total register names MVE consumes and the
+// minimum a rotating register file would need (sum of ceil(lifetime/II));
+// the difference is the price of doing the renaming in software rather
+// than hardware.
+func (m *MVE) RegisterCost() (mve, rotating int) {
+	for r, n := range m.Names {
+		mve += n
+		rotating += m.MinNames[r]
+	}
+	return mve, rotating
+}

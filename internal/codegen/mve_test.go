@@ -1,0 +1,199 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/fixtures"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+// value identifies a produced value for the dataflow simulator: which
+// original operation defined it, on behalf of which iteration.
+type value struct {
+	op, iter int
+}
+
+// simulateOriginal interprets the loop body for trips iterations and
+// returns, for every (iteration, op, useIndex), the value each use reads.
+// Loop invariants read a sentinel {-1,-1}.
+func simulateOriginal(body *ir.Block, trips int) map[[3]int]value {
+	regVal := make(map[ir.Reg]value)
+	out := make(map[[3]int]value)
+	for it := 0; it < trips; it++ {
+		for oi, op := range body.Ops {
+			for ui, u := range op.Uses {
+				v, ok := regVal[u]
+				if !ok {
+					v = value{-1, -1}
+				}
+				out[[3]int{it, oi, ui}] = v
+			}
+			for _, d := range op.Defs {
+				regVal[d] = value{oi, it}
+			}
+		}
+	}
+	return out
+}
+
+// simulateMVE interprets the unrolled kernel for trips/unroll repetitions
+// and reconstructs the same (iteration, original op, useIndex) -> value
+// map, using the fact that unrolled copy u of repetition r executes
+// iteration r*unroll+u and that op order within a copy matches the
+// original body.
+func simulateMVE(mve *MVE, bodyOps, trips int) map[[3]int]value {
+	regVal := make(map[ir.Reg]value)
+	out := make(map[[3]int]value)
+	reps := trips / mve.Unroll
+	for rep := 0; rep < reps; rep++ {
+		for idx, op := range mve.Body.Ops {
+			u := idx / bodyOps
+			oi := idx % bodyOps
+			it := rep*mve.Unroll + u
+			for ui, r := range op.Uses {
+				v, ok := regVal[r]
+				if !ok {
+					v = value{-1, -1}
+				}
+				out[[3]int{it, oi, ui}] = v
+			}
+			for _, d := range op.Defs {
+				regVal[d] = value{oi, it}
+			}
+		}
+	}
+	return out
+}
+
+// TestMVEPreservesDataflow is the semantic proof of modulo variable
+// expansion: executing the renamed, unrolled kernel produces exactly the
+// same def-use pairs as executing the original body iteration by
+// iteration — while lifting the lifetime-under-II restriction the
+// renaming exists to remove.
+func TestMVEPreservesDataflow(t *testing.T) {
+	cfg := machine.Ideal16()
+	loops := append(loopgen.Generate(loopgen.Params{N: 15, Seed: 31}),
+		fixtures.DotProduct(3), fixtures.Accumulator(ir.Float))
+	for _, l := range loops {
+		work := l.Clone()
+		g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
+		s, err := modulo.Run(g, cfg, modulo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mve, err := ExpandVariables(work, g, s)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		trips := mve.Unroll * 4
+		want := simulateOriginal(l.Body, trips)
+		got := simulateMVE(mve, len(l.Body.Ops), trips)
+		// Skip the warm-up iterations: upward-exposed uses read preheader
+		// values there (sentinel in the original, possibly a renamed
+		// sentinel in the MVE body), so compare steady state only.
+		warm := mve.Unroll
+		for key, wv := range want {
+			if key[0] < warm || wv.iter < 0 {
+				continue
+			}
+			if gv := got[key]; gv != wv {
+				t.Fatalf("%s: iteration %d op %d use %d reads %v, want %v (unroll %d)",
+					l.Name, key[0], key[1], key[2], gv, wv, mve.Unroll)
+			}
+		}
+	}
+}
+
+func TestMVEUnrollFactor(t *testing.T) {
+	// An accumulator's lifetime is exactly the II (def to next-iteration
+	// use), so no expansion is needed; a long-latency producer consumed
+	// late needs several names.
+	cfg := machine.Ideal16()
+	l := fixtures.Accumulator(ir.Float)
+	work := l.Clone()
+	g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mve, err := ExpandVariables(work, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mve.Body.Ops) != mve.Unroll*len(l.Body.Ops) {
+		t.Errorf("unrolled body has %d ops, want %d copies of %d",
+			len(mve.Body.Ops), mve.Unroll, len(l.Body.Ops))
+	}
+	for r, n := range mve.Names {
+		if n < 1 {
+			t.Errorf("register %s has %d names", r, n)
+		}
+	}
+}
+
+func TestMVERenamedBodyWellFormed(t *testing.T) {
+	cfg := machine.Ideal16()
+	for _, l := range loopgen.Generate(loopgen.Params{N: 10, Seed: 41}) {
+		work := l.Clone()
+		g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
+		s, err := modulo.Run(g, cfg, modulo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mve, err := ExpandVariables(work, g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ir.VerifyBlock(mve.Body); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		// Renamed registers must be fresh: no clash with original IDs
+		// except name 0 (which reuses the original).
+		orig := make(map[ir.Reg]bool)
+		for _, r := range l.Body.Registers() {
+			orig[r] = true
+		}
+		for r, bank := range mve.NameOf {
+			if bank[0] != r {
+				t.Errorf("%s: name 0 of %s is %s, want the original", l.Name, r, bank[0])
+			}
+			for _, nr := range bank[1:] {
+				if orig[nr] {
+					t.Errorf("%s: renamed register %s collides with an original", l.Name, nr)
+				}
+			}
+		}
+	}
+}
+
+func TestMVELifetimeRespectsNames(t *testing.T) {
+	// A value produced by a 2-cycle multiply but consumed 2 iterations
+	// later (distance-2 memory-style chain through registers is not
+	// expressible, so force it via a long chain): check names >= 2 when a
+	// lifetime crosses the II.
+	cfg := machine.Ideal16()
+	l := fixtures.DotProduct(8) // II is add-latency bound; mul->add spans
+	work := l.Clone()
+	g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mve, err := ExpandVariables(work, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := 0
+	for _, n := range mve.Names {
+		if n > 1 {
+			expanded++
+		}
+	}
+	if s.Stages() > 1 && expanded == 0 {
+		t.Error("multi-stage pipeline with no expanded lifetimes is suspicious")
+	}
+}

@@ -1,0 +1,263 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+)
+
+// Options tunes a compilation.
+type Options struct {
+	// Partitioner selects the register-partitioning method; nil means the
+	// paper's RCG greedy heuristic.
+	Partitioner partition.Partitioner
+	// Weights tunes the RCG heuristic; the zero value means DefaultWeights.
+	Weights *core.Weights
+	// Pre pre-colors registers to fixed banks.
+	Pre map[ir.Reg]int
+	// BudgetRatio is passed to the modulo scheduler (0 = default).
+	BudgetRatio int
+	// LifetimeSched enables the swing-flavored lifetime-sensitive modulo
+	// scheduling mode (Section 6.3's scheduler axis) for both the ideal
+	// and the clustered schedule.
+	LifetimeSched bool
+	// SkipAlloc skips step 5 (per-bank register assignment); the
+	// experiment sweeps use it to save time when only IIs are needed.
+	SkipAlloc bool
+}
+
+// Result is the outcome of compiling one loop for one machine.
+type Result struct {
+	// Loop is the compiled loop (untouched original).
+	Loop *ir.Loop
+	// Cfg is the clustered target; IdealCfg the matching monolithic one.
+	Cfg, IdealCfg *machine.Config
+	// PartitionerName records the method used.
+	PartitionerName string
+
+	// IdealGraph and IdealSched are step 2's dependence graph and ideal
+	// modulo schedule on the monolithic machine.
+	IdealGraph *ddg.Graph
+	IdealSched *modulo.Schedule
+
+	// Assignment is step 3's register-to-bank map (extended with copy
+	// registers during step 4).
+	Assignment *core.Assignment
+
+	// Copies is step 4's rewrite of the loop body.
+	Copies *CopyInsertion
+	// PartGraph and PartSched are the rebuilt dependence graph and the
+	// clustered modulo schedule.
+	PartGraph *ddg.Graph
+	PartSched *modulo.Schedule
+
+	// Alloc holds step 5's per-bank coloring results (nil with SkipAlloc).
+	Alloc []*regalloc.Result
+}
+
+// IdealII returns the initiation interval on the monolithic machine.
+func (r *Result) IdealII() int { return r.IdealSched.II }
+
+// PartII returns the initiation interval on the clustered machine.
+func (r *Result) PartII() int { return r.PartSched.II }
+
+// Degradation returns the paper's normalized kernel-size metric:
+// 100 * II_partitioned / II_ideal, so 100 means no degradation and 125
+// means a 25% longer (slower) kernel.
+func (r *Result) Degradation() float64 {
+	return 100 * float64(r.PartII()) / float64(r.IdealII())
+}
+
+// DegradationPercent returns the relative slowdown in percent
+// (Degradation() - 100), the quantity Figures 5-7 bucket.
+func (r *Result) DegradationPercent() float64 { return r.Degradation() - 100 }
+
+// IdealIPC returns operations per cycle of the ideal kernel.
+func (r *Result) IdealIPC() float64 { return r.IdealSched.IPC() }
+
+// ClusteredIPC returns the clustered kernel's IPC under the machine's copy
+// model: the embedded model counts the inserted copies as issued
+// operations (they occupy functional-unit slots), while the copy-unit
+// model does not (dedicated hardware moves the values) — exactly how
+// Table 1 computes the two columns.
+func (r *Result) ClusteredIPC() float64 {
+	ops := len(r.Copies.Body.Ops)
+	if r.Cfg.Model == machine.CopyUnit {
+		ops -= r.Copies.KernelCopies
+	}
+	return float64(ops) / float64(r.PartII())
+}
+
+// Spills counts registers spilled across all banks (0 with SkipAlloc).
+func (r *Result) Spills() int {
+	n := 0
+	for _, a := range r.Alloc {
+		if a != nil {
+			n += len(a.Spilled)
+		}
+	}
+	return n
+}
+
+// MaxPressure returns the highest per-bank register pressure.
+func (r *Result) MaxPressure() int {
+	max := 0
+	for _, a := range r.Alloc {
+		if a != nil && a.MaxLive > max {
+			max = a.MaxLive
+		}
+	}
+	return max
+}
+
+// IdealOf derives the monolithic "ideal" machine matching cfg: same width
+// and latencies, one register bank holding all the registers.
+func IdealOf(cfg *machine.Config) *machine.Config {
+	if cfg.Monolithic() {
+		return cfg
+	}
+	ideal, err := machine.New(
+		fmt.Sprintf("%d-wide ideal of %s", cfg.Width, cfg.Name),
+		cfg.Width, 1, cfg.RegsPerBank*cfg.Clusters, cfg.Model, cfg.Lat)
+	if err != nil {
+		panic(err) // cfg was already validated; width/1 cannot fail
+	}
+	// The ideal machine keeps everything except the bank split — including
+	// typed functional units: "the ideal schedule ... uses the issue-width
+	// and all other characteristics of the actual architecture" (§4.1).
+	// One monolithic cluster provides Clusters copies of each unit set.
+	if cfg.Heterogeneous() {
+		for c := 0; c < cfg.Clusters; c++ {
+			ideal.Units = append(ideal.Units, cfg.Units...)
+		}
+	}
+	return ideal
+}
+
+// Compile runs the full five-step pipeline on one loop for one clustered
+// machine.
+func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
+	if err := ir.VerifyLoop(loop); err != nil {
+		return nil, err
+	}
+	weights := core.DefaultWeights()
+	if opt.Weights != nil {
+		weights = *opt.Weights
+	}
+	part := opt.Partitioner
+	if part == nil {
+		part = partition.Greedy{}
+	}
+	res := &Result{
+		Loop:            loop,
+		Cfg:             cfg,
+		IdealCfg:        IdealOf(cfg),
+		PartitionerName: part.Name(),
+	}
+
+	// Steps 1-2: dependence graph and ideal schedule on the monolithic bank.
+	res.IdealGraph = ddg.Build(loop.Body, res.IdealCfg, ddg.Options{Carried: true})
+	idealSched, err := modulo.Run(res.IdealGraph, res.IdealCfg, modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched})
+	if err != nil {
+		return nil, fmt.Errorf("codegen: ideal scheduling of %q: %w", loop.Name, err)
+	}
+	res.IdealSched = idealSched
+
+	if cfg.Monolithic() {
+		// Nothing to partition: the clustered results equal the ideal.
+		res.Assignment = &core.Assignment{Banks: 1, Of: map[ir.Reg]int{}}
+		res.Copies = &CopyInsertion{Body: loop.Body, ClusterOf: make([]int, len(loop.Body.Ops))}
+		res.PartGraph = res.IdealGraph
+		res.PartSched = idealSched
+		if !opt.SkipAlloc {
+			res.Alloc = allocate(res)
+		}
+		return res, nil
+	}
+
+	// Step 3: partition registers to banks.
+	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, idealSched)
+	asg, err := part.Assign(&partition.Input{
+		Block:   loop.Body,
+		Graph:   res.IdealGraph,
+		Ideal:   ideal,
+		Cfg:     cfg,
+		Weights: weights,
+		Pre:     opt.Pre,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, part.Name(), err)
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	res.Assignment = asg
+
+	// Step 4: insert copies, rebuild the graph, re-schedule clustered.
+	work := loop.Clone()
+	res.Copies = InsertCopies(work, asg, cfg)
+	if err := ir.VerifyBlock(res.Copies.Body); err != nil {
+		return nil, fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
+	}
+	res.PartGraph = ddg.Build(res.Copies.Body, cfg, ddg.Options{Carried: true})
+	partSched, err := modulo.Run(res.PartGraph, cfg, modulo.Options{
+		ClusterOf:   res.Copies.ClusterOf,
+		BudgetRatio: opt.BudgetRatio,
+		Lifetime:    opt.LifetimeSched,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("codegen: clustered scheduling of %q: %w", loop.Name, err)
+	}
+	res.PartSched = partSched
+
+	// Step 5: per-bank Chaitin/Briggs assignment.
+	if !opt.SkipAlloc {
+		res.Alloc = allocate(res)
+	}
+	return res, nil
+}
+
+// IdealView packages an ideal modulo schedule as the ScheduledBlock the
+// RCG builder consumes.
+//
+// Operations are grouped into "instructions" by their absolute
+// single-iteration issue cycle, not by kernel row: two operations sharing
+// a kernel row but belonging to different pipeline stages are usually
+// data-dependent (a producer and a consumer several stages apart), and the
+// paper's same-instruction anti-affinity rule presumes data independence
+// ("not only are they data-independent, but the ideal schedule was
+// achieved when they were included in the same instruction"). Grouping by
+// absolute cycle preserves that premise under software pipelining, while
+// the density denominator stays the II — the kernel really does issue
+// ops/II operations per instruction.
+func IdealView(body *ir.Block, g *ddg.Graph, idealCfg *machine.Config, s *modulo.Schedule) core.ScheduledBlock {
+	return core.ScheduledBlock{
+		Block:     body,
+		Time:      s.Time,
+		Length:    s.II,
+		Slack:     sched.Slack(g, idealCfg, s.Length),
+		Recurrent: g.RecurrenceOps(),
+	}
+}
+
+// allocate colors each bank's live ranges.
+func allocate(r *Result) []*regalloc.Result {
+	ranges := regalloc.KernelRanges(r.PartGraph, r.PartSched)
+	byBank := make([][]regalloc.LiveRange, r.Cfg.Clusters)
+	for _, lr := range ranges {
+		b := r.Assignment.Bank(lr.Reg)
+		byBank[b] = append(byBank[b], lr)
+	}
+	out := make([]*regalloc.Result, r.Cfg.Clusters)
+	for b := range byBank {
+		out[b] = regalloc.Color(byBank[b], r.PartSched.II, r.Cfg.RegsPerBank)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+)
+
+func TestCompileDotProductAllMachines(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	for _, cfg := range machine.PaperConfigs() {
+		res, err := Compile(l, cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.IdealII() < 2 {
+			t.Errorf("%s: ideal II %d below float-add RecMII 2", cfg.Name, res.IdealII())
+		}
+		if res.PartII() < res.IdealII() {
+			t.Errorf("%s: partitioned II %d beat ideal II %d", cfg.Name, res.PartII(), res.IdealII())
+		}
+		if res.Degradation() < 100 {
+			t.Errorf("%s: degradation %f below 100", cfg.Name, res.Degradation())
+		}
+		// The partitioned schedule must verify against its own graph and
+		// cluster pinning.
+		if err := modulo.Check(res.PartSched, res.PartGraph, cfg, modulo.Options{ClusterOf: res.Copies.ClusterOf}); err != nil {
+			t.Errorf("%s: invalid partitioned schedule: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestCompileFullyDeterministic(t *testing.T) {
+	// The experiment tables must reproduce bit for bit: two independent
+	// compilations of the same loop must agree on the partition, the
+	// copies and the schedules. (This is a regression test for float
+	// accumulation in map order, which once made near-tie bank choices
+	// run-dependent.)
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loops {
+		a, err := Compile(l, cfg, Options{SkipAlloc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compile(l, cfg, Options{SkipAlloc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PartII() != b.PartII() || a.Copies.KernelCopies != b.Copies.KernelCopies {
+			t.Fatalf("%s: run-dependent result: II %d vs %d, copies %d vs %d",
+				l.Name, a.PartII(), b.PartII(), a.Copies.KernelCopies, b.Copies.KernelCopies)
+		}
+		for r, bank := range a.Assignment.Of {
+			if b.Assignment.Of[r] != bank {
+				t.Fatalf("%s: partition differs at %s", l.Name, r)
+			}
+		}
+	}
+}
+
+func TestCompileMonolithicIsIdentity(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	res, err := Compile(l, machine.Ideal16(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartII() != res.IdealII() || res.Degradation() != 100 {
+		t.Errorf("monolithic compile degraded: %f", res.Degradation())
+	}
+	if res.Copies.KernelCopies != 0 {
+		t.Errorf("monolithic compile inserted %d copies", res.Copies.KernelCopies)
+	}
+}
+
+func TestCopyInsertionInvariants(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 25, Seed: 5})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loops {
+		res, err := Compile(l, cfg, Options{SkipAlloc: true})
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		body := res.Copies.Body
+		if err := ir.VerifyBlock(body); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if len(res.Copies.ClusterOf) != len(body.Ops) {
+			t.Fatalf("%s: ClusterOf covers %d of %d ops", l.Name, len(res.Copies.ClusterOf), len(body.Ops))
+		}
+		copies := 0
+		for i, op := range body.Ops {
+			home := res.Copies.ClusterOf[i]
+			if op.Code == ir.Copy {
+				copies++
+				// A copy's destination register lives in its cluster; its
+				// source lives elsewhere.
+				if res.Assignment.Bank(op.Def()) != home {
+					t.Errorf("%s: copy %d lands in bank %d, scheduled on %d", l.Name, i, res.Assignment.Bank(op.Def()), home)
+				}
+				if res.Assignment.Bank(op.Uses[0]) == home {
+					t.Errorf("%s: copy %d copies within one bank", l.Name, i)
+				}
+				continue
+			}
+			for _, u := range op.Uses {
+				if res.Assignment.Bank(u) != home {
+					t.Errorf("%s: op %d (%s) on cluster %d uses %s from bank %d",
+						l.Name, i, op, home, u, res.Assignment.Bank(u))
+				}
+			}
+			if d := op.Def(); d != ir.NoReg && res.Assignment.Bank(d) != home {
+				t.Errorf("%s: op %d defines into a foreign bank", l.Name, i)
+			}
+		}
+		if copies != res.Copies.KernelCopies {
+			t.Errorf("%s: counted %d copies, reported %d", l.Name, copies, res.Copies.KernelCopies)
+		}
+	}
+}
+
+func TestCopyReuseWithinIteration(t *testing.T) {
+	// Two consumers of one remote value in the same cluster share a copy.
+	l := ir.NewLoop("reuse")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	y1 := b.Mul(x, x)
+	y2 := b.Add(x, x)
+	b.Store(y1, ir.MemRef{Base: "c", Coeff: 1})
+	b.Store(y2, ir.MemRef{Base: "d", Coeff: 1})
+	cfg := machine.MustClustered16(2, machine.Embedded)
+	// Force x into bank 0 and both consumers into bank 1.
+	pre := map[ir.Reg]int{x: 0, y1: 1, y2: 1}
+	res, err := Compile(l, cfg, Options{Pre: pre, SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies.KernelCopies != 1 {
+		t.Errorf("two same-cluster consumers used %d copies, want 1 shared", res.Copies.KernelCopies)
+	}
+}
+
+func TestInvariantCopiesHoisted(t *testing.T) {
+	l := ir.NewLoop("inv")
+	b := ir.NewLoopBuilder(l)
+	s := l.NewReg(ir.Float) // invariant
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	m := b.Mul(x, s)
+	b.Store(m, ir.MemRef{Base: "c", Coeff: 1})
+	cfg := machine.MustClustered16(2, machine.Embedded)
+	pre := map[ir.Reg]int{s: 0, x: 1, m: 1}
+	res, err := Compile(l, cfg, Options{Pre: pre, SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies.KernelCopies != 0 {
+		t.Errorf("invariant copy not hoisted: %d kernel copies", res.Copies.KernelCopies)
+	}
+	if res.Copies.InvariantCopies != 1 {
+		t.Errorf("invariant copies = %d, want 1", res.Copies.InvariantCopies)
+	}
+}
+
+func TestCompileWithEveryPartitioner(t *testing.T) {
+	l := fixtures.DotProduct(3)
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	parts := []partition.Partitioner{
+		partition.Greedy{}, partition.BUG{}, partition.RoundRobin{},
+		partition.Random{Seed: 3}, partition.SingleBank{},
+	}
+	for _, p := range parts {
+		res, err := Compile(l, cfg, Options{Partitioner: p, SkipAlloc: true})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.PartitionerName != p.Name() {
+			t.Errorf("partitioner name %q recorded as %q", p.Name(), res.PartitionerName)
+		}
+		if err := modulo.Check(res.PartSched, res.PartGraph, cfg, modulo.Options{ClusterOf: res.Copies.ClusterOf}); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestSingleBankNeverCopies(t *testing.T) {
+	l := fixtures.DotProduct(3)
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, err := Compile(l, cfg, Options{Partitioner: partition.SingleBank{}, SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Copies.KernelCopies != 0 || res.Copies.InvariantCopies != 0 {
+		t.Error("single-bank partition must need no copies")
+	}
+	// But it serializes onto one cluster: II at least ceil(ops/4).
+	if res.PartII() < (len(l.Body.Ops)+3)/4 {
+		t.Errorf("single-bank II %d below one-cluster resource bound", res.PartII())
+	}
+}
+
+func TestAllocationProducedPerBank(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, err := Compile(l, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alloc) != cfg.Clusters {
+		t.Fatalf("alloc results for %d of %d banks", len(res.Alloc), cfg.Clusters)
+	}
+	if res.MaxPressure() < 1 {
+		t.Error("max pressure must be positive for a real loop")
+	}
+	if res.Spills() != 0 {
+		t.Errorf("tiny loop spilled %d registers in 32-register banks", res.Spills())
+	}
+}
+
+func TestClusteredIPCModels(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	emb, err := Compile(l, machine.MustClustered16(4, machine.Embedded), Options{SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := Compile(l, machine.MustClustered16(4, machine.CopyUnit), Options{SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embedded IPC counts copies; with equal IIs and equal copy counts the
+	// embedded IPC must be at least the copy-unit IPC.
+	if emb.PartII() == cu.PartII() && emb.Copies.KernelCopies >= cu.Copies.KernelCopies {
+		if emb.ClusteredIPC() < cu.ClusteredIPC() {
+			t.Errorf("embedded IPC %f below copy-unit IPC %f despite counting copies",
+				emb.ClusteredIPC(), cu.ClusteredIPC())
+		}
+	}
+}

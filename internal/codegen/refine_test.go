@@ -1,0 +1,79 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+func TestCompileRefinedNeverWorse(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	improvedSomewhere := false
+	for _, l := range loops {
+		base, err := Compile(l, cfg, Options{SkipAlloc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, stats, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.PartII() > base.PartII() {
+			t.Errorf("%s: refinement regressed II %d -> %d", l.Name, base.PartII(), refined.PartII())
+		}
+		if stats.FinalII > stats.StartII {
+			t.Errorf("%s: stats claim regression: %+v", l.Name, stats)
+		}
+		if refined.PartII() < base.PartII() {
+			improvedSomewhere = true
+		}
+		if err := modulo.Check(refined.PartSched, refined.PartGraph, cfg, modulo.Options{ClusterOf: refined.Copies.ClusterOf}); err != nil {
+			t.Fatalf("%s: refined schedule invalid: %v", l.Name, err)
+		}
+	}
+	if !improvedSomewhere {
+		t.Log("refinement found no strict improvement in this slice (acceptable but worth watching)")
+	}
+}
+
+func TestCompileRefinedMonolithicNoop(t *testing.T) {
+	l := loopgen.Generate(loopgen.Params{N: 1, Seed: 5})[0]
+	res, stats, err := CompileRefined(l, machine.Ideal16(), Options{SkipAlloc: true}, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MovesTried != 0 || res.Degradation() != 100 {
+		t.Errorf("monolithic refinement should be a no-op: %+v", stats)
+	}
+}
+
+func TestCompileRefinedDeterministic(t *testing.T) {
+	l := loopgen.Generate(loopgen.Params{N: 12, Seed: loopgen.DefaultParams().Seed})[7]
+	cfg := machine.MustClustered16(8, machine.Embedded)
+	a, sa, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PartII() != b.PartII() || *sa != *sb {
+		t.Fatalf("refinement nondeterministic: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestCompileRefinedAllocWhenRequested(t *testing.T) {
+	l := loopgen.Generate(loopgen.Params{N: 3, Seed: 5})[2]
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, _, err := CompileRefined(l, cfg, Options{}, RefineOptions{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Alloc) != cfg.Clusters {
+		t.Errorf("refined result missing per-bank allocation")
+	}
+}

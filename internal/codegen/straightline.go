@@ -1,0 +1,134 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+)
+
+// BlockResult is the outcome of compiling straight-line (non-loop) code
+// for a clustered machine: the paper's framework "is global in nature" and
+// applies to whole functions, not only software-pipelined loops; this path
+// drives the Section 4.2 worked example and the whole-function example.
+type BlockResult struct {
+	// Cfg is the clustered target; IdealCfg the matching monolithic one.
+	Cfg, IdealCfg *machine.Config
+	// PartitionerName records the method used.
+	PartitionerName string
+	// IdealGraph and IdealSched are the acyclic DDD and its list schedule
+	// on the monolithic machine.
+	IdealGraph *ddg.Graph
+	IdealSched *sched.Schedule
+	// RCG is the register component graph the partition came from (only
+	// populated for the RCG greedy partitioner).
+	RCG *core.RCG
+	// Assignment maps registers to banks.
+	Assignment *core.Assignment
+	// Copies is the rewritten block with explicit copies (never hoisted —
+	// straight-line code has no preheader).
+	Copies *CopyInsertion
+	// PartGraph and PartSched are the rebuilt DDD and clustered schedule.
+	PartGraph *ddg.Graph
+	PartSched *sched.Schedule
+	// Alloc holds the per-bank coloring results.
+	Alloc []*regalloc.Result
+}
+
+// IdealLength returns the makespan of the ideal schedule in cycles.
+func (r *BlockResult) IdealLength() int { return r.IdealSched.Length }
+
+// PartLength returns the makespan of the clustered schedule in cycles.
+func (r *BlockResult) PartLength() int { return r.PartSched.Length }
+
+// Degradation returns 100*PartLength/IdealLength.
+func (r *BlockResult) Degradation() float64 {
+	return 100 * float64(r.PartLength()) / float64(r.IdealLength())
+}
+
+// CompileBlock runs the pipeline's straight-line variant on a block of
+// code (wrapped in a Loop container for register numbering): list-schedule
+// on the monolithic machine, build the RCG from that ideal schedule,
+// partition, insert copies, re-schedule clustered, and color each bank.
+func CompileBlock(loop *ir.Loop, cfg *machine.Config, opt Options) (*BlockResult, error) {
+	if err := ir.VerifyLoop(loop); err != nil {
+		return nil, err
+	}
+	weights := core.DefaultWeights()
+	if opt.Weights != nil {
+		weights = *opt.Weights
+	}
+	part := opt.Partitioner
+	if part == nil {
+		part = partition.Greedy{}
+	}
+	res := &BlockResult{
+		Cfg:             cfg,
+		IdealCfg:        IdealOf(cfg),
+		PartitionerName: part.Name(),
+	}
+
+	res.IdealGraph = ddg.Build(loop.Body, res.IdealCfg, ddg.Options{Carried: false})
+	idealSched, err := sched.List(res.IdealGraph, res.IdealCfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: ideal list scheduling of %q: %w", loop.Name, err)
+	}
+	res.IdealSched = idealSched
+
+	ideal := core.ScheduledBlock{
+		Block:  loop.Body,
+		Time:   idealSched.Time,
+		Length: idealSched.Length,
+		Slack:  sched.Slack(res.IdealGraph, res.IdealCfg, idealSched.Length),
+	}
+	in := &partition.Input{
+		Block:   loop.Body,
+		Graph:   res.IdealGraph,
+		Ideal:   ideal,
+		Cfg:     cfg,
+		Weights: weights,
+		Pre:     opt.Pre,
+	}
+	if g, ok := part.(partition.Greedy); ok {
+		res.RCG = g.RCG(in)
+	}
+	asg, err := part.Assign(in)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, part.Name(), err)
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	res.Assignment = asg
+
+	work := loop.Clone()
+	res.Copies = InsertCopiesStraightLine(work, asg, cfg)
+	if err := ir.VerifyBlock(res.Copies.Body); err != nil {
+		return nil, fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
+	}
+	res.PartGraph = ddg.Build(res.Copies.Body, cfg, ddg.Options{Carried: false})
+	clusterOf := res.Copies.ClusterOf
+	partSched, err := sched.List(res.PartGraph, cfg, func(i int) int { return clusterOf[i] })
+	if err != nil {
+		return nil, fmt.Errorf("codegen: clustered list scheduling of %q: %w", loop.Name, err)
+	}
+	res.PartSched = partSched
+
+	if !opt.SkipAlloc {
+		ranges := regalloc.BlockRanges(res.PartGraph, res.PartSched)
+		byBank := make([][]regalloc.LiveRange, cfg.Clusters)
+		for _, lr := range ranges {
+			byBank[asg.Bank(lr.Reg)] = append(byBank[asg.Bank(lr.Reg)], lr)
+		}
+		res.Alloc = make([]*regalloc.Result, cfg.Clusters)
+		for b := range byBank {
+			res.Alloc[b] = regalloc.Color(byBank[b], partSched.Length+1, cfg.RegsPerBank)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func reg(id int) ir.Reg { return ir.Reg{ID: id, Class: ir.Int} }
+
+func TestPartitionTotalAndInRange(t *testing.T) {
+	g := Build([]ScheduledBlock{tinySchedule()}, DefaultWeights())
+	for _, banks := range []int{1, 2, 3, 8} {
+		asg, err := g.Partition(banks, DefaultWeights(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := asg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(asg.Of) != len(g.Nodes) {
+			t.Errorf("banks=%d: assigned %d of %d nodes", banks, len(asg.Of), len(g.Nodes))
+		}
+	}
+}
+
+func TestPartitionInvalidBankCount(t *testing.T) {
+	g := NewRCG()
+	if _, err := g.Partition(0, DefaultWeights(), nil); err == nil {
+		t.Error("0 banks accepted")
+	}
+}
+
+func TestCriticalChainStaysTogether(t *testing.T) {
+	// A zero-slack dependence chain (edge weights carrying the critical
+	// bonus) amid slack-rich background registers must stay in one bank:
+	// splitting it would put copy latency on the critical path for no
+	// issue-bandwidth gain. The background edges set the balance unit; the
+	// chain's 4x-heavier edges must override the spreading force.
+	g := NewRCG()
+	for i := 1; i < 5; i++ {
+		g.AddEdge(reg(i), reg(i+1), 400) // critical: zero slack, bonus
+		g.AddNodeWeight(reg(i), 400)
+		g.AddNodeWeight(reg(i+1), 400)
+	}
+	for i := 10; i < 30; i += 2 {
+		g.AddEdge(reg(i), reg(i+1), 100) // background streaming pairs
+		g.AddNodeWeight(reg(i), 100)
+		g.AddNodeWeight(reg(i+1), 100)
+	}
+	asg, err := g.Partition(4, DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := asg.Bank(reg(1))
+	for i := 2; i <= 5; i++ {
+		if asg.Bank(reg(i)) != bank {
+			t.Errorf("critical chain split: r%d in bank %d, r1 in bank %d", i, asg.Bank(reg(i)), bank)
+		}
+	}
+}
+
+func TestBalanceSplitsSlackRichPile(t *testing.T) {
+	// The dual of the critical-chain case: many uniform slack-rich pairs
+	// must not all pile into one bank — Figure 4's balance term spreads
+	// them for issue bandwidth.
+	g := NewRCG()
+	for i := 0; i < 16; i += 2 {
+		g.AddEdge(reg(i+1), reg(i+2), 100)
+		g.AddNodeWeight(reg(i+1), 100)
+		g.AddNodeWeight(reg(i+2), 100)
+	}
+	asg, err := g.Partition(4, DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := asg.Counts()
+	for b, c := range counts {
+		if c > 8 {
+			t.Errorf("bank %d hoards %d of 16 registers: %v", b, c, counts)
+		}
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("no spreading happened: %v", counts)
+	}
+}
+
+func TestAntiAffinitySeparates(t *testing.T) {
+	// Two nodes joined only by a strong negative edge must not share.
+	g := NewRCG()
+	g.AddEdge(reg(1), reg(2), -100)
+	g.AddNodeWeight(reg(1), 10)
+	g.AddNodeWeight(reg(2), 5)
+	asg, err := g.Partition(2, DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Bank(reg(1)) == asg.Bank(reg(2)) {
+		t.Error("anti-affine pair placed together")
+	}
+}
+
+func TestConstrainSeparates(t *testing.T) {
+	g := NewRCG()
+	g.AddEdge(reg(1), reg(2), 1000) // want together...
+	g.Constrain(reg(1), reg(2))     // ...but the machine forbids it
+	g.AddNodeWeight(reg(1), 10)
+	g.AddNodeWeight(reg(2), 5)
+	asg, err := g.Partition(2, DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Bank(reg(1)) == asg.Bank(reg(2)) {
+		t.Error("constrained pair shares a bank")
+	}
+}
+
+func TestPreColoringRespected(t *testing.T) {
+	g := Build([]ScheduledBlock{tinySchedule()}, DefaultWeights())
+	pre := map[ir.Reg]int{reg(1): 1, reg(3): 0}
+	asg, err := g.Partition(2, DefaultWeights(), pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Bank(reg(1)) != 1 || asg.Bank(reg(3)) != 0 {
+		t.Errorf("pre-coloring ignored: r1->%d r3->%d", asg.Bank(reg(1)), asg.Bank(reg(3)))
+	}
+}
+
+func TestPreColoringOutOfRange(t *testing.T) {
+	g := Build([]ScheduledBlock{tinySchedule()}, DefaultWeights())
+	if _, err := g.Partition(2, DefaultWeights(), map[ir.Reg]int{reg(1): 7}); err == nil {
+		t.Error("out-of-range pre-color accepted")
+	}
+}
+
+func TestBalanceSpreadsIsolatedNodes(t *testing.T) {
+	// 12 isolated registers across 4 banks: the balance term must spread
+	// them evenly rather than pile them on bank 0.
+	g := NewRCG()
+	for i := 1; i <= 12; i++ {
+		g.AddNode(reg(i))
+	}
+	asg, err := g.Partition(4, DefaultWeights(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, c := range asg.Counts() {
+		if c != 3 {
+			t.Errorf("bank %d has %d registers, want 3: %v", b, c, asg.Counts())
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := Build([]ScheduledBlock{tinySchedule()}, DefaultWeights())
+	a, _ := g.Partition(2, DefaultWeights(), nil)
+	b, _ := g.Partition(2, DefaultWeights(), nil)
+	for r, bank := range a.Of {
+		if b.Of[r] != bank {
+			t.Fatalf("partition nondeterministic at %s", r)
+		}
+	}
+}
+
+func TestAssignmentDefaultsBankZero(t *testing.T) {
+	asg := &Assignment{Banks: 4, Of: map[ir.Reg]int{}}
+	if asg.Bank(reg(9)) != 0 {
+		t.Error("unknown registers must default to bank 0")
+	}
+}
+
+func TestPartitionPropertyAllAssignedInRange(t *testing.T) {
+	f := func(edges []uint16, banks uint8) bool {
+		nb := int(banks%7) + 1
+		g := NewRCG()
+		for _, e := range edges {
+			a := int(e%23) + 1
+			b := int((e/23)%23) + 1
+			w := float64(int(e%41)) - 20
+			g.AddEdge(reg(a), reg(b), w)
+			g.AddNodeWeight(reg(a), w)
+		}
+		asg, err := g.Partition(nb, DefaultWeights(), nil)
+		if err != nil {
+			return false
+		}
+		if len(asg.Of) != len(g.Nodes) {
+			return false
+		}
+		return asg.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ScheduledBlock is the view of an "ideal schedule" (Section 4.1) that RCG
+// construction consumes: a block plus, for every operation, the instruction
+// it was scheduled into and its scheduling slack. The ideal schedule uses
+// the issue width and latencies of the real machine but assumes a single
+// monolithic multi-ported register bank.
+//
+// For a modulo-scheduled loop, Time is the kernel row (cycle mod II) and
+// Length is the II, so operations issued together in the kernel count as
+// one instruction — exactly the schedule the clustered machine must try to
+// reproduce. For straight-line code, Time is the list-schedule cycle and
+// Length the makespan.
+type ScheduledBlock struct {
+	// Block is the code in program order.
+	Block *ir.Block
+	// Time maps op index to ideal-schedule instruction index.
+	Time []int
+	// Length is the number of instructions in the ideal schedule.
+	Length int
+	// Slack maps op index to its scheduling slack; Flexibility = Slack+1
+	// (Section 5 adds one to avoid dividing by zero).
+	Slack []int
+	// Recurrent optionally marks operations on dependence recurrences;
+	// Weights.RecurrenceBonus amplifies their affinity edges. Nil means no
+	// recurrence information (the paper's original heuristic).
+	Recurrent []bool
+}
+
+// Density returns the block's DDD density: operations per ideal-schedule
+// instruction (Section 5).
+func (sb *ScheduledBlock) Density() float64 {
+	if sb.Length == 0 {
+		return 0
+	}
+	return float64(len(sb.Block.Ops)) / float64(sb.Length)
+}
+
+// RCG is the register component graph. Node identity is the symbolic
+// register; edges accumulate signed weights as described in Section 5.
+type RCG struct {
+	// Nodes lists the registers in deterministic (class, ID) order.
+	Nodes []ir.Reg
+	// NodeWeight accumulates the importance of each node, indexed like Nodes.
+	NodeWeight []float64
+	index      map[ir.Reg]int
+	adj        []map[int]float64
+}
+
+// NewRCG returns an empty graph.
+func NewRCG() *RCG {
+	return &RCG{index: make(map[ir.Reg]int)}
+}
+
+// node interns r, returning its index.
+func (g *RCG) node(r ir.Reg) int {
+	if i, ok := g.index[r]; ok {
+		return i
+	}
+	i := len(g.Nodes)
+	g.index[r] = i
+	g.Nodes = append(g.Nodes, r)
+	g.NodeWeight = append(g.NodeWeight, 0)
+	g.adj = append(g.adj, make(map[int]float64))
+	return i
+}
+
+// NodeIndex returns the index of r and whether it is in the graph.
+func (g *RCG) NodeIndex(r ir.Reg) (int, bool) {
+	i, ok := g.index[r]
+	return i, ok
+}
+
+// AddEdge accumulates weight w on the undirected edge {a, b}. Either adds a
+// new edge or adds w to the current value, per the paper.
+func (g *RCG) AddEdge(a, b ir.Reg, w float64) {
+	if a == b {
+		return
+	}
+	ia, ib := g.node(a), g.node(b)
+	g.adj[ia][ib] += w
+	g.adj[ib][ia] += w
+	// Accumulating into an existing -Inf edge must stay -Inf; the map
+	// arithmetic already guarantees that (x + -Inf == -Inf).
+}
+
+// AddNode ensures r is present even if no operation connects it.
+func (g *RCG) AddNode(r ir.Reg) { g.node(r) }
+
+// AddNodeWeight accumulates w onto r's node weight.
+func (g *RCG) AddNodeWeight(r ir.Reg, w float64) {
+	g.NodeWeight[g.node(r)] += w
+}
+
+// Constrain records that a and b must never share a bank, using the
+// negative-infinity edge weighting the paper describes for machine
+// idiosyncrasies such as "A = B op C where each of A, B and C must be in
+// separate register banks".
+func (g *RCG) Constrain(a, b ir.Reg) { g.AddEdge(a, b, math.Inf(-1)) }
+
+// EdgeWeight returns the accumulated weight between a and b (0 when no
+// edge exists).
+func (g *RCG) EdgeWeight(a, b ir.Reg) float64 {
+	ia, ok := g.index[a]
+	if !ok {
+		return 0
+	}
+	ib, ok := g.index[b]
+	if !ok {
+		return 0
+	}
+	return g.adj[ia][ib]
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *RCG) NumEdges() int {
+	n := 0
+	for _, m := range g.adj {
+		n += len(m)
+	}
+	return n / 2
+}
+
+// Build constructs the RCG of one or more scheduled blocks under the
+// weighting w. Passing all of a function's blocks implements the paper's
+// whole-function partitioning; passing a single loop kernel implements the
+// software-pipelining experiments.
+//
+// For every operation O of instruction I in the ideal schedule:
+//
+//   - for each pair (def, use) of O, an edge with positive weight records
+//     that the two registers should share a bank (they appear as defined
+//     and used in the same operation), and the weight is also added to both
+//     node weights;
+//   - for each pair of registers defined by two distinct operations of the
+//     same instruction I, an edge with negative weight records that the two
+//     registers should live in different banks: they are data independent
+//     and the ideal schedule issued them together, so placing them apart
+//     raises the probability they can issue together on the clustered
+//     machine.
+func Build(blocks []ScheduledBlock, w Weights) *RCG {
+	g := NewRCG()
+	for bi := range blocks {
+		sb := &blocks[bi]
+		density := sb.Density()
+		depth := sb.Block.Depth
+		flex := func(op int) int {
+			if op < len(sb.Slack) {
+				return sb.Slack[op] + 1
+			}
+			return 1
+		}
+		// Edges incident to loop invariants are scaled down: separating an
+		// invariant from its consumer costs one hoisted preheader copy,
+		// not a recurring kernel copy.
+		defined := sb.Block.Defined()
+		scale := func(regs ...ir.Reg) float64 {
+			for _, r := range regs {
+				if !defined[r] {
+					return w.InvariantScale
+				}
+			}
+			return 1
+		}
+		// Ensure every register appears even if isolated.
+		for _, r := range sb.Block.Registers() {
+			g.AddNode(r)
+		}
+		// Group operations by instruction.
+		instrs := make(map[int][]int)
+		var times []int
+		for op, t := range sb.Time {
+			if _, ok := instrs[t]; !ok {
+				times = append(times, t)
+			}
+			instrs[t] = append(instrs[t], op)
+		}
+		sort.Ints(times)
+		for _, t := range times {
+			ops := instrs[t]
+			for _, oi := range ops {
+				op := sb.Block.Ops[oi]
+				aff := w.affinity(density, depth, flex(oi))
+				if w.RecurrenceBonus > 0 && w.RecurrenceBonus != 1 &&
+					oi < len(sb.Recurrent) && sb.Recurrent[oi] {
+					aff *= w.RecurrenceBonus
+				}
+				for _, d := range op.Defs {
+					for _, u := range op.Uses {
+						if d == u {
+							continue
+						}
+						e := aff * scale(d, u)
+						g.AddEdge(d, u, e)
+						g.AddNodeWeight(d, e)
+						g.AddNodeWeight(u, e)
+					}
+				}
+			}
+			for x := 0; x < len(ops); x++ {
+				for y := x + 1; y < len(ops); y++ {
+					o1, o2 := sb.Block.Ops[ops[x]], sb.Block.Ops[ops[y]]
+					anti := w.antiAffinity(density, depth, flex(ops[x]), flex(ops[y]))
+					for _, d1 := range o1.Defs {
+						for _, d2 := range o2.Defs {
+							if d1 == d2 {
+								continue
+							}
+							g.AddEdge(d1, d2, anti*scale(d1, d2))
+						}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Components returns the connected components of the graph's
+// positive-affinity subgraph, each sorted by (class, ID), ordered by their
+// smallest member. Values not connected by positive edges "are good
+// candidates to be assigned to separate register banks" (Section 4.1);
+// negative (anti-affinity) edges express the opposite relation and are
+// ignored here — otherwise any two operations ever scheduled in the same
+// instruction would fuse their components.
+func (g *RCG) Components() [][]ir.Reg {
+	n := len(g.Nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]ir.Reg
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		id := len(comps)
+		stack := []int{i}
+		comp[i] = id
+		var members []ir.Reg
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, g.Nodes[v])
+			for nb, w := range g.adj[v] {
+				if w > 0 && comp[nb] < 0 {
+					comp[nb] = id
+					stack = append(stack, nb)
+				}
+			}
+		}
+		ir.SortRegs(members)
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		ra, rb := comps[a][0], comps[b][0]
+		if ra.Class != rb.Class {
+			return ra.Class < rb.Class
+		}
+		return ra.ID < rb.ID
+	})
+	return comps
+}
+
+// String dumps nodes and edges for debugging.
+func (g *RCG) String() string {
+	var sb strings.Builder
+	for i, r := range g.Nodes {
+		fmt.Fprintf(&sb, "%s (w=%.2f):", r, g.NodeWeight[i])
+		nbs := make([]int, 0, len(g.adj[i]))
+		for nb := range g.adj[i] {
+			nbs = append(nbs, nb)
+		}
+		sort.Ints(nbs)
+		for _, nb := range nbs {
+			fmt.Fprintf(&sb, "  %s=%.2f", g.Nodes[nb], g.adj[i][nb])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// tinySchedule builds the ScheduledBlock for
+//
+//	cycle 0: load r1  |  load r2
+//	cycle 1: add r3, r1, r2
+//
+// with zero slack on every op.
+func tinySchedule() ScheduledBlock {
+	b := &ir.Block{Depth: 1}
+	r1 := ir.Reg{ID: 1, Class: ir.Int}
+	r2 := ir.Reg{ID: 2, Class: ir.Int}
+	r3 := ir.Reg{ID: 3, Class: ir.Int}
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Int, Defs: []ir.Reg{r1}, Mem: &ir.MemRef{Base: "a"}})
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Int, Defs: []ir.Reg{r2}, Mem: &ir.MemRef{Base: "b"}})
+	b.Append(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{r3}, Uses: []ir.Reg{r1, r2}})
+	return ScheduledBlock{Block: b, Time: []int{0, 0, 1}, Length: 2, Slack: []int{0, 0, 0}}
+}
+
+func TestBuildEdgeSigns(t *testing.T) {
+	sb := tinySchedule()
+	g := Build([]ScheduledBlock{sb}, DefaultWeights())
+	r1 := ir.Reg{ID: 1, Class: ir.Int}
+	r2 := ir.Reg{ID: 2, Class: ir.Int}
+	r3 := ir.Reg{ID: 3, Class: ir.Int}
+	if w := g.EdgeWeight(r3, r1); w <= 0 {
+		t.Errorf("def/use edge r3-r1 weight = %f, want positive", w)
+	}
+	if w := g.EdgeWeight(r3, r2); w <= 0 {
+		t.Errorf("def/use edge r3-r2 weight = %f, want positive", w)
+	}
+	if w := g.EdgeWeight(r1, r2); w >= 0 {
+		t.Errorf("same-instruction def/def edge r1-r2 weight = %f, want negative", w)
+	}
+}
+
+func TestBuildNodeWeightsFromAffinityOnly(t *testing.T) {
+	sb := tinySchedule()
+	g := Build([]ScheduledBlock{sb}, DefaultWeights())
+	i3, _ := g.NodeIndex(ir.Reg{ID: 3, Class: ir.Int})
+	i1, _ := g.NodeIndex(ir.Reg{ID: 1, Class: ir.Int})
+	if g.NodeWeight[i3] <= g.NodeWeight[i1] {
+		// r3 participates in two affinity edges, r1 in one.
+		t.Errorf("node weights: r3=%f r1=%f, want r3 > r1", g.NodeWeight[i3], g.NodeWeight[i1])
+	}
+}
+
+func TestCriticalBonusAndFlexibility(t *testing.T) {
+	w := DefaultWeights()
+	critical := w.affinity(2, 1, 1)
+	slack1 := w.affinity(2, 1, 2)
+	if critical <= slack1 {
+		t.Errorf("critical affinity %f must exceed slack-1 affinity %f", critical, slack1)
+	}
+	if ratio := critical / slack1; ratio != 2*w.CriticalBonus {
+		t.Errorf("affinity ratio = %f, want flexibility*bonus = %f", ratio, 2*w.CriticalBonus)
+	}
+}
+
+func TestDepthFactorCapped(t *testing.T) {
+	w := DefaultWeights()
+	if w.depthFactor(0) != 1 {
+		t.Errorf("depth 0 factor = %f", w.depthFactor(0))
+	}
+	if w.depthFactor(1) != w.DepthBase {
+		t.Errorf("depth 1 factor = %f", w.depthFactor(1))
+	}
+	if w.depthFactor(10) != w.depthFactor(w.MaxDepth) {
+		t.Error("depth factor not capped")
+	}
+	if w.depthFactor(-1) != 1 {
+		t.Error("negative depth should clamp to 0")
+	}
+}
+
+func TestAntiAffinityIsNegative(t *testing.T) {
+	w := DefaultWeights()
+	if w.antiAffinity(2, 1, 1, 1) >= 0 {
+		t.Error("anti-affinity must be negative")
+	}
+	if math.Abs(w.antiAffinity(2, 1, 1, 1)) <= math.Abs(w.antiAffinity(2, 1, 4, 4)) {
+		t.Error("anti-affinity must weaken with flexibility")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := NewRCG()
+	a1 := ir.Reg{ID: 1, Class: ir.Int}
+	a2 := ir.Reg{ID: 2, Class: ir.Int}
+	b1 := ir.Reg{ID: 3, Class: ir.Int}
+	b2 := ir.Reg{ID: 4, Class: ir.Int}
+	lone := ir.Reg{ID: 5, Class: ir.Int}
+	g.AddEdge(a1, a2, 1)
+	g.AddEdge(b1, b2, 1)
+	g.AddNode(lone)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 2 || comps[0][0] != a1 {
+		t.Errorf("first component = %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != lone {
+		t.Errorf("isolated component = %v", comps[2])
+	}
+}
+
+func TestComponentsIgnoreNegativeEdges(t *testing.T) {
+	// Anti-affinity says "keep apart"; it must not fuse components.
+	g := NewRCG()
+	a1 := ir.Reg{ID: 1, Class: ir.Int}
+	a2 := ir.Reg{ID: 2, Class: ir.Int}
+	b1 := ir.Reg{ID: 3, Class: ir.Int}
+	g.AddEdge(a1, a2, 5)
+	g.AddEdge(a2, b1, -3) // repulsion only
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want the anti edge ignored", comps)
+	}
+}
+
+func TestEdgeAccumulation(t *testing.T) {
+	g := NewRCG()
+	a := ir.Reg{ID: 1, Class: ir.Int}
+	b := ir.Reg{ID: 2, Class: ir.Int}
+	g.AddEdge(a, b, 2)
+	g.AddEdge(b, a, 3)
+	if w := g.EdgeWeight(a, b); w != 5 {
+		t.Errorf("accumulated edge = %f, want 5", w)
+	}
+	g.AddEdge(a, a, 100) // self edges ignored
+	if _, ok := g.NodeIndex(a); !ok {
+		t.Fatal("node a missing")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestConstrainIsInfinite(t *testing.T) {
+	g := NewRCG()
+	a := ir.Reg{ID: 1, Class: ir.Int}
+	b := ir.Reg{ID: 2, Class: ir.Int}
+	g.Constrain(a, b)
+	if !math.IsInf(g.EdgeWeight(a, b), -1) {
+		t.Error("Constrain must create a -Inf edge")
+	}
+	g.AddEdge(a, b, 1000) // accumulating keeps it -Inf
+	if !math.IsInf(g.EdgeWeight(a, b), -1) {
+		t.Error("-Inf edge lost after accumulation")
+	}
+}
+
+func TestInvariantEdgesScaled(t *testing.T) {
+	// r2 is a live-in invariant: its def/use edge must be InvariantScale
+	// times the computed-value edge.
+	b := &ir.Block{Depth: 1}
+	r1 := ir.Reg{ID: 1, Class: ir.Int} // defined in block
+	r2 := ir.Reg{ID: 2, Class: ir.Int} // invariant
+	r3 := ir.Reg{ID: 3, Class: ir.Int}
+	r4 := ir.Reg{ID: 4, Class: ir.Int}
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Int, Defs: []ir.Reg{r1}, Mem: &ir.MemRef{Base: "a"}})
+	b.Append(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{r3}, Uses: []ir.Reg{r1, r1}})
+	b.Append(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{r4}, Uses: []ir.Reg{r2, r2}})
+	sb := ScheduledBlock{Block: b, Time: []int{0, 1, 1}, Length: 2, Slack: []int{0, 0, 0}}
+	w := DefaultWeights()
+	g := Build([]ScheduledBlock{sb}, w)
+	computed := g.EdgeWeight(r3, r1)
+	invariant := g.EdgeWeight(r4, r2)
+	if invariant >= computed {
+		t.Errorf("invariant edge %f should be far below computed edge %f", invariant, computed)
+	}
+	want := computed * w.InvariantScale
+	if math.Abs(invariant-want) > 1e-9 {
+		t.Errorf("invariant edge = %f, want %f", invariant, want)
+	}
+}
+
+func TestRecurrenceBonusAmplifiesAffinity(t *testing.T) {
+	sb := tinySchedule()
+	sb.Recurrent = []bool{false, false, true} // the add sits on a recurrence
+	plain := Build([]ScheduledBlock{sb}, DefaultWeights())
+	w := DefaultWeights()
+	w.RecurrenceBonus = 4
+	boosted := Build([]ScheduledBlock{sb}, w)
+	r1 := ir.Reg{ID: 1, Class: ir.Int}
+	r3 := ir.Reg{ID: 3, Class: ir.Int}
+	p, b := plain.EdgeWeight(r3, r1), boosted.EdgeWeight(r3, r1)
+	if b != 4*p {
+		t.Errorf("recurrence affinity %f, want 4x the plain %f", b, p)
+	}
+	// Non-recurrent ops are untouched: the loads' anti edge is identical.
+	r2 := ir.Reg{ID: 2, Class: ir.Int}
+	if plain.EdgeWeight(r1, r2) != boosted.EdgeWeight(r1, r2) {
+		t.Error("bonus leaked into non-recurrent edges")
+	}
+}
+
+func TestRecurrenceBonusNeutralAtOne(t *testing.T) {
+	sb := tinySchedule()
+	sb.Recurrent = []bool{true, true, true}
+	a := Build([]ScheduledBlock{sb}, DefaultWeights())
+	w := DefaultWeights()
+	w.RecurrenceBonus = 1
+	b := Build([]ScheduledBlock{sb}, w)
+	for i, r := range a.Nodes {
+		if a.NodeWeight[i] != b.NodeWeight[i] {
+			t.Fatalf("bonus 1 changed node weight of %s", r)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := Build([]ScheduledBlock{tinySchedule()}, DefaultWeights())
+	s := g.String()
+	if !strings.Contains(s, "r3") || !strings.Contains(s, "w=") {
+		t.Errorf("graph dump missing content:\n%s", s)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	sb := tinySchedule()
+	if d := sb.Density(); d != 1.5 {
+		t.Errorf("density = %f, want 3 ops / 2 instrs", d)
+	}
+	empty := ScheduledBlock{Block: &ir.Block{}}
+	if empty.Density() != 0 {
+		t.Error("empty block density must be 0")
+	}
+}

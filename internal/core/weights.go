@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: the register component
+// graph (RCG) and the greedy heuristic that partitions symbolic registers
+// across register banks (Sections 4 and 5).
+//
+// The RCG is an undirected weighted graph whose nodes are the symbolic
+// registers of the program segment and whose edges connect registers that
+// appear in the same operation. Positive edge weight means the two
+// registers want to share a bank (a def and a use of one operation —
+// separating them costs an inter-cluster copy); negative weight means they
+// want different banks (two registers defined in the same instruction of
+// the ideal schedule — placing them together makes it harder to issue the
+// two defining operations simultaneously). All machine-dependent detail is
+// abstracted into these node and edge weights, which is what makes the
+// method retargetable.
+package core
+
+import (
+	"math"
+)
+
+// Weights parameterizes RCG construction and the greedy partitioner's
+// load-balance term. The paper determines both the program characteristics
+// and their coefficients "in an ad hoc manner" and proposes off-line tuning
+// as future work; the printed formulas are OCR-damaged, so this
+// reconstruction keeps the paper's ingredients and exposes every
+// coefficient (see DESIGN.md §3):
+//
+//   - operations scheduled in deeply nested blocks matter more
+//     (DepthBase^depth, capped at MaxDepth);
+//   - dense blocks — more operations per ideal-schedule instruction —
+//     matter more (multiply by DDD density);
+//   - inflexible operations matter more (divide by Flexibility = slack+1),
+//     with an extra CriticalBonus when the operation has no slack at all
+//     (it sits on a critical path of the DDD);
+//   - a def and a use of one operation attract with base Affinity;
+//   - two defs issued in the same instruction of the ideal schedule repel
+//     with base AntiAffinity;
+//   - the partitioner subtracts Balance for every register already assigned
+//     to a candidate bank, spreading registers "somewhat evenly across the
+//     available partitions" (Figure 4).
+type Weights struct {
+	// Affinity is the base weight of def/use same-operation edges.
+	Affinity float64
+	// AntiAffinity is the base magnitude of def/def same-instruction edges
+	// (applied negatively).
+	AntiAffinity float64
+	// CriticalBonus multiplies contributions of zero-slack operations.
+	CriticalBonus float64
+	// DepthBase raises contributions by DepthBase^nestingDepth.
+	DepthBase float64
+	// MaxDepth caps the nesting-depth exponent.
+	MaxDepth int
+	// Balance is subtracted per already-assigned register when evaluating a
+	// candidate bank in choose-best-bank.
+	Balance float64
+	// InvariantScale multiplies edges incident to loop-invariant registers
+	// (live-ins never defined in the block). Copying an invariant across
+	// banks costs a single hoisted preheader copy rather than a
+	// per-iteration kernel copy, so affinity to invariants should barely
+	// influence where computed values live.
+	InvariantScale float64
+	// RecurrenceBonus multiplies the affinity contributed by operations on
+	// dependence recurrences (ScheduledBlock.Recurrent). A copy inserted
+	// into a recurrence lengthens the cycle and raises the II directly —
+	// the insight Nystrom and Eichenberger's partitioner is built on
+	// (Section 6.3) — while the acyclic slack analysis cannot see it
+	// (recurrence ops often carry nonzero slack). 1 disables the term,
+	// reproducing the paper's heuristic; the ablation benchmarks measure
+	// what larger values buy.
+	RecurrenceBonus float64
+}
+
+// DefaultWeights returns the coefficients used for the paper reproduction
+// runs. They were fixed once against the Section 4.2 worked example (the
+// partition must split the example's two multiply chains and cost exactly
+// two copies) and never tuned against the evaluation suite.
+func DefaultWeights() Weights {
+	return Weights{
+		Affinity:        2.0,
+		AntiAffinity:    1.0,
+		CriticalBonus:   2.0,
+		DepthBase:       10.0,
+		MaxDepth:        3,
+		Balance:         0.5,
+		InvariantScale:  0.05,
+		RecurrenceBonus: 1.0,
+	}
+}
+
+// depthFactor returns DepthBase^min(depth, MaxDepth).
+func (w Weights) depthFactor(depth int) float64 {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > w.MaxDepth {
+		depth = w.MaxDepth
+	}
+	return math.Pow(w.DepthBase, float64(depth))
+}
+
+// affinity returns the weight of a def/use edge contributed by an operation
+// with the given flexibility, in a block with the given density and depth.
+func (w Weights) affinity(density float64, depth, flexibility int) float64 {
+	v := w.Affinity * density * w.depthFactor(depth) / float64(flexibility)
+	if flexibility == 1 {
+		v *= w.CriticalBonus
+	}
+	return v
+}
+
+// antiAffinity returns the (negative) weight of a def/def edge between two
+// operations issued in the same ideal-schedule instruction; the combined
+// flexibility is the geometric mean of the two operations'.
+func (w Weights) antiAffinity(density float64, depth, flex1, flex2 int) float64 {
+	flex := math.Sqrt(float64(flex1) * float64(flex2))
+	v := w.AntiAffinity * density * w.depthFactor(depth) / flex
+	if flex1 == 1 && flex2 == 1 {
+		v *= w.CriticalBonus
+	}
+	return -v
+}

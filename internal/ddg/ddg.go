@@ -1,0 +1,309 @@
+// Package ddg builds data dependence graphs (the paper's DDDs) for basic
+// blocks and software-pipelined loops, and computes the minimum initiation
+// interval bounds that drive modulo scheduling: the recurrence-constrained
+// RecMII and the resource-constrained ResMII (Section 2).
+//
+// Register dependences (true, anti, output) are found by a linear scan over
+// the block, including the loop-carried dependences of distance 1 created
+// by values defined in one iteration and used in the next. Memory
+// dependences are resolved with an affine subscript test: references are of
+// the form Base[Coeff*i+Offset], so two references to the same array either
+// provably never collide, collide at a fixed iteration distance, or are
+// treated conservatively.
+package ddg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Kind classifies a dependence edge.
+type Kind uint8
+
+const (
+	// True is a flow dependence: the source defines a register the sink reads.
+	True Kind = iota
+	// Anti orders a read before a subsequent write of the same register.
+	Anti
+	// Output orders two writes of the same register.
+	Output
+	// Mem orders two memory references that may touch the same location.
+	Mem
+)
+
+// String names the dependence kind.
+func (k Kind) String() string {
+	switch k {
+	case True:
+		return "true"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Mem:
+		return "mem"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Edge is a dependence from operation From to operation To (indices into
+// the graph's op slice). In a modulo schedule the constraint it imposes is
+//
+//	time(To) >= time(From) + Latency - II*Distance
+//
+// where Distance is the iteration distance (omega): 0 for intra-iteration
+// dependences, >=1 for loop-carried ones.
+type Edge struct {
+	From, To int
+	Kind     Kind
+	// Latency is the minimum cycle separation at distance 0.
+	Latency int
+	// Distance is the iteration distance (omega).
+	Distance int
+	// Reg is the register carrying a register dependence (zero for Mem).
+	Reg ir.Reg
+}
+
+// Graph is the dependence graph of one block. All distance-0 edges point
+// forward in program order, so every cycle has total distance >= 1 and
+// RecMII is finite.
+type Graph struct {
+	// Ops aliases the block's operations; indices in edges refer to it.
+	Ops []*ir.Op
+	// Out and In are adjacency lists per operation index.
+	Out [][]Edge
+	In  [][]Edge
+	// Carried reports whether loop-carried dependences were included.
+	Carried bool
+	nEdges  int
+}
+
+// Options controls graph construction.
+type Options struct {
+	// Carried includes loop-carried dependences (build the graph for a
+	// software-pipelined loop). Without it the graph is the acyclic DDD of
+	// straight-line code.
+	Carried bool
+	// MemFlowLatency overrides the latency of store-to-load memory
+	// dependences; <=0 means "use the store latency", modeling a value
+	// visible to loads only once the store completes.
+	MemFlowLatency int
+}
+
+// Build constructs the dependence graph of block b under the latency table
+// of cfg.
+func Build(b *ir.Block, cfg *machine.Config, opt Options) *Graph {
+	g := &Graph{
+		Ops:     b.Ops,
+		Out:     make([][]Edge, len(b.Ops)),
+		In:      make([][]Edge, len(b.Ops)),
+		Carried: opt.Carried,
+	}
+	g.addRegisterDeps(cfg, opt)
+	g.addMemoryDeps(cfg, opt)
+	return g
+}
+
+// addEdge records e unless it is a self-edge that cannot constrain any
+// schedule (distance >= 1 self dependences with latency <= distance are
+// satisfied by every II >= 1 only when latency <= II*distance; we keep
+// self-edges with positive latency because they do bound II, e.g. an
+// accumulator's true self-dependence).
+func (g *Graph) addEdge(e Edge) {
+	if e.From == e.To && e.Distance == 0 {
+		return
+	}
+	g.Out[e.From] = append(g.Out[e.From], e)
+	g.In[e.To] = append(g.In[e.To], e)
+	g.nEdges++
+}
+
+// NumEdges returns the number of dependence edges.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
+	type regState struct {
+		firstDef  int // first def in program order, -1 if none
+		lastDef   int // most recent def during the scan, -1 if none
+		usesSince []int
+		allUses   []int
+	}
+	states := make(map[ir.Reg]*regState)
+	state := func(r ir.Reg) *regState {
+		s := states[r]
+		if s == nil {
+			s = &regState{firstDef: -1, lastDef: -1}
+			states[r] = s
+		}
+		return s
+	}
+
+	for i, op := range g.Ops {
+		for _, u := range op.Uses {
+			s := state(u)
+			if s.lastDef >= 0 {
+				g.addEdge(Edge{
+					From: s.lastDef, To: i, Kind: True,
+					Latency: cfg.Latency(g.Ops[s.lastDef]), Reg: u,
+				})
+			}
+			s.usesSince = append(s.usesSince, i)
+			s.allUses = append(s.allUses, i)
+		}
+		for _, d := range op.Defs {
+			s := state(d)
+			if s.lastDef >= 0 {
+				g.addEdge(Edge{From: s.lastDef, To: i, Kind: Output, Latency: 1, Reg: d})
+			}
+			for _, j := range s.usesSince {
+				if j != i {
+					g.addEdge(Edge{From: j, To: i, Kind: Anti, Latency: 0, Reg: d})
+				}
+			}
+			if s.firstDef < 0 {
+				s.firstDef = i
+			}
+			s.lastDef = i
+			s.usesSince = nil
+		}
+	}
+
+	if !opt.Carried {
+		return
+	}
+	// Loop-carried register dependences at distance 1: the last def of an
+	// iteration reaches uses that precede the first def of the next
+	// iteration (upward-exposed uses). These carried TRUE dependences are
+	// the recurrences that bound RecMII.
+	//
+	// Carried ANTI and OUTPUT register dependences are deliberately not
+	// emitted: they would force every value's lifetime under the II and
+	// rigidly lock schedules (a triad lane's five ops would all be pinned
+	// to one kernel row). Rau's modulo scheduling instead assumes the
+	// register allocator renames overlapping lifetimes — rotating
+	// registers or modulo variable expansion — and the allocator in
+	// internal/regalloc does exactly that, charging ceil(lifetime/II)
+	// physical registers per value.
+	for _, s := range states {
+		if s.lastDef < 0 {
+			continue // pure live-in (loop invariant): no carried edge
+		}
+		for _, j := range s.allUses {
+			// A use is upward exposed when it precedes every def of the
+			// register. A use inside the first defining op itself (an
+			// accumulator like "add r6, r6, r5") also reads the previous
+			// iteration's value, because uses read before defs write; that
+			// self-edge with distance 1 is exactly the recurrence that
+			// bounds RecMII.
+			if j <= s.firstDef {
+				g.addEdge(Edge{
+					From: s.lastDef, To: j, Kind: True, Distance: 1,
+					Latency: cfg.Latency(g.Ops[s.lastDef]),
+					Reg:     g.Ops[s.lastDef].Def(),
+				})
+			}
+		}
+	}
+}
+
+func (g *Graph) addMemoryDeps(cfg *machine.Config, opt Options) {
+	flowLat := opt.MemFlowLatency
+	if flowLat <= 0 {
+		flowLat = cfg.Lat.Store
+	}
+	type memOp struct {
+		idx int
+		op  *ir.Op
+	}
+	byBase := make(map[string][]memOp)
+	var order []string
+	for i, op := range g.Ops {
+		if op.Mem == nil {
+			continue
+		}
+		if _, ok := byBase[op.Mem.Base]; !ok {
+			order = append(order, op.Mem.Base)
+		}
+		byBase[op.Mem.Base] = append(byBase[op.Mem.Base], memOp{i, op})
+	}
+	for _, base := range order {
+		refs := byBase[base]
+		for a := 0; a < len(refs); a++ {
+			for b := a + 1; b < len(refs); b++ {
+				g.memPair(refs[a].idx, refs[b].idx, flowLat, opt.Carried)
+			}
+		}
+	}
+}
+
+// memPair adds dependences between memory ops i < j (program order).
+func (g *Graph) memPair(i, j, flowLat int, carried bool) {
+	oi, oj := g.Ops[i], g.Ops[j]
+	if oi.Code == ir.Load && oj.Code == ir.Load {
+		return // load-load pairs never conflict
+	}
+	lat := func(from *ir.Op) int {
+		if from.Code == ir.Store {
+			return flowLat // store -> later access: wait for the write
+		}
+		return 1 // load -> store: ordering only
+	}
+	mi, mj := oi.Mem, oj.Mem
+	switch {
+	case mi.Coeff == mj.Coeff && mi.Coeff != 0:
+		// Both strided identically: i at iteration k and j at iteration k'
+		// collide when Coeff*k+Oi == Coeff*k'+Oj, i.e. k'-k = (Oi-Oj)/Coeff.
+		diff := mi.Offset - mj.Offset
+		if diff%mi.Coeff != 0 {
+			return // provably never alias
+		}
+		d := diff / mi.Coeff
+		switch {
+		case d == 0:
+			g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+		case d > 0:
+			// j in a later iteration touches what i touched: i -> j, omega d.
+			if carried {
+				g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi), Distance: d})
+			}
+		default:
+			// i in a later iteration touches what j touched: j -> i, omega -d.
+			if carried {
+				g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: -d})
+			}
+		}
+	case mi.Coeff == 0 && mj.Coeff == 0:
+		if mi.Offset != mj.Offset {
+			return // distinct scalars
+		}
+		g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+		if carried {
+			g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
+		}
+	default:
+		// Differing strides (or strided vs. invariant): conservative.
+		g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+		if carried {
+			g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
+		}
+	}
+}
+
+// String dumps the graph edges for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for i, outs := range g.Out {
+		for _, e := range outs {
+			fmt.Fprintf(&sb, "%3d -> %3d  %-6s lat=%d omega=%d", i, e.To, e.Kind, e.Latency, e.Distance)
+			if e.Reg != ir.NoReg {
+				fmt.Fprintf(&sb, " (%s)", e.Reg)
+			}
+			fmt.Fprintf(&sb, "  [%s -> %s]\n", g.Ops[e.From], g.Ops[e.To])
+		}
+	}
+	return sb.String()
+}

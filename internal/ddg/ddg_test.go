@@ -1,0 +1,237 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func cfg() *machine.Config { return machine.Ideal16() }
+
+// findEdge returns the first edge from->to of the given kind.
+func findEdge(g *Graph, from, to int, kind Kind) (Edge, bool) {
+	for _, e := range g.Out[from] {
+		if e.To == to && e.Kind == kind {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+func TestTrueDependence(t *testing.T) {
+	l := ir.NewLoop("t")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Add(x, x)
+	_ = y
+	g := Build(l.Body, cfg(), Options{})
+	e, ok := findEdge(g, 0, 1, True)
+	if !ok {
+		t.Fatal("missing true edge load->add")
+	}
+	if e.Latency != 2 {
+		t.Errorf("true edge latency = %d, want load latency 2", e.Latency)
+	}
+	if e.Distance != 0 {
+		t.Errorf("distance = %d", e.Distance)
+	}
+}
+
+func TestAntiAndOutputDependences(t *testing.T) {
+	l := ir.NewLoop("ao")
+	b := ir.NewLoopBuilder(l)
+	x := l.NewReg(ir.Int)
+	y := l.NewReg(ir.Int)
+	// op0: x = y + y (reads y)
+	b.Emit(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{x}, Uses: []ir.Reg{y, y}})
+	// op1: y = x + x (anti on y wrt op0)
+	b.Emit(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{y}, Uses: []ir.Reg{x, x}})
+	// op2: y = x + x again (output on y wrt op1)
+	b.Emit(&ir.Op{Code: ir.Add, Class: ir.Int, Defs: []ir.Reg{y}, Uses: []ir.Reg{x, x}})
+	g := Build(l.Body, cfg(), Options{})
+	if _, ok := findEdge(g, 0, 1, Anti); !ok {
+		t.Error("missing anti edge op0->op1 on y")
+	}
+	if e, ok := findEdge(g, 1, 2, Output); !ok || e.Latency != 1 {
+		t.Errorf("missing/wrong output edge op1->op2: %+v ok=%v", e, ok)
+	}
+	if _, ok := findEdge(g, 0, 1, True); !ok {
+		t.Error("missing true edge op0->op1 on x")
+	}
+}
+
+func TestCarriedTrueDependenceAccumulator(t *testing.T) {
+	l := ir.NewLoop("acc")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	ld := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld) // op1: acc = acc + ld
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	e, ok := findEdge(g, 1, 1, True)
+	if !ok {
+		t.Fatal("missing carried self true edge on the accumulator")
+	}
+	if e.Distance != 1 || e.Latency != 2 {
+		t.Errorf("self edge lat=%d omega=%d, want lat=2 omega=1", e.Latency, e.Distance)
+	}
+	// RecMII must equal the float add latency (2).
+	if got := g.RecMII(); got != 2 {
+		t.Errorf("RecMII = %d, want 2", got)
+	}
+}
+
+func TestNoCarriedAntiOrOutput(t *testing.T) {
+	// Modulo variable expansion renames lifetimes, so the graph must not
+	// contain carried anti/output register edges (see the package doc).
+	l := ir.NewLoop("n")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Add(x, x)
+	b.Store(y, ir.MemRef{Base: "c", Coeff: 1})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	for from := range g.Out {
+		for _, e := range g.Out[from] {
+			if e.Distance > 0 && (e.Kind == Anti || e.Kind == Output) {
+				t.Errorf("carried %s edge %d->%d should not exist", e.Kind, from, e.To)
+			}
+		}
+	}
+}
+
+func TestCarriedDisabledWithoutFlag(t *testing.T) {
+	l := ir.NewLoop("flag")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	ld := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	g := Build(l.Body, cfg(), Options{})
+	for from := range g.Out {
+		for _, e := range g.Out[from] {
+			if e.Distance != 0 {
+				t.Errorf("carried edge %d->%d built without Carried option", from, e.To)
+			}
+		}
+	}
+}
+
+func TestMemorySameLocation(t *testing.T) {
+	l := ir.NewLoop("m")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1, Offset: 0})
+	b.Store(x, ir.MemRef{Base: "a", Coeff: 1, Offset: 0})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if _, ok := findEdge(g, 0, 1, Mem); !ok {
+		t.Error("missing same-location load->store mem edge")
+	}
+}
+
+func TestMemoryProvablyDisjoint(t *testing.T) {
+	l := ir.NewLoop("d")
+	b := ir.NewLoopBuilder(l)
+	// a[2i] and a[2i+1] never collide.
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 2, Offset: 0})
+	b.Store(x, ir.MemRef{Base: "a", Coeff: 2, Offset: 1})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if _, ok := findEdge(g, 0, 1, Mem); ok {
+		t.Error("disjoint strided refs got a mem edge")
+	}
+	if _, ok := findEdge(g, 1, 0, Mem); ok {
+		t.Error("disjoint strided refs got a reverse mem edge")
+	}
+}
+
+func TestMemoryCarriedDistance(t *testing.T) {
+	l := ir.NewLoop("c")
+	b := ir.NewLoopBuilder(l)
+	// load a[i-2]; store a[i]: the store reaches the load 2 iterations on.
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1, Offset: -2})
+	b.Store(x, ir.MemRef{Base: "a", Coeff: 1, Offset: 0})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	e, ok := findEdge(g, 1, 0, Mem)
+	if !ok {
+		t.Fatal("missing carried store->load mem edge")
+	}
+	if e.Distance != 2 {
+		t.Errorf("mem distance = %d, want 2", e.Distance)
+	}
+	if e.Latency != cfg().Lat.Store {
+		t.Errorf("store->load latency = %d, want store latency %d", e.Latency, cfg().Lat.Store)
+	}
+}
+
+func TestMemoryDifferentBasesIndependent(t *testing.T) {
+	l := ir.NewLoop("b")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	b.Store(x, ir.MemRef{Base: "b", Coeff: 1})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if _, ok := findEdge(g, 0, 1, Mem); ok {
+		t.Error("different arrays must not conflict")
+	}
+}
+
+func TestMemoryLoadLoadNoEdge(t *testing.T) {
+	l := ir.NewLoop("ll")
+	b := ir.NewLoopBuilder(l)
+	b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if g.NumEdges() != 0 {
+		t.Errorf("load-load pair produced %d edges", g.NumEdges())
+	}
+}
+
+func TestMemoryConservativeMixedStride(t *testing.T) {
+	l := ir.NewLoop("mx")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 2, Offset: 0})
+	b.Store(x, ir.MemRef{Base: "a", Coeff: 3, Offset: 1})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if _, ok := findEdge(g, 0, 1, Mem); !ok {
+		t.Error("mixed strides must be conservatively dependent (forward)")
+	}
+	if e, ok := findEdge(g, 1, 0, Mem); !ok || e.Distance != 1 {
+		t.Error("mixed strides must be conservatively dependent (carried reverse)")
+	}
+}
+
+func TestScalarStoreStoreCycle(t *testing.T) {
+	l := ir.NewLoop("ss")
+	b := ir.NewLoopBuilder(l)
+	x := b.Imm(ir.Int, 1)
+	b.Store(x, ir.MemRef{Base: "s", Coeff: 0, Offset: 0})
+	b.Store(x, ir.MemRef{Base: "s", Coeff: 0, Offset: 0})
+	g := Build(l.Body, cfg(), Options{Carried: true})
+	if _, ok := findEdge(g, 1, 2, Mem); !ok {
+		t.Error("same scalar stores need an ordering edge")
+	}
+	if e, ok := findEdge(g, 2, 1, Mem); !ok || e.Distance != 1 {
+		t.Error("same scalar stores need a carried reverse edge")
+	}
+	if got := g.RecMII(); got < 2 {
+		t.Errorf("scalar store-store recurrence RecMII = %d, want >= 2", got)
+	}
+}
+
+func TestDistanceZeroEdgesForward(t *testing.T) {
+	// Invariant: every distance-0 edge points forward in program order,
+	// making the intra-iteration subgraph acyclic.
+	loops := []*ir.Loop{}
+	for i := 0; i < 5; i++ {
+		l := ir.NewLoop("p")
+		b := ir.NewLoopBuilder(l)
+		acc := l.NewReg(ir.Float)
+		x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+		y := b.Mul(x, x)
+		b.AddInto(acc, acc, y)
+		b.Store(acc, ir.MemRef{Base: "c", Coeff: 1})
+		loops = append(loops, l)
+	}
+	for _, l := range loops {
+		g := Build(l.Body, cfg(), Options{Carried: true})
+		if !g.Acyclic() {
+			t.Fatalf("distance-0 subgraph cyclic:\n%s", g)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package ddg
+
+// This file finds the dependence graph's recurrences: the strongly
+// connected components of the full (distance-inclusive) graph. Nystrom and
+// Eichenberger's partitioner is built around them — "they try to prevent
+// inserting copies that will lengthen the recurrence constraint" — and the
+// reproduction exposes the same information for diagnostics and for the
+// optional recurrence-aware weighting in internal/core.
+
+// SCCs returns the strongly connected components of the graph (Tarjan's
+// algorithm, iterative), ordered by their smallest member. Components of
+// size one are included only when the operation has a self-edge (a
+// one-operation recurrence such as an accumulator).
+func (g *Graph) SCCs() [][]int {
+	n := len(g.Ops)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var out [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.Out[f.v]) {
+				w := g.Out[f.v][f.ei].To
+				f.ei++
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Done with v: pop, propagate lowlink, maybe emit component.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 || g.hasSelfEdge(comp[0]) {
+					// Sorted small-to-large for deterministic output.
+					sortInts(comp)
+					out = append(out, comp)
+				}
+			}
+		}
+	}
+	sortBySmallest(out)
+	return out
+}
+
+func (g *Graph) hasSelfEdge(v int) bool {
+	for _, e := range g.Out[v] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RecurrenceOps returns the set of operations participating in any
+// recurrence.
+func (g *Graph) RecurrenceOps() []bool {
+	out := make([]bool, len(g.Ops))
+	for _, comp := range g.SCCs() {
+		for _, v := range comp {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// RecMIIOf returns the recurrence bound considering only the cycles inside
+// the given component — the per-recurrence criticality used by diagnostics.
+func (g *Graph) RecMIIOf(comp []int) int {
+	in := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	sub := &Graph{
+		Ops: g.Ops,
+		Out: make([][]Edge, len(g.Ops)),
+		In:  make([][]Edge, len(g.Ops)),
+	}
+	for v := range g.Out {
+		if !in[v] {
+			continue
+		}
+		for _, e := range g.Out[v] {
+			if in[e.To] {
+				sub.Out[v] = append(sub.Out[v], e)
+				sub.In[e.To] = append(sub.In[e.To], e)
+			}
+		}
+	}
+	return sub.RecMII()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortBySmallest(comps [][]int) {
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j][0] < comps[j-1][0]; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func TestSCCsAccumulator(t *testing.T) {
+	l := ir.NewLoop("acc")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	ld := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	g := Build(l.Body, machine.Ideal16(), Options{Carried: true})
+	sccs := g.SCCs()
+	if len(sccs) != 1 || len(sccs[0]) != 1 || sccs[0][0] != 1 {
+		t.Fatalf("SCCs = %v, want the self-recurrent add alone", sccs)
+	}
+	if got := g.RecMIIOf(sccs[0]); got != 2 {
+		t.Errorf("component RecMII = %d, want 2", got)
+	}
+	rec := g.RecurrenceOps()
+	if rec[0] || !rec[1] {
+		t.Errorf("recurrence ops = %v", rec)
+	}
+}
+
+func TestSCCsMemoryCycle(t *testing.T) {
+	// x[i] = x[i-1] + b[i]: the load, add and store form one component.
+	l := ir.NewLoop("mr")
+	b := ir.NewLoopBuilder(l)
+	prev := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: -1})
+	lb := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	s := b.Add(prev, lb)
+	b.Store(s, ir.MemRef{Base: "x", Coeff: 1})
+	g := Build(l.Body, machine.Ideal16(), Options{Carried: true})
+	sccs := g.SCCs()
+	if len(sccs) != 1 {
+		t.Fatalf("SCCs = %v", sccs)
+	}
+	want := []int{0, 2, 3} // prev load, add, store; the b load streams
+	if len(sccs[0]) != 3 {
+		t.Fatalf("component = %v, want %v", sccs[0], want)
+	}
+	for i, v := range want {
+		if sccs[0][i] != v {
+			t.Fatalf("component = %v, want %v", sccs[0], want)
+		}
+	}
+	if got := g.RecMIIOf(sccs[0]); got != g.RecMII() {
+		t.Errorf("single-recurrence loop: component bound %d vs graph %d", got, g.RecMII())
+	}
+}
+
+func TestSCCsAcyclic(t *testing.T) {
+	l := ir.NewLoop("st")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.Store(b.Mul(x, x), ir.MemRef{Base: "c", Coeff: 1})
+	g := Build(l.Body, machine.Ideal16(), Options{Carried: true})
+	if sccs := g.SCCs(); len(sccs) != 0 {
+		t.Errorf("streaming loop has recurrences: %v", sccs)
+	}
+}
+
+func TestSCCsConsistentWithRecMII(t *testing.T) {
+	// The graph RecMII equals the max over its components' bounds.
+	cfg := machine.Ideal16()
+	for _, l := range loopgen.Generate(loopgen.Params{N: 30, Seed: 53}) {
+		g := Build(l.Body, cfg, Options{Carried: true})
+		max := 1
+		for _, comp := range g.SCCs() {
+			if v := g.RecMIIOf(comp); v > max {
+				max = v
+			}
+		}
+		if got := g.RecMII(); got != max {
+			t.Errorf("%s: RecMII %d, component max %d", l.Name, got, max)
+		}
+	}
+}

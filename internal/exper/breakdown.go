@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ArchetypeRow summarizes one loop family within a suite run.
+type ArchetypeRow struct {
+	Name  string
+	Loops int
+	// MeanIdealIPC and MeanDegradation aggregate the family.
+	MeanIdealIPC    float64
+	MeanDegradation float64
+	// ZeroPercent is the share of the family with no degradation.
+	ZeroPercent float64
+	// MeanCopies is kernel copies per loop.
+	MeanCopies float64
+}
+
+// Breakdown groups a config's outcomes by loop archetype (the suffix of
+// the generated loop name) and aggregates each family. It answers the
+// analysis question the paper's aggregate tables cannot: which kinds of
+// loops pay for partitioning — the answer being recurrence-free streaming
+// code barely pays while tightly coupled dataflow (butterflies, shared
+// subexpressions) and narrow serial loops pay most.
+func Breakdown(cr *ConfigResult) []ArchetypeRow {
+	type acc struct {
+		ipc, deg, copies []float64
+		zero             int
+	}
+	groups := make(map[string]*acc)
+	for _, o := range cr.Outcomes {
+		if o.Err != nil {
+			continue
+		}
+		name := o.Loop
+		if i := strings.LastIndex(name, "."); i >= 0 {
+			name = name[i+1:]
+		}
+		g := groups[name]
+		if g == nil {
+			g = &acc{}
+			groups[name] = g
+		}
+		g.ipc = append(g.ipc, o.IdealIPC)
+		g.deg = append(g.deg, o.Degradation)
+		g.copies = append(g.copies, float64(o.KernelCopies))
+		if o.PartII == o.IdealII {
+			g.zero++
+		}
+	}
+	rows := make([]ArchetypeRow, 0, len(groups))
+	for name, g := range groups {
+		rows = append(rows, ArchetypeRow{
+			Name:            name,
+			Loops:           len(g.deg),
+			MeanIdealIPC:    stats.Mean(g.ipc),
+			MeanDegradation: stats.Mean(g.deg),
+			ZeroPercent:     100 * float64(g.zero) / float64(len(g.deg)),
+			MeanCopies:      stats.Mean(g.copies),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MeanDegradation != rows[j].MeanDegradation {
+			return rows[i].MeanDegradation > rows[j].MeanDegradation
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// FormatBreakdown renders the archetype table for one config.
+func FormatBreakdown(cr *ConfigResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-archetype breakdown on %s:\n", cr.Cfg.Name)
+	fmt.Fprintf(&sb, "%-12s %6s %9s %9s %7s %8s\n", "archetype", "loops", "idealIPC", "meanDeg", "zero%", "copies")
+	for _, r := range Breakdown(cr) {
+		fmt.Fprintf(&sb, "%-12s %6d %9.2f %9.0f %6.1f%% %8.1f\n",
+			r.Name, r.Loops, r.MeanIdealIPC, r.MeanDegradation, r.ZeroPercent, r.MeanCopies)
+	}
+	return sb.String()
+}

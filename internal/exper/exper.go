@@ -1,0 +1,311 @@
+// Package exper is the experiment harness: it runs the loop suite through
+// the code-generation pipeline for each evaluated machine and regenerates
+// every table and figure of the paper's Section 6 — Table 1 (IPC of
+// clustered software pipelines), Table 2 (degradation over ideal
+// schedules, normalized) and Figures 5-7 (histograms of per-loop
+// degradation for the 2-, 4- and 8-cluster machines).
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// LoopOutcome records one loop compiled for one machine.
+type LoopOutcome struct {
+	Loop string
+	// Ops is the kernel operation count before copies; KernelCopies and
+	// InvariantCopies count the inserted copies.
+	Ops, KernelCopies, InvariantCopies int
+	// IdealII and PartII are the initiation intervals before and after
+	// partitioning.
+	IdealII, PartII int
+	// IdealIPC and ClusterIPC are kernel operations per cycle; ClusterIPC
+	// counts copies only under the embedded model, as in Table 1.
+	IdealIPC, ClusterIPC float64
+	// Degradation is 100*PartII/IdealII (100 = no degradation).
+	Degradation float64
+	// Spills and MaxPressure summarize the per-bank register allocation.
+	Spills, MaxPressure int
+	// Err records a pipeline failure (nil outcomes are excluded from
+	// aggregates and reported).
+	Err error
+}
+
+// ConfigResult aggregates a full suite run on one machine.
+type ConfigResult struct {
+	Cfg      *machine.Config
+	Method   string
+	Outcomes []LoopOutcome
+}
+
+// Degradations returns the per-loop slowdown percentages (0 = none).
+func (cr *ConfigResult) Degradations() []float64 {
+	out := make([]float64, 0, len(cr.Outcomes))
+	for _, o := range cr.Outcomes {
+		if o.Err == nil {
+			out = append(out, o.Degradation-100)
+		}
+	}
+	return out
+}
+
+// normalized returns the per-loop degradations on the paper's 100-based
+// scale.
+func (cr *ConfigResult) normalized() []float64 {
+	out := make([]float64, 0, len(cr.Outcomes))
+	for _, o := range cr.Outcomes {
+		if o.Err == nil {
+			out = append(out, o.Degradation)
+		}
+	}
+	return out
+}
+
+// MeanDegradation returns (arithmetic, harmonic) means of the normalized
+// degradation — one Table 2 cell pair.
+func (cr *ConfigResult) MeanDegradation() (arith, harmonic float64) {
+	n := cr.normalized()
+	return stats.Mean(n), stats.HarmonicMean(n)
+}
+
+// MeanIdealIPC returns the suite's mean ideal IPC (Table 1 "Ideal" row).
+func (cr *ConfigResult) MeanIdealIPC() float64 {
+	var xs []float64
+	for _, o := range cr.Outcomes {
+		if o.Err == nil {
+			xs = append(xs, o.IdealIPC)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// MeanClusterIPC returns the suite's mean clustered IPC (Table 1
+// "Clustered" row).
+func (cr *ConfigResult) MeanClusterIPC() float64 {
+	var xs []float64
+	for _, o := range cr.Outcomes {
+		if o.Err == nil {
+			xs = append(xs, o.ClusterIPC)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// ZeroDegradationPercent returns the percentage of loops scheduled with no
+// degradation at all — the headline number of the Nystrom/Eichenberger
+// comparison in Section 6.3.
+func (cr *ConfigResult) ZeroDegradationPercent() float64 {
+	n, zero := 0, 0
+	for _, o := range cr.Outcomes {
+		if o.Err != nil {
+			continue
+		}
+		n++
+		if o.PartII == o.IdealII {
+			zero++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(zero) / float64(n)
+}
+
+// Errors returns the failed loops, if any.
+func (cr *ConfigResult) Errors() []error {
+	var errs []error
+	for _, o := range cr.Outcomes {
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("%s on %s: %w", o.Loop, cr.Cfg.Name, o.Err))
+		}
+	}
+	return errs
+}
+
+// Options tunes a suite run.
+type Options struct {
+	// Codegen is forwarded to the pipeline (partitioner, weights, budget).
+	Codegen codegen.Options
+	// Workers bounds the parallel compilations; <=0 uses GOMAXPROCS.
+	Workers int
+}
+
+// RunSuite compiles every loop for every machine, in parallel across
+// loops, and returns one ConfigResult per machine in the given order.
+// Output is deterministic: outcomes are indexed by loop position and the
+// pipeline itself has no randomness.
+func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigResult {
+	results := make([]*ConfigResult, len(cfgs))
+	for ci, cfg := range cfgs {
+		method := "rcg-greedy"
+		if opt.Codegen.Partitioner != nil {
+			method = opt.Codegen.Partitioner.Name()
+		}
+		cr := &ConfigResult{Cfg: cfg, Method: method, Outcomes: make([]LoopOutcome, len(loops))}
+		runConfig(loops, cfg, opt, cr)
+		results[ci] = cr
+	}
+	return results
+}
+
+func runConfig(loops []*ir.Loop, cfg *machine.Config, opt Options, cr *ConfigResult) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(loops) {
+		workers = len(loops)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cr.Outcomes[i] = compileOne(loops[i], cfg, opt.Codegen)
+			}
+		}()
+	}
+	for i := range loops {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+func compileOne(loop *ir.Loop, cfg *machine.Config, opt codegen.Options) LoopOutcome {
+	res, err := codegen.Compile(loop, cfg, opt)
+	if err != nil {
+		return LoopOutcome{Loop: loop.Name, Err: err}
+	}
+	return LoopOutcome{
+		Loop:            loop.Name,
+		Ops:             len(loop.Body.Ops),
+		KernelCopies:    res.Copies.KernelCopies,
+		InvariantCopies: res.Copies.InvariantCopies,
+		IdealII:         res.IdealII(),
+		PartII:          res.PartII(),
+		IdealIPC:        res.IdealIPC(),
+		ClusterIPC:      res.ClusteredIPC(),
+		Degradation:     res.Degradation(),
+		Spills:          res.Spills(),
+		MaxPressure:     res.MaxPressure(),
+	}
+}
+
+// Table1 renders the IPC table in the paper's layout: one "Ideal" row and
+// one "Clustered" row, columns 2/4/8 clusters x embedded/copy-unit.
+// Results must come from PaperConfigs-ordered runs.
+func Table1(results []*ConfigResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. IPC of Clustered Software Pipelines\n")
+	sb.WriteString(header(results))
+	fmt.Fprintf(&sb, "%-15s", "Ideal")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %9.1f", r.MeanIdealIPC())
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-15s", "Clustered")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %9.1f", r.MeanClusterIPC())
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Table2 renders the normalized degradation table: arithmetic and harmonic
+// means, 100 = ideal.
+func Table2(results []*ConfigResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Degradation Over Ideal Schedules - Normalized\n")
+	sb.WriteString(header(results))
+	fmt.Fprintf(&sb, "%-15s", "Arithmetic Mean")
+	for _, r := range results {
+		a, _ := r.MeanDegradation()
+		fmt.Fprintf(&sb, "  %9.0f", a)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-15s", "Harmonic Mean")
+	for _, r := range results {
+		_, h := r.MeanDegradation()
+		fmt.Fprintf(&sb, "  %9.0f", h)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func header(results []*ConfigResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-15s", "")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "  %9s", fmt.Sprintf("%dcl/%s", r.Cfg.Clusters, shortModel(r.Cfg.Model)))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func shortModel(m machine.CopyModel) string {
+	if m == machine.CopyUnit {
+		return "cu"
+	}
+	return "emb"
+}
+
+// Figure renders the degradation histogram for all results with the given
+// cluster count — Figure 5 (2 clusters), 6 (4) or 7 (8).
+func Figure(results []*ConfigResult, clusters int) string {
+	rows := make(map[string][]float64)
+	for _, r := range results {
+		if r.Cfg.Clusters == clusters {
+			rows[r.Cfg.Model.String()] = stats.Histogram(r.Degradations())
+		}
+	}
+	title := fmt.Sprintf("Achieved II on %d Clusters with %d Units Each (percent of loops per degradation bucket)",
+		clusters, 16/clusters)
+	return stats.FormatHistogram(title, rows)
+}
+
+// Summary renders a per-config overview: mean IPCs, mean degradation,
+// zero-degradation share, copies and spills.
+func Summary(results []*ConfigResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %8s %8s %8s %8s %7s %8s %7s\n",
+		"machine", "IdealIPC", "ClusIPC", "ArithDeg", "HarmDeg", "Zero%", "Copies", "Spills")
+	for _, r := range results {
+		a, h := r.MeanDegradation()
+		copies, spills := 0, 0
+		for _, o := range r.Outcomes {
+			copies += o.KernelCopies
+			spills += o.Spills
+		}
+		fmt.Fprintf(&sb, "%-36s %8.2f %8.2f %8.0f %8.0f %6.1f%% %8d %7d\n",
+			r.Cfg.Name, r.MeanIdealIPC(), r.MeanClusterIPC(), a, h, r.ZeroDegradationPercent(), copies, spills)
+	}
+	return sb.String()
+}
+
+// SortedByDegradation returns outcome indices ordered worst-first, for the
+// swpc tool's per-loop reporting.
+func (cr *ConfigResult) SortedByDegradation() []int {
+	idx := make([]int, len(cr.Outcomes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return cr.Outcomes[idx[a]].Degradation > cr.Outcomes[idx[b]].Degradation
+	})
+	return idx
+}

@@ -1,0 +1,318 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func smallRun(t *testing.T, n int) []*ConfigResult {
+	t.Helper()
+	loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
+	return RunSuite(loops, machine.PaperConfigs(), Options{
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+}
+
+func TestRunSuiteShape(t *testing.T) {
+	results := smallRun(t, 20)
+	if len(results) != 6 {
+		t.Fatalf("results for %d configs, want 6", len(results))
+	}
+	for _, r := range results {
+		if len(r.Outcomes) != 20 {
+			t.Fatalf("%s: %d outcomes", r.Cfg.Name, len(r.Outcomes))
+		}
+		if errs := r.Errors(); len(errs) != 0 {
+			t.Fatalf("%s: %v", r.Cfg.Name, errs[0])
+		}
+		for _, o := range r.Outcomes {
+			if o.Degradation < 100 {
+				t.Errorf("%s %s: degradation %f below 100", r.Cfg.Name, o.Loop, o.Degradation)
+			}
+			if o.IdealII < 1 || o.PartII < o.IdealII {
+				t.Errorf("%s %s: II pair (%d, %d) inconsistent", r.Cfg.Name, o.Loop, o.IdealII, o.PartII)
+			}
+		}
+	}
+}
+
+func TestRunSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 12, Seed: 7})
+	serial := RunSuite(loops, machine.PaperConfigs()[:2], Options{Workers: 1, Codegen: codegen.Options{SkipAlloc: true}})
+	parallel := RunSuite(loops, machine.PaperConfigs()[:2], Options{Workers: 8, Codegen: codegen.Options{SkipAlloc: true}})
+	for ci := range serial {
+		for i := range serial[ci].Outcomes {
+			a, b := serial[ci].Outcomes[i], parallel[ci].Outcomes[i]
+			if a.PartII != b.PartII || a.IdealII != b.IdealII || a.KernelCopies != b.KernelCopies {
+				t.Fatalf("outcome %d differs between 1 and 8 workers", i)
+			}
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	results := smallRun(t, 15)
+	for _, r := range results {
+		a, h := r.MeanDegradation()
+		if a < 100 || h < 100 {
+			t.Errorf("%s: means below 100: %f %f", r.Cfg.Name, a, h)
+		}
+		if h > a+1e-9 {
+			t.Errorf("%s: harmonic mean %f above arithmetic %f", r.Cfg.Name, h, a)
+		}
+		if z := r.ZeroDegradationPercent(); z < 0 || z > 100 {
+			t.Errorf("%s: zero-degradation %f out of range", r.Cfg.Name, z)
+		}
+		if ipc := r.MeanIdealIPC(); ipc <= 0 || ipc > 16 {
+			t.Errorf("%s: ideal IPC %f out of range", r.Cfg.Name, ipc)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	results := smallRun(t, 10)
+	t1 := Table1(results)
+	if !strings.Contains(t1, "Ideal") || !strings.Contains(t1, "Clustered") || !strings.Contains(t1, "2cl/emb") {
+		t.Errorf("Table 1 malformed:\n%s", t1)
+	}
+	t2 := Table2(results)
+	if !strings.Contains(t2, "Arithmetic Mean") || !strings.Contains(t2, "Harmonic Mean") {
+		t.Errorf("Table 2 malformed:\n%s", t2)
+	}
+	for _, clusters := range []int{2, 4, 8} {
+		fig := Figure(results, clusters)
+		if !strings.Contains(fig, "Embedded") || !strings.Contains(fig, "Copy Unit") || !strings.Contains(fig, "0.00%") {
+			t.Errorf("Figure for %d clusters malformed:\n%s", clusters, fig)
+		}
+	}
+	sum := Summary(results)
+	if !strings.Contains(sum, "machine") || len(strings.Split(strings.TrimSpace(sum), "\n")) != 7 {
+		t.Errorf("Summary malformed:\n%s", sum)
+	}
+}
+
+func TestSortedByDegradation(t *testing.T) {
+	results := smallRun(t, 15)
+	r := results[0]
+	idx := r.SortedByDegradation()
+	if len(idx) != len(r.Outcomes) {
+		t.Fatal("sorted index wrong length")
+	}
+	for i := 1; i < len(idx); i++ {
+		if r.Outcomes[idx[i-1]].Degradation < r.Outcomes[idx[i]].Degradation {
+			t.Fatal("not sorted worst-first")
+		}
+	}
+}
+
+func TestAlternatePartitionerRecorded(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 5, Seed: 11})
+	results := RunSuite(loops, machine.PaperConfigs()[:1], Options{
+		Codegen: codegen.Options{Partitioner: partition.BUG{}, SkipAlloc: true},
+	})
+	if results[0].Method != "bug" {
+		t.Errorf("method recorded as %q", results[0].Method)
+	}
+}
+
+func TestBreakdownPartitionsOutcomes(t *testing.T) {
+	results := smallRun(t, 40)
+	r := results[2] // 4cl embedded
+	rows := Breakdown(r)
+	if len(rows) < 3 {
+		t.Fatalf("only %d archetypes in 40 loops", len(rows))
+	}
+	total := 0
+	for _, row := range rows {
+		total += row.Loops
+		if row.MeanDegradation < 100 {
+			t.Errorf("%s: mean degradation %f below 100", row.Name, row.MeanDegradation)
+		}
+		if row.ZeroPercent < 0 || row.ZeroPercent > 100 {
+			t.Errorf("%s: zero%% out of range", row.Name)
+		}
+	}
+	if total != 40 {
+		t.Errorf("breakdown covers %d of 40 loops", total)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].MeanDegradation < rows[i].MeanDegradation {
+			t.Error("breakdown not sorted worst-first")
+		}
+	}
+	out := FormatBreakdown(r)
+	if !strings.Contains(out, "archetype") || !strings.Contains(out, rows[0].Name) {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 5, Seed: 9})
+	results := RunSuite(loops, machine.PaperConfigs()[:2], Options{
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("%d configs in JSON", len(decoded))
+	}
+	outcomes, ok := decoded[0]["outcomes"].([]interface{})
+	if !ok || len(outcomes) != 5 {
+		t.Fatalf("outcomes malformed: %v", decoded[0]["outcomes"])
+	}
+	for _, key := range []string{"machine", "clusters", "arithmeticMeanDegradation", "zeroDegradationPercent"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+}
+
+func TestUnitsStudy(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	results := UnitsStudy(loops, 0)
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	general, c6x := results[0], results[1]
+	for _, r := range results {
+		if errs := r.Errors(); len(errs) > 0 {
+			t.Fatal(errs[0])
+		}
+	}
+	// The paper's Section 6.1 conjecture: general-purpose units pipeline
+	// more densely (higher ideal IPC), leaving fewer holes and making
+	// partitioning harder (lower zero-degradation share).
+	if general.MeanIdealIPC() <= c6x.MeanIdealIPC() {
+		t.Errorf("general units should pipeline denser: %.2f vs %.2f",
+			general.MeanIdealIPC(), c6x.MeanIdealIPC())
+	}
+	if general.ZeroDegradationPercent() >= c6x.ZeroDegradationPercent() {
+		t.Errorf("typed units should partition easier: zero%% %.1f vs %.1f",
+			general.ZeroDegradationPercent(), c6x.ZeroDegradationPercent())
+	}
+	if !strings.Contains(FormatUnits(results), "generality") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestSchedulerStudy(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
+	rows := SchedulerStudy(loops, []*machine.Config{machine.Ideal16()}, 0)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.SwingPressure > r.RauPressure {
+		t.Errorf("lifetime-sensitive placement raised pressure: %.1f -> %.1f", r.RauPressure, r.SwingPressure)
+	}
+	if r.SwingDeg > r.RauDeg+1 {
+		t.Errorf("lifetime mode degraded schedules: %.0f vs %.0f", r.SwingDeg, r.RauDeg)
+	}
+	if !strings.Contains(FormatScheduler(rows), "swPress") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestRefineStudy(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
+	cfgs := []*machine.Config{machine.MustClustered16(2, machine.CopyUnit)}
+	rows := RefineStudy(loops, cfgs, 0)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.RefinedMean > r.GreedyMean {
+		t.Errorf("refinement regressed the mean: %f -> %f", r.GreedyMean, r.RefinedMean)
+	}
+	if r.RefinedZero < r.GreedyZero {
+		t.Errorf("refinement lowered the zero-degradation share: %f -> %f", r.GreedyZero, r.RefinedZero)
+	}
+	if r.LoopsImproved > 0 && r.MovesKept == 0 {
+		t.Error("improvements without kept moves")
+	}
+	out := FormatRefine(rows)
+	if !strings.Contains(out, "refined") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestPressureStudy(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 25, Seed: loopgen.DefaultParams().Seed})
+	rows := PressureStudy(loops, 0)
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want ideal + 6 clustered", len(rows))
+	}
+	if rows[0].Cfg.Clusters != 1 {
+		t.Fatal("first row must be the ideal machine")
+	}
+	// Per-bank pressure must fall as the registers spread over more banks
+	// (compare embedded rows: ideal > 2cl > 4cl > 8cl).
+	if !(rows[0].MeanMaxPressure > rows[1].MeanMaxPressure &&
+		rows[1].MeanMaxPressure > rows[3].MeanMaxPressure &&
+		rows[3].MeanMaxPressure > rows[5].MeanMaxPressure) {
+		t.Errorf("pressure not falling with cluster count: %v",
+			[]float64{rows[0].MeanMaxPressure, rows[1].MeanMaxPressure, rows[3].MeanMaxPressure, rows[5].MeanMaxPressure})
+	}
+	out := FormatPressure(rows)
+	if !strings.Contains(out, "meanPress") || !strings.Contains(out, "ideal") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestCopyLatencySweep(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 20, Seed: loopgen.DefaultParams().Seed})
+	points, err := CopyLatencySweep(loops, 4, machine.CopyUnit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Cheaper copies should not hurt. The pipeline is heuristic (slower
+	// copies perturb scheduling priorities and occasionally luck into a
+	// better schedule for some loop), so the check is a trend with
+	// tolerance, not strict monotonicity.
+	const tol = 5.0
+	for _, p := range points {
+		if p.ArithMean < 100 {
+			t.Errorf("mean degradation below 100: %+v", p)
+		}
+	}
+	if points[0].ArithMean > points[len(points)-1].ArithMean+tol {
+		t.Errorf("1-cycle copies degraded far more than slow copies: %+v", points)
+	}
+	out := FormatCopyLatencySweep(points, 4, machine.CopyUnit)
+	if !strings.Contains(out, "sensitivity") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}
+
+func TestZeroDegradationFallsWithClusterCount(t *testing.T) {
+	// The paper's headline qualitative result (Figures 5-7): the share of
+	// loops scheduled with no degradation falls as the machine is cut into
+	// more clusters. 60 loops keep the test fast but the trend stable.
+	results := smallRun(t, 60)
+	zeroAt := map[int]float64{}
+	for _, r := range results {
+		if r.Cfg.Model == machine.Embedded {
+			zeroAt[r.Cfg.Clusters] = r.ZeroDegradationPercent()
+		}
+	}
+	if !(zeroAt[2] > zeroAt[4] && zeroAt[4] > zeroAt[8]) {
+		t.Errorf("zero-degradation shares not strictly falling: 2cl=%f 4cl=%f 8cl=%f",
+			zeroAt[2], zeroAt[4], zeroAt[8])
+	}
+}

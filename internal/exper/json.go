@@ -1,0 +1,75 @@
+package exper
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonOutcome is the wire form of one loop outcome.
+type jsonOutcome struct {
+	Loop            string  `json:"loop"`
+	Ops             int     `json:"ops"`
+	KernelCopies    int     `json:"kernelCopies"`
+	InvariantCopies int     `json:"invariantCopies"`
+	IdealII         int     `json:"idealII"`
+	PartII          int     `json:"partII"`
+	IdealIPC        float64 `json:"idealIPC"`
+	ClusterIPC      float64 `json:"clusterIPC"`
+	Degradation     float64 `json:"degradation"`
+	Spills          int     `json:"spills"`
+	MaxPressure     int     `json:"maxPressure"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// jsonConfig is the wire form of one machine's suite run.
+type jsonConfig struct {
+	Machine        string        `json:"machine"`
+	Clusters       int           `json:"clusters"`
+	Model          string        `json:"model"`
+	Method         string        `json:"method"`
+	ArithmeticMean float64       `json:"arithmeticMeanDegradation"`
+	HarmonicMean   float64       `json:"harmonicMeanDegradation"`
+	MeanIdealIPC   float64       `json:"meanIdealIPC"`
+	MeanClusterIPC float64       `json:"meanClusterIPC"`
+	ZeroPercent    float64       `json:"zeroDegradationPercent"`
+	Outcomes       []jsonOutcome `json:"outcomes"`
+}
+
+// WriteJSON emits the full per-loop results as indented JSON, the
+// machine-readable companion to the rendered tables, for downstream
+// analysis outside Go.
+func WriteJSON(w io.Writer, results []*ConfigResult) error {
+	out := make([]jsonConfig, 0, len(results))
+	for _, r := range results {
+		a, h := r.MeanDegradation()
+		jc := jsonConfig{
+			Machine:        r.Cfg.Name,
+			Clusters:       r.Cfg.Clusters,
+			Model:          r.Cfg.Model.String(),
+			Method:         r.Method,
+			ArithmeticMean: a,
+			HarmonicMean:   h,
+			MeanIdealIPC:   r.MeanIdealIPC(),
+			MeanClusterIPC: r.MeanClusterIPC(),
+			ZeroPercent:    r.ZeroDegradationPercent(),
+		}
+		for _, o := range r.Outcomes {
+			jo := jsonOutcome{
+				Loop: o.Loop, Ops: o.Ops,
+				KernelCopies: o.KernelCopies, InvariantCopies: o.InvariantCopies,
+				IdealII: o.IdealII, PartII: o.PartII,
+				IdealIPC: o.IdealIPC, ClusterIPC: o.ClusterIPC,
+				Degradation: o.Degradation,
+				Spills:      o.Spills, MaxPressure: o.MaxPressure,
+			}
+			if o.Err != nil {
+				jo.Error = o.Err.Error()
+			}
+			jc.Outcomes = append(jc.Outcomes, jo)
+		}
+		out = append(out, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,73 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// PressureRow aggregates register-bank pressure for one machine.
+type PressureRow struct {
+	Cfg *machine.Config
+	// MeanMaxPressure is the suite mean of each loop's worst per-bank
+	// pressure; MeanII contextualizes it (more overlap, more live values).
+	MeanMaxPressure float64
+	MeanII          float64
+	// Spills is the total spilled registers across the suite.
+	Spills int
+	// SpillLoops counts loops with at least one spill.
+	SpillLoops int
+}
+
+// PressureStudy quantifies the paper's introductory claim that clustering
+// trades port count against per-bank pressure: "cluster-partitioned
+// register banks would allow for better allocation ... at the expense of
+// adding additional complexity to assigning registers within each
+// partition as additional pressure is put on each register bank due to
+// increased parallelism." The study runs the suite with full per-bank
+// Chaitin/Briggs allocation on the ideal machine and every clustered
+// machine, reporting how the worst bank's pressure and the spill counts
+// respond to the cluster count.
+func PressureStudy(loops []*ir.Loop, workers int) []PressureRow {
+	cfgs := append([]*machine.Config{machine.Ideal16()}, machine.PaperConfigs()...)
+	results := RunSuite(loops, cfgs, Options{Workers: workers})
+	rows := make([]PressureRow, 0, len(results))
+	for _, r := range results {
+		var press, iis []float64
+		spills, spillLoops := 0, 0
+		for _, o := range r.Outcomes {
+			if o.Err != nil {
+				continue
+			}
+			press = append(press, float64(o.MaxPressure))
+			iis = append(iis, float64(o.PartII))
+			spills += o.Spills
+			if o.Spills > 0 {
+				spillLoops++
+			}
+		}
+		rows = append(rows, PressureRow{
+			Cfg:             r.Cfg,
+			MeanMaxPressure: stats.Mean(press),
+			MeanII:          stats.Mean(iis),
+			Spills:          spills,
+			SpillLoops:      spillLoops,
+		})
+	}
+	return rows
+}
+
+// FormatPressure renders the study.
+func FormatPressure(rows []PressureRow) string {
+	var sb strings.Builder
+	sb.WriteString("register pressure study (32 registers per bank on clustered machines):\n")
+	fmt.Fprintf(&sb, "%-38s %9s %7s %7s %11s\n", "machine", "meanPress", "meanII", "spills", "spill loops")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-38s %9.1f %7.1f %7d %11d\n",
+			r.Cfg.Name, r.MeanMaxPressure, r.MeanII, r.Spills, r.SpillLoops)
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// SchedulerRow compares the two modulo scheduling modes on one machine.
+type SchedulerRow struct {
+	Cfg *machine.Config
+	// RauPressure / SwingPressure are suite means of the worst per-bank
+	// register pressure under the two modes.
+	RauPressure, SwingPressure float64
+	// RauSpills / SwingSpills total spilled registers.
+	RauSpills, SwingSpills int
+	// RauDeg / SwingDeg are mean degradations (the modes share the II
+	// search, so these should track each other closely).
+	RauDeg, SwingDeg float64
+}
+
+// SchedulerStudy measures the Section 6.3 scheduler axis: the paper uses
+// "standard modulo scheduling as described by Rau" while Nystrom and
+// Eichenberger use Swing scheduling "that attempts to reduce register
+// requirements. Certainly this could have an effect." The study compiles
+// the suite under both placement policies and reports the register
+// pressure and spill difference the lifetime-sensitive mode buys.
+func SchedulerStudy(loops []*ir.Loop, cfgs []*machine.Config, workers int) []SchedulerRow {
+	rows := make([]SchedulerRow, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		rau := RunSuite(loops, []*machine.Config{cfg}, Options{
+			Workers: workers, Codegen: codegen.Options{},
+		})[0]
+		swing := RunSuite(loops, []*machine.Config{cfg}, Options{
+			Workers: workers, Codegen: codegen.Options{LifetimeSched: true},
+		})[0]
+		row := SchedulerRow{Cfg: cfg}
+		var rp, sp, rd, sd []float64
+		for _, o := range rau.Outcomes {
+			if o.Err == nil {
+				rp = append(rp, float64(o.MaxPressure))
+				rd = append(rd, o.Degradation)
+				row.RauSpills += o.Spills
+			}
+		}
+		for _, o := range swing.Outcomes {
+			if o.Err == nil {
+				sp = append(sp, float64(o.MaxPressure))
+				sd = append(sd, o.Degradation)
+				row.SwingSpills += o.Spills
+			}
+		}
+		row.RauPressure, row.SwingPressure = stats.Mean(rp), stats.Mean(sp)
+		row.RauDeg, row.SwingDeg = stats.Mean(rd), stats.Mean(sd)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatScheduler renders the study.
+func FormatScheduler(rows []SchedulerRow) string {
+	var sb strings.Builder
+	sb.WriteString("scheduler study: Rau vs lifetime-sensitive (swing-flavored) placement:\n")
+	fmt.Fprintf(&sb, "%-38s %9s %9s %8s %8s %8s %8s\n",
+		"machine", "rauPress", "swPress", "rauSpill", "swSpill", "rauDeg", "swDeg")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-38s %9.1f %9.1f %8d %8d %8.0f %8.0f\n",
+			r.Cfg.Name, r.RauPressure, r.SwingPressure, r.RauSpills, r.SwingSpills, r.RauDeg, r.SwingDeg)
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// CopyLatencyPoint is one row of the Section 6.3 sensitivity experiment.
+type CopyLatencyPoint struct {
+	// IntLat and FloatLat are the inter-cluster copy latencies used.
+	IntLat, FloatLat int
+	// ArithMean is the normalized mean degradation.
+	ArithMean float64
+	// ZeroPercent is the share of loops with no degradation.
+	ZeroPercent float64
+}
+
+// CopyLatencySweep quantifies the paper's Section 6.3 conjecture: "our
+// longer latency times for copies may have had a significant effect on the
+// number of loops that we could schedule without degradation. We used
+// latency of 2 cycles for integer copies and 3 for floating point values,
+// while Nystrom and Eichenberger used latency of 1 for all non-local
+// access." The sweep re-runs the suite on one clustered machine with copy
+// latencies (1,1) — the Nystrom/Eichenberger assumption — then (2,3) — the
+// paper's — and beyond, reporting how the zero-degradation share responds.
+func CopyLatencySweep(loops []*ir.Loop, clusters int, model machine.CopyModel, workers int) ([]CopyLatencyPoint, error) {
+	pairs := [][2]int{{1, 1}, {2, 3}, {4, 6}}
+	points := make([]CopyLatencyPoint, 0, len(pairs))
+	for _, p := range pairs {
+		lat := machine.PaperLatencies()
+		lat.CopyInt, lat.CopyFloat = p[0], p[1]
+		cfg, err := machine.New(
+			fmt.Sprintf("16-wide, %d clusters (%s), copies %d/%d", clusters, model, p[0], p[1]),
+			16, clusters, 32, model, lat)
+		if err != nil {
+			return nil, err
+		}
+		results := RunSuite(loops, []*machine.Config{cfg}, Options{
+			Workers: workers,
+			Codegen: codegen.Options{SkipAlloc: true},
+		})
+		if errs := results[0].Errors(); len(errs) > 0 {
+			return nil, errs[0]
+		}
+		a, _ := results[0].MeanDegradation()
+		points = append(points, CopyLatencyPoint{
+			IntLat: p[0], FloatLat: p[1],
+			ArithMean:   a,
+			ZeroPercent: results[0].ZeroDegradationPercent(),
+		})
+	}
+	return points, nil
+}
+
+// FormatCopyLatencySweep renders the sweep.
+func FormatCopyLatencySweep(points []CopyLatencyPoint, clusters int, model machine.CopyModel) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "copy-latency sensitivity, %d clusters (%s):\n", clusters, model)
+	fmt.Fprintf(&sb, "%-12s %9s %7s\n", "int/float", "arithDeg", "zero%")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%d / %-8d %9.0f %6.1f%%\n", p.IntLat, p.FloatLat, p.ArithMean, p.ZeroPercent)
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package exper
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPaperShapeContract pins the qualitative results the reproduction
+// must preserve (DESIGN.md §2 "shape expectations") on a deterministic
+// 80-loop slice:
+//
+//  1. at 2 clusters the embedded model beats the copy-unit model;
+//  2. at 8 clusters the ordering flips;
+//  3. both 4-cluster models land in a moderate band;
+//  4. the suite's ideal IPC is "over 8.5"-ish;
+//  5. embedded degradation grows monotonically with cluster count.
+func TestPaperShapeContract(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 80, Seed: loopgen.DefaultParams().Seed})
+	results := RunSuite(loops, machine.PaperConfigs(), Options{
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+	mean := func(i int) float64 { a, _ := results[i].MeanDegradation(); return a }
+	names := []string{"2emb", "2cu", "4emb", "4cu", "8emb", "8cu"}
+	for i, r := range results {
+		t.Logf("%s: mean %.0f, zero %.1f%%", names[i], mean(i), r.ZeroDegradationPercent())
+	}
+
+	if !(mean(0) < mean(1)) {
+		t.Errorf("shape 1 broken: 2cl embedded %f !< copy-unit %f", mean(0), mean(1))
+	}
+	if !(mean(4) > mean(5)) {
+		t.Errorf("shape 2 broken: 8cl embedded %f !> copy-unit %f", mean(4), mean(5))
+	}
+	for _, i := range []int{2, 3} {
+		if mean(i) < 105 || mean(i) > 160 {
+			t.Errorf("shape 3 broken: 4cl mean %f outside the moderate band", mean(i))
+		}
+	}
+	if ipc := results[0].MeanIdealIPC(); ipc < 8 || ipc > 11.5 {
+		t.Errorf("shape 4 broken: ideal IPC %f", ipc)
+	}
+	if !(mean(0) < mean(2) && mean(2) < mean(4)) {
+		t.Errorf("shape 5 broken: embedded means not increasing: %f %f %f", mean(0), mean(2), mean(4))
+	}
+}
+
+// TestGoldenTables freezes the exact rendered tables for a 40-loop slice;
+// any change to the pipeline's numeric behavior must be accompanied by
+// `go test ./internal/exper -run Golden -update` and a review of the new
+// numbers against EXPERIMENTS.md.
+func TestGoldenTables(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	results := RunSuite(loops, machine.PaperConfigs(), Options{
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+	got := Table1(results) + "\n" + Table2(results) + "\n" + Figure(results, 4)
+	path := filepath.Join("testdata", "tables_n40.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("tables drifted from golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}

@@ -1,0 +1,41 @@
+package exper
+
+import (
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// UnitsStudy tests the paper's Section 6.1 aside that its general-purpose
+// functional units "potentially make the partitioning more difficult for
+// the very reason that they make software pipelining easier and thus
+// we're attempting to partition software pipelines with fewer holes than
+// might be expected in more realistic architectures." It compiles the
+// suite for an 8-wide 2-cluster machine twice: once with general-purpose
+// units (the paper's model) and once with TI-C6x-style typed units
+// (L/S/M/D per cluster), and reports ideal IPC and degradation for both.
+// The expectation: the typed machine pipelines less densely (lower ideal
+// IPC — more holes) and therefore loses less to partitioning.
+func UnitsStudy(loops []*ir.Loop, workers int) []*ConfigResult {
+	general, err := machine.New("8-wide, 2 clusters of 4 general units", 8, 2, 32, machine.Embedded, machine.PaperLatencies())
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	c6x := machine.C6xLike(machine.Embedded)
+	return RunSuite(loops, []*machine.Config{general, c6x}, Options{
+		Workers: workers,
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+}
+
+// FormatUnits renders the study.
+func FormatUnits(results []*ConfigResult) string {
+	var sb strings.Builder
+	sb.WriteString("functional-unit generality study (Section 6.1 aside):\n")
+	sb.WriteString(Summary(results))
+	sb.WriteString("\nLower ideal IPC on the typed machine means more schedule holes,\n")
+	sb.WriteString("which is exactly where inter-cluster copies hide.\n")
+	return sb.String()
+}

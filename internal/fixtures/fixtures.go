@@ -1,0 +1,94 @@
+// Package fixtures provides hand-built IR used by tests, examples and
+// documentation — most importantly the paper's Section 4.2 worked example.
+package fixtures
+
+import (
+	"repro/internal/ir"
+)
+
+// PaperExample builds the intermediate code of the paper's Figure 2 for
+// the high-level statement
+//
+//	xpos = xpos + (xvel*t) + (xaccel*t*t/2.0)
+//
+// exactly as printed:
+//
+//	load r1, xvel
+//	load r2, t
+//	mult r5, r1, r2
+//	load r3, xaccel
+//	load r4, xpos
+//	mult r7, r3, r2
+//	add r6, r4, r5
+//	div r8, r2, 2.0
+//	mult r9, r7, r8
+//	add r10, r6, r9
+//	store xvel, r10
+//
+// The code is straight-line (depth 0); the example machine is
+// machine.Example2x1 — two functional units, each with its own register
+// bank, unit latencies. On the ideal (single-bank) machine the optimal
+// schedule takes 7 cycles (Figure 1); the paper's partition costs two
+// copies (of r2 and r6) and 9 cycles (Figure 3).
+//
+// "div r8, r2, 2.0" is modeled as a divide of r2 by a constant
+// materialized in the preheader (a live-in register), keeping the
+// operation shape (one def, r2 among the uses) identical to the paper's.
+func PaperExample() (*ir.Loop, map[string]ir.Reg) {
+	l := ir.NewLoop("paper.4_2.xpos")
+	l.Body.Depth = 0 // straight-line code
+	regs := make(map[string]ir.Reg)
+	newReg := func(name string) ir.Reg {
+		r := l.NewReg(ir.Float)
+		regs[name] = r
+		return r
+	}
+	half := newReg("c2.0") // the literal 2.0, live-in
+
+	r1, r2, r3, r4 := newReg("r1"), newReg("r2"), newReg("r3"), newReg("r4")
+	r5, r6, r7, r8 := newReg("r5"), newReg("r6"), newReg("r7"), newReg("r8")
+	r9, r10 := newReg("r9"), newReg("r10")
+
+	b := l.Body
+	mem := func(base string) *ir.MemRef { return &ir.MemRef{Base: base} }
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Float, Defs: []ir.Reg{r1}, Mem: mem("xvel")})
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Float, Defs: []ir.Reg{r2}, Mem: mem("t")})
+	b.Append(&ir.Op{Code: ir.Mul, Class: ir.Float, Defs: []ir.Reg{r5}, Uses: []ir.Reg{r1, r2}})
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Float, Defs: []ir.Reg{r3}, Mem: mem("xaccel")})
+	b.Append(&ir.Op{Code: ir.Load, Class: ir.Float, Defs: []ir.Reg{r4}, Mem: mem("xpos")})
+	b.Append(&ir.Op{Code: ir.Mul, Class: ir.Float, Defs: []ir.Reg{r7}, Uses: []ir.Reg{r3, r2}})
+	b.Append(&ir.Op{Code: ir.Add, Class: ir.Float, Defs: []ir.Reg{r6}, Uses: []ir.Reg{r4, r5}})
+	b.Append(&ir.Op{Code: ir.Div, Class: ir.Float, Defs: []ir.Reg{r8}, Uses: []ir.Reg{r2, half}})
+	b.Append(&ir.Op{Code: ir.Mul, Class: ir.Float, Defs: []ir.Reg{r9}, Uses: []ir.Reg{r7, r8}})
+	b.Append(&ir.Op{Code: ir.Add, Class: ir.Float, Defs: []ir.Reg{r10}, Uses: []ir.Reg{r6, r9}})
+	b.Append(&ir.Op{Code: ir.Store, Class: ir.Float, Uses: []ir.Reg{r10}, Mem: mem("xvel")})
+	b.Renumber()
+	return l, regs
+}
+
+// DotProduct builds a classic pipelinable loop: s += a[i] * b[i], unrolled
+// u ways with one partial sum per lane. It is the running example of the
+// dotproduct example program and several integration tests.
+func DotProduct(u int) *ir.Loop {
+	l := ir.NewLoop("fixtures.dotproduct")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < u; k++ {
+		acc := l.NewReg(ir.Float)
+		la := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: u, Offset: k})
+		lb := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: u, Offset: k})
+		m := b.Mul(la, lb)
+		b.AddInto(acc, acc, m)
+	}
+	return l
+}
+
+// Accumulator builds the smallest recurrence loop: acc += a[i]. Its RecMII
+// is the add latency; tests use it to pin recurrence handling.
+func Accumulator(class ir.Class) *ir.Loop {
+	l := ir.NewLoop("fixtures.accumulator")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(class)
+	ld := b.Load(class, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	return l
+}

@@ -1,0 +1,62 @@
+package fixtures
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPaperExampleShape(t *testing.T) {
+	l, regs := PaperExample()
+	if err := ir.VerifyLoop(l); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Body.Ops) != 11 {
+		t.Errorf("paper example has %d ops, Figure 2 lists 11", len(l.Body.Ops))
+	}
+	if l.Body.Depth != 0 {
+		t.Error("paper example is straight-line code (depth 0)")
+	}
+	for _, name := range []string{"r1", "r2", "r5", "r10", "c2.0"} {
+		if _, ok := regs[name]; !ok {
+			t.Errorf("register map missing %q", name)
+		}
+	}
+	// r2 (t) is used by both multiplies and the divide: three consumers.
+	uses := 0
+	for _, op := range l.Body.Ops {
+		if op.ReadsReg(regs["r2"]) {
+			uses++
+		}
+	}
+	if uses != 3 {
+		t.Errorf("r2 used by %d ops, the paper's t feeds 3", uses)
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	for _, u := range []int{1, 2, 8} {
+		l := DotProduct(u)
+		if err := ir.VerifyLoop(l); err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Body.Ops) != 4*u {
+			t.Errorf("unroll %d: %d ops, want %d", u, len(l.Body.Ops), 4*u)
+		}
+		if got := len(l.Body.LiveIns()); got != u {
+			t.Errorf("unroll %d: %d accumulator live-ins, want %d", u, got, u)
+		}
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	for _, c := range []ir.Class{ir.Int, ir.Float} {
+		l := Accumulator(c)
+		if err := ir.VerifyLoop(l); err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Body.Ops) != 2 {
+			t.Errorf("accumulator has %d ops", len(l.Body.Ops))
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package interp gives the IR an executable semantics: it interprets loop
+// bodies over concrete registers and memory. The test suite uses it as the
+// strongest available oracle for the code-rewriting phases — inter-cluster
+// copy insertion and modulo variable expansion must produce code that
+// computes exactly what the original loop computed, store for store, on
+// deterministic pseudo-random inputs.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Value is a machine value of either register class.
+type Value struct {
+	Class ir.Class
+	I     int64
+	F     float64
+}
+
+// String renders the value by class.
+func (v Value) String() string {
+	if v.Class == ir.Float {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// StoreEvent records one executed store: which array element was written
+// with what value, in program execution order. Equivalence of two loop
+// versions is equality of their store logs.
+type StoreEvent struct {
+	Base  string
+	Addr  int
+	Value Value
+}
+
+// State is an interpreter instance.
+type State struct {
+	// Regs holds current register values.
+	Regs map[ir.Reg]Value
+	// Mem holds sparse array contents, lazily materialized from the seed.
+	Mem map[string]map[int]Value
+	// Stores logs every executed store in order.
+	Stores []StoreEvent
+	seed   int64
+}
+
+// New returns a state whose uninitialized memory and live-in registers
+// read as deterministic pseudo-random values derived from seed — the same
+// seed always produces the same execution.
+func New(seed int64) *State {
+	return &State{
+		Regs: make(map[ir.Reg]Value),
+		Mem:  make(map[string]map[int]Value),
+		seed: seed,
+	}
+}
+
+// hash64 mixes bits (splitmix64 finalizer).
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *State) memCell(base string, addr int, class ir.Class) Value {
+	arr := s.Mem[base]
+	if arr == nil {
+		arr = make(map[int]Value)
+		s.Mem[base] = arr
+	}
+	if v, ok := arr[addr]; ok {
+		return v
+	}
+	h := uint64(s.seed)
+	for _, c := range base {
+		h = hash64(h ^ uint64(c))
+	}
+	h = hash64(h ^ uint64(int64(addr)))
+	v := valueFromBits(h, class)
+	arr[addr] = v
+	return v
+}
+
+// valueFromBits derives a small, well-conditioned value (avoiding
+// overflow-order effects and float rounding divergence between
+// algebraically identical programs).
+func valueFromBits(h uint64, class ir.Class) Value {
+	if class == ir.Float {
+		return Value{Class: ir.Float, F: float64(h%2048)/64.0 + 0.5}
+	}
+	return Value{Class: ir.Int, I: int64(h % 4096)}
+}
+
+// LiveInValue returns (and fixes) the deterministic initial value of a
+// live-in register.
+func (s *State) LiveInValue(r ir.Reg) Value {
+	if v, ok := s.Regs[r]; ok {
+		return v
+	}
+	v := valueFromBits(hash64(uint64(s.seed)^uint64(r.ID)<<1|uint64(r.Class)), r.Class)
+	s.Regs[r] = v
+	return v
+}
+
+// RunLoop interprets the block as a loop body executed for trip
+// iterations, with the induction variable i ranging 0..trip-1 in memory
+// subscripts Base[Coeff*i+Offset].
+func (s *State) RunLoop(b *ir.Block, trip int) error {
+	for i := 0; i < trip; i++ {
+		if err := s.runIteration(b, i); err != nil {
+			return fmt.Errorf("interp: iteration %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *State) runIteration(b *ir.Block, iter int) error {
+	for _, op := range b.Ops {
+		if err := s.exec(op, iter); err != nil {
+			return fmt.Errorf("op %d (%s): %w", op.ID, op, err)
+		}
+	}
+	return nil
+}
+
+func (s *State) use(r ir.Reg) Value {
+	if v, ok := s.Regs[r]; ok {
+		return v
+	}
+	return s.LiveInValue(r)
+}
+
+func (s *State) exec(op *ir.Op, iter int) error {
+	addr := 0
+	if op.Mem != nil {
+		addr = op.Mem.Coeff*iter + op.Mem.Offset
+	}
+	switch op.Code {
+	case ir.Load:
+		s.Regs[op.Def()] = s.memCell(op.Mem.Base, addr, op.Class)
+	case ir.Store:
+		v := s.use(op.Uses[0])
+		arr := s.Mem[op.Mem.Base]
+		if arr == nil {
+			arr = make(map[int]Value)
+			s.Mem[op.Mem.Base] = arr
+		}
+		arr[addr] = v
+		s.Stores = append(s.Stores, StoreEvent{Base: op.Mem.Base, Addr: addr, Value: v})
+	case ir.LoadImm:
+		if op.Class == ir.Float {
+			s.Regs[op.Def()] = Value{Class: ir.Float, F: float64(op.Imm)}
+		} else {
+			s.Regs[op.Def()] = Value{Class: ir.Int, I: op.Imm}
+		}
+	case ir.Copy:
+		s.Regs[op.Def()] = s.use(op.Uses[0])
+	case ir.Cvt:
+		v := s.use(op.Uses[0])
+		if op.Class == ir.Float {
+			s.Regs[op.Def()] = Value{Class: ir.Float, F: float64(v.I) + v.F}
+		} else {
+			s.Regs[op.Def()] = Value{Class: ir.Int, I: v.I + int64(v.F)}
+		}
+	case ir.Neg:
+		v := s.use(op.Uses[0])
+		s.Regs[op.Def()] = Value{Class: op.Class, I: -v.I, F: -v.F}
+	case ir.Select:
+		cond := s.use(op.Uses[0])
+		if cond.I != 0 {
+			s.Regs[op.Def()] = s.use(op.Uses[1])
+		} else {
+			s.Regs[op.Def()] = s.use(op.Uses[2])
+		}
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Cmp, ir.Shl, ir.Shr, ir.And, ir.Or, ir.Xor:
+		a, bv := s.use(op.Uses[0]), s.use(op.Uses[1])
+		s.Regs[op.Def()] = binary(op.Code, op.Class, a, bv)
+	default:
+		return fmt.Errorf("interp: unsupported opcode %s", op.Code)
+	}
+	return nil
+}
+
+func binary(code ir.Opcode, class ir.Class, a, b Value) Value {
+	if class == ir.Float {
+		var f float64
+		switch code {
+		case ir.Add:
+			f = a.F + b.F
+		case ir.Sub:
+			f = a.F - b.F
+		case ir.Mul:
+			f = a.F * b.F
+		case ir.Div:
+			if b.F == 0 {
+				f = 0
+			} else {
+				f = a.F / b.F
+			}
+		case ir.Cmp:
+			return Value{Class: ir.Int, I: boolToInt(a.F > b.F)}
+		default:
+			f = math.NaN() // integer-only ops never reach here in valid IR
+		}
+		return Value{Class: ir.Float, F: f}
+	}
+	var i int64
+	switch code {
+	case ir.Add:
+		i = a.I + b.I
+	case ir.Sub:
+		i = a.I - b.I
+	case ir.Mul:
+		i = a.I * b.I
+	case ir.Div:
+		if b.I == 0 {
+			i = 0
+		} else {
+			i = a.I / b.I
+		}
+	case ir.Cmp:
+		i = boolToInt(a.I > b.I)
+	case ir.Shl:
+		i = a.I << (uint64(b.I) & 63)
+	case ir.Shr:
+		i = int64(uint64(a.I) >> (uint64(b.I) & 63))
+	case ir.And:
+		i = a.I & b.I
+	case ir.Or:
+		i = a.I | b.I
+	case ir.Xor:
+		i = a.I ^ b.I
+	}
+	return Value{Class: ir.Int, I: i}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SeedLiveIns fixes the live-in registers of a block so two executions
+// (e.g. the original body and a rewritten one that shares the same
+// original registers) start identically.
+func (s *State) SeedLiveIns(b *ir.Block) {
+	for _, r := range b.LiveIns() {
+		s.LiveInValue(r)
+	}
+}
+
+// SameStores compares two store logs for exact equality.
+func SameStores(a, b []StoreEvent) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("interp: %d stores vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("interp: store %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDeterministicMemoryAndLiveIns(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	r := ir.Reg{ID: 3, Class: ir.Float}
+	if a.LiveInValue(r) != b.LiveInValue(r) {
+		t.Error("same seed, different live-in value")
+	}
+	if a.memCell("x", 5, ir.Int) != b.memCell("x", 5, ir.Int) {
+		t.Error("same seed, different memory value")
+	}
+	c := New(8)
+	if a.LiveInValue(r) == c.LiveInValue(r) && a.memCell("x", 6, ir.Int) == c.memCell("x", 6, ir.Int) {
+		t.Error("different seeds produced identical state (suspicious)")
+	}
+}
+
+func TestRunLoopComputes(t *testing.T) {
+	// s += a[i] over 4 iterations with known memory contents.
+	l := ir.NewLoop("sum")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Int)
+	ld := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	b.Store(acc, ir.MemRef{Base: "out", Coeff: 1})
+
+	st := New(1)
+	st.Regs[acc] = Value{Class: ir.Int, I: 0}
+	for i := 0; i < 4; i++ {
+		st.Mem["a"] = map[int]Value{}
+	}
+	st.Mem["a"] = map[int]Value{
+		0: {Class: ir.Int, I: 1}, 1: {Class: ir.Int, I: 2},
+		2: {Class: ir.Int, I: 3}, 3: {Class: ir.Int, I: 4},
+	}
+	if err := st.RunLoop(l.Body, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Regs[acc].I; got != 10 {
+		t.Errorf("sum = %d, want 10", got)
+	}
+	if len(st.Stores) != 4 {
+		t.Fatalf("%d stores", len(st.Stores))
+	}
+	wantPartials := []int64{1, 3, 6, 10}
+	for i, ev := range st.Stores {
+		if ev.Base != "out" || ev.Addr != i || ev.Value.I != wantPartials[i] {
+			t.Errorf("store %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	mk := func(i int64) Value { return Value{Class: ir.Int, I: i} }
+	tests := []struct {
+		code ir.Opcode
+		a, b int64
+		want int64
+	}{
+		{ir.Add, 3, 4, 7},
+		{ir.Sub, 3, 4, -1},
+		{ir.Mul, 3, 4, 12},
+		{ir.Div, 12, 4, 3},
+		{ir.Div, 12, 0, 0}, // guarded
+		{ir.Cmp, 5, 4, 1},
+		{ir.Cmp, 4, 5, 0},
+		{ir.Shl, 1, 4, 16},
+		{ir.Shr, 16, 4, 1},
+		{ir.And, 6, 3, 2},
+		{ir.Or, 6, 3, 7},
+		{ir.Xor, 6, 3, 5},
+	}
+	for _, tt := range tests {
+		got := binary(tt.code, ir.Int, mk(tt.a), mk(tt.b))
+		if got.I != tt.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", tt.code, tt.a, tt.b, got.I, tt.want)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	mk := func(f float64) Value { return Value{Class: ir.Float, F: f} }
+	if got := binary(ir.Mul, ir.Float, mk(2.5), mk(4)).F; got != 10 {
+		t.Errorf("fmul = %f", got)
+	}
+	if got := binary(ir.Div, ir.Float, mk(1), mk(0)).F; got != 0 {
+		t.Errorf("guarded fdiv = %f", got)
+	}
+}
+
+func TestUnaryAndConversionOps(t *testing.T) {
+	l := ir.NewLoop("u")
+	b := ir.NewLoopBuilder(l)
+	i := b.Imm(ir.Int, 9)
+	f := b.Cvt(ir.Float, i)
+	nf := b.Neg(f)
+	fi := b.Cvt(ir.Int, nf)
+	fimm := b.Imm(ir.Float, 3)
+	cp := b.Copy(fimm)
+	sel := b.Select(i, fi, i)
+	b.Store(sel, ir.MemRef{Base: "out"})
+	_ = cp
+	st := New(4)
+	if err := st.RunLoop(l.Body, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Regs[f]; got.F != 9 {
+		t.Errorf("cvt int->float = %v", got)
+	}
+	if got := st.Regs[nf]; got.F != -9 {
+		t.Errorf("neg = %v", got)
+	}
+	if got := st.Regs[fi]; got.I != -9 {
+		t.Errorf("cvt float->int = %v", got)
+	}
+	if got := st.Regs[cp]; got.F != 3 {
+		t.Errorf("copy of float imm = %v", got)
+	}
+	if got := st.Stores[0].Value.I; got != -9 {
+		t.Errorf("select(true) stored %d, want -9", got)
+	}
+}
+
+func TestSelectFalseArm(t *testing.T) {
+	l := ir.NewLoop("s")
+	b := ir.NewLoopBuilder(l)
+	zero := b.Imm(ir.Int, 0)
+	a := b.Imm(ir.Int, 7)
+	c := b.Imm(ir.Int, 8)
+	sel := b.Select(zero, a, c)
+	b.Store(sel, ir.MemRef{Base: "out"})
+	st := New(1)
+	if err := st.RunLoop(l.Body, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stores[0].Value.I != 8 {
+		t.Errorf("select(false) = %v", st.Stores[0].Value)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if (Value{Class: ir.Float, F: 2.5}).String() != "2.5" {
+		t.Error("float rendering")
+	}
+	if (Value{Class: ir.Int, I: -3}).String() != "-3" {
+		t.Error("int rendering")
+	}
+}
+
+func TestFloatCmpAndShifts(t *testing.T) {
+	if binary(ir.Cmp, ir.Float, Value{F: 2}, Value{F: 1}).I != 1 {
+		t.Error("float cmp true")
+	}
+	if binary(ir.Cmp, ir.Float, Value{F: 1}, Value{F: 2}).I != 0 {
+		t.Error("float cmp false")
+	}
+	if got := binary(ir.Shl, ir.Int, Value{I: 1}, Value{I: 100}).I; got != 1<<36 {
+		t.Errorf("shift amount must mask to 6 bits (100&63=36): got %d", got)
+	}
+}
+
+func TestRunLoopErrorsOnUnknownOpcode(t *testing.T) {
+	b := &ir.Block{}
+	b.Append(&ir.Op{Code: ir.Nop})
+	st := New(1)
+	if err := st.RunLoop(b, 1); err == nil {
+		t.Error("nop executed")
+	}
+}
+
+func TestSameStores(t *testing.T) {
+	a := []StoreEvent{{Base: "x", Addr: 1, Value: Value{I: 2}}}
+	b := []StoreEvent{{Base: "x", Addr: 1, Value: Value{I: 2}}}
+	if err := SameStores(a, b); err != nil {
+		t.Error(err)
+	}
+	b[0].Addr = 2
+	if err := SameStores(a, b); err == nil {
+		t.Error("differing logs accepted")
+	}
+	if err := SameStores(a, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Block is a straight-line sequence of operations. Blocks are the unit of
+// dependence analysis and scheduling; a software-pipelined loop has exactly
+// one block (its kernel body), matching the paper's test suite of
+// single-block innermost loops.
+type Block struct {
+	// Ops holds the operations in program order.
+	Ops []*Op
+	// Depth is the loop nesting depth of the block; it feeds the RCG node
+	// and edge weights ("Nesting Depth", Section 5). The innermost loops of
+	// the experimental suite all use depth 1; straight-line code uses 0.
+	Depth int
+}
+
+// Append adds op to the end of the block and assigns its ID.
+func (b *Block) Append(op *Op) *Op {
+	op.ID = len(b.Ops)
+	b.Ops = append(b.Ops, op)
+	return op
+}
+
+// Renumber reassigns sequential IDs after insertions or deletions.
+func (b *Block) Renumber() {
+	for i, op := range b.Ops {
+		op.ID = i
+	}
+}
+
+// Clone deep-copies the block.
+func (b *Block) Clone() *Block {
+	c := &Block{Depth: b.Depth, Ops: make([]*Op, len(b.Ops))}
+	for i, op := range b.Ops {
+		c.Ops[i] = op.Clone()
+	}
+	return c
+}
+
+// Registers returns every register mentioned in the block, sorted by
+// (class, ID) for deterministic iteration.
+func (b *Block) Registers() []Reg {
+	seen := make(map[Reg]bool)
+	var regs []Reg
+	for _, op := range b.Ops {
+		for _, r := range op.Defs {
+			if !seen[r] {
+				seen[r] = true
+				regs = append(regs, r)
+			}
+		}
+		for _, r := range op.Uses {
+			if !seen[r] {
+				seen[r] = true
+				regs = append(regs, r)
+			}
+		}
+	}
+	SortRegs(regs)
+	return regs
+}
+
+// Defined returns the set of registers defined somewhere in the block.
+func (b *Block) Defined() map[Reg]bool {
+	defs := make(map[Reg]bool)
+	for _, op := range b.Ops {
+		for _, d := range op.Defs {
+			defs[d] = true
+		}
+	}
+	return defs
+}
+
+// LiveIns returns the registers that are upward exposed: used before any
+// definition within the block. In a loop these are either loop invariants
+// or values carried from the previous iteration.
+func (b *Block) LiveIns() []Reg {
+	defined := make(map[Reg]bool)
+	seen := make(map[Reg]bool)
+	var live []Reg
+	for _, op := range b.Ops {
+		for _, u := range op.Uses {
+			if !defined[u] && !seen[u] {
+				seen[u] = true
+				live = append(live, u)
+			}
+		}
+		for _, d := range op.Defs {
+			defined[d] = true
+		}
+	}
+	SortRegs(live)
+	return live
+}
+
+// String renders the block one operation per line.
+func (b *Block) String() string {
+	var sb strings.Builder
+	for _, op := range b.Ops {
+		fmt.Fprintf(&sb, "%3d: %s\n", op.ID, op)
+	}
+	return sb.String()
+}
+
+// SortRegs orders registers by class then ID, in place.
+func SortRegs(regs []Reg) {
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Class != regs[j].Class {
+			return regs[i].Class < regs[j].Class
+		}
+		return regs[i].ID < regs[j].ID
+	})
+}
+
+// Loop is a single-basic-block innermost loop, the unit of the paper's
+// experimental evaluation. Body.Depth records the nesting depth used by the
+// RCG weighting heuristic.
+type Loop struct {
+	// Name identifies the loop in reports (e.g. "spec95.tomcatv.L3").
+	Name string
+	// Body is the loop kernel in program order.
+	Body *Block
+	// TripCount is an assumed iteration count used only for reporting; the
+	// schedulers never depend on it.
+	TripCount int
+	// nextReg tracks register numbering for NewReg.
+	nextReg int
+}
+
+// NewLoop creates an empty loop with nesting depth 1 (an innermost loop).
+func NewLoop(name string) *Loop {
+	return &Loop{Name: name, Body: &Block{Depth: 1}, TripCount: 100, nextReg: 1}
+}
+
+// NewReg allocates a fresh symbolic register of the given class.
+func (l *Loop) NewReg(c Class) Reg {
+	r := Reg{ID: l.nextReg, Class: c}
+	l.nextReg++
+	return r
+}
+
+// ReserveRegID bumps the register counter so that future NewReg calls never
+// collide with id. Phases that materialize registers chosen elsewhere (copy
+// insertion) use it to keep numbering unique.
+func (l *Loop) ReserveRegID(id int) {
+	if id >= l.nextReg {
+		l.nextReg = id + 1
+	}
+}
+
+// MaxRegID returns the highest register ID in use.
+func (l *Loop) MaxRegID() int { return l.nextReg - 1 }
+
+// Clone deep-copies the loop.
+func (l *Loop) Clone() *Loop {
+	return &Loop{Name: l.Name, Body: l.Body.Clone(), TripCount: l.TripCount, nextReg: l.nextReg}
+}
+
+// String renders the loop header and body.
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop %s (trip=%d, depth=%d):\n%s", l.Name, l.TripCount, l.Body.Depth, l.Body)
+}
+
+// Function is a sequence of blocks with varying nesting depths. The greedy
+// partitioning framework is "global in nature" (Section 1): it applies to
+// whole functions, not only pipelined loops, and the wholefunction example
+// exercises this path.
+type Function struct {
+	Name    string
+	Blocks  []*Block
+	nextReg int
+}
+
+// NewFunction creates an empty function.
+func NewFunction(name string) *Function {
+	return &Function{Name: name, nextReg: 1}
+}
+
+// NewBlock appends an empty block with the given nesting depth.
+func (f *Function) NewBlock(depth int) *Block {
+	b := &Block{Depth: depth}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewReg allocates a fresh symbolic register of the given class.
+func (f *Function) NewReg(c Class) Reg {
+	r := Reg{ID: f.nextReg, Class: c}
+	f.nextReg++
+	return r
+}
+
+// Registers returns every register mentioned anywhere in the function,
+// sorted by (class, ID).
+func (f *Function) Registers() []Reg {
+	seen := make(map[Reg]bool)
+	var regs []Reg
+	for _, b := range f.Blocks {
+		for _, r := range b.Registers() {
+			if !seen[r] {
+				seen[r] = true
+				regs = append(regs, r)
+			}
+		}
+	}
+	SortRegs(regs)
+	return regs
+}
+
+// String renders all blocks.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", f.Name)
+	for i, b := range f.Blocks {
+		fmt.Fprintf(&sb, "block %d (depth %d):\n%s", i, b.Depth, b)
+	}
+	return sb.String()
+}

@@ -1,0 +1,181 @@
+package ir
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoLaneLoop() *Loop {
+	l := NewLoop("test")
+	b := NewLoopBuilder(l)
+	inv := l.NewReg(Float) // live-in invariant
+	la := b.Load(Float, MemRef{Base: "a", Coeff: 1})
+	m := b.Mul(la, inv)
+	b.Store(m, MemRef{Base: "c", Coeff: 1})
+	return l
+}
+
+func TestAppendAssignsIDs(t *testing.T) {
+	l := twoLaneLoop()
+	for i, op := range l.Body.Ops {
+		if op.ID != i {
+			t.Errorf("op %d has ID %d", i, op.ID)
+		}
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	l := twoLaneLoop()
+	l.Body.Ops[0], l.Body.Ops[1] = l.Body.Ops[1], l.Body.Ops[0]
+	l.Body.Renumber()
+	for i, op := range l.Body.Ops {
+		if op.ID != i {
+			t.Errorf("after Renumber op %d has ID %d", i, op.ID)
+		}
+	}
+}
+
+func TestRegistersSortedAndComplete(t *testing.T) {
+	l := twoLaneLoop()
+	regs := l.Body.Registers()
+	if len(regs) != 3 {
+		t.Fatalf("got %d registers, want 3: %v", len(regs), regs)
+	}
+	if !sort.SliceIsSorted(regs, func(i, j int) bool {
+		if regs[i].Class != regs[j].Class {
+			return regs[i].Class < regs[j].Class
+		}
+		return regs[i].ID < regs[j].ID
+	}) {
+		t.Errorf("registers not sorted: %v", regs)
+	}
+}
+
+func TestLiveIns(t *testing.T) {
+	l := twoLaneLoop()
+	live := l.Body.LiveIns()
+	if len(live) != 1 {
+		t.Fatalf("live-ins = %v, want exactly the invariant", live)
+	}
+	if live[0].ID != 1 {
+		t.Errorf("live-in = %v, want f1", live[0])
+	}
+}
+
+func TestLiveInsAccumulator(t *testing.T) {
+	// An accumulator (used and defined by the same op) is upward exposed.
+	l := NewLoop("acc")
+	b := NewLoopBuilder(l)
+	acc := l.NewReg(Int)
+	ld := b.Load(Int, MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	live := l.Body.LiveIns()
+	if len(live) != 1 || live[0] != acc {
+		t.Errorf("live-ins = %v, want [%v]", live, acc)
+	}
+}
+
+func TestDefined(t *testing.T) {
+	l := twoLaneLoop()
+	defs := l.Body.Defined()
+	if len(defs) != 2 {
+		t.Errorf("defined = %v, want the load and mul results", defs)
+	}
+}
+
+func TestBlockCloneIndependent(t *testing.T) {
+	l := twoLaneLoop()
+	c := l.Body.Clone()
+	c.Ops[0].Defs[0] = Reg{ID: 99, Class: Float}
+	if l.Body.Ops[0].Defs[0].ID == 99 {
+		t.Error("block clone shares ops")
+	}
+	if !reflect.DeepEqual(l.Clone().Body.String(), l.Body.String()) {
+		t.Error("loop clone should print identically")
+	}
+}
+
+func TestLoopNewRegUnique(t *testing.T) {
+	l := NewLoop("u")
+	seen := make(map[Reg]bool)
+	for i := 0; i < 100; i++ {
+		r := l.NewReg(Class(i % 2))
+		if seen[r] {
+			t.Fatalf("duplicate register %v", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestReserveRegID(t *testing.T) {
+	l := NewLoop("r")
+	l.ReserveRegID(50)
+	if r := l.NewReg(Int); r.ID != 51 {
+		t.Errorf("NewReg after ReserveRegID(50) = %d, want 51", r.ID)
+	}
+	l.ReserveRegID(10) // lower than current: no-op
+	if r := l.NewReg(Int); r.ID != 52 {
+		t.Errorf("NewReg = %d, want 52", r.ID)
+	}
+}
+
+func TestSortRegsProperty(t *testing.T) {
+	f := func(ids []int16) bool {
+		regs := make([]Reg, len(ids))
+		for i, id := range ids {
+			v := int(id)
+			if v < 0 {
+				v = -v
+			}
+			regs[i] = Reg{ID: v%100 + 1, Class: Class(v % 2)}
+		}
+		SortRegs(regs)
+		for i := 1; i < len(regs); i++ {
+			a, b := regs[i-1], regs[i]
+			if a.Class > b.Class || (a.Class == b.Class && a.ID > b.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionBlocksAndRegs(t *testing.T) {
+	f := NewFunction("f")
+	b0 := f.NewBlock(0)
+	b1 := f.NewBlock(2)
+	bd0 := NewBlockBuilder(f, b0)
+	bd1 := NewBlockBuilder(f, b1)
+	x := bd0.Imm(Int, 1)
+	y := bd1.Add(x, x)
+	_ = y
+	if len(f.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	if b1.Depth != 2 {
+		t.Errorf("depth = %d", b1.Depth)
+	}
+	regs := f.Registers()
+	if len(regs) != 2 {
+		t.Errorf("function registers = %v", regs)
+	}
+	if err := VerifyFunction(f); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := twoLaneLoop()
+	s := l.String()
+	for _, want := range []string{"loop test", "load f2", "mult f3, f2, f1", "store c[1*i], f3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("loop dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package ir
+
+// Builder offers a fluent way to emit operations into a block while
+// allocating registers from an owning Loop or Function. It exists so tests,
+// examples and the synthetic loop generator can construct IR without
+// hand-rolling Op literals.
+type Builder struct {
+	block  *Block
+	newReg func(Class) Reg
+}
+
+// NewLoopBuilder returns a builder emitting into the loop's body.
+func NewLoopBuilder(l *Loop) *Builder {
+	return &Builder{block: l.Body, newReg: l.NewReg}
+}
+
+// NewBlockBuilder returns a builder emitting into b, allocating registers
+// from f.
+func NewBlockBuilder(f *Function, b *Block) *Builder {
+	return &Builder{block: b, newReg: f.NewReg}
+}
+
+// Block returns the block being built.
+func (bd *Builder) Block() *Block { return bd.block }
+
+// Emit appends a fully formed operation.
+func (bd *Builder) Emit(op *Op) *Op { return bd.block.Append(op) }
+
+// Load emits a load of class c from the given memory reference, returning
+// the destination register.
+func (bd *Builder) Load(c Class, mem MemRef) Reg {
+	d := bd.newReg(c)
+	m := mem
+	bd.Emit(&Op{Code: Load, Class: c, Defs: []Reg{d}, Mem: &m})
+	return d
+}
+
+// Store emits a store of src to the given memory reference.
+func (bd *Builder) Store(src Reg, mem MemRef) {
+	m := mem
+	bd.Emit(&Op{Code: Store, Class: src.Class, Uses: []Reg{src}, Mem: &m})
+}
+
+// Imm emits a constant materialization of class c.
+func (bd *Builder) Imm(c Class, v int64) Reg {
+	d := bd.newReg(c)
+	bd.Emit(&Op{Code: LoadImm, Class: c, Defs: []Reg{d}, Imm: v})
+	return d
+}
+
+// binary emits a two-source arithmetic operation.
+func (bd *Builder) binary(code Opcode, a, b Reg) Reg {
+	d := bd.newReg(a.Class)
+	bd.Emit(&Op{Code: code, Class: a.Class, Defs: []Reg{d}, Uses: []Reg{a, b}})
+	return d
+}
+
+// Add emits d = a + b.
+func (bd *Builder) Add(a, b Reg) Reg { return bd.binary(Add, a, b) }
+
+// Sub emits d = a - b.
+func (bd *Builder) Sub(a, b Reg) Reg { return bd.binary(Sub, a, b) }
+
+// Mul emits d = a * b.
+func (bd *Builder) Mul(a, b Reg) Reg { return bd.binary(Mul, a, b) }
+
+// Div emits d = a / b.
+func (bd *Builder) Div(a, b Reg) Reg { return bd.binary(Div, a, b) }
+
+// And emits d = a & b.
+func (bd *Builder) And(a, b Reg) Reg { return bd.binary(And, a, b) }
+
+// Or emits d = a | b.
+func (bd *Builder) Or(a, b Reg) Reg { return bd.binary(Or, a, b) }
+
+// Xor emits d = a ^ b.
+func (bd *Builder) Xor(a, b Reg) Reg { return bd.binary(Xor, a, b) }
+
+// Shl emits d = a << b.
+func (bd *Builder) Shl(a, b Reg) Reg { return bd.binary(Shl, a, b) }
+
+// Shr emits d = a >> b.
+func (bd *Builder) Shr(a, b Reg) Reg { return bd.binary(Shr, a, b) }
+
+// Cmp emits an integer comparison of a and b.
+func (bd *Builder) Cmp(a, b Reg) Reg {
+	d := bd.newReg(Int)
+	bd.Emit(&Op{Code: Cmp, Class: Int, Defs: []Reg{d}, Uses: []Reg{a, b}})
+	return d
+}
+
+// Neg emits d = -a.
+func (bd *Builder) Neg(a Reg) Reg {
+	d := bd.newReg(a.Class)
+	bd.Emit(&Op{Code: Neg, Class: a.Class, Defs: []Reg{d}, Uses: []Reg{a}})
+	return d
+}
+
+// Cvt emits a class conversion of a into class c.
+func (bd *Builder) Cvt(c Class, a Reg) Reg {
+	d := bd.newReg(c)
+	bd.Emit(&Op{Code: Cvt, Class: c, Defs: []Reg{d}, Uses: []Reg{a}})
+	return d
+}
+
+// AddInto emits "dst = a + b" reusing an existing destination register.
+// Recurrences (accumulators updated every iteration) need in-place updates,
+// which the fresh-register helpers cannot express.
+func (bd *Builder) AddInto(dst, a, b Reg) {
+	bd.Emit(&Op{Code: Add, Class: dst.Class, Defs: []Reg{dst}, Uses: []Reg{a, b}})
+}
+
+// MulInto emits "dst = a * b" reusing an existing destination register.
+func (bd *Builder) MulInto(dst, a, b Reg) {
+	bd.Emit(&Op{Code: Mul, Class: dst.Class, Defs: []Reg{dst}, Uses: []Reg{a, b}})
+}
+
+// Select emits d = cond != 0 ? a : b (a conditional move, the residue of
+// IF-conversion). cond must be an integer value; a and b share d's class.
+func (bd *Builder) Select(cond, a, b Reg) Reg {
+	d := bd.newReg(a.Class)
+	bd.Emit(&Op{Code: Select, Class: a.Class, Defs: []Reg{d}, Uses: []Reg{cond, a, b}})
+	return d
+}
+
+// Copy emits an explicit register copy (used by tests; the partitioning
+// phase inserts its own copies directly).
+func (bd *Builder) Copy(src Reg) Reg {
+	d := bd.newReg(src.Class)
+	bd.Emit(&Op{Code: Copy, Class: src.Class, Defs: []Reg{d}, Uses: []Reg{src}})
+	return d
+}

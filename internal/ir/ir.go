@@ -1,0 +1,309 @@
+// Package ir defines the intermediate representation used throughout the
+// reproduction: three-address operations over symbolic (virtual) registers,
+// grouped into basic blocks and innermost loops.
+//
+// The representation mirrors the intermediate code of the Rocket compiler as
+// described in the paper: code is first built assuming a single infinite
+// register bank (step 1 of Section 4); every later phase — dependence
+// analysis, modulo scheduling, register component graph construction,
+// partitioning, copy insertion and graph-coloring register assignment —
+// consumes and produces this IR.
+//
+// Registers carry a class (integer or floating point) because the machine
+// models charge different inter-cluster copy latencies for the two classes
+// (2 cycles for integers, 3 for floats; Section 6.1).
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is the register class of a value. The paper's machine models treat
+// every functional unit as general purpose, but the class still matters for
+// operation latencies and for inter-cluster copy latencies.
+type Class uint8
+
+const (
+	// Int is the integer register class.
+	Int Class = iota
+	// Float is the floating-point register class.
+	Float
+)
+
+// String returns "int" or "float".
+func (c Class) String() string {
+	switch c {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Reg is a symbolic (virtual) register. Registers are assumed to live in a
+// single infinite register bank until the partitioning phase assigns each
+// one to a register bank, and the coloring phase assigns each one a machine
+// register within that bank.
+//
+// Reg is a small comparable value type so it can be used directly as a map
+// key throughout the dependence, partitioning and allocation phases.
+type Reg struct {
+	// ID is the register number, unique within a Loop or Function.
+	ID int
+	// Class is the register class of the value the register holds.
+	Class Class
+}
+
+// String renders the register in the paper's "r<n>" style, with an "f"
+// prefix for floating-point registers so the two classes are visually
+// distinct in dumps.
+func (r Reg) String() string {
+	if r.Class == Float {
+		return fmt.Sprintf("f%d", r.ID)
+	}
+	return fmt.Sprintf("r%d", r.ID)
+}
+
+// Invalid reports whether the register is the zero-value placeholder.
+func (r Reg) Invalid() bool { return r.ID == 0 }
+
+// NoReg is the invalid register; ID 0 is reserved so that the zero value of
+// Reg is never a real operand.
+var NoReg = Reg{}
+
+// Opcode enumerates the operation kinds understood by the schedulers and by
+// the machine models' latency tables. The set covers everything the paper's
+// loop suite needs: memory traffic, integer and floating-point arithmetic,
+// immediates, and the inter-cluster copies inserted by the partitioning
+// phase.
+type Opcode uint8
+
+const (
+	// Nop is an empty operation; it never appears in well-formed code but
+	// keeps the zero value of Op harmless.
+	Nop Opcode = iota
+	// Load reads memory into a register (class taken from the destination).
+	Load
+	// Store writes a register to memory.
+	Store
+	// LoadImm materializes a constant into a register.
+	LoadImm
+	// Add, Sub, Mul, Div are arithmetic on either class; the class of the
+	// operation decides the latency row used by the machine model.
+	Add
+	Sub
+	Mul
+	Div
+	// Neg negates a value.
+	Neg
+	// Cmp compares two values, producing an integer flag value.
+	Cmp
+	// Shl and Shr are integer shifts.
+	Shl
+	Shr
+	// And, Or, Xor are integer bitwise operations.
+	And
+	Or
+	Xor
+	// Cvt converts between classes (int<->float); its class is the class of
+	// the destination.
+	Cvt
+	// Select is a conditional move: dst = cond != 0 ? a : b. It is the
+	// residue of IF-conversion — the preprocessing the paper's comparison
+	// suite (Nystrom and Eichenberger's loops) had applied — and lets the
+	// workload include loops with control flow folded into data flow.
+	// Uses are ordered (cond, a, b); cond is an integer value.
+	Select
+	// Copy is an inter-cluster register copy inserted by the partitioning
+	// phase ("move" in the paper's Figure 3). Copies are the only
+	// operations whose placement is dictated by the copy model: the
+	// embedded model schedules them on ordinary functional units while the
+	// copy-unit model routes them through dedicated ports and busses.
+	Copy
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	Nop:     "nop",
+	Load:    "load",
+	Store:   "store",
+	LoadImm: "loadi",
+	Add:     "add",
+	Sub:     "sub",
+	Mul:     "mult",
+	Div:     "div",
+	Neg:     "neg",
+	Cmp:     "cmp",
+	Shl:     "shl",
+	Shr:     "shr",
+	And:     "and",
+	Or:      "or",
+	Xor:     "xor",
+	Cvt:     "cvt",
+	Select:  "select",
+	Copy:    "move",
+}
+
+// String returns the mnemonic used by the pretty printer.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(o))
+}
+
+// Opcodes returns all real opcodes (excluding Nop), in declaration order.
+// It is used by property-based tests to sweep the opcode space.
+func Opcodes() []Opcode {
+	ops := make([]Opcode, 0, int(numOpcodes)-1)
+	for o := Load; o < numOpcodes; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+// IsMemory reports whether the opcode touches memory.
+func (o Opcode) IsMemory() bool { return o == Load || o == Store }
+
+// HasDef reports whether the opcode defines a register.
+func (o Opcode) HasDef() bool { return o != Store && o != Nop }
+
+// MemRef describes the memory location touched by a Load or Store, in the
+// affine form the dependence analyzer understands:
+//
+//	address = Base[Coeff*i + Offset]
+//
+// where i is the innermost loop's induction variable. Coeff == 0 denotes a
+// loop-invariant address (e.g. a scalar). Two references to different Base
+// symbols never alias: the synthetic loop suite, like the paper's
+// FORTRAN-derived loops, has no pointer-induced ambiguity between distinct
+// arrays.
+type MemRef struct {
+	// Base names the array or scalar symbol.
+	Base string
+	// Coeff is the coefficient of the loop induction variable (elements per
+	// iteration); 0 means the address is loop invariant.
+	Coeff int
+	// Offset is the constant element offset.
+	Offset int
+}
+
+// String renders the reference as Base[Coeff*i+Offset].
+func (m MemRef) String() string {
+	switch {
+	case m.Coeff == 0:
+		return fmt.Sprintf("%s[%d]", m.Base, m.Offset)
+	case m.Offset == 0:
+		return fmt.Sprintf("%s[%d*i]", m.Base, m.Coeff)
+	case m.Offset > 0:
+		return fmt.Sprintf("%s[%d*i+%d]", m.Base, m.Coeff, m.Offset)
+	default:
+		return fmt.Sprintf("%s[%d*i%d]", m.Base, m.Coeff, m.Offset)
+	}
+}
+
+// Op is a single three-address operation. Defs and Uses hold symbolic
+// registers; memory operations additionally carry a MemRef for dependence
+// testing. The scheduler and partitioner identify operations by their index
+// in the containing block, which the builder records in ID.
+type Op struct {
+	// ID is the operation's index within its block. It is assigned by the
+	// Builder and kept stable by all phases; phases that insert operations
+	// (copy insertion) renumber via Block.Renumber.
+	ID int
+	// Code is the operation kind.
+	Code Opcode
+	// Class is the class of the computation (decides the latency row).
+	// For Load/Store/Copy/Cvt it is the class of the data moved.
+	Class Class
+	// Defs lists registers written (at most one in well-formed code).
+	Defs []Reg
+	// Uses lists registers read.
+	Uses []Reg
+	// Mem is non-nil exactly when Code.IsMemory().
+	Mem *MemRef
+	// Imm is the constant for LoadImm.
+	Imm int64
+	// Comment is free-form annotation carried into dumps.
+	Comment string
+}
+
+// Def returns the single defined register, or NoReg when the operation
+// defines nothing (stores).
+func (op *Op) Def() Reg {
+	if len(op.Defs) == 0 {
+		return NoReg
+	}
+	return op.Defs[0]
+}
+
+// ReadsReg reports whether the operation uses r.
+func (op *Op) ReadsReg(r Reg) bool {
+	for _, u := range op.Uses {
+		if u == r {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesReg reports whether the operation defines r.
+func (op *Op) WritesReg(r Reg) bool {
+	for _, d := range op.Defs {
+		if d == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the operation (fresh slices, copied MemRef).
+func (op *Op) Clone() *Op {
+	c := *op
+	c.Defs = append([]Reg(nil), op.Defs...)
+	c.Uses = append([]Reg(nil), op.Uses...)
+	if op.Mem != nil {
+		m := *op.Mem
+		c.Mem = &m
+	}
+	return &c
+}
+
+// String renders the operation in the paper's assembly-like style, e.g.
+// "mult r5, r1, r2" or "load r1, xvel[1*i]".
+func (op *Op) String() string {
+	var b strings.Builder
+	b.WriteString(op.Code.String())
+	wrote := false
+	writeOperand := func(s string) {
+		if wrote {
+			b.WriteString(", ")
+		} else {
+			b.WriteByte(' ')
+			wrote = true
+		}
+		b.WriteString(s)
+	}
+	for _, d := range op.Defs {
+		writeOperand(d.String())
+	}
+	if op.Code == Store && op.Mem != nil {
+		writeOperand(op.Mem.String())
+	}
+	for _, u := range op.Uses {
+		writeOperand(u.String())
+	}
+	if op.Code == Load && op.Mem != nil {
+		writeOperand(op.Mem.String())
+	}
+	if op.Code == LoadImm {
+		writeOperand(fmt.Sprintf("#%d", op.Imm))
+	}
+	if op.Comment != "" {
+		fmt.Fprintf(&b, "  ; %s", op.Comment)
+	}
+	return b.String()
+}

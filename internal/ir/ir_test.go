@@ -1,0 +1,154 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		want string
+	}{
+		{Reg{ID: 1, Class: Int}, "r1"},
+		{Reg{ID: 42, Class: Float}, "f42"},
+		{Reg{ID: 7, Class: Int}, "r7"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestNoRegInvalid(t *testing.T) {
+	if !NoReg.Invalid() {
+		t.Error("NoReg must be invalid")
+	}
+	if (Reg{ID: 3, Class: Float}).Invalid() {
+		t.Error("real register reported invalid")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" {
+		t.Errorf("class names wrong: %q %q", Int, Float)
+	}
+	if !strings.Contains(Class(9).String(), "9") {
+		t.Errorf("unknown class should include its value: %q", Class(9))
+	}
+}
+
+func TestOpcodeProperties(t *testing.T) {
+	for _, o := range Opcodes() {
+		if o.String() == "" || strings.Contains(o.String(), "opcode(") {
+			t.Errorf("opcode %d has no mnemonic", o)
+		}
+	}
+	if !Load.IsMemory() || !Store.IsMemory() {
+		t.Error("load/store must be memory ops")
+	}
+	if Add.IsMemory() || Copy.IsMemory() {
+		t.Error("add/copy are not memory ops")
+	}
+	if Store.HasDef() {
+		t.Error("store defines nothing")
+	}
+	if !Load.HasDef() || !Copy.HasDef() {
+		t.Error("load/copy define a register")
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	tests := []struct {
+		m    MemRef
+		want string
+	}{
+		{MemRef{Base: "a", Coeff: 0, Offset: 3}, "a[3]"},
+		{MemRef{Base: "a", Coeff: 2, Offset: 0}, "a[2*i]"},
+		{MemRef{Base: "a", Coeff: 1, Offset: 4}, "a[1*i+4]"},
+		{MemRef{Base: "a", Coeff: 1, Offset: -2}, "a[1*i-2]"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%+v.String() = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := &Op{
+		Code:  Mul,
+		Class: Float,
+		Defs:  []Reg{{ID: 5, Class: Float}},
+		Uses:  []Reg{{ID: 1, Class: Float}, {ID: 2, Class: Float}},
+	}
+	if got := op.String(); got != "mult f5, f1, f2" {
+		t.Errorf("op string = %q", got)
+	}
+	st := &Op{Code: Store, Class: Int, Uses: []Reg{{ID: 9, Class: Int}}, Mem: &MemRef{Base: "x", Coeff: 1}}
+	if got := st.String(); got != "store x[1*i], r9" {
+		t.Errorf("store string = %q", got)
+	}
+	ld := &Op{Code: Load, Class: Int, Defs: []Reg{{ID: 3, Class: Int}}, Mem: &MemRef{Base: "y", Coeff: 1}}
+	if got := ld.String(); got != "load r3, y[1*i]" {
+		t.Errorf("load string = %q", got)
+	}
+	im := &Op{Code: LoadImm, Class: Int, Defs: []Reg{{ID: 3, Class: Int}}, Imm: -7}
+	if got := im.String(); got != "loadi r3, #-7" {
+		t.Errorf("loadi string = %q", got)
+	}
+}
+
+func TestOpAccessors(t *testing.T) {
+	r1, r2, r3 := Reg{ID: 1, Class: Int}, Reg{ID: 2, Class: Int}, Reg{ID: 3, Class: Int}
+	op := &Op{Code: Add, Class: Int, Defs: []Reg{r3}, Uses: []Reg{r1, r2}}
+	if op.Def() != r3 {
+		t.Error("Def() wrong")
+	}
+	if !op.ReadsReg(r1) || !op.ReadsReg(r2) || op.ReadsReg(r3) {
+		t.Error("ReadsReg wrong")
+	}
+	if !op.WritesReg(r3) || op.WritesReg(r1) {
+		t.Error("WritesReg wrong")
+	}
+	st := &Op{Code: Store, Class: Int, Uses: []Reg{r1}, Mem: &MemRef{Base: "a"}}
+	if st.Def() != NoReg {
+		t.Error("store Def() should be NoReg")
+	}
+}
+
+func TestOpCloneIsDeep(t *testing.T) {
+	op := &Op{
+		Code: Load, Class: Float,
+		Defs: []Reg{{ID: 1, Class: Float}},
+		Mem:  &MemRef{Base: "a", Coeff: 1, Offset: 2},
+	}
+	c := op.Clone()
+	c.Defs[0] = Reg{ID: 99, Class: Float}
+	c.Mem.Offset = 77
+	if op.Defs[0].ID != 1 || op.Mem.Offset != 2 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestOpClonePreservesFields(t *testing.T) {
+	f := func(id int, imm int64, off int) bool {
+		if id < 0 {
+			id = -id
+		}
+		op := &Op{
+			Code: Load, Class: Float,
+			Defs: []Reg{{ID: id%1000 + 1, Class: Float}},
+			Imm:  imm,
+			Mem:  &MemRef{Base: "a", Coeff: 1, Offset: off % 100},
+		}
+		c := op.Clone()
+		return c.Code == op.Code && c.Class == op.Class &&
+			c.Defs[0] == op.Defs[0] && c.Imm == op.Imm && *c.Mem == *op.Mem
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the assembly-like text the printer emits, giving the IR
+// a round-trippable serialization: loops can be dumped by cmd tools,
+// edited by hand, and fed back into the pipeline. The grammar is exactly
+// the printer's output:
+//
+//	[index:] mnemonic operand {, operand} [; comment]
+//
+// where an operand is a register (r7 / f3), a memory reference
+// (base[off] | base[c*i] | base[c*i±off]) or an immediate (#n).
+
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Load; op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// ParseBlock parses one block of printer-format code, one operation per
+// line; blank lines are skipped.
+func ParseBlock(src string) (*Block, error) {
+	b := &Block{}
+	for ln, line := range strings.Split(src, "\n") {
+		op, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ir: line %d: %w", ln+1, err)
+		}
+		if op != nil {
+			b.Append(op)
+		}
+	}
+	if err := VerifyBlock(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ParseLoop parses a block and wraps it as a named innermost loop, with
+// register numbering reserved past every parsed register.
+func ParseLoop(name, src string) (*Loop, error) {
+	b, err := ParseBlock(src)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoop(name)
+	l.Body = b
+	l.Body.Depth = 1
+	for _, r := range b.Registers() {
+		l.ReserveRegID(r.ID)
+	}
+	return l, nil
+}
+
+func parseLine(line string) (*Op, error) {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil, nil
+	}
+	// Optional "12:" index prefix from Block.String dumps.
+	if i := strings.Index(line, ":"); i >= 0 {
+		if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				return nil, nil
+			}
+		}
+	}
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	code, ok := opcodeByName[mnemonic]
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var operands []string
+	if rest != "" {
+		for _, f := range strings.Split(rest, ",") {
+			operands = append(operands, strings.TrimSpace(f))
+		}
+	}
+	op := &Op{Code: code}
+	consume := func() (string, error) {
+		if len(operands) == 0 {
+			return "", fmt.Errorf("missing operand for %s", mnemonic)
+		}
+		s := operands[0]
+		operands = operands[1:]
+		return s, nil
+	}
+
+	switch code {
+	case Store:
+		memStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		mem, err := parseMemRef(memStr)
+		if err != nil {
+			return nil, err
+		}
+		srcStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		src, err := parseReg(srcStr)
+		if err != nil {
+			return nil, err
+		}
+		op.Mem, op.Uses, op.Class = mem, []Reg{src}, src.Class
+	case Load:
+		defStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		def, err := parseReg(defStr)
+		if err != nil {
+			return nil, err
+		}
+		memStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		mem, err := parseMemRef(memStr)
+		if err != nil {
+			return nil, err
+		}
+		op.Defs, op.Mem, op.Class = []Reg{def}, mem, def.Class
+	case LoadImm:
+		defStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		def, err := parseReg(defStr)
+		if err != nil {
+			return nil, err
+		}
+		immStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(immStr, "#") {
+			return nil, fmt.Errorf("immediate %q must start with #", immStr)
+		}
+		v, err := strconv.ParseInt(immStr[1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad immediate %q: %v", immStr, err)
+		}
+		op.Defs, op.Imm, op.Class = []Reg{def}, v, def.Class
+	default:
+		defStr, err := consume()
+		if err != nil {
+			return nil, err
+		}
+		def, err := parseReg(defStr)
+		if err != nil {
+			return nil, err
+		}
+		op.Defs = []Reg{def}
+		for len(operands) > 0 {
+			uStr, _ := consume()
+			u, err := parseReg(uStr)
+			if err != nil {
+				return nil, err
+			}
+			op.Uses = append(op.Uses, u)
+		}
+		op.Class = def.Class
+		if code == Cvt || code == Copy {
+			// Class bookkeeping: Cvt's op class is the destination's;
+			// Copy's is the moved value's (they match anyway).
+			op.Class = def.Class
+		}
+	}
+	return op, nil
+}
+
+func parseReg(s string) (Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'f') {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	id, err := strconv.Atoi(s[1:])
+	if err != nil || id <= 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	class := Int
+	if s[0] == 'f' {
+		class = Float
+	}
+	return Reg{ID: id, Class: class}, nil
+}
+
+// parseMemRef parses base[off], base[c*i], base[c*i+off] or base[c*i-off].
+func parseMemRef(s string) (*MemRef, error) {
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("bad memory reference %q", s)
+	}
+	base := s[:open]
+	inner := s[open+1 : len(s)-1]
+	m := &MemRef{Base: base}
+	star := strings.Index(inner, "*i")
+	if star < 0 {
+		off, err := strconv.Atoi(inner)
+		if err != nil {
+			return nil, fmt.Errorf("bad subscript %q", inner)
+		}
+		m.Offset = off
+		return m, nil
+	}
+	coeff, err := strconv.Atoi(inner[:star])
+	if err != nil {
+		return nil, fmt.Errorf("bad stride in %q", inner)
+	}
+	m.Coeff = coeff
+	tail := inner[star+2:]
+	if tail != "" {
+		off, err := strconv.Atoi(tail) // includes the sign
+		if err != nil {
+			return nil, fmt.Errorf("bad offset in %q", inner)
+		}
+		m.Offset = off
+	}
+	return m, nil
+}

@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBlockBasic(t *testing.T) {
+	src := `
+  0: load f2, xvel[0]
+  1: load f3, t[3*i+1]
+  2: mult f5, f2, f3
+  3: move f6, f5
+  4: store out[1*i-2], f6
+  5: loadi r7, #-42
+`
+	b, err := ParseBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ops) != 6 {
+		t.Fatalf("parsed %d ops", len(b.Ops))
+	}
+	if b.Ops[1].Mem.Coeff != 3 || b.Ops[1].Mem.Offset != 1 {
+		t.Errorf("memref parsed as %+v", b.Ops[1].Mem)
+	}
+	if b.Ops[4].Mem.Offset != -2 {
+		t.Errorf("negative offset parsed as %d", b.Ops[4].Mem.Offset)
+	}
+	if b.Ops[5].Imm != -42 {
+		t.Errorf("immediate parsed as %d", b.Ops[5].Imm)
+	}
+	if b.Ops[3].Code != Copy {
+		t.Errorf("move parsed as %s", b.Ops[3].Code)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	l := NewLoop("rt")
+	bd := NewLoopBuilder(l)
+	s := l.NewReg(Float)
+	x := bd.Load(Float, MemRef{Base: "a", Coeff: 2, Offset: 1})
+	y := bd.Mul(x, s)
+	z := bd.Add(y, x)
+	bd.Store(z, MemRef{Base: "c", Coeff: 2})
+	i := bd.Imm(Int, 7)
+	j := bd.Shl(i, i)
+	bd.Store(bd.Xor(j, i), MemRef{Base: "d", Coeff: 0, Offset: 4})
+
+	text := l.Body.String()
+	parsed, err := ParseBlock(text)
+	if err != nil {
+		t.Fatalf("parse of printer output failed: %v\n%s", err, text)
+	}
+	if got := parsed.String(); got != text {
+		t.Errorf("round trip differs:\n--- printed\n%s--- reparsed\n%s", text, got)
+	}
+}
+
+func TestParseLoopReservesRegisters(t *testing.T) {
+	l, err := ParseLoop("p", "load f9, a[1*i]\nmult f10, f9, f9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := l.NewReg(Float); r.ID <= 10 {
+		t.Errorf("fresh register %d collides with parsed ones", r.ID)
+	}
+	if l.Body.Depth != 1 {
+		t.Error("parsed loop must be an innermost loop")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"frob f1, f2",            // unknown mnemonic
+		"load f1",                // missing memref
+		"load f1, a[i]",          // bad subscript
+		"mult f1, f2",            // too few uses
+		"store a[1*i], q7",       // bad register
+		"loadi f1, 42",           // immediate without #
+		"load x1, a[0]",          // bad register prefix
+		"add f0, f1, f2",         // register id 0 reserved
+		"mult f1, f2, f3, f4",    // too many uses
+		"store a[1*i, f1",        // unterminated subscript
+		"load f1, a[2*i+binary]", // non-numeric offset
+	}
+	for _, src := range bad {
+		if _, err := ParseBlock(src); err == nil {
+			t.Errorf("ParseBlock(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseRoundTripQuick(t *testing.T) {
+	// Randomized round trip: a structurally valid op printed and reparsed
+	// must compare equal field by field.
+	f := func(kind uint8, dst, s1, s2 uint16, coeff int8, off int16, imm int64, fl bool) bool {
+		class := Int
+		if fl {
+			class = Float
+		}
+		reg := func(v uint16) Reg { return Reg{ID: int(v%500) + 1, Class: class} }
+		var op *Op
+		switch kind % 5 {
+		case 0:
+			op = &Op{Code: Load, Class: class, Defs: []Reg{reg(dst)},
+				Mem: &MemRef{Base: "arr", Coeff: int(coeff), Offset: int(off % 100)}}
+		case 1:
+			op = &Op{Code: Store, Class: class, Uses: []Reg{reg(s1)},
+				Mem: &MemRef{Base: "arr", Coeff: int(coeff), Offset: int(off % 100)}}
+		case 2:
+			op = &Op{Code: Mul, Class: class, Defs: []Reg{reg(dst)}, Uses: []Reg{reg(s1), reg(s2)}}
+		case 3:
+			op = &Op{Code: LoadImm, Class: class, Defs: []Reg{reg(dst)}, Imm: imm}
+		default:
+			op = &Op{Code: Copy, Class: class, Defs: []Reg{reg(dst)}, Uses: []Reg{reg(s1)}}
+		}
+		b := &Block{}
+		b.Append(op)
+		parsed, err := ParseBlock(b.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == b.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	b, err := ParseBlock("\n  ; pure comment\nload f1, a[0]  ; trailing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ops) != 1 {
+		t.Fatalf("parsed %d ops, want 1", len(b.Ops))
+	}
+}

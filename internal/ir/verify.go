@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is wrapped by every verification failure so callers can test
+// with errors.Is.
+var ErrInvalid = errors.New("ir: invalid")
+
+// VerifyBlock checks structural well-formedness of a block:
+//
+//   - operation IDs match their positions;
+//   - every operation has the operand shape its opcode requires
+//     (memory ops carry a MemRef, stores define nothing, everything else
+//     defines exactly one register, no NoReg operands);
+//   - register classes are consistent (an operation's Defs match its Class,
+//     Copy/Cvt aside).
+//
+// It deliberately does not require defs-before-uses: in a loop kernel a use
+// may be upward exposed (live-in or carried from the previous iteration).
+func VerifyBlock(b *Block) error {
+	for i, op := range b.Ops {
+		if op.ID != i {
+			return fmt.Errorf("%w: op %d has ID %d (run Renumber?)", ErrInvalid, i, op.ID)
+		}
+		if err := verifyOp(op); err != nil {
+			return fmt.Errorf("op %d (%s): %w", i, op, err)
+		}
+	}
+	return nil
+}
+
+func verifyOp(op *Op) error {
+	switch {
+	case op.Code == Nop:
+		return fmt.Errorf("%w: nop in code stream", ErrInvalid)
+	case op.Code >= numOpcodes:
+		return fmt.Errorf("%w: unknown opcode %d", ErrInvalid, op.Code)
+	}
+	if op.Code.IsMemory() != (op.Mem != nil) {
+		return fmt.Errorf("%w: memory reference mismatch for %s", ErrInvalid, op.Code)
+	}
+	if op.Code == Store {
+		if len(op.Defs) != 0 {
+			return fmt.Errorf("%w: store defines a register", ErrInvalid)
+		}
+		if len(op.Uses) != 1 {
+			return fmt.Errorf("%w: store must use exactly one register", ErrInvalid)
+		}
+	} else {
+		if len(op.Defs) != 1 {
+			return fmt.Errorf("%w: %s must define exactly one register", ErrInvalid, op.Code)
+		}
+	}
+	wantUses := -1 // -1 means "don't check"
+	switch op.Code {
+	case Load, LoadImm:
+		wantUses = 0
+	case Neg, Cvt, Copy:
+		wantUses = 1
+	case Add, Sub, Mul, Div, Cmp, Shl, Shr, And, Or, Xor:
+		wantUses = 2
+	case Select:
+		wantUses = 3
+	}
+	if wantUses >= 0 && len(op.Uses) != wantUses {
+		return fmt.Errorf("%w: %s wants %d uses, has %d", ErrInvalid, op.Code, wantUses, len(op.Uses))
+	}
+	for _, d := range op.Defs {
+		if d.Invalid() {
+			return fmt.Errorf("%w: invalid def register", ErrInvalid)
+		}
+		// Copy and Cvt may change class bookkeeping; all other defs match
+		// the operation class.
+		if op.Code != Cvt && op.Code != Copy && d.Class != op.Class {
+			return fmt.Errorf("%w: def %s class differs from op class %s", ErrInvalid, d, op.Class)
+		}
+	}
+	for _, u := range op.Uses {
+		if u.Invalid() {
+			return fmt.Errorf("%w: invalid use register", ErrInvalid)
+		}
+	}
+	return nil
+}
+
+// VerifyLoop verifies the loop body.
+func VerifyLoop(l *Loop) error {
+	if l.Body == nil {
+		return fmt.Errorf("%w: loop %q has no body", ErrInvalid, l.Name)
+	}
+	if err := VerifyBlock(l.Body); err != nil {
+		return fmt.Errorf("loop %q: %w", l.Name, err)
+	}
+	return nil
+}
+
+// VerifyFunction verifies every block of the function.
+func VerifyFunction(f *Function) error {
+	for i, b := range f.Blocks {
+		if err := VerifyBlock(b); err != nil {
+			return fmt.Errorf("func %q block %d: %w", f.Name, i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package ir
+
+import (
+	"errors"
+	"testing"
+)
+
+func validAdd() *Op {
+	return &Op{
+		Code: Add, Class: Int,
+		Defs: []Reg{{ID: 3, Class: Int}},
+		Uses: []Reg{{ID: 1, Class: Int}, {ID: 2, Class: Int}},
+	}
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	l := NewLoop("ok")
+	b := NewLoopBuilder(l)
+	x := b.Load(Int, MemRef{Base: "a", Coeff: 1})
+	y := b.Imm(Int, 3)
+	z := b.Add(x, y)
+	b.Store(z, MemRef{Base: "c", Coeff: 1})
+	f := b.Cvt(Float, z)
+	b.Store(f, MemRef{Base: "d", Coeff: 1})
+	if err := VerifyLoop(l); err != nil {
+		t.Fatalf("well-formed loop rejected: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		op   *Op
+	}{
+		{"nop", &Op{Code: Nop}},
+		{"unknown opcode", &Op{Code: Opcode(200), Defs: []Reg{{ID: 1}}}},
+		{"load without memref", &Op{Code: Load, Class: Int, Defs: []Reg{{ID: 1, Class: Int}}}},
+		{"add with memref", func() *Op { o := validAdd(); o.Mem = &MemRef{Base: "a"}; return o }()},
+		{"store with def", &Op{Code: Store, Class: Int, Defs: []Reg{{ID: 1, Class: Int}}, Uses: []Reg{{ID: 2, Class: Int}}, Mem: &MemRef{Base: "a"}}},
+		{"store with two uses", &Op{Code: Store, Class: Int, Uses: []Reg{{ID: 1, Class: Int}, {ID: 2, Class: Int}}, Mem: &MemRef{Base: "a"}}},
+		{"add with no def", &Op{Code: Add, Class: Int, Uses: []Reg{{ID: 1, Class: Int}, {ID: 2, Class: Int}}}},
+		{"add with one use", &Op{Code: Add, Class: Int, Defs: []Reg{{ID: 3, Class: Int}}, Uses: []Reg{{ID: 1, Class: Int}}}},
+		{"copy with two uses", &Op{Code: Copy, Class: Int, Defs: []Reg{{ID: 3, Class: Int}}, Uses: []Reg{{ID: 1, Class: Int}, {ID: 2, Class: Int}}}},
+		{"invalid def reg", &Op{Code: LoadImm, Class: Int, Defs: []Reg{{}}}},
+		{"invalid use reg", func() *Op { o := validAdd(); o.Uses[0] = NoReg; return o }()},
+		{"class mismatch", &Op{Code: Add, Class: Int, Defs: []Reg{{ID: 3, Class: Float}}, Uses: []Reg{{ID: 1, Class: Int}, {ID: 2, Class: Int}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := &Block{}
+			b.Append(tt.op)
+			err := VerifyBlock(b)
+			if err == nil {
+				t.Fatalf("VerifyBlock accepted %s", tt.name)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("error %v does not wrap ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestVerifyCatchesStaleIDs(t *testing.T) {
+	b := &Block{}
+	b.Append(validAdd())
+	b.Ops[0].ID = 5
+	if err := VerifyBlock(b); err == nil {
+		t.Error("stale IDs accepted")
+	}
+}
+
+func TestVerifyCvtAndCopyCrossClass(t *testing.T) {
+	// Cvt defines a register of a different class than its source; Copy
+	// keeps the class. Neither should trip the class check.
+	b := &Block{}
+	b.Append(&Op{Code: Cvt, Class: Float, Defs: []Reg{{ID: 2, Class: Float}}, Uses: []Reg{{ID: 1, Class: Int}}})
+	b.Append(&Op{Code: Copy, Class: Float, Defs: []Reg{{ID: 3, Class: Float}}, Uses: []Reg{{ID: 2, Class: Float}}})
+	if err := VerifyBlock(b); err != nil {
+		t.Errorf("cvt/copy rejected: %v", err)
+	}
+}
+
+func TestVerifyLoopNilBody(t *testing.T) {
+	if err := VerifyLoop(&Loop{Name: "x"}); err == nil {
+		t.Error("nil body accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package loopgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Livermore returns hand-written adaptations of twelve classic Livermore
+// loops — the canonical vectorization/pipelining kernels of the paper's
+// era — expressed in the reproduction's IR. They complement the random
+// suite with real, recognizable dataflow shapes: the ILP-rich equation of
+// state, the hopelessly serial tri-diagonal elimination, prefix sums,
+// inner products, and the rest. Kernels with inherently two-dimensional
+// or indirect indexing are adapted to the affine single-induction form
+// the dependence analyzer understands (fixed band offsets replace indexed
+// rows), preserving each kernel's dependence structure.
+func Livermore() []*ir.Loop {
+	return []*ir.Loop{
+		k1HydroFragment(),
+		k2ICCGFragment(),
+		k3InnerProduct(),
+		k4BandedLinear(),
+		k5TriDiagonal(),
+		k6LinearRecurrence(),
+		k7EquationOfState(),
+		k8ADIFragment(),
+		k9Integration(),
+		k10Differentiation(),
+		k11FirstSum(),
+		k12FirstDifference(),
+	}
+}
+
+// k1HydroFragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func k1HydroFragment() *ir.Loop {
+	l := ir.NewLoop("livermore.k01.hydro")
+	b := ir.NewLoopBuilder(l)
+	q, r, t := l.NewReg(ir.Float), l.NewReg(ir.Float), l.NewReg(ir.Float)
+	z10 := b.Load(ir.Float, ir.MemRef{Base: "z", Coeff: 1, Offset: 10})
+	z11 := b.Load(ir.Float, ir.MemRef{Base: "z", Coeff: 1, Offset: 11})
+	y := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1})
+	inner := b.Add(b.Mul(r, z10), b.Mul(t, z11))
+	b.Store(b.Add(q, b.Mul(y, inner)), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k2ICCGFragment (incomplete Cholesky conjugate gradient, band form):
+// x[i] = x[i+5] - v[i]*x[i+6]; reads run ahead of the write index, so the
+// loop streams (anti-distance only).
+func k2ICCGFragment() *ir.Loop {
+	l := ir.NewLoop("livermore.k02.iccg")
+	b := ir.NewLoopBuilder(l)
+	xa := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: 5})
+	xb := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: 6})
+	v := b.Load(ir.Float, ir.MemRef{Base: "v", Coeff: 1})
+	b.Store(b.Sub(xa, b.Mul(v, xb)), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k3InnerProduct: q += z[k]*x[k].
+func k3InnerProduct() *ir.Loop {
+	l := ir.NewLoop("livermore.k03.inner")
+	b := ir.NewLoopBuilder(l)
+	q := l.NewReg(ir.Float)
+	z := b.Load(ir.Float, ir.MemRef{Base: "z", Coeff: 1})
+	x := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1})
+	b.AddInto(q, q, b.Mul(z, x))
+	return l
+}
+
+// k4BandedLinear (banded linear equations, band fragment):
+// x[k] = x[k] - g[k]*x[k-4] - h[k]*x[k-5]: a distance-4/5 memory
+// recurrence whose slack lets pipelining overlap four iterations.
+func k4BandedLinear() *ir.Loop {
+	l := ir.NewLoop("livermore.k04.banded")
+	b := ir.NewLoopBuilder(l)
+	x0 := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1})
+	x4 := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: -4})
+	x5 := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: -5})
+	g := b.Load(ir.Float, ir.MemRef{Base: "g", Coeff: 1})
+	h := b.Load(ir.Float, ir.MemRef{Base: "h", Coeff: 1})
+	t1 := b.Sub(x0, b.Mul(g, x4))
+	b.Store(b.Sub(t1, b.Mul(h, x5)), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k5TriDiagonal: x[i] = z[i]*(y[i] - x[i-1]) — the classic serial
+// elimination; the distance-1 memory recurrence caps the II near the sum
+// of the load, subtract, multiply and store latencies.
+func k5TriDiagonal() *ir.Loop {
+	l := ir.NewLoop("livermore.k05.tridiag")
+	b := ir.NewLoopBuilder(l)
+	prev := b.Load(ir.Float, ir.MemRef{Base: "x", Coeff: 1, Offset: -1})
+	y := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1})
+	z := b.Load(ir.Float, ir.MemRef{Base: "z", Coeff: 1})
+	b.Store(b.Mul(z, b.Sub(y, prev)), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k6LinearRecurrence (general linear recurrence, band-5 adaptation):
+// w += b5[k]*w5 + b4[k]*w4 with the partial sums carried in registers.
+func k6LinearRecurrence() *ir.Loop {
+	l := ir.NewLoop("livermore.k06.linrec")
+	b := ir.NewLoopBuilder(l)
+	w := l.NewReg(ir.Float)
+	b5 := b.Load(ir.Float, ir.MemRef{Base: "b5", Coeff: 1})
+	b4 := b.Load(ir.Float, ir.MemRef{Base: "b4", Coeff: 1})
+	w5 := b.Load(ir.Float, ir.MemRef{Base: "w", Coeff: 1, Offset: -5})
+	w4 := b.Load(ir.Float, ir.MemRef{Base: "w", Coeff: 1, Offset: -4})
+	t := b.Add(b.Mul(b5, w5), b.Mul(b4, w4))
+	b.AddInto(w, w, t)
+	b.Store(w, ir.MemRef{Base: "w", Coeff: 1})
+	return l
+}
+
+// k7EquationOfState: the ILP showcase —
+// x[k] = u[k] + r*(z[k] + r*y[k]) +
+//
+//	t*(u[k+3] + r*(u[k+2] + r*u[k+1]) +
+//	   t*(u[k+6] + q*(u[k+5] + q*u[k+4]))).
+func k7EquationOfState() *ir.Loop {
+	l := ir.NewLoop("livermore.k07.eos")
+	b := ir.NewLoopBuilder(l)
+	q, r, t := l.NewReg(ir.Float), l.NewReg(ir.Float), l.NewReg(ir.Float)
+	u := func(off int) ir.Reg { return b.Load(ir.Float, ir.MemRef{Base: "u", Coeff: 1, Offset: off}) }
+	z := b.Load(ir.Float, ir.MemRef{Base: "z", Coeff: 1})
+	y := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1})
+	term1 := b.Add(u(0), b.Mul(r, b.Add(z, b.Mul(r, y))))
+	term2 := b.Add(u(3), b.Mul(r, b.Add(u(2), b.Mul(r, u(1)))))
+	term3 := b.Add(u(6), b.Mul(q, b.Add(u(5), b.Mul(q, u(4)))))
+	b.Store(b.Add(term1, b.Mul(t, b.Add(term2, b.Mul(t, term3)))), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k8ADIFragment (alternating direction implicit, two coupled updates):
+// du1 = u1[k+1]-u1[k]; du2 = u2[k+1]-u2[k];
+// u1o[k] = u1[k]+a11*du1+a12*du2; u2o[k] = u2[k]+a21*du1+a22*du2.
+func k8ADIFragment() *ir.Loop {
+	l := ir.NewLoop("livermore.k08.adi")
+	b := ir.NewLoopBuilder(l)
+	a11, a12 := l.NewReg(ir.Float), l.NewReg(ir.Float)
+	a21, a22 := l.NewReg(ir.Float), l.NewReg(ir.Float)
+	u1 := b.Load(ir.Float, ir.MemRef{Base: "u1", Coeff: 1})
+	u1n := b.Load(ir.Float, ir.MemRef{Base: "u1", Coeff: 1, Offset: 1})
+	u2 := b.Load(ir.Float, ir.MemRef{Base: "u2", Coeff: 1})
+	u2n := b.Load(ir.Float, ir.MemRef{Base: "u2", Coeff: 1, Offset: 1})
+	du1 := b.Sub(u1n, u1)
+	du2 := b.Sub(u2n, u2)
+	o1 := b.Add(u1, b.Add(b.Mul(a11, du1), b.Mul(a12, du2)))
+	o2 := b.Add(u2, b.Add(b.Mul(a21, du1), b.Mul(a22, du2)))
+	b.Store(o1, ir.MemRef{Base: "u1o", Coeff: 1})
+	b.Store(o2, ir.MemRef{Base: "u2o", Coeff: 1})
+	return l
+}
+
+// k9Integration (numerical integration, predictor form):
+// px[i] = dm*px9[i] + c0*(px4[i] + px5[i]) + px2[i].
+func k9Integration() *ir.Loop {
+	l := ir.NewLoop("livermore.k09.integrate")
+	b := ir.NewLoopBuilder(l)
+	dm, c0 := l.NewReg(ir.Float), l.NewReg(ir.Float)
+	p9 := b.Load(ir.Float, ir.MemRef{Base: "px9", Coeff: 1})
+	p4 := b.Load(ir.Float, ir.MemRef{Base: "px4", Coeff: 1})
+	p5 := b.Load(ir.Float, ir.MemRef{Base: "px5", Coeff: 1})
+	p2 := b.Load(ir.Float, ir.MemRef{Base: "px2", Coeff: 1})
+	v := b.Add(b.Mul(dm, p9), b.Add(b.Mul(c0, b.Add(p4, p5)), p2))
+	b.Store(v, ir.MemRef{Base: "px", Coeff: 1})
+	return l
+}
+
+// k10Differentiation (difference predictors, truncated table):
+// successive differences ar-br0, br0-br1, br1-br2 stored to three tables.
+func k10Differentiation() *ir.Loop {
+	l := ir.NewLoop("livermore.k10.diffpred")
+	b := ir.NewLoopBuilder(l)
+	ar := b.Load(ir.Float, ir.MemRef{Base: "cx", Coeff: 1})
+	br0 := b.Load(ir.Float, ir.MemRef{Base: "px0", Coeff: 1})
+	br1 := b.Load(ir.Float, ir.MemRef{Base: "px1", Coeff: 1})
+	br2 := b.Load(ir.Float, ir.MemRef{Base: "px2", Coeff: 1})
+	d0 := b.Sub(ar, br0)
+	d1 := b.Sub(d0, br1)
+	d2 := b.Sub(d1, br2)
+	b.Store(d0, ir.MemRef{Base: "py0", Coeff: 1})
+	b.Store(d1, ir.MemRef{Base: "py1", Coeff: 1})
+	b.Store(d2, ir.MemRef{Base: "py2", Coeff: 1})
+	return l
+}
+
+// k11FirstSum: x[k] = x[k-1] + y[k] — a prefix sum carried through
+// registers (the previous partial sum never round-trips memory).
+func k11FirstSum() *ir.Loop {
+	l := ir.NewLoop("livermore.k11.firstsum")
+	b := ir.NewLoopBuilder(l)
+	sum := l.NewReg(ir.Float)
+	y := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1})
+	b.AddInto(sum, sum, y)
+	b.Store(sum, ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}
+
+// k12FirstDifference: x[k] = y[k+1] - y[k] — pure streaming.
+func k12FirstDifference() *ir.Loop {
+	l := ir.NewLoop("livermore.k12.firstdiff")
+	b := ir.NewLoopBuilder(l)
+	y1 := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1, Offset: 1})
+	y0 := b.Load(ir.Float, ir.MemRef{Base: "y", Coeff: 1})
+	b.Store(b.Sub(y1, y0), ir.MemRef{Base: "x", Coeff: 1})
+	return l
+}

@@ -1,0 +1,66 @@
+package loopgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestLivermoreWellFormed(t *testing.T) {
+	kernels := Livermore()
+	if len(kernels) != 12 {
+		t.Fatalf("%d kernels, want 12", len(kernels))
+	}
+	seen := map[string]bool{}
+	for _, l := range kernels {
+		if err := ir.VerifyLoop(l); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if !strings.HasPrefix(l.Name, "livermore.") {
+			t.Errorf("kernel name %q", l.Name)
+		}
+		if seen[l.Name] {
+			t.Errorf("duplicate kernel %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+}
+
+func TestLivermoreDependenceShapes(t *testing.T) {
+	cfg := machine.Ideal16()
+	recMII := func(name string) int {
+		for _, l := range Livermore() {
+			if strings.Contains(l.Name, name) {
+				g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+				return g.RecMII()
+			}
+		}
+		t.Fatalf("kernel %q not found", name)
+		return 0
+	}
+	// The ILP showcase and the pure streaming kernels have no recurrence.
+	for _, streaming := range []string{"k01", "k07", "k08", "k09", "k10", "k12", "k02"} {
+		if got := recMII(streaming); got != 1 {
+			t.Errorf("%s: RecMII = %d, want 1 (streaming)", streaming, got)
+		}
+	}
+	// The inner product and the prefix sum are bound by the float add.
+	for _, acc := range []string{"k03", "k11"} {
+		if got := recMII(acc); got != 2 {
+			t.Errorf("%s: RecMII = %d, want 2 (float-add recurrence)", acc, got)
+		}
+	}
+	// Tri-diagonal elimination is the serial one: load + sub + mul + store
+	// flow latency around a distance-1 memory cycle.
+	if got := recMII("k05"); got < 8 {
+		t.Errorf("k05: RecMII = %d, want the serial memory recurrence (>= 8)", got)
+	}
+	// The banded kernel's distance-4 recurrence divides its cycle latency.
+	k4, k5 := recMII("k04"), recMII("k05")
+	if k4 >= k5 {
+		t.Errorf("banded (distance-4) RecMII %d should undercut tri-diagonal %d", k4, k5)
+	}
+}

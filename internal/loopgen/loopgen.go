@@ -1,0 +1,413 @@
+// Package loopgen generates the reproduction's stand-in for the paper's
+// workload: "211 loops extracted from Spec 95 ... all single-block
+// innermost loops" from FORTRAN 77 code (Section 6). The original loop
+// bodies are not distributable, so this package synthesizes a deterministic
+// suite of 211 single-basic-block innermost loops whose characteristics
+// match what the paper reports about its suite:
+//
+//   - array references with affine subscripts (unit and unrolled strides),
+//   - floating-point multiply/add chains and integer address arithmetic,
+//   - reductions and loop-carried recurrences of short distance,
+//   - enough independent parallelism that the ideal 16-wide modulo
+//     schedules average about 8.6 operations per cycle (Table 1's "Ideal"
+//     row), with individual loops ranging from serial (recurrence-bound)
+//     to nearly issue-bound.
+//
+// Generation is fully deterministic: the same Params produce the same
+// loops on every run, so experiment output is reproducible bit for bit.
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Params selects the suite.
+type Params struct {
+	// N is the number of loops (the paper pipelines 211).
+	N int
+	// Seed fixes the random stream.
+	Seed int64
+}
+
+// DefaultParams returns the paper-scale suite parameters.
+func DefaultParams() Params { return Params{N: 211, Seed: 0x5EC95} }
+
+// Suite generates the default 211-loop suite.
+func Suite() []*ir.Loop { return Generate(DefaultParams()) }
+
+// Generate produces p.N loops deterministically from p.Seed.
+func Generate(p Params) []*ir.Loop {
+	rng := rand.New(rand.NewSource(p.Seed))
+	loops := make([]*ir.Loop, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		loops = append(loops, generateOne(rng, i))
+	}
+	return loops
+}
+
+// archetype weights: the mix is the tuning knob that calibrates the
+// suite's aggregate ideal IPC against Table 1 (see EXPERIMENTS.md).
+type archetype struct {
+	name   string
+	weight int
+	gen    func(rng *rand.Rand, l *ir.Loop)
+}
+
+func archetypes() []archetype {
+	return []archetype{
+		{"triad", 11, genTriad},
+		{"dot", 8, genDot},
+		{"stencil", 10, genStencil},
+		{"shared", 11, genShared},
+		{"butterfly", 10, genButterfly},
+		{"intkernel", 10, genIntKernel},
+		{"mixed", 8, genMixed},
+		{"ifconv", 5, genIfConverted},
+		{"firstorder", 10, genFirstOrder},
+		{"memrec", 7, genMemRec},
+		{"serial", 10, genSerial},
+	}
+}
+
+func generateOne(rng *rand.Rand, idx int) *ir.Loop {
+	kinds := archetypes()
+	total := 0
+	for _, a := range kinds {
+		total += a.weight
+	}
+	pick := rng.Intn(total)
+	var chosen archetype
+	for _, a := range kinds {
+		if pick < a.weight {
+			chosen = a
+			break
+		}
+		pick -= a.weight
+	}
+	l := ir.NewLoop(fmt.Sprintf("suite.%03d.%s", idx, chosen.name))
+	l.TripCount = 50 + rng.Intn(950)
+	chosen.gen(rng, l)
+	l.Body.Renumber()
+	return l
+}
+
+// liveIn allocates a register that is never defined in the body: a loop
+// invariant (scalar coefficient, base value) defined in the preheader.
+func liveIn(l *ir.Loop, c ir.Class) ir.Reg { return l.NewReg(c) }
+
+// genTriad emits an unrolled STREAM-triad-like body:
+//
+//	c[u*i+k] = a[u*i+k]*s + b[u*i+k]   for k in 0..u-1
+//
+// Pure streaming floating-point work: no recurrence, so the ideal II is
+// resource-bound and the IPC is high.
+func genTriad(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	u := 2 + rng.Intn(6) // unroll 2..7
+	s := liveIn(l, ir.Float)
+	arrs := rng.Intn(2) + 1 // 1 or 2 independent triads
+	// Half the triads also track an error/norm reduction over the lane
+	// results (as SPEC95 kernels like tomcatv do), which couples the lanes
+	// into one dataflow component: partitioning such a loop must cut
+	// computed-value edges, it cannot just deal whole lanes to banks.
+	reduce := rng.Intn(2) == 0
+	for a := 0; a < arrs; a++ {
+		an, bn, cn := arr(rng, "ta", a), arr(rng, "tb", a), arr(rng, "tc", a)
+		var laneSums []ir.Reg
+		for k := 0; k < u; k++ {
+			la := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: u, Offset: k})
+			lb := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+			m := b.Mul(la, s)
+			sum := b.Add(m, lb)
+			b.Store(sum, ir.MemRef{Base: cn, Coeff: u, Offset: k})
+			laneSums = append(laneSums, sum)
+		}
+		if reduce {
+			acc := liveIn(l, ir.Float)
+			t := laneSums[0]
+			for _, x := range laneSums[1:] {
+				t = b.Add(t, x)
+			}
+			b.AddInto(acc, acc, t)
+		}
+	}
+}
+
+// genDot emits an unrolled dot product with one partial-sum accumulator
+// per unrolled lane (the standard way compilers break the reduction
+// recurrence): the carried add bounds RecMII at the add latency.
+func genDot(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	u := 2 + rng.Intn(7) // 2..8 lanes
+	an, bn := arr(rng, "da", 0), arr(rng, "db", 0)
+	for k := 0; k < u; k++ {
+		acc := liveIn(l, ir.Float) // initialized to 0 in the preheader
+		la := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: u, Offset: k})
+		lb := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+		m := b.Mul(la, lb)
+		b.AddInto(acc, acc, m)
+	}
+}
+
+// genStencil emits a 3-point (or 5-point) stencil into a distinct array:
+// streaming loads at neighboring offsets, a weighted-sum tree, no carried
+// dependence. Unrolled lanes reference overlapping neighborhoods, and
+// like any optimizing compiler the generator common-subexpression-
+// eliminates the duplicate loads — which couples adjacent lanes through
+// shared values and makes the partition genuinely contended (a shared
+// load feeds consumers in several lanes, so separating the lanes costs
+// inter-cluster copies).
+func genStencil(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	points := 3 + 2*rng.Intn(2) // 3 or 5
+	u := 1 + rng.Intn(4)        // unroll 1..4
+	an, bn := arr(rng, "sa", 0), arr(rng, "sb", 0)
+	w := make([]ir.Reg, points)
+	for p := range w {
+		w[p] = liveIn(l, ir.Float)
+	}
+	loads := make(map[int]ir.Reg) // CSE: one load per distinct offset
+	loadAt := func(off int) ir.Reg {
+		if r, ok := loads[off]; ok {
+			return r
+		}
+		r := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: u, Offset: off})
+		loads[off] = r
+		return r
+	}
+	for k := 0; k < u; k++ {
+		var sum ir.Reg
+		for p := 0; p < points; p++ {
+			ld := loadAt(k + p - points/2)
+			t := b.Mul(ld, w[p])
+			if p == 0 {
+				sum = t
+			} else {
+				sum = b.Add(sum, t)
+			}
+		}
+		b.Store(sum, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+	}
+}
+
+// genShared emits a kernel around a shared subexpression: one computed
+// value per iteration feeds several otherwise independent consumer chains
+// that write distinct arrays. Splitting the consumers across clusters (to
+// win issue bandwidth) forces the shared value through inter-cluster
+// copies every iteration — the workload pattern that saturates the
+// copy-unit model's single port per cluster on the 2-cluster machine.
+func genShared(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	an, bn := arr(rng, "ha", 0), arr(rng, "hb", 0)
+	s := liveIn(l, ir.Float)
+	consumers := 3 + rng.Intn(4) // 3..6 consumer chains
+	u := 1 + rng.Intn(2)         // unroll 1..2
+	for k := 0; k < u; k++ {
+		la := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: u, Offset: k})
+		lb := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+		t := b.Mul(la, lb) // the shared value
+		for c := 0; c < consumers; c++ {
+			cn := arr(rng, "hc", c)
+			lc := b.Load(ir.Float, ir.MemRef{Base: cn, Coeff: u, Offset: k})
+			v := b.Add(t, lc)
+			if rng.Intn(2) == 0 {
+				v = b.Mul(v, s)
+			}
+			b.Store(v, ir.MemRef{Base: cn + "o", Coeff: u, Offset: k})
+		}
+	}
+}
+
+// genButterfly emits an FFT-butterfly-like exchange network: L parallel
+// lanes load values, then in each round every lane combines its value with
+// a partner lane's (partner = lane XOR 2^round), and finally every lane
+// stores. Any partition of the lanes into clusters cuts about L/2 value
+// edges per round, so many distinct values cross the cluster boundary
+// every iteration — the pattern that separates the embedded copy model
+// (wide clusters absorb the copies) from the copy-unit model (a single
+// copy port per cluster serializes them).
+func genButterfly(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	lanes := 4 << rng.Intn(2) // 4 or 8 lanes
+	rounds := 1 + rng.Intn(2) // 1 or 2 exchange rounds
+	an, bn := arr(rng, "wa", 0), arr(rng, "wb", 0)
+	tw := liveIn(l, ir.Float) // twiddle-like invariant
+	cur := make([]ir.Reg, lanes)
+	for k := 0; k < lanes; k++ {
+		cur[k] = b.Load(ir.Float, ir.MemRef{Base: an, Coeff: lanes, Offset: k})
+	}
+	for r := 0; r < rounds; r++ {
+		next := make([]ir.Reg, lanes)
+		stride := 1 << r
+		for k := 0; k < lanes; k++ {
+			partner := k ^ stride
+			if k < partner {
+				next[k] = b.Add(cur[k], cur[partner])
+				d := b.Sub(cur[k], cur[partner])
+				next[partner] = b.Mul(d, tw)
+			}
+		}
+		cur = next
+	}
+	for k := 0; k < lanes; k++ {
+		b.Store(cur[k], ir.MemRef{Base: bn, Coeff: lanes, Offset: k})
+	}
+}
+
+// genIntKernel emits an unrolled integer kernel: loads, shifts, masks,
+// xors and a per-lane checksum accumulator — latency-1 operations with an
+// occasional 5-cycle multiply, modeling address-heavy SPECint-style code.
+func genIntKernel(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	u := 2 + rng.Intn(6)
+	an := arr(rng, "ia", 0)
+	mask := liveIn(l, ir.Int)
+	sh := liveIn(l, ir.Int)
+	// A single checksum accumulator fed by a reduction tree over the lane
+	// values: the tree couples the lanes, and the carried add (1 cycle)
+	// barely constrains the II.
+	acc := liveIn(l, ir.Int)
+	var lane []ir.Reg
+	for k := 0; k < u; k++ {
+		ld := b.Load(ir.Int, ir.MemRef{Base: an, Coeff: u, Offset: k})
+		t1 := b.Shr(ld, sh)
+		t2 := b.And(t1, mask)
+		t3 := b.Xor(t2, ld)
+		if rng.Intn(3) == 0 {
+			t3 = b.Mul(t3, mask) // the occasional expensive multiply
+		}
+		lane = append(lane, t3)
+	}
+	t := lane[0]
+	for _, x := range lane[1:] {
+		t = b.Add(t, x)
+	}
+	b.AddInto(acc, acc, t)
+}
+
+// genMixed emits a larger body combining a floating triad, an integer
+// checksum and a store-back with conversion — the "general functional
+// unit" stress case where both classes compete for the same issue slots.
+func genMixed(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	u := 2 + rng.Intn(4)
+	an, bn, cn, dn := arr(rng, "ma", 0), arr(rng, "mb", 0), arr(rng, "mc", 0), arr(rng, "md", 0)
+	s := liveIn(l, ir.Float)
+	mask := liveIn(l, ir.Int)
+	for k := 0; k < u; k++ {
+		la := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: u, Offset: k})
+		lb := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+		f := b.Add(b.Mul(la, s), lb)
+		b.Store(f, ir.MemRef{Base: cn, Coeff: u, Offset: k})
+
+		li := b.Load(ir.Int, ir.MemRef{Base: dn, Coeff: u, Offset: k})
+		ti := b.And(li, mask)
+		acc := liveIn(l, ir.Int)
+		b.AddInto(acc, acc, b.Xor(ti, li))
+		if rng.Intn(2) == 0 {
+			cv := b.Cvt(ir.Float, ti)
+			g := b.Mul(cv, s)
+			b.Store(g, ir.MemRef{Base: cn + "x", Coeff: u, Offset: k})
+		}
+	}
+}
+
+// genIfConverted emits an IF-converted body: per lane, a comparison guards
+// which of two computed values is stored, folded into a select (the
+// conditional-move residue of IF-conversion, as in the Nystrom and
+// Eichenberger suite the paper compares against). The select chains both
+// arms into one dataflow, coupling the lanes' halves.
+func genIfConverted(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	u := 2 + rng.Intn(4)
+	an, bn, cn := arr(rng, "va", 0), arr(rng, "vb", 0), arr(rng, "vc", 0)
+	thr := liveIn(l, ir.Int)
+	s := liveIn(l, ir.Float)
+	for k := 0; k < u; k++ {
+		g := b.Load(ir.Int, ir.MemRef{Base: an, Coeff: u, Offset: k})
+		cond := b.Cmp(g, thr)
+		x := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: k})
+		thenV := b.Mul(x, s)
+		elseV := b.Add(x, s)
+		v := b.Select(cond, thenV, elseV)
+		b.Store(v, ir.MemRef{Base: cn, Coeff: u, Offset: k})
+	}
+}
+
+// genFirstOrder emits a first-order linear recurrence x = x*a + b[i] with
+// some independent streaming work beside it; the multiply-add cycle bounds
+// RecMII at mul+add latency regardless of width.
+func genFirstOrder(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	x := liveIn(l, ir.Float)
+	a := liveIn(l, ir.Float)
+	bn, cn := arr(rng, "fb", 0), arr(rng, "fc", 0)
+	u := 1 + rng.Intn(3)
+	// The recurrence itself.
+	lb0 := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: u, Offset: 0})
+	t := l.NewReg(ir.Float)
+	b.MulInto(t, x, a)
+	b.AddInto(x, t, lb0)
+	b.Store(x, ir.MemRef{Base: cn, Coeff: u, Offset: 0})
+	// Independent side work fills the pipeline's spare slots.
+	side := rng.Intn(3) + 1
+	for k := 0; k < side; k++ {
+		ld := b.Load(ir.Float, ir.MemRef{Base: bn + "s", Coeff: u, Offset: k})
+		b.Store(b.Mul(ld, a), ir.MemRef{Base: cn + "s", Coeff: u, Offset: k})
+	}
+}
+
+// genMemRec emits a memory-carried recurrence a[i] = a[i-d] op b[i]: the
+// store-to-load cycle through memory dominates the II, giving the suite
+// its low-IPC tail.
+func genMemRec(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	an, bn := arr(rng, "ra", 0), arr(rng, "rb", 0)
+	dist := 1 + rng.Intn(3) // carried distance 1..3
+	prev := b.Load(ir.Float, ir.MemRef{Base: an, Coeff: 1, Offset: -dist})
+	lb := b.Load(ir.Float, ir.MemRef{Base: bn, Coeff: 1, Offset: 0})
+	sum := b.Add(prev, lb)
+	b.Store(sum, ir.MemRef{Base: an, Coeff: 1, Offset: 0})
+	// A little independent work alongside.
+	for k := 0; k < rng.Intn(3); k++ {
+		ld := b.Load(ir.Float, ir.MemRef{Base: bn + "s", Coeff: 1, Offset: k})
+		b.Store(b.Add(ld, lb), ir.MemRef{Base: an + "s", Coeff: 1, Offset: k})
+	}
+}
+
+// genSerial emits an almost fully serial body: an integer division-based
+// recurrence (12-cycle divide) or a chained float dependence, modeling the
+// rare SPEC loops with essentially no parallelism.
+func genSerial(rng *rand.Rand, l *ir.Loop) {
+	b := ir.NewLoopBuilder(l)
+	if rng.Intn(2) == 0 {
+		x := liveIn(l, ir.Int)
+		dn := arr(rng, "qa", 0)
+		ld := b.Load(ir.Int, ir.MemRef{Base: dn, Coeff: 1, Offset: 0})
+		t := l.NewReg(ir.Int)
+		b.Emit(&ir.Op{Code: ir.Div, Class: ir.Int, Defs: []ir.Reg{t}, Uses: []ir.Reg{x, ld}})
+		b.AddInto(x, t, ld)
+		b.Store(x, ir.MemRef{Base: dn + "o", Coeff: 1, Offset: 0})
+	} else {
+		x := liveIn(l, ir.Float)
+		a := liveIn(l, ir.Float)
+		dn := arr(rng, "qf", 0)
+		depth := 2 + rng.Intn(3)
+		cur := x
+		for k := 0; k < depth; k++ {
+			t := l.NewReg(ir.Float)
+			b.MulInto(t, cur, a)
+			cur = t
+		}
+		b.AddInto(x, cur, a)
+		b.Store(x, ir.MemRef{Base: dn, Coeff: 1, Offset: 0})
+	}
+}
+
+// arr names an array uniquely enough that unrelated loops never alias.
+func arr(rng *rand.Rand, prefix string, i int) string {
+	return fmt.Sprintf("%s%d_%d", prefix, i, rng.Intn(1000))
+}

@@ -1,0 +1,132 @@
+package loopgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSuiteSizeAndNames(t *testing.T) {
+	loops := Suite()
+	if len(loops) != 211 {
+		t.Fatalf("suite has %d loops, the paper pipelines 211", len(loops))
+	}
+	seen := map[string]bool{}
+	for _, l := range loops {
+		if seen[l.Name] {
+			t.Errorf("duplicate loop name %q", l.Name)
+		}
+		seen[l.Name] = true
+	}
+}
+
+func TestSuiteWellFormed(t *testing.T) {
+	for _, l := range Suite() {
+		if err := ir.VerifyLoop(l); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if len(l.Body.Ops) < 3 {
+			t.Errorf("%s: only %d ops", l.Name, len(l.Body.Ops))
+		}
+		if l.Body.Depth != 1 {
+			t.Errorf("%s: depth %d, want innermost loop depth 1", l.Name, l.Body.Depth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{N: 50, Seed: 12345}
+	a := Generate(p)
+	b := Generate(p)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("loop %d differs between runs with the same seed", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := Generate(Params{N: 20, Seed: 1})
+	b := Generate(Params{N: 20, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].String() == b[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced an identical suite")
+	}
+}
+
+func TestArchetypeCoverage(t *testing.T) {
+	counts := map[string]int{}
+	for _, l := range Suite() {
+		parts := strings.Split(l.Name, ".")
+		counts[parts[len(parts)-1]]++
+	}
+	for _, a := range archetypes() {
+		if counts[a.name] == 0 {
+			t.Errorf("archetype %q never generated in the 211-loop suite", a.name)
+		}
+	}
+}
+
+func TestArchetypeWeightsSum(t *testing.T) {
+	total := 0
+	for _, a := range archetypes() {
+		if a.weight <= 0 {
+			t.Errorf("archetype %q has non-positive weight", a.name)
+		}
+		total += a.weight
+	}
+	if total != 100 {
+		t.Errorf("archetype weights sum to %d, want 100 (they read as percentages)", total)
+	}
+}
+
+func TestLoopsHaveMemoryTraffic(t *testing.T) {
+	for _, l := range Suite() {
+		hasMem := false
+		for _, op := range l.Body.Ops {
+			if op.Mem != nil {
+				hasMem = true
+				break
+			}
+		}
+		if !hasMem {
+			t.Errorf("%s touches no memory; SPEC loops always do", l.Name)
+		}
+	}
+}
+
+func TestSuiteParsesRoundTrip(t *testing.T) {
+	// Every generated loop must survive print -> parse -> print exactly:
+	// the suite is the interchange format's primary corpus.
+	for _, l := range Generate(Params{N: 40, Seed: 123}) {
+		text := l.Body.String()
+		parsed, err := ir.ParseBlock(text)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if got := parsed.String(); got != text {
+			t.Fatalf("%s: round trip drifted:\n%s\nvs\n%s", l.Name, text, got)
+		}
+	}
+}
+
+func TestLiveInsExist(t *testing.T) {
+	// Every archetype parameterizes via live-in invariants or carried
+	// accumulators; a loop with no upward-exposed uses would be dead code.
+	withLiveIns := 0
+	loops := Suite()
+	for _, l := range loops {
+		if len(l.Body.LiveIns()) > 0 {
+			withLiveIns++
+		}
+	}
+	if withLiveIns < len(loops)/2 {
+		t.Errorf("only %d of %d loops have live-ins", withLiveIns, len(loops))
+	}
+}

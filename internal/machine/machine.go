@@ -1,0 +1,254 @@
+// Package machine describes the target architectures of the paper's
+// evaluation (Section 6.1): a 16-wide ILP meta-model of general-purpose
+// functional units grouped into N clusters, each cluster owning one
+// multi-ported register bank, with two copy models for moving values
+// between banks:
+//
+//   - Embedded: inter-cluster copies are explicit operations scheduled on
+//     the destination cluster's ordinary functional units, consuming issue
+//     slots;
+//   - CopyUnit: extra issue slots are reserved only for copies; each of the
+//     N clusters attaches to N busses and owns a small number of dedicated
+//     copy ports, so copies never consume functional-unit slots but are
+//     limited by port and bus bandwidth.
+//
+// The operation latencies are the paper's: integer copies 2 cycles,
+// floating copies 3, loads 2, integer multiplies 5, integer divides 12,
+// other integer ops 1, floating-point multiplies 2, floating divides 2,
+// other floating-point ops 2, stores 4.
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// CopyModel selects how inter-cluster copies are supported (Section 6.1).
+type CopyModel uint8
+
+const (
+	// Embedded schedules copies on ordinary functional units.
+	Embedded CopyModel = iota
+	// CopyUnit reserves dedicated ports and busses for copies.
+	CopyUnit
+)
+
+// String names the model the way the paper's tables do.
+func (m CopyModel) String() string {
+	switch m {
+	case Embedded:
+		return "Embedded"
+	case CopyUnit:
+		return "Copy Unit"
+	default:
+		return fmt.Sprintf("model(%d)", uint8(m))
+	}
+}
+
+// Latencies maps operations to cycle counts. The zero value is unusable;
+// start from PaperLatencies or UnitLatencies.
+type Latencies struct {
+	// Load and Store are memory access latencies.
+	Load, Store int
+	// IntMul, IntDiv, IntOther cover the integer class.
+	IntMul, IntDiv, IntOther int
+	// FloatMul, FloatDiv, FloatOther cover the floating-point class.
+	FloatMul, FloatDiv, FloatOther int
+	// CopyInt and CopyFloat are the inter-cluster copy latencies.
+	CopyInt, CopyFloat int
+}
+
+// PaperLatencies returns the latency table of Section 6.1.
+func PaperLatencies() Latencies {
+	return Latencies{
+		Load: 2, Store: 4,
+		IntMul: 5, IntDiv: 12, IntOther: 1,
+		FloatMul: 2, FloatDiv: 2, FloatOther: 2,
+		CopyInt: 2, CopyFloat: 3,
+	}
+}
+
+// UnitLatencies returns the all-ones table used by the paper's Section 4.2
+// worked example ("For simplicity we assume unit latency for all
+// operations"); copies still pay the moving cost of one cycle.
+func UnitLatencies() Latencies {
+	return Latencies{
+		Load: 1, Store: 1,
+		IntMul: 1, IntDiv: 1, IntOther: 1,
+		FloatMul: 1, FloatDiv: 1, FloatOther: 1,
+		CopyInt: 1, CopyFloat: 1,
+	}
+}
+
+// Of returns the latency of op under the table.
+func (lat Latencies) Of(op *ir.Op) int {
+	switch op.Code {
+	case ir.Load:
+		return lat.Load
+	case ir.Store:
+		return lat.Store
+	case ir.Copy:
+		if op.Class == ir.Float {
+			return lat.CopyFloat
+		}
+		return lat.CopyInt
+	case ir.Mul:
+		if op.Class == ir.Float {
+			return lat.FloatMul
+		}
+		return lat.IntMul
+	case ir.Div:
+		if op.Class == ir.Float {
+			return lat.FloatDiv
+		}
+		return lat.IntDiv
+	default:
+		if op.Class == ir.Float {
+			return lat.FloatOther
+		}
+		return lat.IntOther
+	}
+}
+
+// Config is a concrete machine: a width, a clustering, a copy model and a
+// latency table. Construct configs with New or the preset helpers and treat
+// them as immutable.
+type Config struct {
+	// Name labels the machine in reports ("16-wide, 4x4, embedded").
+	Name string
+	// Width is the total number of general-purpose functional units.
+	Width int
+	// Clusters is the number of register banks; Width must be divisible by
+	// Clusters. Clusters == 1 is the ideal monolithic machine.
+	Clusters int
+	// RegsPerBank is the number of machine registers per bank, used by the
+	// graph-coloring assignment phase.
+	RegsPerBank int
+	// Model selects how copies are supported. Irrelevant when Clusters==1.
+	Model CopyModel
+	// CopyPortsPerCluster is the number of dedicated copy issue slots per
+	// cluster per cycle in the CopyUnit model. The paper's figure is
+	// garbled; the readable data points (1 port at N=2, 3 ports at N=8) pin
+	// the default to ceil(log2 N). See DESIGN.md §3.
+	CopyPortsPerCluster int
+	// Busses is the number of inter-cluster busses in the CopyUnit model;
+	// each in-flight copy occupies one bus for one cycle. Defaults to N.
+	Busses int
+	// Units optionally types one cluster's functional units (all clusters
+	// are identical); empty means every unit is general purpose, the
+	// paper's evaluated model. Length must equal FUsPerCluster. See
+	// units.go.
+	Units []FUKind
+	// Lat is the latency table.
+	Lat Latencies
+}
+
+// New validates and returns a machine configuration, filling in CopyUnit
+// defaults (ceil(log2 N) ports per cluster, N busses) when they are zero.
+func New(name string, width, clusters, regsPerBank int, model CopyModel, lat Latencies) (*Config, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("machine: width %d must be positive", width)
+	}
+	if clusters <= 0 {
+		return nil, fmt.Errorf("machine: cluster count %d must be positive", clusters)
+	}
+	if width%clusters != 0 {
+		return nil, fmt.Errorf("machine: width %d not divisible by %d clusters", width, clusters)
+	}
+	if regsPerBank <= 0 {
+		return nil, fmt.Errorf("machine: %d registers per bank must be positive", regsPerBank)
+	}
+	c := &Config{
+		Name:        name,
+		Width:       width,
+		Clusters:    clusters,
+		RegsPerBank: regsPerBank,
+		Model:       model,
+		Lat:         lat,
+	}
+	if model == CopyUnit && clusters > 1 {
+		c.CopyPortsPerCluster = ceilLog2(clusters)
+		c.Busses = clusters
+	}
+	return c, nil
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// FUsPerCluster returns Width/Clusters.
+func (c *Config) FUsPerCluster() int { return c.Width / c.Clusters }
+
+// Monolithic reports whether the machine has a single register bank (the
+// paper's "ideal" model).
+func (c *Config) Monolithic() bool { return c.Clusters == 1 }
+
+// CopyLatency returns the inter-cluster copy latency for class cl.
+func (c *Config) CopyLatency(cl ir.Class) int {
+	if cl == ir.Float {
+		return c.Lat.CopyFloat
+	}
+	return c.Lat.CopyInt
+}
+
+// Latency returns op's latency under the machine's table.
+func (c *Config) Latency(op *ir.Op) int { return c.Lat.Of(op) }
+
+// String returns the machine's name.
+func (c *Config) String() string { return c.Name }
+
+// Ideal16 returns the paper's ideal model: a 16-wide machine with one
+// monolithic multi-ported register bank.
+func Ideal16() *Config {
+	c, err := New("16-wide ideal (1 bank)", 16, 1, 16*32, Embedded, PaperLatencies())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Clustered16 returns one of the paper's six evaluated machines: 16 wide,
+// n clusters (n in {2,4,8}), with the given copy model. Each bank holds 32
+// registers.
+func Clustered16(n int, model CopyModel) (*Config, error) {
+	name := fmt.Sprintf("16-wide, %d clusters of %d (%s)", n, 16/n, model)
+	return New(name, 16, n, 32, model, PaperLatencies())
+}
+
+// MustClustered16 is Clustered16 for the known-good cluster counts; it
+// panics on error and exists for table-driven tests and examples.
+func MustClustered16(n int, model CopyModel) *Config {
+	c, err := Clustered16(n, model)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PaperConfigs returns the six clustered machines of Tables 1-2 in the
+// paper's column order: 2, 4, 8 clusters, each embedded then copy-unit.
+func PaperConfigs() []*Config {
+	var out []*Config
+	for _, n := range []int{2, 4, 8} {
+		for _, m := range []CopyModel{Embedded, CopyUnit} {
+			out = append(out, MustClustered16(n, m))
+		}
+	}
+	return out
+}
+
+// Example2x1 returns the Section 4.2 worked-example machine: two functional
+// units, each with its own register bank, unit latencies, embedded copies.
+func Example2x1() *Config {
+	c, err := New("2-wide example, 2 banks", 2, 2, 16, Embedded, UnitLatencies())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []struct {
+		name                        string
+		width, clusters, regsperbnk int
+	}{
+		{"zero width", 0, 1, 32},
+		{"negative width", -4, 1, 32},
+		{"zero clusters", 16, 0, 32},
+		{"indivisible", 16, 3, 32},
+		{"zero regs", 16, 4, 0},
+	}
+	for _, tt := range bad {
+		if _, err := New(tt.name, tt.width, tt.clusters, tt.regsperbnk, Embedded, PaperLatencies()); err == nil {
+			t.Errorf("New(%s) accepted invalid config", tt.name)
+		}
+	}
+	if _, err := New("ok", 16, 4, 32, Embedded, PaperLatencies()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCopyUnitDefaults(t *testing.T) {
+	// The reconstruction (DESIGN.md §3): ceil(log2 N) copy ports per
+	// cluster, N busses. The paper's readable data points: 1 port per
+	// cluster at N=2, 3 ports at N=8.
+	tests := []struct {
+		clusters, wantPorts, wantBusses int
+	}{
+		{2, 1, 2},
+		{4, 2, 4},
+		{8, 3, 8},
+	}
+	for _, tt := range tests {
+		c := MustClustered16(tt.clusters, CopyUnit)
+		if c.CopyPortsPerCluster != tt.wantPorts {
+			t.Errorf("%d clusters: ports = %d, want %d", tt.clusters, c.CopyPortsPerCluster, tt.wantPorts)
+		}
+		if c.Busses != tt.wantBusses {
+			t.Errorf("%d clusters: busses = %d, want %d", tt.clusters, c.Busses, tt.wantBusses)
+		}
+	}
+	if c := MustClustered16(2, Embedded); c.CopyPortsPerCluster != 0 || c.Busses != 0 {
+		t.Error("embedded model should not allocate copy-unit hardware")
+	}
+}
+
+func TestPaperLatencyTable(t *testing.T) {
+	cfg := Ideal16()
+	mk := func(code ir.Opcode, class ir.Class) *ir.Op {
+		op := &ir.Op{Code: code, Class: class}
+		return op
+	}
+	tests := []struct {
+		op   *ir.Op
+		want int
+	}{
+		{mk(ir.Load, ir.Int), 2},
+		{mk(ir.Load, ir.Float), 2},
+		{mk(ir.Store, ir.Float), 4},
+		{mk(ir.Mul, ir.Int), 5},
+		{mk(ir.Div, ir.Int), 12},
+		{mk(ir.Add, ir.Int), 1},
+		{mk(ir.Shl, ir.Int), 1},
+		{mk(ir.Mul, ir.Float), 2},
+		{mk(ir.Div, ir.Float), 2},
+		{mk(ir.Add, ir.Float), 2},
+		{mk(ir.Copy, ir.Int), 2},
+		{mk(ir.Copy, ir.Float), 3},
+	}
+	for _, tt := range tests {
+		if got := cfg.Latency(tt.op); got != tt.want {
+			t.Errorf("latency(%s %s) = %d, want %d", tt.op.Code, tt.op.Class, got, tt.want)
+		}
+	}
+}
+
+func TestCopyLatency(t *testing.T) {
+	cfg := MustClustered16(4, Embedded)
+	if cfg.CopyLatency(ir.Int) != 2 || cfg.CopyLatency(ir.Float) != 3 {
+		t.Errorf("copy latencies = %d/%d, want 2/3", cfg.CopyLatency(ir.Int), cfg.CopyLatency(ir.Float))
+	}
+}
+
+func TestFUsPerCluster(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		c := MustClustered16(n, Embedded)
+		if got := c.FUsPerCluster(); got != 16/n {
+			t.Errorf("%d clusters: FUs per cluster = %d, want %d", n, got, 16/n)
+		}
+		if c.Monolithic() {
+			t.Errorf("%d clusters reported monolithic", n)
+		}
+	}
+	if !Ideal16().Monolithic() {
+		t.Error("Ideal16 must be monolithic")
+	}
+}
+
+func TestPaperConfigsOrder(t *testing.T) {
+	cfgs := PaperConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("want 6 paper configs, got %d", len(cfgs))
+	}
+	wantClusters := []int{2, 2, 4, 4, 8, 8}
+	wantModels := []CopyModel{Embedded, CopyUnit, Embedded, CopyUnit, Embedded, CopyUnit}
+	for i, c := range cfgs {
+		if c.Clusters != wantClusters[i] || c.Model != wantModels[i] {
+			t.Errorf("config %d = %d clusters %s, want %d %s", i, c.Clusters, c.Model, wantClusters[i], wantModels[i])
+		}
+		if c.Width != 16 {
+			t.Errorf("config %d width = %d", i, c.Width)
+		}
+	}
+}
+
+func TestExample2x1(t *testing.T) {
+	c := Example2x1()
+	if c.Width != 2 || c.Clusters != 2 || c.FUsPerCluster() != 1 {
+		t.Errorf("example machine shape wrong: %+v", c)
+	}
+	op := &ir.Op{Code: ir.Div, Class: ir.Float}
+	if c.Latency(op) != 1 {
+		t.Error("example machine must have unit latencies")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Embedded.String() != "Embedded" || CopyUnit.String() != "Copy Unit" {
+		t.Errorf("model names: %q, %q", Embedded, CopyUnit)
+	}
+	if !strings.Contains(CopyModel(9).String(), "9") {
+		t.Error("unknown model should include its value")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4},
+	}
+	for _, tt := range tests {
+		if got := ceilLog2(tt.n); got != tt.want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file gives machines a textual description format, the practical
+// face of the paper's retargetability claim: "the major advantage of the
+// register component graph is that it abstracts away machine-dependent
+// details ... extremely important in the context of a retargetable
+// compiler". A new target is a text file, not code:
+//
+//	name = my DSP
+//	width = 16
+//	clusters = 4
+//	regs-per-bank = 32
+//	model = copyunit            # or embedded
+//	units = alu alu mul mem     # optional: typed units per cluster
+//	copy-ports = 2              # optional CopyUnit overrides
+//	busses = 4
+//	lat.load = 2                # optional latency overrides
+//	lat.store = 4
+//	lat.int-mul = 5
+//	lat.int-div = 12
+//	lat.int-other = 1
+//	lat.float-mul = 2
+//	lat.float-div = 2
+//	lat.float-other = 2
+//	lat.copy-int = 2
+//	lat.copy-float = 3
+//
+// Unset latencies default to the paper's table; '#' starts a comment.
+
+// Parse reads a machine description.
+func Parse(src string) (*Config, error) {
+	name := "parsed machine"
+	width, clusters, regs := 0, 0, 32
+	model := Embedded
+	lat := PaperLatencies()
+	var units []FUKind
+	copyPorts, busses := -1, -1
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("machine: line %d: want key = value, got %q", ln+1, raw)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		intVal := func() (int, error) {
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return 0, fmt.Errorf("machine: line %d: %q is not a number", ln+1, val)
+			}
+			return v, nil
+		}
+		var err error
+		switch key {
+		case "name":
+			name = val
+		case "width":
+			width, err = intVal()
+		case "clusters":
+			clusters, err = intVal()
+		case "regs-per-bank":
+			regs, err = intVal()
+		case "model":
+			switch strings.ToLower(val) {
+			case "embedded":
+				model = Embedded
+			case "copyunit", "copy-unit":
+				model = CopyUnit
+			default:
+				return nil, fmt.Errorf("machine: line %d: unknown model %q", ln+1, val)
+			}
+		case "units":
+			units = units[:0]
+			for _, u := range strings.Fields(val) {
+				switch strings.ToLower(u) {
+				case "any":
+					units = append(units, AnyKind)
+				case "alu":
+					units = append(units, ALUKind)
+				case "mul":
+					units = append(units, MultiplyKind)
+				case "mem":
+					units = append(units, MemoryKind)
+				default:
+					return nil, fmt.Errorf("machine: line %d: unknown unit kind %q", ln+1, u)
+				}
+			}
+		case "copy-ports":
+			copyPorts, err = intVal()
+		case "busses":
+			busses, err = intVal()
+		default:
+			if lname, ok := strings.CutPrefix(key, "lat."); ok {
+				var v int
+				if v, err = intVal(); err == nil {
+					err = setLatency(&lat, lname, v)
+				}
+			} else {
+				return nil, fmt.Errorf("machine: line %d: unknown key %q", ln+1, key)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cfg, err := New(name, width, clusters, regs, model, lat)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) > 0 {
+		if len(units) != cfg.FUsPerCluster() {
+			return nil, fmt.Errorf("machine: %d typed units for %d functional units per cluster",
+				len(units), cfg.FUsPerCluster())
+		}
+		cfg.Units = units
+	}
+	if copyPorts >= 0 {
+		cfg.CopyPortsPerCluster = copyPorts
+	}
+	if busses >= 0 {
+		cfg.Busses = busses
+	}
+	return cfg, nil
+}
+
+func setLatency(lat *Latencies, name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("machine: latency %q must be at least 1", name)
+	}
+	switch name {
+	case "load":
+		lat.Load = v
+	case "store":
+		lat.Store = v
+	case "int-mul":
+		lat.IntMul = v
+	case "int-div":
+		lat.IntDiv = v
+	case "int-other":
+		lat.IntOther = v
+	case "float-mul":
+		lat.FloatMul = v
+	case "float-div":
+		lat.FloatDiv = v
+	case "float-other":
+		lat.FloatOther = v
+	case "copy-int":
+		lat.CopyInt = v
+	case "copy-float":
+		lat.CopyFloat = v
+	default:
+		return fmt.Errorf("machine: unknown latency %q", name)
+	}
+	return nil
+}
+
+// Describe renders cfg in the Parse format, round-trippably.
+func Describe(c *Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name = %s\n", c.Name)
+	fmt.Fprintf(&sb, "width = %d\n", c.Width)
+	fmt.Fprintf(&sb, "clusters = %d\n", c.Clusters)
+	fmt.Fprintf(&sb, "regs-per-bank = %d\n", c.RegsPerBank)
+	model := "embedded"
+	if c.Model == CopyUnit {
+		model = "copyunit"
+	}
+	fmt.Fprintf(&sb, "model = %s\n", model)
+	if c.Heterogeneous() {
+		names := make([]string, len(c.Units))
+		for i, u := range c.Units {
+			names[i] = u.String()
+		}
+		fmt.Fprintf(&sb, "units = %s\n", strings.Join(names, " "))
+	}
+	if c.Model == CopyUnit {
+		fmt.Fprintf(&sb, "copy-ports = %d\n", c.CopyPortsPerCluster)
+		fmt.Fprintf(&sb, "busses = %d\n", c.Busses)
+	}
+	l := c.Lat
+	fmt.Fprintf(&sb, "lat.load = %d\nlat.store = %d\n", l.Load, l.Store)
+	fmt.Fprintf(&sb, "lat.int-mul = %d\nlat.int-div = %d\nlat.int-other = %d\n", l.IntMul, l.IntDiv, l.IntOther)
+	fmt.Fprintf(&sb, "lat.float-mul = %d\nlat.float-div = %d\nlat.float-other = %d\n", l.FloatMul, l.FloatDiv, l.FloatOther)
+	fmt.Fprintf(&sb, "lat.copy-int = %d\nlat.copy-float = %d\n", l.CopyInt, l.CopyFloat)
+	return sb.String()
+}

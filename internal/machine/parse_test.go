@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	cfg, err := Parse(`
+		# a 4-cluster copy-unit machine
+		name = test box
+		width = 16
+		clusters = 4
+		regs-per-bank = 48
+		model = copyunit
+		lat.copy-int = 1
+		lat.copy-float = 1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "test box" || cfg.Width != 16 || cfg.Clusters != 4 || cfg.RegsPerBank != 48 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if cfg.Model != CopyUnit || cfg.CopyPortsPerCluster != 2 || cfg.Busses != 4 {
+		t.Errorf("copy-unit defaults wrong: %+v", cfg)
+	}
+	if cfg.Lat.CopyInt != 1 || cfg.Lat.CopyFloat != 1 {
+		t.Error("latency overrides ignored")
+	}
+	if cfg.Lat.Load != 2 {
+		t.Error("unset latencies must default to the paper's")
+	}
+}
+
+func TestParseTypedUnits(t *testing.T) {
+	cfg, err := Parse("width = 8\nclusters = 2\nunits = alu alu mul mem\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Heterogeneous() {
+		t.Fatal("typed units lost")
+	}
+	counts := cfg.UnitCounts()
+	if counts[ALUKind] != 2 || counts[MultiplyKind] != 1 || counts[MemoryKind] != 1 {
+		t.Errorf("unit counts %v", counts)
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	cfg, err := Parse("width = 16\nclusters = 4\nmodel = copyunit\ncopy-ports = 5\nbusses = 9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CopyPortsPerCluster != 5 || cfg.Busses != 9 {
+		t.Errorf("overrides ignored: %+v", cfg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"width 16",                             // no '='
+		"width = sixteen",                      // not a number
+		"model = quantum",                      // unknown model
+		"frobnicate = 3",                       // unknown key
+		"width = 16\nclusters = 3",             // indivisible
+		"width = 8\nclusters = 2\nunits = alu", // wrong unit count
+		"width = 8\nclusters = 2\nunits = alu alu alu teleport", // unknown kind
+		"width = 16\nclusters = 4\nlat.load = 0",                // latency < 1
+		"width = 16\nclusters = 4\nlat.warp = 3",                // unknown latency
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestDescribeRoundTrip(t *testing.T) {
+	for _, cfg := range []*Config{
+		Ideal16(),
+		MustClustered16(4, CopyUnit),
+		MustClustered16(8, Embedded),
+		C6xLike(Embedded),
+	} {
+		text := Describe(cfg)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", cfg.Name, err, text)
+		}
+		if Describe(back) != text {
+			t.Errorf("%s: round trip drifted:\n%s\nvs\n%s", cfg.Name, text, Describe(back))
+		}
+		if back.Width != cfg.Width || back.Clusters != cfg.Clusters || back.Model != cfg.Model ||
+			back.CopyPortsPerCluster != cfg.CopyPortsPerCluster || back.Busses != cfg.Busses ||
+			back.Lat != cfg.Lat || len(back.Units) != len(cfg.Units) {
+			t.Errorf("%s: fields drifted", cfg.Name)
+		}
+	}
+}
+
+func TestParsedMachineSchedules(t *testing.T) {
+	// A parsed exotic machine must drive the validators, not just load.
+	cfg, err := Parse(strings.ReplaceAll(`
+		name = exotic
+		width = 12; clusters = 3; regs-per-bank = 24
+		model = copyunit
+		units = alu mul mem any
+		lat.load = 3
+	`, ";", "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FUsPerCluster() != 4 || cfg.Lat.Load != 3 {
+		t.Errorf("exotic machine misparsed: %+v", cfg)
+	}
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The paper's evaluation uses general-purpose functional units — which, it
+// notes, "potentially make the partitioning more difficult ... we're
+// attempting to partition software pipelines with fewer holes than might
+// be expected in more realistic architectures." Its motivation, though,
+// is the Texas Instruments C6x family, whose clusters contain specialized
+// units. This file adds that realism as an optional machine feature: each
+// cluster's functional units may be typed, and an operation may only
+// issue on a unit of its kind (or on a general-purpose one).
+
+// FUKind classifies a functional unit or the unit class an operation
+// needs.
+type FUKind uint8
+
+const (
+	// AnyKind units execute every operation (the paper's general-purpose
+	// model).
+	AnyKind FUKind = iota
+	// MemoryKind units execute loads and stores (the C6x "D" unit).
+	MemoryKind
+	// MultiplyKind units execute multiplies and divides (the C6x "M" unit).
+	MultiplyKind
+	// ALUKind units execute everything else (the C6x "L"/"S" units).
+	ALUKind
+	NumKinds
+)
+
+// String names the kind.
+func (k FUKind) String() string {
+	switch k {
+	case AnyKind:
+		return "any"
+	case MemoryKind:
+		return "mem"
+	case MultiplyKind:
+		return "mul"
+	case ALUKind:
+		return "alu"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// OpKind returns the unit class op needs.
+func OpKind(op *ir.Op) FUKind {
+	switch op.Code {
+	case ir.Load, ir.Store:
+		return MemoryKind
+	case ir.Mul, ir.Div:
+		return MultiplyKind
+	default:
+		return ALUKind
+	}
+}
+
+// Heterogeneous reports whether the machine types its functional units.
+func (c *Config) Heterogeneous() bool { return len(c.Units) > 0 }
+
+// UnitCounts returns, per kind, how many units one cluster provides.
+// Monolithic homogeneous machines report everything as AnyKind.
+func (c *Config) UnitCounts() [NumKinds]int {
+	var counts [NumKinds]int
+	if !c.Heterogeneous() {
+		counts[AnyKind] = c.FUsPerCluster()
+		return counts
+	}
+	for _, k := range c.Units {
+		counts[k]++
+	}
+	return counts
+}
+
+// KindFits reports whether a multiset of per-kind operation demands fits
+// one cluster-cycle of the machine: every specialized demand uses its own
+// units first and the overflow competes for the general-purpose units.
+func (c *Config) KindFits(demand [NumKinds]int) bool {
+	units := c.UnitCounts()
+	spare := units[AnyKind]
+	overflow := demand[AnyKind]
+	for k := FUKind(1); k < NumKinds; k++ {
+		if extra := demand[k] - units[k]; extra > 0 {
+			overflow += extra
+		}
+	}
+	return overflow <= spare
+}
+
+// C6xLike returns a TI-C6x-flavored machine: 8-wide, 2 clusters, each
+// cluster holding two ALUs (L/S), one multiplier (M) and one memory unit
+// (D), with one cross path modeled as the embedded copy discipline. Bank
+// size matches the C62x register file (16 registers per side, scaled up
+// to 32 to fit the suite's pressure).
+func C6xLike(model CopyModel) *Config {
+	c, err := New("8-wide C6x-like, 2 clusters of L/S/M/D", 8, 2, 32, model, PaperLatencies())
+	if err != nil {
+		panic(err)
+	}
+	c.Units = []FUKind{ALUKind, ALUKind, MultiplyKind, MemoryKind}
+	return c
+}

@@ -1,0 +1,87 @@
+package modulo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// ErrInvalidSchedule is wrapped by every Check failure.
+var ErrInvalidSchedule = errors.New("modulo: invalid schedule")
+
+// Check verifies that s is a legal modulo schedule of g on cfg under the
+// cluster pinning of opt: every dependence constraint
+// time(to) >= time(from) + latency - II*distance holds, every operation
+// sits on its pinned cluster, no kernel row oversubscribes a cluster's
+// functional units, and copy-unit copies respect port and bus limits.
+// It is the post-hoc oracle used by the test suite's property tests.
+func Check(s *Schedule, g *ddg.Graph, cfg *machine.Config, opt Options) error {
+	n := len(g.Ops)
+	if len(s.Time) != n || len(s.Cluster) != n {
+		return fmt.Errorf("%w: schedule covers %d/%d ops", ErrInvalidSchedule, len(s.Time), n)
+	}
+	if s.II < 1 {
+		return fmt.Errorf("%w: II %d < 1", ErrInvalidSchedule, s.II)
+	}
+	st := &state{g: g, cfg: cfg, opt: opt, n: n}
+	for i := 0; i < n; i++ {
+		if s.Time[i] < 0 {
+			return fmt.Errorf("%w: op %d unscheduled", ErrInvalidSchedule, i)
+		}
+		if s.Cluster[i] < 0 || s.Cluster[i] >= cfg.Clusters {
+			return fmt.Errorf("%w: op %d on cluster %d of %d", ErrInvalidSchedule, i, s.Cluster[i], cfg.Clusters)
+		}
+		if want := st.wantCluster(i); want != AnyCluster && s.Cluster[i] != want {
+			return fmt.Errorf("%w: op %d (%s) on cluster %d, pinned to %d", ErrInvalidSchedule, i, g.Ops[i], s.Cluster[i], want)
+		}
+	}
+	for from := 0; from < n; from++ {
+		for _, e := range g.Out[from] {
+			if s.Time[e.To] < s.Time[from]+e.Latency-s.II*e.Distance {
+				return fmt.Errorf("%w: %s dependence %d->%d violated: t%d=%d, t%d=%d, lat=%d, omega=%d, II=%d",
+					ErrInvalidSchedule, e.Kind, from, e.To, from, s.Time[from], e.To, s.Time[e.To], e.Latency, e.Distance, s.II)
+			}
+		}
+	}
+	// Resource usage per kernel row.
+	fu := make([][]int, s.II)
+	ports := make([][]int, s.II)
+	bus := make([]int, s.II)
+	demand := make([][][machine.NumKinds]int, s.II)
+	for r := range fu {
+		fu[r] = make([]int, cfg.Clusters)
+		ports[r] = make([]int, cfg.Clusters)
+		demand[r] = make([][machine.NumKinds]int, cfg.Clusters)
+	}
+	for i := 0; i < n; i++ {
+		r := s.Time[i] % s.II
+		if st.usesCopyPort(i) {
+			ports[r][s.Cluster[i]]++
+			bus[r]++
+		} else {
+			fu[r][s.Cluster[i]]++
+			demand[r][s.Cluster[i]][machine.OpKind(g.Ops[i])]++
+		}
+	}
+	per := cfg.FUsPerCluster()
+	for r := 0; r < s.II; r++ {
+		for c := 0; c < cfg.Clusters; c++ {
+			if fu[r][c] > per {
+				return fmt.Errorf("%w: row %d cluster %d issues %d ops on %d FUs", ErrInvalidSchedule, r, c, fu[r][c], per)
+			}
+			if cfg.Heterogeneous() && !cfg.KindFits(demand[r][c]) {
+				return fmt.Errorf("%w: row %d cluster %d unit-kind demand %v exceeds %v",
+					ErrInvalidSchedule, r, c, demand[r][c], cfg.UnitCounts())
+			}
+			if cfg.CopyPortsPerCluster > 0 && ports[r][c] > cfg.CopyPortsPerCluster {
+				return fmt.Errorf("%w: row %d cluster %d uses %d of %d copy ports", ErrInvalidSchedule, r, c, ports[r][c], cfg.CopyPortsPerCluster)
+			}
+		}
+		if cfg.Busses > 0 && bus[r] > cfg.Busses {
+			return fmt.Errorf("%w: row %d uses %d of %d busses", ErrInvalidSchedule, r, bus[r], cfg.Busses)
+		}
+	}
+	return nil
+}

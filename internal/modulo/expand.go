@@ -1,0 +1,214 @@
+package modulo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// This file generates the full software-pipelined code shape from a modulo
+// schedule: "after a schedule has been found, code to set up the software
+// pipeline (prelude) and drain the pipeline (postlude) are added"
+// (Section 2). The expansion is what a code generator would emit for a
+// machine without predicated kernel-only execution: (Stages-1) partial
+// kernel copies ramping up, a steady-state kernel repeated once per
+// remaining iteration, and (Stages-1) partial copies draining.
+
+// Instance is one operation instance inside expanded pipeline code: the
+// operation (by index into the scheduled block) executing on behalf of a
+// specific loop iteration.
+type Instance struct {
+	// Op indexes the scheduled block's operations.
+	Op int
+	// Iter is the loop iteration the instance belongs to (0-based).
+	Iter int
+}
+
+// Expansion is the flattened software pipeline for a concrete trip count.
+type Expansion struct {
+	// II and Stages echo the schedule.
+	II, Stages int
+	// Trip is the concrete iteration count expanded for.
+	Trip int
+	// Prelude holds (Stages-1)*II cycles of ramp-up, one slice per cycle.
+	Prelude [][]Instance
+	// Kernel holds the II steady-state cycles. Each instance's Iter is
+	// relative: the r-th kernel repetition executes instance {Op, Iter+r}.
+	Kernel [][]Instance
+	// KernelReps is how many times the kernel row block repeats
+	// (Trip - Stages + 1).
+	KernelReps int
+	// Postlude holds the drain cycles after the last kernel repetition.
+	Postlude [][]Instance
+	// TotalCycles is the whole pipelined execution time:
+	// (Trip-1)*II + schedule length.
+	TotalCycles int
+}
+
+// Expand flattens schedule s of the given block for trip iterations.
+// trip must be at least the stage count (shorter loops would not fill the
+// pipeline; real compilers emit the unpipelined loop for those).
+func Expand(s *Schedule, block *ir.Block, trip int) (*Expansion, error) {
+	if len(s.Time) != len(block.Ops) {
+		return nil, fmt.Errorf("modulo: schedule covers %d ops, block has %d", len(s.Time), len(block.Ops))
+	}
+	stages := s.Stages()
+	if stages == 0 {
+		stages = 1
+	}
+	if trip < stages {
+		return nil, fmt.Errorf("modulo: trip count %d below stage count %d; pipeline never fills", trip, stages)
+	}
+	e := &Expansion{
+		II:         s.II,
+		Stages:     stages,
+		Trip:       trip,
+		KernelReps: trip - stages + 1,
+	}
+	ramp := (stages - 1) * s.II
+
+	// Prelude: cycles [0, ramp). Instance (op, iter) issues at absolute
+	// cycle iter*II + Time[op].
+	e.Prelude = make([][]Instance, ramp)
+	for op := range block.Ops {
+		for iter := 0; iter < stages-1; iter++ {
+			t := iter*s.II + s.Time[op]
+			if t < ramp {
+				e.Prelude[t] = append(e.Prelude[t], Instance{Op: op, Iter: iter})
+			}
+		}
+	}
+
+	// Kernel: the steady-state window [ramp, ramp+II). The first
+	// repetition executes instance (op, stages-1-stage(op)) in row
+	// Time[op] mod II; later repetitions shift Iter by the repetition
+	// index.
+	e.Kernel = make([][]Instance, s.II)
+	for op := range block.Ops {
+		row := s.Row(op)
+		e.Kernel[row] = append(e.Kernel[row], Instance{Op: op, Iter: stages - 1 - s.Stage(op)})
+	}
+
+	// Postlude: everything issuing at or after cycle trip*II — the
+	// instances of the final stages-1 iterations that the kernel's last
+	// repetition has not already issued.
+	drainStart := trip * s.II
+	drainLen := 0
+	for op := range block.Ops {
+		for iter := trip - stages + 1; iter < trip; iter++ {
+			t := iter*s.II + s.Time[op]
+			if rel := t - drainStart; rel >= 0 && rel+1 > drainLen {
+				drainLen = rel + 1
+			}
+		}
+	}
+	e.Postlude = make([][]Instance, drainLen)
+	for op := range block.Ops {
+		for iter := trip - stages + 1; iter < trip; iter++ {
+			t := iter*s.II + s.Time[op]
+			if rel := t - drainStart; rel >= 0 {
+				e.Postlude[rel] = append(e.Postlude[rel], Instance{Op: op, Iter: iter})
+			}
+		}
+	}
+	e.TotalCycles = (trip-1)*s.II + s.Length
+	return e, nil
+}
+
+// InstanceCount returns the total operation instances across prelude,
+// kernel repetitions and postlude. For a correct expansion it equals
+// Trip * ops.
+func (e *Expansion) InstanceCount() int {
+	n := 0
+	for _, row := range e.Prelude {
+		n += len(row)
+	}
+	for _, row := range e.Kernel {
+		n += len(row) * e.KernelReps
+	}
+	for _, row := range e.Postlude {
+		n += len(row)
+	}
+	return n
+}
+
+// CodeGrowth returns the static code expansion factor of pipelining: the
+// number of emitted operation slots (prelude + one kernel + postlude)
+// divided by the original loop body size.
+func (e *Expansion) CodeGrowth(bodyOps int) float64 {
+	emitted := 0
+	for _, row := range e.Prelude {
+		emitted += len(row)
+	}
+	for _, row := range e.Kernel {
+		emitted += len(row)
+	}
+	for _, row := range e.Postlude {
+		emitted += len(row)
+	}
+	if bodyOps == 0 {
+		return 0
+	}
+	return float64(emitted) / float64(bodyOps)
+}
+
+// Iterations reconstructs, per loop iteration, the set of issue cycles of
+// its operation instances — the oracle the tests use to prove that the
+// expansion executes every iteration exactly once with the schedule's
+// relative timing.
+func (e *Expansion) Iterations() map[int]map[int]int {
+	out := make(map[int]map[int]int)
+	record := func(inst Instance, cycle int) {
+		m := out[inst.Iter]
+		if m == nil {
+			m = make(map[int]int)
+			out[inst.Iter] = m
+		}
+		m[inst.Op] = cycle
+	}
+	for c, row := range e.Prelude {
+		for _, inst := range row {
+			record(inst, c)
+		}
+	}
+	ramp := len(e.Prelude)
+	for rep := 0; rep < e.KernelReps; rep++ {
+		for r, row := range e.Kernel {
+			for _, inst := range row {
+				record(Instance{Op: inst.Op, Iter: inst.Iter + rep}, ramp+rep*e.II+r)
+			}
+		}
+	}
+	drainStart := e.Trip * e.II
+	for c, row := range e.Postlude {
+		for _, inst := range row {
+			record(inst, drainStart+c)
+		}
+	}
+	return out
+}
+
+// String renders the pipeline shape compactly.
+func (e *Expansion) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "software pipeline: II=%d stages=%d trip=%d total=%d cycles\n",
+		e.II, e.Stages, e.Trip, e.TotalCycles)
+	dump := func(name string, rows [][]Instance, base int) {
+		for c, row := range rows {
+			if len(row) == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%s %3d:", name, base+c)
+			for _, inst := range row {
+				fmt.Fprintf(&sb, " op%d@i%d", inst.Op, inst.Iter)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	dump("prelude ", e.Prelude, 0)
+	dump("kernel  ", e.Kernel, 0)
+	fmt.Fprintf(&sb, "(kernel repeats %d times)\n", e.KernelReps)
+	dump("postlude", e.Postlude, 0)
+	return sb.String()
+}

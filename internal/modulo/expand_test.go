@@ -1,0 +1,133 @@
+package modulo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func expandFixture(t *testing.T) (*ir.Loop, *ddg.Graph, *Schedule, *machine.Config) {
+	t.Helper()
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("exp")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Mul(x, x)
+	z := b.Add(y, y)
+	b.Store(z, ir.MemRef{Base: "c", Coeff: 1})
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, g, s, cfg
+}
+
+func TestExpandCoversEveryInstanceOnce(t *testing.T) {
+	l, _, s, _ := expandFixture(t)
+	for _, trip := range []int{s.Stages(), s.Stages() + 1, 10, 37} {
+		e, err := Expand(s, l.Body, trip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := e.InstanceCount(), trip*len(l.Body.Ops); got != want {
+			t.Errorf("trip %d: %d instances, want %d", trip, got, want)
+		}
+	}
+}
+
+func TestExpandTimingMatchesSchedule(t *testing.T) {
+	// Every instance of iteration m must issue exactly at m*II + Time[op]:
+	// the defining property of a modulo schedule.
+	l, _, s, _ := expandFixture(t)
+	e, err := Expand(s, l.Body, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := e.Iterations()
+	if len(iters) != 12 {
+		t.Fatalf("expansion executes %d iterations, want 12", len(iters))
+	}
+	for iter, cycles := range iters {
+		if len(cycles) != len(l.Body.Ops) {
+			t.Fatalf("iteration %d executes %d of %d ops", iter, len(cycles), len(l.Body.Ops))
+		}
+		for op, c := range cycles {
+			if want := iter*s.II + s.Time[op]; c != want {
+				t.Errorf("iteration %d op %d at cycle %d, want %d", iter, op, c, want)
+			}
+		}
+	}
+}
+
+func TestExpandTotalCycles(t *testing.T) {
+	l, _, s, _ := expandFixture(t)
+	e, err := Expand(s, l.Body, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 19*s.II + s.Length; e.TotalCycles != want {
+		t.Errorf("total cycles = %d, want %d", e.TotalCycles, want)
+	}
+	if e.KernelReps != 20-e.Stages+1 {
+		t.Errorf("kernel reps = %d", e.KernelReps)
+	}
+}
+
+func TestExpandRejectsShortTrips(t *testing.T) {
+	l, _, s, _ := expandFixture(t)
+	if s.Stages() < 2 {
+		t.Skip("fixture pipeline too shallow")
+	}
+	if _, err := Expand(s, l.Body, s.Stages()-1); err == nil {
+		t.Error("trip below stage count accepted")
+	}
+}
+
+func TestExpandCodeGrowth(t *testing.T) {
+	l, _, s, _ := expandFixture(t)
+	e, err := Expand(s, l.Body, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := e.CodeGrowth(len(l.Body.Ops))
+	// Emitted slots: prelude + kernel + postlude = (stages-1)*ops missing
+	// tails... at minimum one full kernel (1x) and at most stages x body.
+	if growth < 1 || growth > float64(e.Stages)+1 {
+		t.Errorf("code growth %f outside [1, stages+1]", growth)
+	}
+	if !strings.Contains(e.String(), "kernel repeats") {
+		t.Error("String() missing repetition count")
+	}
+}
+
+func TestExpandSuiteProperty(t *testing.T) {
+	cfg := machine.Ideal16()
+	for _, l := range loopgen.Generate(loopgen.Params{N: 20, Seed: 21}) {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		s, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trip := s.Stages() + 5
+		e, err := Expand(s, l.Body, trip)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if e.InstanceCount() != trip*len(l.Body.Ops) {
+			t.Errorf("%s: instance count off", l.Name)
+		}
+		for iter, cycles := range e.Iterations() {
+			for op, c := range cycles {
+				if c != iter*s.II+s.Time[op] {
+					t.Fatalf("%s: iteration %d op %d issues at %d, want %d",
+						l.Name, iter, op, c, iter*s.II+s.Time[op])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package modulo
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// attempt is the mutable scheduling state for one candidate II.
+type attempt struct {
+	st     *state
+	ii     int
+	height []int
+	time   []int // -1 when unscheduled
+	clus   []int
+	// lastTime forces progress on repeated placements of the same op
+	// (Rau's "schedule no earlier than last time + 1" rule).
+	lastTime []int
+	// Occupancy per kernel row: fuRows[row][cluster] and
+	// copyRows[row][cluster] list the op indices holding a slot there;
+	// busRows[row] lists copy ops holding a bus.
+	fuRows   [][][]int
+	copyRows [][][]int
+	busRows  [][]int
+	pq       *prioHeap
+	inQueue  []bool
+}
+
+// tryII attempts to find a modulo schedule at the given II within the
+// placement budget. It returns (schedule, true) on success.
+func (st *state) tryII(ii, budget int) (*Schedule, bool) {
+	a := &attempt{
+		st:       st,
+		ii:       ii,
+		height:   st.heights(ii),
+		time:     make([]int, st.n),
+		clus:     make([]int, st.n),
+		lastTime: make([]int, st.n),
+		fuRows:   make([][][]int, ii),
+		copyRows: make([][][]int, ii),
+		busRows:  make([][]int, ii),
+		inQueue:  make([]bool, st.n),
+	}
+	for r := 0; r < ii; r++ {
+		a.fuRows[r] = make([][]int, st.cfg.Clusters)
+		a.copyRows[r] = make([][]int, st.cfg.Clusters)
+	}
+	for i := 0; i < st.n; i++ {
+		a.time[i] = -1
+		a.lastTime[i] = -1
+	}
+	a.pq = &prioHeap{height: a.height}
+	for i := 0; i < st.n; i++ {
+		a.enqueue(i)
+	}
+
+	for a.pq.Len() > 0 && budget > 0 {
+		idx := heap.Pop(a.pq).(int)
+		a.inQueue[idx] = false
+		budget--
+		estart := a.earliestStart(idx)
+		slot, cluster, found := a.findSlot(idx, estart)
+		forced := !found
+		if forced {
+			slot = estart
+			if a.lastTime[idx] >= 0 && slot <= a.lastTime[idx] {
+				slot = a.lastTime[idx] + 1
+			}
+			cluster = a.forcedCluster(idx)
+		}
+		a.place(idx, slot, cluster, forced)
+		a.evictViolatedSuccessors(idx)
+	}
+	if a.pq.Len() > 0 {
+		return nil, false // budget exhausted
+	}
+	if st.opt.Lifetime {
+		a.compactLifetimes()
+	}
+	s := &Schedule{II: ii, Time: a.time, Cluster: a.clus}
+	for i := range a.time {
+		if end := a.time[i] + st.cfg.Latency(st.g.Ops[i]); end > s.Length {
+			s.Length = end
+		}
+	}
+	return s, true
+}
+
+func (a *attempt) enqueue(i int) {
+	if !a.inQueue[i] {
+		heap.Push(a.pq, i)
+		a.inQueue[i] = true
+	}
+}
+
+// earliestStart returns the earliest cycle at which idx may issue given its
+// currently scheduled predecessors: max(0, time(p) + lat - II*dist).
+func (a *attempt) earliestStart(idx int) int {
+	est := 0
+	for _, e := range a.st.g.In[idx] {
+		if a.time[e.From] < 0 || e.From == idx {
+			continue
+		}
+		if v := a.time[e.From] + e.Latency - a.ii*e.Distance; v > est {
+			est = v
+		}
+	}
+	return est
+}
+
+// findSlot scans the acceptance window [estart, estart+II) for a cycle with
+// a free resource for idx. It returns the cycle, the cluster used, and
+// whether a slot was found.
+//
+// In lifetime-sensitive mode, when idx has scheduled consumers the window
+// is scanned downward from the latest cycle those consumers tolerate, so
+// the value is produced just in time and its register lifetime stays
+// short; otherwise (and always in Rau mode) the scan runs upward from the
+// earliest start.
+func (a *attempt) findSlot(idx, estart int) (int, int, bool) {
+	want := a.st.wantCluster(idx)
+	if a.st.opt.Lifetime {
+		if lstart, ok := a.latestStart(idx); ok {
+			hi := lstart
+			if cap := estart + a.ii - 1; hi > cap {
+				hi = cap
+			}
+			for t := hi; t >= estart; t-- {
+				if cl, ok := a.rowHasRoom(idx, t%a.ii, want); ok {
+					return t, cl, true
+				}
+			}
+			return 0, 0, false
+		}
+	}
+	for t := estart; t < estart+a.ii; t++ {
+		row := t % a.ii
+		if cl, ok := a.rowHasRoom(idx, row, want); ok {
+			return t, cl, true
+		}
+	}
+	return 0, 0, false
+}
+
+// latestStart returns the latest cycle at which idx can issue without
+// violating a dependence into an already-scheduled successor; ok is false
+// when no successor is scheduled.
+func (a *attempt) latestStart(idx int) (int, bool) {
+	lstart, any := int(^uint(0)>>1), false
+	for _, e := range a.st.g.Out[idx] {
+		if e.To == idx || a.time[e.To] < 0 {
+			continue
+		}
+		if v := a.time[e.To] - e.Latency + a.ii*e.Distance; v < lstart {
+			lstart = v
+			any = true
+		}
+	}
+	return lstart, any
+}
+
+// rowHasRoom checks resource availability for idx at a kernel row. For
+// AnyCluster requests the least-loaded cluster with room is returned.
+func (a *attempt) rowHasRoom(idx, row, want int) (int, bool) {
+	cfg := a.st.cfg
+	if a.st.usesCopyPort(idx) {
+		if cfg.Busses > 0 && len(a.busRows[row]) >= cfg.Busses {
+			return 0, false
+		}
+		cl := want
+		if cl == AnyCluster {
+			cl = 0
+		}
+		if cfg.CopyPortsPerCluster > 0 && len(a.copyRows[row][cl]) >= cfg.CopyPortsPerCluster {
+			return 0, false
+		}
+		return cl, true
+	}
+	if want != AnyCluster {
+		if a.fuFits(row, want, idx) {
+			return want, true
+		}
+		return 0, false
+	}
+	best, bestUsed := -1, cfg.FUsPerCluster()
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		if u := len(a.fuRows[row][cl]); u < bestUsed && a.fuFits(row, cl, idx) {
+			best, bestUsed = cl, u
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// fuFits reports whether op idx can join the functional-unit occupants of
+// (row, cluster): a simple count on homogeneous machines, a per-kind
+// demand check against the cluster's typed units on heterogeneous ones.
+func (a *attempt) fuFits(row, cl, idx int) bool {
+	cfg := a.st.cfg
+	occupants := a.fuRows[row][cl]
+	if !cfg.Heterogeneous() {
+		return len(occupants) < cfg.FUsPerCluster()
+	}
+	if len(occupants) >= cfg.FUsPerCluster() {
+		return false
+	}
+	var demand [machine.NumKinds]int
+	demand[machine.OpKind(a.st.g.Ops[idx])]++
+	for _, o := range occupants {
+		demand[machine.OpKind(a.st.g.Ops[o])]++
+	}
+	return cfg.KindFits(demand)
+}
+
+// forcedCluster picks the cluster for a forced placement.
+func (a *attempt) forcedCluster(idx int) int {
+	want := a.st.wantCluster(idx)
+	if want != AnyCluster {
+		return want
+	}
+	return 0
+}
+
+// place schedules idx at the given cycle and cluster. When forced, existing
+// occupants of the target resources are evicted, lowest priority first,
+// until the resource fits.
+func (a *attempt) place(idx, t, cluster int, forced bool) {
+	cfg := a.st.cfg
+	row := t % a.ii
+	if a.st.usesCopyPort(idx) {
+		if forced {
+			if cfg.Busses > 0 {
+				for len(a.busRows[row]) >= cfg.Busses {
+					a.unschedule(a.lowestPriority(a.busRows[row]))
+				}
+			}
+			if cfg.CopyPortsPerCluster > 0 {
+				for len(a.copyRows[row][cluster]) >= cfg.CopyPortsPerCluster {
+					a.unschedule(a.lowestPriority(a.copyRows[row][cluster]))
+				}
+			}
+		}
+		a.copyRows[row][cluster] = append(a.copyRows[row][cluster], idx)
+		a.busRows[row] = append(a.busRows[row], idx)
+	} else {
+		if forced {
+			for !a.fuFits(row, cluster, idx) && len(a.fuRows[row][cluster]) > 0 {
+				a.unschedule(a.lowestPriority(a.fuRows[row][cluster]))
+			}
+		}
+		a.fuRows[row][cluster] = append(a.fuRows[row][cluster], idx)
+	}
+	a.time[idx] = t
+	a.clus[idx] = cluster
+	a.lastTime[idx] = t
+}
+
+// lowestPriority returns the occupant with the smallest height (ties to the
+// higher index, so earlier ops survive).
+func (a *attempt) lowestPriority(occupants []int) int {
+	best := occupants[0]
+	for _, o := range occupants[1:] {
+		if a.height[o] < a.height[best] || (a.height[o] == a.height[best] && o > best) {
+			best = o
+		}
+	}
+	return best
+}
+
+// unschedule removes idx from the schedule and the occupancy tables and
+// requeues it.
+func (a *attempt) unschedule(idx int) {
+	t := a.time[idx]
+	if t < 0 {
+		return
+	}
+	row := t % a.ii
+	cl := a.clus[idx]
+	if a.st.usesCopyPort(idx) {
+		a.copyRows[row][cl] = removeOne(a.copyRows[row][cl], idx)
+		a.busRows[row] = removeOne(a.busRows[row], idx)
+	} else {
+		a.fuRows[row][cl] = removeOne(a.fuRows[row][cl], idx)
+	}
+	a.time[idx] = -1
+	a.enqueue(idx)
+}
+
+func removeOne(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// evictViolatedSuccessors unschedules every scheduled successor whose
+// dependence on idx the new placement violates. Predecessor constraints
+// hold by construction because placements never precede earliestStart.
+func (a *attempt) evictViolatedSuccessors(idx int) {
+	for _, e := range a.st.g.Out[idx] {
+		if e.To == idx || a.time[e.To] < 0 {
+			continue
+		}
+		if a.time[e.To] < a.time[idx]+e.Latency-a.ii*e.Distance {
+			a.unschedule(e.To)
+		}
+	}
+}
+
+// compactLifetimes is the lifetime-sensitive mode's post-pass: with the
+// schedule complete, each value-producing operation is pushed as late as
+// its consumers and the resource table allow, whenever that strictly
+// shrinks the total register lifetime. Moving a producer later shortens
+// its results' lifetimes but can lengthen its operands' (when this op is
+// their last consumer); the move is taken only when the net change is
+// negative, so the pass monotonically improves pressure and terminates.
+func (a *attempt) compactLifetimes() {
+	g := a.st.g
+	n := a.st.n
+	for pass := 0; pass < 2; pass++ {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(x, y int) bool {
+			if a.time[order[x]] != a.time[order[y]] {
+				return a.time[order[x]] > a.time[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		for _, idx := range order {
+			if len(g.Ops[idx].Defs) == 0 {
+				continue // stores produce nothing; moving them cannot help
+			}
+			lstart, ok := a.latestStart(idx)
+			if !ok || lstart <= a.time[idx] {
+				continue
+			}
+			for t := lstart; t > a.time[idx]; t-- {
+				if a.lifetimeDelta(idx, t) >= 0 {
+					continue
+				}
+				cl := a.clus[idx]
+				want := a.st.wantCluster(idx)
+				a.unscheduleQuiet(idx)
+				if c, free := a.rowHasRoom(idx, t%a.ii, want); free {
+					a.place(idx, t, c, false)
+					break
+				}
+				a.place(idx, a.lastTime[idx], cl, false) // put it back
+			}
+		}
+	}
+}
+
+// unscheduleQuiet removes idx from the occupancy tables without requeueing
+// it (compaction bookkeeping, not a scheduling retry).
+func (a *attempt) unscheduleQuiet(idx int) {
+	t := a.time[idx]
+	row := t % a.ii
+	cl := a.clus[idx]
+	if a.st.usesCopyPort(idx) {
+		a.copyRows[row][cl] = removeOne(a.copyRows[row][cl], idx)
+		a.busRows[row] = removeOne(a.busRows[row], idx)
+	} else {
+		a.fuRows[row][cl] = removeOne(a.fuRows[row][cl], idx)
+	}
+	a.lastTime[idx] = t
+	a.time[idx] = -1
+}
+
+// lifetimeDelta returns the change in total register lifetime if idx moved
+// from its current cycle to t (positive means worse).
+func (a *attempt) lifetimeDelta(idx, t int) int {
+	g := a.st.g
+	shift := t - a.time[idx]
+	delta := 0
+	// Results: the lifetime of each consumed def starts later.
+	for _, e := range g.Out[idx] {
+		if e.Kind == ddg.True && e.From == idx {
+			delta -= shift
+			break // one def; its start moves once regardless of fanout
+		}
+	}
+	// Operands: if idx holds (or comes to hold) the maximal use term of a
+	// register it reads, that register's lifetime end grows.
+	for _, in := range g.In[idx] {
+		if in.Kind != ddg.True || in.From == idx {
+			continue
+		}
+		myTerm := a.time[idx] + in.Distance*a.ii
+		maxTerm := myTerm
+		for _, e := range g.Out[in.From] {
+			if e.Kind != ddg.True || e.Reg != in.Reg || e.To == idx {
+				continue
+			}
+			if a.time[e.To] < 0 {
+				continue
+			}
+			if v := a.time[e.To] + e.Distance*a.ii; v > maxTerm {
+				maxTerm = v
+			}
+		}
+		if newTerm := myTerm + shift; newTerm > maxTerm {
+			delta += newTerm - max(maxTerm, myTerm)
+		}
+	}
+	return delta
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// prioHeap orders operation indices by decreasing height, ties to the lower
+// index, so scheduling is deterministic.
+type prioHeap struct {
+	items  []int
+	height []int
+}
+
+func (h *prioHeap) Len() int { return len(h.items) }
+func (h *prioHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.height[a] != h.height[b] {
+		return h.height[a] > h.height[b]
+	}
+	return a < b
+}
+func (h *prioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *prioHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *prioHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

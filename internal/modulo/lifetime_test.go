@@ -1,0 +1,114 @@
+package modulo
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// lifetimeSum totals def-to-last-use distances across all registers — the
+// quantity the lifetime-sensitive mode minimizes (register pressure is
+// its average divided by the II).
+func lifetimeSum(g *ddg.Graph, s *Schedule) int {
+	start := make(map[interface{}]int)
+	end := make(map[interface{}]int)
+	for i, op := range g.Ops {
+		for _, d := range op.Defs {
+			if _, ok := start[d]; !ok {
+				start[d] = s.Time[i]
+			}
+		}
+	}
+	for from := range g.Ops {
+		for _, e := range g.Out[from] {
+			if e.Kind != ddg.True {
+				continue
+			}
+			if t := s.Time[e.To] + e.Distance*s.II + 1; t > end[e.Reg] {
+				end[e.Reg] = t
+			}
+		}
+	}
+	sum := 0
+	for r, st := range start {
+		if e, ok := end[r]; ok && e > st {
+			sum += e - st
+		}
+	}
+	return sum
+}
+
+// TestLifetimeModeValidAndNoWorseII checks the swing-flavored mode on the
+// suite: every schedule stays valid, and the II never regresses versus
+// Rau mode (the mode only changes placement within the same II search).
+func TestLifetimeModeValidAndNoWorseII(t *testing.T) {
+	cfg := machine.Ideal16()
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
+	totalRau, totalSwing := 0, 0
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		rau, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swing, err := Run(g, cfg, Options{Lifetime: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(swing, g, cfg, Options{Lifetime: true}); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if swing.II > rau.II {
+			t.Errorf("%s: lifetime mode II %d vs Rau %d", l.Name, swing.II, rau.II)
+		}
+		totalRau += lifetimeSum(g, rau)
+		totalSwing += lifetimeSum(g, swing)
+	}
+	if totalSwing > totalRau {
+		t.Errorf("lifetime mode lengthened total lifetimes: %d vs %d", totalSwing, totalRau)
+	}
+	t.Logf("total lifetime: Rau %d, lifetime-sensitive %d (%.1f%% shorter)",
+		totalRau, totalSwing, 100*(1-float64(totalSwing)/float64(totalRau)))
+}
+
+// TestLifetimeCompactionDeterministic re-runs and compares exactly.
+func TestLifetimeCompactionDeterministic(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := loopgen.Generate(loopgen.Params{N: 8, Seed: 13})[5]
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	a, err := Run(g, cfg, Options{Lifetime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, cfg, Options{Lifetime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Time {
+		if a.Time[i] != b.Time[i] {
+			t.Fatalf("lifetime mode nondeterministic at op %d", i)
+		}
+	}
+}
+
+// TestLifetimeModeClustered exercises the mode under cluster pinning.
+func TestLifetimeModeClustered(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	loops := loopgen.Generate(loopgen.Params{N: 10, Seed: 23})
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		pins := make([]int, len(g.Ops))
+		for i := range pins {
+			pins[i] = i % 4
+		}
+		s, err := Run(g, cfg, Options{Lifetime: true, ClusterOf: pins})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(s, g, cfg, Options{ClusterOf: pins}); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}

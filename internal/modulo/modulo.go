@@ -1,0 +1,338 @@
+// Package modulo implements Rau-style iterative modulo scheduling
+// (Rau, MICRO-27 1994), the software pipelining method the paper uses
+// (Section 2): a schedule for one loop iteration is chosen so that, when
+// repeated every II cycles, no resource or dependence constraint is
+// violated.
+//
+// The scheduler handles both of the paper's machine settings:
+//
+//   - the ideal monolithic machine (a single multi-ported register bank),
+//     used to build the "ideal schedule" that drives RCG construction and
+//     serves as the degradation baseline; and
+//   - the clustered machines, where each operation is pinned to the cluster
+//     owning its registers, embedded-model copies consume functional-unit
+//     issue slots on their destination cluster, and copy-unit-model copies
+//     consume a dedicated copy port on the destination cluster plus one
+//     inter-cluster bus for their issue cycle.
+//
+// The implementation follows Rau's algorithm: height-based priority
+// recomputed per candidate II, an acceptance window of II cycles starting
+// at the earliest start implied by scheduled predecessors, forced placement
+// with eviction when the window has no free slot, a budget of placements
+// per II, and II escalation on failure. A serial fallback schedule
+// guarantees termination for any well-formed loop.
+package modulo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// AnyCluster lets the scheduler choose the cluster for an operation.
+const AnyCluster = -1
+
+// Options tunes the scheduler.
+type Options struct {
+	// ClusterOf pins each operation (by index) to a cluster; nil or an
+	// AnyCluster entry lets the scheduler pick the least-loaded cluster.
+	// On a monolithic machine it is ignored.
+	ClusterOf []int
+	// BudgetRatio multiplies the operation count to produce the placement
+	// budget per candidate II (Rau suggests small constants; default 6).
+	BudgetRatio int
+	// MaxII caps the II search; 0 derives a cap from the serial schedule
+	// length. If the search passes the cap the serial fallback is used.
+	MaxII int
+	// Lifetime enables lifetime-sensitive placement in the spirit of
+	// swing modulo scheduling (Llosa et al., PACT'96 — the scheduler
+	// Nystrom and Eichenberger used, which "attempts to reduce register
+	// requirements", Section 6.3): an operation with already-scheduled
+	// consumers is placed as late as its consumers allow, shrinking the
+	// def-to-use distance, instead of as early as its producers allow.
+	// The II search is unchanged; only value lifetimes (and hence
+	// register pressure) differ.
+	Lifetime bool
+}
+
+// Schedule is a modulo schedule: operation i issues at absolute cycle
+// Time[i] on cluster Cluster[i]; the kernel repeats every II cycles.
+type Schedule struct {
+	II int
+	// Time holds the absolute issue cycle per operation index.
+	Time []int
+	// Cluster holds the cluster per operation (0 on monolithic machines).
+	Cluster []int
+	// Length is the single-iteration span: max(Time[i]+latency(i)).
+	Length int
+}
+
+// Row returns the kernel row (instruction index within the kernel) of op.
+func (s *Schedule) Row(op int) int { return s.Time[op] % s.II }
+
+// Stage returns the pipeline stage of op.
+func (s *Schedule) Stage(op int) int { return s.Time[op] / s.II }
+
+// Stages returns the number of pipeline stages (kernel copies in flight).
+func (s *Schedule) Stages() int {
+	if s.II == 0 {
+		return 0
+	}
+	return (s.Length + s.II - 1) / s.II
+}
+
+// IPC returns kernel operations issued per cycle: ops / II.
+func (s *Schedule) IPC() float64 {
+	if s.II == 0 {
+		return 0
+	}
+	return float64(len(s.Time)) / float64(s.II)
+}
+
+// Kernel renders the kernel rows with the operations issued in each,
+// annotated with stage and cluster, for the examples and cmd tools.
+func (s *Schedule) Kernel(ops []*ir.Op) string {
+	rows := make([][]int, s.II)
+	for i := range ops {
+		r := s.Row(i)
+		rows[r] = append(rows[r], i)
+	}
+	var sb strings.Builder
+	for r, ids := range rows {
+		fmt.Fprintf(&sb, "cycle %2d:", r)
+		if len(ids) == 0 {
+			sb.WriteString("  (empty)")
+		}
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "  [c%d s%d] %s;", s.Cluster[id], s.Stage(id), ops[id])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Run modulo-schedules the loop dependence graph g on machine cfg.
+func Run(g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
+	n := len(g.Ops)
+	if n == 0 {
+		return &Schedule{II: 1, Time: nil, Cluster: nil}, nil
+	}
+	if opt.ClusterOf != nil && len(opt.ClusterOf) != n {
+		return nil, fmt.Errorf("modulo: ClusterOf has %d entries for %d ops", len(opt.ClusterOf), n)
+	}
+	ratio := opt.BudgetRatio
+	if ratio <= 0 {
+		ratio = 6
+	}
+	st := &state{g: g, cfg: cfg, opt: opt, n: n}
+	serial := st.serialII()
+	maxII := opt.MaxII
+	if maxII <= 0 {
+		maxII = serial
+	}
+	minII := st.minII()
+	for ii := minII; ii <= maxII; ii++ {
+		if s, ok := st.tryII(ii, ratio*n); ok {
+			return s, nil
+		}
+	}
+	// Guaranteed fallback: the serial schedule at II == sum of latencies.
+	return st.serialSchedule(serial), nil
+}
+
+// state carries the per-run immutable inputs.
+type state struct {
+	g   *ddg.Graph
+	cfg *machine.Config
+	opt Options
+	n   int
+}
+
+func (st *state) wantCluster(i int) int {
+	if st.cfg.Monolithic() {
+		return 0
+	}
+	if st.opt.ClusterOf == nil {
+		return AnyCluster
+	}
+	return st.opt.ClusterOf[i]
+}
+
+// usesCopyPort reports whether op i is routed through the copy-unit
+// resources rather than a functional-unit slot.
+func (st *state) usesCopyPort(i int) bool {
+	return st.g.Ops[i].Code == ir.Copy &&
+		!st.cfg.Monolithic() &&
+		st.cfg.Model == machine.CopyUnit
+}
+
+// minII returns max(RecMII, resource MII) for the run's cluster pinning.
+func (st *state) minII() int {
+	rec := st.g.RecMII()
+	res := st.resMII()
+	if rec > res {
+		return rec
+	}
+	return res
+}
+
+// resMII lower-bounds II from resource usage: per-cluster functional-unit
+// slots (per unit kind on heterogeneous machines), per-cluster copy ports
+// and the shared busses (copy-unit model).
+func (st *state) resMII() int {
+	if st.cfg.Monolithic() || st.opt.ClusterOf == nil {
+		res := ddg.ResMII(st.n, st.cfg.Width)
+		if st.cfg.Heterogeneous() {
+			if v := st.kindMII(nil); v > res {
+				res = v
+			}
+		}
+		return res
+	}
+	per := st.cfg.FUsPerCluster()
+	fu := make([]int, st.cfg.Clusters)
+	ports := make([]int, st.cfg.Clusters)
+	totalCopies := 0
+	for i := 0; i < st.n; i++ {
+		c := st.opt.ClusterOf[i]
+		if c < 0 || c >= st.cfg.Clusters {
+			c = 0
+		}
+		if st.usesCopyPort(i) {
+			ports[c]++
+			totalCopies++
+		} else {
+			fu[c]++
+		}
+	}
+	res := 1
+	for c := 0; c < st.cfg.Clusters; c++ {
+		if v := ceilDiv(fu[c], per); v > res {
+			res = v
+		}
+		if st.cfg.CopyPortsPerCluster > 0 {
+			if v := ceilDiv(ports[c], st.cfg.CopyPortsPerCluster); v > res {
+				res = v
+			}
+		}
+	}
+	if st.cfg.Busses > 0 {
+		if v := ceilDiv(totalCopies, st.cfg.Busses); v > res {
+			res = v
+		}
+	}
+	if st.cfg.Heterogeneous() {
+		for c := 0; c < st.cfg.Clusters; c++ {
+			cl := c
+			if v := st.kindMII(&cl); v > res {
+				res = v
+			}
+		}
+	}
+	return res
+}
+
+// kindMII lower-bounds II from typed-unit capacity: operations of kind k
+// can use at most (units_k + units_any) slots per cluster-cycle. cluster
+// nil pools the whole machine (free placement).
+func (st *state) kindMII(cluster *int) int {
+	var demand [machine.NumKinds]int
+	for i := 0; i < st.n; i++ {
+		if st.usesCopyPort(i) {
+			continue
+		}
+		if cluster != nil {
+			c := st.opt.ClusterOf[i]
+			if c < 0 || c >= st.cfg.Clusters {
+				c = 0
+			}
+			if c != *cluster {
+				continue
+			}
+		}
+		demand[machine.OpKind(st.g.Ops[i])]++
+	}
+	units := st.cfg.UnitCounts()
+	mult := 1
+	if cluster == nil {
+		mult = st.cfg.Clusters
+	}
+	res := 1
+	for k := machine.FUKind(1); k < machine.NumKinds; k++ {
+		cap := (units[k] + units[machine.AnyKind]) * mult
+		if cap == 0 {
+			continue
+		}
+		if v := ceilDiv(demand[k], cap); v > res {
+			res = v
+		}
+	}
+	return res
+}
+
+func ceilDiv(a, b int) int {
+	if a == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// serialII returns the guaranteed-schedulable II: the sum of latencies.
+func (st *state) serialII() int {
+	sum := 0
+	for _, op := range st.g.Ops {
+		sum += st.cfg.Latency(op)
+	}
+	if sum < 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// serialSchedule places operations one per cycle at latency-prefix-sum
+// times; it satisfies every dependence and resource constraint at II ==
+// sum(latencies) and anchors the fallback path.
+func (st *state) serialSchedule(ii int) *Schedule {
+	s := &Schedule{II: ii, Time: make([]int, st.n), Cluster: make([]int, st.n)}
+	t := 0
+	for i, op := range st.g.Ops {
+		s.Time[i] = t
+		if c := st.wantCluster(i); c != AnyCluster {
+			s.Cluster[i] = c
+		}
+		t += st.cfg.Latency(op)
+		if end := s.Time[i] + st.cfg.Latency(op); end > s.Length {
+			s.Length = end
+		}
+	}
+	return s
+}
+
+// heights computes the per-operation priority for a candidate II: the
+// longest (latency - II*distance)-weighted path to any sink, floored at the
+// operation's own latency. With II >= RecMII there is no positive cycle, so
+// Bellman-Ford style relaxation converges within n rounds.
+func (st *state) heights(ii int) []int {
+	h := make([]int, st.n)
+	for i, op := range st.g.Ops {
+		h[i] = st.cfg.Latency(op)
+	}
+	for round := 0; round < st.n; round++ {
+		changed := false
+		for from := st.n - 1; from >= 0; from-- {
+			for _, e := range st.g.Out[from] {
+				if v := h[e.To] + e.Latency - ii*e.Distance; v > h[from] {
+					h[from] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,259 @@
+package modulo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func buildGraph(l *ir.Loop, cfg *machine.Config) *ddg.Graph {
+	return ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+}
+
+func accumulator(class ir.Class) *ir.Loop {
+	l := ir.NewLoop("acc")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(class)
+	ld := b.Load(class, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	return l
+}
+
+func TestAccumulatorReachesRecMII(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := accumulator(ir.Float)
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 2 {
+		t.Errorf("II = %d, want RecMII 2 (float add latency)", s.II)
+	}
+}
+
+func TestResourceBoundLoop(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("res")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < 40; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 40, Offset: k})
+	}
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 3 {
+		t.Errorf("II = %d, want ResMII 3 (40 ops / 16 wide)", s.II)
+	}
+	if ipc := s.IPC(); ipc < 13 {
+		t.Errorf("IPC = %f, want 40/3", ipc)
+	}
+}
+
+func TestPinnedTriadLaneAchievesMinII(t *testing.T) {
+	// One triad lane pinned to a single 4-wide cluster: II 2 must be
+	// achievable (modulo variable expansion assumed by the allocator).
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	l := ir.NewLoop("lane")
+	b := ir.NewLoopBuilder(l)
+	s0 := l.NewReg(ir.Float)
+	la := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	lb := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	m := b.Mul(la, s0)
+	sum := b.Add(m, lb)
+	b.Store(sum, ir.MemRef{Base: "c", Coeff: 1})
+	g := buildGraph(l, cfg)
+	pins := []int{0, 0, 0, 0, 0}
+	sch, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sch, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	if sch.II != 2 {
+		t.Fatalf("II = %d, want 2", sch.II)
+	}
+}
+
+func TestClusterPinningRespected(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	l := ir.NewLoop("pin")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < 8; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 8, Offset: k})
+	}
+	g := buildGraph(l, cfg)
+	pins := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pins {
+		if s.Cluster[i] != want {
+			t.Errorf("op %d on cluster %d, pinned %d", i, s.Cluster[i], want)
+		}
+	}
+}
+
+func TestCopyUnitPortsLimitII(t *testing.T) {
+	// 2-cluster copy-unit machine: 1 copy port per cluster, 2 busses. Six
+	// copies into cluster 0 cannot issue in fewer than 6 rows.
+	cfg := machine.MustClustered16(2, machine.CopyUnit)
+	l := ir.NewLoop("ports")
+	b := ir.NewLoopBuilder(l)
+	var pins []int
+	for k := 0; k < 6; k++ {
+		src := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 6, Offset: k})
+		pins = append(pins, 1) // loads on cluster 1
+		c := b.Copy(src)
+		pins = append(pins, 0) // copies into cluster 0
+		b.Store(c, ir.MemRef{Base: "c", Coeff: 6, Offset: k})
+		pins = append(pins, 0)
+	}
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	if s.II < 6 {
+		t.Errorf("II = %d; 6 copies through 1 port need II >= 6", s.II)
+	}
+}
+
+func TestEmbeddedCopiesConsumeSlots(t *testing.T) {
+	// Embedded model: copies are ordinary ops. 9 ops pinned to one 2-wide
+	// cluster (8-cluster machine) force II >= ceil(9/2) = 5.
+	cfg := machine.MustClustered16(8, machine.Embedded)
+	l := ir.NewLoop("slots")
+	b := ir.NewLoopBuilder(l)
+	var pins []int
+	for k := 0; k < 9; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 9, Offset: k})
+		pins = append(pins, 3)
+	}
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 5 {
+		t.Errorf("II = %d, want 5", s.II)
+	}
+}
+
+func TestIIAtLeastMinII(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := accumulator(ir.Int)
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II < g.RecMII() {
+		t.Errorf("II %d below RecMII %d", s.II, g.RecMII())
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	cfg := machine.Ideal16()
+	g := ddg.Build(&ir.Block{}, cfg, ddg.Options{Carried: true})
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 1 {
+		t.Errorf("empty loop II = %d", s.II)
+	}
+}
+
+func TestSerialFallbackIsValid(t *testing.T) {
+	// Force the fallback by exhausting the search range: MaxII below
+	// MinII means no iterative attempt can succeed.
+	cfg := machine.Ideal16()
+	l := accumulator(ir.Float)
+	g := buildGraph(l, cfg)
+	st := &state{g: g, cfg: cfg, opt: Options{}, n: len(g.Ops)}
+	s := st.serialSchedule(st.serialII())
+	if err := Check(s, g, cfg, Options{}); err != nil {
+		t.Fatalf("serial fallback invalid: %v", err)
+	}
+}
+
+func TestScheduleAccessors(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := accumulator(ir.Float)
+	g := buildGraph(l, cfg)
+	s, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Ops {
+		if s.Row(i) != s.Time[i]%s.II || s.Stage(i) != s.Time[i]/s.II {
+			t.Errorf("row/stage arithmetic wrong for op %d", i)
+		}
+	}
+	if s.Stages() < 1 {
+		t.Error("stage count must be positive")
+	}
+	k := s.Kernel(g.Ops)
+	if !strings.Contains(k, "cycle") || !strings.Contains(k, "load") {
+		t.Errorf("kernel rendering missing content:\n%s", k)
+	}
+}
+
+func TestCheckRejectsBadSchedules(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := accumulator(ir.Float)
+	g := buildGraph(l, cfg)
+	good, err := Run(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Schedule{II: good.II, Time: append([]int(nil), good.Time...), Cluster: append([]int(nil), good.Cluster...)}
+	bad.Time[1] = bad.Time[0] // add issues with its operand's load
+	if err := Check(bad, g, cfg, Options{}); err == nil {
+		t.Error("Check accepted a dependence violation")
+	}
+	short := &Schedule{II: 1, Time: []int{0}, Cluster: []int{0}}
+	if err := Check(short, g, cfg, Options{}); err == nil {
+		t.Error("Check accepted a truncated schedule")
+	}
+	zero := &Schedule{II: 0, Time: make([]int, len(g.Ops)), Cluster: make([]int, len(g.Ops))}
+	if err := Check(zero, g, cfg, Options{}); err == nil {
+		t.Error("Check accepted II 0")
+	}
+}
+
+func TestCheckRejectsOversubscribedRow(t *testing.T) {
+	cfg := machine.Example2x1() // 1 FU per cluster
+	l := ir.NewLoop("over")
+	b := ir.NewLoopBuilder(l)
+	b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 2, Offset: 0})
+	b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 2, Offset: 1})
+	g := buildGraph(l, cfg)
+	s := &Schedule{II: 1, Time: []int{0, 0}, Cluster: []int{0, 0}, Length: 1}
+	if err := Check(s, g, cfg, Options{}); err == nil {
+		t.Error("Check accepted two ops on a 1-FU cluster in one row")
+	}
+}

@@ -1,0 +1,77 @@
+package modulo
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// TestSuiteSchedulesAreValid is the scheduler's main property test: every
+// loop of a suite slice, scheduled on every paper machine (monolithic and
+// clustered-free-placement), must pass the post-hoc validity Check and
+// never beat its graph's RecMII.
+func TestSuiteSchedulesAreValid(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: 99})
+	cfgs := append([]*machine.Config{machine.Ideal16()}, machine.PaperConfigs()...)
+	for _, l := range loops {
+		for _, cfg := range cfgs {
+			g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+			s, err := Run(g, cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			if err := Check(s, g, cfg, Options{}); err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			if s.II < g.RecMII() {
+				t.Errorf("%s on %s: II %d below RecMII %d", l.Name, cfg.Name, s.II, g.RecMII())
+			}
+		}
+	}
+}
+
+// TestSchedulerDeterministic re-runs scheduling and demands identical
+// output: the experiment tables must be reproducible bit for bit.
+func TestSchedulerDeterministic(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 10, Seed: 3})
+	cfg := machine.Ideal16()
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		a, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.II != b.II {
+			t.Fatalf("%s: IIs differ: %d vs %d", l.Name, a.II, b.II)
+		}
+		for i := range a.Time {
+			if a.Time[i] != b.Time[i] || a.Cluster[i] != b.Cluster[i] {
+				t.Fatalf("%s: schedules differ at op %d", l.Name, i)
+			}
+		}
+	}
+}
+
+// TestMonolithicIINeverWorseThanSerial sanity-checks the II search: the
+// iterative scheduler must never return anything beyond the serial bound.
+func TestMonolithicIINeverWorseThanSerial(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 25, Seed: 17})
+	cfg := machine.Ideal16()
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		st := &state{g: g, cfg: cfg, opt: Options{}, n: len(g.Ops)}
+		s, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.II > st.serialII() {
+			t.Errorf("%s: II %d beyond serial bound %d", l.Name, s.II, st.serialII())
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package modulo
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func TestHeterogeneousUnitsBoundII(t *testing.T) {
+	// 8 loads on one C6x-like cluster: one D unit (plus no Any units)
+	// means II >= 8 for memory traffic alone, even though 4-wide issue
+	// would allow II 2.
+	cfg := machine.C6xLike(machine.Embedded)
+	l := ir.NewLoop("mem")
+	b := ir.NewLoopBuilder(l)
+	var pins []int
+	for k := 0; k < 8; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 8, Offset: k})
+		pins = append(pins, 0)
+	}
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 8 {
+		t.Errorf("II = %d, want 8 (one memory unit per cluster)", s.II)
+	}
+}
+
+func TestHeterogeneousMixedKernel(t *testing.T) {
+	// 2 loads + 1 mul + 2 adds + 1 store per cluster-iteration: demand
+	// mem=3, mul=1, alu=2 on units [alu alu mul mem] -> II >= 3 from the
+	// D unit.
+	cfg := machine.C6xLike(machine.Embedded)
+	l := ir.NewLoop("mix")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	m := b.Mul(x, y)
+	s1 := b.Add(m, x)
+	s2 := b.Add(s1, y)
+	b.Store(s2, ir.MemRef{Base: "c", Coeff: 1})
+	pins := []int{0, 0, 0, 0, 0, 0}
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	sch, err := Run(g, cfg, Options{ClusterOf: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(sch, g, cfg, Options{ClusterOf: pins}); err != nil {
+		t.Fatal(err)
+	}
+	if sch.II != 3 {
+		t.Errorf("II = %d, want 3 (three memory ops, one D unit)", sch.II)
+	}
+}
+
+func TestHeterogeneousSuiteValid(t *testing.T) {
+	cfg := machine.C6xLike(machine.Embedded)
+	for _, l := range loopgen.Generate(loopgen.Params{N: 20, Seed: 37}) {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+		s, err := Run(g, cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if err := Check(s, g, cfg, Options{}); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestKindFits(t *testing.T) {
+	cfg := machine.C6xLike(machine.Embedded) // per cluster: alu,alu,mul,mem
+	fits := func(mem, mul, alu, any int) bool {
+		var d [machine.NumKinds]int
+		d[machine.MemoryKind] = mem
+		d[machine.MultiplyKind] = mul
+		d[machine.ALUKind] = alu
+		d[machine.AnyKind] = any
+		return cfg.KindFits(d)
+	}
+	if !fits(1, 1, 2, 0) {
+		t.Error("full complement must fit")
+	}
+	if fits(2, 0, 0, 0) {
+		t.Error("two memory ops on one D unit fit")
+	}
+	if fits(0, 2, 0, 0) {
+		t.Error("two multiplies on one M unit fit")
+	}
+	if fits(0, 0, 3, 0) {
+		t.Error("three ALU ops on two L/S units fit")
+	}
+	if !fits(0, 0, 2, 0) {
+		t.Error("two ALU ops must fit")
+	}
+}
+
+func TestOpKind(t *testing.T) {
+	cases := []struct {
+		op   *ir.Op
+		want machine.FUKind
+	}{
+		{&ir.Op{Code: ir.Load}, machine.MemoryKind},
+		{&ir.Op{Code: ir.Store}, machine.MemoryKind},
+		{&ir.Op{Code: ir.Mul}, machine.MultiplyKind},
+		{&ir.Op{Code: ir.Div}, machine.MultiplyKind},
+		{&ir.Op{Code: ir.Add}, machine.ALUKind},
+		{&ir.Op{Code: ir.Copy}, machine.ALUKind},
+		{&ir.Op{Code: ir.Select}, machine.ALUKind},
+	}
+	for _, c := range cases {
+		if got := machine.OpKind(c.op); got != c.want {
+			t.Errorf("OpKind(%s) = %s, want %s", c.op.Code, got, c.want)
+		}
+	}
+}

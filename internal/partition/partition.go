@@ -1,0 +1,230 @@
+// Package partition defines the pluggable register-partitioning interface
+// of the code-generation framework and the baseline methods the paper
+// discusses (Section 3): Ellis's BUG (bottom-up greedy), plus round-robin,
+// random and single-bank strawmen used by the ablation benchmarks. The
+// paper's own method — register component graph partitioning — lives in
+// internal/core and is adapted to this interface by Greedy.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Input is everything a partitioner may consult: the loop body, its
+// dependence graph, the ideal schedule and the target machine. Methods are
+// free to ignore parts of it (round-robin uses none of it; the RCG method
+// uses the ideal schedule; BUG uses the graph and the machine).
+type Input struct {
+	// Block is the code being partitioned, in program order.
+	Block *ir.Block
+	// Graph is Block's dependence graph (built on the ideal machine).
+	Graph *ddg.Graph
+	// Ideal is the ideal schedule view used for RCG weighting.
+	Ideal core.ScheduledBlock
+	// Cfg is the clustered target machine.
+	Cfg *machine.Config
+	// Weights tunes the RCG heuristic.
+	Weights core.Weights
+	// Pre pre-colors registers to fixed banks (may be nil).
+	Pre map[ir.Reg]int
+}
+
+// Partitioner assigns every symbolic register in the input to a register
+// bank of the target machine.
+type Partitioner interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Assign computes the register-to-bank assignment.
+	Assign(in *Input) (*core.Assignment, error)
+}
+
+// Greedy is the paper's method: build the register component graph from
+// the ideal schedule and run the Figure-4 greedy bank chooser.
+type Greedy struct{}
+
+// Name implements Partitioner.
+func (Greedy) Name() string { return "rcg-greedy" }
+
+// Assign implements Partitioner.
+func (Greedy) Assign(in *Input) (*core.Assignment, error) {
+	g := core.Build([]core.ScheduledBlock{in.Ideal}, in.Weights)
+	return g.Partition(in.Cfg.Clusters, in.Weights, in.Pre)
+}
+
+// RCG exposes the constructed graph for callers that want to inspect it
+// (examples, the swpc tool).
+func (Greedy) RCG(in *Input) *core.RCG {
+	return core.Build([]core.ScheduledBlock{in.Ideal}, in.Weights)
+}
+
+// RoundRobin deals registers to banks in (class, ID) order, ignoring the
+// program entirely. It is the "spread blindly" ablation baseline.
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Assign implements Partitioner.
+func (RoundRobin) Assign(in *Input) (*core.Assignment, error) {
+	asg := &core.Assignment{Banks: in.Cfg.Clusters, Of: make(map[ir.Reg]int)}
+	for i, r := range in.Block.Registers() {
+		asg.Of[r] = i % in.Cfg.Clusters
+	}
+	applyPre(asg, in.Pre)
+	return asg, nil
+}
+
+// Random assigns registers to uniformly random banks from a fixed seed.
+// It bounds how bad an assignment can get and calibrates the other methods.
+type Random struct {
+	// Seed fixes the stream; the zero seed is valid and deterministic.
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (Random) Name() string { return "random" }
+
+// Assign implements Partitioner.
+func (p Random) Assign(in *Input) (*core.Assignment, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	asg := &core.Assignment{Banks: in.Cfg.Clusters, Of: make(map[ir.Reg]int)}
+	for _, r := range in.Block.Registers() {
+		asg.Of[r] = rng.Intn(in.Cfg.Clusters)
+	}
+	applyPre(asg, in.Pre)
+	return asg, nil
+}
+
+// SingleBank puts everything in bank 0. On a clustered machine this
+// serializes the loop onto one cluster: the "no partitioning at all"
+// degenerate case.
+type SingleBank struct{}
+
+// Name implements Partitioner.
+func (SingleBank) Name() string { return "single-bank" }
+
+// Assign implements Partitioner.
+func (SingleBank) Assign(in *Input) (*core.Assignment, error) {
+	asg := &core.Assignment{Banks: in.Cfg.Clusters, Of: make(map[ir.Reg]int)}
+	for _, r := range in.Block.Registers() {
+		asg.Of[r] = 0
+	}
+	applyPre(asg, in.Pre)
+	return asg, nil
+}
+
+func applyPre(asg *core.Assignment, pre map[ir.Reg]int) {
+	for r, b := range pre {
+		asg.Of[r] = b
+	}
+}
+
+// BUG is Ellis's bottom-up greedy assignment (Section 3): operations are
+// visited in scheduling priority order and each is placed on the cluster
+// that minimizes its estimated completion time, accounting for
+// inter-cluster copy latencies of its operands and for cluster load. The
+// method is "intimately intertwined with instruction scheduling and
+// utilizes machine-dependent details within the partitioning algorithm" —
+// the very property the RCG abstraction removes — which makes it the
+// natural baseline.
+type BUG struct{}
+
+// Name implements Partitioner.
+func (BUG) Name() string { return "bug" }
+
+// Assign implements Partitioner.
+func (BUG) Assign(in *Input) (*core.Assignment, error) {
+	cfg := in.Cfg
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("partition: BUG needs at least one cluster")
+	}
+	g := in.Graph
+	n := len(g.Ops)
+	heights := sched.Heights(g, cfg)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if heights[a] != heights[b] {
+			return heights[a] > heights[b]
+		}
+		return a < b
+	})
+
+	per := cfg.FUsPerCluster()
+	issued := make([]int, cfg.Clusters) // ops placed per cluster
+	finish := make([]int, n)            // estimated completion per op
+	clusterOf := make([]int, n)         // chosen cluster per op
+	regBank := make(map[ir.Reg]int, n)  // decided banks
+	defOf := make(map[ir.Reg]int, n)    // defining op per register
+	for i, op := range g.Ops {
+		for _, d := range op.Defs {
+			if _, ok := defOf[d]; !ok {
+				defOf[d] = i
+			}
+		}
+		clusterOf[i] = -1
+	}
+
+	for _, oi := range order {
+		op := g.Ops[oi]
+		bestC, bestFinish, bestLoad := 0, int(^uint(0)>>1), int(^uint(0)>>1)
+		for c := 0; c < cfg.Clusters; c++ {
+			ready := issued[c] / per // crude cluster-congestion estimate
+			for _, u := range op.Uses {
+				avail := 0
+				if d, ok := defOf[u]; ok && clusterOf[d] >= 0 {
+					avail = finish[d]
+					if clusterOf[d] != c {
+						avail += cfg.CopyLatency(u.Class)
+					}
+				} else if b, ok := regBank[u]; ok && b != c {
+					avail = cfg.CopyLatency(u.Class)
+				}
+				if avail > ready {
+					ready = avail
+				}
+			}
+			fin := ready + cfg.Latency(op)
+			if fin < bestFinish || (fin == bestFinish && issued[c] < bestLoad) {
+				bestC, bestFinish, bestLoad = c, fin, issued[c]
+			}
+		}
+		clusterOf[oi] = bestC
+		finish[oi] = bestFinish
+		issued[bestC]++
+		for _, d := range op.Defs {
+			if _, ok := regBank[d]; !ok {
+				regBank[d] = bestC
+			}
+		}
+		for _, u := range op.Uses {
+			if _, ok := regBank[u]; !ok {
+				if _, hasDef := defOf[u]; !hasDef {
+					regBank[u] = bestC // live-in: bank of its first user
+				}
+			}
+		}
+	}
+
+	asg := &core.Assignment{Banks: cfg.Clusters, Of: make(map[ir.Reg]int)}
+	for _, r := range in.Block.Registers() {
+		if b, ok := regBank[r]; ok {
+			asg.Of[r] = b
+		} else {
+			asg.Of[r] = 0
+		}
+	}
+	applyPre(asg, in.Pre)
+	return asg, nil
+}

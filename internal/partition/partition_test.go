@@ -1,0 +1,193 @@
+package partition_test
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/fixtures"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	. "repro/internal/partition"
+)
+
+// makeInput builds a full partitioner input from a loop.
+func makeInput(t *testing.T, l *ir.Loop, cfg *machine.Config) *Input {
+	t.Helper()
+	idealCfg := codegen.IdealOf(cfg)
+	g := ddg.Build(l.Body, idealCfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, idealCfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Input{
+		Block:   l.Body,
+		Graph:   g,
+		Ideal:   codegen.IdealView(l.Body, g, idealCfg, s),
+		Cfg:     cfg,
+		Weights: core.DefaultWeights(),
+	}
+}
+
+func allPartitioners() []Partitioner {
+	return []Partitioner{Greedy{}, RoundRobin{}, Random{Seed: 42}, SingleBank{}, BUG{}, UAS{}}
+}
+
+func TestAllPartitionersTotalAndValid(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	for _, cfg := range machine.PaperConfigs() {
+		in := makeInput(t, l, cfg)
+		for _, p := range allPartitioners() {
+			asg, err := p.Assign(in)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), cfg.Name, err)
+			}
+			if err := asg.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", p.Name(), cfg.Name, err)
+			}
+			for _, r := range l.Body.Registers() {
+				if _, ok := asg.Of[r]; !ok {
+					t.Errorf("%s on %s: register %s unassigned", p.Name(), cfg.Name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range allPartitioners() {
+		if seen[p.Name()] {
+			t.Errorf("duplicate partitioner name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestSingleBankUsesOnlyBankZero(t *testing.T) {
+	l := fixtures.DotProduct(3)
+	in := makeInput(t, l, machine.MustClustered16(4, machine.Embedded))
+	asg, err := SingleBank{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, b := range asg.Of {
+		if b != 0 {
+			t.Errorf("%s in bank %d", r, b)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsEvenly(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	in := makeInput(t, l, machine.MustClustered16(4, machine.Embedded))
+	asg, err := RoundRobin{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := asg.Counts()
+	n := len(l.Body.Registers())
+	for b, c := range counts {
+		lo, hi := n/4, (n+3)/4
+		if c < lo || c > hi {
+			t.Errorf("bank %d holds %d, want %d..%d", b, c, lo, hi)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	l := fixtures.DotProduct(4)
+	in := makeInput(t, l, machine.MustClustered16(4, machine.Embedded))
+	a, _ := Random{Seed: 7}.Assign(in)
+	b, _ := Random{Seed: 7}.Assign(in)
+	for r, bank := range a.Of {
+		if b.Of[r] != bank {
+			t.Fatalf("same seed, different assignment at %s", r)
+		}
+	}
+	c, _ := Random{Seed: 8}.Assign(in)
+	same := true
+	for r, bank := range a.Of {
+		if c.Of[r] != bank {
+			same = false
+		}
+	}
+	if same && len(a.Of) > 4 {
+		t.Error("different seeds produced identical assignments (suspicious)")
+	}
+}
+
+func TestBUGKeepsChainLocal(t *testing.T) {
+	// A single serial chain: BUG's completion-time estimate must keep it
+	// on one cluster (no copy improves anything).
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	l := ir.NewLoop("chain")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Mul(x, x)
+	z := b.Add(y, y)
+	b.Store(z, ir.MemRef{Base: "c", Coeff: 1})
+	in := makeInput(t, l, cfg)
+	asg, err := BUG{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := asg.Bank(x)
+	if asg.Bank(y) != bank || asg.Bank(z) != bank {
+		t.Errorf("BUG split a serial chain: %v %v %v", asg.Bank(x), asg.Bank(y), asg.Bank(z))
+	}
+}
+
+func TestBUGSpreadsIndependentWork(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	l := ir.NewLoop("wide")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < 16; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 16, Offset: k})
+	}
+	in := makeInput(t, l, cfg)
+	asg, err := BUG{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := asg.Counts()
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("BUG used a single cluster for 16 independent loads: %v", counts)
+	}
+}
+
+func TestPreColoringAppliedByAll(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	in := makeInput(t, l, machine.MustClustered16(4, machine.Embedded))
+	target := l.Body.Registers()[0]
+	in.Pre = map[ir.Reg]int{target: 3}
+	for _, p := range allPartitioners() {
+		asg, err := p.Assign(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg.Bank(target) != 3 {
+			t.Errorf("%s ignored pre-coloring of %s", p.Name(), target)
+		}
+	}
+}
+
+func TestGreedyRCGExposed(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	in := makeInput(t, l, machine.MustClustered16(2, machine.Embedded))
+	g := Greedy{}.RCG(in)
+	if g == nil || len(g.Nodes) == 0 {
+		t.Fatal("Greedy.RCG returned an empty graph")
+	}
+	if len(g.Nodes) != len(l.Body.Registers()) {
+		t.Errorf("RCG has %d nodes, loop has %d registers", len(g.Nodes), len(l.Body.Registers()))
+	}
+}

@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/modulo"
+)
+
+// UAS approximates Ozer, Banerjia and Conte's unified assign-and-schedule
+// (Section 3): instead of partitioning registers up front and then
+// scheduling, the modulo scheduler itself chooses a cluster for every
+// operation while it schedules, with full knowledge of per-cluster issue
+// pressure at each kernel row. The register partition is then read off the
+// schedule: each value lives in the bank of the cluster that computed it.
+//
+// The reproduction's scheduler supports exactly this through free
+// placement (an unpinned operation goes to the least-loaded cluster at its
+// chosen row), so UAS here is "schedule clustered with free placement,
+// derive banks from clusters". What this baseline cannot see — and what
+// Ozer's full algorithm adds — is the cost of the copies its choices
+// imply, since copies are inserted only after the assignment exists; the
+// comparison benchmarks quantify how much that second-order information
+// is worth.
+type UAS struct{}
+
+// Name implements Partitioner.
+func (UAS) Name() string { return "uas" }
+
+// Assign implements Partitioner.
+func (UAS) Assign(in *Input) (*core.Assignment, error) {
+	// The input graph was built with the ideal machine's latency table,
+	// which the clustered machines share, so it is reusable here.
+	s, err := modulo.Run(in.Graph, in.Cfg, modulo.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("partition: UAS scheduling: %w", err)
+	}
+	asg := &core.Assignment{Banks: in.Cfg.Clusters, Of: make(map[ir.Reg]int)}
+	for i, op := range in.Graph.Ops {
+		for _, d := range op.Defs {
+			if _, ok := asg.Of[d]; !ok {
+				asg.Of[d] = s.Cluster[i]
+			}
+		}
+	}
+	// Live-ins take the bank of their first consumer's cluster.
+	for i, op := range in.Graph.Ops {
+		for _, u := range op.Uses {
+			if _, ok := asg.Of[u]; !ok {
+				asg.Of[u] = s.Cluster[i]
+			}
+		}
+	}
+	for _, r := range in.Block.Registers() {
+		if _, ok := asg.Of[r]; !ok {
+			asg.Of[r] = 0
+		}
+	}
+	applyPre(asg, in.Pre)
+	return asg, nil
+}

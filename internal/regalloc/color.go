@@ -1,0 +1,261 @@
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Result reports one bank's register assignment.
+type Result struct {
+	// Colors maps each allocated register to its machine register number
+	// within the bank. Values needing modulo variable expansion get the
+	// lowest of their assigned contiguous block (see Needs).
+	Colors map[ir.Reg]int
+	// Needs maps each register to how many physical registers it consumes
+	// (ceil(lifetime/II), at least 1).
+	Needs map[ir.Reg]int
+	// Spilled lists registers that could not be colored within K.
+	Spilled []ir.Reg
+	// Conflicts lists pairs of pre-colored registers whose pinned color
+	// blocks overlap while their lifetimes interfere — an infeasible
+	// pre-coloring the caller asked for.
+	Conflicts [][2]ir.Reg
+	// MaxLive is the bank's register pressure.
+	MaxLive int
+	// UsedColors is the number of distinct machine registers consumed.
+	UsedColors int
+}
+
+// Color performs Chaitin/Briggs graph-coloring register assignment on one
+// bank's cyclic live ranges with K machine registers available:
+//
+//  1. build the interference graph — two ranges interfere when their
+//     lifetimes overlap at some cycle modulo the II;
+//  2. simplify — repeatedly remove nodes whose weighted degree is
+//     guaranteed colorable, pushing them on a stack; when none qualifies,
+//     optimistically push the node with the lowest spill priority
+//     (Briggs's optimistic coloring, which beats Chaitin's pessimistic
+//     spill decision);
+//  3. select — pop and assign colors; an optimistic node with no free
+//     color is spilled.
+//
+// Each range is weighted by the number of simultaneous copies modulo
+// variable expansion requires (ceil(len/II)); a node consumes that many
+// colors and the Briggs test accounts for neighbor weights. Spilled
+// registers are reported, not rewritten: the paper's experiments measure
+// schedule degradation, and with the paper's 32-register banks spills are
+// rare; the Spilled list lets the harness report them.
+func Color(ranges []LiveRange, ii, k int) *Result {
+	return ColorPre(ranges, ii, k, nil)
+}
+
+// ColorPre is Color with pre-colored registers: pre maps a register to the
+// exact machine register number it must occupy within the bank. This is
+// the assignment-level half of the paper's pre-coloring hook (Section
+// 4.1): some machine idiosyncrasies require a value not only to live in a
+// specific bank but to "use the same register number" as a partner value
+// in another bank. Pre-colored nodes are fixed before simplification and
+// never spilled; an infeasible pre-coloring (two interfering registers
+// pinned to overlapping numbers) surfaces as spills of the conflicting
+// un-pinned neighbors and is reported via Conflicts.
+func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
+	n := len(ranges)
+	res := &Result{
+		Colors:  make(map[ir.Reg]int, n),
+		Needs:   make(map[ir.Reg]int, n),
+		MaxLive: MaxLive(ranges, ii),
+	}
+	need := make([]int, n)
+	for i, lr := range ranges {
+		need[i] = (lr.Len() + ii - 1) / ii
+		if need[i] < 1 {
+			need[i] = 1
+		}
+		res.Needs[lr.Reg] = need[i]
+	}
+
+	// Interference graph.
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if interfere(ranges[i], ranges[j], ii) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+
+	// Pre-colored nodes are fixed before simplification: they never enter
+	// the stack, never spill, and permanently block their color block for
+	// every neighbor.
+	color := make([]int, n)
+	fixed := make([]bool, n)
+	nFree := n
+	for i := range color {
+		color[i] = -1
+	}
+	for i, lr := range ranges {
+		if c, ok := pre[lr.Reg]; ok {
+			color[i] = c
+			fixed[i] = true
+			res.Colors[lr.Reg] = c
+			if top := c + need[i]; top > res.UsedColors {
+				res.UsedColors = top
+			}
+			nFree--
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !fixed[i] {
+			continue
+		}
+		for _, u := range adj[i] {
+			if fixed[u] && u > i && blocksOverlap(color[i], need[i], color[u], need[u]) {
+				res.Conflicts = append(res.Conflicts, [2]ir.Reg{ranges[i].Reg, ranges[u].Reg})
+			}
+		}
+	}
+
+	// Simplify with Briggs's optimistic push. Weighted degree of node v is
+	// sum of need(u) over live neighbors; v is trivially colorable when
+	// weightedDegree(v) + need(v) <= k. Fixed nodes count as permanent
+	// neighbors: their weight is never subtracted.
+	removed := make([]bool, n)
+	wdeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, u := range adj[v] {
+			wdeg[v] += need[u]
+		}
+	}
+	stack := make([]int, 0, n)
+	optimistic := make([]bool, n)
+	for len(stack) < nFree {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if removed[v] || fixed[v] {
+				continue
+			}
+			if wdeg[v]+need[v] <= k {
+				pick = v
+				break
+			}
+		}
+		opt := false
+		if pick < 0 {
+			// No trivially colorable node: optimistically push the best
+			// spill candidate — the range whose removal relieves the most
+			// pressure for the least reload cost. Lifetime length times
+			// name count measures relief; long-lived, multi-name values
+			// spill first, and the short reload temporaries created by
+			// SpillRewrite are never re-picked, which is what makes the
+			// spill iteration converge.
+			best := -1.0
+			for v := 0; v < n; v++ {
+				if removed[v] || fixed[v] {
+					continue
+				}
+				pr := float64(ranges[v].Len()) * float64(need[v])
+				if pick < 0 || pr > best {
+					pick, best = v, pr
+				}
+			}
+			opt = true
+		}
+		removed[pick] = true
+		optimistic[pick] = opt
+		stack = append(stack, pick)
+		for _, u := range adj[pick] {
+			if !removed[u] {
+				wdeg[u] -= need[pick]
+			}
+		}
+	}
+
+	// Select.
+	spilled := make([]bool, n)
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		taken := make(map[int]bool)
+		for _, u := range adj[v] {
+			if color[u] >= 0 && !spilled[u] {
+				for c := 0; c < need[u]; c++ {
+					taken[color[u]+c] = true
+				}
+			}
+		}
+		base := firstFreeBlock(taken, need[v], k)
+		if base < 0 {
+			spilled[v] = true
+			res.Spilled = append(res.Spilled, ranges[v].Reg)
+			continue
+		}
+		color[v] = base
+		res.Colors[ranges[v].Reg] = base
+		if top := base + need[v]; top > res.UsedColors {
+			res.UsedColors = top
+		}
+	}
+	sort.Slice(res.Spilled, func(a, b int) bool {
+		x, y := res.Spilled[a], res.Spilled[b]
+		if x.Class != y.Class {
+			return x.Class < y.Class
+		}
+		return x.ID < y.ID
+	})
+	return res
+}
+
+// blocksOverlap reports whether color blocks [a, a+na) and [b, b+nb)
+// intersect.
+func blocksOverlap(a, na, b, nb int) bool {
+	return a < b+nb && b < a+na
+}
+
+// firstFreeBlock finds the lowest base color such that the block
+// [base, base+need) fits under k and avoids taken colors; -1 if none.
+func firstFreeBlock(taken map[int]bool, need, k int) int {
+	for base := 0; base+need <= k; base++ {
+		ok := true
+		for c := 0; c < need; c++ {
+			if taken[base+c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return base
+		}
+	}
+	return -1
+}
+
+// interfere reports whether two cyclic live ranges overlap at some cycle
+// modulo ii. Range a occupies [a.Start, a.End); shifting b by every
+// feasible multiple of ii detects wrapped overlap.
+func interfere(a, b LiveRange, ii int) bool {
+	if a.Len() <= 0 || b.Len() <= 0 {
+		return false
+	}
+	if a.Len() >= ii || b.Len() >= ii {
+		return true // covers every row at least once
+	}
+	// k ranges so that b+k*ii can overlap a.
+	lo := floorDiv(a.Start-b.End+1, ii)
+	hi := floorDiv(a.End-1-b.Start, ii)
+	for k := lo; k <= hi; k++ {
+		bs, be := b.Start+k*ii, b.End+k*ii
+		if bs < a.End && a.Start < be {
+			return true
+		}
+	}
+	return false
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

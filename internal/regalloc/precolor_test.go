@@ -1,0 +1,76 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestColorPreFixesNumbers(t *testing.T) {
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 3},
+		{Reg: reg(2), Start: 1, End: 4},
+		{Reg: reg(3), Start: 2, End: 5},
+	}
+	pre := map[ir.Reg]int{reg(2): 5}
+	res := ColorPre(ranges, 10, 8, pre)
+	if res.Colors[reg(2)] != 5 {
+		t.Fatalf("pre-colored register got %d, want 5", res.Colors[reg(2)])
+	}
+	if len(res.Spilled) != 0 {
+		t.Fatalf("spills with plentiful registers: %v", res.Spilled)
+	}
+	checkColoring(t, ranges, res, 10)
+	if len(res.Conflicts) != 0 {
+		t.Errorf("unexpected conflicts: %v", res.Conflicts)
+	}
+}
+
+func TestColorPreNeverSpillsFixed(t *testing.T) {
+	// Six mutually interfering ranges, K=4, two of them pinned: the
+	// pinned ones must survive and the spills fall on unpinned neighbors.
+	var ranges []LiveRange
+	for i := 1; i <= 6; i++ {
+		ranges = append(ranges, LiveRange{Reg: reg(i), Start: 0, End: 5})
+	}
+	pre := map[ir.Reg]int{reg(5): 0, reg(6): 1}
+	res := ColorPre(ranges, 10, 4, pre)
+	for _, s := range res.Spilled {
+		if s == reg(5) || s == reg(6) {
+			t.Errorf("pre-colored register %s spilled", s)
+		}
+	}
+	if res.Colors[reg(5)] != 0 || res.Colors[reg(6)] != 1 {
+		t.Error("pre-colored numbers not honored")
+	}
+	checkColoring(t, ranges, res, 10)
+}
+
+func TestColorPreDetectsInfeasiblePinning(t *testing.T) {
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 5},
+		{Reg: reg(2), Start: 2, End: 6},
+	}
+	pre := map[ir.Reg]int{reg(1): 3, reg(2): 3}
+	res := ColorPre(ranges, 10, 8, pre)
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %v, want the interfering pinned pair", res.Conflicts)
+	}
+}
+
+func TestColorPreSameNumberDisjointLifetimes(t *testing.T) {
+	// The paper's idiosyncratic case: two values pinned to the same
+	// register number is fine when their lifetimes never overlap.
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 2},
+		{Reg: reg(2), Start: 3, End: 5},
+	}
+	pre := map[ir.Reg]int{reg(1): 7, reg(2): 7}
+	res := ColorPre(ranges, 100, 8, pre)
+	if len(res.Conflicts) != 0 {
+		t.Errorf("disjoint same-number pinning flagged: %v", res.Conflicts)
+	}
+	if res.Colors[reg(1)] != 7 || res.Colors[reg(2)] != 7 {
+		t.Error("numbers not honored")
+	}
+}

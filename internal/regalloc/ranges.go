@@ -1,0 +1,155 @@
+// Package regalloc implements step 5 of the paper's framework (Section 4):
+// "with functional units specified and registers allocated to banks,
+// perform standard Chaitin/Briggs graph coloring register assignment for
+// each register bank".
+//
+// The allocator works on live ranges extracted from a schedule. For a
+// modulo schedule the ranges are cyclic: a value defined at cycle t and
+// last consumed at cycle t' (possibly in a later iteration) occupies its
+// register for t'-t+1 cycles that repeat every II cycles, so a lifetime
+// longer than the II needs ceil(len/II) simultaneous physical registers —
+// the classic modulo-variable-expansion requirement, which the coloring
+// models by giving such values multiple mutually interfering names.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/modulo"
+	"repro/internal/sched"
+)
+
+// LiveRange is the half-open lifetime [Start, End) of a register in
+// schedule time. In a modulo schedule the range repeats every II cycles.
+type LiveRange struct {
+	Reg ir.Reg
+	// Start is the issue cycle of the defining operation (0 for loop
+	// invariants, which are defined in the preheader).
+	Start int
+	// End is one past the last cycle at which the value is read; for
+	// loop-carried consumers this includes the iteration distance
+	// (End = useTime + distance*II + 1).
+	End int
+	// Invariant marks loop live-ins with no definition in the body: they
+	// occupy a register for the whole loop.
+	Invariant bool
+}
+
+// Len returns the lifetime length in cycles.
+func (lr LiveRange) Len() int { return lr.End - lr.Start }
+
+// KernelRanges extracts the cyclic live ranges of every register in a
+// modulo-scheduled loop body. The dependence graph supplies the def-use
+// pairs (true edges carry the register and the iteration distance).
+func KernelRanges(g *ddg.Graph, s *modulo.Schedule) []LiveRange {
+	type span struct {
+		start, end int
+		hasDef     bool
+	}
+	spans := make(map[ir.Reg]*span)
+	get := func(r ir.Reg) *span {
+		sp := spans[r]
+		if sp == nil {
+			sp = &span{start: -1, end: -1}
+			spans[r] = sp
+		}
+		return sp
+	}
+	for i, op := range g.Ops {
+		for _, d := range op.Defs {
+			sp := get(d)
+			if !sp.hasDef || s.Time[i] < sp.start {
+				sp.start = s.Time[i]
+				sp.hasDef = true
+			}
+		}
+		for _, u := range op.Uses {
+			get(u) // ensure presence even if never extended by an edge
+		}
+	}
+	for from := range g.Ops {
+		for _, e := range g.Out[from] {
+			if e.Kind != ddg.True {
+				continue
+			}
+			sp := get(e.Reg)
+			if end := s.Time[e.To] + e.Distance*s.II + 1; end > sp.end {
+				sp.end = end
+			}
+		}
+	}
+	// Uses with no recorded true edge (pure live-in invariants) and defs
+	// never read (dead stores into registers) still need ranges.
+	var out []LiveRange
+	for r, sp := range spans {
+		lr := LiveRange{Reg: r}
+		switch {
+		case !sp.hasDef:
+			// Loop invariant: live across the entire kernel, every
+			// iteration.
+			lr.Start, lr.End, lr.Invariant = 0, s.II, true
+		case sp.end < 0:
+			// Defined but never read inside the loop (the value escapes
+			// via the final iteration); hold it for its def latency.
+			lr.Start, lr.End = sp.start, sp.start+1
+		default:
+			lr.Start, lr.End = sp.start, sp.end
+		}
+		out = append(out, lr)
+	}
+	sortRanges(out)
+	return out
+}
+
+// BlockRanges extracts live ranges from a list-scheduled acyclic block.
+func BlockRanges(g *ddg.Graph, s *sched.Schedule) []LiveRange {
+	kernelLike := &modulo.Schedule{II: s.Length + 1, Time: s.Time, Cluster: s.Cluster, Length: s.Length}
+	ranges := KernelRanges(g, kernelLike)
+	// Invariants in straight-line code are just live-in parameters; keep
+	// them spanning the block.
+	return ranges
+}
+
+func sortRanges(rs []LiveRange) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].Reg, rs[j].Reg
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.ID < b.ID
+	})
+}
+
+// MaxLive returns the maximum number of simultaneously live register
+// copies across the II kernel rows — the register pressure the bank must
+// sustain. Lifetimes longer than the II count multiple times on the rows
+// they overlap themselves.
+func MaxLive(ranges []LiveRange, ii int) int {
+	if ii <= 0 {
+		return 0
+	}
+	rows := make([]int, ii)
+	for _, lr := range ranges {
+		length := lr.Len()
+		if length <= 0 {
+			continue
+		}
+		full := length / ii // complete wraps cover every row once each
+		rem := length % ii
+		for r := 0; r < ii; r++ {
+			rows[r] += full
+		}
+		for k := 0; k < rem; k++ {
+			rows[(lr.Start+k)%ii]++
+		}
+	}
+	max := 0
+	for _, v := range rows {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

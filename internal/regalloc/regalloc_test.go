@@ -1,0 +1,263 @@
+package regalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ddg"
+	"repro/internal/fixtures"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+func reg(id int) ir.Reg { return ir.Reg{ID: id, Class: ir.Float} }
+
+func TestInterfere(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b LiveRange
+		ii   int
+		want bool
+	}{
+		{"disjoint same iteration", LiveRange{Start: 0, End: 2}, LiveRange{Start: 2, End: 4}, 10, false},
+		{"overlap same iteration", LiveRange{Start: 0, End: 3}, LiveRange{Start: 2, End: 4}, 10, true},
+		{"wrap collision", LiveRange{Start: 8, End: 12}, LiveRange{Start: 0, End: 3}, 10, true}, // 8..12 wraps onto 0..2
+		{"wrap miss", LiveRange{Start: 8, End: 10}, LiveRange{Start: 0, End: 3}, 10, false},
+		{"full-period range hits everything", LiveRange{Start: 0, End: 10}, LiveRange{Start: 5, End: 6}, 10, true},
+		{"empty range never interferes", LiveRange{Start: 3, End: 3}, LiveRange{Start: 0, End: 10}, 10, false},
+	}
+	for _, tt := range tests {
+		if got := interfere(tt.a, tt.b, tt.ii); got != tt.want {
+			t.Errorf("%s: interfere = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := interfere(tt.b, tt.a, tt.ii); got != tt.want {
+			t.Errorf("%s (swapped): interfere = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestInterfereAgainstBruteForce checks the wrapped-overlap algebra
+// against direct enumeration: two cyclic ranges interfere exactly when
+// some pair of occupied cycles is congruent modulo the II.
+func TestInterfereAgainstBruteForce(t *testing.T) {
+	brute := func(a, b LiveRange, ii int) bool {
+		for x := a.Start; x < a.End; x++ {
+			for y := b.Start; y < b.End; y++ {
+				if ((x-y)%ii+ii)%ii == 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for ii := 1; ii <= 7; ii++ {
+		for s1 := 0; s1 < 10; s1++ {
+			for l1 := 0; l1 <= 9; l1++ {
+				for s2 := 0; s2 < 10; s2++ {
+					for l2 := 0; l2 <= 9; l2++ {
+						a := LiveRange{Start: s1, End: s1 + l1}
+						b := LiveRange{Start: s2, End: s2 + l2}
+						want := brute(a, b, ii)
+						if got := interfere(a, b, ii); got != want {
+							t.Fatalf("interfere([%d,%d),[%d,%d), ii=%d) = %v, brute force says %v",
+								a.Start, a.End, b.Start, b.End, ii, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInterfereSymmetricProperty(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint8, iiRaw uint8) bool {
+		ii := int(iiRaw%20) + 1
+		a := LiveRange{Start: int(s1 % 40), End: int(s1%40) + int(l1%15)}
+		b := LiveRange{Start: int(s2 % 40), End: int(s2%40) + int(l2%15)}
+		return interfere(a, b, ii) == interfere(b, a, ii)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLive(t *testing.T) {
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 2},
+		{Reg: reg(2), Start: 1, End: 3},
+		{Reg: reg(3), Start: 2, End: 4},
+	}
+	if got := MaxLive(ranges, 4); got != 2 {
+		t.Errorf("MaxLive = %d, want 2", got)
+	}
+	// A lifetime of 2 full periods contributes 2 everywhere.
+	long := []LiveRange{{Reg: reg(1), Start: 0, End: 8}}
+	if got := MaxLive(long, 4); got != 2 {
+		t.Errorf("MaxLive(long) = %d, want 2", got)
+	}
+	if MaxLive(nil, 4) != 0 || MaxLive(ranges, 0) != 0 {
+		t.Error("degenerate MaxLive inputs must be 0")
+	}
+}
+
+func TestColorValidAssignment(t *testing.T) {
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 3},
+		{Reg: reg(2), Start: 1, End: 4},
+		{Reg: reg(3), Start: 2, End: 5},
+		{Reg: reg(4), Start: 6, End: 8},
+	}
+	res := Color(ranges, 10, 4)
+	if len(res.Spilled) != 0 {
+		t.Fatalf("unexpected spills: %v", res.Spilled)
+	}
+	checkColoring(t, ranges, res, 10)
+}
+
+func checkColoring(t *testing.T, ranges []LiveRange, res *Result, ii int) {
+	t.Helper()
+	spilled := make(map[ir.Reg]bool)
+	for _, r := range res.Spilled {
+		spilled[r] = true
+	}
+	for i := 0; i < len(ranges); i++ {
+		for j := i + 1; j < len(ranges); j++ {
+			a, b := ranges[i], ranges[j]
+			if spilled[a.Reg] || spilled[b.Reg] {
+				continue
+			}
+			if !interfere(a, b, ii) {
+				continue
+			}
+			ca, cb := res.Colors[a.Reg], res.Colors[b.Reg]
+			na, nb := res.Needs[a.Reg], res.Needs[b.Reg]
+			if ca < cb+nb && cb < ca+na {
+				t.Errorf("interfering %s and %s share colors [%d,%d) and [%d,%d)",
+					a.Reg, b.Reg, ca, ca+na, cb, cb+nb)
+			}
+		}
+	}
+}
+
+func TestColorSpillsWhenTooFewRegisters(t *testing.T) {
+	var ranges []LiveRange
+	for i := 1; i <= 6; i++ {
+		ranges = append(ranges, LiveRange{Reg: reg(i), Start: 0, End: 5})
+	}
+	res := Color(ranges, 10, 4)
+	if len(res.Spilled) != 2 {
+		t.Errorf("spilled %d of 6 ranges with 4 registers, want 2", len(res.Spilled))
+	}
+	checkColoring(t, ranges, res, 10)
+}
+
+func TestColorModuloExpansionNeeds(t *testing.T) {
+	// Lifetime 7 at II 3 needs ceil(7/3) = 3 physical registers.
+	ranges := []LiveRange{{Reg: reg(1), Start: 0, End: 7}}
+	res := Color(ranges, 3, 8)
+	if res.Needs[reg(1)] != 3 {
+		t.Errorf("needs = %d, want 3", res.Needs[reg(1)])
+	}
+	if res.UsedColors != 3 {
+		t.Errorf("used colors = %d, want 3", res.UsedColors)
+	}
+}
+
+func TestColorOptimisticBeatsPessimism(t *testing.T) {
+	// A 5-cycle of unit ranges is 2-colorable pairwise... actually an odd
+	// cycle needs 3; with K=3 Briggs must color it without spilling even
+	// though every node has degree 2 == K-1 < K, trivially colorable. Use
+	// K=2 to force optimism: a path graph a-b-c with K=2 colors fine.
+	ranges := []LiveRange{
+		{Reg: reg(1), Start: 0, End: 2},
+		{Reg: reg(2), Start: 1, End: 3},
+		{Reg: reg(3), Start: 2, End: 4},
+	}
+	res := Color(ranges, 10, 2)
+	if len(res.Spilled) != 0 {
+		t.Errorf("path graph spilled with K=2: %v", res.Spilled)
+	}
+	checkColoring(t, ranges, res, 10)
+}
+
+func TestKernelRangesDotProduct(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := fixtures.DotProduct(2)
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := KernelRanges(g, s)
+	byReg := make(map[ir.Reg]LiveRange)
+	for _, lr := range ranges {
+		byReg[lr.Reg] = lr
+	}
+	if len(ranges) != len(l.Body.Registers()) {
+		t.Errorf("ranges for %d of %d registers", len(ranges), len(l.Body.Registers()))
+	}
+	// Accumulators are live-in (invariant start) but defined in the body:
+	// they must NOT be marked invariant, and their carried self-use must
+	// stretch the lifetime across the II.
+	accs := 0
+	for _, lr := range ranges {
+		if lr.Invariant {
+			t.Errorf("%s marked invariant; dot product has no pure invariants", lr.Reg)
+		}
+		if lr.Len() > s.II {
+			accs++
+		}
+		if lr.Len() <= 0 {
+			t.Errorf("%s has empty range", lr.Reg)
+		}
+	}
+	if accs == 0 {
+		t.Error("no lifetime exceeds the II; accumulators must wrap")
+	}
+}
+
+func TestKernelRangesInvariant(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("inv")
+	b := ir.NewLoopBuilder(l)
+	s0 := l.NewReg(ir.Float)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	m := b.Mul(x, s0)
+	b.Store(m, ir.MemRef{Base: "c", Coeff: 1})
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range KernelRanges(g, s) {
+		if lr.Reg == s0 {
+			if !lr.Invariant {
+				t.Error("pure live-in not marked invariant")
+			}
+			if lr.Start != 0 || lr.End != s.II {
+				t.Errorf("invariant range [%d,%d), want [0,%d)", lr.Start, lr.End, s.II)
+			}
+		}
+	}
+}
+
+func TestSuiteAllocationsValid(t *testing.T) {
+	// Property test over generated loops: per-bank colorings never assign
+	// overlapping colors to interfering ranges.
+	cfg := machine.Ideal16()
+	l := fixtures.DotProduct(6)
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	s, err := modulo.Run(g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := KernelRanges(g, s)
+	for _, k := range []int{2, 4, 8, 32} {
+		res := Color(ranges, s.II, k)
+		checkColoring(t, ranges, res, s.II)
+		if res.UsedColors > k {
+			t.Errorf("K=%d: used %d colors", k, res.UsedColors)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// This file completes the Chaitin/Briggs allocator for straight-line code:
+// when coloring fails, spill code is inserted (a store to a spill slot
+// after each definition of the spilled register, a reload into a fresh
+// short-lived temporary before each use) and coloring reruns on the
+// rewritten code. Reloaded temporaries have near-minimal live ranges, so
+// the iteration converges in a couple of rounds. Software-pipelined
+// kernels are deliberately excluded — spilling inside a kernel changes the
+// schedule and the II, which is why the paper (and this reproduction)
+// sizes banks so kernels do not spill, and merely reports pressure.
+
+// SpillBase is the array-name prefix of compiler-generated spill slots.
+const SpillBase = "spill."
+
+// LinearRanges computes program-order live ranges for straight-line code:
+// time is the operation index, a value lives from its (first) definition
+// to its last use, and upward-exposed values live from entry.
+func LinearRanges(b *ir.Block) []LiveRange {
+	start := make(map[ir.Reg]int)
+	end := make(map[ir.Reg]int)
+	invariant := make(map[ir.Reg]bool)
+	for i, op := range b.Ops {
+		for _, u := range op.Uses {
+			if _, ok := start[u]; !ok {
+				start[u] = 0
+				invariant[u] = true
+			}
+			end[u] = i + 1
+		}
+		for _, d := range op.Defs {
+			if _, ok := start[d]; !ok || invariant[d] {
+				if _, defined := start[d]; !defined {
+					start[d] = i
+				}
+			}
+			if end[d] < i+1 {
+				end[d] = i + 1 // defined but unread values still occupy a slot
+			}
+		}
+	}
+	out := make([]LiveRange, 0, len(start))
+	for r, s := range start {
+		out = append(out, LiveRange{Reg: r, Start: s, End: end[r], Invariant: invariant[r]})
+	}
+	sortRanges(out)
+	return out
+}
+
+// SpillRewrite inserts spill code for the given registers: defs are
+// followed by a store to the register's spill slot, uses are preceded by a
+// reload into a fresh temporary. newReg allocates the temporaries.
+func SpillRewrite(b *ir.Block, spilled map[ir.Reg]bool, newReg func(ir.Class) ir.Reg) *ir.Block {
+	out := &ir.Block{Depth: b.Depth}
+	slot := func(r ir.Reg) *ir.MemRef {
+		return &ir.MemRef{Base: fmt.Sprintf("%s%s", SpillBase, r)}
+	}
+	for _, op := range b.Ops {
+		n := op.Clone()
+		for ui, u := range n.Uses {
+			if !spilled[u] {
+				continue
+			}
+			tmp := newReg(u.Class)
+			out.Append(&ir.Op{Code: ir.Load, Class: u.Class, Defs: []ir.Reg{tmp}, Mem: slot(u)})
+			n.Uses[ui] = tmp
+		}
+		out.Append(n)
+		for _, d := range n.Defs {
+			if spilled[d] {
+				out.Append(&ir.Op{Code: ir.Store, Class: d.Class, Uses: []ir.Reg{d}, Mem: slot(d)})
+			}
+		}
+	}
+	out.Renumber()
+	return out
+}
+
+// BlockAlloc is the result of iterated allocation on straight-line code.
+type BlockAlloc struct {
+	// Body is the final code, including any inserted spill code.
+	Body *ir.Block
+	// Colors is the final register assignment (no spills remain).
+	Colors map[ir.Reg]int
+	// Rounds is how many color/spill/rewrite iterations ran.
+	Rounds int
+	// SpilledValues counts distinct registers sent to memory.
+	SpilledValues int
+	// SpillOps counts inserted loads and stores.
+	SpillOps int
+	// MaxLive is the final register pressure.
+	MaxLive int
+}
+
+// AllocateBlock colors a straight-line block with k machine registers,
+// inserting spill code and recoloring until everything fits. It gives up
+// after maxRounds (default 10) — k below the widest single operation's
+// needs can never converge.
+func AllocateBlock(loop *ir.Loop, k int) (*BlockAlloc, error) {
+	const maxRounds = 10
+	body := loop.Body
+	res := &BlockAlloc{}
+	spilledEver := make(map[ir.Reg]bool)
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		ranges := LinearRanges(body)
+		col := Color(ranges, len(body.Ops)+1, k)
+		if len(col.Spilled) == 0 {
+			res.Body = body
+			res.Colors = col.Colors
+			res.MaxLive = col.MaxLive
+			return res, nil
+		}
+		spillSet := make(map[ir.Reg]bool, len(col.Spilled))
+		for _, r := range col.Spilled {
+			if spilledEver[r] {
+				return nil, fmt.Errorf("regalloc: register %s spilled twice; k=%d cannot hold the code", r, k)
+			}
+			spilledEver[r] = true
+			spillSet[r] = true
+		}
+		res.SpilledValues += len(spillSet)
+		before := len(body.Ops)
+		body = SpillRewrite(body, spillSet, loop.NewReg)
+		res.SpillOps += len(body.Ops) - before
+	}
+	return nil, fmt.Errorf("regalloc: no fit within %d rounds at k=%d", maxRounds, k)
+}

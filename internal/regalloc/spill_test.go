@@ -1,0 +1,171 @@
+package regalloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// pressureBlock builds straight-line code holding `width` values live at
+// once: width loads, then width stores in the same order.
+func pressureBlock(width int) *ir.Loop {
+	l := ir.NewLoop("pressure")
+	l.Body.Depth = 0
+	b := ir.NewLoopBuilder(l)
+	regs := make([]ir.Reg, width)
+	for i := range regs {
+		regs[i] = b.Load(ir.Float, ir.MemRef{Base: "a", Offset: i})
+	}
+	for i, r := range regs {
+		b.Store(r, ir.MemRef{Base: "b", Offset: i})
+	}
+	return l
+}
+
+func TestLinearRanges(t *testing.T) {
+	l := pressureBlock(3)
+	ranges := LinearRanges(l.Body)
+	if len(ranges) != 3 {
+		t.Fatalf("%d ranges", len(ranges))
+	}
+	// First value: defined at op 0, last used at op 3 (its store).
+	for _, lr := range ranges {
+		if lr.Invariant {
+			t.Errorf("%s marked invariant; everything is defined here", lr.Reg)
+		}
+		if lr.Len() <= 0 {
+			t.Errorf("%s has empty range", lr.Reg)
+		}
+	}
+	if got := MaxLive(ranges, len(l.Body.Ops)+1); got != 3 {
+		t.Errorf("pressure = %d, want 3", got)
+	}
+}
+
+func TestAllocateBlockNoSpillWhenFits(t *testing.T) {
+	l := pressureBlock(4)
+	res, err := AllocateBlock(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledValues != 0 || res.Rounds != 1 {
+		t.Errorf("unexpected spilling: %+v", res)
+	}
+	if len(res.Colors) != 4 {
+		t.Errorf("colored %d registers", len(res.Colors))
+	}
+}
+
+func TestAllocateBlockSpillsAndConverges(t *testing.T) {
+	l := pressureBlock(8) // 8 simultaneous values
+	res, err := AllocateBlock(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledValues == 0 {
+		t.Fatal("8 values in 4 registers requires spilling")
+	}
+	if res.SpillOps == 0 {
+		t.Fatal("no spill code inserted")
+	}
+	if res.MaxLive > 4 {
+		t.Errorf("final pressure %d exceeds k=4", res.MaxLive)
+	}
+	// The final code must verify and color cleanly.
+	if err := ir.VerifyBlock(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	final := Color(LinearRanges(res.Body), len(res.Body.Ops)+1, 4)
+	if len(final.Spilled) != 0 {
+		t.Errorf("final code still spills: %v", final.Spilled)
+	}
+}
+
+func TestAllocateBlockImpossibleK(t *testing.T) {
+	// An add needs both operands and its result simultaneously live
+	// (the result's range opens while the operands' are still open), so
+	// k=2 can never converge no matter how much is spilled.
+	l := ir.NewLoop("add")
+	l.Body.Depth = 0
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Offset: 0})
+	y := b.Load(ir.Float, ir.MemRef{Base: "a", Offset: 1})
+	b.Store(b.Add(x, y), ir.MemRef{Base: "b"})
+	if _, err := AllocateBlock(l, 2); err == nil {
+		t.Error("k=2 cannot hold a binary operation; expected an error")
+	}
+	if res, err := AllocateBlock(l, 3); err != nil || res.SpilledValues != 0 {
+		t.Errorf("k=3 should fit without spills: %v %+v", err, res)
+	}
+}
+
+func TestAllocateBlockFullSpillTinyK(t *testing.T) {
+	// Loads and stores touch one register at a time, so even k=1
+	// converges by spilling everything.
+	l := pressureBlock(6)
+	res, err := AllocateBlock(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLive > 1 {
+		t.Errorf("final pressure %d with k=1", res.MaxLive)
+	}
+}
+
+func TestSpillRewritePreservesSemantics(t *testing.T) {
+	l := pressureBlock(8)
+	const seed = 5150
+	want := interp.New(seed)
+	want.SeedLiveIns(l.Body)
+	if err := want.RunLoop(l.Body, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AllocateBlock(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := interp.New(seed)
+	got.SeedLiveIns(l.Body)
+	if err := got.RunLoop(res.Body, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Ignore the stores into compiler spill slots; the program's own
+	// store stream must be identical.
+	filter := func(evs []interp.StoreEvent) []interp.StoreEvent {
+		var out []interp.StoreEvent
+		for _, e := range evs {
+			if !strings.HasPrefix(e.Base, SpillBase) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if err := interp.SameStores(filter(want.Stores), filter(got.Stores)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillRewriteShape(t *testing.T) {
+	l := pressureBlock(2)
+	r := l.Body.Ops[0].Def()
+	nb := SpillRewrite(l.Body, map[ir.Reg]bool{r: true}, l.NewReg)
+	// Expect: load r, store r->slot, load a[1], reload tmp, store b[0](tmp), store b[1].
+	stores, loads := 0, 0
+	for _, op := range nb.Ops {
+		if op.Mem != nil && strings.HasPrefix(op.Mem.Base, SpillBase) {
+			if op.Code == ir.Store {
+				stores++
+			} else {
+				loads++
+			}
+		}
+	}
+	if stores != 1 || loads != 1 {
+		t.Errorf("spill code: %d stores, %d reloads, want 1 each\n%s", stores, loads, nb)
+	}
+	if err := ir.VerifyBlock(nb); err != nil {
+		t.Fatal(err)
+	}
+}

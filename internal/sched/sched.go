@@ -1,0 +1,284 @@
+// Package sched implements cycle-driven list scheduling for acyclic blocks.
+// The paper's framework is scheduler-agnostic ("can be applied using any
+// scheduling method"); this scheduler serves two roles in the reproduction:
+// it produces the "ideal schedules" for straight-line (non-loop) code in
+// whole-function partitioning, and it provides the critical-path analysis
+// (earliest start, latest start, slack) that feeds the RCG weighting
+// heuristic's Flexibility term (Section 5).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Schedule is the result of list scheduling an acyclic block.
+type Schedule struct {
+	// Time is the issue cycle of each operation, indexed by op ID.
+	Time []int
+	// Cluster is the cluster each operation issued on (always 0 on a
+	// monolithic machine).
+	Cluster []int
+	// Length is the makespan in cycles: the first cycle by which every
+	// operation has completed.
+	Length int
+}
+
+// Instructions groups operation IDs by issue cycle, for printing.
+func (s *Schedule) Instructions() [][]int {
+	maxT := 0
+	for _, t := range s.Time {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	instrs := make([][]int, maxT+1)
+	for id, t := range s.Time {
+		instrs[t] = append(instrs[t], id)
+	}
+	return instrs
+}
+
+// IPC returns operations per cycle over the schedule.
+func (s *Schedule) IPC() float64 {
+	if s.Length == 0 {
+		return 0
+	}
+	return float64(len(s.Time)) / float64(s.Length)
+}
+
+// ClusterOf maps an operation index to the cluster it must execute on;
+// return AnyCluster to let the scheduler choose freely (monolithic model).
+type ClusterOf func(opIdx int) int
+
+// AnyCluster lets the scheduler place the operation on any cluster.
+const AnyCluster = -1
+
+// List schedules the acyclic dependence graph g on cfg. clusterOf may be
+// nil, meaning every operation may issue anywhere (the ideal machine).
+// It returns an error if g contains loop-carried edges (list scheduling is
+// for acyclic code; use the modulo scheduler for loops).
+func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, error) {
+	n := len(g.Ops)
+	for _, outs := range g.Out {
+		for _, e := range outs {
+			if e.Distance != 0 {
+				return nil, fmt.Errorf("sched: graph has loop-carried edge %d->%d; list scheduling requires acyclic code", e.From, e.To)
+			}
+		}
+	}
+	height := Heights(g, cfg)
+	s := &Schedule{
+		Time:    make([]int, n),
+		Cluster: make([]int, n),
+	}
+	for i := range s.Time {
+		s.Time[i] = -1
+		s.Cluster[i] = 0
+	}
+	if n == 0 {
+		return s, nil
+	}
+
+	// ready tracks operations whose predecessors have all been scheduled
+	// and whose earliest feasible cycle is known.
+	unscheduledPreds := make([]int, n)
+	earliest := make([]int, n)
+	for i := range g.Ops {
+		unscheduledPreds[i] = len(g.In[i])
+	}
+	pq := &opHeap{height: height}
+	for i := range g.Ops {
+		if unscheduledPreds[i] == 0 {
+			heap.Push(pq, i)
+		}
+	}
+
+	perCluster := cfg.FUsPerCluster()
+	type cell struct {
+		count  int
+		demand [machine.NumKinds]int
+	}
+	slots := make(map[int][]cell) // cycle -> per-cluster usage
+	cellAt := func(cycle, cluster int) *cell {
+		row, ok := slots[cycle]
+		if !ok {
+			row = make([]cell, cfg.Clusters)
+			slots[cycle] = row
+		}
+		return &row[cluster]
+	}
+	kindOf := func(idx int) machine.FUKind { return machine.OpKind(g.Ops[idx]) }
+	fits := func(cycle, cluster, idx int) bool {
+		c := cellAt(cycle, cluster)
+		if c.count >= perCluster {
+			return false
+		}
+		if !cfg.Heterogeneous() {
+			return true
+		}
+		d := c.demand
+		d[kindOf(idx)]++
+		return cfg.KindFits(d)
+	}
+	occupy := func(cycle, cluster, idx int) {
+		c := cellAt(cycle, cluster)
+		c.count++
+		c.demand[kindOf(idx)]++
+	}
+	// pickSlot locates a free functional unit at the cycle; AnyCluster
+	// requests take the least-loaded cluster with room, spreading the
+	// ideal schedule across the machine.
+	pickSlot := func(cycle, want, idx int) (int, bool) {
+		if want != AnyCluster {
+			if fits(cycle, want, idx) {
+				return want, true
+			}
+			return 0, false
+		}
+		best, bestUsed := -1, perCluster
+		for cl := 0; cl < cfg.Clusters; cl++ {
+			if u := cellAt(cycle, cl).count; u < bestUsed && fits(cycle, cl, idx) {
+				best, bestUsed = cl, u
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	}
+
+	scheduled := 0
+	for pq.Len() > 0 {
+		idx := heap.Pop(pq).(int)
+		want := AnyCluster
+		if clusterOf != nil {
+			want = clusterOf(idx)
+		}
+		t := earliest[idx]
+		for {
+			cl, ok := pickSlot(t, want, idx)
+			if ok {
+				occupy(t, cl, idx)
+				s.Time[idx] = t
+				s.Cluster[idx] = cl
+				break
+			}
+			t++
+		}
+		scheduled++
+		end := s.Time[idx] + cfg.Latency(g.Ops[idx])
+		if end > s.Length {
+			s.Length = end
+		}
+		for _, e := range g.Out[idx] {
+			if est := s.Time[idx] + e.Latency; est > earliest[e.To] {
+				earliest[e.To] = est
+			}
+			unscheduledPreds[e.To]--
+			if unscheduledPreds[e.To] == 0 {
+				heap.Push(pq, e.To)
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("sched: scheduled %d of %d ops; dependence graph has a cycle", scheduled, n)
+	}
+	return s, nil
+}
+
+// opHeap orders operation indices by decreasing height, breaking ties by
+// lower index, for deterministic schedules.
+type opHeap struct {
+	items  []int
+	height []int
+}
+
+func (h *opHeap) Len() int { return len(h.items) }
+func (h *opHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.height[a] != h.height[b] {
+		return h.height[a] > h.height[b]
+	}
+	return a < b
+}
+func (h *opHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *opHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *opHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// Heights returns, for each operation, the length of the longest latency
+// path from the operation to any sink over distance-0 edges. Operations on
+// the critical path have maximal height; the list scheduler and the modulo
+// scheduler's acyclic fallback use it as the scheduling priority.
+func Heights(g *ddg.Graph, cfg *machine.Config) []int {
+	n := len(g.Ops)
+	h := make([]int, n)
+	// Distance-0 edges point forward in program order, so a reverse sweep
+	// is a topological order.
+	for i := n - 1; i >= 0; i-- {
+		h[i] = cfg.Latency(g.Ops[i])
+		for _, e := range g.Out[i] {
+			if e.Distance != 0 {
+				continue
+			}
+			if v := e.Latency + h[e.To]; v > h[i] {
+				h[i] = v
+			}
+		}
+	}
+	return h
+}
+
+// Slack returns, for each operation, the scheduling freedom it has inside a
+// schedule of the given length: latestStart - earliestStart computed over
+// distance-0 edges. Critical-path operations have slack 0. The RCG
+// weighting heuristic's Flexibility term is Slack+1 (Section 5 adds one "so
+// that we avoid divide-by-zero errors").
+func Slack(g *ddg.Graph, cfg *machine.Config, length int) []int {
+	n := len(g.Ops)
+	estart := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, e := range g.In[i] {
+			if e.Distance != 0 {
+				continue
+			}
+			if v := estart[e.From] + e.Latency; v > estart[i] {
+				estart[i] = v
+			}
+		}
+	}
+	lstart := make([]int, n)
+	for i := 0; i < n; i++ {
+		lstart[i] = length - cfg.Latency(g.Ops[i])
+		if lstart[i] < estart[i] {
+			lstart[i] = estart[i] // never negative slack
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for _, e := range g.Out[i] {
+			if e.Distance != 0 {
+				continue
+			}
+			if v := lstart[e.To] - e.Latency; v < lstart[i] {
+				lstart[i] = v
+			}
+		}
+		if lstart[i] < estart[i] {
+			lstart[i] = estart[i]
+		}
+	}
+	slack := make([]int, n)
+	for i := range slack {
+		slack[i] = lstart[i] - estart[i]
+	}
+	return slack
+}

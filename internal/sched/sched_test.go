@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// checkList verifies dependence and resource constraints of a list
+// schedule post hoc.
+func checkList(t *testing.T, g *ddg.Graph, cfg *machine.Config, s *Schedule, clusterOf ClusterOf) {
+	t.Helper()
+	for from := range g.Out {
+		for _, e := range g.Out[from] {
+			if s.Time[e.To] < s.Time[from]+e.Latency {
+				t.Errorf("dependence %d->%d violated: %d < %d+%d", from, e.To, s.Time[e.To], s.Time[from], e.Latency)
+			}
+		}
+	}
+	used := make(map[[2]int]int)
+	for i := range g.Ops {
+		if clusterOf != nil && clusterOf(i) != AnyCluster && s.Cluster[i] != clusterOf(i) {
+			t.Errorf("op %d on cluster %d, pinned to %d", i, s.Cluster[i], clusterOf(i))
+		}
+		used[[2]int{s.Time[i], s.Cluster[i]}]++
+	}
+	for k, n := range used {
+		if n > cfg.FUsPerCluster() {
+			t.Errorf("cycle %d cluster %d issues %d ops on %d FUs", k[0], k[1], n, cfg.FUsPerCluster())
+		}
+	}
+}
+
+func straightLine() (*ir.Loop, *ddg.Graph, *machine.Config) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("sl")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	m := b.Mul(x, y)
+	s := b.Add(m, y)
+	b.Store(s, ir.MemRef{Base: "c", Coeff: 1})
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: false})
+	return l, g, cfg
+}
+
+func TestListRespectsDependences(t *testing.T) {
+	_, g, cfg := straightLine()
+	s, err := List(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkList(t, g, cfg, s, nil)
+	// Critical path: load(2) + mul(2) + add(2) + store(4) = 10 cycles.
+	if s.Length != 10 {
+		t.Errorf("makespan = %d, want 10", s.Length)
+	}
+}
+
+func TestListRejectsCarriedEdges(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("c")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	ld := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	if _, err := List(g, cfg, nil); err == nil {
+		t.Error("list scheduler accepted a cyclic graph")
+	}
+}
+
+func TestListRespectsWidth(t *testing.T) {
+	cfg := machine.Example2x1() // 2-wide
+	l := ir.NewLoop("w")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < 10; k++ {
+		b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 10, Offset: k})
+	}
+	g := ddg.Build(l.Body, cfg, ddg.Options{})
+	s, err := List(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkList(t, g, cfg, s, nil)
+	// 10 unit-latency loads on 2 FUs need 5 cycles.
+	if s.Length != 5 {
+		t.Errorf("makespan = %d, want 5", s.Length)
+	}
+}
+
+func TestListPinnedClusters(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	l := ir.NewLoop("p")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < 12; k++ {
+		b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 12, Offset: k})
+	}
+	g := ddg.Build(l.Body, cfg, ddg.Options{})
+	pin := func(i int) int { return 1 } // everything on cluster 1
+	s, err := List(g, cfg, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkList(t, g, cfg, s, pin)
+	// 12 loads on one 4-wide cluster: 3 issue cycles, last load ends at 2+2.
+	if s.Length != 4 {
+		t.Errorf("makespan = %d, want 4", s.Length)
+	}
+}
+
+func TestHeights(t *testing.T) {
+	_, g, cfg := straightLine()
+	h := Heights(g, cfg)
+	// store: 4; add: 2+4=6; mul: 2+6=8; loads: 2+8=10 (load a) and for
+	// load b the max of mul path (10) and add path (2+6=8) = 10.
+	want := []int{10, 10, 8, 6, 4}
+	for i, w := range want {
+		if h[i] != w {
+			t.Errorf("height[%d] = %d, want %d", i, h[i], w)
+		}
+	}
+}
+
+func TestSlackCriticalPathIsZero(t *testing.T) {
+	_, g, cfg := straightLine()
+	s, err := List(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := Slack(g, cfg, s.Length)
+	// Every op here sits on the 10-cycle critical path except nothing —
+	// chain is serial, so all slacks are 0.
+	for i, sl := range slack {
+		if sl != 0 {
+			t.Errorf("slack[%d] = %d, want 0 (serial chain)", i, sl)
+		}
+	}
+}
+
+func TestSlackParallelChain(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("s")
+	b := ir.NewLoopBuilder(l)
+	// Long chain: load->mul->store (2+5+4 = 11 int mul).
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	m := b.Mul(x, x)
+	b.Store(m, ir.MemRef{Base: "c", Coeff: 1})
+	// Short chain: load->store (2+4 = 6): 5 cycles of slack.
+	y := b.Load(ir.Int, ir.MemRef{Base: "b", Coeff: 1})
+	b.Store(y, ir.MemRef{Base: "d", Coeff: 1})
+	g := ddg.Build(l.Body, cfg, ddg.Options{})
+	slack := Slack(g, cfg, 11)
+	for i := 0; i < 3; i++ {
+		if slack[i] != 0 {
+			t.Errorf("critical op %d slack = %d, want 0", i, slack[i])
+		}
+	}
+	if slack[3] != 5 || slack[4] != 5 {
+		t.Errorf("short chain slacks = %d,%d, want 5,5", slack[3], slack[4])
+	}
+}
+
+func TestListRandomDAGsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfgs := []*machine.Config{machine.Ideal16(), machine.MustClustered16(4, machine.Embedded), machine.Example2x1()}
+	for trial := 0; trial < 50; trial++ {
+		l := ir.NewLoop("r")
+		b := ir.NewLoopBuilder(l)
+		var vals []ir.Reg
+		n := 3 + rng.Intn(25)
+		for k := 0; k < n; k++ {
+			switch {
+			case len(vals) < 2 || rng.Intn(3) == 0:
+				vals = append(vals, b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: n, Offset: k}))
+			default:
+				x := vals[rng.Intn(len(vals))]
+				y := vals[rng.Intn(len(vals))]
+				vals = append(vals, b.Add(x, y))
+			}
+		}
+		b.Store(vals[len(vals)-1], ir.MemRef{Base: "out", Coeff: 1})
+		for _, cfg := range cfgs {
+			g := ddg.Build(l.Body, cfg, ddg.Options{})
+			s, err := List(g, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkList(t, g, cfg, s, nil)
+		}
+	}
+}
+
+func TestInstructionsAndIPC(t *testing.T) {
+	_, g, cfg := straightLine()
+	s, err := List(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := s.Instructions()
+	total := 0
+	for _, row := range instrs {
+		total += len(row)
+	}
+	if total != len(g.Ops) {
+		t.Errorf("Instructions covers %d ops, want %d", total, len(g.Ops))
+	}
+	if ipc := s.IPC(); ipc <= 0 || ipc > float64(cfg.Width) {
+		t.Errorf("IPC = %f out of range", ipc)
+	}
+}

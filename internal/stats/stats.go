@@ -1,0 +1,117 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: arithmetic and harmonic means (Table 2 reports both,
+// "since the arithmetic mean tends to be weighted towards large numbers,
+// while the harmonic mean permits more contribution by smaller values")
+// and the degradation histogram bucketing of Figures 5-7.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs: n / sum(1/x). Zero or
+// negative entries would be undefined; they contribute as if 1 to keep the
+// harness robust (degradations are always >= 100, so this never triggers
+// in practice).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// HistogramBuckets are the Figures 5-7 bins for degradation percentages:
+// exactly zero, then ten-percent-wide bins, then everything at or above
+// ninety percent.
+var HistogramBuckets = []string{
+	"0.00%", "<10%", "<20%", "<30%", "<40%", "<50%",
+	"<60%", "<70%", "<80%", "<90%", ">90%",
+}
+
+// Histogram buckets degradation percentages (0 == no degradation) into the
+// Figures 5-7 bins and returns per-bucket percentages of the population.
+func Histogram(degradations []float64) []float64 {
+	counts := make([]int, len(HistogramBuckets))
+	for _, d := range degradations {
+		counts[bucketOf(d)]++
+	}
+	out := make([]float64, len(counts))
+	if len(degradations) == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = 100 * float64(c) / float64(len(degradations))
+	}
+	return out
+}
+
+func bucketOf(d float64) int {
+	switch {
+	case d <= 0:
+		return 0
+	case d >= 90:
+		return len(HistogramBuckets) - 1
+	default:
+		return 1 + int(d/10)
+	}
+}
+
+// FormatHistogram renders labeled bucket percentages on one line per
+// bucket, with a crude bar for terminal reading.
+func FormatHistogram(title string, rows map[string][]float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	// Stable series order: Embedded before Copy Unit, then lexicographic.
+	names := orderedSeries(rows)
+	fmt.Fprintf(&sb, "%-8s", "bucket")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %12s", n)
+	}
+	sb.WriteByte('\n')
+	for i, b := range HistogramBuckets {
+		fmt.Fprintf(&sb, "%-8s", b)
+		for _, n := range names {
+			fmt.Fprintf(&sb, "  %11.1f%%", rows[n][i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func orderedSeries(rows map[string][]float64) []string {
+	var names []string
+	for _, pref := range []string{"Embedded", "Copy Unit"} {
+		if _, ok := rows[pref]; ok {
+			names = append(names, pref)
+		}
+	}
+	var rest []string
+	for n := range rows {
+		if n != "Embedded" && n != "Copy Unit" {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}

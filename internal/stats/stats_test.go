@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of nothing must be 0")
+	}
+	if got := Mean([]float64{100, 120, 140}); got != 120 {
+		t.Errorf("mean = %f", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(nil) != 0 {
+		t.Error("harmonic mean of nothing must be 0")
+	}
+	// Harmonic mean of {100, 300}: 2/(1/100+1/300) = 150.
+	if got := HarmonicMean([]float64{100, 300}); math.Abs(got-150) > 1e-9 {
+		t.Errorf("harmonic mean = %f, want 150", got)
+	}
+	if got := HarmonicMean([]float64{120, 120}); math.Abs(got-120) > 1e-9 {
+		t.Errorf("harmonic of equals = %f", got)
+	}
+}
+
+func TestHarmonicAtMostArithmetic(t *testing.T) {
+	// The paper reports both because the harmonic mean weighs small values
+	// more: harmonic <= arithmetic always (for positive data).
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = 100 + float64(r%400)
+		}
+		return HarmonicMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	degs := []float64{0, 0, 5, 15, 95, 150}
+	h := Histogram(degs)
+	if len(h) != len(HistogramBuckets) {
+		t.Fatalf("bucket count %d", len(h))
+	}
+	checks := map[int]float64{
+		0:  100.0 * 2 / 6, // two exact zeros
+		1:  100.0 / 6,     // 5% -> <10%
+		2:  100.0 / 6,     // 15% -> <20%
+		10: 100.0 * 2 / 6, // 95 and 150 -> >90%
+	}
+	for idx, want := range checks {
+		if math.Abs(h[idx]-want) > 1e-9 {
+			t.Errorf("bucket %s = %f, want %f", HistogramBuckets[idx], h[idx], want)
+		}
+	}
+}
+
+func TestHistogramSumsTo100(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		degs := make([]float64, len(raw))
+		for i, r := range raw {
+			degs[i] = float64(r % 200)
+		}
+		sum := 0.0
+		for _, v := range Histogram(degs) {
+			sum += v
+		}
+		return math.Abs(sum-100) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	for _, v := range Histogram(nil) {
+		if v != 0 {
+			t.Error("empty histogram must be all zeros")
+		}
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	tests := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0}, {-1, 0}, {0.1, 1}, {9.99, 1}, {10, 2}, {89.9, 9}, {90, 10}, {1000, 10},
+	}
+	for _, tt := range tests {
+		if got := bucketOf(tt.d); got != tt.want {
+			t.Errorf("bucketOf(%f) = %d (%s), want %d (%s)", tt.d, got, HistogramBuckets[got], tt.want, HistogramBuckets[tt.want])
+		}
+	}
+}
+
+func TestFormatHistogram(t *testing.T) {
+	rows := map[string][]float64{
+		"Embedded":  Histogram([]float64{0, 10, 20}),
+		"Copy Unit": Histogram([]float64{0, 0, 50}),
+	}
+	out := FormatHistogram("title", rows)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "Embedded") || !strings.Contains(out, "Copy Unit") {
+		t.Errorf("histogram rendering incomplete:\n%s", out)
+	}
+	// Embedded must come before Copy Unit (paper order).
+	if strings.Index(out, "Embedded") > strings.Index(out, "Copy Unit") {
+		t.Error("series order wrong")
+	}
+}

@@ -1,0 +1,146 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// intReduction builds acc += a[i]*b[i] with integer arithmetic (exactly
+// associative, so re-association is checkable bit for bit).
+func intReduction() (*ir.Loop, ir.Reg) {
+	l := ir.NewLoop("reassoc.int")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Int)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	y := b.Load(ir.Int, ir.MemRef{Base: "b", Coeff: 1})
+	b.AddInto(acc, acc, b.Mul(x, y))
+	return l, acc
+}
+
+func TestUnrollReassocBreaksRecurrence(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("f")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, x)
+
+	serial, err := Unroll(l.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reassoc, partials, err := UnrollReassoc(l.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partials[acc]) != 4 {
+		t.Fatalf("partials = %v, want 4 lanes", partials)
+	}
+	gs := ddg.Build(serial.Body, cfg, ddg.Options{Carried: true})
+	gr := ddg.Build(reassoc.Body, cfg, ddg.Options{Carried: true})
+	// Serial unroll chains four 2-cycle adds plus the 3-cycle loop-back
+	// move: RecMII 11. Re-association leaves four independent add
+	// recurrences: RecMII 2.
+	if gs.RecMII() != 11 {
+		t.Errorf("serial unroll RecMII = %d, want 11", gs.RecMII())
+	}
+	if gr.RecMII() != 2 {
+		t.Errorf("re-associated RecMII = %d, want 2", gr.RecMII())
+	}
+}
+
+func TestUnrollReassocExactSum(t *testing.T) {
+	l, acc := intReduction()
+	const u, reps = 4, 5
+	reassoc, partials, err := UnrollReassoc(l.Clone(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 777
+	orig := interp.New(seed)
+	orig.SeedLiveIns(l.Body)
+	if err := orig.RunLoop(l.Body, u*reps); err != nil {
+		t.Fatal(err)
+	}
+	re := interp.New(seed)
+	re.SeedLiveIns(l.Body)
+	// Preheader: the original accumulator keeps its initial value, the
+	// fresh partials start at the additive identity.
+	for _, p := range partials[acc] {
+		if p != acc {
+			re.Regs[p] = interp.Value{Class: ir.Int, I: 0}
+		}
+	}
+	if err := re.RunLoop(reassoc.Body, reps); err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, p := range partials[acc] {
+		sum += re.Regs[p].I
+	}
+	if want := orig.Regs[acc].I; sum != want {
+		t.Fatalf("partials sum to %d, serial reduction gives %d", sum, want)
+	}
+}
+
+func TestUnrollReassocLeavesIneligibleAlone(t *testing.T) {
+	// k11 stores its running sum every iteration: the intermediate values
+	// are observable, so the reduction must NOT be re-associated.
+	var k11 *ir.Loop
+	for _, l := range loopgen.Livermore() {
+		if l.Name == "livermore.k11.firstsum" {
+			k11 = l
+		}
+	}
+	if k11 == nil {
+		t.Fatal("k11 not found")
+	}
+	_, partials, err := UnrollReassoc(k11.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) != 0 {
+		t.Errorf("stored prefix sum was re-associated: %v", partials)
+	}
+}
+
+func TestUnrollReassocFactorOne(t *testing.T) {
+	l, _ := intReduction()
+	out, partials, err := UnrollReassoc(l.Clone(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partials) != 0 || len(out.Body.Ops) != len(l.Body.Ops) {
+		t.Error("factor-1 re-association should be the identity")
+	}
+}
+
+func TestUnrollReassocCompilesBetter(t *testing.T) {
+	// The payoff: the re-associated inner product pipelines at the add
+	// latency per 4 iterations instead of 4 chained adds.
+	cfg := machine.Ideal16()
+	var k3 *ir.Loop
+	for _, l := range loopgen.Livermore() {
+		if l.Name == "livermore.k03.inner" {
+			k3 = l
+		}
+	}
+	serial, err := Unroll(k3.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reassoc, _, err := UnrollReassoc(k3.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := ddg.Build(serial.Body, cfg, ddg.Options{Carried: true})
+	gr := ddg.Build(reassoc.Body, cfg, ddg.Options{Carried: true})
+	if gr.RecMII() >= gs.RecMII() {
+		t.Errorf("re-association did not reduce RecMII: %d vs %d", gr.RecMII(), gs.RecMII())
+	}
+}

@@ -1,0 +1,346 @@
+// Package transform provides the classic loop preprocessing passes the
+// paper's workload pipeline assumes: the SPEC95 loops it schedules had
+// been unrolled and cleaned up by a conventional optimizer before
+// software pipelining (Nystrom and Eichenberger's comparable suite had
+// "load-store elimination, recurrence back-substitution, and
+// IF-conversion" applied). The passes here — loop unrolling, local common
+// subexpression elimination and dead code elimination — operate on the
+// reproduction's IR and are each verified semantics-preserving by
+// interpreter-based tests.
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Unroll replicates the loop body u times, renaming the registers defined
+// by each copy and rewiring loop-carried uses so copy k reads copy k-1's
+// values. Memory subscripts are rewritten for the new iteration space:
+// Base[c*i+o] in copy k becomes Base[(c*u)*i + (c*k+o)]. The trip count
+// divides by u (the caller is responsible for remainder iterations, as
+// with any unroller).
+func Unroll(l *ir.Loop, u int) (*ir.Loop, error) {
+	if u < 1 {
+		return nil, fmt.Errorf("transform: unroll factor %d", u)
+	}
+	out := ir.NewLoop(fmt.Sprintf("%s.x%d", l.Name, u))
+	out.Body.Depth = l.Body.Depth
+	out.TripCount = l.TripCount / u
+	out.ReserveRegID(l.MaxRegID())
+
+	// curName maps each original register to the register currently
+	// holding its value; identity initially, so copy 0's upward-exposed
+	// uses read the original (live-in) names.
+	curName := make(map[ir.Reg]ir.Reg)
+	name := func(r ir.Reg) ir.Reg {
+		if n, ok := curName[r]; ok {
+			return n
+		}
+		return r
+	}
+	for k := 0; k < u; k++ {
+		for _, op := range l.Body.Ops {
+			c := op.Clone()
+			for ui, r := range c.Uses {
+				c.Uses[ui] = name(r)
+			}
+			for di, d := range c.Defs {
+				nd := d
+				if k > 0 {
+					nd = out.NewReg(d.Class)
+				}
+				c.Defs[di] = nd
+				curName[d] = nd
+			}
+			if c.Mem != nil {
+				c.Mem.Offset = c.Mem.Coeff*k + c.Mem.Offset
+				c.Mem.Coeff *= u
+			}
+			out.Body.Append(c)
+		}
+	}
+	out.Body.Renumber()
+	// Values carried across the unrolled iteration boundary must flow back
+	// into copy 0's names. Copy 0 reads original register names; at the
+	// end of the unrolled body the value lives in curName[r]. When those
+	// differ, a register move reconciles the loop-back edge.
+	for _, r := range carriedRegs(l.Body) {
+		if cur := name(r); cur != r {
+			out.Body.Append(&ir.Op{
+				Code: ir.Copy, Class: r.Class,
+				Defs: []ir.Reg{r}, Uses: []ir.Reg{cur},
+				Comment: "unroll loop-back",
+			})
+		}
+	}
+	out.Body.Renumber()
+	if err := ir.VerifyLoop(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnrollReassoc unrolls like Unroll but additionally breaks eligible
+// reduction recurrences: a carried accumulator whose only appearance is
+// its own "acc = acc + x" update gets one fresh partial accumulator per
+// unrolled copy instead of a serial chain through all copies. This is the
+// classic re-association that real compilers apply before software
+// pipelining (and that the paper's SPEC95 loops had received); it changes
+// floating-point rounding order, which is why it is a separate entry
+// point from the strictly semantics-preserving Unroll. The caller owns
+// the post-loop combine of the partials (ReductionPartials lists them).
+func UnrollReassoc(l *ir.Loop, u int) (*ir.Loop, map[ir.Reg][]ir.Reg, error) {
+	eligible := reductionAccumulators(l.Body)
+	out, err := Unroll(l, u)
+	if err != nil {
+		return nil, nil, err
+	}
+	if u == 1 || len(eligible) == 0 {
+		return out, map[ir.Reg][]ir.Reg{}, nil
+	}
+	// Unroll chained each accumulator serially: copy k computes
+	// acc_k = acc_{k-1} + x_k. Rewriting every copy's update to read its
+	// OWN previous value (the carried name for that lane) breaks the
+	// chain. The lane-local carried name is the def the copy writes: we
+	// simply rewrite "accK = accK-1 + x" into "accK = accK + x" and drop
+	// the loop-back move, making each accK independently carried.
+	partials := make(map[ir.Reg][]ir.Reg)
+	nameChain := make(map[ir.Reg]ir.Reg) // def in unrolled body -> original acc
+	for _, op := range out.Body.Ops {
+		d := op.Def()
+		if d == ir.NoReg {
+			continue
+		}
+		for _, acc := range eligible {
+			if opIsAccUpdate(op, acc, nameChain) {
+				nameChain[d] = acc
+			}
+		}
+	}
+	rewritten := &ir.Block{Depth: out.Body.Depth}
+	for _, op := range out.Body.Ops {
+		d := op.Def()
+		if orig, ok := nameChain[d]; ok && (op.Code == ir.Add || op.Code == ir.Mul) {
+			// This is lane k's update: make it self-carried.
+			c := op.Clone()
+			for ui, use := range c.Uses {
+				if _, chained := nameChain[use]; chained || use == orig {
+					c.Uses[ui] = d
+				}
+			}
+			rewritten.Append(c)
+			partials[orig] = append(partials[orig], d)
+			continue
+		}
+		if op.Code == ir.Copy && op.Comment == "unroll loop-back" {
+			if _, ok := nameChain[op.Uses[0]]; ok {
+				continue // the serial chain's loop-back move: gone
+			}
+		}
+		rewritten.Append(op.Clone())
+	}
+	rewritten.Renumber()
+	out.Body = rewritten
+	if err := ir.VerifyLoop(out); err != nil {
+		return nil, nil, err
+	}
+	return out, partials, nil
+}
+
+// reductionAccumulators finds carried registers whose only appearance in
+// the body is a single commutative self-update "acc = acc op x" with
+// op in {add, mul}: the reductions that may be re-associated.
+func reductionAccumulators(b *ir.Block) []ir.Reg {
+	carried := carriedRegs(b)
+	var out []ir.Reg
+	for _, r := range carried {
+		updates, others := 0, 0
+		for _, op := range b.Ops {
+			reads, writes := op.ReadsReg(r), op.WritesReg(r)
+			if !reads && !writes {
+				continue
+			}
+			if reads && writes && (op.Code == ir.Add || op.Code == ir.Mul) && len(op.Uses) == 2 {
+				updates++
+				continue
+			}
+			others++
+		}
+		if updates == 1 && others == 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// opIsAccUpdate reports whether op continues acc's serial chain: it is an
+// add/mul whose def is fresh and whose uses include acc or a def already
+// known to be part of acc's chain.
+func opIsAccUpdate(op *ir.Op, acc ir.Reg, chain map[ir.Reg]ir.Reg) bool {
+	if op.Code != ir.Add && op.Code != ir.Mul {
+		return false
+	}
+	if len(op.Uses) != 2 {
+		return false
+	}
+	for _, u := range op.Uses {
+		if u == acc {
+			return true
+		}
+		if orig, ok := chain[u]; ok && orig == acc {
+			return true
+		}
+	}
+	return false
+}
+
+// carriedRegs returns registers both defined in the body and upward
+// exposed (read before definition): the values that flow around the back
+// edge.
+func carriedRegs(b *ir.Block) []ir.Reg {
+	defined := b.Defined()
+	var out []ir.Reg
+	for _, r := range b.LiveIns() {
+		if defined[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CSE performs local common subexpression elimination on the block:
+// operations that recompute an already-available value (same opcode,
+// class, operand values, subscript and immediate) are deleted and their
+// consumers rewired to the earlier register. Loads are invalidated by any
+// store to the same array; stores and copies are never merged. Returns
+// the rewritten block and the number of operations removed.
+func CSE(b *ir.Block) (*ir.Block, int) {
+	out := &ir.Block{Depth: b.Depth}
+	avail := make(map[string]ir.Reg) // expression key -> holding register
+	rename := make(map[ir.Reg]ir.Reg)
+	// Defs of carried registers must survive: their consumers live in the
+	// next iteration, beyond the reach of in-block renaming. Everything
+	// else is a block-local temporary that renaming fully captures.
+	carried := make(map[ir.Reg]bool)
+	for _, r := range carriedRegs(b) {
+		carried[r] = true
+	}
+	resolve := func(r ir.Reg) ir.Reg {
+		if n, ok := rename[r]; ok {
+			return n
+		}
+		return r
+	}
+	// Operand tokens are ";"-terminated so that r1 never matches inside
+	// r12 during invalidation scans.
+	keyOf := func(op *ir.Op) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d/%d", op.Code, op.Class)
+		for _, u := range op.Uses {
+			fmt.Fprintf(&sb, ",%s;", resolve(u))
+		}
+		if op.Mem != nil {
+			fmt.Fprintf(&sb, ",%s;", op.Mem)
+		}
+		fmt.Fprintf(&sb, ",#%d", op.Imm)
+		return sb.String()
+	}
+	removed := 0
+	for _, op := range b.Ops {
+		c := op.Clone()
+		for ui, u := range c.Uses {
+			c.Uses[ui] = resolve(u)
+		}
+		switch {
+		case c.Code == ir.Store:
+			// A store kills the availability of loads from its array.
+			for k := range avail {
+				if strings.Contains(k, ","+c.Mem.Base+"[") {
+					delete(avail, k)
+				}
+			}
+			out.Append(c)
+			continue
+		case c.Code == ir.Copy || len(c.Defs) != 1:
+			out.Append(c)
+			continue
+		}
+		key := keyOf(c)
+		if prev, ok := avail[key]; ok && prev.Class == c.Def().Class && !carried[c.Def()] {
+			rename[c.Def()] = prev
+			removed++
+			continue
+		}
+		// A redefinition of a register invalidates expressions that used
+		// its old value; tracking by name is enough because expressions
+		// were keyed on resolved names, and a redefined name can only be
+		// an original register (fresh CSE names are never redefined).
+		d := c.Def()
+		for k := range avail {
+			if strings.Contains(k, ","+d.String()+";") || avail[k] == d {
+				delete(avail, k)
+			}
+		}
+		// A self-redefinition (the def appears among its own uses, e.g.
+		// "add r1, r1, r2") computes a value its own key no longer
+		// describes once the def lands; such expressions are never
+		// available afterwards.
+		if !strings.Contains(key, ","+d.String()+";") {
+			avail[key] = d
+		}
+		out.Append(c)
+	}
+	out.Renumber()
+	return out, removed
+}
+
+// DCE removes operations whose results are never observed: not stored, not
+// (transitively) feeding a store, and not carried around the loop's back
+// edge. Returns the cleaned block and the number of operations removed.
+func DCE(b *ir.Block) (*ir.Block, int) {
+	n := len(b.Ops)
+	live := make([]bool, n)
+	needed := make(map[ir.Reg]bool)
+	for _, r := range carriedRegs(b) {
+		needed[r] = true
+	}
+	// Backward sweep: stores are roots; an op is live if it defines a
+	// needed register; its uses become needed.
+	for i := n - 1; i >= 0; i-- {
+		op := b.Ops[i]
+		isLive := op.Code == ir.Store
+		for _, d := range op.Defs {
+			if needed[d] {
+				isLive = true
+			}
+		}
+		if !isLive {
+			continue
+		}
+		live[i] = true
+		for _, d := range op.Defs {
+			delete(needed, d)
+		}
+		for _, u := range op.Uses {
+			needed[u] = true
+		}
+	}
+	// Carried registers must stay needed across the top of the body.
+	for _, r := range carriedRegs(b) {
+		needed[r] = true
+	}
+	out := &ir.Block{Depth: b.Depth}
+	removed := 0
+	for i, op := range b.Ops {
+		if live[i] {
+			out.Append(op.Clone())
+		} else {
+			removed++
+		}
+	}
+	out.Renumber()
+	return out, removed
+}

@@ -1,0 +1,194 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/fixtures"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+)
+
+// sameExecution runs both loops for equivalent iteration counts and
+// demands identical store streams. ratio is how many original iterations
+// one transformed iteration covers.
+func sameExecution(t *testing.T, orig, xform *ir.Loop, origTrips, ratio int, seed int64) {
+	t.Helper()
+	a := interp.New(seed)
+	a.SeedLiveIns(orig.Body)
+	if err := a.RunLoop(orig.Body, origTrips); err != nil {
+		t.Fatal(err)
+	}
+	b := interp.New(seed)
+	b.SeedLiveIns(orig.Body) // transformed code shares live-in names
+	if err := b.RunLoop(xform.Body, origTrips/ratio); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.SameStores(a.Stores, b.Stores); err != nil {
+		t.Fatalf("%s vs %s: %v", orig.Name, xform.Name, err)
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	loops := append(loopgen.Generate(loopgen.Params{N: 15, Seed: 71}),
+		fixtures.DotProduct(2), fixtures.Accumulator(ir.Float))
+	for _, l := range loops {
+		for _, u := range []int{2, 3, 4} {
+			un, err := Unroll(l.Clone(), u)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", l.Name, u, err)
+			}
+			sameExecution(t, l, un, 12*u, u, 909)
+		}
+	}
+}
+
+func TestUnrollShape(t *testing.T) {
+	l := fixtures.Accumulator(ir.Float) // 2 ops, one carried accumulator
+	un, err := Unroll(l.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 copies of 2 ops; the accumulator chains through fresh names and a
+	// loop-back move reconciles the final name with the original.
+	if got := len(un.Body.Ops); got != 9 {
+		t.Errorf("unrolled body has %d ops, want 4*2+1 loop-back move", got)
+	}
+	if un.Body.Ops[8].Code != ir.Copy {
+		t.Errorf("last op is %s, want the loop-back move", un.Body.Ops[8].Code)
+	}
+	if un.TripCount != l.TripCount/4 {
+		t.Errorf("trip count %d", un.TripCount)
+	}
+}
+
+func TestUnrollFactorOne(t *testing.T) {
+	l := fixtures.DotProduct(2)
+	un, err := Unroll(l.Clone(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameExecution(t, l, un, 10, 1, 33)
+	if _, err := Unroll(l.Clone(), 0); err == nil {
+		t.Error("unroll factor 0 accepted")
+	}
+}
+
+func TestCSERemovesDuplicateLoads(t *testing.T) {
+	l := ir.NewLoop("cse")
+	b := ir.NewLoopBuilder(l)
+	x1 := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	x2 := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1}) // duplicate
+	s := b.Add(x1, x2)
+	b.Store(s, ir.MemRef{Base: "c", Coeff: 1})
+	nb, removed := CSE(l.Body)
+	if removed != 1 {
+		t.Fatalf("removed %d ops, want the duplicate load", removed)
+	}
+	if err := ir.VerifyBlock(nb); err != nil {
+		t.Fatal(err)
+	}
+	out := l.Clone()
+	out.Body = nb
+	sameExecution(t, l, out, 8, 1, 5)
+}
+
+func TestCSERespectsStores(t *testing.T) {
+	// A store to the loaded array kills availability: the second load
+	// must survive.
+	l := ir.NewLoop("csekill")
+	b := ir.NewLoopBuilder(l)
+	x1 := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.Store(x1, ir.MemRef{Base: "a", Coeff: 1, Offset: 1})
+	x2 := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.Store(b.Add(x1, x2), ir.MemRef{Base: "c", Coeff: 1})
+	_, removed := CSE(l.Body)
+	if removed != 0 {
+		t.Fatalf("CSE removed %d ops across a store", removed)
+	}
+}
+
+func TestCSERespectsRedefinition(t *testing.T) {
+	// acc changes between the two adds, so "add t, acc, x" is not
+	// available the second time.
+	l := ir.NewLoop("csedef")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Int)
+	x := b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 1})
+	t1 := b.Add(acc, x)
+	b.AddInto(acc, acc, x) // redefines acc
+	t2 := b.Add(acc, x)    // same textual expression, different value
+	b.Store(t1, ir.MemRef{Base: "c", Coeff: 1})
+	b.Store(t2, ir.MemRef{Base: "d", Coeff: 1})
+	nb, removed := CSE(l.Body)
+	if removed != 0 {
+		t.Fatalf("CSE merged across a redefinition (removed %d):\n%s", removed, nb)
+	}
+}
+
+func TestCSEOnGeneratedStencils(t *testing.T) {
+	// The generator already CSEs stencil loads; running CSE again must
+	// find nothing (idempotence on its own output) and must preserve
+	// semantics on every suite loop.
+	for _, l := range loopgen.Generate(loopgen.Params{N: 15, Seed: 81}) {
+		nb, _ := CSE(l.Body)
+		out := l.Clone()
+		out.Body = nb
+		sameExecution(t, l, out, 10, 1, 6)
+		nb2, removed2 := CSE(nb)
+		if removed2 != 0 {
+			t.Errorf("%s: CSE not idempotent (second pass removed %d):\n%s", l.Name, removed2, nb2)
+		}
+	}
+}
+
+func TestDCERemovesDeadChain(t *testing.T) {
+	l := ir.NewLoop("dce")
+	b := ir.NewLoopBuilder(l)
+	x := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	dead := b.Mul(x, x)
+	_ = b.Add(dead, dead) // dead chain: never stored
+	b.Store(x, ir.MemRef{Base: "c", Coeff: 1})
+	nb, removed := DCE(l.Body)
+	if removed != 2 {
+		t.Fatalf("removed %d ops, want the 2-op dead chain:\n%s", removed, nb)
+	}
+	out := l.Clone()
+	out.Body = nb
+	sameExecution(t, l, out, 8, 1, 7)
+}
+
+func TestDCEKeepsCarriedValues(t *testing.T) {
+	// An accumulator that is never stored still updates state read by the
+	// next iteration; DCE must keep it (its final value is the loop's
+	// live-out).
+	l := fixtures.Accumulator(ir.Float)
+	_, removed := DCE(l.Body)
+	if removed != 0 {
+		t.Fatalf("DCE removed %d ops from a live accumulator loop", removed)
+	}
+}
+
+func TestDCEOnSuiteIsConservative(t *testing.T) {
+	// Generated loops have no dead code; DCE must remove nothing and
+	// preserve semantics trivially.
+	for _, l := range loopgen.Generate(loopgen.Params{N: 15, Seed: 91}) {
+		_, removed := DCE(l.Body)
+		if removed != 0 {
+			t.Errorf("%s: DCE removed %d ops from generated code", l.Name, removed)
+		}
+	}
+}
+
+func TestUnrollThenPipelineIntegration(t *testing.T) {
+	// The transforms exist to feed the pipeline: unrolling a serial
+	// accumulator loop by 4 must not break compilation.
+	l := fixtures.Accumulator(ir.Float)
+	un, err := Unroll(l.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyLoop(un); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package tune implements the paper's proposed future work (Section 7):
+// "fine-tuning our greedy heuristic by using off-line stochastic
+// optimization techniques". It searches the space of RCG weighting
+// coefficients (core.Weights) with a simulated-annealing-flavored random
+// search: multiplicative perturbations of every coefficient, acceptance of
+// strict improvements plus temperature-decayed uphill moves, and restarts
+// from the incumbent. Everything is seeded and deterministic so tuning
+// runs are reproducible.
+package tune
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Objective scores a weight vector; lower is better.
+type Objective func(core.Weights) float64
+
+// SuiteObjective returns the natural objective of the paper's experiments:
+// the arithmetic-mean normalized degradation of the given loops, averaged
+// over the given machines. Compilation skips register assignment (only
+// the II matters to the metric).
+func SuiteObjective(loops []*ir.Loop, cfgs []*machine.Config, workers int) Objective {
+	return func(w core.Weights) float64 {
+		weights := w
+		results := exper.RunSuite(loops, cfgs, exper.Options{
+			Workers: workers,
+			Codegen: codegen.Options{Weights: &weights, SkipAlloc: true},
+		})
+		total := 0.0
+		for _, r := range results {
+			a, _ := r.MeanDegradation()
+			total += a
+		}
+		return total / float64(len(results))
+	}
+}
+
+// Step records one accepted point of the search.
+type Step struct {
+	Iteration int
+	Weights   core.Weights
+	Score     float64
+}
+
+// Options controls the search.
+type Options struct {
+	// Iterations is the number of candidate evaluations (default 60).
+	Iterations int
+	// Seed fixes the perturbation stream.
+	Seed int64
+	// Start is the initial point; the zero value means DefaultWeights.
+	Start *core.Weights
+}
+
+// Result is the search outcome.
+type Result struct {
+	// Best is the best weight vector found; Score its objective value.
+	Best  core.Weights
+	Score float64
+	// Start and StartScore record the initial point for comparison.
+	Start      core.Weights
+	StartScore float64
+	// History lists every accepted improvement in order.
+	History []Step
+}
+
+// Search runs the stochastic optimization.
+func Search(obj Objective, opt Options) *Result {
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = 60
+	}
+	start := core.DefaultWeights()
+	if opt.Start != nil {
+		start = *opt.Start
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := &Result{Start: start, StartScore: obj(start)}
+	res.Best, res.Score = start, res.StartScore
+	cur, curScore := start, res.StartScore
+
+	for i := 0; i < iters; i++ {
+		temp := 1.0 - float64(i)/float64(iters) // linear cooling
+		cand := perturb(cur, rng, 0.1+0.4*temp)
+		score := obj(cand)
+		accept := score < curScore ||
+			rng.Float64() < math.Exp((curScore-score)/(2*temp+1e-9))
+		if accept {
+			cur, curScore = cand, score
+		}
+		if score < res.Score {
+			res.Best, res.Score = cand, score
+			res.History = append(res.History, Step{Iteration: i, Weights: cand, Score: score})
+		}
+		// Restart from the incumbent when the walk has drifted far above.
+		if curScore > res.Score*1.15 {
+			cur, curScore = res.Best, res.Score
+		}
+	}
+	return res
+}
+
+// perturb multiplies each continuous coefficient by exp(N(0, sigma)),
+// keeping every knob positive and the discrete MaxDepth fixed.
+func perturb(w core.Weights, rng *rand.Rand, sigma float64) core.Weights {
+	bump := func(v float64) float64 {
+		nv := v * math.Exp(rng.NormFloat64()*sigma)
+		if nv < 1e-3 {
+			nv = 1e-3
+		}
+		if nv > 1e3 {
+			nv = 1e3
+		}
+		return nv
+	}
+	w.Affinity = bump(w.Affinity)
+	w.AntiAffinity = bump(w.AntiAffinity)
+	w.CriticalBonus = bump(w.CriticalBonus)
+	w.DepthBase = bump(w.DepthBase)
+	w.Balance = bump(w.Balance)
+	w.InvariantScale = bump(w.InvariantScale)
+	w.RecurrenceBonus = bump(w.RecurrenceBonus)
+	return w
+}

@@ -1,0 +1,77 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// quadratic is a synthetic objective with a known optimum, used to test
+// the search mechanics without compiling anything.
+func quadratic(w core.Weights) float64 {
+	d := func(v, opt float64) float64 { x := math.Log(v / opt); return x * x }
+	return d(w.Affinity, 3) + d(w.Balance, 0.8) + d(w.AntiAffinity, 0.5)
+}
+
+func TestSearchImprovesSyntheticObjective(t *testing.T) {
+	res := Search(quadratic, Options{Iterations: 400, Seed: 9})
+	if res.Score >= res.StartScore {
+		t.Fatalf("search did not improve: %f -> %f", res.StartScore, res.Score)
+	}
+	if res.Score > 0.5 {
+		t.Errorf("score %f far from the optimum", res.Score)
+	}
+	if len(res.History) == 0 {
+		t.Error("no improvements recorded")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	a := Search(quadratic, Options{Iterations: 100, Seed: 4})
+	b := Search(quadratic, Options{Iterations: 100, Seed: 4})
+	if a.Score != b.Score || a.Best != b.Best {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestSearchNeverReturnsWorseThanStart(t *testing.T) {
+	res := Search(quadratic, Options{Iterations: 5, Seed: 1})
+	if res.Score > res.StartScore {
+		t.Errorf("best %f worse than start %f", res.Score, res.StartScore)
+	}
+}
+
+func TestSearchKeepsWeightsPositive(t *testing.T) {
+	res := Search(quadratic, Options{Iterations: 200, Seed: 2})
+	w := res.Best
+	for _, v := range []float64{w.Affinity, w.AntiAffinity, w.CriticalBonus, w.DepthBase, w.Balance, w.InvariantScale} {
+		if v <= 0 {
+			t.Errorf("non-positive coefficient in tuned weights: %+v", w)
+		}
+	}
+	if w.MaxDepth != core.DefaultWeights().MaxDepth {
+		t.Error("MaxDepth must not be perturbed")
+	}
+}
+
+// TestSuiteObjectiveTunes runs a miniature version of the paper's proposed
+// experiment: 15 training loops, one machine, a short search. It must not
+// end worse than the hand-set defaults (Search keeps the incumbent), and
+// the objective itself must be deterministic.
+func TestSuiteObjectiveTunes(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 15, Seed: 77})
+	cfgs := []*machine.Config{machine.MustClustered16(4, machine.Embedded)}
+	obj := SuiteObjective(loops, cfgs, 0)
+	base := obj(core.DefaultWeights())
+	if again := obj(core.DefaultWeights()); again != base {
+		t.Fatalf("objective nondeterministic: %f vs %f", base, again)
+	}
+	res := Search(obj, Options{Iterations: 12, Seed: 3})
+	if res.Score > base {
+		t.Errorf("tuning ended worse than default: %f > %f", res.Score, base)
+	}
+	t.Logf("default %.2f -> tuned %.2f with %+v", base, res.Score, res.Best)
+}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Regenerates every number in EXPERIMENTS.md from scratch, plus the build,
+# vet, test and benchmark evidence. Everything is deterministic: two runs
+# of this script produce byte-identical experiment output.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
+go run ./cmd/experiments
+
+echo "== Partitioner comparison (Section 3/6.3) =="
+go run ./cmd/experiments -compare
+
+echo "== Copy-latency sensitivity (Section 6.3) =="
+go run ./cmd/experiments -latency
+
+echo "== Register pressure (Section 1 trade-off) =="
+go run ./cmd/experiments -pressure
+
+echo "== Iterative refinement (Section 6.3) =="
+go run ./cmd/experiments -refine
+
+echo "== Scheduler modes (Section 6.3, Swing axis) =="
+go run ./cmd/experiments -scheduler
+
+echo "== Unit generality (Section 6.1 aside) =="
+go run ./cmd/experiments -units
+
+echo "== Livermore kernels =="
+go run ./cmd/experiments -suite livermore
+go run ./examples/livermore
+
+echo "== Worked example (Section 4.2) =="
+go run ./examples/quickstart
+
+echo "== Benchmarks (same metrics via testing.B) =="
+go test -bench . -benchmem -benchtime 1x .

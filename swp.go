@@ -1,0 +1,171 @@
+// Package swp is the public facade of the reproduction of "Register
+// Assignment for Software Pipelining with Partitioned Register Banks"
+// (Hiser, Carr, Sweany, Beaty; IPPS 2000).
+//
+// It wires together the internal substrates — IR, machine models,
+// dependence graphs, modulo scheduling, the register component graph
+// partitioner, copy insertion and graph-coloring register assignment —
+// behind a handful of one-call entry points used by the examples, the
+// command-line tools and the benchmark harness:
+//
+//	loops := swp.Suite()                      // the 211-loop workload
+//	cfg := swp.Machine(4, swp.Embedded)       // 16-wide, 4 clusters of 4
+//	res, err := swp.CompileLoop(loops[0], cfg)
+//	fmt.Println(res.Degradation())            // 100 = no degradation
+//
+// or, for the full evaluation:
+//
+//	results := swp.RunExperiments(loops, swp.PaperMachines(), 0)
+//	fmt.Println(swp.Table1(results))
+//	fmt.Println(swp.Table2(results))
+//	fmt.Println(swp.FigureHistogram(results, 4))
+package swp
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/ddg"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+	"repro/internal/transform"
+	"repro/internal/tune"
+)
+
+// CopyModel selects how inter-cluster copies are supported.
+type CopyModel = machine.CopyModel
+
+// Copy models, re-exported from the machine package.
+const (
+	Embedded = machine.Embedded
+	CopyUnit = machine.CopyUnit
+)
+
+// Suite returns the deterministic 211-loop workload standing in for the
+// paper's SPEC95 loop suite.
+func Suite() []*ir.Loop { return loopgen.Suite() }
+
+// SmallSuite returns a reduced deterministic workload of n loops for quick
+// experiments and tests.
+func SmallSuite(n int) []*ir.Loop {
+	return loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
+}
+
+// Livermore returns the hand-written adaptations of twelve classic
+// Livermore loops — a second, recognizable workload beside the synthetic
+// suite.
+func Livermore() []*ir.Loop { return loopgen.Livermore() }
+
+// Ideal returns the paper's ideal machine: 16-wide, one monolithic bank.
+func Ideal() *machine.Config { return machine.Ideal16() }
+
+// Machine returns one of the paper's clustered machines: 16-wide with the
+// given cluster count (2, 4 or 8) and copy model.
+func Machine(clusters int, model CopyModel) *machine.Config {
+	return machine.MustClustered16(clusters, model)
+}
+
+// PaperMachines returns the six machines of Tables 1-2 in column order.
+func PaperMachines() []*machine.Config { return machine.PaperConfigs() }
+
+// CompileLoop runs the full five-step pipeline (ideal schedule, RCG
+// partition, copy insertion, clustered re-schedule, per-bank coloring) on
+// one loop with the paper's defaults.
+func CompileLoop(l *ir.Loop, cfg *machine.Config) (*codegen.Result, error) {
+	return codegen.Compile(l, cfg, codegen.Options{})
+}
+
+// RunExperiments compiles every loop on every machine with the paper's
+// default pipeline, using up to workers goroutines (0 = all CPUs).
+func RunExperiments(loops []*ir.Loop, cfgs []*machine.Config, workers int) []*exper.ConfigResult {
+	return exper.RunSuite(loops, cfgs, exper.Options{Workers: workers})
+}
+
+// Table1 renders the IPC table (paper Table 1) for PaperMachines-ordered
+// results.
+func Table1(results []*exper.ConfigResult) string { return exper.Table1(results) }
+
+// Table2 renders the normalized degradation table (paper Table 2).
+func Table2(results []*exper.ConfigResult) string { return exper.Table2(results) }
+
+// FigureHistogram renders the degradation histogram for the machines with
+// the given cluster count (paper Figures 5, 6 and 7 for 2, 4 and 8).
+func FigureHistogram(results []*exper.ConfigResult, clusters int) string {
+	return exper.Figure(results, clusters)
+}
+
+// Summary renders a one-line-per-machine overview of a run.
+func Summary(results []*exper.ConfigResult) string { return exper.Summary(results) }
+
+// CompileStraightLine runs the non-loop pipeline variant (list scheduling
+// instead of modulo scheduling) on a block of straight-line code wrapped
+// in a Loop container, as the paper's Section 4.2 worked example does.
+func CompileStraightLine(l *ir.Loop, cfg *machine.Config) (*codegen.BlockResult, error) {
+	return codegen.CompileBlock(l, cfg, codegen.Options{})
+}
+
+// CompileFunction partitions a whole function's registers at once — the
+// paper's "global in nature" mode — and schedules every block under the
+// shared assignment.
+func CompileFunction(f *ir.Function, cfg *machine.Config) (*codegen.FunctionResult, error) {
+	return codegen.CompileFunction(f, cfg, codegen.Options{})
+}
+
+// CompileLoopWith runs the pipeline with an alternative partitioning
+// method; see Partitioners for the available baselines.
+func CompileLoopWith(l *ir.Loop, cfg *machine.Config, p partition.Partitioner) (*codegen.Result, error) {
+	return codegen.Compile(l, cfg, codegen.Options{Partitioner: p})
+}
+
+// Partitioners returns every implemented partitioning method, the paper's
+// RCG greedy first.
+func Partitioners() []partition.Partitioner {
+	return []partition.Partitioner{
+		partition.Greedy{}, partition.BUG{}, partition.UAS{},
+		partition.RoundRobin{}, partition.Random{Seed: 1}, partition.SingleBank{},
+	}
+}
+
+// ExpandPipeline flattens a compiled loop's clustered modulo schedule into
+// prelude, kernel and postlude code for the given trip count (Section 2's
+// pipeline setup and drain).
+func ExpandPipeline(res *codegen.Result, trip int) (*modulo.Expansion, error) {
+	return modulo.Expand(res.PartSched, res.Copies.Body, trip)
+}
+
+// Unroll replicates a loop body u times with register renaming and
+// subscript rewriting — the preprocessing step that exposes more
+// parallelism to software pipelining.
+func Unroll(l *ir.Loop, u int) (*ir.Loop, error) { return transform.Unroll(l, u) }
+
+// MinII returns the initiation-interval lower bounds of a loop on a
+// machine: the recurrence bound, the resource bound and their maximum.
+func MinII(l *ir.Loop, cfg *machine.Config) (rec, res, min int) {
+	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+	rec = g.RecMII()
+	res = ddg.ResMII(len(l.Body.Ops), cfg.Width)
+	min = rec
+	if res > min {
+		min = res
+	}
+	return rec, res, min
+}
+
+// TuneWeights runs the paper's proposed off-line stochastic optimization
+// of the heuristic weights on the given training loops and machines.
+func TuneWeights(loops []*ir.Loop, cfgs []*machine.Config, iterations int, seed int64) *tune.Result {
+	return tune.Search(tune.SuiteObjective(loops, cfgs, 0), tune.Options{Iterations: iterations, Seed: seed})
+}
+
+// ParseLoop parses a loop body in the printer's assembly-like format.
+func ParseLoop(name, src string) (*ir.Loop, error) { return ir.ParseLoop(name, src) }
+
+// CompileLoopRefined runs the pipeline and then iteratively improves the
+// partition by relocating copy-causing registers while the clustered II
+// exceeds the ideal — the iteration the paper's Section 6.3 defers to
+// future work.
+func CompileLoopRefined(l *ir.Loop, cfg *machine.Config) (*codegen.Result, *codegen.RefineStats, error) {
+	return codegen.CompileRefined(l, cfg, codegen.Options{}, codegen.RefineOptions{})
+}
