@@ -7,8 +7,12 @@
 // Usage:
 //
 //	experiments [-n loops] [-workers n] [-table 1|2] [-figure 5|6|7] [-compare] [-v]
+//	            [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
-// With no selection flags every table and figure is printed.
+// With no selection flags every table and figure is printed. -trace
+// writes the pipeline's JSON event stream (see internal/trace) and
+// appends the aggregate per-stage wall-time/counter tables to the
+// summary; -cpuprofile/-memprofile write standard pprof profiles.
 package main
 
 import (
@@ -22,128 +26,194 @@ import (
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
+	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
+type options struct {
+	n        int
+	workers  int
+	table    int
+	figure   int
+	compare  bool
+	latency  bool
+	pressure bool
+	refine   bool
+	sched    bool
+	units    bool
+	jsonOut  bool
+	all      bool
+	suite    string
+	verbose  bool
+	tracer   *trace.Tracer
+}
+
 func main() {
-	n := flag.Int("n", 211, "number of suite loops (211 = paper scale)")
-	workers := flag.Int("workers", 0, "parallel compilations (0 = all CPUs)")
-	table := flag.Int("table", 0, "print only this table (1 or 2)")
-	figure := flag.Int("figure", 0, "print only this figure (5, 6 or 7)")
-	compare := flag.Bool("compare", false, "compare partitioning methods (ablation)")
-	latency := flag.Bool("latency", false, "copy-latency sensitivity sweep (Section 6.3)")
-	pressure := flag.Bool("pressure", false, "register pressure and spill study")
-	refine := flag.Bool("refine", false, "iterative partition refinement study (Section 6.3)")
-	scheduler := flag.Bool("scheduler", false, "Rau vs lifetime-sensitive scheduler study (Section 6.3)")
-	units := flag.Bool("units", false, "general-purpose vs C6x-style typed units study (Section 6.1)")
-	jsonOut := flag.Bool("json", false, "emit per-loop results as JSON instead of tables")
-	all := flag.Bool("all", false, "run every table, figure and side study")
-	suite := flag.String("suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
-	verbose := flag.Bool("v", false, "also print the per-machine summary")
+	opt := options{}
+	flag.IntVar(&opt.n, "n", 211, "number of suite loops (211 = paper scale)")
+	flag.IntVar(&opt.workers, "workers", 0, "parallel compilations across (machine, loop) pairs (0 = all CPUs)")
+	flag.IntVar(&opt.table, "table", 0, "print only this table (1 or 2)")
+	flag.IntVar(&opt.figure, "figure", 0, "print only this figure (5, 6 or 7)")
+	flag.BoolVar(&opt.compare, "compare", false, "compare partitioning methods (ablation)")
+	flag.BoolVar(&opt.latency, "latency", false, "copy-latency sensitivity sweep (Section 6.3)")
+	flag.BoolVar(&opt.pressure, "pressure", false, "register pressure and spill study")
+	flag.BoolVar(&opt.refine, "refine", false, "iterative partition refinement study (Section 6.3)")
+	flag.BoolVar(&opt.sched, "scheduler", false, "Rau vs lifetime-sensitive scheduler study (Section 6.3)")
+	flag.BoolVar(&opt.units, "units", false, "general-purpose vs C6x-style typed units study (Section 6.1)")
+	flag.BoolVar(&opt.jsonOut, "json", false, "emit per-loop results as JSON instead of tables")
+	flag.BoolVar(&opt.all, "all", false, "run every table, figure and side study")
+	flag.StringVar(&opt.suite, "suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
+	flag.BoolVar(&opt.verbose, "v", false, "also print the per-machine summary")
+	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		opt.tracer = trace.New()
+	}
+
+	code := run(opt)
+
+	if opt.tracer != nil {
+		if err := writeTrace(*traceOut, opt.tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	stopCPU()
+	if err := profiling.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteJSON(f)
+}
+
+func run(opt options) int {
 	var loops []*ir.Loop
-	switch *suite {
+	switch opt.suite {
 	case "spec":
-		loops = loopgen.Generate(loopgen.Params{N: *n, Seed: loopgen.DefaultParams().Seed})
+		loops = loopgen.Generate(loopgen.Params{N: opt.n, Seed: loopgen.DefaultParams().Seed})
 	case "livermore":
 		loops = loopgen.Livermore()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", opt.suite)
+		return 2
 	}
 	cfgs := machine.PaperConfigs()
 
-	if *compare {
-		runComparison(loops, cfgs, *workers)
-		return
+	if opt.compare {
+		runComparison(loops, cfgs, opt.workers, opt.tracer)
+		return 0
 	}
-	if *pressure {
-		fmt.Print(exper.FormatPressure(exper.PressureStudy(loops, *workers)))
-		return
+	if opt.pressure {
+		fmt.Print(exper.FormatPressure(exper.PressureStudy(loops, opt.workers)))
+		return 0
 	}
-	if *refine {
-		fmt.Print(exper.FormatRefine(exper.RefineStudy(loops, cfgs, *workers)))
-		return
+	if opt.refine {
+		fmt.Print(exper.FormatRefine(exper.RefineStudy(loops, cfgs, opt.workers)))
+		return 0
 	}
-	if *scheduler {
+	if opt.sched {
 		study := []*machine.Config{machine.Ideal16()}
 		study = append(study, cfgs...)
-		fmt.Print(exper.FormatScheduler(exper.SchedulerStudy(loops, study, *workers)))
-		return
+		fmt.Print(exper.FormatScheduler(exper.SchedulerStudy(loops, study, opt.workers)))
+		return 0
 	}
-	if *units {
-		fmt.Print(exper.FormatUnits(exper.UnitsStudy(loops, *workers)))
-		return
+	if opt.units {
+		fmt.Print(exper.FormatUnits(exper.UnitsStudy(loops, opt.workers)))
+		return 0
 	}
-	if *latency {
+	if opt.latency {
 		for _, clusters := range []int{2, 4, 8} {
-			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, *workers)
+			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, opt.workers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(exper.FormatCopyLatencySweep(points, clusters, machine.CopyUnit))
 		}
-		return
+		return 0
 	}
 
-	results := exper.RunSuite(loops, cfgs, exper.Options{Workers: *workers})
+	results := exper.RunSuite(loops, cfgs, exper.Options{Workers: opt.workers, Tracer: opt.tracer})
 	reportErrors(results)
 
-	if *jsonOut {
+	if opt.jsonOut {
 		if err := exper.WriteJSON(os.Stdout, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	printAll := *table == 0 && *figure == 0
-	if printAll || *table == 1 {
+	printAll := opt.table == 0 && opt.figure == 0
+	if printAll || opt.table == 1 {
 		fmt.Println(exper.Table1(results))
 	}
-	if printAll || *table == 2 {
+	if printAll || opt.table == 2 {
 		fmt.Println(exper.Table2(results))
 	}
 	for fig, clusters := range map[int]int{5: 2, 6: 4, 7: 8} {
-		if printAll || *figure == fig {
+		if printAll || opt.figure == fig {
 			fmt.Printf("Figure %d. ", fig)
 			fmt.Println(exper.Figure(results, clusters))
 		}
 	}
-	if *verbose {
-		fmt.Println(exper.Summary(results))
+	if opt.verbose || opt.tracer != nil {
+		fmt.Println(exper.SummaryWithTrace(results, opt.tracer))
 	}
-	if *all {
-		fmt.Println(exper.Summary(results))
+	if opt.all {
+		if !opt.verbose && opt.tracer == nil {
+			fmt.Println(exper.Summary(results))
+		}
 		fmt.Println("== Partitioner comparison ==")
-		runComparison(loops, cfgs, *workers)
+		runComparison(loops, cfgs, opt.workers, nil)
 		fmt.Println("\n== Copy-latency sensitivity ==")
 		for _, clusters := range []int{2, 4, 8} {
-			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, *workers)
+			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, opt.workers)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println(exper.FormatCopyLatencySweep(points, clusters, machine.CopyUnit))
 		}
 		fmt.Println("== Register pressure ==")
-		fmt.Println(exper.FormatPressure(exper.PressureStudy(loops, *workers)))
+		fmt.Println(exper.FormatPressure(exper.PressureStudy(loops, opt.workers)))
 		fmt.Println("== Iterative refinement ==")
-		fmt.Println(exper.FormatRefine(exper.RefineStudy(loops, cfgs, *workers)))
+		fmt.Println(exper.FormatRefine(exper.RefineStudy(loops, cfgs, opt.workers)))
 		fmt.Println("== Scheduler modes ==")
 		study := append([]*machine.Config{machine.Ideal16()}, cfgs...)
-		fmt.Println(exper.FormatScheduler(exper.SchedulerStudy(loops, study, *workers)))
+		fmt.Println(exper.FormatScheduler(exper.SchedulerStudy(loops, study, opt.workers)))
 		fmt.Println("== Unit generality ==")
-		fmt.Println(exper.FormatUnits(exper.UnitsStudy(loops, *workers)))
+		fmt.Println(exper.FormatUnits(exper.UnitsStudy(loops, opt.workers)))
 	}
+	return 0
 }
 
 // runComparison reruns the suite with each partitioning method and prints
 // the Table-2 style means side by side: the Section 3/6.3 context (RCG
 // greedy vs. Ellis's BUG) plus the round-robin/random/single-bank ablation
 // floor and ceiling.
-func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int) {
+func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int, tr *trace.Tracer) {
 	methods := []partition.Partitioner{
 		partition.Greedy{},
 		partition.BUG{},
@@ -160,6 +230,7 @@ func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int) {
 	for _, m := range methods {
 		results := exper.RunSuite(loops, cfgs, exper.Options{
 			Workers: workers,
+			Tracer:  tr,
 			Codegen: codegen.Options{Partitioner: m, SkipAlloc: true},
 		})
 		reportErrors(results)
@@ -169,6 +240,10 @@ func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int) {
 			fmt.Printf("  %9.0f", a)
 		}
 		fmt.Println()
+	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Print(tr.Summary())
 	}
 }
 

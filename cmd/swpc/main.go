@@ -7,6 +7,11 @@
 //
 //	swpc [-n suiteSize] [-loop index] [-clusters n] [-model embedded|copyunit]
 //	     [-partitioner rcg|bug|roundrobin|random|single] [-dump] [-worst k]
+//	     [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -trace writes the pipeline's JSON event stream (see internal/trace) and
+// prints the per-stage wall-time/counter breakdown after the report;
+// -cpuprofile/-memprofile write standard pprof profiles.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
+	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,75 +45,117 @@ func main() {
 	refined := flag.Bool("refined", false, "apply iterative partition refinement (with -loop or -file)")
 	machineFile := flag.String("machine", "", "target a machine parsed from this description file")
 	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
+	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+	}
+
+	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,
+		*dump, *worst, *breakdown, *refined, *emit, tr)
+
+	if tr != nil {
+		if err := writeTrace(*traceOut, tr); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	stopCPU()
+	if err := profiling.WriteHeap(*memprofile); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteJSON(f)
+}
+
+func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string,
+	dump bool, worst int, breakdown, refined, emit bool, tr *trace.Tracer) error {
 	var cfg *machine.Config
-	if *machineFile != "" {
-		src, err := os.ReadFile(*machineFile)
+	if machineFile != "" {
+		src, err := os.ReadFile(machineFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cfg, err = machine.Parse(string(src))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		model := machine.Embedded
-		switch *modelName {
+		switch modelName {
 		case "embedded":
 		case "copyunit":
 			model = machine.CopyUnit
 		default:
-			log.Fatalf("unknown model %q", *modelName)
+			return fmt.Errorf("unknown model %q", modelName)
 		}
 		var err error
-		cfg, err = machine.Clustered16(*clusters, model)
+		cfg, err = machine.Clustered16(clusters, model)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	part := pickPartitioner(*partName)
-
-	if *file != "" {
-		src, err := os.ReadFile(*file)
-		if err != nil {
-			log.Fatal(err)
-		}
-		loop, err := ir.ParseLoop(*file, string(src))
-		if err != nil {
-			log.Fatal(err)
-		}
-		compileAndReport(loop, cfg, part, *dump, *refined, *emit)
-		return
+	part, err := pickPartitioner(partName)
+	if err != nil {
+		return err
 	}
 
-	loops := loopgen.Generate(loopgen.Params{N: *n, Seed: loopgen.DefaultParams().Seed})
-
-	if *loopIdx >= 0 {
-		if *loopIdx >= len(loops) {
-			log.Fatalf("loop %d out of range (suite has %d)", *loopIdx, len(loops))
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
 		}
-		compileAndReport(loops[*loopIdx], cfg, part, *dump, *refined, *emit)
-		return
+		loop, err := ir.ParseLoop(file, string(src))
+		if err != nil {
+			return err
+		}
+		return compileAndReport(loop, cfg, part, dump, refined, emit, tr)
+	}
+
+	loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
+
+	if loopIdx >= 0 {
+		if loopIdx >= len(loops) {
+			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
+		}
+		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, tr)
 	}
 
 	results := exper.RunSuite(loops, []*machine.Config{cfg}, exper.Options{
 		Codegen: codegen.Options{Partitioner: part},
+		Tracer:  tr,
 	})
 	r := results[0]
 	for _, err := range r.Errors() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 	}
-	fmt.Print(exper.Summary(results))
-	if *breakdown {
+	fmt.Print(exper.SummaryWithTrace(results, tr))
+	if breakdown {
 		fmt.Println()
 		fmt.Print(exper.FormatBreakdown(r))
 	}
-	if *worst > 0 {
-		fmt.Printf("\nworst %d loops by degradation:\n", *worst)
+	if worst > 0 {
+		fmt.Printf("\nworst %d loops by degradation:\n", worst)
 		fmt.Printf("%-22s %5s %7s %7s %7s %7s %7s\n", "loop", "ops", "idealII", "partII", "deg%", "copies", "press")
 		for i, idx := range r.SortedByDegradation() {
-			if i >= *worst {
+			if i >= worst {
 				break
 			}
 			o := r.Outcomes[idx]
@@ -114,41 +163,43 @@ func main() {
 				o.Loop, o.Ops, o.IdealII, o.PartII, o.Degradation-100, o.KernelCopies, o.MaxPressure)
 		}
 	}
+	return nil
 }
 
-func pickPartitioner(name string) partition.Partitioner {
+func pickPartitioner(name string) (partition.Partitioner, error) {
 	switch name {
 	case "rcg":
-		return partition.Greedy{}
+		return partition.Greedy{}, nil
 	case "bug":
-		return partition.BUG{}
+		return partition.BUG{}, nil
 	case "roundrobin":
-		return partition.RoundRobin{}
+		return partition.RoundRobin{}, nil
 	case "random":
-		return partition.Random{Seed: 1}
+		return partition.Random{Seed: 1}, nil
 	case "single":
-		return partition.SingleBank{}
+		return partition.SingleBank{}, nil
 	default:
-		log.Fatalf("unknown partitioner %q", name)
-		return nil
+		return nil, fmt.Errorf("unknown partitioner %q", name)
 	}
 }
 
-func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner, dump, refined, emit bool) {
+func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner,
+	dump, refined, emit bool, tr *trace.Tracer) error {
 	var res *codegen.Result
 	var err error
+	opt := codegen.Options{Partitioner: part, Tracer: tr}
 	if refined {
 		var stats *codegen.RefineStats
-		res, stats, err = codegen.CompileRefined(loop, cfg, codegen.Options{Partitioner: part}, codegen.RefineOptions{})
+		res, stats, err = codegen.CompileRefined(loop, cfg, opt, codegen.RefineOptions{})
 		if err == nil {
 			fmt.Printf("refinement: %d rounds, %d/%d moves kept, II %d -> %d\n",
 				stats.Rounds, stats.MovesKept, stats.MovesTried, stats.StartII, stats.FinalII)
 		}
 	} else {
-		res, err = codegen.Compile(loop, cfg, codegen.Options{Partitioner: part})
+		res, err = codegen.Compile(loop, cfg, opt)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("loop %s on %s (partitioner %s)\n", loop.Name, cfg.Name, res.PartitionerName)
 	fmt.Printf("  ops=%d  kernel copies=%d  invariant copies=%d\n",
@@ -161,7 +212,7 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 	if emit {
 		listing, err := codegen.Emit(res, codegen.EmitOptions{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println()
 		fmt.Print(listing)
@@ -176,4 +227,9 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 		fmt.Printf("\nideal kernel (II=%d):\n%s", res.IdealII(), res.IdealSched.Kernel(loop.Body.Ops))
 		fmt.Printf("\nclustered kernel (II=%d):\n%s", res.PartII(), res.PartSched.Kernel(res.Copies.Body.Ops))
 	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Print(tr.Summary())
+	}
+	return nil
 }

@@ -1,0 +1,98 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// TestDifferentialSuiteSweep is the pipeline's differential oracle at full
+// paper scale: every loop of the default 211-loop suite is executed twice
+// on concrete pseudo-random data — once as the original (unpartitioned)
+// body and once as the clustered kernel the pipeline produced — for 2, 4
+// and 8 clusters under both copy models. The two executions must agree
+// bit for bit on the store stream, on the entire final memory state, and
+// on the final value of every register the original body defines (copy
+// insertion introduces new registers but must never disturb an original
+// one).
+func TestDifferentialSuiteSweep(t *testing.T) {
+	loops := loopgen.Suite()
+	var cfgs []*machine.Config
+	for _, clusters := range []int{2, 4, 8} {
+		for _, model := range []machine.CopyModel{machine.Embedded, machine.CopyUnit} {
+			cfgs = append(cfgs, machine.MustClustered16(clusters, model))
+		}
+	}
+	const trip, seed = 7, 0xD1FF
+
+	for _, l := range loops {
+		want := interp.New(seed)
+		want.SeedLiveIns(l.Body)
+		if err := want.RunLoop(l.Body, trip); err != nil {
+			t.Fatalf("%s original: %v", l.Name, err)
+		}
+		defined := l.Body.Defined()
+
+		for _, cfg := range cfgs {
+			res, err := Compile(l, cfg, Options{SkipAlloc: true})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			got := interp.New(seed)
+			got.SeedLiveIns(l.Body) // identical live-in values by construction
+			for _, pair := range res.Copies.Hoisted {
+				got.Regs[pair[0]] = got.LiveInValue(pair[1])
+			}
+			if err := got.RunLoop(res.Copies.Body, trip); err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			if err := interp.SameStores(want.Stores, got.Stores); err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			diffMemory(t, l.Name, cfg.Name, want, got)
+			for r := range defined {
+				wv, ok := want.Regs[r]
+				if !ok {
+					continue // defined but dead before ever executing is impossible here
+				}
+				gv, ok := got.Regs[r]
+				if !ok {
+					t.Fatalf("%s on %s: original register %s missing from clustered state", l.Name, cfg.Name, r)
+				}
+				if wv != gv {
+					t.Fatalf("%s on %s: register %s ends as %v, originally %v", l.Name, cfg.Name, r, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+// diffMemory demands bit-identical final memory: same arrays, same touched
+// cells, same values. Copy insertion adds only register moves, so even the
+// lazily-materialized read cells must coincide.
+func diffMemory(t *testing.T, loop, cfg string, want, got *interp.State) {
+	t.Helper()
+	if len(want.Mem) != len(got.Mem) {
+		t.Fatalf("%s on %s: %d arrays touched vs %d", loop, cfg, len(got.Mem), len(want.Mem))
+	}
+	for base, warr := range want.Mem {
+		garr, ok := got.Mem[base]
+		if !ok {
+			t.Fatalf("%s on %s: array %q untouched by clustered kernel", loop, cfg, base)
+		}
+		if len(warr) != len(garr) {
+			t.Fatalf("%s on %s: array %q has %d cells vs %d", loop, cfg, base, len(garr), len(warr))
+		}
+		for addr, wv := range warr {
+			gv, ok := garr[addr]
+			if !ok {
+				t.Fatalf("%s on %s: %s[%d] untouched by clustered kernel", loop, cfg, base, addr)
+			}
+			if wv != gv {
+				t.Fatalf("%s on %s: %s[%d] ends as %v, originally %v", loop, cfg, base, addr, gv, wv)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Options tunes a compilation.
@@ -31,6 +32,9 @@ type Options struct {
 	// SkipAlloc skips step 5 (per-bank register assignment); the
 	// experiment sweeps use it to save time when only IIs are needed.
 	SkipAlloc bool
+	// Tracer instruments every pipeline stage (spans and counters); nil
+	// disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of compiling one loop for one machine.
@@ -147,6 +151,9 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	if err := ir.VerifyLoop(loop); err != nil {
 		return nil, err
 	}
+	tr := opt.Tracer
+	sp := tr.StartSpan("codegen.compile")
+	tr.Add("codegen.compiles", 1)
 	weights := core.DefaultWeights()
 	if opt.Weights != nil {
 		weights = *opt.Weights
@@ -161,10 +168,17 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 		IdealCfg:        IdealOf(cfg),
 		PartitionerName: part.Name(),
 	}
+	done := func() *Result {
+		sp.Int("ops", int64(len(loop.Body.Ops))).
+			Int("idealII", int64(res.IdealII())).Int("partII", int64(res.PartII())).
+			Int("kernelCopies", int64(res.Copies.KernelCopies)).
+			Int("invariantCopies", int64(res.Copies.InvariantCopies)).End()
+		return res
+	}
 
 	// Steps 1-2: dependence graph and ideal schedule on the monolithic bank.
-	res.IdealGraph = ddg.Build(loop.Body, res.IdealCfg, ddg.Options{Carried: true})
-	idealSched, err := modulo.Run(res.IdealGraph, res.IdealCfg, modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched})
+	res.IdealGraph = ddg.Build(loop.Body, res.IdealCfg, ddg.Options{Carried: true, Tracer: tr})
+	idealSched, err := modulo.Run(res.IdealGraph, res.IdealCfg, modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr})
 	if err != nil {
 		return nil, fmt.Errorf("codegen: ideal scheduling of %q: %w", loop.Name, err)
 	}
@@ -177,12 +191,13 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 		res.PartGraph = res.IdealGraph
 		res.PartSched = idealSched
 		if !opt.SkipAlloc {
-			res.Alloc = allocate(res)
+			res.Alloc = allocate(res, tr)
 		}
-		return res, nil
+		return done(), nil
 	}
 
 	// Step 3: partition registers to banks.
+	psp := tr.StartSpan("codegen.partition")
 	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, idealSched)
 	asg, err := part.Assign(&partition.Input{
 		Block:   loop.Body,
@@ -191,6 +206,7 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 		Cfg:     cfg,
 		Weights: weights,
 		Pre:     opt.Pre,
+		Tracer:  tr,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, part.Name(), err)
@@ -199,18 +215,24 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res.Assignment = asg
+	psp.Int("banks", int64(asg.Banks)).Int("registers", int64(len(asg.Of))).End()
 
 	// Step 4: insert copies, rebuild the graph, re-schedule clustered.
+	csp := tr.StartSpan("codegen.copy_insert")
 	work := loop.Clone()
 	res.Copies = InsertCopies(work, asg, cfg)
 	if err := ir.VerifyBlock(res.Copies.Body); err != nil {
 		return nil, fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
 	}
-	res.PartGraph = ddg.Build(res.Copies.Body, cfg, ddg.Options{Carried: true})
+	csp.Int("kernelCopies", int64(res.Copies.KernelCopies)).
+		Int("invariantCopies", int64(res.Copies.InvariantCopies)).End()
+	tr.Add("codegen.kernel_copies", int64(res.Copies.KernelCopies))
+	res.PartGraph = ddg.Build(res.Copies.Body, cfg, ddg.Options{Carried: true, Tracer: tr})
 	partSched, err := modulo.Run(res.PartGraph, cfg, modulo.Options{
 		ClusterOf:   res.Copies.ClusterOf,
 		BudgetRatio: opt.BudgetRatio,
 		Lifetime:    opt.LifetimeSched,
+		Tracer:      tr,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("codegen: clustered scheduling of %q: %w", loop.Name, err)
@@ -219,9 +241,9 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 
 	// Step 5: per-bank Chaitin/Briggs assignment.
 	if !opt.SkipAlloc {
-		res.Alloc = allocate(res)
+		res.Alloc = allocate(res, tr)
 	}
-	return res, nil
+	return done(), nil
 }
 
 // IdealView packages an ideal modulo schedule as the ScheduledBlock the
@@ -248,7 +270,7 @@ func IdealView(body *ir.Block, g *ddg.Graph, idealCfg *machine.Config, s *modulo
 }
 
 // allocate colors each bank's live ranges.
-func allocate(r *Result) []*regalloc.Result {
+func allocate(r *Result, tr *trace.Tracer) []*regalloc.Result {
 	ranges := regalloc.KernelRanges(r.PartGraph, r.PartSched)
 	byBank := make([][]regalloc.LiveRange, r.Cfg.Clusters)
 	for _, lr := range ranges {
@@ -257,7 +279,7 @@ func allocate(r *Result) []*regalloc.Result {
 	}
 	out := make([]*regalloc.Result, r.Cfg.Clusters)
 	for b := range byBank {
-		out[b] = regalloc.Color(byBank[b], r.PartSched.II, r.Cfg.RegsPerBank)
+		out[b] = regalloc.ColorTraced(byBank[b], r.PartSched.II, r.Cfg.RegsPerBank, nil, tr)
 	}
 	return out
 }

@@ -74,7 +74,7 @@ func CompileRefined(loop *ir.Loop, cfg *machine.Config, opt Options, ropt Refine
 			if trial.PartII() < best.PartII() {
 				stats.MovesKept++
 				if !opt.SkipAlloc {
-					trial.Alloc = allocate(trial)
+					trial.Alloc = allocate(trial, opt.Tracer)
 				}
 				best = trial
 				improved = true

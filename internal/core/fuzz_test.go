@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a register component
+// graph plus a partitioning request. The decoder is total: every input
+// yields a valid (graph, banks, pre) triple, so the fuzzer explores graph
+// shapes instead of fighting a parser. Layout: byte 0 picks the bank
+// count, byte 1 the node count, byte 2 optionally pre-colors a node, and
+// the rest is consumed in (a, b, w) triples as signed-weight edges, with
+// w == 127 meaning a negative-infinity Constrain edge.
+func fuzzGraph(data []byte) (g *RCG, banks int, pre map[ir.Reg]int) {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	banks = 1 + int(at(0))%8
+	n := 1 + int(at(1))%32
+	reg := func(i int) ir.Reg {
+		idx := i % n
+		return ir.Reg{ID: 1 + idx, Class: ir.Class(idx % 2)}
+	}
+	g = NewRCG()
+	for i := 0; i < n; i++ {
+		g.AddNode(reg(i))
+	}
+	pre = map[ir.Reg]int{}
+	if at(2)%4 == 0 {
+		pre[reg(int(at(3)))] = int(at(4)) % banks
+	}
+	for i := 5; i+2 < len(data); i += 3 {
+		a, b := reg(int(data[i])), reg(int(data[i+1]))
+		switch w := int8(data[i+2]); {
+		case w == 127:
+			g.Constrain(a, b)
+		default:
+			g.AddEdge(a, b, float64(w))
+			if w > 0 {
+				g.AddNodeWeight(a, float64(w))
+				g.AddNodeWeight(b, float64(w))
+			}
+		}
+	}
+	return g, banks, pre
+}
+
+// FuzzGreedyPartition drives the Figure 4 greedy partitioner with random
+// register component graphs and checks its contract: it never fails on a
+// well-formed request, assigns every node exactly one in-range bank,
+// honors pre-coloring, and is deterministic (same graph in, same
+// assignment out — the experiment tables depend on it).
+func FuzzGreedyPartition(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 4, 0, 2, 1, 0, 1, 10, 1, 2, 246, 2, 3, 127})
+	f.Add(bytes.Repeat([]byte{7, 15, 3, 9, 2, 40}, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, banks, pre := fuzzGraph(data)
+		asg, err := g.Partition(banks, DefaultWeights(), pre)
+		if err != nil {
+			t.Fatalf("partition failed on valid input: %v", err)
+		}
+		if err := asg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if asg.Banks != banks {
+			t.Fatalf("assignment reports %d banks, requested %d", asg.Banks, banks)
+		}
+		for _, r := range g.Nodes {
+			if _, ok := asg.Of[r]; !ok {
+				t.Fatalf("register %s left unassigned", r)
+			}
+		}
+		if len(asg.Of) != len(g.Nodes) {
+			t.Fatalf("%d assignments for %d nodes", len(asg.Of), len(g.Nodes))
+		}
+		total := 0
+		for _, c := range asg.Counts() {
+			total += c
+		}
+		if total != len(g.Nodes) {
+			t.Fatalf("bank counts sum to %d, want %d", total, len(g.Nodes))
+		}
+		for r, b := range pre {
+			if asg.Of[r] != b {
+				t.Fatalf("pre-colored %s moved from bank %d to %d", r, b, asg.Of[r])
+			}
+		}
+		g2, banks2, pre2 := fuzzGraph(data)
+		asg2, err := g2.Partition(banks2, DefaultWeights(), pre2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, b := range asg.Of {
+			if asg2.Of[r] != b {
+				t.Fatalf("nondeterministic: %s went to bank %d, then %d", r, b, asg2.Of[r])
+			}
+		}
+	})
+}

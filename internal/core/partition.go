@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Assignment maps each symbolic register to the register bank it was
@@ -70,9 +71,20 @@ func (a *Assignment) Validate() error {
 // the "spread somewhat evenly" intent the text states, so the tie-break
 // here follows the stated intent. See DESIGN.md §3.)
 func (g *RCG) Partition(banks int, w Weights, pre map[ir.Reg]int) (*Assignment, error) {
+	return g.PartitionTraced(banks, w, pre, nil)
+}
+
+// PartitionTraced is Partition with instrumentation: it records a
+// "core.partition" span on tr with the node and bank counts, how many
+// bank choices were decided by the load/index tie-break rather than by
+// edge benefit, and the resulting bank pressure (most and least loaded
+// bank sizes). A nil tr is free.
+func (g *RCG) PartitionTraced(banks int, w Weights, pre map[ir.Reg]int, tr *trace.Tracer) (*Assignment, error) {
 	if banks < 1 {
 		return nil, fmt.Errorf("core: cannot partition into %d banks", banks)
 	}
+	sp := tr.StartSpan("core.partition")
+	tieBreaks := 0
 	asg := &Assignment{Banks: banks, Of: make(map[ir.Reg]int, len(g.Nodes))}
 	counts := make([]int, banks)
 	assigned := make([]int, len(g.Nodes)) // bank+1, 0 = unassigned
@@ -119,10 +131,31 @@ func (g *RCG) Partition(banks int, w Weights, pre map[ir.Reg]int) (*Assignment, 
 		if assigned[ni] != 0 {
 			continue
 		}
-		best := chooseBestBank(adj[ni], banks, balanceUnit, assigned, counts)
+		best, tied := chooseBestBank(adj[ni], banks, balanceUnit, assigned, counts)
+		if tied {
+			tieBreaks++
+		}
 		assigned[ni] = best + 1
 		counts[best]++
 		asg.Of[g.Nodes[ni]] = best
+	}
+	if sp != nil {
+		maxBank, minBank := 0, 0
+		if len(counts) > 0 {
+			maxBank, minBank = counts[0], counts[0]
+			for _, c := range counts[1:] {
+				if c > maxBank {
+					maxBank = c
+				}
+				if c < minBank {
+					minBank = c
+				}
+			}
+		}
+		sp.Int("nodes", int64(len(g.Nodes))).Int("banks", int64(banks)).
+			Int("tieBreaks", int64(tieBreaks)).
+			Int("maxBank", int64(maxBank)).Int("minBank", int64(minBank)).End()
+		tr.Add("core.partition.tiebreaks", int64(tieBreaks))
 	}
 	return asg, nil
 }
@@ -166,18 +199,21 @@ func meanPositiveEdge(adj [][]edgeTo) float64 {
 }
 
 // chooseBestBank evaluates each bank's benefit for node ni and returns the
-// best one. Edges to unassigned neighbors contribute nothing (their
-// placement is unknown); the balance term subtracts balanceUnit for every
-// register the candidate bank already holds, implementing Figure 4's
-// "spread the symbolic registers somewhat evenly across the available
-// partitions". Registers on critical chains resist the spreading because
-// their affinity edges carry the zero-slack CriticalBonus, while
-// slack-rich streaming code yields to it — which is exactly the intended
-// division: spreading buys issue bandwidth only where the dependence
-// structure permits it.
-func chooseBestBank(neighbors []edgeTo, banks int, balanceUnit float64, assigned []int, counts []int) int {
+// best one, plus whether the final choice was made by the load/index
+// tie-break rather than by a strict benefit win (the instrumentation
+// signal for "the heuristic had no opinion here"). Edges to unassigned
+// neighbors contribute nothing (their placement is unknown); the balance
+// term subtracts balanceUnit for every register the candidate bank
+// already holds, implementing Figure 4's "spread the symbolic registers
+// somewhat evenly across the available partitions". Registers on critical
+// chains resist the spreading because their affinity edges carry the
+// zero-slack CriticalBonus, while slack-rich streaming code yields to it —
+// which is exactly the intended division: spreading buys issue bandwidth
+// only where the dependence structure permits it.
+func chooseBestBank(neighbors []edgeTo, banks int, balanceUnit float64, assigned []int, counts []int) (int, bool) {
 	best := 0
 	bestBenefit := math.Inf(-1)
+	tied := false
 	for rb := 0; rb < banks; rb++ {
 		benefit := -balanceUnit * float64(counts[rb])
 		for _, e := range neighbors {
@@ -185,10 +221,13 @@ func chooseBestBank(neighbors []edgeTo, banks int, balanceUnit float64, assigned
 				benefit += e.w
 			}
 		}
-		if benefit > bestBenefit ||
-			(benefit == bestBenefit && counts[rb] < counts[best]) {
+		if benefit > bestBenefit {
 			best, bestBenefit = rb, benefit
+			tied = false
+		} else if benefit == bestBenefit && counts[rb] < counts[best] {
+			best = rb
+			tied = true
 		}
 	}
-	return best
+	return best, tied
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // ScheduledBlock is the view of an "ideal schedule" (Section 4.1) that RCG
@@ -148,6 +149,31 @@ func (g *RCG) NumEdges() int {
 //     raises the probability they can issue together on the clustered
 //     machine.
 func Build(blocks []ScheduledBlock, w Weights) *RCG {
+	return BuildTraced(blocks, w, nil)
+}
+
+// BuildTraced is Build with instrumentation: it records a
+// "core.rcg.build" span on tr (node, edge and affinity-component counts,
+// plus the largest component's size — the quantity that decides whether
+// the greedy partition has any freedom at all). A nil tr is free.
+func BuildTraced(blocks []ScheduledBlock, w Weights, tr *trace.Tracer) *RCG {
+	sp := tr.StartSpan("core.rcg.build")
+	g := buildRCG(blocks, w)
+	if sp != nil {
+		comps := g.Components()
+		largest := 0
+		for _, c := range comps {
+			if len(c) > largest {
+				largest = len(c)
+			}
+		}
+		sp.Int("nodes", int64(len(g.Nodes))).Int("edges", int64(g.NumEdges())).
+			Int("components", int64(len(comps))).Int("largestComponent", int64(largest)).End()
+	}
+	return g
+}
+
+func buildRCG(blocks []ScheduledBlock, w Weights) *RCG {
 	g := NewRCG()
 	for bi := range blocks {
 		sb := &blocks[bi]

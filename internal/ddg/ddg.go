@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Kind classifies a dependence edge.
@@ -92,11 +93,14 @@ type Options struct {
 	// dependences; <=0 means "use the store latency", modeling a value
 	// visible to loads only once the store completes.
 	MemFlowLatency int
+	// Tracer records a "ddg.build" span per construction; nil disables.
+	Tracer *trace.Tracer
 }
 
 // Build constructs the dependence graph of block b under the latency table
 // of cfg.
 func Build(b *ir.Block, cfg *machine.Config, opt Options) *Graph {
+	sp := opt.Tracer.StartSpan("ddg.build")
 	g := &Graph{
 		Ops:     b.Ops,
 		Out:     make([][]Edge, len(b.Ops)),
@@ -105,6 +109,7 @@ func Build(b *ir.Block, cfg *machine.Config, opt Options) *Graph {
 	}
 	g.addRegisterDeps(cfg, opt)
 	g.addMemoryDeps(cfg, opt)
+	sp.Int("ops", int64(len(g.Ops))).Int("edges", int64(g.nEdges)).End()
 	return g
 }
 

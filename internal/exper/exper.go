@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // LoopOutcome records one loop compiled for one machine.
@@ -137,53 +138,69 @@ type Options struct {
 	Codegen codegen.Options
 	// Workers bounds the parallel compilations; <=0 uses GOMAXPROCS.
 	Workers int
+	// Tracer instruments the run: one "exper.run_suite" span plus every
+	// pipeline stage's spans and counters. It is forwarded to the codegen
+	// options unless those already carry a tracer. Nil disables.
+	Tracer *trace.Tracer
 }
 
-// RunSuite compiles every loop for every machine, in parallel across
-// loops, and returns one ConfigResult per machine in the given order.
-// Output is deterministic: outcomes are indexed by loop position and the
-// pipeline itself has no randomness.
+// RunSuite compiles every loop for every machine and returns one
+// ConfigResult per machine in the given order. The work is spread over a
+// single worker pool covering every (machine, loop) pair, so small
+// per-machine suites still saturate the CPUs when several machines are
+// evaluated. Output is deterministic: outcomes are indexed by (config,
+// loop) position and the pipeline itself has no randomness.
 func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigResult {
+	cg := opt.Codegen
+	if opt.Tracer != nil && cg.Tracer == nil {
+		cg.Tracer = opt.Tracer
+	}
+	method := "rcg-greedy"
+	if cg.Partitioner != nil {
+		method = cg.Partitioner.Name()
+	}
 	results := make([]*ConfigResult, len(cfgs))
 	for ci, cfg := range cfgs {
-		method := "rcg-greedy"
-		if opt.Codegen.Partitioner != nil {
-			method = opt.Codegen.Partitioner.Name()
-		}
-		cr := &ConfigResult{Cfg: cfg, Method: method, Outcomes: make([]LoopOutcome, len(loops))}
-		runConfig(loops, cfg, opt, cr)
-		results[ci] = cr
+		results[ci] = &ConfigResult{Cfg: cfg, Method: method, Outcomes: make([]LoopOutcome, len(loops))}
 	}
-	return results
-}
 
-func runConfig(loops []*ir.Loop, cfg *machine.Config, opt Options, cr *ConfigResult) {
+	total := len(cfgs) * len(loops)
+	if total == 0 {
+		return results
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(loops) {
-		workers = len(loops)
+	if workers > total {
+		workers = total
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	sp := cg.Tracer.StartSpan("exper.run_suite")
+	type job struct{ ci, li int }
 	var wg sync.WaitGroup
-	idx := make(chan int)
+	jobs := make(chan job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				cr.Outcomes[i] = compileOne(loops[i], cfg, opt.Codegen)
+			for j := range jobs {
+				results[j.ci].Outcomes[j.li] = compileOne(loops[j.li], cfgs[j.ci], cg)
 			}
 		}()
 	}
-	for i := range loops {
-		idx <- i
+	for ci := range cfgs {
+		for li := range loops {
+			jobs <- job{ci, li}
+		}
 	}
-	close(idx)
+	close(jobs)
 	wg.Wait()
+	sp.Int("machines", int64(len(cfgs))).Int("loops", int64(len(loops))).
+		Int("workers", int64(workers)).End()
+	return results
 }
 
 func compileOne(loop *ir.Loop, cfg *machine.Config, opt codegen.Options) LoopOutcome {
@@ -295,6 +312,18 @@ func Summary(results []*ConfigResult) string {
 			r.Cfg.Name, r.MeanIdealIPC(), r.MeanClusterIPC(), a, h, r.ZeroDegradationPercent(), copies, spills)
 	}
 	return sb.String()
+}
+
+// SummaryWithTrace renders Summary followed by the tracer's aggregate
+// per-stage wall-time and counter tables — the breakdown that says where
+// the compile time went and why a loop degraded (copies inserted vs. II
+// attempts burned). With a nil tracer it is exactly Summary.
+func SummaryWithTrace(results []*ConfigResult, tr *trace.Tracer) string {
+	s := Summary(results)
+	if tr != nil {
+		s += "\n" + tr.Summary()
+	}
+	return s
 }
 
 // SortedByDegradation returns outcome indices ordered worst-first, for the

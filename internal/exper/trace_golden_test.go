@@ -1,0 +1,82 @@
+package exper
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// goldenClock is a deterministic stand-in for time.Now: every call
+// advances one microsecond from the zero time, so span starts and
+// durations in the golden file are stable across machines and runs.
+func goldenClock() func() time.Time {
+	var n int64
+	return func() time.Time {
+		n++
+		return time.Unix(0, 0).Add(time.Duration(n) * time.Microsecond)
+	}
+}
+
+// TestGoldenTraceJSON freezes the exact JSON trace stream emitted by a
+// small suite run. The run is fully deterministic: the tracer uses a fake
+// clock and RunSuite uses a single worker, so events appear in a fixed
+// order with fixed timestamps. Any change to the trace schema, to the
+// instrumentation points or to their attributes must be accompanied by
+// `go test ./internal/exper -run GoldenTrace -update` and a review of the
+// new stream against DESIGN.md's schema description.
+func TestGoldenTraceJSON(t *testing.T) {
+	tr := trace.NewWithClock(goldenClock())
+	loops := loopgen.Generate(loopgen.Params{N: 2, Seed: loopgen.DefaultParams().Seed})
+	cfgs := machine.PaperConfigs()[:2]
+	RunSuite(loops, cfgs, Options{
+		Workers: 1,
+		Tracer:  tr,
+		Codegen: codegen.Options{SkipAlloc: true},
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "trace_n2.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace stream drifted from golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+
+	// The golden stream must round-trip through the reader: parse it and
+	// re-encode, demanding the identical byte stream — the property any
+	// external consumer of -trace output relies on.
+	stream, err := trace.ReadJSON(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden stream does not parse: %v", err)
+	}
+	var re bytes.Buffer
+	if err := stream.WriteJSON(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), want) {
+		t.Errorf("golden stream does not round-trip:\n--- re-encoded\n%s", re.Bytes())
+	}
+}

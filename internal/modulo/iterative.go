@@ -257,6 +257,7 @@ func (a *attempt) place(idx, t, cluster int, forced bool) {
 	a.time[idx] = t
 	a.clus[idx] = cluster
 	a.lastTime[idx] = t
+	a.st.placements++
 }
 
 // lowestPriority returns the occupant with the smallest height (ties to the
@@ -288,6 +289,7 @@ func (a *attempt) unschedule(idx int) {
 	}
 	a.time[idx] = -1
 	a.enqueue(idx)
+	a.st.evictions++
 }
 
 func removeOne(s []int, v int) []int {

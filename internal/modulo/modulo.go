@@ -30,6 +30,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // AnyCluster lets the scheduler choose the cluster for an operation.
@@ -56,6 +57,9 @@ type Options struct {
 	// The II search is unchanged; only value lifetimes (and hence
 	// register pressure) differ.
 	Lifetime bool
+	// Tracer records a "modulo.run" span per scheduling run, with the
+	// II search's attempt/placement/eviction counts; nil disables.
+	Tracer *trace.Tracer
 }
 
 // Schedule is a modulo schedule: operation i issues at absolute cycle
@@ -127,6 +131,7 @@ func Run(g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
 	if ratio <= 0 {
 		ratio = 6
 	}
+	sp := opt.Tracer.StartSpan("modulo.run")
 	st := &state{g: g, cfg: cfg, opt: opt, n: n}
 	serial := st.serialII()
 	maxII := opt.MaxII
@@ -134,21 +139,44 @@ func Run(g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
 		maxII = serial
 	}
 	minII := st.minII()
+	done := func(s *Schedule, fellBack bool) *Schedule {
+		if sp != nil {
+			fb := int64(0)
+			if fellBack {
+				fb = 1
+			}
+			sp.Int("ops", int64(n)).Int("minII", int64(minII)).Int("ii", int64(s.II)).
+				Int("attempts", int64(st.attempts)).Int("placements", int64(st.placements)).
+				Int("evictions", int64(st.evictions)).Int("serialFallback", fb).End()
+			tr := opt.Tracer
+			tr.Add("modulo.attempts", int64(st.attempts))
+			tr.Add("modulo.placements", int64(st.placements))
+			tr.Add("modulo.evictions", int64(st.evictions))
+			tr.Add("modulo.serial_fallbacks", fb)
+		}
+		return s
+	}
 	for ii := minII; ii <= maxII; ii++ {
+		st.attempts++
 		if s, ok := st.tryII(ii, ratio*n); ok {
-			return s, nil
+			return done(s, false), nil
 		}
 	}
 	// Guaranteed fallback: the serial schedule at II == sum of latencies.
-	return st.serialSchedule(serial), nil
+	return done(st.serialSchedule(serial), true), nil
 }
 
-// state carries the per-run immutable inputs.
+// state carries the per-run immutable inputs, plus the II search's
+// effort tally (how many candidate IIs were attempted, how many operation
+// placements were made, how many scheduled operations were evicted by a
+// forced placement or a violated dependence) reported via Options.Tracer.
 type state struct {
 	g   *ddg.Graph
 	cfg *machine.Config
 	opt Options
 	n   int
+
+	attempts, placements, evictions int
 }
 
 func (st *state) wantCluster(i int) int {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Input is everything a partitioner may consult: the loop body, its
@@ -35,6 +36,10 @@ type Input struct {
 	Weights core.Weights
 	// Pre pre-colors registers to fixed banks (may be nil).
 	Pre map[ir.Reg]int
+	// Tracer records partitioning-stage spans (RCG construction, greedy
+	// bank choice); nil disables. Methods without interesting stages are
+	// free to ignore it.
+	Tracer *trace.Tracer
 }
 
 // Partitioner assigns every symbolic register in the input to a register
@@ -55,8 +60,8 @@ func (Greedy) Name() string { return "rcg-greedy" }
 
 // Assign implements Partitioner.
 func (Greedy) Assign(in *Input) (*core.Assignment, error) {
-	g := core.Build([]core.ScheduledBlock{in.Ideal}, in.Weights)
-	return g.Partition(in.Cfg.Clusters, in.Weights, in.Pre)
+	g := core.BuildTraced([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer)
+	return g.PartitionTraced(in.Cfg.Clusters, in.Weights, in.Pre, in.Tracer)
 }
 
 // RCG exposes the constructed graph for callers that want to inspect it

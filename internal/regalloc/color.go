@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // Result reports one bank's register assignment.
@@ -47,7 +48,23 @@ type Result struct {
 // schedule degradation, and with the paper's 32-register banks spills are
 // rare; the Spilled list lets the harness report them.
 func Color(ranges []LiveRange, ii, k int) *Result {
-	return ColorPre(ranges, ii, k, nil)
+	return ColorTraced(ranges, ii, k, nil, nil)
+}
+
+// ColorTraced is ColorPre with instrumentation: it records a
+// "regalloc.color" span on tr (range count, K, resulting spills, pressure
+// and colors used) and accumulates the "regalloc.spills" counter. A nil
+// tr is free.
+func ColorTraced(ranges []LiveRange, ii, k int, pre map[ir.Reg]int, tr *trace.Tracer) *Result {
+	sp := tr.StartSpan("regalloc.color")
+	res := ColorPre(ranges, ii, k, pre)
+	if sp != nil {
+		sp.Int("ranges", int64(len(ranges))).Int("k", int64(k)).
+			Int("spills", int64(len(res.Spilled))).Int("maxLive", int64(res.MaxLive)).
+			Int("usedColors", int64(res.UsedColors)).End()
+		tr.Add("regalloc.spills", int64(len(res.Spilled)))
+	}
+	return res
 }
 
 // ColorPre is Color with pre-colored registers: pre maps a register to the

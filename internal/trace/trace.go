@@ -1,0 +1,276 @@
+// Package trace is the compile pipeline's measurement substrate: named
+// wall-time spans with integer attributes, plus monotonic counters,
+// collected into a JSON event stream and an aggregate per-stage table.
+//
+// The design constraint is the one ROADMAP.md cares about: the pipeline
+// is a hot path, so instrumentation must cost nothing when it is off. A
+// nil *Tracer is the disabled tracer — every method is nil-safe, a span
+// started on a nil tracer is a nil *Span whose methods are no-ops, and
+// the disabled path performs zero allocations (proven by
+// TestNilTracerAllocatesNothing and BenchmarkSpanDisabled). Stage code
+// therefore threads a possibly-nil *Tracer unconditionally and never
+// guards call sites.
+//
+// A Tracer is safe for concurrent use: the experiment harness compiles
+// loops from many goroutines into one tracer. Event order is the order
+// in which spans End, so single-worker runs are fully deterministic —
+// the property the exper golden test pins.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatVersion identifies the JSON stream schema; bump it when Event or
+// Stream change shape.
+const FormatVersion = 1
+
+// Event is one completed span in the stream. Times are microseconds
+// relative to the tracer's creation, so streams from deterministic clocks
+// are byte-stable.
+type Event struct {
+	// Name is the stage name, dot-separated by convention
+	// (e.g. "modulo.run", "core.partition").
+	Name string `json:"name"`
+	// Start is the span's start offset in microseconds.
+	Start int64 `json:"startUs"`
+	// Dur is the span's duration in microseconds.
+	Dur int64 `json:"durUs"`
+	// Attrs holds the span's integer attributes (operation counts, IIs,
+	// eviction counts, ...), if any.
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Stream is the trace file: the schema version, every completed span in
+// End order, and the final counter values.
+type Stream struct {
+	Version  int              `json:"version"`
+	Events   []Event          `json:"events"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Tracer collects spans and counters. The zero value is not used; create
+// one with New (or NewWithClock for deterministic tests). A nil *Tracer
+// is the disabled tracer and every method on it is a cheap no-op.
+type Tracer struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	start    time.Time
+	events   []Event
+	counters map[string]int64
+}
+
+// New returns an enabled tracer reading the real clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns a tracer reading time from now — tests and golden
+// files inject a deterministic clock so durations are reproducible. The
+// clock is only ever called under the tracer's lock, so a stateful fake
+// needs no synchronization of its own.
+func NewWithClock(now func() time.Time) *Tracer {
+	t := &Tracer{now: now, counters: make(map[string]int64)}
+	t.start = now()
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+// Span is one in-flight measurement. A nil *Span (from a nil tracer) is
+// inert: Int and End are no-ops.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs map[string]int64
+}
+
+// StartSpan opens a span. On a nil tracer it returns nil without
+// allocating — the disabled fast path.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: t.clock()}
+}
+
+// Int records an integer attribute on the span and returns the span for
+// chaining.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64, 4)
+	}
+	s.attrs[key] = v
+	return s
+}
+
+// End completes the span and appends it to the tracer's event stream.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.clock()
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, Event{
+		Name:  s.name,
+		Start: s.start.Sub(s.t.start).Microseconds(),
+		Dur:   end.Sub(s.start).Microseconds(),
+		Attrs: s.attrs,
+	})
+	s.t.mu.Unlock()
+}
+
+// Add accumulates delta onto the named counter.
+func (t *Tracer) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += delta
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the completed spans in End order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Counters returns a copy of the current counter values.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteJSON emits the trace as an indented JSON Stream. Map keys are
+// sorted by the encoder, so streams from deterministic clocks and
+// single-worker runs are byte-identical across runs.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	s := &Stream{Version: FormatVersion, Events: t.Events(), Counters: t.Counters()}
+	return s.WriteJSON(w)
+}
+
+// WriteJSON re-encodes a stream in the exact canonical form WriteJSON on
+// a Tracer produces, so parse → re-encode round-trips byte-identically.
+func (s *Stream) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a stream written by WriteJSON and validates its
+// version — the round-trip half of the format contract.
+func ReadJSON(r io.Reader) (*Stream, error) {
+	var s Stream
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: decoding stream: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: stream version %d, want %d", s.Version, FormatVersion)
+	}
+	return &s, nil
+}
+
+// Stat aggregates every span sharing one name.
+type Stat struct {
+	Name     string
+	Count    int
+	Total    time.Duration
+	Min, Max time.Duration
+}
+
+// Stats returns per-name aggregates ordered by total time, largest first
+// (ties by name, so the table is deterministic).
+func (t *Tracer) Stats() []Stat {
+	if t == nil {
+		return nil
+	}
+	byName := make(map[string]*Stat)
+	for _, e := range t.Events() {
+		d := time.Duration(e.Dur) * time.Microsecond
+		s := byName[e.Name]
+		if s == nil {
+			s = &Stat{Name: e.Name, Min: d, Max: d}
+			byName[e.Name] = s
+		}
+		s.Count++
+		s.Total += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	out := make([]Stat, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Summary renders the aggregate per-stage wall-time table followed by the
+// counters — the human-readable companion to the JSON stream, appended to
+// the experiment summary by exper.SummaryWithTrace.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	stats := t.Stats()
+	fmt.Fprintf(&sb, "%-24s %7s %12s %12s %12s %12s\n", "stage", "count", "total", "min", "max", "avg")
+	for _, s := range stats {
+		avg := time.Duration(0)
+		if s.Count > 0 {
+			avg = s.Total / time.Duration(s.Count)
+		}
+		fmt.Fprintf(&sb, "%-24s %7d %12s %12s %12s %12s\n",
+			s.Name, s.Count, s.Total, s.Min, s.Max, avg)
+	}
+	counters := t.Counters()
+	if len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for k := range counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		sb.WriteString("counters:\n")
+		for _, k := range names {
+			fmt.Fprintf(&sb, "  %-30s %d\n", k, counters[k])
+		}
+	}
+	return sb.String()
+}

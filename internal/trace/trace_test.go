@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock advancing step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanRecordsEvent(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	sp := tr.StartSpan("stage.one")
+	sp.Int("ops", 7).Int("ii", 3)
+	sp.End()
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Name != "stage.one" {
+		t.Errorf("name %q", e.Name)
+	}
+	// Clock calls: 1 at New, 2 at StartSpan, 3 at End -> start offset 1ms,
+	// duration 1ms.
+	if e.Start != 1000 || e.Dur != 1000 {
+		t.Errorf("start/dur = %d/%d us, want 1000/1000", e.Start, e.Dur)
+	}
+	if e.Attrs["ops"] != 7 || e.Attrs["ii"] != 3 {
+		t.Errorf("attrs %v", e.Attrs)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	tr := New()
+	tr.Add("modulo.evictions", 2)
+	tr.Add("modulo.evictions", 3)
+	tr.Add("other", 1)
+	c := tr.Counters()
+	if c["modulo.evictions"] != 5 || c["other"] != 1 {
+		t.Fatalf("counters %v", c)
+	}
+}
+
+// TestNilTracerAllocatesNothing proves the disabled fast path: spans and
+// counters on a nil tracer must not allocate at all — the acceptance
+// criterion that lets every pipeline stage trace unconditionally.
+func TestNilTracerAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("x")
+		sp.Int("k", 1)
+		sp.End()
+		tr.Add("c", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f objects per op, want 0", allocs)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Events() != nil || tr.Counters() != nil || tr.Stats() != nil {
+		t.Fatal("nil tracer returned non-nil data")
+	}
+	if tr.Summary() != "" {
+		t.Fatal("nil tracer rendered a summary")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	tr.StartSpan("a").Int("n", 1).End()
+	tr.StartSpan("b").End()
+	tr.Add("count", 9)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != FormatVersion {
+		t.Errorf("version %d", s.Version)
+	}
+	if len(s.Events) != 2 || s.Events[0].Name != "a" || s.Events[1].Name != "b" {
+		t.Errorf("events %+v", s.Events)
+	}
+	if s.Events[0].Attrs["n"] != 1 {
+		t.Errorf("attrs lost: %+v", s.Events[0])
+	}
+	if s.Counters["count"] != 9 {
+		t.Errorf("counters %v", s.Counters)
+	}
+	// Re-encoding must be byte-identical: the golden-file property.
+	tr2 := NewWithClock(fakeClock(time.Millisecond))
+	tr2.StartSpan("a").Int("n", 1).End()
+	tr2.StartSpan("b").End()
+	tr2.Add("count", 9)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("deterministic clocks produced different streams:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestReadJSONRejectsWrongVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version": 999, "events": []}`)); err == nil {
+		t.Fatal("version 999 accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStatsAggregate(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	for i := 0; i < 3; i++ {
+		tr.StartSpan("hot").End()
+	}
+	tr.StartSpan("cold").End()
+	stats := tr.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	if stats[0].Name != "hot" || stats[0].Count != 3 {
+		t.Errorf("hot stat %+v", stats[0])
+	}
+	if stats[0].Total != 3*time.Millisecond || stats[0].Min != time.Millisecond || stats[0].Max != time.Millisecond {
+		t.Errorf("hot durations %+v", stats[0])
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"stage", "hot", "cold"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.StartSpan("worker")
+				sp.Int("i", int64(i))
+				sp.End()
+				tr.Add("spans", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Events()); n != 800 {
+		t.Fatalf("%d events, want 800", n)
+	}
+	if c := tr.Counters()["spans"]; c != 800 {
+		t.Fatalf("counter %d, want 800", c)
+	}
+}
+
+// BenchmarkSpanDisabled measures the nil-tracer fast path every pipeline
+// stage pays when tracing is off; compare against BenchmarkSpanEnabled.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("stage")
+		sp.Int("n", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("stage")
+		sp.Int("n", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add("c", 1)
+	}
+}

@@ -9,8 +9,12 @@ echo "== build =="
 go build ./...
 go vet ./...
 
-echo "== tests =="
-go test ./...
+echo "== tests (race detector) =="
+go test -race ./...
+
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz=FuzzGreedyPartition -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzModuloSchedule -fuzztime=10s ./internal/modulo
 
 echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
 go run ./cmd/experiments
