@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/ddg"
@@ -278,6 +279,68 @@ func BenchmarkChaitinBriggsColoring(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		j := jobs[i%len(jobs)]
 		regalloc.Color(j.ranges, j.ii, 32)
+	}
+}
+
+// --- Compile-cache benchmarks: the PR-2 speedup measurement. ---
+
+// benchSuiteGrid runs the full 211-loop suite across the complete
+// 2/4/8-cluster × copy-model grid (PaperConfigs) once, with the given
+// cache, mirroring what `experiments` does to regenerate the tables.
+func benchSuiteGrid(b *testing.B, c *cache.Cache) {
+	b.Helper()
+	results := exper.RunSuite(paperSuite(), machine.PaperConfigs(), exper.Options{
+		Codegen: codegen.Options{SkipAlloc: true, Cache: c},
+	})
+	for _, r := range results {
+		if errs := r.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+	}
+}
+
+// BenchmarkSuiteUncached is the baseline: every (loop, machine) pair
+// recomputes its dependence graphs and schedules from scratch.
+func BenchmarkSuiteUncached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSuiteGrid(b, nil)
+	}
+}
+
+// BenchmarkSuiteCached runs the same grid with a fresh content-addressed
+// cache per iteration, so the measured win is purely intra-grid sharing:
+// the six machines share one monolithic ideal machine per loop, so the
+// ideal dependence graph and schedule are computed once instead of six
+// times, and identical clustered bodies (the embedded/copy-unit pairs
+// produce the same copies) share their rebuilt graphs. The hit rate is
+// reported alongside the time; EXPERIMENTS.md records the resulting
+// speedup over BenchmarkSuiteUncached.
+func BenchmarkSuiteCached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := cache.New()
+		benchSuiteGrid(b, c)
+		st := c.Stats()
+		if total := st.Hits + st.Misses; total > 0 {
+			b.ReportMetric(100*float64(st.Hits)/float64(total), "hit_pct")
+		}
+	}
+}
+
+// BenchmarkPortfolioPartition times the portfolio partitioner — candidate
+// generation plus parallel downstream scoring — on the 4-cluster embedded
+// machine, and reports its quality gain over the single-shot greedy
+// (arithmetic mean degradation, 100 = ideal).
+func BenchmarkPortfolioPartition(b *testing.B) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for i := 0; i < b.N; i++ {
+		results := exper.RunSuite(paperSuite(), []*machine.Config{cfg}, exper.Options{
+			Codegen: codegen.Options{Partitioner: partition.Portfolio{}, SkipAlloc: true},
+		})
+		if errs := results[0].Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		a, _ := results[0].MeanDegradation()
+		b.ReportMetric(a, "deg_portfolio")
 	}
 }
 

@@ -7,12 +7,15 @@
 // Usage:
 //
 //	experiments [-n loops] [-workers n] [-table 1|2] [-figure 5|6|7] [-compare] [-v]
-//	            [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	            [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // With no selection flags every table and figure is printed. -trace
 // writes the pipeline's JSON event stream (see internal/trace) and
 // appends the aggregate per-stage wall-time/counter tables to the
-// summary; -cpuprofile/-memprofile write standard pprof profiles.
+// summary; -cache memoizes dependence graphs and modulo schedules by
+// content fingerprint across the machine grid (see internal/cache) and
+// reports the hit rate; -cpuprofile/-memprofile write standard pprof
+// profiles.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/exper"
 	"repro/internal/ir"
@@ -46,6 +50,7 @@ type options struct {
 	suite    string
 	verbose  bool
 	tracer   *trace.Tracer
+	cache    *cache.Cache
 }
 
 func main() {
@@ -64,6 +69,7 @@ func main() {
 	flag.BoolVar(&opt.all, "all", false, "run every table, figure and side study")
 	flag.StringVar(&opt.suite, "suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
 	flag.BoolVar(&opt.verbose, "v", false, "also print the per-machine summary")
+	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules across the machine grid")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -77,8 +83,15 @@ func main() {
 	if *traceOut != "" {
 		opt.tracer = trace.New()
 	}
+	if *useCache {
+		opt.cache = cache.New()
+	}
 
 	code := run(opt)
+
+	if opt.cache.Enabled() {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", opt.cache.Stats())
+	}
 
 	if opt.tracer != nil {
 		if err := writeTrace(*traceOut, opt.tracer); err != nil {
@@ -121,7 +134,7 @@ func run(opt options) int {
 	cfgs := machine.PaperConfigs()
 
 	if opt.compare {
-		runComparison(loops, cfgs, opt.workers, opt.tracer)
+		runComparison(loops, cfgs, opt.workers, opt.tracer, opt.cache)
 		return 0
 	}
 	if opt.pressure {
@@ -154,7 +167,11 @@ func run(opt options) int {
 		return 0
 	}
 
-	results := exper.RunSuite(loops, cfgs, exper.Options{Workers: opt.workers, Tracer: opt.tracer})
+	results := exper.RunSuite(loops, cfgs, exper.Options{
+		Workers: opt.workers,
+		Tracer:  opt.tracer,
+		Codegen: codegen.Options{Cache: opt.cache},
+	})
 	reportErrors(results)
 
 	if opt.jsonOut {
@@ -186,7 +203,7 @@ func run(opt options) int {
 			fmt.Println(exper.Summary(results))
 		}
 		fmt.Println("== Partitioner comparison ==")
-		runComparison(loops, cfgs, opt.workers, nil)
+		runComparison(loops, cfgs, opt.workers, nil, opt.cache)
 		fmt.Println("\n== Copy-latency sensitivity ==")
 		for _, clusters := range []int{2, 4, 8} {
 			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, opt.workers)
@@ -213,9 +230,10 @@ func run(opt options) int {
 // the Table-2 style means side by side: the Section 3/6.3 context (RCG
 // greedy vs. Ellis's BUG) plus the round-robin/random/single-bank ablation
 // floor and ceiling.
-func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int, tr *trace.Tracer) {
+func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int, tr *trace.Tracer, c *cache.Cache) {
 	methods := []partition.Partitioner{
 		partition.Greedy{},
+		partition.Portfolio{},
 		partition.BUG{},
 		partition.UAS{},
 		partition.RoundRobin{},
@@ -231,7 +249,7 @@ func runComparison(loops []*ir.Loop, cfgs []*machine.Config, workers int, tr *tr
 		results := exper.RunSuite(loops, cfgs, exper.Options{
 			Workers: workers,
 			Tracer:  tr,
-			Codegen: codegen.Options{Partitioner: m, SkipAlloc: true},
+			Codegen: codegen.Options{Partitioner: m, SkipAlloc: true, Cache: c},
 		})
 		reportErrors(results)
 		fmt.Printf("%-12s", m.Name())

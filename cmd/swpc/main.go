@@ -6,11 +6,13 @@
 // Usage:
 //
 //	swpc [-n suiteSize] [-loop index] [-clusters n] [-model embedded|copyunit]
-//	     [-partitioner rcg|bug|roundrobin|random|single] [-dump] [-worst k]
-//	     [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	     [-partitioner rcg|portfolio|bug|roundrobin|random|single] [-dump] [-worst k]
+//	     [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -trace writes the pipeline's JSON event stream (see internal/trace) and
 // prints the per-stage wall-time/counter breakdown after the report;
+// -cache memoizes dependence graphs and modulo schedules by content
+// fingerprint (see internal/cache) and reports the hit rate;
 // -cpuprofile/-memprofile write standard pprof profiles.
 package main
 
@@ -20,6 +22,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/exper"
 	"repro/internal/ir"
@@ -37,7 +40,7 @@ func main() {
 	loopIdx := flag.Int("loop", -1, "compile only this loop index")
 	clusters := flag.Int("clusters", 4, "cluster count (2, 4 or 8)")
 	modelName := flag.String("model", "embedded", "copy model: embedded or copyunit")
-	partName := flag.String("partitioner", "rcg", "rcg, bug, roundrobin, random or single")
+	partName := flag.String("partitioner", "rcg", "rcg, portfolio, bug, roundrobin, random or single")
 	dump := flag.Bool("dump", false, "dump IR, partition and kernels")
 	worst := flag.Int("worst", 0, "report the k worst-degrading loops")
 	breakdown := flag.Bool("breakdown", false, "report per-archetype aggregates")
@@ -45,6 +48,7 @@ func main() {
 	refined := flag.Bool("refined", false, "apply iterative partition refinement (with -loop or -file)")
 	machineFile := flag.String("machine", "", "target a machine parsed from this description file")
 	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
+	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules by content fingerprint")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -58,9 +62,17 @@ func main() {
 	if *traceOut != "" {
 		tr = trace.New()
 	}
+	var c *cache.Cache
+	if *useCache {
+		c = cache.New()
+	}
 
 	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,
-		*dump, *worst, *breakdown, *refined, *emit, tr)
+		*dump, *worst, *breakdown, *refined, *emit, tr, c)
+
+	if c.Enabled() {
+		fmt.Printf("cache: %s\n", c.Stats())
+	}
 
 	if tr != nil {
 		if err := writeTrace(*traceOut, tr); err != nil && runErr == nil {
@@ -86,7 +98,7 @@ func writeTrace(path string, tr *trace.Tracer) error {
 }
 
 func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string,
-	dump bool, worst int, breakdown, refined, emit bool, tr *trace.Tracer) error {
+	dump bool, worst int, breakdown, refined, emit bool, tr *trace.Tracer, c *cache.Cache) error {
 	var cfg *machine.Config
 	if machineFile != "" {
 		src, err := os.ReadFile(machineFile)
@@ -126,7 +138,7 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if err != nil {
 			return err
 		}
-		return compileAndReport(loop, cfg, part, dump, refined, emit, tr)
+		return compileAndReport(loop, cfg, part, dump, refined, emit, tr, c)
 	}
 
 	loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
@@ -135,11 +147,11 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if loopIdx >= len(loops) {
 			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
 		}
-		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, tr)
+		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, tr, c)
 	}
 
 	results := exper.RunSuite(loops, []*machine.Config{cfg}, exper.Options{
-		Codegen: codegen.Options{Partitioner: part},
+		Codegen: codegen.Options{Partitioner: part, Cache: c},
 		Tracer:  tr,
 	})
 	r := results[0]
@@ -170,6 +182,8 @@ func pickPartitioner(name string) (partition.Partitioner, error) {
 	switch name {
 	case "rcg":
 		return partition.Greedy{}, nil
+	case "portfolio":
+		return partition.Portfolio{}, nil
 	case "bug":
 		return partition.BUG{}, nil
 	case "roundrobin":
@@ -184,10 +198,10 @@ func pickPartitioner(name string) (partition.Partitioner, error) {
 }
 
 func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner,
-	dump, refined, emit bool, tr *trace.Tracer) error {
+	dump, refined, emit bool, tr *trace.Tracer, c *cache.Cache) error {
 	var res *codegen.Result
 	var err error
-	opt := codegen.Options{Partitioner: part, Tracer: tr}
+	opt := codegen.Options{Partitioner: part, Tracer: tr, Cache: c}
 	if refined {
 		var stats *codegen.RefineStats
 		res, stats, err = codegen.CompileRefined(loop, cfg, opt, codegen.RefineOptions{})
@@ -201,7 +215,11 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loop %s on %s (partitioner %s)\n", loop.Name, cfg.Name, res.PartitionerName)
+	method := res.PartitionerName
+	if res.PortfolioVariant != "" {
+		method += " [" + res.PortfolioVariant + "]"
+	}
+	fmt.Printf("loop %s on %s (partitioner %s)\n", loop.Name, cfg.Name, method)
 	fmt.Printf("  ops=%d  kernel copies=%d  invariant copies=%d\n",
 		len(loop.Body.Ops), res.Copies.KernelCopies, res.Copies.InvariantCopies)
 	fmt.Printf("  ideal II=%d (IPC %.2f)   clustered II=%d (IPC %.2f)   degradation=%.0f%%\n",

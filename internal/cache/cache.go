@@ -1,0 +1,170 @@
+// Package cache is the compile pipeline's content-addressed memoization
+// layer. Stage results (dependence graphs, modulo schedules) are keyed by
+// a canonical SHA-256 fingerprint of exactly the inputs the stage
+// consults — the loop body and the stage-relevant slice of the machine
+// configuration — so structurally identical requests share one
+// computation no matter which machine of the experiment grid, which
+// partitioning method, or which worker goroutine asks.
+//
+// The design target is the experiment harness: regenerating the paper's
+// tables runs the same 211 loops across the 2/4/8-cluster × copy-model
+// grid, and everything up to the partitioning step (steps 1–2 of the
+// pipeline) is cluster-independent. With the cache on, that work is done
+// once per loop instead of once per (loop, machine) pair. DESIGN.md §8
+// documents the key scheme and its soundness argument.
+//
+// A Cache is safe for concurrent use and computes each entry exactly once:
+// concurrent requests for one in-flight key block on the first computation
+// instead of duplicating it (the experiment pool hits this constantly).
+// A nil *Cache disables caching; every method is nil-safe, mirroring the
+// nil-Tracer convention of internal/trace.
+package cache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage names the pipeline stage a cached value belongs to. Keys embed
+// the stage, so two stages never collide even if their input fingerprints
+// coincide.
+type Stage string
+
+const (
+	// StageDDG keys dependence-graph construction (ddg.Build).
+	StageDDG Stage = "ddg"
+	// StageModulo keys modulo scheduling (modulo.Run).
+	StageModulo Stage = "modulo"
+	// StageRCG keys register component graph construction (core.Build),
+	// which depends on the ideal schedule but not on the bank count.
+	StageRCG Stage = "rcg"
+	// StageAssign keys the composite ideal-view + greedy bank assignment
+	// step, fingerprinted by the inputs that determine the ideal schedule
+	// rather than by the schedule itself — so a hit skips even the view
+	// construction. Depends on the bank count but not the copy model.
+	StageAssign Stage = "assign"
+	// StageCopyIns keys copy insertion (codegen.InsertCopies), a pure
+	// function of the body, the fresh-register counter and the bank
+	// assignment — independent of the copy model, which only prices the
+	// inserted copies downstream.
+	StageCopyIns Stage = "copyins"
+)
+
+// Key is a content-addressed cache key: the stage plus the SHA-256 sum of
+// the stage's canonical input encoding. Keys are comparable values and
+// safe to use across goroutines.
+type Key struct {
+	Stage Stage
+	Sum   [sha256.Size]byte
+}
+
+// String renders the key as "stage:hexprefix" for logs and errors.
+func (k Key) String() string { return fmt.Sprintf("%s:%x", k.Stage, k.Sum[:8]) }
+
+// nShards bounds lock contention: keys scatter by their first sum byte.
+const nShards = 32
+
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Key]*entry
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups that reused an existing (or in-flight) entry.
+	Hits int64
+	// Misses counts lookups that had to compute the entry.
+	Misses int64
+	// Entries is the number of distinct keys stored.
+	Entries int64
+}
+
+// Cache memoizes stage results. Create one with New; a nil *Cache is the
+// disabled cache (GetOrCompute always computes, Stats returns zeros).
+type Cache struct {
+	shards  [nShards]shard
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*entry)
+	}
+	return c
+}
+
+// Enabled reports whether the cache stores anything.
+func (c *Cache) Enabled() bool { return c != nil }
+
+// GetOrCompute returns the value for k, computing it with compute on the
+// first request. Concurrent requests for the same key wait for the single
+// in-flight computation rather than repeating it. The boolean reports a
+// hit: true when the entry already existed (even if still being computed
+// by another goroutine). Errors are cached too — the pipeline is
+// deterministic, so a failing input fails identically every time and
+// recomputing it would only waste the budget the cache exists to save.
+//
+// On a nil cache, compute runs unconditionally and hit is false.
+func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit bool, err error) {
+	if c == nil {
+		v, err = compute()
+		return v, false, err
+	}
+	s := &c.shards[int(k.Sum[0])%nShards]
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		e = &entry{}
+		s.m[k] = e
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		c.entries.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, ok, e.err
+}
+
+// GetAs is the typed convenience wrapper around Cache.GetOrCompute. The
+// caller must use one value type per key consistently (the pipeline keys
+// by stage, which fixes the type).
+func GetAs[T any](c *Cache, k Key, compute func() (T, error)) (v T, hit bool, err error) {
+	got, hit, err := c.GetOrCompute(k, func() (any, error) { return compute() })
+	if err != nil {
+		return v, hit, err
+	}
+	return got.(T), hit, nil
+}
+
+// Stats returns a snapshot of the hit/miss/entry counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.entries.Load()}
+}
+
+// String renders the counters for command-line reporting.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(s.Hits) / float64(total)
+	}
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries", s.Hits, s.Misses, pct, s.Entries)
+}

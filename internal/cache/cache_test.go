@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func keyOf(stage Stage, payload string) Key {
+	h := NewHasher(stage)
+	h.Str(payload)
+	return h.Key(stage)
+}
+
+func TestGetOrComputeMemoizes(t *testing.T) {
+	c := New()
+	k := keyOf(StageDDG, "x")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.GetOrCompute(k, func() (any, error) {
+			calls++
+			return 42, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("got %v, want 42", v)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Fatalf("request %d: hit=%v, want %v", i, hit, wantHit)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 2 hits, 1 miss, 1 entry", st)
+	}
+}
+
+// TestGetOrComputeSingleflight hammers one key from many goroutines: the
+// computation must run exactly once and every caller must see its value.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New()
+	k := keyOf(StageModulo, "contested")
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const goroutines = 32
+	values := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, _, err := c.GetOrCompute(k, func() (any, error) {
+				calls.Add(1)
+				return 7, nil
+			})
+			if err == nil {
+				values[i] = v.(int)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", got)
+	}
+	for i, v := range values {
+		if v != 7 {
+			t.Fatalf("goroutine %d saw %d, want 7", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines || st.Misses != 1 {
+		t.Fatalf("stats %+v, want %d total lookups with 1 miss", st, goroutines)
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New()
+	k := keyOf(StageDDG, "failing")
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := c.GetOrCompute(k, func() (any, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("request %d: err=%v, want boom", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestNilCacheDisabled(t *testing.T) {
+	var c *Cache
+	if c.Enabled() {
+		t.Fatal("nil cache reports enabled")
+	}
+	k := keyOf(StageDDG, "x")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, hit, err := c.GetOrCompute(k, func() (any, error) {
+			calls++
+			return i, nil
+		})
+		if err != nil || hit {
+			t.Fatalf("nil cache: hit=%v err=%v", hit, err)
+		}
+		if v.(int) != i {
+			t.Fatalf("nil cache returned %v, want %d", v, i)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache memoized: %d calls, want 2", calls)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v, want zeros", st)
+	}
+}
+
+func TestGetAsTyped(t *testing.T) {
+	c := New()
+	k := keyOf(StageModulo, "typed")
+	v, hit, err := GetAs(c, k, func() (string, error) { return "hello", nil })
+	if err != nil || hit || v != "hello" {
+		t.Fatalf("first GetAs: %q hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = GetAs(c, k, func() (string, error) { return "other", nil })
+	if err != nil || !hit || v != "hello" {
+		t.Fatalf("second GetAs: %q hit=%v err=%v, want cached hello", v, hit, err)
+	}
+}
+
+// TestStageSeparation: identical payloads under different stages must get
+// different keys — the stage is part of the content being hashed, not just
+// a label on the Key struct.
+func TestStageSeparation(t *testing.T) {
+	a := keyOf(StageDDG, "same")
+	b := keyOf(StageModulo, "same")
+	if a.Sum == b.Sum {
+		t.Fatal("ddg and modulo fingerprints of identical payloads collide")
+	}
+}
+
+// TestEncodingFraming: the canonical encoding must frame values so that
+// adjacent writes cannot be re-split into a colliding sequence.
+func TestEncodingFraming(t *testing.T) {
+	h1 := NewHasher(StageDDG)
+	h1.Str("ab")
+	h1.Str("c")
+	h2 := NewHasher(StageDDG)
+	h2.Str("a")
+	h2.Str("bc")
+	if h1.Key(StageDDG) == h2.Key(StageDDG) {
+		t.Fatal(`["ab","c"] and ["a","bc"] fingerprint identically`)
+	}
+	h3 := NewHasher(StageDDG)
+	h3.Ints([]int{1, 2})
+	h4 := NewHasher(StageDDG)
+	h4.Ints([]int{1})
+	h4.Ints([]int{2})
+	if h3.Key(StageDDG) == h4.Key(StageDDG) {
+		t.Fatal("[1,2] and [1][2] fingerprint identically")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Hits: 3, Misses: 1, Entries: 1}
+	str := s.String()
+	for _, want := range []string{"3 hits", "1 misses", "75.0%", "1 entries"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("Stats.String() = %q, missing %q", str, want)
+		}
+	}
+	if empty := (Stats{}).String(); !strings.Contains(empty, "0.0%") {
+		t.Fatalf("zero Stats.String() = %q, want 0%% rate without dividing by zero", empty)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := keyOf(StageDDG, "x")
+	if s := k.String(); !strings.HasPrefix(s, "ddg:") || len(s) != len("ddg:")+16 {
+		t.Fatalf("Key.String() = %q, want ddg:<16 hex chars>", s)
+	}
+}
+
+// TestShardSpread sanity-checks that many distinct keys land in the cache
+// without colliding entries.
+func TestShardSpread(t *testing.T) {
+	c := New()
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := keyOf(StageDDG, fmt.Sprintf("key-%d", i))
+		_, hit, err := c.GetOrCompute(k, func() (any, error) { return i, nil })
+		if err != nil || hit {
+			t.Fatalf("key %d: unexpected hit=%v err=%v", i, hit, err)
+		}
+	}
+	if st := c.Stats(); st.Entries != n || st.Misses != n {
+		t.Fatalf("stats %+v, want %d entries and misses", st, n)
+	}
+}

@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Hasher accumulates a canonical byte encoding of a stage's inputs and
+// produces the cache Key. Every value is written length- or tag-prefixed
+// so distinct input sequences can never encode to the same byte stream
+// (the injectivity the suite-wide fingerprint test checks end to end).
+//
+// The encoding is buffered and digested in one Sum256 call at Key time:
+// fingerprints are a few hundred bytes, and feeding SHA-256 varint by
+// varint would spend more time in Write bookkeeping than in hashing —
+// measurably so, since the cached experiment grid computes thousands of
+// keys per run.
+type Hasher struct {
+	buf []byte
+}
+
+// hasherPool recycles encode buffers: a cached grid run computes
+// thousands of keys, and per-key buffer allocation was a measurable GC
+// load. A Hasher returns to the pool when Key finalizes it.
+var hasherPool = sync.Pool{New: func() any { return &Hasher{buf: make([]byte, 0, 1024)} }}
+
+// NewHasher starts a fingerprint for one stage. The stage is written
+// first so the same structural content never collides across stages.
+// Finalize with Key, after which the Hasher must not be touched again —
+// Key recycles it.
+func NewHasher(stage Stage) *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.buf = h.buf[:0]
+	h.Str(string(stage))
+	return h
+}
+
+// Int writes one signed integer in canonical varint form.
+func (h *Hasher) Int(v int64) {
+	h.buf = binary.AppendVarint(h.buf, v)
+}
+
+// Str writes a length-prefixed string.
+func (h *Hasher) Str(s string) {
+	h.Int(int64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
+// Float writes a float64 by its IEEE-754 bit pattern, so distinct values
+// (including signed zeros and NaN payloads) encode distinctly.
+func (h *Hasher) Float(f float64) {
+	h.Int(int64(math.Float64bits(f)))
+}
+
+// Bool writes a boolean as one canonical integer.
+func (h *Hasher) Bool(b bool) {
+	if b {
+		h.Int(1)
+	} else {
+		h.Int(0)
+	}
+}
+
+// Ints writes a length-prefixed integer slice.
+func (h *Hasher) Ints(xs []int) {
+	h.Int(int64(len(xs)))
+	for _, x := range xs {
+		h.Int(int64(x))
+	}
+}
+
+// Reg writes one symbolic register as (class, id).
+func (h *Hasher) Reg(r ir.Reg) {
+	h.Int(int64(r.Class))
+	h.Int(int64(r.ID))
+}
+
+// Regs writes a length-prefixed register slice in the given order.
+func (h *Hasher) Regs(rs []ir.Reg) {
+	h.Int(int64(len(rs)))
+	for _, r := range rs {
+		h.Reg(r)
+	}
+}
+
+// Block writes the canonical encoding of a block: depth, then every
+// operation in program order with opcode, class, defs, uses, memory
+// reference and immediate. Comments and op IDs are excluded — they are
+// presentation, not semantics — so a reparsed or renumbered but
+// structurally identical block fingerprints identically.
+func (h *Hasher) Block(b *ir.Block) {
+	h.Int(int64(b.Depth))
+	h.Int(int64(len(b.Ops)))
+	for _, op := range b.Ops {
+		h.Int(int64(op.Code))
+		h.Int(int64(op.Class))
+		h.Regs(op.Defs)
+		h.Regs(op.Uses)
+		if op.Mem != nil {
+			h.Bool(true)
+			h.Str(op.Mem.Base)
+			h.Int(int64(op.Mem.Coeff))
+			h.Int(int64(op.Mem.Offset))
+		} else {
+			h.Bool(false)
+		}
+		h.Int(op.Imm)
+	}
+}
+
+// Weights writes every RCG weighting coefficient.
+func (h *Hasher) Weights(w core.Weights) {
+	h.Float(w.Affinity)
+	h.Float(w.AntiAffinity)
+	h.Float(w.CriticalBonus)
+	h.Float(w.DepthBase)
+	h.Int(int64(w.MaxDepth))
+	h.Float(w.Balance)
+	h.Float(w.InvariantScale)
+	h.Float(w.RecurrenceBonus)
+}
+
+// PreColoring writes a pre-coloring map in sorted register order.
+func (h *Hasher) PreColoring(pre map[ir.Reg]int) {
+	regs := make([]ir.Reg, 0, len(pre))
+	for r := range pre {
+		regs = append(regs, r)
+	}
+	ir.SortRegs(regs)
+	h.Int(int64(len(regs)))
+	for _, r := range regs {
+		h.Reg(r)
+		h.Int(int64(pre[r]))
+	}
+}
+
+// Latencies writes the full latency table.
+func (h *Hasher) Latencies(lat machine.Latencies) {
+	h.Ints([]int{
+		lat.Load, lat.Store,
+		lat.IntMul, lat.IntDiv, lat.IntOther,
+		lat.FloatMul, lat.FloatDiv, lat.FloatOther,
+		lat.CopyInt, lat.CopyFloat,
+	})
+}
+
+// SchedConfig writes the slice of a machine configuration the modulo
+// scheduler consults: width, clustering, typed units and the latency
+// table. The copy model, copy ports and busses constrain only ir.Copy
+// operations, so they are written only when the block being scheduled
+// contains copies (copySensitive) — which is what lets the six evaluated
+// machines share one ideal schedule per loop: their monolithic ideal
+// machines differ only in name, bank size and copy model, and none of
+// those can influence the schedule of a copy-free body. Name and
+// RegsPerBank are always excluded: the scheduler never reads them.
+func (h *Hasher) SchedConfig(cfg *machine.Config, copySensitive bool) {
+	h.Int(int64(cfg.Width))
+	h.Int(int64(cfg.Clusters))
+	h.Int(int64(len(cfg.Units)))
+	for _, u := range cfg.Units {
+		h.Int(int64(u))
+	}
+	h.Latencies(cfg.Lat)
+	h.Bool(copySensitive)
+	if copySensitive {
+		h.Int(int64(cfg.Model))
+		h.Int(int64(cfg.CopyPortsPerCluster))
+		h.Int(int64(cfg.Busses))
+	}
+}
+
+// Key finalizes the fingerprint and releases the Hasher back to the
+// internal pool; the Hasher must not be used afterwards.
+func (h *Hasher) Key(stage Stage) Key {
+	k := Key{Stage: stage, Sum: sha256.Sum256(h.buf)}
+	hasherPool.Put(h)
+	return k
+}
+
+// BlockFP is the reusable fingerprint of one block: its canonical
+// encoding (exactly the bytes Hasher.Block would write) plus its
+// copy-sensitivity, computed once and spliced into every per-stage key
+// derived for that block. One compilation fingerprints its body four or
+// five times across stages; the memo makes all but the first free.
+type BlockFP struct {
+	enc       []byte
+	hasCopies bool
+}
+
+// FingerprintBlock encodes b once for reuse across stage keys.
+func FingerprintBlock(b *ir.Block) *BlockFP {
+	h := Hasher{buf: make([]byte, 0, 512)} // retained; never pooled
+	h.Block(b)
+	return &BlockFP{enc: h.buf, hasCopies: HasCopies(b)}
+}
+
+// HasCopies reports the memoized copy-sensitivity of the block.
+func (f *BlockFP) HasCopies() bool { return f.hasCopies }
+
+// BlockFP splices a memoized block encoding into the stream; the
+// resulting key is identical to calling Block on the original block.
+func (h *Hasher) BlockFP(f *BlockFP) { h.buf = append(h.buf, f.enc...) }
+
+// DDGKey is the memoized-block form of the package-level DDGKey.
+func (f *BlockFP) DDGKey(lat machine.Latencies, carried bool, memFlowLatency int) Key {
+	h := NewHasher(StageDDG)
+	h.BlockFP(f)
+	h.Bool(carried)
+	h.Int(int64(memFlowLatency))
+	h.Latencies(lat)
+	return h.Key(StageDDG)
+}
+
+// ModuloKey is the memoized-block form of the package-level ModuloKey.
+func (f *BlockFP) ModuloKey(cfg *machine.Config, carried bool, memFlowLatency int,
+	clusterOf []int, budgetRatio int, lifetime bool, maxII int) Key {
+	h := NewHasher(StageModulo)
+	h.BlockFP(f)
+	h.Bool(carried)
+	h.Int(int64(memFlowLatency))
+	h.SchedConfig(cfg, f.hasCopies)
+	if clusterOf != nil {
+		h.Bool(true)
+		h.Ints(clusterOf)
+	} else {
+		h.Bool(false)
+	}
+	h.Int(int64(budgetRatio))
+	h.Bool(lifetime)
+	h.Int(int64(maxII))
+	return h.Key(StageModulo)
+}
+
+// HasCopies reports whether the block contains inter-cluster copy
+// operations — the condition under which the copy model becomes relevant
+// to scheduling.
+func HasCopies(b *ir.Block) bool {
+	for _, op := range b.Ops {
+		if op.Code == ir.Copy {
+			return true
+		}
+	}
+	return false
+}
+
+// DDGKey fingerprints a dependence-graph construction: the block, the
+// graph options that shape edges (carried dependences, the memory
+// flow-latency override) and the latency table — the only part of the
+// machine ddg.Build reads. Width, clustering and copy model do not
+// affect graph structure, so graphs are shared across every machine with
+// the paper's latencies.
+func DDGKey(b *ir.Block, lat machine.Latencies, carried bool, memFlowLatency int) Key {
+	return FingerprintBlock(b).DDGKey(lat, carried, memFlowLatency)
+}
+
+// ModuloKey fingerprints a modulo-scheduling run: the block and the
+// graph-shaping options (which determine the dependence graph the
+// scheduler consumes), the scheduler-relevant machine slice, and the
+// scheduling options (cluster pinning, budget, lifetime mode, II cap).
+func ModuloKey(b *ir.Block, cfg *machine.Config, carried bool, memFlowLatency int,
+	clusterOf []int, budgetRatio int, lifetime bool, maxII int) Key {
+	return FingerprintBlock(b).ModuloKey(cfg, carried, memFlowLatency, clusterOf, budgetRatio, lifetime, maxII)
+}

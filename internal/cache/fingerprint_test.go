@@ -1,0 +1,149 @@
+package cache_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// TestSuiteFingerprintInjectivity fingerprints every loop of the full
+// 211-loop paper suite and demands that two loops share a key only when
+// their bodies are genuinely structurally identical (same canonical
+// rendering). A spurious collision here would silently hand one loop
+// another loop's dependence graph or schedule.
+func TestSuiteFingerprintInjectivity(t *testing.T) {
+	loops := loopgen.Suite()
+	lat := machine.Ideal16().Lat
+	seen := make(map[cache.Key]*ir.Loop, len(loops))
+	distinct := 0
+	for _, l := range loops {
+		k := cache.DDGKey(l.Body, lat, true, 0)
+		if prev, ok := seen[k]; ok {
+			if prev.Body.String() != l.Body.String() {
+				t.Fatalf("fingerprint collision: %s and %s share key %s but differ structurally",
+					prev.Name, l.Name, k)
+			}
+			continue
+		}
+		seen[k] = l
+		distinct++
+	}
+	if distinct < len(loops)/2 {
+		t.Fatalf("only %d distinct fingerprints for %d loops — generator or hash degenerate", distinct, len(loops))
+	}
+	t.Logf("%d loops, %d distinct fingerprints", len(loops), distinct)
+}
+
+// TestFingerprintIgnoresPresentation: loop names, operation comments and
+// op IDs are presentation, not semantics. Renaming and renumbering a loop
+// must not change its key — that is what lets reparsed or cloned loops
+// share cached work.
+func TestFingerprintIgnoresPresentation(t *testing.T) {
+	l := loopgen.Suite()[3]
+	lat := machine.Ideal16().Lat
+	k := cache.DDGKey(l.Body, lat, true, 0)
+
+	c := l.Clone()
+	c.Name = "renamed"
+	for _, op := range c.Body.Ops {
+		op.Comment = "noise"
+	}
+	c.Body.Renumber()
+	if got := cache.DDGKey(c.Body, lat, true, 0); got != k {
+		t.Fatalf("rename/comment/renumber changed the fingerprint: %s vs %s", got, k)
+	}
+
+	// But any structural change must change it.
+	c.Body.Ops[0].Imm++
+	if got := cache.DDGKey(c.Body, lat, true, 0); got == k {
+		t.Fatal("immediate change did not change the fingerprint")
+	}
+}
+
+// TestIdealStageSharedAcrossPaperMachines is the theorem the cache's
+// cross-config sharing rests on: the six evaluated machines' monolithic
+// ideal configurations differ only in name, bank size and copy model, and
+// none of those can influence the dependence graph or the schedule of a
+// copy-free body — so all six must produce one DDG key and one modulo key
+// per loop.
+func TestIdealStageSharedAcrossPaperMachines(t *testing.T) {
+	l := loopgen.Suite()[0]
+	if cache.HasCopies(l.Body) {
+		t.Fatal("suite loop unexpectedly contains copies")
+	}
+	cfgs := machine.PaperConfigs()
+	ideal0 := codegen.IdealOf(cfgs[0])
+	dk := cache.DDGKey(l.Body, ideal0.Lat, true, 0)
+	mk := cache.ModuloKey(l.Body, ideal0, true, 0, nil, 0, false, 0)
+	for _, cfg := range cfgs[1:] {
+		ideal := codegen.IdealOf(cfg)
+		if got := cache.DDGKey(l.Body, ideal.Lat, true, 0); got != dk {
+			t.Fatalf("%s: ideal DDG key %s differs from %s", cfg.Name, got, dk)
+		}
+		if got := cache.ModuloKey(l.Body, ideal, true, 0, nil, 0, false, 0); got != mk {
+			t.Fatalf("%s: ideal modulo key %s differs from %s", cfg.Name, got, mk)
+		}
+	}
+}
+
+// TestCopyModelSensitivity: once a block contains inter-cluster copies the
+// copy model, port and bus limits become scheduler-relevant and must enter
+// the key; on copy-free blocks they must not.
+func TestCopyModelSensitivity(t *testing.T) {
+	emb := machine.MustClustered16(4, machine.Embedded)
+	cu := machine.MustClustered16(4, machine.CopyUnit)
+
+	free := loopgen.Suite()[0].Body
+	if k1, k2 := cache.ModuloKey(free, emb, true, 0, nil, 0, false, 0),
+		cache.ModuloKey(free, cu, true, 0, nil, 0, false, 0); k1 != k2 {
+		t.Fatal("copy-free block keys differ across copy models")
+	}
+
+	// Append a copy: the models must now separate.
+	withCopy := free.Clone()
+	src := withCopy.Ops[0].Defs[0]
+	dst := ir.Reg{Class: src.Class, ID: 9999}
+	withCopy.Append(&ir.Op{Code: ir.Copy, Class: src.Class, Defs: []ir.Reg{dst}, Uses: []ir.Reg{src}})
+	if !cache.HasCopies(withCopy) {
+		t.Fatal("HasCopies missed an appended copy")
+	}
+	if k1, k2 := cache.ModuloKey(withCopy, emb, true, 0, nil, 0, false, 0),
+		cache.ModuloKey(withCopy, cu, true, 0, nil, 0, false, 0); k1 == k2 {
+		t.Fatal("copy-bearing block keys coincide across copy models")
+	}
+}
+
+// TestModuloKeySensitivity: every scheduling option that can change the
+// outcome must change the key.
+func TestModuloKeySensitivity(t *testing.T) {
+	b := loopgen.Suite()[1].Body
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	base := cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 0)
+	clusterOf := make([]int, len(b.Ops))
+	variants := map[string]cache.Key{
+		"carried=false": cache.ModuloKey(b, cfg, false, 0, nil, 0, false, 0),
+		"memFlow=1":     cache.ModuloKey(b, cfg, true, 1, nil, 0, false, 0),
+		"clusterOf":     cache.ModuloKey(b, cfg, true, 0, clusterOf, 0, false, 0),
+		"budget=7":      cache.ModuloKey(b, cfg, true, 0, nil, 7, false, 0),
+		"lifetime":      cache.ModuloKey(b, cfg, true, 0, nil, 0, true, 0),
+		"maxII=64":      cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 64),
+	}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("option %s did not change the modulo key", name)
+		}
+	}
+	other := machine.MustClustered16(2, machine.Embedded)
+	if cache.ModuloKey(b, other, true, 0, nil, 0, false, 0) == base {
+		t.Error("cluster geometry did not change the modulo key")
+	}
+	lat := cfg.Lat
+	lat.Load++
+	if cache.DDGKey(b, lat, true, 0) == cache.DDGKey(b, cfg.Lat, true, 0) {
+		t.Error("latency change did not change the DDG key")
+	}
+}

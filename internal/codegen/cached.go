@@ -1,0 +1,186 @@
+package codegen
+
+import (
+	"fmt"
+	"maps"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// This file threads the content-addressed compile cache (internal/cache)
+// through the pipeline's pure stages: dependence-graph construction,
+// modulo scheduling, the composite view-plus-bank-assignment step, and
+// copy insertion. Each is a deterministic function of (block, machine
+// slice, options), so memoizing by fingerprint is observationally
+// equivalent to recomputing — the property FuzzCacheEquivalence and the
+// cached differential sweep pin.
+//
+// Every helper takes the block's memoized fingerprint (cache.BlockFP,
+// non-nil exactly when the cache is enabled) so one compilation encodes
+// each body once, not once per stage key.
+//
+// With a nil cache each wrapper degrades to the direct call, preserving
+// the uncached pipeline (and its golden trace stream) bit for bit.
+
+// buildGraph is ddg.Build behind the cache. Cached graphs are rebound
+// onto the caller's operation slice (Graph.WithOps) so a result computed
+// for one structurally identical loop never aliases another loop's ops.
+func buildGraph(c *cache.Cache, fp *cache.BlockFP, b *ir.Block, cfg *machine.Config, opt ddg.Options) *ddg.Graph {
+	if c == nil {
+		return ddg.Build(b, cfg, opt)
+	}
+	k := fp.DDGKey(cfg.Lat, opt.Carried, opt.MemFlowLatency)
+	g, hit, _ := cache.GetAs(c, k, func() (*ddg.Graph, error) {
+		return ddg.Build(b, cfg, opt), nil
+	})
+	countCache(opt.Tracer, "ddg", hit)
+	return g.WithOps(b.Ops)
+}
+
+// runSchedule is modulo.Run behind the cache. The key re-derives the
+// graph from (block, graph options) rather than fingerprinting the graph
+// object, so gOpts must be the options g was built with. Schedules are
+// plain value records (II, times, clusters) that no later phase mutates,
+// so cached schedules are shared as-is.
+func runSchedule(c *cache.Cache, fp *cache.BlockFP, gOpts ddg.Options, g *ddg.Graph, cfg *machine.Config, opt modulo.Options) (*modulo.Schedule, error) {
+	if c == nil {
+		return modulo.Run(g, cfg, opt)
+	}
+	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII)
+	s, hit, err := cache.GetAs(c, k, func() (*modulo.Schedule, error) {
+		return modulo.Run(g, cfg, opt)
+	})
+	countCache(opt.Tracer, "modulo", hit)
+	return s, err
+}
+
+// assignKey fingerprints the composite "ideal view + greedy bank
+// assignment" step by the *inputs that determine the ideal schedule* —
+// block, graph options, scheduler-relevant machine slice and scheduling
+// options — plus the bank count, weights and pre-coloring. The view
+// (times, slack, recurrence) is a deterministic function of those inputs,
+// so keying on them is sound and lets a hit skip building the view at
+// all, not just the partition.
+func assignKey(fp *cache.BlockFP, idealCfg *machine.Config, gOpts ddg.Options, clusters int, weights core.Weights, opt Options) cache.Key {
+	h := cache.NewHasher(cache.StageAssign)
+	h.BlockFP(fp)
+	h.Bool(gOpts.Carried)
+	h.Int(int64(gOpts.MemFlowLatency))
+	h.SchedConfig(idealCfg, fp.HasCopies())
+	h.Int(int64(opt.BudgetRatio))
+	h.Bool(opt.LifetimeSched)
+	h.Int(int64(clusters))
+	h.Weights(weights)
+	h.PreColoring(opt.Pre)
+	return h.Key(cache.StageAssign)
+}
+
+// assignBanks is Compile's step 3 for single-shot partitioners. For the
+// default greedy method with a live cache it memoizes view construction
+// and bank assignment together under assignKey — the assignment depends
+// on the bank count but not the copy model, so in the experiment grid one
+// entry per (loop, cluster count) serves both copy models, and a hit
+// skips even the IdealView/slack computation. The cached assignment is
+// shared read-only: with a live cache, copy insertion returns a fresh
+// extended assignment instead of mutating the caller's (insertCopiesFor).
+// Other partitioners (and the cacheless path) compute directly.
+func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.Partitioner, cfg *machine.Config, weights core.Weights, opt Options, gOpts ddg.Options, tr *trace.Tracer) (*core.Assignment, error) {
+	compute := func() (*core.Assignment, error) {
+		ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
+		return part.Assign(&partition.Input{
+			Block:   loop.Body,
+			Graph:   res.IdealGraph,
+			Ideal:   ideal,
+			Cfg:     cfg,
+			Weights: weights,
+			Pre:     opt.Pre,
+			Tracer:  tr,
+			Cache:   opt.Cache,
+			BlockFP: fp,
+		})
+	}
+	if _, greedy := part.(partition.Greedy); !greedy || !opt.Cache.Enabled() {
+		return compute()
+	}
+	k := assignKey(fp, res.IdealCfg, gOpts, cfg.Clusters, weights, opt)
+	frozen, hit, err := cache.GetAs(opt.Cache, k, compute)
+	countCache(tr, "assign", hit)
+	return frozen, err
+}
+
+// copyInsEntry is what the copy-insertion cache stores: the rewritten
+// body (shared read-only by every hit — nothing downstream mutates a
+// CopyInsertion), its fingerprint for the clustered stage keys, and the
+// full extended register-to-bank map, replayed into each caller's own
+// Assignment.
+type copyInsEntry struct {
+	copies *CopyInsertion
+	fp     *cache.BlockFP
+	of     map[ir.Reg]int
+}
+
+// copyInsKey fingerprints a copy insertion. InsertCopies consults only
+// the body, the loop's fresh-register counter (which names the copy
+// registers) and the assignment — not the machine: the copy model prices
+// copies later, during clustered scheduling, so in the experiment grid
+// both copy models of one cluster count share a single rewritten body.
+func copyInsKey(fp *cache.BlockFP, nextReg int, asg *core.Assignment) cache.Key {
+	h := cache.NewHasher(cache.StageCopyIns)
+	h.BlockFP(fp)
+	h.Int(int64(nextReg))
+	h.Int(int64(asg.Banks))
+	h.PreColoring(asg.Of)
+	return h.Key(cache.StageCopyIns)
+}
+
+// insertCopiesFor is step 4's copy insertion behind the cache, including
+// the body verification (so a cached body is verified once, and a failing
+// input fails identically from the cache). It returns the assignment the
+// clustered stages should use: without a cache that is the caller's own,
+// extended in place exactly as InsertCopies does; with a cache the
+// caller's assignment — possibly the shared frozen one from assignBanks —
+// is left untouched and a fresh extended clone is returned. The returned
+// BlockFP fingerprints the rewritten body (nil when the cache is
+// disabled).
+func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer) (*CopyInsertion, *core.Assignment, *cache.BlockFP, error) {
+	verify := func(ci *CopyInsertion) error {
+		if err := ir.VerifyBlock(ci.Body); err != nil {
+			return fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
+		}
+		return nil
+	}
+	if !c.Enabled() {
+		ci := InsertCopies(loop.Clone(), asg, cfg)
+		return ci, asg, nil, verify(ci)
+	}
+	k := copyInsKey(fp, loop.NextRegID(), asg)
+	v, hit, err := cache.GetAs(c, k, func() (copyInsEntry, error) {
+		work := loop.Clone()
+		local := &core.Assignment{Banks: asg.Banks, Of: maps.Clone(asg.Of)}
+		ci := InsertCopies(work, local, cfg)
+		return copyInsEntry{copies: ci, fp: cache.FingerprintBlock(ci.Body), of: local.Of}, verify(ci)
+	})
+	countCache(tr, "copyins", hit)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return v.copies, &core.Assignment{Banks: asg.Banks, Of: maps.Clone(v.of)}, v.fp, nil
+}
+
+// countCache surfaces per-stage hit/miss counters through the tracer, so
+// `-trace` summaries show exactly how much recomputation the cache
+// absorbed. A nil tracer costs nothing, as everywhere else.
+func countCache(tr *trace.Tracer, stage string, hit bool) {
+	if hit {
+		tr.Add("cache."+stage+".hits", 1)
+	} else {
+		tr.Add("cache."+stage+".misses", 1)
+	}
+}

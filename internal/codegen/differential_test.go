@@ -3,6 +3,7 @@ package codegen
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/interp"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
@@ -18,6 +19,20 @@ import (
 // insertion introduces new registers but must never disturb an original
 // one).
 func TestDifferentialSuiteSweep(t *testing.T) {
+	runDifferentialSweep(t, nil)
+}
+
+// TestDifferentialSuiteSweepCached is the same oracle with the compile
+// cache on: one cache serves the whole grid, so most dependence graphs
+// and ideal schedules arrive from memory rather than recomputation — and
+// the executed kernels still must match the original bodies bit for bit.
+// Together with TestDifferentialSuiteSweep this pins that caching never
+// changes what the pipeline emits, only how often it recomputes.
+func TestDifferentialSuiteSweepCached(t *testing.T) {
+	runDifferentialSweep(t, cache.New())
+}
+
+func runDifferentialSweep(t *testing.T, c *cache.Cache) {
 	loops := loopgen.Suite()
 	var cfgs []*machine.Config
 	for _, clusters := range []int{2, 4, 8} {
@@ -36,7 +51,7 @@ func TestDifferentialSuiteSweep(t *testing.T) {
 		defined := l.Body.Defined()
 
 		for _, cfg := range cfgs {
-			res, err := Compile(l, cfg, Options{SkipAlloc: true})
+			res, err := Compile(l, cfg, Options{SkipAlloc: true, Cache: c})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}

@@ -1,0 +1,89 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// FuzzCacheEquivalence holds the compile cache to its contract on loops
+// drawn from arbitrary generator seeds: compiling with a cache — cold,
+// then warm on the same cache (the pure hit path) — must produce exactly
+// the pipeline output of an uncached compile. Schedules, partitions,
+// copy-rewritten bodies and per-bank colorings are all compared; any
+// divergence means a fingerprint collision or an unsound key exclusion.
+func FuzzCacheEquivalence(f *testing.F) {
+	f.Add(int64(0), uint8(0))
+	f.Add(int64(0x5EC95), uint8(2))
+	f.Add(int64(211), uint8(4))
+	f.Add(int64(-1), uint8(255))
+	cfgs := machine.PaperConfigs()
+	f.Fuzz(func(t *testing.T, seed int64, cfgIdx uint8) {
+		loop := loopgen.Generate(loopgen.Params{N: 1, Seed: seed})[0]
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+
+		want, wantErr := Compile(loop, cfg, Options{})
+		c := cache.New()
+		cold, coldErr := Compile(loop, cfg, Options{Cache: c})
+		warm, warmErr := Compile(loop, cfg, Options{Cache: c})
+
+		if (wantErr == nil) != (coldErr == nil) || (wantErr == nil) != (warmErr == nil) {
+			t.Fatalf("seed %d on %s: error disagreement: uncached=%v cold=%v warm=%v",
+				seed, cfg.Name, wantErr, coldErr, warmErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		sameResult(t, "cold cache", want, cold)
+		sameResult(t, "warm cache", want, warm)
+		if st := c.Stats(); st.Hits == 0 {
+			t.Fatalf("seed %d on %s: warm compile recorded no cache hits", seed, cfg.Name)
+		}
+	})
+}
+
+// sameResult compares every observable pipeline output of two compiles.
+func sameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.IdealII() != got.IdealII() || want.PartII() != got.PartII() {
+		t.Fatalf("%s: IIs (%d,%d) vs uncached (%d,%d)",
+			label, got.IdealII(), got.PartII(), want.IdealII(), want.PartII())
+	}
+	sameSchedule(t, label+" ideal", want.IdealSched.Time, got.IdealSched.Time)
+	sameSchedule(t, label+" clustered", want.PartSched.Time, got.PartSched.Time)
+	if len(want.Assignment.Of) != len(got.Assignment.Of) {
+		t.Fatalf("%s: %d assigned registers vs %d", label, len(got.Assignment.Of), len(want.Assignment.Of))
+	}
+	for r, b := range want.Assignment.Of {
+		if got.Assignment.Of[r] != b {
+			t.Fatalf("%s: register %s in bank %d vs %d", label, r, got.Assignment.Of[r], b)
+		}
+	}
+	if want.Copies.KernelCopies != got.Copies.KernelCopies ||
+		want.Copies.InvariantCopies != got.Copies.InvariantCopies {
+		t.Fatalf("%s: copies (%d,%d) vs (%d,%d)", label,
+			got.Copies.KernelCopies, got.Copies.InvariantCopies,
+			want.Copies.KernelCopies, want.Copies.InvariantCopies)
+	}
+	if want.Copies.Body.String() != got.Copies.Body.String() {
+		t.Fatalf("%s: clustered bodies differ", label)
+	}
+	if want.Spills() != got.Spills() || want.MaxPressure() != got.MaxPressure() {
+		t.Fatalf("%s: allocation (spills %d, pressure %d) vs (%d, %d)", label,
+			got.Spills(), got.MaxPressure(), want.Spills(), want.MaxPressure())
+	}
+}
+
+func sameSchedule(t *testing.T, label string, want, got []int) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d scheduled ops vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: op %d at cycle %d vs %d", label, i, got[i], want[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package codegen
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/ir"
@@ -35,6 +36,11 @@ type Options struct {
 	// Tracer instruments every pipeline stage (spans and counters); nil
 	// disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Cache memoizes dependence graphs and modulo schedules across
+	// compilations, keyed by content fingerprint (see internal/cache), so
+	// the experiment grid reuses cluster-independent work across machine
+	// configs. Nil disables caching; results are identical either way.
+	Cache *cache.Cache
 }
 
 // Result is the outcome of compiling one loop for one machine.
@@ -45,6 +51,9 @@ type Result struct {
 	Cfg, IdealCfg *machine.Config
 	// PartitionerName records the method used.
 	PartitionerName string
+	// PortfolioVariant names the winning candidate when the partitioner
+	// generated a portfolio (empty for single-shot methods).
+	PortfolioVariant string
 
 	// IdealGraph and IdealSched are step 2's dependence graph and ideal
 	// modulo schedule on the monolithic machine.
@@ -177,8 +186,15 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	}
 
 	// Steps 1-2: dependence graph and ideal schedule on the monolithic bank.
-	res.IdealGraph = ddg.Build(loop.Body, res.IdealCfg, ddg.Options{Carried: true, Tracer: tr})
-	idealSched, err := modulo.Run(res.IdealGraph, res.IdealCfg, modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr})
+	// The body is fingerprinted once; every stage key splices the memo.
+	var fp *cache.BlockFP
+	if opt.Cache.Enabled() {
+		fp = cache.FingerprintBlock(loop.Body)
+	}
+	gOpts := ddg.Options{Carried: true, Tracer: tr}
+	res.IdealGraph = buildGraph(opt.Cache, fp, loop.Body, res.IdealCfg, gOpts)
+	idealSched, err := runSchedule(opt.Cache, fp, gOpts, res.IdealGraph, res.IdealCfg,
+		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr})
 	if err != nil {
 		return nil, fmt.Errorf("codegen: ideal scheduling of %q: %w", loop.Name, err)
 	}
@@ -196,18 +212,18 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 		return done(), nil
 	}
 
-	// Step 3: partition registers to banks.
+	// Step 3: partition registers to banks. A portfolio-capable method
+	// hands back several candidates; each is carried through steps 4-5 and
+	// scored, so selection sees the real downstream cost of the
+	// partition's tie-break choices.
+	if gen, ok := part.(partition.CandidateGenerator); ok {
+		if err := compilePortfolio(res, loop, fp, cfg, opt, weights, gen, tr); err != nil {
+			return nil, err
+		}
+		return done(), nil
+	}
 	psp := tr.StartSpan("codegen.partition")
-	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, idealSched)
-	asg, err := part.Assign(&partition.Input{
-		Block:   loop.Body,
-		Graph:   res.IdealGraph,
-		Ideal:   ideal,
-		Cfg:     cfg,
-		Weights: weights,
-		Pre:     opt.Pre,
-		Tracer:  tr,
-	})
+	asg, err := assignBanks(loop, fp, res, part, cfg, weights, opt, gOpts, tr)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, part.Name(), err)
 	}
@@ -217,19 +233,56 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	res.Assignment = asg
 	psp.Int("banks", int64(asg.Banks)).Int("registers", int64(len(asg.Of))).End()
 
+	parts, err := compileClustered(loop, fp, cfg, opt, asg, tr)
+	if err != nil {
+		return nil, err
+	}
+	res.adopt(parts)
+	return done(), nil
+}
+
+// clusteredParts bundles the outcome of steps 4-5 for one assignment, so
+// the portfolio path can evaluate several without committing any to the
+// Result until one wins.
+type clusteredParts struct {
+	asg    *core.Assignment
+	copies *CopyInsertion
+	graph  *ddg.Graph
+	sched  *modulo.Schedule
+	alloc  []*regalloc.Result
+}
+
+// adopt commits one evaluated candidate into the result.
+func (r *Result) adopt(p *clusteredParts) {
+	r.Assignment = p.asg
+	r.Copies = p.copies
+	r.PartGraph = p.graph
+	r.PartSched = p.sched
+	r.Alloc = p.alloc
+}
+
+// compileClustered runs steps 4-5 — copy insertion, clustered graph
+// rebuild and re-scheduling, and (unless skipped) per-bank coloring — for
+// one register-to-bank assignment. Without a cache the assignment is
+// extended in place with copy-register banks, so callers evaluating
+// several candidates must pass each its own Assignment; with a cache the
+// input assignment is treated read-only and the parts carry a fresh
+// extended clone (see insertCopiesFor).
+func compileClustered(loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, asg *core.Assignment, tr *trace.Tracer) (*clusteredParts, error) {
 	// Step 4: insert copies, rebuild the graph, re-schedule clustered.
 	csp := tr.StartSpan("codegen.copy_insert")
-	work := loop.Clone()
-	res.Copies = InsertCopies(work, asg, cfg)
-	if err := ir.VerifyBlock(res.Copies.Body); err != nil {
-		return nil, fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
+	copies, extAsg, cfp, err := insertCopiesFor(opt.Cache, fp, loop, asg, cfg, tr)
+	if err != nil {
+		return nil, err
 	}
-	csp.Int("kernelCopies", int64(res.Copies.KernelCopies)).
-		Int("invariantCopies", int64(res.Copies.InvariantCopies)).End()
-	tr.Add("codegen.kernel_copies", int64(res.Copies.KernelCopies))
-	res.PartGraph = ddg.Build(res.Copies.Body, cfg, ddg.Options{Carried: true, Tracer: tr})
-	partSched, err := modulo.Run(res.PartGraph, cfg, modulo.Options{
-		ClusterOf:   res.Copies.ClusterOf,
+	p := &clusteredParts{asg: extAsg, copies: copies}
+	csp.Int("kernelCopies", int64(p.copies.KernelCopies)).
+		Int("invariantCopies", int64(p.copies.InvariantCopies)).End()
+	tr.Add("codegen.kernel_copies", int64(p.copies.KernelCopies))
+	gOpts := ddg.Options{Carried: true, Tracer: tr}
+	p.graph = buildGraph(opt.Cache, cfp, p.copies.Body, cfg, gOpts)
+	partSched, err := runSchedule(opt.Cache, cfp, gOpts, p.graph, cfg, modulo.Options{
+		ClusterOf:   p.copies.ClusterOf,
 		BudgetRatio: opt.BudgetRatio,
 		Lifetime:    opt.LifetimeSched,
 		Tracer:      tr,
@@ -237,13 +290,13 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("codegen: clustered scheduling of %q: %w", loop.Name, err)
 	}
-	res.PartSched = partSched
+	p.sched = partSched
 
 	// Step 5: per-bank Chaitin/Briggs assignment.
 	if !opt.SkipAlloc {
-		res.Alloc = allocate(res, tr)
+		p.alloc = allocateParts(p.graph, partSched, p.asg, cfg, tr)
 	}
-	return done(), nil
+	return p, nil
 }
 
 // IdealView packages an ideal modulo schedule as the ScheduledBlock the
@@ -271,15 +324,22 @@ func IdealView(body *ir.Block, g *ddg.Graph, idealCfg *machine.Config, s *modulo
 
 // allocate colors each bank's live ranges.
 func allocate(r *Result, tr *trace.Tracer) []*regalloc.Result {
-	ranges := regalloc.KernelRanges(r.PartGraph, r.PartSched)
-	byBank := make([][]regalloc.LiveRange, r.Cfg.Clusters)
+	return allocateParts(r.PartGraph, r.PartSched, r.Assignment, r.Cfg, tr)
+}
+
+// allocateParts is allocate over loose parts, so portfolio candidates can
+// be colored (and scored on spills/pressure) before any is committed to a
+// Result.
+func allocateParts(g *ddg.Graph, s *modulo.Schedule, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer) []*regalloc.Result {
+	ranges := regalloc.KernelRanges(g, s)
+	byBank := make([][]regalloc.LiveRange, cfg.Clusters)
 	for _, lr := range ranges {
-		b := r.Assignment.Bank(lr.Reg)
+		b := asg.Bank(lr.Reg)
 		byBank[b] = append(byBank[b], lr)
 	}
-	out := make([]*regalloc.Result, r.Cfg.Clusters)
+	out := make([]*regalloc.Result, cfg.Clusters)
 	for b := range byBank {
-		out[b] = regalloc.ColorTraced(byBank[b], r.PartSched.II, r.Cfg.RegsPerBank, nil, tr)
+		out[b] = regalloc.ColorTraced(byBank[b], s.II, cfg.RegsPerBank, nil, tr)
 	}
 	return out
 }

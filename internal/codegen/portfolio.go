@@ -1,0 +1,148 @@
+package codegen
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// This file is the scoring half of portfolio partitioning. The generator
+// (partition.CandidateGenerator) proposes K register-to-bank assignments;
+// this side carries each through steps 4-5 — copy insertion, clustered
+// rescheduling, per-bank coloring — in a bounded worker pool and keeps the
+// candidate with the best downstream outcome. Scores compare
+// lexicographically on (spills, max pressure, clustered II): spills are
+// the paper's disaster case, pressure is the margin against future
+// spills, and II is the metric Figures 5-7 report. Candidate order is
+// fixed by the generator and a later candidate must be *strictly* better
+// to displace an earlier one, so with the baseline at index 0 the chosen
+// result is never worse than the single-shot heuristic and the selection
+// is identical whether scoring runs on one worker or many.
+
+// candidateScore orders portfolio candidates; lower is better.
+type candidateScore struct {
+	spills   int
+	pressure int
+	ii       int
+}
+
+func scoreOf(p *clusteredParts) candidateScore {
+	s := candidateScore{ii: p.sched.II}
+	for _, a := range p.alloc {
+		if a == nil {
+			continue
+		}
+		s.spills += len(a.Spilled)
+		if a.MaxLive > s.pressure {
+			s.pressure = a.MaxLive
+		}
+	}
+	return s
+}
+
+// less reports whether s beats t strictly.
+func (s candidateScore) less(t candidateScore) bool {
+	if s.spills != t.spills {
+		return s.spills < t.spills
+	}
+	if s.pressure != t.pressure {
+		return s.pressure < t.pressure
+	}
+	return s.ii < t.ii
+}
+
+// compilePortfolio is Compile's step 3-5 path for portfolio-capable
+// partitioners. It fills res with the winning candidate's assignment,
+// copies, clustered graph/schedule and coloring, and records the winner's
+// variant name in res.PortfolioVariant.
+//
+// Candidates that fail downstream (copy insertion or scheduling) are
+// skipped; the compile only fails if every candidate does. With
+// opt.SkipAlloc the spill and pressure components are zero for every
+// candidate and selection falls back to the clustered II alone.
+func compilePortfolio(res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, weights core.Weights, gen partition.CandidateGenerator, tr *trace.Tracer) error {
+	psp := tr.StartSpan("codegen.portfolio")
+	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
+	cands, err := gen.Candidates(&partition.Input{
+		Block:   loop.Body,
+		Graph:   res.IdealGraph,
+		Ideal:   ideal,
+		Cfg:     cfg,
+		Weights: weights,
+		Pre:     opt.Pre,
+		Tracer:  tr,
+		Cache:   opt.Cache,
+		BlockFP: fp,
+	})
+	if err != nil {
+		return fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, gen.Name(), err)
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("codegen: partitioning %q with %s: no candidates", loop.Name, gen.Name())
+	}
+	for _, c := range cands {
+		if err := c.Assignment.Validate(); err != nil {
+			return err
+		}
+	}
+
+	workers := gen.ScoringWorkers()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	// Score every candidate. Results land in fixed slots so the selection
+	// below never depends on completion order.
+	parts := make([]*clusteredParts, len(cands))
+	errs := make([]error, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			parts[i], errs[i] = compileClustered(loop, fp, cfg, opt, cands[i].Assignment, tr)
+		}(i)
+	}
+	wg.Wait()
+
+	best := -1
+	var bestScore candidateScore
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		s := scoreOf(p)
+		if best < 0 || s.less(bestScore) {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		// Every candidate failed; the baseline's error is the most useful.
+		return errs[0]
+	}
+	res.adopt(parts[best])
+	res.PortfolioVariant = cands[best].Name
+	tr.Add("codegen.portfolio.candidates", int64(len(cands)))
+	if best != 0 {
+		tr.Add("codegen.portfolio.improvements", 1)
+	}
+	psp.Int("candidates", int64(len(cands))).
+		Int("winner", int64(best)).
+		Int("spills", int64(bestScore.spills)).
+		Int("maxPressure", int64(bestScore.pressure)).
+		Int("partII", int64(bestScore.ii)).End()
+	return nil
+}

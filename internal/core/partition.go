@@ -80,8 +80,18 @@ func (g *RCG) Partition(banks int, w Weights, pre map[ir.Reg]int) (*Assignment, 
 // edge benefit, and the resulting bank pressure (most and least loaded
 // bank sizes). A nil tr is free.
 func (g *RCG) PartitionTraced(banks int, w Weights, pre map[ir.Reg]int, tr *trace.Tracer) (*Assignment, error) {
+	return g.partitionWith(banks, w, pre, Variant{}, tr)
+}
+
+// partitionWith is the shared greedy engine behind PartitionTraced (zero
+// variant) and PartitionVariant (perturbed tie-break regimes).
+func (g *RCG) partitionWith(banks int, w Weights, pre map[ir.Reg]int, v Variant, tr *trace.Tracer) (*Assignment, error) {
 	if banks < 1 {
 		return nil, fmt.Errorf("core: cannot partition into %d banks", banks)
+	}
+	bankOrder, err := v.bankOrder(banks)
+	if err != nil {
+		return nil, err
 	}
 	sp := tr.StartSpan("core.partition")
 	tieBreaks := 0
@@ -109,7 +119,11 @@ func (g *RCG) PartitionTraced(banks int, w Weights, pre map[ir.Reg]int, tr *trac
 	// index order: map-order summation would make near-tie bank choices
 	// run-dependent, and the experiment tables must reproduce exactly.
 	adj := g.sortedAdjacency()
-	balanceUnit := w.Balance * meanPositiveEdge(adj)
+	balanceScale := v.BalanceScale
+	if balanceScale == 0 {
+		balanceScale = 1
+	}
+	balanceUnit := w.Balance * balanceScale * meanPositiveEdge(adj)
 
 	order := make([]int, len(g.Nodes))
 	for i := range order {
@@ -131,7 +145,7 @@ func (g *RCG) PartitionTraced(banks int, w Weights, pre map[ir.Reg]int, tr *trac
 		if assigned[ni] != 0 {
 			continue
 		}
-		best, tied := chooseBestBank(adj[ni], banks, balanceUnit, assigned, counts)
+		best, tied := chooseBestBank(adj[ni], bankOrder, balanceUnit, assigned, counts, v.Tie)
 		if tied {
 			tieBreaks++
 		}
@@ -210,23 +224,41 @@ func meanPositiveEdge(adj [][]edgeTo) float64 {
 // zero-slack CriticalBonus, while slack-rich streaming code yields to it —
 // which is exactly the intended division: spreading buys issue bandwidth
 // only where the dependence structure permits it.
-func chooseBestBank(neighbors []edgeTo, banks int, balanceUnit float64, assigned []int, counts []int) (int, bool) {
-	best := 0
+// Banks are evaluated in bankOrder (a permutation of [0, banks)); with
+// equal benefits the evaluation order and the tie rule decide the winner,
+// which is the degree of freedom the portfolio partitioner's variants
+// perturb. The identity order with TieLeastLoaded reproduces the default
+// heuristic exactly.
+func chooseBestBank(neighbors []edgeTo, bankOrder []int, balanceUnit float64, assigned []int, counts []int, tie TieBreak) (int, bool) {
+	best := -1
 	bestBenefit := math.Inf(-1)
 	tied := false
-	for rb := 0; rb < banks; rb++ {
+	for _, rb := range bankOrder {
 		benefit := -balanceUnit * float64(counts[rb])
 		for _, e := range neighbors {
 			if assigned[e.nb] == rb+1 {
 				benefit += e.w
 			}
 		}
-		if benefit > bestBenefit {
+		switch {
+		case best < 0 || benefit > bestBenefit:
 			best, bestBenefit = rb, benefit
 			tied = false
-		} else if benefit == bestBenefit && counts[rb] < counts[best] {
-			best = rb
-			tied = true
+		case benefit == bestBenefit:
+			switch tie {
+			case TieLeastLoaded:
+				if counts[rb] < counts[best] {
+					best = rb
+					tied = true
+				}
+			case TieMostLoaded:
+				if counts[rb] > counts[best] {
+					best = rb
+					tied = true
+				}
+			case TieFirst:
+				tied = true
+			}
 		}
 	}
 	return best, tied

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// TieBreak selects the secondary rule the greedy bank chooser applies
+// among banks of equal benefit. The paper's pseudocode leaves the tie
+// unspecified (see the Partition comment); the portfolio partitioner
+// exploits that freedom by running several defensible readings and
+// keeping whichever scores best downstream.
+type TieBreak uint8
+
+const (
+	// TieLeastLoaded prefers the less-loaded bank, then the lower index —
+	// the repository's default reading of Figure 4 ("spread somewhat
+	// evenly").
+	TieLeastLoaded TieBreak = iota
+	// TieFirst keeps the first bank encountered in evaluation order — the
+	// literal reading of the pseudocode's BestBank initialization.
+	TieFirst
+	// TieMostLoaded prefers the fuller bank, consolidating registers and
+	// trading issue bandwidth for fewer inter-bank copies.
+	TieMostLoaded
+)
+
+// String names the tie-break rule.
+func (t TieBreak) String() string {
+	switch t {
+	case TieLeastLoaded:
+		return "least-loaded"
+	case TieFirst:
+		return "first"
+	case TieMostLoaded:
+		return "most-loaded"
+	default:
+		return fmt.Sprintf("tiebreak(%d)", uint8(t))
+	}
+}
+
+// Variant perturbs the Figure 4 greedy heuristic without changing its
+// contract: every node still receives exactly one in-range bank,
+// pre-coloring is still honored, and the result is still deterministic.
+// The zero Variant reproduces the default heuristic bit for bit.
+type Variant struct {
+	// Name labels the variant in reports and portfolio scoring.
+	Name string
+	// BankOrder permutes the order banks are evaluated in; with equal
+	// benefits the evaluation order decides the winner, so permutations
+	// explore different tie landscapes. nil means the identity order. A
+	// non-nil order must be a permutation of [0, banks).
+	BankOrder []int
+	// Tie selects the equal-benefit rule.
+	Tie TieBreak
+	// BalanceScale scales Weights.Balance for this run; 0 means 1 (keep).
+	// Values below 1 favor affinity over spreading, values above 1 the
+	// reverse.
+	BalanceScale float64
+}
+
+// bankOrder materializes the evaluation order, validating a supplied
+// permutation.
+func (v *Variant) bankOrder(banks int) ([]int, error) {
+	if v.BankOrder == nil {
+		order := make([]int, banks)
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+	if len(v.BankOrder) != banks {
+		return nil, fmt.Errorf("core: variant %q bank order has %d entries for %d banks", v.Name, len(v.BankOrder), banks)
+	}
+	seen := make([]bool, banks)
+	for _, b := range v.BankOrder {
+		if b < 0 || b >= banks || seen[b] {
+			return nil, fmt.Errorf("core: variant %q bank order %v is not a permutation of [0,%d)", v.Name, v.BankOrder, banks)
+		}
+		seen[b] = true
+	}
+	return v.BankOrder, nil
+}
+
+// PartitionVariant runs the Figure 4 greedy heuristic under a perturbed
+// tie-break regime. PartitionTraced is exactly PartitionVariant with the
+// zero Variant. The same graph, weights, pre-coloring and variant always
+// produce the same assignment.
+func (g *RCG) PartitionVariant(banks int, w Weights, pre map[ir.Reg]int, v Variant, tr *trace.Tracer) (*Assignment, error) {
+	return g.partitionWith(banks, w, pre, v, tr)
+}

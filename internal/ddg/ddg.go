@@ -130,6 +130,22 @@ func (g *Graph) addEdge(e Edge) {
 // NumEdges returns the number of dependence edges.
 func (g *Graph) NumEdges() int { return g.nEdges }
 
+// WithOps returns a shallow copy of g whose Ops alias ops, the caller's
+// own operation slice; the edge structure is shared read-only. The compile
+// cache uses it to rebind a structurally identical memoized graph onto the
+// requesting block, so cached results never alias another loop's
+// operations. ops must be operation-for-operation identical in opcode,
+// class, operands and memory references to the ops the graph was built
+// from — the content-addressed key guarantees exactly that.
+func (g *Graph) WithOps(ops []*ir.Op) *Graph {
+	if len(g.Ops) == len(ops) && (len(ops) == 0 || &g.Ops[0] == &ops[0]) {
+		return g // already bound to this very slice
+	}
+	c := *g
+	c.Ops = ops
+	return &c
+}
+
 func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
 	type regState struct {
 		firstDef  int // first def in program order, -1 if none

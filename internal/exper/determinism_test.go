@@ -1,0 +1,66 @@
+package exper
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// suiteJSON compiles the full paper grid and renders the per-loop JSON.
+func suiteJSON(t *testing.T, opt Options) []byte {
+	t.Helper()
+	results := RunSuite(loopgen.Suite(), machine.PaperConfigs(), opt)
+	for _, r := range results {
+		if errs := r.Errors(); len(errs) > 0 {
+			t.Fatal(errs[0])
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSuiteByteDeterminism is the executable form of the repository's
+// determinism guarantee: the experiment tables must reproduce exactly, so
+// two runs of the full suite — and runs that only change the worker count,
+// or turn the compile cache on — must serialize to byte-identical JSON.
+// Map iteration anywhere on the result path (partition tie-breaking,
+// aggregation, serialization) would show up here as a flaky diff.
+func TestSuiteByteDeterminism(t *testing.T) {
+	base := suiteJSON(t, Options{Workers: 1, Codegen: codegen.Options{SkipAlloc: true}})
+	runs := map[string]Options{
+		"repeat":    {Workers: 1, Codegen: codegen.Options{SkipAlloc: true}},
+		"parallel":  {Workers: 8, Codegen: codegen.Options{SkipAlloc: true}},
+		"cached":    {Workers: 8, Codegen: codegen.Options{SkipAlloc: true, Cache: cache.New()}},
+		"cachedSeq": {Workers: 1, Codegen: codegen.Options{SkipAlloc: true, Cache: cache.New()}},
+	}
+	for name, opt := range runs {
+		if got := suiteJSON(t, opt); !bytes.Equal(got, base) {
+			t.Errorf("%s run diverged from the base run (%d vs %d bytes)", name, len(got), len(base))
+		}
+	}
+}
+
+// TestPortfolioSuiteByteDeterminism repeats the check for the portfolio
+// partitioner, whose per-loop scoring pool is itself parallel: variant
+// selection must be a pure function of the loop and machine, not of
+// goroutine interleaving.
+func TestPortfolioSuiteByteDeterminism(t *testing.T) {
+	opt := func(workers, scoring int) Options {
+		return Options{Workers: workers, Codegen: codegen.Options{
+			Partitioner: partition.Portfolio{Workers: scoring},
+			SkipAlloc:   true,
+		}}
+	}
+	base := suiteJSON(t, opt(1, 1))
+	if got := suiteJSON(t, opt(8, 4)); !bytes.Equal(got, base) {
+		t.Errorf("parallel portfolio run diverged from serial (%d vs %d bytes)", len(got), len(base))
+	}
+}

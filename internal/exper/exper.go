@@ -199,7 +199,13 @@ func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigRe
 	close(jobs)
 	wg.Wait()
 	sp.Int("machines", int64(len(cfgs))).Int("loops", int64(len(loops))).
-		Int("workers", int64(workers)).End()
+		Int("workers", int64(workers))
+	if cg.Cache.Enabled() {
+		st := cg.Cache.Stats()
+		sp.Int("cacheHits", st.Hits).Int("cacheMisses", st.Misses).
+			Int("cacheEntries", st.Entries)
+	}
+	sp.End()
 	return results
 }
 

@@ -144,6 +144,14 @@ func (l *Loop) NewReg(c Class) Reg {
 	return r
 }
 
+// NextRegID exposes the fresh-register counter NewReg will use next. It
+// is part of the loop's compilation identity: phases that allocate fresh
+// registers (copy insertion) produce different — equally valid — register
+// names for structurally identical bodies whose counters differ, so
+// content-addressed caching of those phases must fingerprint the counter
+// alongside the body.
+func (l *Loop) NextRegID() int { return l.nextReg }
+
 // ReserveRegID bumps the register counter so that future NewReg calls never
 // collide with id. Phases that materialize registers chosen elsewhere (copy
 // insertion) use it to keep numbering unique.

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/ir"
@@ -40,6 +41,15 @@ type Input struct {
 	// bank choice); nil disables. Methods without interesting stages are
 	// free to ignore it.
 	Tracer *trace.Tracer
+	// Cache optionally memoizes RCG construction (shared across every bank
+	// count) by content fingerprint. Nil disables; results are identical
+	// either way. Only the RCG-based methods consult it — the strawmen
+	// are cheaper than a hash.
+	Cache *cache.Cache
+	// BlockFP optionally carries the caller's memoized fingerprint of
+	// Block, saving a re-encoding per cache key; keys are identical with
+	// or without it. Ignored when Cache is nil.
+	BlockFP *cache.BlockFP
 }
 
 // Partitioner assigns every symbolic register in the input to a register
@@ -60,8 +70,7 @@ func (Greedy) Name() string { return "rcg-greedy" }
 
 // Assign implements Partitioner.
 func (Greedy) Assign(in *Input) (*core.Assignment, error) {
-	g := core.BuildTraced([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer)
-	return g.PartitionTraced(in.Cfg.Clusters, in.Weights, in.Pre, in.Tracer)
+	return assignVariant(in, core.Variant{})
 }
 
 // RCG exposes the constructed graph for callers that want to inspect it

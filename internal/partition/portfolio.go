@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Candidate is one portfolio member: a named variant of the greedy
+// heuristic and the assignment it produced.
+type Candidate struct {
+	// Name labels the generating variant ("baseline", "reversed-banks", ...).
+	Name string
+	// Assignment is the variant's register-to-bank map.
+	Assignment *core.Assignment
+}
+
+// CandidateGenerator is implemented by partitioners that can propose
+// several candidate assignments for one loop. The code-generation
+// pipeline detects the interface, carries every candidate through copy
+// insertion, clustered scheduling and per-bank coloring, scores each by
+// (spills, max pressure, II) and keeps the best — so the generator stays
+// ignorant of everything downstream, preserving the paper's separation
+// between partitioning and scheduling.
+type CandidateGenerator interface {
+	Partitioner
+	// Candidates returns the portfolio in a fixed variant order; index 0
+	// must be the method's single-shot baseline so downstream scoring can
+	// guarantee "never worse than the baseline".
+	Candidates(in *Input) ([]Candidate, error)
+	// ScoringWorkers bounds the pipeline's per-loop scoring pool
+	// (<= 0 means one worker per available CPU, capped at the candidate
+	// count).
+	ScoringWorkers() int
+}
+
+// DefaultPortfolioSize is how many variants Portfolio runs when Variants
+// is zero.
+const DefaultPortfolioSize = 8
+
+// Portfolio is the paper's greedy RCG heuristic hardened by search: it
+// runs the baseline plus tie-break perturbations and bank-order
+// permutations of the Figure 4 chooser (core.Variant), and the pipeline
+// keeps whichever candidate scores best after coloring. The greedy's
+// equal-benefit choices are taken once and arbitrarily in the single-shot
+// method; the portfolio takes a second (and third, ...) opinion on
+// exactly those free choices, so the result is never worse than the
+// baseline on (spills, then max pressure, then II) and the selection is
+// deterministic: candidates are ordered by fixed variant index and a
+// later candidate must be strictly better to displace an earlier one.
+type Portfolio struct {
+	// Variants caps the portfolio size; 0 means DefaultPortfolioSize.
+	Variants int
+	// Workers bounds the pipeline's per-loop scoring pool; 0 lets the
+	// pipeline pick (GOMAXPROCS capped at the candidate count).
+	Workers int
+}
+
+// Name implements Partitioner.
+func (Portfolio) Name() string { return "portfolio" }
+
+// ScoringWorkers implements CandidateGenerator.
+func (p Portfolio) ScoringWorkers() int { return p.Workers }
+
+// Assign implements Partitioner with the single-shot baseline, so
+// Portfolio still works in contexts that cannot score candidates (the
+// whole-function path, external callers of the plain interface).
+func (p Portfolio) Assign(in *Input) (*core.Assignment, error) {
+	return assignVariant(in, core.Variant{})
+}
+
+// Candidates implements CandidateGenerator: the RCG is built once (or
+// fetched from the cache) and partitioned under every variant. Index 0 is
+// the exact baseline (zero core.Variant), so downstream scoring inherits
+// its result as the floor.
+func (p Portfolio) Candidates(in *Input) ([]Candidate, error) {
+	variants := PortfolioVariants(in.Cfg.Clusters, p.Variants)
+	out := make([]Candidate, 0, len(variants))
+	for _, v := range variants {
+		asg, err := assignVariant(in, v)
+		if err != nil {
+			return nil, fmt.Errorf("partition: portfolio variant %q: %w", v.Name, err)
+		}
+		out = append(out, Candidate{Name: v.Name, Assignment: asg})
+	}
+	return out, nil
+}
+
+// PortfolioVariants returns the first k members of the fixed variant
+// order for a machine with the given bank count (k <= 0 or beyond the
+// catalogue means "all of the catalogue"). The order never changes:
+// portfolio selection is deterministic because this list is. Variants
+// that degenerate to the baseline on this bank count (every permutation
+// of one bank is the identity) are dropped rather than recomputed.
+func PortfolioVariants(banks, k int) []core.Variant {
+	if k <= 0 {
+		k = DefaultPortfolioSize
+	}
+	catalogue := []core.Variant{
+		{Name: "baseline"},
+		{Name: "reversed-banks", BankOrder: reversedOrder(banks)},
+		{Name: "tie-first", Tie: core.TieFirst},
+		{Name: "tie-most-loaded", Tie: core.TieMostLoaded},
+		{Name: "rotated-banks", BankOrder: rotatedOrder(banks, 1)},
+		{Name: "balance-half", BalanceScale: 0.5},
+		{Name: "balance-double", BalanceScale: 2},
+		{Name: "reversed-tie-most", BankOrder: reversedOrder(banks), Tie: core.TieMostLoaded},
+		{Name: "rotated-tie-first", BankOrder: rotatedOrder(banks, banks / 2), Tie: core.TieFirst},
+		{Name: "balance-off", BalanceScale: 1e-9},
+	}
+	out := make([]core.Variant, 0, k)
+	for _, v := range catalogue {
+		if len(out) == k {
+			break
+		}
+		if len(out) > 0 && identityOrder(v.BankOrder) && v.Tie == core.TieLeastLoaded && v.BalanceScale == 0 {
+			continue // degenerates to the baseline on this bank count
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func reversedOrder(banks int) []int {
+	order := make([]int, banks)
+	for i := range order {
+		order[i] = banks - 1 - i
+	}
+	return order
+}
+
+func rotatedOrder(banks, by int) []int {
+	order := make([]int, banks)
+	for i := range order {
+		order[i] = (i + by) % banks
+	}
+	return order
+}
+
+func identityOrder(order []int) bool {
+	for i, b := range order {
+		if b != i {
+			return false
+		}
+	}
+	return true
+}

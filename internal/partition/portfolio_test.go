@@ -1,0 +1,181 @@
+package partition_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// The tests live in partition_test (not partition) because scoring happens
+// in the codegen pipeline: partition proposes candidates, codegen carries
+// them through copy insertion, clustered scheduling and coloring and picks
+// the winner. The properties pinned here are the two the portfolio design
+// promises: the result is never worse than the single-shot greedy baseline
+// on (spills, then max pressure, then clustered II), and selection is
+// independent of the scoring pool's parallelism.
+
+type score struct{ spills, pressure, ii int }
+
+func scoreOf(r *codegen.Result) score {
+	return score{r.Spills(), r.MaxPressure(), r.PartII()}
+}
+
+// worse reports whether s loses to t lexicographically.
+func (s score) worse(t score) bool {
+	if s.spills != t.spills {
+		return s.spills > t.spills
+	}
+	if s.pressure != t.pressure {
+		return s.pressure > t.pressure
+	}
+	return s.ii > t.ii
+}
+
+// TestPortfolioNeverWorseThanGreedy compiles the full 211-loop suite on
+// the 2-, 4- and 8-cluster embedded machines with the greedy baseline and
+// with the portfolio, and demands the portfolio never loses. The guarantee
+// is structural — the baseline is candidate 0 and later candidates must be
+// strictly better to displace it — so a violation means the selection or
+// the candidate plumbing broke.
+func TestPortfolioNeverWorseThanGreedy(t *testing.T) {
+	loops := loopgen.Suite()
+	for _, clusters := range []int{2, 4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		improved := 0
+		for _, l := range loops {
+			base, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
+			if err != nil {
+				t.Fatalf("%s greedy on %s: %v", l.Name, cfg.Name, err)
+			}
+			port, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{}})
+			if err != nil {
+				t.Fatalf("%s portfolio on %s: %v", l.Name, cfg.Name, err)
+			}
+			if port.PortfolioVariant == "" {
+				t.Fatalf("%s on %s: portfolio compile did not record a winning variant", l.Name, cfg.Name)
+			}
+			bs, ps := scoreOf(base), scoreOf(port)
+			if ps.worse(bs) {
+				t.Fatalf("%s on %s: portfolio %+v worse than greedy %+v (variant %s)",
+					l.Name, cfg.Name, ps, bs, port.PortfolioVariant)
+			}
+			if port.PortfolioVariant != "baseline" {
+				improved++
+			}
+		}
+		t.Logf("%d clusters: portfolio beat the baseline on %d/%d loops", clusters, improved, len(loops))
+	}
+}
+
+// TestPortfolioBaselineOnlyMatchesGreedy: with the portfolio restricted to
+// one candidate, the compile must reproduce the single-shot greedy result
+// exactly — same partition, same copies, same schedule, same coloring.
+func TestPortfolioBaselineOnlyMatchesGreedy(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loopgen.Suite()[:25] {
+		base, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Variants: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo.PortfolioVariant != "baseline" {
+			t.Fatalf("%s: single-candidate portfolio chose %q", l.Name, solo.PortfolioVariant)
+		}
+		assertSameOutcome(t, l.Name, base, solo)
+	}
+}
+
+// TestPortfolioDeterministicAcrossWorkers: the chosen variant and the full
+// compiled outcome must not depend on how many goroutines scored the
+// candidates. Run under -race this also exercises the scoring pool for
+// data races.
+func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
+	loops := loopgen.Suite()
+	cases := []*ir.Loop{}
+	for i := 0; i < len(loops); i += 9 {
+		cases = append(cases, loops[i])
+	}
+	for _, clusters := range []int{2, 4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		for _, l := range cases {
+			serial, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 1}})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			parallel, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 8}})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			if serial.PortfolioVariant != parallel.PortfolioVariant {
+				t.Fatalf("%s on %s: worker count changed the winner: %q vs %q",
+					l.Name, cfg.Name, serial.PortfolioVariant, parallel.PortfolioVariant)
+			}
+			assertSameOutcome(t, fmt.Sprintf("%s on %s", l.Name, cfg.Name), serial, parallel)
+		}
+	}
+}
+
+func assertSameOutcome(t *testing.T, label string, a, b *codegen.Result) {
+	t.Helper()
+	if a.PartII() != b.PartII() || a.Spills() != b.Spills() || a.MaxPressure() != b.MaxPressure() {
+		t.Fatalf("%s: outcomes differ: (II %d, spills %d, pressure %d) vs (II %d, spills %d, pressure %d)",
+			label, a.PartII(), a.Spills(), a.MaxPressure(), b.PartII(), b.Spills(), b.MaxPressure())
+	}
+	if len(a.Assignment.Of) != len(b.Assignment.Of) {
+		t.Fatalf("%s: %d vs %d assigned registers", label, len(a.Assignment.Of), len(b.Assignment.Of))
+	}
+	for r, bank := range a.Assignment.Of {
+		if b.Assignment.Of[r] != bank {
+			t.Fatalf("%s: register %s in bank %d vs %d", label, r, bank, b.Assignment.Of[r])
+		}
+	}
+	if a.Copies.Body.String() != b.Copies.Body.String() {
+		t.Fatalf("%s: clustered bodies differ", label)
+	}
+}
+
+// TestPortfolioVariantsCatalogue pins the deterministic variant order the
+// selection guarantee depends on: baseline first, unique names, valid bank
+// permutations, and degenerate (baseline-equal) variants dropped.
+func TestPortfolioVariantsCatalogue(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 8} {
+		vs := partition.PortfolioVariants(banks, 0)
+		if len(vs) == 0 || vs[0].Name != "baseline" {
+			t.Fatalf("banks=%d: catalogue must start with the baseline, got %+v", banks, vs)
+		}
+		names := map[string]bool{}
+		for _, v := range vs {
+			if names[v.Name] {
+				t.Fatalf("banks=%d: duplicate variant %q", banks, v.Name)
+			}
+			names[v.Name] = true
+			if v.BankOrder == nil {
+				continue
+			}
+			if len(v.BankOrder) != banks {
+				t.Fatalf("banks=%d: variant %q order %v has wrong length", banks, v.Name, v.BankOrder)
+			}
+			seen := map[int]bool{}
+			for _, bk := range v.BankOrder {
+				if bk < 0 || bk >= banks || seen[bk] {
+					t.Fatalf("banks=%d: variant %q order %v is not a permutation", banks, v.Name, v.BankOrder)
+				}
+				seen[bk] = true
+			}
+		}
+	}
+	if got := len(partition.PortfolioVariants(4, 3)); got != 3 {
+		t.Fatalf("k=3 returned %d variants", got)
+	}
+	if got := len(partition.PortfolioVariants(4, 0)); got != partition.DefaultPortfolioSize {
+		t.Fatalf("k=0 returned %d variants, want DefaultPortfolioSize=%d", got, partition.DefaultPortfolioSize)
+	}
+}

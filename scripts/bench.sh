@@ -1,0 +1,68 @@
+#!/bin/sh
+# Runs the benchmark suite and records the results as JSON, including the
+# headline PR-2 number: the speedup of the content-addressed compile
+# cache on the full 211-loop x 2/4/8-cluster x copy-model experiment grid
+# (BenchmarkSuiteCached vs BenchmarkSuiteUncached).
+#
+#   scripts/bench.sh                 # full run -> BENCH_pr2.json
+#   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
+#   OUT=/tmp/b.json scripts/bench.sh
+#
+# Only the standard toolchain is used: `go test -bench` output is parsed
+# with awk into {benchmarks: {name: {ns_per_op, ...}}, derived: {...}}.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_pr2.json}
+BENCHTIME=${BENCHTIME:-10x}
+PATTERN=${PATTERN:-.}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench $PATTERN -benchtime $BENCHTIME ==" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip GOMAXPROCS suffix if present
+    ns[name] = ""; bytes[name] = ""; allocs[name] = ""; extras[name] = ""
+    order[++n] = name
+    for (i = 3; i + 1 <= NF; i += 2) {
+        v = $i; unit = $(i + 1)
+        if (unit == "ns/op")           ns[name] = v
+        else if (unit == "B/op")       bytes[name] = v
+        else if (unit == "allocs/op")  allocs[name] = v
+        else {
+            gsub(/[^A-Za-z0-9_]/, "_", unit)
+            if (extras[name] != "") extras[name] = extras[name] ", "
+            extras[name] = extras[name] "\"" unit "\": " v
+        }
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
+        if (bytes[name] != "")  printf ", \"bytes_per_op\": %s", bytes[name]
+        if (allocs[name] != "") printf ", \"allocs_per_op\": %s", allocs[name]
+        if (extras[name] != "") printf ", %s", extras[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"derived\": {\n"
+    if (ns["BenchmarkSuiteUncached"] != "" && ns["BenchmarkSuiteCached"] != "")
+        printf "    \"suite_cache_speedup\": %.3f\n", ns["BenchmarkSuiteUncached"] / ns["BenchmarkSuiteCached"]
+    else
+        printf "    \"suite_cache_speedup\": null\n"
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
+grep -E '"suite_cache_speedup"' "$OUT" >&2

@@ -15,6 +15,7 @@ go test -race ./...
 echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzGreedyPartition -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzModuloSchedule -fuzztime=10s ./internal/modulo
+go test -run='^$' -fuzz=FuzzCacheEquivalence -fuzztime=10s ./internal/codegen
 
 echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
 go run ./cmd/experiments
@@ -44,5 +45,14 @@ go run ./examples/livermore
 echo "== Worked example (Section 4.2) =="
 go run ./examples/quickstart
 
-echo "== Benchmarks (same metrics via testing.B) =="
-go test -bench . -benchmem -benchtime 1x .
+echo "== Benchmarks (same metrics via testing.B, JSON record) =="
+BENCHTIME=1x OUT=/tmp/bench-reproduce.json scripts/bench.sh
+
+echo "== Cached grid equals uncached grid, byte for byte =="
+go run ./cmd/experiments > /tmp/grid-uncached.txt
+go run ./cmd/experiments -cache > /tmp/grid-cached.txt
+cmp /tmp/grid-uncached.txt /tmp/grid-cached.txt
+echo "identical"
+
+echo "== Portfolio partitioning (cached comparison sweep) =="
+go run ./cmd/experiments -compare -cache > /dev/null
