@@ -1,0 +1,88 @@
+package swp
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// BenchmarkServerCompile measures one full round trip through the swpd
+// service — HTTP, JSON, queueing, and the pipeline itself — for a suite
+// loop on the 4-cluster embedded machine. The shared cache makes every
+// iteration after the first a cache-served response, so the number is the
+// daemon's steady-state latency floor, to compare against the raw
+// in-process compile benchmarks.
+func BenchmarkServerCompile(b *testing.B) {
+	svc := server.New(server.Config{
+		Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()},
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&server.CompileRequest{
+		Name:    "bench",
+		Source:  Suite()[0].Body.String(),
+		Machine: server.MachineSpec{Clusters: 4, CopyModel: "embedded"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		var out server.CompileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.PartII == 0 {
+			b.Fatal("empty response")
+		}
+	}
+}
+
+// BenchmarkServerCompileUncached is the same round trip with no cache:
+// every request pays the full pipeline, which is the daemon's cold-path
+// cost per distinct loop.
+func BenchmarkServerCompileUncached(b *testing.B) {
+	svc := server.New(server.Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&server.CompileRequest{
+		Name:    "bench",
+		Source:  Suite()[0].Body.String(),
+		Machine: server.MachineSpec{Clusters: 4, CopyModel: "embedded"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package swp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -230,7 +231,7 @@ func BenchmarkModuloScheduleIdeal(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := modulo.Run(graphs[i%len(graphs)], cfg, modulo.Options{}); err != nil {
+		if _, err := modulo.Run(context.Background(), graphs[i%len(graphs)], cfg, modulo.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,7 +244,7 @@ func BenchmarkRCGBuildAndPartition(b *testing.B) {
 	views := make([]core.ScheduledBlock, len(loops))
 	for i, l := range loops {
 		g := ddg.Build(l.Body, idealCfg, ddg.Options{Carried: true})
-		s, err := modulo.Run(g, idealCfg, modulo.Options{})
+		s, err := modulo.Run(context.Background(), g, idealCfg, modulo.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,7 +270,7 @@ func BenchmarkChaitinBriggsColoring(b *testing.B) {
 	jobs := make([]job, 0, len(loops))
 	for _, l := range loops {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-		s, err := modulo.Run(g, cfg, modulo.Options{})
+		s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -349,7 +350,7 @@ func BenchmarkFullPipelineSingleLoop(b *testing.B) {
 	cfg := machine.MustClustered16(4, machine.Embedded)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := codegen.Compile(loops[i%len(loops)], cfg, codegen.Options{}); err != nil {
+		if _, err := codegen.Compile(context.Background(), loops[i%len(loops)], cfg, codegen.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -204,13 +205,13 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 	opt := codegen.Options{Partitioner: part, Tracer: tr, Cache: c}
 	if refined {
 		var stats *codegen.RefineStats
-		res, stats, err = codegen.CompileRefined(loop, cfg, opt, codegen.RefineOptions{})
+		res, stats, err = codegen.CompileRefined(context.Background(), loop, cfg, opt)
 		if err == nil {
 			fmt.Printf("refinement: %d rounds, %d/%d moves kept, II %d -> %d\n",
 				stats.Rounds, stats.MovesKept, stats.MovesTried, stats.StartII, stats.FinalII)
 		}
 	} else {
-		res, err = codegen.Compile(loop, cfg, opt)
+		res, err = codegen.Compile(context.Background(), loop, cfg, opt)
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,94 @@
+// Command swpd runs the compile service: the five-step pipeline behind a
+// long-lived HTTP/JSON API. Start it, then POST loops at /compile:
+//
+//	swpd -addr :8080 &
+//	curl -s localhost:8080/compile -d '{
+//	  "name": "dot",
+//	  "source": "0: load f2, a[1*i]\n1: load f3, b[1*i]\n2: mult f4, f2, f3\n3: add f1, f1, f4",
+//	  "machine": {"clusters": 4, "copy_model": "embedded"}
+//	}'
+//
+// The daemon compiles on a bounded worker pool (-workers), sheds overload
+// with 429 once the queue (-queue) is full, enforces per-request deadlines
+// (-timeout, or "timeout_ms" per request), cancels compiles whose client
+// disconnected, and drains gracefully on SIGINT/SIGTERM. /healthz reports
+// liveness, /metrics exports counters in the Prometheus text format.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent compiles (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued compiles before shedding 429s (0 = 2x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	useCache := flag.Bool("cache", true, "share a content-addressed compile cache across requests")
+	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
+	flag.Parse()
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *queue <= 0 {
+		*queue = 2 * *workers
+	}
+	scfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	scfg.Pipeline.Tracer = trace.New()
+	if *useCache {
+		scfg.Pipeline.Cache = cache.New()
+	}
+	if !*quiet {
+		scfg.Log = log.New(os.Stderr, "swpd: ", log.LstdFlags|log.Lmicroseconds)
+	}
+	svc := server.New(scfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("swpd listening on %s (workers=%d queue=%d timeout=%s)",
+		*addr, *workers, *queue, *timeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("swpd: %s received, draining (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("swpd: shutdown: %v", err)
+		}
+		svc.Close()
+		log.Printf("swpd: drained, bye")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "swpd: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+package swp
+
+import (
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Compiler is the configured, context-first entry point to the pipeline.
+// A zero-option Compiler reproduces the paper's defaults exactly; options
+// swap the partitioner, attach a cache or tracer, or retune the scheduler
+// budget. A Compiler is immutable after New and safe for concurrent use —
+// the swpd daemon keeps one per process and serves every request with it.
+//
+//	c := swp.New(swp.WithCache(swp.NewCache()))
+//	res, err := c.Compile(ctx, loop, swp.Machine(4, swp.Embedded))
+type Compiler struct {
+	cfg codegen.Config
+}
+
+// Option configures a Compiler at construction time.
+type Option func(*codegen.Config)
+
+// New builds a Compiler from the paper's defaults plus the given options.
+func New(opts ...Option) *Compiler {
+	c := &Compiler{}
+	for _, o := range opts {
+		o(&c.cfg)
+	}
+	return c
+}
+
+// WithPartitioner replaces the default RCG greedy partitioner with one of
+// the baselines (see Partitioners) or a custom implementation.
+func WithPartitioner(p partition.Partitioner) Option {
+	return func(c *codegen.Config) { c.Partitioner = p }
+}
+
+// WithCache attaches a content-addressed compile cache shared across calls
+// (and, through Run, across loops and machines).
+func WithCache(cc *Cache) Option {
+	return func(c *codegen.Config) { c.Cache = cc }
+}
+
+// WithTracer attaches a tracer that records per-stage spans and counters
+// for every compilation the Compiler performs.
+func WithTracer(t *Tracer) Option {
+	return func(c *codegen.Config) { c.Tracer = t }
+}
+
+// WithBudgetRatio sets the modulo scheduler's placement budget to
+// ratio x (number of operations) per candidate II; <=0 keeps the paper's
+// default. Larger ratios try harder before giving up on an II.
+func WithBudgetRatio(ratio int) Option {
+	return func(c *codegen.Config) { c.BudgetRatio = ratio }
+}
+
+// WithWeights overrides the partitioner's heuristic weights (for example
+// with the result of TuneWeights).
+func WithWeights(w *core.Weights) Option {
+	return func(c *codegen.Config) { c.Weights = w }
+}
+
+// WithWorkers bounds Run's parallelism; <=0 uses GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *codegen.Config) { c.Workers = n }
+}
+
+// WithSkipAlloc disables step 5's per-bank register coloring — the II
+// study configuration the paper's tables use.
+func WithSkipAlloc() Option {
+	return func(c *codegen.Config) { c.SkipAlloc = true }
+}
+
+// Config returns a copy of the Compiler's resolved pipeline configuration.
+func (c *Compiler) Config() codegen.Config { return c.cfg }
+
+// Compile runs the full five-step pipeline on one loop. ctx cancellation
+// and deadlines abort the compile at the next stage or scheduler-iteration
+// boundary; the returned error then wraps ctx.Err() and names the stage
+// reached (see codegen.Stage).
+func (c *Compiler) Compile(ctx context.Context, l *ir.Loop, cfg *machine.Config) (*codegen.Result, error) {
+	return codegen.Compile(ctx, l, cfg, c.cfg)
+}
+
+// CompileBlock runs the straight-line variant (list scheduling instead of
+// modulo scheduling) on a block wrapped in a Loop container.
+func (c *Compiler) CompileBlock(ctx context.Context, l *ir.Loop, cfg *machine.Config) (*codegen.BlockResult, error) {
+	return codegen.CompileBlock(ctx, l, cfg, c.cfg)
+}
+
+// CompileFunction partitions a whole function's registers at once and
+// schedules every block under the shared assignment.
+func (c *Compiler) CompileFunction(ctx context.Context, f *ir.Function, cfg *machine.Config) (*codegen.FunctionResult, error) {
+	return codegen.CompileFunction(ctx, f, cfg, c.cfg)
+}
+
+// CompileRefined runs the pipeline and then iteratively improves the
+// partition while the clustered II exceeds the ideal (Section 6.3's
+// deferred iteration). Round and trial budgets come from the Config's
+// RefineRounds/RefineTrials (defaults 4 and 24).
+func (c *Compiler) CompileRefined(ctx context.Context, l *ir.Loop, cfg *machine.Config) (*codegen.Result, *codegen.RefineStats, error) {
+	return codegen.CompileRefined(ctx, l, cfg, c.cfg)
+}
+
+// Run compiles every loop on every machine over a bounded worker pool and
+// returns one ConfigResult per machine. Cancelling ctx stops the run
+// promptly and returns the partial results with a non-nil error.
+func (c *Compiler) Run(ctx context.Context, loops []*ir.Loop, cfgs []*machine.Config) ([]*exper.ConfigResult, error) {
+	return exper.Run(ctx, loops, cfgs, c.cfg)
+}
+
+// Cache is the content-addressed compile cache; see NewCache.
+type Cache = cache.Cache
+
+// NewCache returns an empty compile cache for WithCache.
+func NewCache() *Cache { return cache.New() }
+
+// Tracer records per-stage spans and counters; see NewTracer.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled tracer for WithTracer.
+func NewTracer() *Tracer { return trace.New() }

@@ -1,0 +1,97 @@
+package swp
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exper"
+	"repro/internal/machine"
+)
+
+// TestCompilerRunReproducesGoldenTables is the API redesign's
+// no-regression gate: the context-first Compiler must render Table 1 and
+// Table 2 byte-identically to the golden frozen before the redesign
+// (internal/exper/testdata, maintained by TestGoldenTables).
+func TestCompilerRunReproducesGoldenTables(t *testing.T) {
+	loops := SmallSuite(40) // the golden's 40-loop slice
+	c := New(WithSkipAlloc())
+	results, err := c.Run(context.Background(), loops, PaperMachines())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Table1(results) + "\n" + Table2(results)
+	golden, err := os.ReadFile(filepath.Join("internal", "exper", "testdata", "tables_n40.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(golden), got+"\n") {
+		t.Errorf("Compiler.Run tables drifted from the golden:\n--- got\n%s\n--- golden\n%s", got, golden)
+	}
+}
+
+func TestCompilerOptionsApply(t *testing.T) {
+	tr := NewTracer()
+	cc := NewCache()
+	parts := Partitioners()
+	c := New(WithPartitioner(parts[1]), WithCache(cc), WithTracer(tr),
+		WithBudgetRatio(9), WithWorkers(3), WithSkipAlloc())
+	cfg := c.Config()
+	if cfg.Partitioner != parts[1] || cfg.Cache != cc || cfg.Tracer != tr ||
+		cfg.BudgetRatio != 9 || cfg.Workers != 3 || !cfg.SkipAlloc {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+}
+
+func TestCompilerCompileCancellable(t *testing.T) {
+	c := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Compile(ctx, SmallSuite(1)[0], Machine(4, Embedded))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Compile returned %v", err)
+	}
+}
+
+func TestCompilerRunCancelPartial(t *testing.T) {
+	c := New(WithSkipAlloc())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	results, err := c.Run(ctx, Suite(), PaperMachines())
+	if err == nil {
+		t.Fatal("cancelled Run returned nil error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap the deadline: %v", err)
+	}
+	if len(results) != len(PaperMachines()) {
+		t.Errorf("partial results lost shape: %d", len(results))
+	}
+}
+
+// TestDeprecatedWrappersStillWork keeps the legacy facade alive: the old
+// free functions must keep compiling loops exactly as before.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	loops := SmallSuite(3)
+	cfg := Machine(4, Embedded)
+	old, err := CompileLoop(loops[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := New().Compile(context.Background(), loops[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.PartII() != via.PartII() || old.Degradation() != via.Degradation() {
+		t.Error("CompileLoop and Compiler.Compile disagree")
+	}
+	results := RunExperiments(loops, []*machine.Config{cfg}, 2)
+	if len(results) != 1 || len(results[0].Outcomes) != len(loops) {
+		t.Errorf("RunExperiments shape broken")
+	}
+	var _ []*exper.ConfigResult = results
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	fmt.Printf("%-38s %4s %4s %7s %7s %6s %7s\n", "machine", "II", "deg%", "IPC", "copies", "press", "spills")
 
 	ideal := machine.Ideal16()
-	res, err := codegen.Compile(loop, ideal, codegen.Options{})
+	res, err := codegen.Compile(context.Background(), loop, ideal, codegen.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 
 	var show *codegen.Result
 	for _, cfg := range machine.PaperConfigs() {
-		res, err := codegen.Compile(loop, cfg, codegen.Options{})
+		res, err := codegen.Compile(context.Background(), loop, cfg, codegen.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

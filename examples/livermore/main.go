@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	var rawDeg, unrolledDeg, reassocDeg float64
 	n := 0
 	for _, l := range loopgen.Livermore() {
-		raw, err := codegen.Compile(l, cfg, codegen.Options{SkipAlloc: true})
+		raw, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{SkipAlloc: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		unres, err := codegen.Compile(un, cfg, codegen.Options{SkipAlloc: true})
+		unres, err := codegen.Compile(context.Background(), un, cfg, codegen.Options{SkipAlloc: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rares, err := codegen.Compile(ra, cfg, codegen.Options{SkipAlloc: true})
+		rares, err := codegen.Compile(context.Background(), ra, cfg, codegen.Options{SkipAlloc: true})
 		if err != nil {
 			log.Fatal(err)
 		}

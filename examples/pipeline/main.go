@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
 	fmt.Printf("\nRecMII = %d (mul 2 + add 2 around the carried x)\n", g.RecMII())
 
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func main() {
 		b2.Store(m, ir.MemRef{Base: "r", Coeff: 2, Offset: k})
 	}
 	g2 := ddg.Build(l2.Body, cfg, ddg.Options{Carried: true})
-	s2, err := modulo.Run(g2, cfg, modulo.Options{})
+	s2, err := modulo.Run(context.Background(), g2, cfg, modulo.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

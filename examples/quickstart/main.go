@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	fmt.Println("=== Intermediate code (paper Figure 2) ===")
 	fmt.Print(loop.Body)
 
-	res, err := codegen.CompileBlock(loop, cfg, codegen.Options{})
+	res, err := codegen.CompileBlock(context.Background(), loop, cfg, codegen.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -68,7 +69,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := codegen.CompileBlock(loop, cfg, codegen.Options{})
+		res, err := codegen.CompileBlock(context.Background(), loop, cfg, codegen.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

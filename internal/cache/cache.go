@@ -21,7 +21,9 @@
 package cache
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -116,6 +118,13 @@ func (c *Cache) Enabled() bool { return c != nil }
 // deterministic, so a failing input fails identically every time and
 // recomputing it would only waste the budget the cache exists to save.
 //
+// The exception is context cancellation: a computation cut short by its
+// caller's deadline says nothing about the input, so entries whose error
+// is context.Canceled or context.DeadlineExceeded are evicted instead of
+// stored — one impatient request cannot poison a key for later, patient
+// callers. A waiter that inherited such an error from the cancelled
+// computation retries the computation itself (under its own context).
+//
 // On a nil cache, compute runs unconditionally and hit is false.
 func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit bool, err error) {
 	if c == nil {
@@ -137,7 +146,28 @@ func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit boo
 		c.entries.Add(1)
 	}
 	e.once.Do(func() { e.val, e.err = compute() })
+	if e.err != nil && isCancellation(e.err) {
+		s.mu.Lock()
+		if s.m[k] == e {
+			delete(s.m, k)
+			c.entries.Add(-1)
+		}
+		s.mu.Unlock()
+		if ok {
+			// We only waited; our own context may be healthy, so run the
+			// computation ourselves rather than surfacing someone else's
+			// cancellation.
+			v, err = compute()
+			return v, true, err
+		}
+	}
 	return e.val, ok, e.err
+}
+
+// isCancellation reports whether err stems from a cancelled or expired
+// context rather than from the computed input itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // GetAs is the typed convenience wrapper around Cache.GetOrCompute. The

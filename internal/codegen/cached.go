@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"maps"
 
@@ -49,13 +50,18 @@ func buildGraph(c *cache.Cache, fp *cache.BlockFP, b *ir.Block, cfg *machine.Con
 // object, so gOpts must be the options g was built with. Schedules are
 // plain value records (II, times, clusters) that no later phase mutates,
 // so cached schedules are shared as-is.
-func runSchedule(c *cache.Cache, fp *cache.BlockFP, gOpts ddg.Options, g *ddg.Graph, cfg *machine.Config, opt modulo.Options) (*modulo.Schedule, error) {
+//
+// The caller's ctx flows into the compute closure, so a request deadline
+// cuts even a cache-miss computation short. The cache never persists
+// context-cancellation errors (see Cache.GetOrCompute), so one cancelled
+// request cannot poison the key for later, patient callers.
+func runSchedule(ctx context.Context, c *cache.Cache, fp *cache.BlockFP, gOpts ddg.Options, g *ddg.Graph, cfg *machine.Config, opt modulo.Options) (*modulo.Schedule, error) {
 	if c == nil {
-		return modulo.Run(g, cfg, opt)
+		return modulo.Run(ctx, g, cfg, opt)
 	}
 	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII)
 	s, hit, err := cache.GetAs(c, k, func() (*modulo.Schedule, error) {
-		return modulo.Run(g, cfg, opt)
+		return modulo.Run(ctx, g, cfg, opt)
 	})
 	countCache(opt.Tracer, "modulo", hit)
 	return s, err

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -51,7 +52,7 @@ func runDifferentialSweep(t *testing.T, c *cache.Cache) {
 		defined := l.Body.Defined()
 
 		for _, cfg := range cfgs {
-			res, err := Compile(l, cfg, Options{SkipAlloc: true, Cache: c})
+			res, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true, Cache: c})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}

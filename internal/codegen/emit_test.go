@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestEmitListing(t *testing.T) {
 	l := fixtures.DotProduct(2)
 	cfg := machine.MustClustered16(2, machine.Embedded)
-	res, err := Compile(l, cfg, Options{})
+	res, err := Compile(context.Background(), l, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestEmitListing(t *testing.T) {
 
 func TestEmitRequiresAllocation(t *testing.T) {
 	l := fixtures.DotProduct(2)
-	res, err := Compile(l, machine.MustClustered16(2, machine.Embedded), Options{SkipAlloc: true})
+	res, err := Compile(context.Background(), l, machine.MustClustered16(2, machine.Embedded), Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestEmitRequiresAllocation(t *testing.T) {
 func TestEmitSuiteSmoke(t *testing.T) {
 	cfg := machine.MustClustered16(4, machine.CopyUnit)
 	for _, l := range loopgen.Generate(loopgen.Params{N: 8, Seed: 47}) {
-		res, err := Compile(l, cfg, Options{})
+		res, err := Compile(context.Background(), l, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -44,7 +45,7 @@ func TestCopyInsertionPreservesSemantics(t *testing.T) {
 		want := runOriginal(t, l.Body, trip, seed)
 		for _, cfg := range cfgs {
 			for _, p := range parts {
-				res, err := Compile(l, cfg, Options{Partitioner: p, SkipAlloc: true})
+				res, err := Compile(context.Background(), l, cfg, Options{Partitioner: p, SkipAlloc: true})
 				if err != nil {
 					t.Fatalf("%s/%s/%s: %v", l.Name, cfg.Name, p.Name(), err)
 				}
@@ -75,7 +76,7 @@ func TestMVEPreservesSemantics(t *testing.T) {
 	for _, l := range loopgen.Generate(loopgen.Params{N: 20, Seed: 61}) {
 		work := l.Clone()
 		g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
-		s, err := modulo.Run(g, cfg, modulo.Options{})
+		s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestStraightLineCopyInsertionPreservesSemantics(t *testing.T) {
 	b.Store(z, ir.MemRef{Base: "out"})
 	const seed = 99
 	want := runOriginal(t, l.Body, 1, seed)
-	res, err := CompileBlock(l, machine.Example2x1(), Options{SkipAlloc: true})
+	res, err := CompileBlock(context.Background(), l, machine.Example2x1(), Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}

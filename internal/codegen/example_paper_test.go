@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fixtures"
@@ -19,7 +20,7 @@ import (
 func TestPaperWorkedExample(t *testing.T) {
 	loop, regs := fixtures.PaperExample()
 	cfg := machine.Example2x1()
-	res, err := CompileBlock(loop, cfg, Options{})
+	res, err := CompileBlock(context.Background(), loop, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPaperWorkedExample(t *testing.T) {
 func TestStraightLineCopiesAreLocal(t *testing.T) {
 	loop, _ := fixtures.PaperExample()
 	cfg := machine.Example2x1()
-	res, err := CompileBlock(loop, cfg, Options{})
+	res, err := CompileBlock(context.Background(), loop, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

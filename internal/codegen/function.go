@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -81,7 +82,7 @@ func (fr *FunctionResult) Copies() int {
 // single register component graph, so a value flowing between blocks pulls
 // its producers and consumers toward one bank, and deeply nested blocks
 // outweigh shallow ones in the greedy order.
-func CompileFunction(f *ir.Function, cfg *machine.Config, opt Options) (*FunctionResult, error) {
+func CompileFunction(ctx context.Context, f *ir.Function, cfg *machine.Config, opt Options) (*FunctionResult, error) {
 	if err := ir.VerifyFunction(f); err != nil {
 		return nil, err
 	}
@@ -97,6 +98,9 @@ func CompileFunction(f *ir.Function, cfg *machine.Config, opt Options) (*Functio
 	// Pass 1: per-block ideal schedules and RCG views.
 	views := make([]core.ScheduledBlock, 0, len(f.Blocks))
 	for _, b := range f.Blocks {
+		if err := checkpoint(ctx, "sched.ideal"); err != nil {
+			return nil, err
+		}
 		g := ddg.Build(b, res.IdealCfg, ddg.Options{Carried: false})
 		s, err := sched.List(g, res.IdealCfg, nil)
 		if err != nil {
@@ -145,6 +149,9 @@ func CompileFunction(f *ir.Function, cfg *machine.Config, opt Options) (*Functio
 
 	// Pass 3: rewrite and re-schedule every block under the assignment.
 	for _, fb := range res.Blocks {
+		if err := checkpoint(ctx, "sched.clustered"); err != nil {
+			return nil, err
+		}
 		fb.Copies = insertCopiesBlock(fb.Source, f.NewReg, res.Assignment, false)
 		if err := ir.VerifyBlock(fb.Copies.Body); err != nil {
 			return nil, fmt.Errorf("codegen: function copy insertion: %w", err)

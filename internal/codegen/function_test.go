@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ir"
@@ -40,7 +41,7 @@ func buildTestFunction() (*ir.Function, ir.Reg) {
 func TestCompileFunctionBasics(t *testing.T) {
 	f, _ := buildTestFunction()
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	res, err := CompileFunction(f, cfg, Options{})
+	res, err := CompileFunction(context.Background(), f, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCompileFunctionSharedAssignment(t *testing.T) {
 	// where it lives.
 	f, scale := buildTestFunction()
 	cfg := machine.MustClustered16(2, machine.Embedded)
-	res, err := CompileFunction(f, cfg, Options{})
+	res, err := CompileFunction(context.Background(), f, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestCompileFunctionHotBlockDominates(t *testing.T) {
 	// below the catastrophic single-cluster bound.
 	f, _ := buildTestFunction()
 	cfg := machine.MustClustered16(8, machine.Embedded)
-	res, err := CompileFunction(f, cfg, Options{})
+	res, err := CompileFunction(context.Background(), f, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestCompileFunctionHotBlockDominates(t *testing.T) {
 
 func TestCompileFunctionEmpty(t *testing.T) {
 	f := ir.NewFunction("empty")
-	if _, err := CompileFunction(f, machine.MustClustered16(2, machine.Embedded), Options{}); err == nil {
+	if _, err := CompileFunction(context.Background(), f, machine.MustClustered16(2, machine.Embedded), Options{}); err == nil {
 		t.Error("empty function accepted")
 	}
 }
@@ -130,7 +131,7 @@ func TestCompileFunctionEmpty(t *testing.T) {
 func TestCompileFunctionWithExplicitPartitioner(t *testing.T) {
 	f, _ := buildTestFunction()
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	res, err := CompileFunction(f, cfg, Options{Partitioner: partition.RoundRobin{}})
+	res, err := CompileFunction(context.Background(), f, cfg, Options{Partitioner: partition.RoundRobin{}})
 	if err != nil {
 		t.Fatal(err)
 	}

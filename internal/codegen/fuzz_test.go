@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -24,10 +25,10 @@ func FuzzCacheEquivalence(f *testing.F) {
 		loop := loopgen.Generate(loopgen.Params{N: 1, Seed: seed})[0]
 		cfg := cfgs[int(cfgIdx)%len(cfgs)]
 
-		want, wantErr := Compile(loop, cfg, Options{})
+		want, wantErr := Compile(context.Background(), loop, cfg, Options{})
 		c := cache.New()
-		cold, coldErr := Compile(loop, cfg, Options{Cache: c})
-		warm, warmErr := Compile(loop, cfg, Options{Cache: c})
+		cold, coldErr := Compile(context.Background(), loop, cfg, Options{Cache: c})
+		warm, warmErr := Compile(context.Background(), loop, cfg, Options{Cache: c})
 
 		if (wantErr == nil) != (coldErr == nil) || (wantErr == nil) != (warmErr == nil) {
 			t.Fatalf("seed %d on %s: error disagreement: uncached=%v cold=%v warm=%v",

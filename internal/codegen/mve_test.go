@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -81,7 +82,7 @@ func TestMVEPreservesDataflow(t *testing.T) {
 	for _, l := range loops {
 		work := l.Clone()
 		g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
-		s, err := modulo.Run(g, cfg, modulo.Options{})
+		s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestMVEUnrollFactor(t *testing.T) {
 	l := fixtures.Accumulator(ir.Float)
 	work := l.Clone()
 	g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestMVERenamedBodyWellFormed(t *testing.T) {
 	for _, l := range loopgen.Generate(loopgen.Params{N: 10, Seed: 41}) {
 		work := l.Clone()
 		g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
-		s, err := modulo.Run(g, cfg, modulo.Options{})
+		s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestMVELifetimeRespectsNames(t *testing.T) {
 	l := fixtures.DotProduct(8) // II is add-latency bound; mul->add spans
 	work := l.Clone()
 	g := ddg.Build(work.Body, cfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,126 @@
+package codegen
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Config is the one knobs struct for the whole compile pipeline. Every
+// entry point — Compile, CompileBlock, CompileFunction, CompileRefined,
+// exper.Run and the swp facade's Compiler — consumes this same struct, so
+// a setting made once (cache, tracer, budget, partitioner) means the same
+// thing at every layer. The zero value is the paper's default pipeline:
+// RCG greedy partitioning, default heuristic weights, Rau's budget ratio
+// of 6, full per-bank register assignment, no tracing, no caching, one
+// suite worker per CPU.
+//
+// It subsumes what used to be three overlapping structs: codegen.Options
+// (per-compilation knobs), exper.Options (suite workers + tracer) and
+// codegen.RefineOptions (refinement budget). Those survive as thin
+// compatibility shims; see Options and RefineOptions.
+type Config struct {
+	// Partitioner selects the register-partitioning method; nil means the
+	// paper's RCG greedy heuristic.
+	Partitioner partition.Partitioner
+	// Weights tunes the RCG heuristic; nil means core.DefaultWeights.
+	Weights *core.Weights
+	// Pre pre-colors registers to fixed banks.
+	Pre map[ir.Reg]int
+	// BudgetRatio is passed to the modulo scheduler (0 = default 6): the
+	// placement budget per candidate II is BudgetRatio * ops.
+	BudgetRatio int
+	// LifetimeSched enables the swing-flavored lifetime-sensitive modulo
+	// scheduling mode (Section 6.3's scheduler axis) for both the ideal
+	// and the clustered schedule.
+	LifetimeSched bool
+	// SkipAlloc skips step 5 (per-bank register assignment); the
+	// experiment sweeps use it to save time when only IIs are needed.
+	SkipAlloc bool
+	// Tracer instruments every pipeline stage (spans and counters); nil
+	// disables tracing at zero cost.
+	Tracer *trace.Tracer
+	// Cache memoizes dependence graphs and modulo schedules across
+	// compilations, keyed by content fingerprint (see internal/cache), so
+	// hot loops — across the experiment grid or across service requests —
+	// hit the content-addressed stages. Nil disables caching; results are
+	// identical either way.
+	Cache *cache.Cache
+
+	// Workers bounds suite-level parallel compilations (exper.Run and the
+	// facade's Compiler.Run); <=0 uses GOMAXPROCS. It does not affect a
+	// single Compile call.
+	Workers int
+
+	// RefineRounds caps CompileRefined's improvement rounds (0 means 4).
+	RefineRounds int
+	// RefineTrials caps candidate moves evaluated per refinement round
+	// (0 means 24).
+	RefineTrials int
+}
+
+// Options is the historical name of the per-compilation knobs struct.
+//
+// Deprecated: Options is now an alias of Config, kept so existing
+// call sites and composite literals keep compiling; new code should say
+// Config.
+type Options = Config
+
+// RefineOptions held CompileRefined's budget before those knobs moved
+// onto Config.
+//
+// Deprecated: set RefineRounds and RefineTrials on Config instead.
+type RefineOptions struct {
+	// Rounds caps the improvement rounds (0 means 4).
+	Rounds int
+	// TrialsPerRound caps candidate moves evaluated per round (0 means 24).
+	TrialsPerRound int
+}
+
+// Apply copies the legacy refinement knobs onto a Config, the migration
+// shim for code still holding a RefineOptions.
+func (ro RefineOptions) Apply(c *Config) {
+	if ro.Rounds != 0 {
+		c.RefineRounds = ro.Rounds
+	}
+	if ro.TrialsPerRound != 0 {
+		c.RefineTrials = ro.TrialsPerRound
+	}
+}
+
+// StageError reports a compilation cut short by its context: Stage names
+// the last pipeline stage reached when the deadline expired or the caller
+// cancelled, and the wrapped error is the context's (so errors.Is against
+// context.DeadlineExceeded / context.Canceled works through it). The
+// compile service surfaces Stage in its 504 responses.
+type StageError struct {
+	// Stage is the pipeline stage reached, e.g. "modulo.ideal" or
+	// "regalloc".
+	Stage string
+	// Err is the underlying cause, ctx.Err() possibly wrapped with
+	// scheduler progress detail.
+	Err error
+}
+
+// Error renders the stage and cause.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("codegen: cancelled at stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage extracts the stage name from an error chain, or "" if the error
+// does not carry one.
+func Stage(err error) string {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return ""
+}

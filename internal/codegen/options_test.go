@@ -1,0 +1,97 @@
+package codegen
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// Options must remain a true alias of Config so every pre-unification
+// composite literal keeps compiling and behaving identically.
+var _ = func(o Options) Config { return o }
+
+// TestZeroConfigMatchesLegacyDefaults pins the unification: a zero-value
+// Config must compile byte-identically to the historical defaults
+// (RefineRounds=4, RefineTrials=24 spelled out, which RefineOptions used
+// to default to on its own).
+func TestZeroConfigMatchesLegacyDefaults(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 6, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loops {
+		zero, _, err := CompileRefined(context.Background(), l, cfg, Config{SkipAlloc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, _, err := CompileRefined(context.Background(), l, cfg, Config{
+			SkipAlloc: true, RefineRounds: 4, RefineTrials: 24,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zero.PartII() != explicit.PartII() ||
+			!reflect.DeepEqual(zero.PartSched.Time, explicit.PartSched.Time) ||
+			!reflect.DeepEqual(zero.PartSched.Cluster, explicit.PartSched.Cluster) {
+			t.Fatalf("%s: zero Config diverged from explicit defaults", l.Name)
+		}
+	}
+}
+
+func TestRefineOptionsShimApplies(t *testing.T) {
+	var c Config
+	RefineOptions{}.Apply(&c)
+	if c.RefineRounds != 0 || c.RefineTrials != 0 {
+		t.Errorf("empty shim wrote values: %+v", c)
+	}
+	RefineOptions{Rounds: 2, TrialsPerRound: 7}.Apply(&c)
+	if c.RefineRounds != 2 || c.RefineTrials != 7 {
+		t.Errorf("shim did not carry values: %+v", c)
+	}
+}
+
+// TestCompileDeadlineNamesStage is the cancellation contract: an expired
+// context aborts the pipeline promptly, the error wraps
+// context.DeadlineExceeded, and Stage names where it stopped.
+func TestCompileDeadlineNamesStage(t *testing.T) {
+	// 2048 ops compile in ~100ms here; a 1ms deadline must abort the
+	// compile mid-flight even where the runtime delivers timer
+	// expirations ~10ms late (coarse container clocks).
+	loop := fixtures.DotProduct(512)
+	cfg := machine.MustClustered16(8, machine.Embedded)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Compile(ctx, loop, cfg, Config{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("compile beat a 1ms deadline on a 2048-op loop (or ignored it)")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap the deadline: %v", err)
+	}
+	if s := Stage(err); s == "" {
+		t.Errorf("cancelled compile did not name its stage: %v", err)
+	}
+	if bound := 100 * time.Millisecond * raceDelayFactor; elapsed > bound {
+		t.Errorf("cancellation took %s, want <%s", elapsed, bound)
+	}
+}
+
+// TestCompileCancelledBeforeStart stops at the first checkpoint.
+func TestCompileCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Compile(ctx, fixtures.DotProduct(1), machine.MustClustered16(2, machine.Embedded), Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled compile returned %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "ddg.ideal" {
+		t.Errorf("expected StageError at ddg.ideal, got %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
@@ -14,34 +16,6 @@ import (
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
-
-// Options tunes a compilation.
-type Options struct {
-	// Partitioner selects the register-partitioning method; nil means the
-	// paper's RCG greedy heuristic.
-	Partitioner partition.Partitioner
-	// Weights tunes the RCG heuristic; the zero value means DefaultWeights.
-	Weights *core.Weights
-	// Pre pre-colors registers to fixed banks.
-	Pre map[ir.Reg]int
-	// BudgetRatio is passed to the modulo scheduler (0 = default).
-	BudgetRatio int
-	// LifetimeSched enables the swing-flavored lifetime-sensitive modulo
-	// scheduling mode (Section 6.3's scheduler axis) for both the ideal
-	// and the clustered schedule.
-	LifetimeSched bool
-	// SkipAlloc skips step 5 (per-bank register assignment); the
-	// experiment sweeps use it to save time when only IIs are needed.
-	SkipAlloc bool
-	// Tracer instruments every pipeline stage (spans and counters); nil
-	// disables tracing at zero cost.
-	Tracer *trace.Tracer
-	// Cache memoizes dependence graphs and modulo schedules across
-	// compilations, keyed by content fingerprint (see internal/cache), so
-	// the experiment grid reuses cluster-independent work across machine
-	// configs. Nil disables caching; results are identical either way.
-	Cache *cache.Cache
-}
 
 // Result is the outcome of compiling one loop for one machine.
 type Result struct {
@@ -154,9 +128,39 @@ func IdealOf(cfg *machine.Config) *machine.Config {
 	return ideal
 }
 
+// checkpoint polls ctx between pipeline stages: a cancelled compilation
+// returns a StageError naming the stage about to run, so callers (and the
+// compile service's 504 responses) see how far the pipeline got.
+func checkpoint(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return &StageError{Stage: stage, Err: err}
+	}
+	return nil
+}
+
+// isCtxErr reports whether err stems from context cancellation or an
+// expired deadline — the failures that get tagged with a StageError
+// instead of the pipeline's ordinary diagnostic wrapping.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// stageFail routes a stage failure: context cancellations become a
+// StageError naming the stage, every other error keeps the pipeline's
+// ordinary "codegen: <what> of <loop>" wrapping byte for byte.
+func stageFail(stage string, err error, format string, args ...any) error {
+	if isCtxErr(err) {
+		return &StageError{Stage: stage, Err: err}
+	}
+	return fmt.Errorf(format+": %w", append(args, err)...)
+}
+
 // Compile runs the full five-step pipeline on one loop for one clustered
-// machine.
-func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
+// machine. It polls ctx at every stage boundary — and, through the modulo
+// scheduler, inside the II search's placement loop — so a deadline or a
+// cancelled caller stops even a large compilation promptly; the error is
+// then a StageError wrapping ctx.Err() with the stage reached.
+func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	if err := ir.VerifyLoop(loop); err != nil {
 		return nil, err
 	}
@@ -187,16 +191,19 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 
 	// Steps 1-2: dependence graph and ideal schedule on the monolithic bank.
 	// The body is fingerprinted once; every stage key splices the memo.
+	if err := checkpoint(ctx, "ddg.ideal"); err != nil {
+		return nil, err
+	}
 	var fp *cache.BlockFP
 	if opt.Cache.Enabled() {
 		fp = cache.FingerprintBlock(loop.Body)
 	}
 	gOpts := ddg.Options{Carried: true, Tracer: tr}
 	res.IdealGraph = buildGraph(opt.Cache, fp, loop.Body, res.IdealCfg, gOpts)
-	idealSched, err := runSchedule(opt.Cache, fp, gOpts, res.IdealGraph, res.IdealCfg,
+	idealSched, err := runSchedule(ctx, opt.Cache, fp, gOpts, res.IdealGraph, res.IdealCfg,
 		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr})
 	if err != nil {
-		return nil, fmt.Errorf("codegen: ideal scheduling of %q: %w", loop.Name, err)
+		return nil, stageFail("modulo.ideal", err, "codegen: ideal scheduling of %q", loop.Name)
 	}
 	res.IdealSched = idealSched
 
@@ -216,8 +223,11 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	// hands back several candidates; each is carried through steps 4-5 and
 	// scored, so selection sees the real downstream cost of the
 	// partition's tie-break choices.
+	if err := checkpoint(ctx, "partition"); err != nil {
+		return nil, err
+	}
 	if gen, ok := part.(partition.CandidateGenerator); ok {
-		if err := compilePortfolio(res, loop, fp, cfg, opt, weights, gen, tr); err != nil {
+		if err := compilePortfolio(ctx, res, loop, fp, cfg, opt, weights, gen, tr); err != nil {
 			return nil, err
 		}
 		return done(), nil
@@ -233,7 +243,7 @@ func Compile(loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, error) {
 	res.Assignment = asg
 	psp.Int("banks", int64(asg.Banks)).Int("registers", int64(len(asg.Of))).End()
 
-	parts, err := compileClustered(loop, fp, cfg, opt, asg, tr)
+	parts, err := compileClustered(ctx, loop, fp, cfg, opt, asg, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -268,8 +278,11 @@ func (r *Result) adopt(p *clusteredParts) {
 // several candidates must pass each its own Assignment; with a cache the
 // input assignment is treated read-only and the parts carry a fresh
 // extended clone (see insertCopiesFor).
-func compileClustered(loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, asg *core.Assignment, tr *trace.Tracer) (*clusteredParts, error) {
+func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, asg *core.Assignment, tr *trace.Tracer) (*clusteredParts, error) {
 	// Step 4: insert copies, rebuild the graph, re-schedule clustered.
+	if err := checkpoint(ctx, "copyins"); err != nil {
+		return nil, err
+	}
 	csp := tr.StartSpan("codegen.copy_insert")
 	copies, extAsg, cfp, err := insertCopiesFor(opt.Cache, fp, loop, asg, cfg, tr)
 	if err != nil {
@@ -281,19 +294,22 @@ func compileClustered(loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt
 	tr.Add("codegen.kernel_copies", int64(p.copies.KernelCopies))
 	gOpts := ddg.Options{Carried: true, Tracer: tr}
 	p.graph = buildGraph(opt.Cache, cfp, p.copies.Body, cfg, gOpts)
-	partSched, err := runSchedule(opt.Cache, cfp, gOpts, p.graph, cfg, modulo.Options{
+	partSched, err := runSchedule(ctx, opt.Cache, cfp, gOpts, p.graph, cfg, modulo.Options{
 		ClusterOf:   p.copies.ClusterOf,
 		BudgetRatio: opt.BudgetRatio,
 		Lifetime:    opt.LifetimeSched,
 		Tracer:      tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("codegen: clustered scheduling of %q: %w", loop.Name, err)
+		return nil, stageFail("modulo.clustered", err, "codegen: clustered scheduling of %q", loop.Name)
 	}
 	p.sched = partSched
 
 	// Step 5: per-bank Chaitin/Briggs assignment.
 	if !opt.SkipAlloc {
+		if err := checkpoint(ctx, "regalloc"); err != nil {
+			return nil, err
+		}
 		p.alloc = allocateParts(p.graph, partSched, p.asg, cfg, tr)
 	}
 	return p, nil

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fixtures"
@@ -14,7 +15,7 @@ import (
 func TestCompileDotProductAllMachines(t *testing.T) {
 	l := fixtures.DotProduct(4)
 	for _, cfg := range machine.PaperConfigs() {
-		res, err := Compile(l, cfg, Options{})
+		res, err := Compile(context.Background(), l, cfg, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
@@ -44,11 +45,11 @@ func TestCompileFullyDeterministic(t *testing.T) {
 	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: loopgen.DefaultParams().Seed})
 	cfg := machine.MustClustered16(4, machine.Embedded)
 	for _, l := range loops {
-		a, err := Compile(l, cfg, Options{SkipAlloc: true})
+		a, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Compile(l, cfg, Options{SkipAlloc: true})
+		b, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestCompileFullyDeterministic(t *testing.T) {
 
 func TestCompileMonolithicIsIdentity(t *testing.T) {
 	l := fixtures.DotProduct(2)
-	res, err := Compile(l, machine.Ideal16(), Options{})
+	res, err := Compile(context.Background(), l, machine.Ideal16(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestCopyInsertionInvariants(t *testing.T) {
 	loops := loopgen.Generate(loopgen.Params{N: 25, Seed: 5})
 	cfg := machine.MustClustered16(4, machine.Embedded)
 	for _, l := range loops {
-		res, err := Compile(l, cfg, Options{SkipAlloc: true})
+		res, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
 		if err != nil {
 			t.Fatalf("%s: %v", l.Name, err)
 		}
@@ -136,7 +137,7 @@ func TestCopyReuseWithinIteration(t *testing.T) {
 	cfg := machine.MustClustered16(2, machine.Embedded)
 	// Force x into bank 0 and both consumers into bank 1.
 	pre := map[ir.Reg]int{x: 0, y1: 1, y2: 1}
-	res, err := Compile(l, cfg, Options{Pre: pre, SkipAlloc: true})
+	res, err := Compile(context.Background(), l, cfg, Options{Pre: pre, SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestInvariantCopiesHoisted(t *testing.T) {
 	b.Store(m, ir.MemRef{Base: "c", Coeff: 1})
 	cfg := machine.MustClustered16(2, machine.Embedded)
 	pre := map[ir.Reg]int{s: 0, x: 1, m: 1}
-	res, err := Compile(l, cfg, Options{Pre: pre, SkipAlloc: true})
+	res, err := Compile(context.Background(), l, cfg, Options{Pre: pre, SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestCompileWithEveryPartitioner(t *testing.T) {
 		partition.Random{Seed: 3}, partition.SingleBank{},
 	}
 	for _, p := range parts {
-		res, err := Compile(l, cfg, Options{Partitioner: p, SkipAlloc: true})
+		res, err := Compile(context.Background(), l, cfg, Options{Partitioner: p, SkipAlloc: true})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
@@ -190,7 +191,7 @@ func TestCompileWithEveryPartitioner(t *testing.T) {
 func TestSingleBankNeverCopies(t *testing.T) {
 	l := fixtures.DotProduct(3)
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	res, err := Compile(l, cfg, Options{Partitioner: partition.SingleBank{}, SkipAlloc: true})
+	res, err := Compile(context.Background(), l, cfg, Options{Partitioner: partition.SingleBank{}, SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestSingleBankNeverCopies(t *testing.T) {
 func TestAllocationProducedPerBank(t *testing.T) {
 	l := fixtures.DotProduct(4)
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	res, err := Compile(l, cfg, Options{})
+	res, err := Compile(context.Background(), l, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,11 +224,11 @@ func TestAllocationProducedPerBank(t *testing.T) {
 
 func TestClusteredIPCModels(t *testing.T) {
 	l := fixtures.DotProduct(4)
-	emb, err := Compile(l, machine.MustClustered16(4, machine.Embedded), Options{SkipAlloc: true})
+	emb, err := Compile(context.Background(), l, machine.MustClustered16(4, machine.Embedded), Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cu, err := Compile(l, machine.MustClustered16(4, machine.CopyUnit), Options{SkipAlloc: true})
+	cu, err := Compile(context.Background(), l, machine.MustClustered16(4, machine.CopyUnit), Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -67,7 +68,7 @@ func (s candidateScore) less(t candidateScore) bool {
 // skipped; the compile only fails if every candidate does. With
 // opt.SkipAlloc the spill and pressure components are zero for every
 // candidate and selection falls back to the clustered II alone.
-func compilePortfolio(res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, weights core.Weights, gen partition.CandidateGenerator, tr *trace.Tracer) error {
+func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, weights core.Weights, gen partition.CandidateGenerator, tr *trace.Tracer) error {
 	psp := tr.StartSpan("codegen.portfolio")
 	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
 	cands, err := gen.Candidates(&partition.Input{
@@ -113,7 +114,7 @@ func compilePortfolio(res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machin
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			parts[i], errs[i] = compileClustered(loop, fp, cfg, opt, cands[i].Assignment, tr)
+			parts[i], errs[i] = compileClustered(ctx, loop, fp, cfg, opt, cands[i].Assignment, tr)
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package codegen
+
+const raceDelayFactor = 1

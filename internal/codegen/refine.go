@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/ir"
@@ -18,14 +19,6 @@ import (
 // recompile with the move pre-colored); keep any move that shrinks the II
 // and repeat until a round yields no improvement or the budget runs out.
 
-// RefineOptions tunes the refinement loop.
-type RefineOptions struct {
-	// Rounds caps the improvement rounds (0 means 4).
-	Rounds int
-	// TrialsPerRound caps candidate moves evaluated per round (0 means 24).
-	TrialsPerRound int
-}
-
 // RefineStats reports what the refinement did.
 type RefineStats struct {
 	// Rounds actually executed; MovesTried and MovesKept count candidate
@@ -37,16 +30,19 @@ type RefineStats struct {
 
 // CompileRefined runs the pipeline, then iteratively improves the
 // partition. It returns the best result found and the refinement stats.
-func CompileRefined(loop *ir.Loop, cfg *machine.Config, opt Options, ropt RefineOptions) (*Result, *RefineStats, error) {
-	rounds := ropt.Rounds
+// The rounds and per-round trial budget come from opt.RefineRounds and
+// opt.RefineTrials; ctx is polled before every trial recompile, so a
+// deadline bounds the whole feedback loop, not just one pipeline pass.
+func CompileRefined(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Options) (*Result, *RefineStats, error) {
+	rounds := opt.RefineRounds
 	if rounds <= 0 {
 		rounds = 4
 	}
-	trials := ropt.TrialsPerRound
+	trials := opt.RefineTrials
 	if trials <= 0 {
 		trials = 24
 	}
-	best, err := Compile(loop, cfg, opt)
+	best, err := Compile(ctx, loop, cfg, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,13 +58,19 @@ func CompileRefined(loop *ir.Loop, cfg *machine.Config, opt Options, ropt Refine
 		stats.Rounds = round + 1
 		improved := false
 		for _, mv := range candidateMoves(best, trials) {
+			if err := checkpoint(ctx, "refine"); err != nil {
+				return nil, nil, err
+			}
 			stats.MovesTried++
 			pre := overrideAssignment(loop, best, mv)
 			trialOpt := opt
 			trialOpt.Pre = pre
 			trialOpt.SkipAlloc = true
-			trial, err := Compile(loop, cfg, trialOpt)
+			trial, err := Compile(ctx, loop, cfg, trialOpt)
 			if err != nil {
+				if isCtxErr(err) {
+					return nil, nil, err
+				}
 				continue // an infeasible move is just skipped
 			}
 			if trial.PartII() < best.PartII() {

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/loopgen"
@@ -13,11 +14,11 @@ func TestCompileRefinedNeverWorse(t *testing.T) {
 	cfg := machine.MustClustered16(4, machine.Embedded)
 	improvedSomewhere := false
 	for _, l := range loops {
-		base, err := Compile(l, cfg, Options{SkipAlloc: true})
+		base, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		refined, stats, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+		refined, stats, err := CompileRefined(context.Background(), l, cfg, Options{SkipAlloc: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func TestCompileRefinedNeverWorse(t *testing.T) {
 
 func TestCompileRefinedMonolithicNoop(t *testing.T) {
 	l := loopgen.Generate(loopgen.Params{N: 1, Seed: 5})[0]
-	res, stats, err := CompileRefined(l, machine.Ideal16(), Options{SkipAlloc: true}, RefineOptions{})
+	res, stats, err := CompileRefined(context.Background(), l, machine.Ideal16(), Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,11 @@ func TestCompileRefinedMonolithicNoop(t *testing.T) {
 func TestCompileRefinedDeterministic(t *testing.T) {
 	l := loopgen.Generate(loopgen.Params{N: 12, Seed: loopgen.DefaultParams().Seed})[7]
 	cfg := machine.MustClustered16(8, machine.Embedded)
-	a, sa, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+	a, sa, err := CompileRefined(context.Background(), l, cfg, Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := CompileRefined(l, cfg, Options{SkipAlloc: true}, RefineOptions{})
+	b, sb, err := CompileRefined(context.Background(), l, cfg, Options{SkipAlloc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestCompileRefinedDeterministic(t *testing.T) {
 func TestCompileRefinedAllocWhenRequested(t *testing.T) {
 	l := loopgen.Generate(loopgen.Params{N: 3, Seed: 5})[2]
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	res, _, err := CompileRefined(l, cfg, Options{}, RefineOptions{Rounds: 2})
+	res, _, err := CompileRefined(context.Background(), l, cfg, Options{RefineRounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -55,8 +56,12 @@ func (r *BlockResult) Degradation() float64 {
 // code (wrapped in a Loop container for register numbering): list-schedule
 // on the monolithic machine, build the RCG from that ideal schedule,
 // partition, insert copies, re-schedule clustered, and color each bank.
-func CompileBlock(loop *ir.Loop, cfg *machine.Config, opt Options) (*BlockResult, error) {
+// ctx is polled at stage boundaries, as in Compile.
+func CompileBlock(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Options) (*BlockResult, error) {
 	if err := ir.VerifyLoop(loop); err != nil {
+		return nil, err
+	}
+	if err := checkpoint(ctx, "sched.ideal"); err != nil {
 		return nil, err
 	}
 	weights := core.DefaultWeights()
@@ -94,6 +99,9 @@ func CompileBlock(loop *ir.Loop, cfg *machine.Config, opt Options) (*BlockResult
 		Weights: weights,
 		Pre:     opt.Pre,
 	}
+	if err := checkpoint(ctx, "partition"); err != nil {
+		return nil, err
+	}
 	if g, ok := part.(partition.Greedy); ok {
 		res.RCG = g.RCG(in)
 	}
@@ -106,6 +114,9 @@ func CompileBlock(loop *ir.Loop, cfg *machine.Config, opt Options) (*BlockResult
 	}
 	res.Assignment = asg
 
+	if err := checkpoint(ctx, "copyins"); err != nil {
+		return nil, err
+	}
 	work := loop.Clone()
 	res.Copies = InsertCopiesStraightLine(work, asg, cfg)
 	if err := ir.VerifyBlock(res.Copies.Body); err != nil {

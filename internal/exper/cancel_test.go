@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// panicPartitioner blows up inside a worker; the suite runner must not
+// swallow it (a swallowed panic silently zeroes a table cell).
+type panicPartitioner struct{}
+
+func (panicPartitioner) Name() string { return "panicker" }
+func (panicPartitioner) Assign(in *partition.Input) (*core.Assignment, error) {
+	panic("boom from partitioner")
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 8, Seed: loopgen.DefaultParams().Seed})
+	cfgs := []*machine.Config{machine.MustClustered16(4, machine.Embedded)}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("re-raised panic has type %T, want string", r)
+		}
+		if !strings.Contains(msg, "worker panicked") || !strings.Contains(msg, "boom from partitioner") {
+			t.Errorf("re-raised panic lost the cause: %q", msg)
+		}
+		if !strings.Contains(msg, "worker stack") {
+			t.Errorf("re-raised panic lost the worker stack: %q", msg)
+		}
+	}()
+	_, _ = Run(context.Background(), loops, cfgs, codegen.Config{
+		Partitioner: panicPartitioner{},
+		SkipAlloc:   true,
+		Workers:     4,
+	})
+	t.Fatal("Run returned instead of panicking")
+}
+
+func TestRunCancelPromptNoLeak(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 120, Seed: loopgen.DefaultParams().Seed})
+	cfgs := machine.PaperConfigs()
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results, err := Run(ctx, loops, cfgs, codegen.Config{SkipAlloc: true})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("cancelled Run returned nil error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap the deadline: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled Run took %s; cancellation is not prompt", elapsed)
+	}
+	if len(results) != len(cfgs) {
+		t.Errorf("partial results lost shape: %d machines, want %d", len(results), len(cfgs))
+	}
+
+	// Every worker must have been joined before Run returned; give the
+	// runtime a moment to reap exited goroutines, then compare counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunMatchesRunSuite(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 12, Seed: loopgen.DefaultParams().Seed})
+	cfgs := []*machine.Config{machine.MustClustered16(4, machine.Embedded)}
+	viaRun, err := Run(context.Background(), loops, cfgs, codegen.Config{SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSuite := RunSuite(loops, cfgs, Options{Codegen: codegen.Options{SkipAlloc: true}})
+	if Table1(viaRun) != Table1(viaSuite) || Table2(viaRun) != Table2(viaSuite) {
+		t.Error("Run and the deprecated RunSuite disagree on the tables")
+	}
+}

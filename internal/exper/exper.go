@@ -7,8 +7,10 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -132,7 +134,11 @@ func (cr *ConfigResult) Errors() []error {
 	return errs
 }
 
-// Options tunes a suite run.
+// Options tunes a suite run through the deprecated RunSuite entry point.
+//
+// Deprecated: the knobs collapsed into codegen.Config (Workers lives
+// there now); call Run with a Config instead. Options survives so
+// pre-context call sites keep compiling unchanged.
 type Options struct {
 	// Codegen is forwarded to the pipeline (partitioner, weights, budget).
 	Codegen codegen.Options
@@ -144,31 +150,61 @@ type Options struct {
 	Tracer *trace.Tracer
 }
 
-// RunSuite compiles every loop for every machine and returns one
-// ConfigResult per machine in the given order. The work is spread over a
-// single worker pool covering every (machine, loop) pair, so small
-// per-machine suites still saturate the CPUs when several machines are
-// evaluated. Output is deterministic: outcomes are indexed by (config,
-// loop) position and the pipeline itself has no randomness.
-func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigResult {
-	cg := opt.Codegen
-	if opt.Tracer != nil && cg.Tracer == nil {
-		cg.Tracer = opt.Tracer
+// config collapses the legacy three-struct shape onto the unified Config.
+func (o Options) config() codegen.Config {
+	cfg := o.Codegen
+	if o.Workers != 0 && cfg.Workers == 0 {
+		cfg.Workers = o.Workers
 	}
+	if o.Tracer != nil && cfg.Tracer == nil {
+		cfg.Tracer = o.Tracer
+	}
+	return cfg
+}
+
+// RunSuite compiles every loop for every machine with no deadline.
+//
+// Deprecated: RunSuite is the pre-context shim over Run. It cannot be
+// cancelled; a worker panic still propagates to the caller.
+func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigResult {
+	results, err := Run(context.Background(), loops, cfgs, opt.config())
+	if err != nil {
+		// Run only fails when its context does, and Background has none.
+		panic(fmt.Sprintf("exper: RunSuite: impossible error: %v", err))
+	}
+	return results
+}
+
+// Run compiles every loop for every machine and returns one ConfigResult
+// per machine in the given order. The work is spread over a single worker
+// pool (cfg.Workers goroutines, GOMAXPROCS when <=0) covering every
+// (machine, loop) pair, so small per-machine suites still saturate the
+// CPUs when several machines are evaluated. Output is deterministic:
+// outcomes are indexed by (config, loop) position and the pipeline itself
+// has no randomness.
+//
+// Cancellation: when ctx is cancelled or its deadline expires, in-flight
+// compilations abort at their next stage/iteration boundary, queued work
+// is dropped, and Run returns the partial results together with a non-nil
+// error wrapping ctx.Err(). A panic in a worker is not swallowed (and
+// never silently drops a (config, loop) cell): the remaining work is
+// cancelled, every worker is joined, and the panic is re-raised on the
+// caller's goroutine with the worker's stack.
+func Run(ctx context.Context, loops []*ir.Loop, cfgs []*machine.Config, cfg codegen.Config) ([]*ConfigResult, error) {
 	method := "rcg-greedy"
-	if cg.Partitioner != nil {
-		method = cg.Partitioner.Name()
+	if cfg.Partitioner != nil {
+		method = cfg.Partitioner.Name()
 	}
 	results := make([]*ConfigResult, len(cfgs))
-	for ci, cfg := range cfgs {
-		results[ci] = &ConfigResult{Cfg: cfg, Method: method, Outcomes: make([]LoopOutcome, len(loops))}
+	for ci, c := range cfgs {
+		results[ci] = &ConfigResult{Cfg: c, Method: method, Outcomes: make([]LoopOutcome, len(loops))}
 	}
 
 	total := len(cfgs) * len(loops)
 	if total == 0 {
-		return results
+		return results, nil
 	}
-	workers := opt.Workers
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -178,7 +214,17 @@ func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigRe
 	if workers < 1 {
 		workers = 1
 	}
-	sp := cg.Tracer.StartSpan("exper.run_suite")
+	sp := cfg.Tracer.StartSpan("exper.run_suite")
+
+	// stop cancels the pool's context without touching the caller's: a
+	// worker panic stops the suite the same way a caller cancellation
+	// does, and after the join we distinguish the two.
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
+	var panicOnce sync.Once
+	var panicVal any
+	var panicStack []byte
+
 	type job struct{ ci, li int }
 	var wg sync.WaitGroup
 	jobs := make(chan job)
@@ -186,31 +232,54 @@ func RunSuite(loops []*ir.Loop, cfgs []*machine.Config, opt Options) []*ConfigRe
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicVal = r
+						panicStack = debug.Stack()
+					})
+					stop()
+				}
+			}()
 			for j := range jobs {
-				results[j.ci].Outcomes[j.li] = compileOne(loops[j.li], cfgs[j.ci], cg)
+				if ctx.Err() != nil {
+					continue // drain the queue without compiling
+				}
+				results[j.ci].Outcomes[j.li] = compileOne(ctx, loops[j.li], cfgs[j.ci], cfg)
 			}
 		}()
 	}
+feed:
 	for ci := range cfgs {
 		for li := range loops {
-			jobs <- job{ci, li}
+			select {
+			case jobs <- job{ci, li}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
 	sp.Int("machines", int64(len(cfgs))).Int("loops", int64(len(loops))).
 		Int("workers", int64(workers))
-	if cg.Cache.Enabled() {
-		st := cg.Cache.Stats()
+	if cfg.Cache.Enabled() {
+		st := cfg.Cache.Stats()
 		sp.Int("cacheHits", st.Hits).Int("cacheMisses", st.Misses).
 			Int("cacheEntries", st.Entries)
 	}
 	sp.End()
-	return results
+	if panicVal != nil {
+		panic(fmt.Sprintf("exper: worker panicked: %v\n\nworker stack:\n%s", panicVal, panicStack))
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("exper: suite run cancelled: %w", err)
+	}
+	return results, nil
 }
 
-func compileOne(loop *ir.Loop, cfg *machine.Config, opt codegen.Options) LoopOutcome {
-	res, err := codegen.Compile(loop, cfg, opt)
+func compileOne(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt codegen.Options) LoopOutcome {
+	res, err := codegen.Compile(ctx, loop, cfg, opt)
 	if err != nil {
 		return LoopOutcome{Loop: loop.Name, Err: err}
 	}

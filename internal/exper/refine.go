@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -52,11 +53,11 @@ func RefineStudy(loops []*ir.Loop, cfgs []*machine.Config, workers int) []Refine
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					base, err := codegen.Compile(loops[i], cfg, codegen.Options{SkipAlloc: true})
+					base, err := codegen.Compile(context.Background(), loops[i], cfg, codegen.Options{SkipAlloc: true})
 					if err != nil {
 						continue
 					}
-					refined, st, err := codegen.CompileRefined(loops[i], cfg, codegen.Options{SkipAlloc: true}, codegen.RefineOptions{})
+					refined, st, err := codegen.CompileRefined(context.Background(), loops[i], cfg, codegen.Options{SkipAlloc: true})
 					if err != nil {
 						continue
 					}

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func expandFixture(t *testing.T) (*ir.Loop, *ddg.Graph, *Schedule, *machine.Conf
 	z := b.Add(y, y)
 	b.Store(z, ir.MemRef{Base: "c", Coeff: 1})
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExpandSuiteProperty(t *testing.T) {
 	cfg := machine.Ideal16()
 	for _, l := range loopgen.Generate(loopgen.Params{N: 20, Seed: 21}) {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-		s, err := Run(g, cfg, Options{})
+		s, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -23,7 +24,7 @@ func FuzzModuloSchedule(f *testing.F) {
 		loop := loopgen.Generate(loopgen.Params{N: 1, Seed: seed})[0]
 		cfg := cfgs[int(cfgIdx)%len(cfgs)]
 		g := ddg.Build(loop.Body, cfg, ddg.Options{Carried: true})
-		s, err := Run(g, cfg, Options{})
+		s, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatalf("seed %d on %s: %v", seed, cfg.Name, err)
 		}
@@ -37,7 +38,7 @@ func FuzzModuloSchedule(f *testing.F) {
 		if s.II > st.serialII() {
 			t.Fatalf("seed %d on %s: II %d beyond serial bound %d", seed, cfg.Name, s.II, st.serialII())
 		}
-		s2, err := Run(g, cfg, Options{})
+		s2, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -28,9 +28,16 @@ type attempt struct {
 	inQueue  []bool
 }
 
+// ctxPollInterval is how many placements pass between context polls
+// inside an II attempt: frequent enough that even one attempt on a large
+// unrolled loop notices an expired deadline within microseconds, rare
+// enough that the check never shows up in profiles.
+const ctxPollInterval = 64
+
 // tryII attempts to find a modulo schedule at the given II within the
-// placement budget. It returns (schedule, true) on success.
-func (st *state) tryII(ii, budget int) (*Schedule, bool) {
+// placement budget. It returns (schedule, true, nil) on success and a
+// non-nil error only when the run's context is cancelled mid-attempt.
+func (st *state) tryII(ii, budget int) (*Schedule, bool, error) {
 	a := &attempt{
 		st:       st,
 		ii:       ii,
@@ -57,6 +64,11 @@ func (st *state) tryII(ii, budget int) (*Schedule, bool) {
 	}
 
 	for a.pq.Len() > 0 && budget > 0 {
+		if st.ctx != nil && budget%ctxPollInterval == 0 {
+			if err := st.ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		idx := heap.Pop(a.pq).(int)
 		a.inQueue[idx] = false
 		budget--
@@ -74,7 +86,7 @@ func (st *state) tryII(ii, budget int) (*Schedule, bool) {
 		a.evictViolatedSuccessors(idx)
 	}
 	if a.pq.Len() > 0 {
-		return nil, false // budget exhausted
+		return nil, false, nil // budget exhausted
 	}
 	if st.opt.Lifetime {
 		a.compactLifetimes()
@@ -85,7 +97,7 @@ func (st *state) tryII(ii, budget int) (*Schedule, bool) {
 			s.Length = end
 		}
 	}
-	return s, true
+	return s, true, nil
 }
 
 func (a *attempt) enqueue(i int) {

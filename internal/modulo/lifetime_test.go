@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -49,11 +50,11 @@ func TestLifetimeModeValidAndNoWorseII(t *testing.T) {
 	totalRau, totalSwing := 0, 0
 	for _, l := range loops {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-		rau, err := Run(g, cfg, Options{})
+		rau, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		swing, err := Run(g, cfg, Options{Lifetime: true})
+		swing, err := Run(context.Background(), g, cfg, Options{Lifetime: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,11 +79,11 @@ func TestLifetimeCompactionDeterministic(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := loopgen.Generate(loopgen.Params{N: 8, Seed: 13})[5]
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	a, err := Run(g, cfg, Options{Lifetime: true})
+	a, err := Run(context.Background(), g, cfg, Options{Lifetime: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(g, cfg, Options{Lifetime: true})
+	b, err := Run(context.Background(), g, cfg, Options{Lifetime: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestLifetimeModeClustered(t *testing.T) {
 		for i := range pins {
 			pins[i] = i % 4
 		}
-		s, err := Run(g, cfg, Options{Lifetime: true, ClusterOf: pins})
+		s, err := Run(context.Background(), g, cfg, Options{Lifetime: true, ClusterOf: pins})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,7 @@
 package modulo
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -119,7 +120,13 @@ func (s *Schedule) Kernel(ops []*ir.Op) string {
 }
 
 // Run modulo-schedules the loop dependence graph g on machine cfg.
-func Run(g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
+//
+// The II search polls ctx at every candidate-II attempt and periodically
+// inside each attempt's placement loop, so a cancelled or expired context
+// stops a long search promptly. The returned error then wraps ctx.Err()
+// together with the II the search had reached — the "partial progress"
+// contract the compile service relies on for request deadlines.
+func Run(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
 	n := len(g.Ops)
 	if n == 0 {
 		return &Schedule{II: 1, Time: nil, Cluster: nil}, nil
@@ -156,9 +163,21 @@ func Run(g *ddg.Graph, cfg *machine.Config, opt Options) (*Schedule, error) {
 		}
 		return s
 	}
+	st.ctx = ctx
 	for ii := minII; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			done(&Schedule{II: ii}, false)
+			return nil, fmt.Errorf("modulo: II search stopped at II=%d (minII=%d, %d placements): %w",
+				ii, minII, st.placements, err)
+		}
 		st.attempts++
-		if s, ok := st.tryII(ii, ratio*n); ok {
+		s, ok, err := st.tryII(ii, ratio*n)
+		if err != nil {
+			done(&Schedule{II: ii}, false)
+			return nil, fmt.Errorf("modulo: II search stopped at II=%d (minII=%d, %d placements): %w",
+				ii, minII, st.placements, err)
+		}
+		if ok {
 			return done(s, false), nil
 		}
 	}
@@ -175,6 +194,9 @@ type state struct {
 	cfg *machine.Config
 	opt Options
 	n   int
+	// ctx is polled inside the placement loop so one over-budget II
+	// attempt on a large loop cannot outlive the caller's deadline.
+	ctx context.Context
 
 	attempts, placements, evictions int
 }

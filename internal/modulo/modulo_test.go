@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestAccumulatorReachesRecMII(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := accumulator(ir.Float)
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestResourceBoundLoop(t *testing.T) {
 		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 40, Offset: k})
 	}
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestPinnedTriadLaneAchievesMinII(t *testing.T) {
 	b.Store(sum, ir.MemRef{Base: "c", Coeff: 1})
 	g := buildGraph(l, cfg)
 	pins := []int{0, 0, 0, 0, 0}
-	sch, err := Run(g, cfg, Options{ClusterOf: pins})
+	sch, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestClusterPinningRespected(t *testing.T) {
 	}
 	g := buildGraph(l, cfg)
 	pins := []int{0, 1, 2, 3, 0, 1, 2, 3}
-	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	s, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestCopyUnitPortsLimitII(t *testing.T) {
 		pins = append(pins, 0)
 	}
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	s, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestEmbeddedCopiesConsumeSlots(t *testing.T) {
 		pins = append(pins, 3)
 	}
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	s, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestIIAtLeastMinII(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := accumulator(ir.Int)
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestIIAtLeastMinII(t *testing.T) {
 func TestEmptyLoop(t *testing.T) {
 	cfg := machine.Ideal16()
 	g := ddg.Build(&ir.Block{}, cfg, ddg.Options{Carried: true})
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestScheduleAccessors(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := accumulator(ir.Float)
 	g := buildGraph(l, cfg)
-	s, err := Run(g, cfg, Options{})
+	s, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestCheckRejectsBadSchedules(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := accumulator(ir.Float)
 	g := buildGraph(l, cfg)
-	good, err := Run(g, cfg, Options{})
+	good, err := Run(context.Background(), g, cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -18,7 +19,7 @@ func TestSuiteSchedulesAreValid(t *testing.T) {
 	for _, l := range loops {
 		for _, cfg := range cfgs {
 			g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-			s, err := Run(g, cfg, Options{})
+			s, err := Run(context.Background(), g, cfg, Options{})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}
@@ -39,11 +40,11 @@ func TestSchedulerDeterministic(t *testing.T) {
 	cfg := machine.Ideal16()
 	for _, l := range loops {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-		a, err := Run(g, cfg, Options{})
+		a, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(g, cfg, Options{})
+		b, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestMonolithicIINeverWorseThanSerial(t *testing.T) {
 	for _, l := range loops {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
 		st := &state{g: g, cfg: cfg, opt: Options{}, n: len(g.Ops)}
-		s, err := Run(g, cfg, Options{})
+		s, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ddg"
@@ -22,7 +23,7 @@ func TestHeterogeneousUnitsBoundII(t *testing.T) {
 		pins = append(pins, 0)
 	}
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	s, err := Run(g, cfg, Options{ClusterOf: pins})
+	s, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestHeterogeneousMixedKernel(t *testing.T) {
 	b.Store(s2, ir.MemRef{Base: "c", Coeff: 1})
 	pins := []int{0, 0, 0, 0, 0, 0}
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	sch, err := Run(g, cfg, Options{ClusterOf: pins})
+	sch, err := Run(context.Background(), g, cfg, Options{ClusterOf: pins})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestHeterogeneousSuiteValid(t *testing.T) {
 	cfg := machine.C6xLike(machine.Embedded)
 	for _, l := range loopgen.Generate(loopgen.Params{N: 20, Seed: 37}) {
 		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-		s, err := Run(g, cfg, Options{})
+		s, err := Run(context.Background(), g, cfg, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", l.Name, err)
 		}

@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/codegen"
@@ -18,7 +19,7 @@ func makeInput(t *testing.T, l *ir.Loop, cfg *machine.Config) *Input {
 	t.Helper()
 	idealCfg := codegen.IdealOf(cfg)
 	g := ddg.Build(l.Body, idealCfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, idealCfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, idealCfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

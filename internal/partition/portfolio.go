@@ -105,7 +105,7 @@ func PortfolioVariants(banks, k int) []core.Variant {
 		{Name: "balance-half", BalanceScale: 0.5},
 		{Name: "balance-double", BalanceScale: 2},
 		{Name: "reversed-tie-most", BankOrder: reversedOrder(banks), Tie: core.TieMostLoaded},
-		{Name: "rotated-tie-first", BankOrder: rotatedOrder(banks, banks / 2), Tie: core.TieFirst},
+		{Name: "rotated-tie-first", BankOrder: rotatedOrder(banks, banks/2), Tie: core.TieFirst},
 		{Name: "balance-off", BalanceScale: 1e-9},
 	}
 	out := make([]core.Variant, 0, k)

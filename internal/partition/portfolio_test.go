@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,11 +49,11 @@ func TestPortfolioNeverWorseThanGreedy(t *testing.T) {
 		cfg := machine.MustClustered16(clusters, machine.Embedded)
 		improved := 0
 		for _, l := range loops {
-			base, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
+			base, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
 			if err != nil {
 				t.Fatalf("%s greedy on %s: %v", l.Name, cfg.Name, err)
 			}
-			port, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{}})
+			port, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Portfolio{}})
 			if err != nil {
 				t.Fatalf("%s portfolio on %s: %v", l.Name, cfg.Name, err)
 			}
@@ -78,11 +79,11 @@ func TestPortfolioNeverWorseThanGreedy(t *testing.T) {
 func TestPortfolioBaselineOnlyMatchesGreedy(t *testing.T) {
 	cfg := machine.MustClustered16(4, machine.Embedded)
 	for _, l := range loopgen.Suite()[:25] {
-		base, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
+		base, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Greedy{}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		solo, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Variants: 1}})
+		solo, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Portfolio{Variants: 1}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,11 +107,11 @@ func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
 	for _, clusters := range []int{2, 4, 8} {
 		cfg := machine.MustClustered16(clusters, machine.Embedded)
 		for _, l := range cases {
-			serial, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 1}})
+			serial, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 1}})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}
-			parallel, err := codegen.Compile(l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 8}})
+			parallel, err := codegen.Compile(context.Background(), l, cfg, codegen.Options{Partitioner: partition.Portfolio{Workers: 8}})
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}

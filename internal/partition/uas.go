@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,7 +33,7 @@ func (UAS) Name() string { return "uas" }
 func (UAS) Assign(in *Input) (*core.Assignment, error) {
 	// The input graph was built with the ideal machine's latency table,
 	// which the clustered machines share, so it is reusable here.
-	s, err := modulo.Run(in.Graph, in.Cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), in.Graph, in.Cfg, modulo.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("partition: UAS scheduling: %w", err)
 	}

@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -185,7 +186,7 @@ func TestKernelRangesDotProduct(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := fixtures.DotProduct(2)
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestKernelRangesInvariant(t *testing.T) {
 	m := b.Mul(x, s0)
 	b.Store(m, ir.MemRef{Base: "c", Coeff: 1})
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestSuiteAllocationsValid(t *testing.T) {
 	cfg := machine.Ideal16()
 	l := fixtures.DotProduct(6)
 	g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
-	s, err := modulo.Run(g, cfg, modulo.Options{})
+	s, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,225 @@
+// Package server implements swpd, the compile-as-a-service daemon: a
+// long-running HTTP/JSON front end over the five-step pipeline. Requests
+// carry a loop in the ir.ParseLoop assembly format plus a machine spec;
+// responses carry the compiled outcome (II, degradation, copies, the
+// clustered schedule and optionally the expanded prelude/kernel/postlude).
+//
+// The daemon exists because the pipeline is CPU-bound and bursty: a
+// bounded worker pool keeps at most GOMAXPROCS compilations running, a
+// bounded queue absorbs short bursts, and everything beyond that is shed
+// with 429 so latency stays flat instead of collapsing. Each request runs
+// under a context that merges the client connection (disconnect cancels
+// the compile) with an optional per-request deadline (expiry returns 504
+// naming the pipeline stage reached).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/partition"
+)
+
+// MachineSpec selects a target machine in a request.
+type MachineSpec struct {
+	// Clusters is 1 (the monolithic ideal) or one of the paper's cluster
+	// counts 2, 4, 8.
+	Clusters int `json:"clusters"`
+	// CopyModel is "embedded" (default) or "copyunit"; ignored for the
+	// monolithic machine.
+	CopyModel string `json:"copy_model,omitempty"`
+}
+
+// Config builds the machine.Config the spec names.
+func (ms MachineSpec) Config() (*machine.Config, error) {
+	if ms.Clusters <= 1 {
+		return machine.Ideal16(), nil
+	}
+	model := machine.Embedded
+	switch strings.ToLower(ms.CopyModel) {
+	case "", "embedded":
+	case "copyunit", "copy_unit", "copy-unit":
+		model = machine.CopyUnit
+	default:
+		return nil, fmt.Errorf("unknown copy model %q (want embedded or copyunit)", ms.CopyModel)
+	}
+	return machine.Clustered16(ms.Clusters, model)
+}
+
+// CompileRequest is the POST /compile body.
+type CompileRequest struct {
+	// Name labels the loop in responses and logs.
+	Name string `json:"name"`
+	// Source is the loop body in the ir.ParseLoop assembly format.
+	Source string `json:"source"`
+	// Machine selects the target; the zero value is the monolithic ideal.
+	Machine MachineSpec `json:"machine"`
+	// Partitioner optionally overrides the server's default method:
+	// rcg, portfolio, bug, uas, roundrobin, random, single.
+	Partitioner string `json:"partitioner,omitempty"`
+	// Refine enables the iterative partition improvement loop.
+	Refine bool `json:"refine,omitempty"`
+	// ExpandTrip, when positive, additionally expands the clustered
+	// schedule into prelude/kernel/postlude for that trip count.
+	ExpandTrip int `json:"expand_trip,omitempty"`
+	// TimeoutMS caps this request's compile time in milliseconds; 0 uses
+	// the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ScheduledOp is one operation of the clustered kernel schedule.
+type ScheduledOp struct {
+	Op      string `json:"op"`
+	Cycle   int    `json:"cycle"`
+	Row     int    `json:"row"`
+	Stage   int    `json:"stage"`
+	Cluster int    `json:"cluster"`
+}
+
+// RefineReport echoes codegen.RefineStats.
+type RefineReport struct {
+	Rounds     int `json:"rounds"`
+	MovesTried int `json:"moves_tried"`
+	MovesKept  int `json:"moves_kept"`
+	StartII    int `json:"start_ii"`
+	FinalII    int `json:"final_ii"`
+}
+
+// ExpansionReport is the flattened pipeline: rows of rendered instances.
+type ExpansionReport struct {
+	II          int        `json:"ii"`
+	Stages      int        `json:"stages"`
+	Trip        int        `json:"trip"`
+	KernelReps  int        `json:"kernel_reps"`
+	TotalCycles int        `json:"total_cycles"`
+	Prelude     [][]string `json:"prelude"`
+	Kernel      [][]string `json:"kernel"`
+	Postlude    [][]string `json:"postlude"`
+}
+
+// CompileResponse is the POST /compile success body.
+type CompileResponse struct {
+	Name             string           `json:"name"`
+	Machine          string           `json:"machine"`
+	Partitioner      string           `json:"partitioner"`
+	PortfolioVariant string           `json:"portfolio_variant,omitempty"`
+	IdealII          int              `json:"ideal_ii"`
+	PartII           int              `json:"part_ii"`
+	Degradation      float64          `json:"degradation"`
+	KernelCopies     int              `json:"kernel_copies"`
+	Spills           int              `json:"spills"`
+	CacheHit         bool             `json:"cache_hit,omitempty"`
+	Schedule         []ScheduledOp    `json:"schedule"`
+	Refine           *RefineReport    `json:"refine,omitempty"`
+	Expansion        *ExpansionReport `json:"expansion,omitempty"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Stage is the pipeline stage a cancelled or timed-out compile had
+	// reached (empty otherwise); see codegen.Stage.
+	Stage string `json:"stage,omitempty"`
+}
+
+// pickPartitioner mirrors the swpc flag of the same vocabulary.
+func pickPartitioner(name string) (partition.Partitioner, error) {
+	switch strings.ToLower(name) {
+	case "", "rcg":
+		return nil, nil // pipeline default (RCG greedy)
+	case "portfolio":
+		return partition.Portfolio{}, nil
+	case "bug":
+		return partition.BUG{}, nil
+	case "uas":
+		return partition.UAS{}, nil
+	case "roundrobin":
+		return partition.RoundRobin{}, nil
+	case "random":
+		return partition.Random{Seed: 1}, nil
+	case "single":
+		return partition.SingleBank{}, nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", name)
+	}
+}
+
+// buildResponse converts a pipeline result into the wire shape.
+func buildResponse(req *CompileRequest, res *codegen.Result, stats *codegen.RefineStats) (*CompileResponse, error) {
+	out := &CompileResponse{
+		Name:             req.Name,
+		Machine:          res.Cfg.Name,
+		Partitioner:      res.PartitionerName,
+		PortfolioVariant: res.PortfolioVariant,
+		IdealII:          res.IdealII(),
+		PartII:           res.PartII(),
+		Degradation:      res.Degradation(),
+		KernelCopies:     res.Copies.KernelCopies,
+	}
+	for _, a := range res.Alloc {
+		if a != nil {
+			out.Spills += len(a.Spilled)
+		}
+	}
+	body := res.Copies.Body
+	for i, op := range body.Ops {
+		out.Schedule = append(out.Schedule, ScheduledOp{
+			Op:      op.String(),
+			Cycle:   res.PartSched.Time[i],
+			Row:     res.PartSched.Row(i),
+			Stage:   res.PartSched.Stage(i),
+			Cluster: res.PartSched.Cluster[i],
+		})
+	}
+	if stats != nil {
+		out.Refine = &RefineReport{
+			Rounds:     stats.Rounds,
+			MovesTried: stats.MovesTried,
+			MovesKept:  stats.MovesKept,
+			StartII:    stats.StartII,
+			FinalII:    stats.FinalII,
+		}
+	}
+	if req.ExpandTrip > 0 {
+		ex, err := modulo.Expand(res.PartSched, body, req.ExpandTrip)
+		if err != nil {
+			return nil, fmt.Errorf("expanding for trip %d: %w", req.ExpandTrip, err)
+		}
+		out.Expansion = &ExpansionReport{
+			II:          ex.II,
+			Stages:      ex.Stages,
+			Trip:        ex.Trip,
+			KernelReps:  ex.KernelReps,
+			TotalCycles: ex.TotalCycles,
+			Prelude:     renderRows(ex.Prelude, body),
+			Kernel:      renderRows(ex.Kernel, body),
+			Postlude:    renderRows(ex.Postlude, body),
+		}
+	}
+	return out, nil
+}
+
+func renderRows(rows [][]modulo.Instance, body *ir.Block) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = make([]string, len(row))
+		for j, in := range row {
+			out[i][j] = fmt.Sprintf("[i%+d] %s", in.Iter, body.Ops[in.Op].String())
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the fixed histogram upper bounds, in seconds. They
+// bracket the pipeline's observed range: sub-millisecond cache hits up to
+// multi-second refined compiles of unrolled loops.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// metrics aggregates the service's counters without external
+// dependencies; /metrics renders them in the Prometheus text format so
+// standard scrapers parse the output, but nothing here imports one.
+type metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	byCode   map[int]int64
+	buckets  []int64 // len(latencyBuckets)+1; last is +Inf
+	latSum   float64
+	latCount int64
+
+	deadlineExpired atomic.Int64
+	clientGone      atomic.Int64
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		start:   now,
+		byCode:  make(map[int]int64),
+		buckets: make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byCode[code]++
+	m.latSum += sec
+	m.latCount++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.buckets[i]++
+			return
+		}
+	}
+	m.buckets[len(latencyBuckets)]++
+}
+
+// handler renders every gauge and counter the server owns, plus the
+// tracer's per-stage aggregates and the cache's hit/miss counts.
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP swpd_up Uptime in seconds.\n# TYPE swpd_up gauge\n")
+	fmt.Fprintf(w, "swpd_up %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP swpd_requests_total Finished /compile requests by status code.\n# TYPE swpd_requests_total counter\n")
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.byCode))
+	for c := range m.byCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "swpd_requests_total{code=\"%d\"} %d\n", c, m.byCode[c])
+	}
+	fmt.Fprintf(w, "# HELP swpd_request_seconds Compile request latency.\n# TYPE swpd_request_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.buckets[i]
+		fmt.Fprintf(w, "swpd_request_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.buckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "swpd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "swpd_request_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "swpd_request_seconds_count %d\n", m.latCount)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP swpd_deadline_expired_total Requests that hit their deadline mid-compile.\n# TYPE swpd_deadline_expired_total counter\n")
+	fmt.Fprintf(w, "swpd_deadline_expired_total %d\n", m.deadlineExpired.Load())
+	fmt.Fprintf(w, "# HELP swpd_client_gone_total Requests whose client disconnected mid-compile.\n# TYPE swpd_client_gone_total counter\n")
+	fmt.Fprintf(w, "swpd_client_gone_total %d\n", m.clientGone.Load())
+
+	fmt.Fprintf(w, "# HELP swpd_queue_depth Tasks waiting in the compile queue.\n# TYPE swpd_queue_depth gauge\n")
+	fmt.Fprintf(w, "swpd_queue_depth %d\n", s.pool.queued.Load())
+	fmt.Fprintf(w, "# HELP swpd_in_flight Compilations running right now.\n# TYPE swpd_in_flight gauge\n")
+	fmt.Fprintf(w, "swpd_in_flight %d\n", s.pool.inFlight.Load())
+	fmt.Fprintf(w, "# HELP swpd_rejected_total Requests shed with 429 because the queue was full.\n# TYPE swpd_rejected_total counter\n")
+	fmt.Fprintf(w, "swpd_rejected_total %d\n", s.pool.rejected.Load())
+
+	if s.cfg.Pipeline.Cache.Enabled() {
+		st := s.cfg.Pipeline.Cache.Stats()
+		fmt.Fprintf(w, "# HELP swpd_cache_hits_total Compile cache hits.\n# TYPE swpd_cache_hits_total counter\n")
+		fmt.Fprintf(w, "swpd_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP swpd_cache_misses_total Compile cache misses.\n# TYPE swpd_cache_misses_total counter\n")
+		fmt.Fprintf(w, "swpd_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# HELP swpd_cache_entries Cached stage results resident.\n# TYPE swpd_cache_entries gauge\n")
+		fmt.Fprintf(w, "swpd_cache_entries %d\n", st.Entries)
+	}
+
+	if s.cfg.Pipeline.Tracer.Enabled() {
+		fmt.Fprintf(w, "# HELP swpd_stage_seconds_total Cumulative wall time per pipeline stage.\n# TYPE swpd_stage_seconds_total counter\n")
+		stats := s.cfg.Pipeline.Tracer.Stats()
+		for _, st := range stats {
+			fmt.Fprintf(w, "swpd_stage_seconds_total{stage=%q} %g\n", st.Name, st.Total.Seconds())
+		}
+		fmt.Fprintf(w, "# HELP swpd_stage_count_total Span count per pipeline stage.\n# TYPE swpd_stage_count_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(w, "swpd_stage_count_total{stage=%q} %d\n", st.Name, st.Count)
+		}
+		counters := s.cfg.Pipeline.Tracer.Counters()
+		if len(counters) > 0 {
+			names := make([]string, 0, len(counters))
+			for n := range counters {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "# HELP swpd_pipeline_counter Pipeline event counters.\n# TYPE swpd_pipeline_counter counter\n")
+			for _, n := range names {
+				fmt.Fprintf(w, "swpd_pipeline_counter{name=%q} %d\n", n, counters[n])
+			}
+		}
+	}
+}

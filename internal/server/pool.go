@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by submit when the queue is at capacity; the
+// HTTP layer maps it to 429 so overload sheds instead of piling up.
+var ErrQueueFull = errors.New("server: compile queue full")
+
+// task is one queued compilation. run executes under the request context;
+// the worker closes done afterwards. A task whose context dies while
+// still queued is skipped (ran stays false) — the waiting handler sees
+// the context error, and the worker moves straight to the next task.
+type task struct {
+	ctx  context.Context
+	run  func(context.Context)
+	done chan struct{}
+	ran  bool
+}
+
+// pool is a fixed set of worker goroutines over a bounded queue. Both
+// bounds are the service's control surface: workers caps concurrent
+// CPU-bound compiles at the core count, the queue absorbs bursts, and a
+// full queue is reported to the caller instead of growing without bound.
+type pool struct {
+	tasks    chan *task
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	rejected atomic.Int64
+
+	mu     sync.RWMutex // serializes submit against close
+	closed bool
+}
+
+// newPool starts workers goroutines (<=0 means GOMAXPROCS) behind a queue
+// of depth queueDepth (<=0 means 2x workers).
+func newPool(workers, queueDepth int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = 2 * workers
+	}
+	p := &pool{tasks: make(chan *task, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.queued.Add(-1)
+		if t.ctx.Err() == nil {
+			p.inFlight.Add(1)
+			t.ran = true
+			t.run(t.ctx)
+			p.inFlight.Add(-1)
+		}
+		close(t.done)
+	}
+}
+
+// submit enqueues t without blocking; a full queue or a closed pool is an
+// immediate ErrQueueFull.
+func (p *pool) submit(t *task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrQueueFull
+	}
+	select {
+	case p.tasks <- t:
+		p.queued.Add(1)
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// close stops intake and waits for queued and running tasks to finish.
+// http.Server.Shutdown has already stopped new connections by the time
+// this runs, so the drain is bounded by the queue depth.
+func (p *pool) close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// The race detector slows the scheduler's inner loop by roughly 5-10x,
+// so "prompt" cancellation bounds are scaled accordingly.
+const raceDelayFactor = 10

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+)
+
+// Config tunes the daemon. The zero value is serviceable: GOMAXPROCS
+// workers, a 2x queue, a 30-second default deadline and no instrumentation.
+type Config struct {
+	// Workers caps concurrent compilations; <=0 uses GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the waiting line; <=0 uses 2x Workers. Beyond it
+	// requests are shed with 429.
+	QueueDepth int
+	// DefaultTimeout applies when a request names none; <=0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines; <=0 means 5m.
+	MaxTimeout time.Duration
+	// Pipeline configures every compile (partitioner, cache, tracer...).
+	// The per-request partitioner override is layered on top of it.
+	Pipeline codegen.Config
+	// Log receives one line per finished request; nil disables.
+	Log *log.Logger
+}
+
+// Server is the swpd HTTP service: a worker pool, its metrics, and the
+// handlers. Create with New, mount via Handler, stop with Close.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	metrics  *metrics
+	mux      *http.ServeMux
+	draining chan struct{}
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     newPool(cfg.Workers, cfg.QueueDepth),
+		metrics:  newMetrics(time.Now()),
+		mux:      http.NewServeMux(),
+		draining: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /compile", s.compileHandler)
+	s.mux.HandleFunc("GET /healthz", s.healthHandler)
+	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
+	return s
+}
+
+// Handler returns the route table for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the pool: intake stops, queued and in-flight compilations
+// finish. Call after http.Server.Shutdown so no handler is still waiting.
+func (s *Server) Close() {
+	close(s.draining)
+	s.pool.close()
+}
+
+// healthHandler reports liveness plus the load gauges a balancer wants.
+func (s *Server) healthHandler(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	select {
+	case <-s.draining:
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	default:
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"in_flight": s.pool.inFlight.Load(),
+		"queued":    s.pool.queued.Load(),
+	})
+}
+
+// compileHandler is the daemon's purpose: decode, bound, enqueue, wait,
+// encode. The compile runs on a pool worker under a context that dies
+// with the client connection or the request deadline, whichever first.
+func (s *Server) compileHandler(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	code, body := s.compile(r)
+	writeJSON(w, code, body)
+	s.metrics.observe(code, time.Since(started))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("compile code=%d dur=%s", code, time.Since(started).Round(time.Microsecond))
+	}
+}
+
+func (s *Server) compile(r *http.Request) (int, any) {
+	var req CompileRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		return http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}
+	}
+	if req.Name == "" {
+		req.Name = "loop"
+	}
+	loop, err := ir.ParseLoop(req.Name, req.Source)
+	if err != nil {
+		return http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
+	}
+	mcfg, err := req.Machine.Config()
+	if err != nil {
+		return http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
+	}
+	part, err := pickPartitioner(req.Partitioner)
+	if err != nil {
+		return http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
+	}
+	opt := s.cfg.Pipeline
+	if part != nil {
+		opt.Partitioner = part
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	// r.Context() dies when the client disconnects; the deadline is
+	// layered on top so whichever fires first cancels the compile.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var (
+		res   *codegen.Result
+		stats *codegen.RefineStats
+		cerr  error
+	)
+	hitsBefore := int64(-1)
+	if opt.Cache.Enabled() {
+		hitsBefore = opt.Cache.Stats().Hits
+	}
+	t := &task{ctx: ctx, done: make(chan struct{})}
+	t.run = func(ctx context.Context) {
+		if req.Refine {
+			res, stats, cerr = codegen.CompileRefined(ctx, loop, mcfg, opt)
+		} else {
+			res, cerr = codegen.Compile(ctx, loop, mcfg, opt)
+		}
+	}
+	if err := s.pool.submit(t); err != nil {
+		return http.StatusTooManyRequests, &ErrorResponse{Error: err.Error()}
+	}
+	<-t.done
+
+	if !t.ran {
+		// The context died while the task was still queued.
+		return s.ctxFailure(ctx.Err(), "")
+	}
+	if cerr != nil {
+		if stage := codegen.Stage(cerr); stage != "" || isCtxErr(cerr) {
+			return s.ctxFailure(cerr, codegen.Stage(cerr))
+		}
+		return http.StatusUnprocessableEntity, &ErrorResponse{Error: cerr.Error()}
+	}
+	resp, err := buildResponse(&req, res, stats)
+	if err != nil {
+		return http.StatusUnprocessableEntity, &ErrorResponse{Error: err.Error()}
+	}
+	if hitsBefore >= 0 {
+		resp.CacheHit = opt.Cache.Stats().Hits > hitsBefore
+	}
+	return http.StatusOK, resp
+}
+
+// ctxFailure maps a context failure to a status: deadline expiry is the
+// gateway-timeout the client can act on; a vanished client gets 499 (the
+// nginx convention) though nobody is reading it.
+func (s *Server) ctxFailure(err error, stage string) (int, any) {
+	resp := &ErrorResponse{Stage: stage}
+	if err != nil {
+		resp.Error = err.Error()
+	} else {
+		resp.Error = "request cancelled"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.deadlineExpired.Add(1)
+		if stage != "" {
+			resp.Error = fmt.Sprintf("compile deadline exceeded at stage %s", stage)
+		} else {
+			resp.Error = "compile deadline exceeded while queued"
+		}
+		return http.StatusGatewayTimeout, resp
+	}
+	s.metrics.clientGone.Add(1)
+	return 499, resp
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

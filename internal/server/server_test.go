@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/fixtures"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// postJSON fires one /compile request and decodes the response into out.
+func postJSON(t *testing.T, url string, req *CompileRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %d response: %v", resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// dotSource serializes the unrolled dot product through the printer so the
+// request exercises the same ParseLoop grammar real clients use.
+func dotSource(u int) string { return fixtures.DotProduct(u).Body.String() }
+
+func TestCompileRoundTrip(t *testing.T) {
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := &CompileRequest{
+		Name:       "dot",
+		Source:     dotSource(2),
+		Machine:    MachineSpec{Clusters: 4, CopyModel: "embedded"},
+		ExpandTrip: 8,
+	}
+	var got CompileResponse
+	if code := postJSON(t, ts.URL, req, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+
+	// The service must agree exactly with a direct in-process compile.
+	loop, err := ir.ParseLoop("dot", req.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codegen.Compile(context.Background(), loop,
+		machine.MustClustered16(4, machine.Embedded), codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IdealII != want.IdealII() || got.PartII != want.PartII() {
+		t.Errorf("II mismatch: got %d/%d, want %d/%d",
+			got.IdealII, got.PartII, want.IdealII(), want.PartII())
+	}
+	if got.Degradation != want.Degradation() {
+		t.Errorf("degradation %v, want %v", got.Degradation, want.Degradation())
+	}
+	if got.KernelCopies != want.Copies.KernelCopies {
+		t.Errorf("copies %d, want %d", got.KernelCopies, want.Copies.KernelCopies)
+	}
+	if len(got.Schedule) != len(want.Copies.Body.Ops) {
+		t.Errorf("schedule has %d rows, want %d", len(got.Schedule), len(want.Copies.Body.Ops))
+	}
+	if got.Expansion == nil || got.Expansion.Trip != 8 || got.Expansion.TotalCycles == 0 {
+		t.Errorf("expansion missing or malformed: %+v", got.Expansion)
+	}
+	if got.Machine != want.Cfg.Name || got.Partitioner != "rcg-greedy" {
+		t.Errorf("labels wrong: %q %q", got.Machine, got.Partitioner)
+	}
+
+	// An identical request is answered from the compile cache.
+	var again CompileResponse
+	if code := postJSON(t, ts.URL, req, &again); code != http.StatusOK {
+		t.Fatalf("second status %d", code)
+	}
+	if !again.CacheHit {
+		t.Error("second identical request did not hit the cache")
+	}
+	if again.PartII != got.PartII || again.Degradation != got.Degradation {
+		t.Error("cached answer differs from the computed one")
+	}
+}
+
+func TestCompileBadRequests(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []*CompileRequest{
+		{Source: "not an opcode r1"},
+		{Source: dotSource(1), Machine: MachineSpec{Clusters: 3}},
+		{Source: dotSource(1), Machine: MachineSpec{Clusters: 4, CopyModel: "teleport"}},
+		{Source: dotSource(1), Partitioner: "astrology"},
+	}
+	for i, req := range cases {
+		var er ErrorResponse
+		if code := postJSON(t, ts.URL, req, &er); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, code)
+		}
+		if er.Error == "" {
+			t.Errorf("case %d: empty error body", i)
+		}
+	}
+}
+
+// TestDeadlineReturns504 is the issue's acceptance scenario: a 1ms
+// deadline on a large unrolled loop must come back promptly as a 504
+// naming the pipeline stage, and the pool must stay healthy afterwards.
+func TestDeadlineReturns504(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var er ErrorResponse
+	start := time.Now()
+	code := postJSON(t, ts.URL, &CompileRequest{
+		Name:      "huge",
+		Source:    dotSource(512), // ~100ms of scheduling: far beyond 1ms
+		Machine:   MachineSpec{Clusters: 8},
+		TimeoutMS: 1,
+	}, &er)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%+v)", code, er)
+	}
+	if bound := 100 * time.Millisecond * raceDelayFactor; elapsed > bound {
+		t.Errorf("deadline response took %s, want <%s", elapsed, bound)
+	}
+	if er.Stage == "" {
+		t.Errorf("504 did not name the stage reached: %+v", er)
+	}
+	if !strings.Contains(er.Error, "deadline") {
+		t.Errorf("504 error does not mention the deadline: %q", er.Error)
+	}
+
+	// The worker that served the doomed request must be free again.
+	var ok CompileResponse
+	if code := postJSON(t, ts.URL, &CompileRequest{
+		Source:  dotSource(2),
+		Machine: MachineSpec{Clusters: 4},
+	}, &ok); code != http.StatusOK {
+		t.Fatalf("pool unhealthy after deadline: status %d", code)
+	}
+	if s.pool.inFlight.Load() != 0 || s.pool.queued.Load() != 0 {
+		t.Errorf("pool gauges stuck: inFlight=%d queued=%d",
+			s.pool.inFlight.Load(), s.pool.queued.Load())
+	}
+}
+
+// blockPool parks n tasks in the pool and returns the channel that frees
+// them, plus a helper that waits for a gauge to reach a value.
+func waitFor(t *testing.T, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	park := func() *task {
+		tk := &task{ctx: context.Background(), done: make(chan struct{})}
+		tk.run = func(context.Context) { <-release }
+		if err := s.pool.submit(tk); err != nil {
+			t.Fatalf("parking task: %v", err)
+		}
+		return tk
+	}
+	park() // occupies the single worker
+	waitFor(t, "worker busy", func() bool { return s.pool.inFlight.Load() == 1 })
+	park() // fills the queue slot
+
+	var er ErrorResponse
+	code := postJSON(t, ts.URL, &CompileRequest{
+		Source:  dotSource(2),
+		Machine: MachineSpec{Clusters: 4},
+	}, &er)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	if !strings.Contains(er.Error, "queue full") {
+		t.Errorf("429 body does not explain: %q", er.Error)
+	}
+
+	close(release)
+	waitFor(t, "pool to drain", func() bool {
+		return s.pool.inFlight.Load() == 0 && s.pool.queued.Load() == 0
+	})
+	if code := postJSON(t, ts.URL, &CompileRequest{
+		Source:  dotSource(2),
+		Machine: MachineSpec{Clusters: 4},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("pool unhealthy after shedding: status %d", code)
+	}
+}
+
+// TestGracefulDrain pins the shutdown ordering: Close must wait for the
+// queued request to compile and answer 200, never drop it.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	parked := &task{ctx: context.Background(), done: make(chan struct{})}
+	parked.run = func(context.Context) { <-release }
+	if err := s.pool.submit(parked); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker busy", func() bool { return s.pool.inFlight.Load() == 1 })
+
+	// A real request queues behind the parked task.
+	reqDone := make(chan int, 1)
+	go func() {
+		reqDone <- postJSON(t, ts.URL, &CompileRequest{
+			Source:  dotSource(2),
+			Machine: MachineSpec{Clusters: 4},
+		}, nil)
+	}()
+	waitFor(t, "request queued", func() bool { return s.pool.queued.Load() == 1 })
+
+	closeDone := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a request was still queued")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case code := <-reqDone:
+		if code != http.StatusOK {
+			t.Fatalf("drained request got status %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never finished")
+	}
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the drain")
+	}
+	// After the drain, new work is shed instead of accepted.
+	if err := s.pool.submit(&task{ctx: context.Background(), done: make(chan struct{})}); err != ErrQueueFull {
+		t.Errorf("post-drain submit returned %v, want ErrQueueFull", err)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, health.Status)
+	}
+
+	if code := postJSON(t, ts.URL, &CompileRequest{
+		Source:  dotSource(2),
+		Machine: MachineSpec{Clusters: 4},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("compile status %d", code)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`swpd_requests_total{code="200"} 1`,
+		"swpd_request_seconds_bucket",
+		"swpd_request_seconds_count 1",
+		"swpd_cache_misses_total",
+		"swpd_stage_seconds_total",
+		"swpd_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Draining flips health to 503.
+	s.Close()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+}

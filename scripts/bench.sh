@@ -1,10 +1,11 @@
 #!/bin/sh
 # Runs the benchmark suite and records the results as JSON, including the
-# headline PR-2 number: the speedup of the content-addressed compile
+# headline PR-2 number — the speedup of the content-addressed compile
 # cache on the full 211-loop x 2/4/8-cluster x copy-model experiment grid
-# (BenchmarkSuiteCached vs BenchmarkSuiteUncached).
+# (BenchmarkSuiteCached vs BenchmarkSuiteUncached) — and the PR-3 number,
+# the swpd daemon's cached round-trip latency (BenchmarkServerCompile).
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr2.json
+#   scripts/bench.sh                 # full run -> BENCH_pr3.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
 #
@@ -13,7 +14,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr2.json}
+OUT=${OUT:-BENCH_pr3.json}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
 
@@ -57,9 +58,13 @@ END {
     printf "  },\n"
     printf "  \"derived\": {\n"
     if (ns["BenchmarkSuiteUncached"] != "" && ns["BenchmarkSuiteCached"] != "")
-        printf "    \"suite_cache_speedup\": %.3f\n", ns["BenchmarkSuiteUncached"] / ns["BenchmarkSuiteCached"]
+        printf "    \"suite_cache_speedup\": %.3f,\n", ns["BenchmarkSuiteUncached"] / ns["BenchmarkSuiteCached"]
     else
-        printf "    \"suite_cache_speedup\": null\n"
+        printf "    \"suite_cache_speedup\": null,\n"
+    if (ns["BenchmarkServerCompile"] != "")
+        printf "    \"server_roundtrip_us\": %.1f\n", ns["BenchmarkServerCompile"] / 1000
+    else
+        printf "    \"server_roundtrip_us\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"

@@ -56,3 +56,6 @@ echo "identical"
 
 echo "== Portfolio partitioning (cached comparison sweep) =="
 go run ./cmd/experiments -compare -cache > /dev/null
+
+echo "== swpd daemon (HTTP answer equals in-process answer) =="
+sh scripts/swpd_smoke.sh

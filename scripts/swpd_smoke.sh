@@ -1,0 +1,79 @@
+#!/bin/sh
+# Smoke-tests the swpd daemon end to end: build it, start it, compile one
+# suite loop over HTTP on the 4-cluster embedded machine, and cross-check
+# the clustered II against the in-process answer from swpc. Also verifies
+# /healthz, /metrics, and a clean SIGTERM drain. Used by CI's swpd job and
+# by scripts/reproduce.sh.
+#
+#   scripts/swpd_smoke.sh            # pass/fail, exit status tells
+#   PORT=9999 scripts/swpd_smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT=${PORT:-18080}
+TMP=$(mktemp -d)
+PID=
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building swpd and swpc ==" >&2
+go build -o "$TMP/swpd" ./cmd/swpd
+go build -o "$TMP/swpc" ./cmd/swpc
+
+"$TMP/swpd" -addr "127.0.0.1:$PORT" -quiet 2> "$TMP/swpd.log" &
+PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" > "$TMP/health.json" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$ok" != 1 ]; then
+    echo "swpd never became healthy; log:" >&2
+    cat "$TMP/swpd.log" >&2
+    exit 1
+fi
+grep -q '"status": "ok"' "$TMP/health.json"
+
+# Loop 0 of the deterministic suite, in the printer format the API accepts.
+go run ./cmd/loopgen -n 1 -dump -stats=false | grep -E '^ *[0-9]+:' > "$TMP/loop.txt"
+[ -s "$TMP/loop.txt" ]
+
+# The source lines contain no quotes or backslashes, so embedding them
+# into JSON with literal \n separators is safe.
+SRC=$(awk '{printf "%s\\n", $0}' "$TMP/loop.txt")
+printf '{"name": "smoke", "source": "%s", "machine": {"clusters": 4, "copy_model": "embedded"}}' "$SRC" > "$TMP/req.json"
+
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$PORT/compile" > "$TMP/resp.json"
+DAEMON_II=$(sed -n 's/.*"part_ii": *\([0-9][0-9]*\).*/\1/p' "$TMP/resp.json" | head -1)
+if [ -z "$DAEMON_II" ]; then
+    echo "daemon response carries no part_ii:" >&2
+    cat "$TMP/resp.json" >&2
+    exit 1
+fi
+
+# The same loop and machine compiled in-process must give the same II.
+SWPC_II=$("$TMP/swpc" -n 1 -loop 0 -clusters 4 -model embedded |
+    sed -n 's/.*clustered II=\([0-9][0-9]*\).*/\1/p' | head -1)
+if [ "$DAEMON_II" != "$SWPC_II" ]; then
+    echo "II mismatch: daemon says $DAEMON_II, swpc says $SWPC_II" >&2
+    exit 1
+fi
+echo "clustered II agrees: daemon=$DAEMON_II swpc=$SWPC_II" >&2
+
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/metrics.txt"
+grep -q 'swpd_requests_total{code="200"} 1' "$TMP/metrics.txt"
+grep -q 'swpd_request_seconds_count 1' "$TMP/metrics.txt"
+
+# SIGTERM must drain and exit cleanly.
+kill -TERM "$PID"
+wait "$PID"
+PID=
+echo "swpd smoke: OK" >&2

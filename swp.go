@@ -22,6 +22,8 @@
 package swp
 
 import (
+	"context"
+
 	"repro/internal/codegen"
 	"repro/internal/ddg"
 	"repro/internal/exper"
@@ -73,14 +75,26 @@ func PaperMachines() []*machine.Config { return machine.PaperConfigs() }
 // CompileLoop runs the full five-step pipeline (ideal schedule, RCG
 // partition, copy insertion, clustered re-schedule, per-bank coloring) on
 // one loop with the paper's defaults.
+//
+// Deprecated: use New().Compile with a context; CompileLoop cannot be
+// cancelled. It remains as a thin wrapper and will not be removed.
 func CompileLoop(l *ir.Loop, cfg *machine.Config) (*codegen.Result, error) {
-	return codegen.Compile(l, cfg, codegen.Options{})
+	return New().Compile(context.Background(), l, cfg)
 }
 
 // RunExperiments compiles every loop on every machine with the paper's
 // default pipeline, using up to workers goroutines (0 = all CPUs).
+//
+// Deprecated: use New(WithWorkers(n)).Run with a context; RunExperiments
+// cannot be cancelled. It remains as a thin wrapper and will not be
+// removed.
 func RunExperiments(loops []*ir.Loop, cfgs []*machine.Config, workers int) []*exper.ConfigResult {
-	return exper.RunSuite(loops, cfgs, exper.Options{Workers: workers})
+	results, err := New(WithWorkers(workers)).Run(context.Background(), loops, cfgs)
+	if err != nil {
+		// Run only fails when its context does, and Background has none.
+		panic(err)
+	}
+	return results
 }
 
 // Table1 renders the IPC table (paper Table 1) for PaperMachines-ordered
@@ -102,21 +116,27 @@ func Summary(results []*exper.ConfigResult) string { return exper.Summary(result
 // CompileStraightLine runs the non-loop pipeline variant (list scheduling
 // instead of modulo scheduling) on a block of straight-line code wrapped
 // in a Loop container, as the paper's Section 4.2 worked example does.
+//
+// Deprecated: use New().CompileBlock with a context.
 func CompileStraightLine(l *ir.Loop, cfg *machine.Config) (*codegen.BlockResult, error) {
-	return codegen.CompileBlock(l, cfg, codegen.Options{})
+	return New().CompileBlock(context.Background(), l, cfg)
 }
 
 // CompileFunction partitions a whole function's registers at once — the
 // paper's "global in nature" mode — and schedules every block under the
 // shared assignment.
+//
+// Deprecated: use New().CompileFunction with a context.
 func CompileFunction(f *ir.Function, cfg *machine.Config) (*codegen.FunctionResult, error) {
-	return codegen.CompileFunction(f, cfg, codegen.Options{})
+	return New().CompileFunction(context.Background(), f, cfg)
 }
 
 // CompileLoopWith runs the pipeline with an alternative partitioning
 // method; see Partitioners for the available baselines.
+//
+// Deprecated: use New(WithPartitioner(p)).Compile with a context.
 func CompileLoopWith(l *ir.Loop, cfg *machine.Config, p partition.Partitioner) (*codegen.Result, error) {
-	return codegen.Compile(l, cfg, codegen.Options{Partitioner: p})
+	return New(WithPartitioner(p)).Compile(context.Background(), l, cfg)
 }
 
 // Partitioners returns every implemented partitioning method, the paper's
@@ -166,6 +186,8 @@ func ParseLoop(name, src string) (*ir.Loop, error) { return ir.ParseLoop(name, s
 // partition by relocating copy-causing registers while the clustered II
 // exceeds the ideal — the iteration the paper's Section 6.3 defers to
 // future work.
+//
+// Deprecated: use New().CompileRefined with a context.
 func CompileLoopRefined(l *ir.Loop, cfg *machine.Config) (*codegen.Result, *codegen.RefineStats, error) {
-	return codegen.CompileRefined(l, cfg, codegen.Options{}, codegen.RefineOptions{})
+	return New().CompileRefined(context.Background(), l, cfg)
 }
