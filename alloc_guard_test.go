@@ -1,0 +1,82 @@
+package swp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/fixtures"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/scratch"
+)
+
+// Allocation-regression guards for the compile pipeline's hot paths. The
+// dense-index/scratch-arena work keeps a warm-arena compile down to a
+// couple hundred allocations (the result objects themselves — schedules,
+// the rewritten body's slabs, coloring results); before it, the same
+// compile allocated tens of thousands of times. The budgets below carry
+// roughly 2x headroom over the measured counts, so they never flake on
+// runtime noise but fail loudly if a hot path regresses to per-op or
+// per-register allocation.
+
+// TestCompileAllocBudget pins the steady-state allocation count of a full
+// five-stage compile reusing one scratch arena (the suite-runner and
+// server configuration).
+func TestCompileAllocBudget(t *testing.T) {
+	const budget = 320 // measured ~155 on a 64-op loop
+
+	loop := fixtures.DotProduct(16)
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	ar := scratch.Get()
+	defer ar.Release()
+	opt := codegen.Config{Scratch: ar}
+	ctx := context.Background()
+	// Warm the arena: first compile sizes every stage's buffers.
+	if _, err := codegen.Compile(ctx, loop, cfg, opt); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := codegen.Compile(ctx, loop, cfg, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("codegen.Compile: %.1f allocs/run (budget %d)", n, budget)
+	if n > budget {
+		t.Errorf("codegen.Compile allocates %.1f times per warm-arena compile, budget %d — a hot path regressed to per-op/per-register allocation", n, budget)
+	}
+}
+
+// TestColorAllocBudget pins the allocation count of per-bank
+// Chaitin/Briggs coloring on real kernel live ranges with a warm arena.
+func TestColorAllocBudget(t *testing.T) {
+	const budget = 80 // measured ~38 across 4 banks
+
+	loop := fixtures.DotProduct(16)
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	ar := scratch.Get()
+	defer ar.Release()
+	res, err := codegen.Compile(context.Background(), loop, cfg, codegen.Config{Scratch: ar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := regalloc.KernelRanges(res.PartGraph, res.PartSched)
+	byBank := make([][]regalloc.LiveRange, cfg.Clusters)
+	for _, lr := range ranges {
+		b := res.Assignment.Bank(lr.Reg)
+		byBank[b] = append(byBank[b], lr)
+	}
+	// Warm the arena's coloring slot.
+	for b := range byBank {
+		regalloc.ColorScratch(byBank[b], res.PartSched.II, cfg.RegsPerBank, nil, nil, ar)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		for b := range byBank {
+			regalloc.ColorScratch(byBank[b], res.PartSched.II, cfg.RegsPerBank, nil, nil, ar)
+		}
+	})
+	t.Logf("regalloc.Color (all banks): %.1f allocs/run (budget %d)", n, budget)
+	if n > budget {
+		t.Errorf("regalloc.Color allocates %.1f times per warm-arena coloring, budget %d — the allocator regressed to per-range allocation", n, budget)
+	}
+}

@@ -189,7 +189,8 @@ func run(opt options) int {
 	if printAll || opt.table == 2 {
 		fmt.Println(exper.Table2(results))
 	}
-	for fig, clusters := range map[int]int{5: 2, 6: 4, 7: 8} {
+	for _, fc := range [][2]int{{5, 2}, {6, 4}, {7, 8}} {
+		fig, clusters := fc[0], fc[1]
 		if printAll || opt.figure == fig {
 			fmt.Printf("Figure %d. ", fig)
 			fmt.Println(exper.Figure(results, clusters))

@@ -193,11 +193,34 @@ type BlockFP struct {
 	hasCopies bool
 }
 
-// FingerprintBlock encodes b once for reuse across stage keys.
+// blockFPPool recycles fingerprint encode buffers for the compile-local
+// case: one compilation fingerprints its body once and derives every stage
+// key from the memo, after which the buffer is reusable. Fingerprints that
+// outlive the compile — the rewritten-body fingerprint stored inside a
+// copy-insertion cache entry — are simply never released and keep their
+// buffer for the life of the entry.
+var blockFPPool = sync.Pool{New: func() any { return &BlockFP{enc: make([]byte, 0, 512)} }}
+
+// FingerprintBlock encodes b once for reuse across stage keys. The result
+// may be retained indefinitely; callers that know theirs is compile-local
+// can hand the buffer back with Release.
 func FingerprintBlock(b *ir.Block) *BlockFP {
-	h := Hasher{buf: make([]byte, 0, 512)} // retained; never pooled
+	f := blockFPPool.Get().(*BlockFP)
+	h := Hasher{buf: f.enc[:0]}
 	h.Block(b)
-	return &BlockFP{enc: h.buf, hasCopies: HasCopies(b)}
+	f.enc, f.hasCopies = h.buf, HasCopies(b)
+	return f
+}
+
+// Release returns the fingerprint's encode buffer to the pool. Only call
+// it when nothing retains the fingerprint object — stage keys copy its
+// bytes into their digests, so deriving keys does not retain it, but a
+// fingerprint stored in a cache entry must never be released. Nil is a
+// no-op.
+func (f *BlockFP) Release() {
+	if f != nil {
+		blockFPPool.Put(f)
+	}
 }
 
 // HasCopies reports the memoized copy-sensitivity of the block.
@@ -256,7 +279,9 @@ func HasCopies(b *ir.Block) bool {
 // affect graph structure, so graphs are shared across every machine with
 // the paper's latencies.
 func DDGKey(b *ir.Block, lat machine.Latencies, carried bool, memFlowLatency int) Key {
-	return FingerprintBlock(b).DDGKey(lat, carried, memFlowLatency)
+	f := FingerprintBlock(b)
+	defer f.Release()
+	return f.DDGKey(lat, carried, memFlowLatency)
 }
 
 // ModuloKey fingerprints a modulo-scheduling run: the block and the
@@ -265,5 +290,7 @@ func DDGKey(b *ir.Block, lat machine.Latencies, carried bool, memFlowLatency int
 // scheduling options (cluster pinning, budget, lifetime mode, II cap).
 func ModuloKey(b *ir.Block, cfg *machine.Config, carried bool, memFlowLatency int,
 	clusterOf []int, budgetRatio int, lifetime bool, maxII int) Key {
-	return FingerprintBlock(b).ModuloKey(cfg, carried, memFlowLatency, clusterOf, budgetRatio, lifetime, maxII)
+	f := FingerprintBlock(b)
+	defer f.Release()
+	return f.ModuloKey(cfg, carried, memFlowLatency, clusterOf, budgetRatio, lifetime, maxII)
 }

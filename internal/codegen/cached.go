@@ -12,6 +12,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modulo"
 	"repro/internal/partition"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -97,7 +98,7 @@ func assignKey(fp *cache.BlockFP, idealCfg *machine.Config, gOpts ddg.Options, c
 // shared read-only: with a live cache, copy insertion returns a fresh
 // extended assignment instead of mutating the caller's (insertCopiesFor).
 // Other partitioners (and the cacheless path) compute directly.
-func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.Partitioner, cfg *machine.Config, weights core.Weights, opt Options, gOpts ddg.Options, tr *trace.Tracer) (*core.Assignment, error) {
+func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.Partitioner, cfg *machine.Config, weights core.Weights, opt Options, gOpts ddg.Options, tr *trace.Tracer, ar *scratch.Arena) (*core.Assignment, error) {
 	compute := func() (*core.Assignment, error) {
 		ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
 		return part.Assign(&partition.Input{
@@ -110,6 +111,7 @@ func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.P
 			Tracer:  tr,
 			Cache:   opt.Cache,
 			BlockFP: fp,
+			Arena:   ar,
 		})
 	}
 	if _, greedy := part.(partition.Greedy); !greedy || !opt.Cache.Enabled() {
@@ -155,7 +157,7 @@ func copyInsKey(fp *cache.BlockFP, nextReg int, asg *core.Assignment) cache.Key 
 // is left untouched and a fresh extended clone is returned. The returned
 // BlockFP fingerprints the rewritten body (nil when the cache is
 // disabled).
-func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer) (*CopyInsertion, *core.Assignment, *cache.BlockFP, error) {
+func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer, ar *scratch.Arena) (*CopyInsertion, *core.Assignment, *cache.BlockFP, error) {
 	verify := func(ci *CopyInsertion) error {
 		if err := ir.VerifyBlock(ci.Body); err != nil {
 			return fmt.Errorf("codegen: copy insertion for %q produced invalid code: %w", loop.Name, err)
@@ -163,14 +165,20 @@ func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core
 		return nil
 	}
 	if !c.Enabled() {
-		ci := InsertCopies(loop.Clone(), asg, cfg)
+		// Copy insertion never mutates the source body, so a value copy of
+		// the loop — shared body, private fresh-register counter — is all
+		// the isolation the caller needs.
+		work := *loop
+		ci := insertCopiesScratch(&work, asg, cfg, ar)
 		return ci, asg, nil, verify(ci)
 	}
 	k := copyInsKey(fp, loop.NextRegID(), asg)
 	v, hit, err := cache.GetAs(c, k, func() (copyInsEntry, error) {
-		work := loop.Clone()
+		work := *loop // shared body, private register counter (see above)
 		local := &core.Assignment{Banks: asg.Banks, Of: maps.Clone(asg.Of)}
-		ci := InsertCopies(work, local, cfg)
+		ci := insertCopiesScratch(&work, local, cfg, ar)
+		// This fingerprint is retained by the cache entry (cfp keys every
+		// later clustered stage for hits too), so it is never pooled.
 		return copyInsEntry{copies: ci, fp: cache.FingerprintBlock(ci.Body), of: local.Of}, verify(ci)
 	})
 	countCache(tr, "copyins", hit)

@@ -17,9 +17,12 @@
 package codegen
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 )
 
 // CopyInsertion is the outcome of step 4's copy insertion.
@@ -71,75 +74,167 @@ func InsertCopiesStraightLine(loop *ir.Loop, asg *core.Assignment, cfg *machine.
 }
 
 func insertCopies(loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, hoistInvariants bool) *CopyInsertion {
-	return insertCopiesBlock(loop.Body, loop.NewReg, asg, hoistInvariants)
+	return insertCopiesBlock(loop.Body, loop.NewReg, asg, hoistInvariants, nil)
 }
+
+// insertCopiesScratch is insertCopies drawing its working tables from the
+// compile's scratch arena. The loop is the caller's private clone (copy
+// insertion consumes its fresh-register counter).
+func insertCopiesScratch(loop *ir.Loop, asg *core.Assignment, cfg *machine.Config, ar *scratch.Arena) *CopyInsertion {
+	return insertCopiesBlock(loop.Body, loop.NewReg, asg, true, ar)
+}
+
+// copiesScratch is one copy insertion's working set: a dense index over
+// the source body's registers, the defined-in-body bitmap, and the flat
+// availability table avail[reg*banks+bank] — the register holding reg's
+// value in that bank for the remainder of the current iteration, ir.NoReg
+// when none. The rewritten body itself is always freshly allocated (it is
+// retained by the result and possibly by the compile cache).
+type copiesScratch struct {
+	ri      ir.RegIndex
+	defined []bool
+	avail   []ir.Reg
+}
+
+var copiesPool = sync.Pool{New: func() any { return new(copiesScratch) }}
 
 // insertCopiesBlock is the block-level engine shared by the loop pipeline
 // and whole-function compilation; newReg allocates fresh registers from
-// whatever owns the block's numbering.
-func insertCopiesBlock(src *ir.Block, newReg func(ir.Class) ir.Reg, asg *core.Assignment, hoistInvariants bool) *CopyInsertion {
-	res := &CopyInsertion{Body: &ir.Block{Depth: src.Depth}}
-	definedInBody := src.Defined()
+// whatever owns the block's numbering. The source block is never mutated
+// (the whole-function path hands over its original blocks): the rewrite
+// runs in two passes, a counting pass that sizes the output exactly and an
+// emit pass that carves every output operation, operand slice and memory
+// reference out of single slab allocations.
+func insertCopiesBlock(src *ir.Block, newReg func(ir.Class) ir.Reg, asg *core.Assignment, hoistInvariants bool, ar *scratch.Arena) *CopyInsertion {
+	sc, arenaOwned := scratch.For(ar, scratch.Copies, func() *copiesScratch { return new(copiesScratch) })
+	if !arenaOwned {
+		sc = copiesPool.Get().(*copiesScratch)
+		defer copiesPool.Put(sc)
+	}
 
-	// avail[r][cluster] is the register holding r's value in that cluster
-	// for the remainder of the current iteration.
-	avail := make(map[ir.Reg]map[int]ir.Reg)
-	lookup := func(r ir.Reg, cl int) (ir.Reg, bool) {
-		m := avail[r]
-		if m == nil {
-			return ir.NoReg, false
+	sc.ri.Reset(src)
+	n, banks := sc.ri.Len(), asg.Banks
+	sc.defined = scratch.Bools(sc.defined, n)
+	scratch.ZeroBools(sc.defined)
+	for _, op := range src.Ops {
+		for _, d := range op.Defs {
+			sc.defined[sc.ri.Of(d)] = true
 		}
-		c, ok := m[cl]
-		return c, ok
 	}
-	record := func(r ir.Reg, cl int, c ir.Reg) {
-		m := avail[r]
-		if m == nil {
-			m = make(map[int]ir.Reg)
-			avail[r] = m
-		}
-		m[cl] = c
+	// The availability table keys by the *source* body's registers (the use
+	// before rewriting), which the index covers by construction; the fresh
+	// copy registers only ever appear as table values.
+	if cap(sc.avail) < n*banks {
+		sc.avail = make([]ir.Reg, n*banks)
 	}
-
-	newCopyReg := func(u ir.Reg, home int) ir.Reg {
-		c := newReg(u.Class)
-		asg.Of[c] = home
-		record(u, home, c)
-		return c
+	sc.avail = sc.avail[:n*banks]
+	for i := range sc.avail {
+		sc.avail[i] = ir.NoReg
 	}
 
+	// Pass 1: simulate the rewrite to size the slabs. Only *presence* in
+	// the availability table matters here, so the use register itself
+	// (never NoReg) stands in for the copy register pass 2 will allocate.
+	kernel, invariant, nRegs, nMem := 0, 0, 0, 0
 	for _, op := range src.Ops {
 		home := homeCluster(op, asg)
-		n := op.Clone()
-		for ui, u := range n.Uses {
+		nRegs += len(op.Defs) + len(op.Uses)
+		if op.Mem != nil {
+			nMem++
+		}
+		for _, u := range op.Uses {
 			if asg.Bank(u) == home {
 				continue
 			}
-			if c, ok := lookup(u, home); ok {
-				n.Uses[ui] = c
+			ai := sc.ri.Of(u)*banks + home
+			if sc.avail[ai] != ir.NoReg {
 				continue
 			}
-			c := newCopyReg(u, home)
-			if definedInBody[u] || !hoistInvariants {
-				res.Body.Append(&ir.Op{
-					Code: ir.Copy, Class: u.Class,
-					Defs: []ir.Reg{c}, Uses: []ir.Reg{u},
-				})
-				res.ClusterOf = append(res.ClusterOf, home)
-				res.KernelCopies++
+			sc.avail[ai] = u
+			if sc.defined[sc.ri.Of(u)] || !hoistInvariants {
+				kernel++
 			} else {
-				res.InvariantCopies++ // hoisted to the preheader
-				res.Hoisted = append(res.Hoisted, [2]ir.Reg{c, u})
+				invariant++
 			}
-			n.Uses[ui] = c
 		}
-		res.Body.Append(n)
+	}
+	for i := range sc.avail {
+		sc.avail[i] = ir.NoReg
+	}
+
+	// Pass 2: emit. Pointers into opSlab stay valid because the slab never
+	// grows; operand subslices are carved at full capacity so a later append
+	// to one op's operands cannot bleed into its neighbor's.
+	nOut := len(src.Ops) + kernel
+	opSlab := make([]ir.Op, nOut)
+	regSlab := make([]ir.Reg, nRegs+2*kernel)
+	var memSlab []ir.MemRef
+	if nMem > 0 {
+		memSlab = make([]ir.MemRef, nMem)
+	}
+	res := &CopyInsertion{
+		Body:            &ir.Block{Depth: src.Depth, Ops: make([]*ir.Op, 0, nOut)},
+		ClusterOf:       make([]int, 0, nOut),
+		KernelCopies:    kernel,
+		InvariantCopies: invariant,
+	}
+	if invariant > 0 {
+		res.Hoisted = make([][2]ir.Reg, 0, invariant)
+	}
+	oi, ri, mi := 0, 0, 0
+	carve := func(rs []ir.Reg) []ir.Reg {
+		if len(rs) == 0 {
+			return nil
+		}
+		out := regSlab[ri : ri+len(rs) : ri+len(rs)]
+		copy(out, rs)
+		ri += len(rs)
+		return out
+	}
+	for _, op := range src.Ops {
+		home := homeCluster(op, asg)
+		o := &opSlab[oi]
+		oi++
+		*o = *op
+		o.Defs = carve(op.Defs)
+		o.Uses = carve(op.Uses)
+		if op.Mem != nil {
+			memSlab[mi] = *op.Mem
+			o.Mem = &memSlab[mi]
+			mi++
+		}
+		for ui, u := range o.Uses {
+			if asg.Bank(u) == home {
+				continue
+			}
+			ai := sc.ri.Of(u)*banks + home
+			if c := sc.avail[ai]; c != ir.NoReg {
+				o.Uses[ui] = c
+				continue
+			}
+			c := newReg(u.Class)
+			asg.Of[c] = home
+			sc.avail[ai] = c
+			if sc.defined[sc.ri.Of(u)] || !hoistInvariants {
+				cp := &opSlab[oi]
+				oi++
+				*cp = ir.Op{Code: ir.Copy, Class: u.Class}
+				cp.Defs = regSlab[ri : ri+1 : ri+1]
+				cp.Defs[0] = c
+				cp.Uses = regSlab[ri+1 : ri+2 : ri+2]
+				cp.Uses[0] = u
+				ri += 2
+				res.Body.Ops = append(res.Body.Ops, cp)
+				res.ClusterOf = append(res.ClusterOf, home)
+			} else {
+				res.Hoisted = append(res.Hoisted, [2]ir.Reg{c, u}) // hoisted to the preheader
+			}
+			o.Uses[ui] = c
+		}
+		res.Body.Ops = append(res.Body.Ops, o)
 		res.ClusterOf = append(res.ClusterOf, home)
 	}
 	res.Body.Renumber()
-	for i, op := range res.Body.Ops {
-		op.ID = i
-	}
 	return res
 }
 

@@ -152,7 +152,7 @@ func CompileFunction(ctx context.Context, f *ir.Function, cfg *machine.Config, o
 		if err := checkpoint(ctx, "sched.clustered"); err != nil {
 			return nil, err
 		}
-		fb.Copies = insertCopiesBlock(fb.Source, f.NewReg, res.Assignment, false)
+		fb.Copies = insertCopiesBlock(fb.Source, f.NewReg, res.Assignment, false, nil)
 		if err := ir.VerifyBlock(fb.Copies.Body); err != nil {
 			return nil, fmt.Errorf("codegen: function copy insertion: %w", err)
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/partition"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	// hit the content-addressed stages. Nil disables caching; results are
 	// identical either way.
 	Cache *cache.Cache
+	// Scratch optionally pins one compilation's reusable stage buffers
+	// (dependence analysis, scheduling, RCG, coloring — see
+	// internal/scratch) to a caller-owned arena. Nil makes Compile take an
+	// arena from the shared pool for the duration of the call, which is
+	// right for almost everyone; an arena must never be shared by
+	// concurrent compiles.
+	Scratch *scratch.Arena
 
 	// Workers bounds suite-level parallel compilations (exper.Run and the
 	// facade's Compiler.Run); <=0 uses GOMAXPROCS. It does not affect a

@@ -58,10 +58,13 @@ func TestRefineOptionsShimApplies(t *testing.T) {
 // context aborts the pipeline promptly, the error wraps
 // context.DeadlineExceeded, and Stage names where it stopped.
 func TestCompileDeadlineNamesStage(t *testing.T) {
-	// 2048 ops compile in ~100ms here; a 1ms deadline must abort the
+	// 8192 ops compile in ~400ms here; a 1ms deadline must abort the
 	// compile mid-flight even where the runtime delivers timer
-	// expirations ~10ms late (coarse container clocks).
-	loop := fixtures.DotProduct(512)
+	// expirations ~20ms late (coarse container clocks). The fixture must
+	// stay much slower to compile than the worst-case timer lateness, or
+	// the whole pipeline can slip past its last checkpoint before the
+	// tardy timer fires.
+	loop := fixtures.DotProduct(2048)
 	cfg := machine.MustClustered16(8, machine.Embedded)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -189,6 +190,15 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 		return res
 	}
 
+	// The arena carries every stage's reusable working buffers for the
+	// duration of this one compilation (see internal/scratch); callers that
+	// compile in a loop can pin one via opt.Scratch.
+	ar := opt.Scratch
+	if ar == nil {
+		ar = scratch.Get()
+		defer ar.Release()
+	}
+
 	// Steps 1-2: dependence graph and ideal schedule on the monolithic bank.
 	// The body is fingerprinted once; every stage key splices the memo.
 	if err := checkpoint(ctx, "ddg.ideal"); err != nil {
@@ -197,11 +207,17 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 	var fp *cache.BlockFP
 	if opt.Cache.Enabled() {
 		fp = cache.FingerprintBlock(loop.Body)
+		// The fingerprint is compile-local — stage keys copy its bytes into
+		// their digests and nothing retains the object — so its buffer goes
+		// back to the pool with the compile. (The rewritten body's
+		// fingerprint, by contrast, is retained by the copy-insertion cache
+		// entry and must never be released; see insertCopiesFor.)
+		defer fp.Release()
 	}
-	gOpts := ddg.Options{Carried: true, Tracer: tr}
+	gOpts := ddg.Options{Carried: true, Tracer: tr, Scratch: ar}
 	res.IdealGraph = buildGraph(opt.Cache, fp, loop.Body, res.IdealCfg, gOpts)
 	idealSched, err := runSchedule(ctx, opt.Cache, fp, gOpts, res.IdealGraph, res.IdealCfg,
-		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr})
+		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr, Scratch: ar})
 	if err != nil {
 		return nil, stageFail("modulo.ideal", err, "codegen: ideal scheduling of %q", loop.Name)
 	}
@@ -214,7 +230,7 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 		res.PartGraph = res.IdealGraph
 		res.PartSched = idealSched
 		if !opt.SkipAlloc {
-			res.Alloc = allocate(res, tr)
+			res.Alloc = allocate(res, tr, ar)
 		}
 		return done(), nil
 	}
@@ -227,13 +243,13 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 		return nil, err
 	}
 	if gen, ok := part.(partition.CandidateGenerator); ok {
-		if err := compilePortfolio(ctx, res, loop, fp, cfg, opt, weights, gen, tr); err != nil {
+		if err := compilePortfolio(ctx, res, loop, fp, cfg, opt, weights, gen, tr, ar); err != nil {
 			return nil, err
 		}
 		return done(), nil
 	}
 	psp := tr.StartSpan("codegen.partition")
-	asg, err := assignBanks(loop, fp, res, part, cfg, weights, opt, gOpts, tr)
+	asg, err := assignBanks(loop, fp, res, part, cfg, weights, opt, gOpts, tr, ar)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, part.Name(), err)
 	}
@@ -243,7 +259,7 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 	res.Assignment = asg
 	psp.Int("banks", int64(asg.Banks)).Int("registers", int64(len(asg.Of))).End()
 
-	parts, err := compileClustered(ctx, loop, fp, cfg, opt, asg, tr)
+	parts, err := compileClustered(ctx, loop, fp, cfg, opt, asg, tr, ar)
 	if err != nil {
 		return nil, err
 	}
@@ -278,13 +294,13 @@ func (r *Result) adopt(p *clusteredParts) {
 // several candidates must pass each its own Assignment; with a cache the
 // input assignment is treated read-only and the parts carry a fresh
 // extended clone (see insertCopiesFor).
-func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, asg *core.Assignment, tr *trace.Tracer) (*clusteredParts, error) {
+func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, asg *core.Assignment, tr *trace.Tracer, ar *scratch.Arena) (*clusteredParts, error) {
 	// Step 4: insert copies, rebuild the graph, re-schedule clustered.
 	if err := checkpoint(ctx, "copyins"); err != nil {
 		return nil, err
 	}
 	csp := tr.StartSpan("codegen.copy_insert")
-	copies, extAsg, cfp, err := insertCopiesFor(opt.Cache, fp, loop, asg, cfg, tr)
+	copies, extAsg, cfp, err := insertCopiesFor(opt.Cache, fp, loop, asg, cfg, tr, ar)
 	if err != nil {
 		return nil, err
 	}
@@ -292,13 +308,14 @@ func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg
 	csp.Int("kernelCopies", int64(p.copies.KernelCopies)).
 		Int("invariantCopies", int64(p.copies.InvariantCopies)).End()
 	tr.Add("codegen.kernel_copies", int64(p.copies.KernelCopies))
-	gOpts := ddg.Options{Carried: true, Tracer: tr}
+	gOpts := ddg.Options{Carried: true, Tracer: tr, Scratch: ar}
 	p.graph = buildGraph(opt.Cache, cfp, p.copies.Body, cfg, gOpts)
 	partSched, err := runSchedule(ctx, opt.Cache, cfp, gOpts, p.graph, cfg, modulo.Options{
 		ClusterOf:   p.copies.ClusterOf,
 		BudgetRatio: opt.BudgetRatio,
 		Lifetime:    opt.LifetimeSched,
 		Tracer:      tr,
+		Scratch:     ar,
 	})
 	if err != nil {
 		return nil, stageFail("modulo.clustered", err, "codegen: clustered scheduling of %q", loop.Name)
@@ -310,7 +327,7 @@ func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg
 		if err := checkpoint(ctx, "regalloc"); err != nil {
 			return nil, err
 		}
-		p.alloc = allocateParts(p.graph, partSched, p.asg, cfg, tr)
+		p.alloc = allocateParts(p.graph, partSched, p.asg, cfg, tr, ar)
 	}
 	return p, nil
 }
@@ -339,15 +356,15 @@ func IdealView(body *ir.Block, g *ddg.Graph, idealCfg *machine.Config, s *modulo
 }
 
 // allocate colors each bank's live ranges.
-func allocate(r *Result, tr *trace.Tracer) []*regalloc.Result {
-	return allocateParts(r.PartGraph, r.PartSched, r.Assignment, r.Cfg, tr)
+func allocate(r *Result, tr *trace.Tracer, ar *scratch.Arena) []*regalloc.Result {
+	return allocateParts(r.PartGraph, r.PartSched, r.Assignment, r.Cfg, tr, ar)
 }
 
 // allocateParts is allocate over loose parts, so portfolio candidates can
 // be colored (and scored on spills/pressure) before any is committed to a
 // Result.
-func allocateParts(g *ddg.Graph, s *modulo.Schedule, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer) []*regalloc.Result {
-	ranges := regalloc.KernelRanges(g, s)
+func allocateParts(g *ddg.Graph, s *modulo.Schedule, asg *core.Assignment, cfg *machine.Config, tr *trace.Tracer, ar *scratch.Arena) []*regalloc.Result {
+	ranges := regalloc.KernelRangesScratch(g, s, ar)
 	byBank := make([][]regalloc.LiveRange, cfg.Clusters)
 	for _, lr := range ranges {
 		b := asg.Bank(lr.Reg)
@@ -355,7 +372,7 @@ func allocateParts(g *ddg.Graph, s *modulo.Schedule, asg *core.Assignment, cfg *
 	}
 	out := make([]*regalloc.Result, cfg.Clusters)
 	for b := range byBank {
-		out[b] = regalloc.ColorTraced(byBank[b], s.II, cfg.RegsPerBank, nil, tr)
+		out[b] = regalloc.ColorScratch(byBank[b], s.II, cfg.RegsPerBank, nil, tr, ar)
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/partition"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -68,7 +69,7 @@ func (s candidateScore) less(t candidateScore) bool {
 // skipped; the compile only fails if every candidate does. With
 // opt.SkipAlloc the spill and pressure components are zero for every
 // candidate and selection falls back to the clustered II alone.
-func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, weights core.Weights, gen partition.CandidateGenerator, tr *trace.Tracer) error {
+func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache.BlockFP, cfg *machine.Config, opt Options, weights core.Weights, gen partition.CandidateGenerator, tr *trace.Tracer, ar *scratch.Arena) error {
 	psp := tr.StartSpan("codegen.portfolio")
 	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
 	cands, err := gen.Candidates(&partition.Input{
@@ -81,6 +82,7 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 		Tracer:  tr,
 		Cache:   opt.Cache,
 		BlockFP: fp,
+		Arena:   ar,
 	})
 	if err != nil {
 		return fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, gen.Name(), err)
@@ -103,7 +105,9 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 	}
 
 	// Score every candidate. Results land in fixed slots so the selection
-	// below never depends on completion order.
+	// below never depends on completion order. An arena is single-threaded
+	// by contract, so each worker draws its own from the shared pool
+	// instead of borrowing the compile's.
 	parts := make([]*clusteredParts, len(cands))
 	errs := make([]error, len(cands))
 	var wg sync.WaitGroup
@@ -114,7 +118,9 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			parts[i], errs[i] = compileClustered(ctx, loop, fp, cfg, opt, cands[i].Assignment, tr)
+			wa := scratch.Get()
+			defer wa.Release()
+			parts[i], errs[i] = compileClustered(ctx, loop, fp, cfg, opt, cands[i].Assignment, tr, wa)
 		}(i)
 	}
 	wg.Wait()

@@ -76,7 +76,7 @@ func CompileRefined(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt
 			if trial.PartII() < best.PartII() {
 				stats.MovesKept++
 				if !opt.SkipAlloc {
-					trial.Alloc = allocate(trial, opt.Tracer)
+					trial.Alloc = allocate(trial, opt.Tracer, opt.Scratch)
 				}
 				best = trial
 				improved = true

@@ -3,11 +3,28 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
+
+// partScratch pools one partition call's working arrays. The Assignment
+// itself (the result) is always freshly allocated; only the greedy
+// engine's intermediates live here. Pooled per call, so concurrent
+// partition runs over one shared cached RCG each get their own.
+// off/dst/ws hold the fallback CSR adjacency for unsealed graphs; acc is
+// chooseBestBank's per-bank benefit accumulator.
+type partScratch struct {
+	order, counts, assigned []int
+	off, dst                []int32
+	ws                      []float64
+	acc                     []float64
+}
+
+var partPool = sync.Pool{New: func() any { return new(partScratch) }}
 
 // Assignment maps each symbolic register to the register bank it was
 // partitioned into.
@@ -95,14 +112,20 @@ func (g *RCG) partitionWith(banks int, w Weights, pre map[ir.Reg]int, v Variant,
 	}
 	sp := tr.StartSpan("core.partition")
 	tieBreaks := 0
+	sc := partPool.Get().(*partScratch)
+	defer partPool.Put(sc)
 	asg := &Assignment{Banks: banks, Of: make(map[ir.Reg]int, len(g.Nodes))}
-	counts := make([]int, banks)
-	assigned := make([]int, len(g.Nodes)) // bank+1, 0 = unassigned
+	sc.counts = scratch.Ints(sc.counts, banks)
+	counts := sc.counts
+	scratch.FillInts(counts, 0)
+	sc.assigned = scratch.Ints(sc.assigned, len(g.Nodes))
+	assigned := sc.assigned // bank+1, 0 = unassigned
+	scratch.FillInts(assigned, 0)
 	for r, b := range pre {
 		if b < 0 || b >= banks {
 			return nil, fmt.Errorf("core: pre-colored register %s to bank %d of %d", r, b, banks)
 		}
-		if i, ok := g.index[r]; ok {
+		if i, ok := g.NodeIndex(r); ok {
 			assigned[i] = b + 1
 		}
 		asg.Of[r] = b
@@ -118,34 +141,39 @@ func (g *RCG) partitionWith(banks int, w Weights, pre map[ir.Reg]int, v Variant,
 	// All floating-point accumulation below walks adjacency in sorted
 	// index order: map-order summation would make near-tie bank choices
 	// run-dependent, and the experiment tables must reproduce exactly.
-	adj := g.sortedAdjacency()
+	off, dst, ws := g.adjacency(sc)
 	balanceScale := v.BalanceScale
 	if balanceScale == 0 {
 		balanceScale = 1
 	}
-	balanceUnit := w.Balance * balanceScale * meanPositiveEdge(adj)
+	balanceUnit := w.Balance * balanceScale * meanPositiveEdge(ws)
+	sc.acc = scratch.Float64s(sc.acc, banks)
 
-	order := make([]int, len(g.Nodes))
+	sc.order = scratch.Ints(sc.order, len(g.Nodes))
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(x, y int) bool {
-		a, b := order[x], order[y]
+	slices.SortFunc(order, func(a, b int) int {
 		if g.NodeWeight[a] != g.NodeWeight[b] {
-			return g.NodeWeight[a] > g.NodeWeight[b]
+			if g.NodeWeight[a] > g.NodeWeight[b] {
+				return -1
+			}
+			return 1
 		}
 		ra, rb := g.Nodes[a], g.Nodes[b]
 		if ra.Class != rb.Class {
-			return ra.Class < rb.Class
+			return int(ra.Class) - int(rb.Class)
 		}
-		return ra.ID < rb.ID
+		return ra.ID - rb.ID
 	})
 
 	for _, ni := range order {
 		if assigned[ni] != 0 {
 			continue
 		}
-		best, tied := chooseBestBank(adj[ni], bankOrder, balanceUnit, assigned, counts, v.Tie)
+		best, tied := chooseBestBank(dst[off[ni]:off[ni+1]], ws[off[ni]:off[ni+1]],
+			bankOrder, balanceUnit, assigned, counts, sc.acc, v.Tie)
 		if tied {
 			tieBreaks++
 		}
@@ -174,36 +202,57 @@ func (g *RCG) partitionWith(banks int, w Weights, pre map[ir.Reg]int, v Variant,
 	return asg, nil
 }
 
-// edgeTo is one adjacency entry in deterministic order.
+// edgeTo is one adjacency entry in deterministic order (used by RCG's
+// String dump; the partition engine reads CSR arrays instead).
 type edgeTo struct {
 	nb int
 	w  float64
 }
 
-// sortedAdjacency materializes each node's neighbors sorted by index.
-func (g *RCG) sortedAdjacency() [][]edgeTo {
-	out := make([][]edgeTo, len(g.Nodes))
-	for ni, m := range g.adj {
-		es := make([]edgeTo, 0, len(m))
-		for nb, w := range m {
-			es = append(es, edgeTo{nb, w})
-		}
-		sort.Slice(es, func(a, b int) bool { return es[a].nb < es[b].nb })
-		out[ni] = es
+// adjacency returns the graph's CSR adjacency with each node's neighbors
+// in ascending index order: the sealed arrays when the graph was built by
+// Build, otherwise a fallback materialized into the scratch (reading the
+// shared, possibly cache-retained graph without mutating it).
+func (g *RCG) adjacency(sc *partScratch) (off, dst []int32, ws []float64) {
+	if g.adjOff != nil {
+		return g.adjOff, g.adjDst, g.adjW
 	}
-	return out
+	n := len(g.Nodes)
+	sc.off = scratch.Int32s(sc.off, n+1)
+	sc.dst = scratch.Int32s(sc.dst, len(g.halves))
+	sc.ws = scratch.Float64s(sc.ws, len(g.halves))
+	off, dst, ws = sc.off, sc.dst, sc.ws
+	k := int32(0)
+	for v := 0; v < n; v++ {
+		off[v] = k
+		start := k
+		for h := g.head[v]; h >= 0; h = g.halves[h].next {
+			dst[k] = g.halves[h].to
+			ws[k] = g.halves[h].w
+			k++
+		}
+		for i := start + 1; i < k; i++ {
+			for j := i; j > start && dst[j] < dst[j-1]; j-- {
+				dst[j], dst[j-1] = dst[j-1], dst[j]
+				ws[j], ws[j-1] = ws[j-1], ws[j]
+			}
+		}
+	}
+	off[n] = k
+	return off, dst, ws
 }
 
 // meanPositiveEdge returns the mean weight of the positive edges (1 when
-// the graph has none), the normalization unit for the balance term.
-func meanPositiveEdge(adj [][]edgeTo) float64 {
+// the graph has none), the normalization unit for the balance term. ws is
+// the CSR weight array: every edge appears twice (once per direction), in
+// per-node ascending-neighbor order — the same accumulation order the
+// per-node adjacency walk used, so the mean is bit-for-bit reproducible.
+func meanPositiveEdge(ws []float64) float64 {
 	sum, n := 0.0, 0
-	for _, es := range adj {
-		for _, e := range es {
-			if e.w > 0 && !math.IsInf(e.w, 1) {
-				sum += e.w
-				n++
-			}
+	for _, w := range ws {
+		if w > 0 && !math.IsInf(w, 1) {
+			sum += w
+			n++
 		}
 	}
 	if n == 0 {
@@ -229,17 +278,26 @@ func meanPositiveEdge(adj [][]edgeTo) float64 {
 // which is the degree of freedom the portfolio partitioner's variants
 // perturb. The identity order with TieLeastLoaded reproduces the default
 // heuristic exactly.
-func chooseBestBank(neighbors []edgeTo, bankOrder []int, balanceUnit float64, assigned []int, counts []int, tie TieBreak) (int, bool) {
+func chooseBestBank(dst []int32, ws []float64, bankOrder []int, balanceUnit float64, assigned []int, counts []int, acc []float64, tie TieBreak) (int, bool) {
+	// Accumulate every bank's benefit in one pass over the neighbors
+	// instead of one pass per bank. Per bank the floating-point operation
+	// sequence is unchanged — start from the balance term, then add the
+	// bank's assigned-neighbor weights in ascending neighbor order — so the
+	// benefits (and therefore near-tie choices) are bit-identical to the
+	// per-bank walk.
+	for _, rb := range bankOrder {
+		acc[rb] = -balanceUnit * float64(counts[rb])
+	}
+	for k, nb := range dst {
+		if b := assigned[nb]; b != 0 {
+			acc[b-1] += ws[k]
+		}
+	}
 	best := -1
 	bestBenefit := math.Inf(-1)
 	tied := false
 	for _, rb := range bankOrder {
-		benefit := -balanceUnit * float64(counts[rb])
-		for _, e := range neighbors {
-			if assigned[e.nb] == rb+1 {
-				benefit += e.w
-			}
-		}
+		benefit := acc[rb]
 		switch {
 		case best < 0 || benefit > bestBenefit:
 			best, bestBenefit = rb, benefit

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -46,39 +49,70 @@ func (sb *ScheduledBlock) Density() float64 {
 	return float64(len(sb.Block.Ops)) / float64(sb.Length)
 }
 
+// halfEdge is one direction of an undirected RCG edge. The two halves of
+// an edge occupy adjacent slots (indices 2k and 2k+1), so the partner of
+// half h is h^1 and both directions accumulate weight in lockstep.
+type halfEdge struct {
+	to, next int32 // neighbor node; next half-edge of the owning node (-1 ends)
+	w        float64
+}
+
 // RCG is the register component graph. Node identity is the symbolic
 // register; edges accumulate signed weights as described in Section 5.
+// Adjacency is a flat half-edge pool with per-node intrusive lists — one
+// allocation that doubles, instead of a map per node. A built RCG is
+// read-only (the compile cache shares it across compiles); all mutation
+// happens during Build/AddEdge.
 type RCG struct {
-	// Nodes lists the registers in deterministic (class, ID) order.
+	// Nodes lists the registers in insertion order.
 	Nodes []ir.Reg
 	// NodeWeight accumulates the importance of each node, indexed like Nodes.
 	NodeWeight []float64
-	index      map[ir.Reg]int
-	adj        []map[int]float64
+	index      ir.RegIndex
+	head       []int32 // first half-edge per node, -1 when isolated
+	halves     []halfEdge
+
+	// Sealed CSR adjacency, built once at the end of Build: node v's
+	// neighbors are adjDst[adjOff[v]:adjOff[v+1]] in ascending index order
+	// with weights in adjW. Partitioning — typically run many times over
+	// one cached graph — reads this directly instead of re-sorting the
+	// half-edge lists per call. Empty (adjOff == nil) for hand-assembled
+	// graphs, which fall back to sorting on the fly.
+	adjOff []int32
+	adjDst []int32
+	adjW   []float64
 }
 
 // NewRCG returns an empty graph.
 func NewRCG() *RCG {
-	return &RCG{index: make(map[ir.Reg]int)}
+	return &RCG{}
 }
 
 // node interns r, returning its index.
 func (g *RCG) node(r ir.Reg) int {
-	if i, ok := g.index[r]; ok {
-		return i
+	i := g.index.Add(r)
+	if i == len(g.Nodes) {
+		g.Nodes = append(g.Nodes, r)
+		g.NodeWeight = append(g.NodeWeight, 0)
+		g.head = append(g.head, -1)
 	}
-	i := len(g.Nodes)
-	g.index[r] = i
-	g.Nodes = append(g.Nodes, r)
-	g.NodeWeight = append(g.NodeWeight, 0)
-	g.adj = append(g.adj, make(map[int]float64))
 	return i
 }
 
 // NodeIndex returns the index of r and whether it is in the graph.
 func (g *RCG) NodeIndex(r ir.Reg) (int, bool) {
-	i, ok := g.index[r]
-	return i, ok
+	i := g.index.Of(r)
+	return i, i >= 0
+}
+
+// findHalf returns a's half-edge to b, or -1.
+func (g *RCG) findHalf(a, b int) int32 {
+	for h := g.head[a]; h >= 0; h = g.halves[h].next {
+		if int(g.halves[h].to) == b {
+			return h
+		}
+	}
+	return -1
 }
 
 // AddEdge accumulates weight w on the undirected edge {a, b}. Either adds a
@@ -88,10 +122,18 @@ func (g *RCG) AddEdge(a, b ir.Reg, w float64) {
 		return
 	}
 	ia, ib := g.node(a), g.node(b)
-	g.adj[ia][ib] += w
-	g.adj[ib][ia] += w
-	// Accumulating into an existing -Inf edge must stay -Inf; the map
-	// arithmetic already guarantees that (x + -Inf == -Inf).
+	if h := g.findHalf(ia, ib); h >= 0 {
+		// Accumulating into an existing -Inf edge must stay -Inf; float
+		// arithmetic already guarantees that (x + -Inf == -Inf).
+		g.halves[h].w += w
+		g.halves[h^1].w += w
+		return
+	}
+	g.halves = append(g.halves,
+		halfEdge{to: int32(ib), next: g.head[ia], w: w},
+		halfEdge{to: int32(ia), next: g.head[ib], w: w})
+	g.head[ia] = int32(len(g.halves) - 2)
+	g.head[ib] = int32(len(g.halves) - 1)
 }
 
 // AddNode ensures r is present even if no operation connects it.
@@ -111,25 +153,19 @@ func (g *RCG) Constrain(a, b ir.Reg) { g.AddEdge(a, b, math.Inf(-1)) }
 // EdgeWeight returns the accumulated weight between a and b (0 when no
 // edge exists).
 func (g *RCG) EdgeWeight(a, b ir.Reg) float64 {
-	ia, ok := g.index[a]
-	if !ok {
+	ia := g.index.Of(a)
+	ib := g.index.Of(b)
+	if ia < 0 || ib < 0 {
 		return 0
 	}
-	ib, ok := g.index[b]
-	if !ok {
-		return 0
+	if h := g.findHalf(ia, ib); h >= 0 {
+		return g.halves[h].w
 	}
-	return g.adj[ia][ib]
+	return 0
 }
 
 // NumEdges returns the number of distinct edges.
-func (g *RCG) NumEdges() int {
-	n := 0
-	for _, m := range g.adj {
-		n += len(m)
-	}
-	return n / 2
-}
+func (g *RCG) NumEdges() int { return len(g.halves) / 2 }
 
 // Build constructs the RCG of one or more scheduled blocks under the
 // weighting w. Passing all of a function's blocks implements the paper's
@@ -157,8 +193,17 @@ func Build(blocks []ScheduledBlock, w Weights) *RCG {
 // plus the largest component's size — the quantity that decides whether
 // the greedy partition has any freedom at all). A nil tr is free.
 func BuildTraced(blocks []ScheduledBlock, w Weights, tr *trace.Tracer) *RCG {
+	return BuildScratch(blocks, w, tr, nil)
+}
+
+// BuildScratch is BuildTraced drawing construction working buffers (the
+// dense register index, defined-set bits and instruction grouping) from
+// the compile's scratch arena; nil falls back to a shared pool. The
+// returned graph never aliases scratch memory — the compile cache retains
+// built RCGs across compiles.
+func BuildScratch(blocks []ScheduledBlock, w Weights, tr *trace.Tracer, a *scratch.Arena) *RCG {
 	sp := tr.StartSpan("core.rcg.build")
-	g := buildRCG(blocks, w)
+	g := buildRCG(blocks, w, a)
 	if sp != nil {
 		comps := g.Components()
 		largest := 0
@@ -173,7 +218,25 @@ func BuildTraced(blocks []ScheduledBlock, w Weights, tr *trace.Tracer) *RCG {
 	return g
 }
 
-func buildRCG(blocks []ScheduledBlock, w Weights) *RCG {
+// rcgScratch is RCG construction's per-block working set: the dense
+// register index, the defined-set bits, the sorted-register buffer and the
+// instruction grouping table (ops bucketed by ideal-schedule time).
+type rcgScratch struct {
+	ri       ir.RegIndex
+	defined  []bool
+	regs     []ir.Reg
+	instrCnt []int32
+	instrOps []int32
+}
+
+var rcgPool = sync.Pool{New: func() any { return new(rcgScratch) }}
+
+func buildRCG(blocks []ScheduledBlock, w Weights, a *scratch.Arena) *RCG {
+	sc, arenaOwned := scratch.For(a, scratch.RCG, func() *rcgScratch { return new(rcgScratch) })
+	if !arenaOwned {
+		sc = rcgPool.Get().(*rcgScratch)
+		defer rcgPool.Put(sc)
+	}
 	g := NewRCG()
 	for bi := range blocks {
 		sb := &blocks[bi]
@@ -188,32 +251,66 @@ func buildRCG(blocks []ScheduledBlock, w Weights) *RCG {
 		// Edges incident to loop invariants are scaled down: separating an
 		// invariant from its consumer costs one hoisted preheader copy,
 		// not a recurring kernel copy.
-		defined := sb.Block.Defined()
+		sc.ri.Reset(sb.Block)
+		nr := sc.ri.Len()
+		sc.defined = scratch.Bools(sc.defined, nr)
+		scratch.ZeroBools(sc.defined)
+		for _, op := range sb.Block.Ops {
+			for _, d := range op.Defs {
+				sc.defined[sc.ri.Of(d)] = true
+			}
+		}
 		scale := func(regs ...ir.Reg) float64 {
 			for _, r := range regs {
-				if !defined[r] {
+				if !sc.defined[sc.ri.Of(r)] {
 					return w.InvariantScale
 				}
 			}
 			return 1
 		}
-		// Ensure every register appears even if isolated.
-		for _, r := range sb.Block.Registers() {
+		// Ensure every register appears even if isolated, in the same
+		// deterministic (class, ID) order Block.Registers used.
+		sc.regs = sc.ri.AppendSorted(sc.regs[:0])
+		g.grow(len(sc.regs))
+		for _, r := range sc.regs {
 			g.AddNode(r)
 		}
-		// Group operations by instruction.
-		instrs := make(map[int][]int)
-		var times []int
-		for op, t := range sb.Time {
-			if _, ok := instrs[t]; !ok {
-				times = append(times, t)
+		// Group operations by instruction: bucket op indices by time with a
+		// count/prefix/fill pass. Buckets come out in ascending time order
+		// with ops in program order within each — the iteration order the
+		// old map+sort grouping produced.
+		maxT := 0
+		for _, t := range sb.Time {
+			if t > maxT {
+				maxT = t
 			}
-			instrs[t] = append(instrs[t], op)
 		}
-		sort.Ints(times)
-		for _, t := range times {
-			ops := instrs[t]
-			for _, oi := range ops {
+		nt := maxT + 1
+		sc.instrCnt = scratch.Int32s(sc.instrCnt, nt+1)
+		cnt := sc.instrCnt
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, t := range sb.Time {
+			cnt[t+1]++
+		}
+		for t := 0; t < nt; t++ {
+			cnt[t+1] += cnt[t]
+		}
+		sc.instrOps = scratch.Int32s(sc.instrOps, len(sb.Time))
+		starts := cnt // cnt[t] is now the bucket start; advance as we fill
+		for op, t := range sb.Time {
+			sc.instrOps[starts[t]] = int32(op)
+			starts[t]++
+		}
+		// After filling, starts[t] is the end of bucket t (== old start of
+		// bucket t+1), so bucket t spans [end of t-1, starts[t]).
+		prev := int32(0)
+		for t := 0; t < nt; t++ {
+			ops := sc.instrOps[prev:starts[t]]
+			prev = starts[t]
+			for _, oi32 := range ops {
+				oi := int(oi32)
 				op := sb.Block.Ops[oi]
 				aff := w.affinity(density, depth, flex(oi))
 				if w.RecurrenceBonus > 0 && w.RecurrenceBonus != 1 &&
@@ -235,7 +332,7 @@ func buildRCG(blocks []ScheduledBlock, w Weights) *RCG {
 			for x := 0; x < len(ops); x++ {
 				for y := x + 1; y < len(ops); y++ {
 					o1, o2 := sb.Block.Ops[ops[x]], sb.Block.Ops[ops[y]]
-					anti := w.antiAffinity(density, depth, flex(ops[x]), flex(ops[y]))
+					anti := w.antiAffinity(density, depth, flex(int(ops[x])), flex(int(ops[y])))
 					for _, d1 := range o1.Defs {
 						for _, d2 := range o2.Defs {
 							if d1 == d2 {
@@ -248,7 +345,46 @@ func buildRCG(blocks []ScheduledBlock, w Weights) *RCG {
 			}
 		}
 	}
+	g.seal()
 	return g
+}
+
+// grow reserves capacity for n more nodes, so interning a block's register
+// set appends without reallocating per register.
+func (g *RCG) grow(n int) {
+	g.Nodes = slices.Grow(g.Nodes, n)
+	g.NodeWeight = slices.Grow(g.NodeWeight, n)
+	g.head = slices.Grow(g.head, n)
+}
+
+// seal freezes the adjacency into the sorted CSR form partitioning reads.
+// Neighbor indices are unique per node, so ascending-index order is total
+// and the sealed order is deterministic. Mutating the graph (AddEdge)
+// after sealing would desynchronize the CSR; Build is the only caller and
+// built graphs are read-only.
+func (g *RCG) seal() {
+	n := len(g.Nodes)
+	g.adjOff = make([]int32, n+1)
+	g.adjDst = make([]int32, len(g.halves))
+	g.adjW = make([]float64, len(g.halves))
+	off := int32(0)
+	for v := 0; v < n; v++ {
+		g.adjOff[v] = off
+		start := off
+		for h := g.head[v]; h >= 0; h = g.halves[h].next {
+			g.adjDst[off] = g.halves[h].to
+			g.adjW[off] = g.halves[h].w
+			off++
+		}
+		// Insertion sort the span by neighbor index (degrees are small).
+		for i := start + 1; i < off; i++ {
+			for j := i; j > start && g.adjDst[j] < g.adjDst[j-1]; j-- {
+				g.adjDst[j], g.adjDst[j-1] = g.adjDst[j-1], g.adjDst[j]
+				g.adjW[j], g.adjW[j-1] = g.adjW[j-1], g.adjW[j]
+			}
+		}
+	}
+	g.adjOff[n] = off
 }
 
 // Components returns the connected components of the graph's
@@ -277,8 +413,8 @@ func (g *RCG) Components() [][]ir.Reg {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			members = append(members, g.Nodes[v])
-			for nb, w := range g.adj[v] {
-				if w > 0 && comp[nb] < 0 {
+			for h := g.head[v]; h >= 0; h = g.halves[h].next {
+				if nb := int(g.halves[h].to); g.halves[h].w > 0 && comp[nb] < 0 {
 					comp[nb] = id
 					stack = append(stack, nb)
 				}
@@ -302,13 +438,13 @@ func (g *RCG) String() string {
 	var sb strings.Builder
 	for i, r := range g.Nodes {
 		fmt.Fprintf(&sb, "%s (w=%.2f):", r, g.NodeWeight[i])
-		nbs := make([]int, 0, len(g.adj[i]))
-		for nb := range g.adj[i] {
-			nbs = append(nbs, nb)
+		var nbs []edgeTo
+		for h := g.head[i]; h >= 0; h = g.halves[h].next {
+			nbs = append(nbs, edgeTo{int(g.halves[h].to), g.halves[h].w})
 		}
-		sort.Ints(nbs)
-		for _, nb := range nbs {
-			fmt.Fprintf(&sb, "  %s=%.2f", g.Nodes[nb], g.adj[i][nb])
+		slices.SortFunc(nbs, func(a, b edgeTo) int { return a.nb - b.nb })
+		for _, e := range nbs {
+			fmt.Fprintf(&sb, "  %s=%.2f", g.Nodes[e.nb], e.w)
 		}
 		sb.WriteByte('\n')
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// Property tests for the RCG's flat half-edge adjacency and its sealed CSR
+// form: both must agree exactly with the obvious map-of-maps reference on
+// randomized edge streams, including repeated accumulation onto the same
+// edge and -Inf constraint edges.
+
+func flatReg(i int) ir.Reg { return ir.Reg{ID: i + 1, Class: ir.Class(i % 2)} }
+
+// TestFlatEdgeWeightMatchesMapReference drives AddEdge with a randomized
+// stream (random pairs, weights, duplicates, both orientations) and checks
+// every pair's EdgeWeight against a map reference accumulated in the same
+// order. Accumulation order per edge is identical on both sides, so the
+// floats must match bit for bit.
+func TestFlatEdgeWeightMatchesMapReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(24)
+		g := NewRCG()
+		type pair [2]int // canonical: low index first
+		ref := map[pair]float64{}
+		edges := 8 * n
+		for e := 0; e < edges; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			var w float64
+			switch rng.Intn(10) {
+			case 0:
+				w = math.Inf(-1) // a Constrain-style idiosyncrasy edge
+			default:
+				w = (rng.Float64() - 0.4) * 10
+			}
+			g.AddEdge(flatReg(a), flatReg(b), w)
+			key := pair{a, b}
+			if a > b {
+				key = pair{b, a}
+			}
+			ref[key] += w
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				key := pair{a, b}
+				if a > b {
+					key = pair{b, a}
+				}
+				want := ref[key] // 0 when absent, matching EdgeWeight's contract
+				got := g.EdgeWeight(flatReg(a), flatReg(b))
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("seed %d: EdgeWeight(%d,%d) = %v, want %v", seed, a, b, got, want)
+				}
+			}
+		}
+		if g.NumEdges() != len(ref) {
+			t.Fatalf("seed %d: NumEdges = %d, want %d", seed, g.NumEdges(), len(ref))
+		}
+	}
+}
+
+// TestSealedAdjacencyMatchesFallback partitions randomized hand-assembled
+// graphs twice — once unsealed (the scratch-built CSR fallback) and once
+// after sealing — and requires identical assignments: the sealed arrays
+// must present exactly the adjacency, order and weights the fallback
+// materializes per call.
+func TestSealedAdjacencyMatchesFallback(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n := 6 + rng.Intn(30)
+		g := NewRCG()
+		for i := 0; i < n; i++ {
+			g.AddNode(flatReg(i))
+		}
+		for e := 0; e < 6*n; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			w := (rng.Float64() - 0.3) * 4
+			g.AddEdge(flatReg(a), flatReg(b), w)
+			g.AddNodeWeight(flatReg(a), math.Abs(w))
+		}
+		banks := 2 + rng.Intn(3)
+		w := DefaultWeights()
+		before, err := g.Partition(banks, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.seal()
+		after, err := g.Partition(banks, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(before.Of, after.Of) {
+			t.Fatalf("seed %d: sealed partition diverged from fallback:\nfallback: %v\n  sealed: %v",
+				seed, before.Of, after.Of)
+		}
+	}
+}

@@ -10,6 +10,11 @@
 // the form Base[Coeff*i+Offset], so two references to the same array either
 // provably never collide, collide at a fixed iteration distance, or are
 // treated conservatively.
+//
+// Construction is allocation-lean: per-register scan state is indexed by a
+// dense ir.RegIndex instead of a map, edges accumulate in reusable scratch
+// (see internal/scratch), and the finished graph's adjacency is carved from
+// one exactly-sized slab — the only allocations a build retains.
 package ddg
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -95,29 +101,119 @@ type Options struct {
 	MemFlowLatency int
 	// Tracer records a "ddg.build" span per construction; nil disables.
 	Tracer *trace.Tracer
+	// Scratch optionally supplies the compile's scratch arena so repeated
+	// builds reuse working buffers; nil falls back to a shared pool.
+	// Results never alias scratch memory.
+	Scratch *scratch.Arena
+}
+
+// regState is the per-register scan state, indexed densely by ir.RegIndex.
+type regState struct {
+	firstDef  int32 // first def in program order, -1 if none
+	lastDef   int32 // most recent def during the scan, -1 if none
+	usesSince []int32
+	allUses   []int32
+}
+
+// memGroup collects the memory operations referencing one base symbol.
+type memGroup struct {
+	base string
+	idxs []int32
+}
+
+// buildScratch is one build's reusable working set: the dense register
+// index and states, the flat edge accumulator, the per-node degree /
+// cursor arrays and the memory grouping table. Everything here is dirty
+// between builds and re-initialized on use; nothing in a returned Graph
+// points into it.
+type buildScratch struct {
+	ri     ir.RegIndex
+	states []regState
+	edges  []Edge
+	outDeg []int32
+	inDeg  []int32
+	mems   []memGroup
+}
+
+var buildPool = newPool(func() *buildScratch { return new(buildScratch) })
+
+// getBuild fetches build scratch from the arena (slot scratch.DDG) or the
+// package pool; release is a no-op for arena-owned scratch.
+func getBuild(a *scratch.Arena) (*buildScratch, func()) {
+	if sc, ok := scratch.For(a, scratch.DDG, func() *buildScratch { return new(buildScratch) }); ok {
+		return sc, func() {}
+	}
+	sc := buildPool.get()
+	return sc, func() { buildPool.put(sc) }
+}
+
+// add records e in the scratch accumulator unless it is an unconstraining
+// distance-0 self-edge (self dependences with distance >= 1 are kept: an
+// accumulator's true self-dependence bounds the II).
+func (sc *buildScratch) add(e Edge) {
+	if e.From == e.To && e.Distance == 0 {
+		return
+	}
+	sc.edges = append(sc.edges, e)
+	sc.outDeg[e.From]++
+	sc.inDeg[e.To]++
 }
 
 // Build constructs the dependence graph of block b under the latency table
 // of cfg.
 func Build(b *ir.Block, cfg *machine.Config, opt Options) *Graph {
 	sp := opt.Tracer.StartSpan("ddg.build")
-	g := &Graph{
-		Ops:     b.Ops,
-		Out:     make([][]Edge, len(b.Ops)),
-		In:      make([][]Edge, len(b.Ops)),
-		Carried: opt.Carried,
+	sc, release := getBuild(opt.Scratch)
+	n := len(b.Ops)
+	sc.edges = sc.edges[:0]
+	sc.outDeg = scratch.Int32s(sc.outDeg, n)
+	sc.inDeg = scratch.Int32s(sc.inDeg, n)
+	for i := 0; i < n; i++ {
+		sc.outDeg[i], sc.inDeg[i] = 0, 0
 	}
-	g.addRegisterDeps(cfg, opt)
-	g.addMemoryDeps(cfg, opt)
+
+	g := &Graph{Ops: b.Ops, Carried: opt.Carried}
+	sc.addRegisterDeps(g, b, cfg, opt)
+	sc.addMemoryDeps(g, cfg, opt)
+	g.assemble(sc)
+	release()
 	sp.Int("ops", int64(len(g.Ops))).Int("edges", int64(g.nEdges)).End()
 	return g
 }
 
-// addEdge records e unless it is a self-edge that cannot constrain any
-// schedule (distance >= 1 self dependences with latency <= distance are
-// satisfied by every II >= 1 only when latency <= II*distance; we keep
-// self-edges with positive latency because they do bound II, e.g. an
-// accumulator's true self-dependence).
+// assemble carves the accumulated edges into the graph's Out/In adjacency:
+// one slab of 2*E edges, with each node's lists sliced out of it at exact
+// size. The scratch degree arrays double as fill cursors.
+func (g *Graph) assemble(sc *buildScratch) {
+	n := len(g.Ops)
+	e := len(sc.edges)
+	g.nEdges = e
+	g.Out = make([][]Edge, n)
+	g.In = make([][]Edge, n)
+	if e == 0 {
+		return
+	}
+	slab := make([]Edge, 2*e)
+	off := 0
+	for i := 0; i < n; i++ {
+		d := int(sc.outDeg[i])
+		g.Out[i] = slab[off : off : off+d]
+		off += d
+	}
+	for i := 0; i < n; i++ {
+		d := int(sc.inDeg[i])
+		g.In[i] = slab[off : off : off+d]
+		off += d
+	}
+	for _, ed := range sc.edges {
+		g.Out[ed.From] = append(g.Out[ed.From], ed)
+		g.In[ed.To] = append(g.In[ed.To], ed)
+	}
+}
+
+// addEdge records e directly on a graph under construction. The main build
+// path accumulates through scratch instead; this append path serves the
+// small diagnostic subgraphs (RecMIIOf).
 func (g *Graph) addEdge(e Edge) {
 	if e.From == e.To && e.Distance == 0 {
 		return
@@ -146,50 +242,50 @@ func (g *Graph) WithOps(ops []*ir.Op) *Graph {
 	return &c
 }
 
-func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
-	type regState struct {
-		firstDef  int // first def in program order, -1 if none
-		lastDef   int // most recent def during the scan, -1 if none
-		usesSince []int
-		allUses   []int
+func (sc *buildScratch) addRegisterDeps(g *Graph, b *ir.Block, cfg *machine.Config, opt Options) {
+	sc.ri.Reset(b)
+	nr := sc.ri.Len()
+	if cap(sc.states) < nr {
+		states := make([]regState, nr, cap(sc.states)*2+nr)
+		copy(states, sc.states[:cap(sc.states)])
+		sc.states = states
 	}
-	states := make(map[ir.Reg]*regState)
-	state := func(r ir.Reg) *regState {
-		s := states[r]
-		if s == nil {
-			s = &regState{firstDef: -1, lastDef: -1}
-			states[r] = s
-		}
-		return s
+	sc.states = sc.states[:nr]
+	for i := range sc.states {
+		s := &sc.states[i]
+		s.firstDef, s.lastDef = -1, -1
+		s.usesSince = s.usesSince[:0]
+		s.allUses = s.allUses[:0]
 	}
+	state := func(r ir.Reg) *regState { return &sc.states[sc.ri.Of(r)] }
 
 	for i, op := range g.Ops {
 		for _, u := range op.Uses {
 			s := state(u)
 			if s.lastDef >= 0 {
-				g.addEdge(Edge{
-					From: s.lastDef, To: i, Kind: True,
+				sc.add(Edge{
+					From: int(s.lastDef), To: i, Kind: True,
 					Latency: cfg.Latency(g.Ops[s.lastDef]), Reg: u,
 				})
 			}
-			s.usesSince = append(s.usesSince, i)
-			s.allUses = append(s.allUses, i)
+			s.usesSince = append(s.usesSince, int32(i))
+			s.allUses = append(s.allUses, int32(i))
 		}
 		for _, d := range op.Defs {
 			s := state(d)
 			if s.lastDef >= 0 {
-				g.addEdge(Edge{From: s.lastDef, To: i, Kind: Output, Latency: 1, Reg: d})
+				sc.add(Edge{From: int(s.lastDef), To: i, Kind: Output, Latency: 1, Reg: d})
 			}
 			for _, j := range s.usesSince {
-				if j != i {
-					g.addEdge(Edge{From: j, To: i, Kind: Anti, Latency: 0, Reg: d})
+				if int(j) != i {
+					sc.add(Edge{From: int(j), To: i, Kind: Anti, Latency: 0, Reg: d})
 				}
 			}
 			if s.firstDef < 0 {
-				s.firstDef = i
+				s.firstDef = int32(i)
 			}
-			s.lastDef = i
-			s.usesSince = nil
+			s.lastDef = int32(i)
+			s.usesSince = s.usesSince[:0]
 		}
 	}
 
@@ -209,7 +305,8 @@ func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
 	// registers or modulo variable expansion — and the allocator in
 	// internal/regalloc does exactly that, charging ceil(lifetime/II)
 	// physical registers per value.
-	for _, s := range states {
+	for si := range sc.states {
+		s := &sc.states[si]
 		if s.lastDef < 0 {
 			continue // pure live-in (loop invariant): no carried edge
 		}
@@ -221,8 +318,8 @@ func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
 			// self-edge with distance 1 is exactly the recurrence that
 			// bounds RecMII.
 			if j <= s.firstDef {
-				g.addEdge(Edge{
-					From: s.lastDef, To: j, Kind: True, Distance: 1,
+				sc.add(Edge{
+					From: int(s.lastDef), To: int(j), Kind: True, Distance: 1,
 					Latency: cfg.Latency(g.Ops[s.lastDef]),
 					Reg:     g.Ops[s.lastDef].Def(),
 				})
@@ -231,38 +328,55 @@ func (g *Graph) addRegisterDeps(cfg *machine.Config, opt Options) {
 	}
 }
 
-func (g *Graph) addMemoryDeps(cfg *machine.Config, opt Options) {
+func (sc *buildScratch) addMemoryDeps(g *Graph, cfg *machine.Config, opt Options) {
 	flowLat := opt.MemFlowLatency
 	if flowLat <= 0 {
 		flowLat = cfg.Lat.Store
 	}
-	type memOp struct {
-		idx int
-		op  *ir.Op
-	}
-	byBase := make(map[string][]memOp)
-	var order []string
+	// Group memory operations by base symbol. The handful of distinct
+	// bases per loop makes a linear probe cheaper than a map, and the
+	// group index slices recycle across builds.
+	groups := sc.mems[:0]
 	for i, op := range g.Ops {
 		if op.Mem == nil {
 			continue
 		}
-		if _, ok := byBase[op.Mem.Base]; !ok {
-			order = append(order, op.Mem.Base)
-		}
-		byBase[op.Mem.Base] = append(byBase[op.Mem.Base], memOp{i, op})
-	}
-	for _, base := range order {
-		refs := byBase[base]
-		for a := 0; a < len(refs); a++ {
-			for b := a + 1; b < len(refs); b++ {
-				g.memPair(refs[a].idx, refs[b].idx, flowLat, opt.Carried)
+		gi := -1
+		for k := range groups {
+			if groups[k].base == op.Mem.Base {
+				gi = k
+				break
 			}
 		}
+		if gi < 0 {
+			if len(groups) < cap(groups) {
+				groups = groups[:len(groups)+1]
+				groups[len(groups)-1].base = op.Mem.Base
+				groups[len(groups)-1].idxs = groups[len(groups)-1].idxs[:0]
+			} else {
+				groups = append(groups, memGroup{base: op.Mem.Base})
+			}
+			gi = len(groups) - 1
+		}
+		groups[gi].idxs = append(groups[gi].idxs, int32(i))
+	}
+	sc.mems = groups
+	for gi := range groups {
+		refs := groups[gi].idxs
+		for a := 0; a < len(refs); a++ {
+			for b := a + 1; b < len(refs); b++ {
+				sc.memPair(g, int(refs[a]), int(refs[b]), flowLat, opt.Carried)
+			}
+		}
+	}
+	// Drop the string references so pooled scratch does not pin blocks.
+	for gi := range sc.mems {
+		sc.mems[gi].base = ""
 	}
 }
 
 // memPair adds dependences between memory ops i < j (program order).
-func (g *Graph) memPair(i, j, flowLat int, carried bool) {
+func (sc *buildScratch) memPair(g *Graph, i, j, flowLat int, carried bool) {
 	oi, oj := g.Ops[i], g.Ops[j]
 	if oi.Code == ir.Load && oj.Code == ir.Load {
 		return // load-load pairs never conflict
@@ -285,31 +399,31 @@ func (g *Graph) memPair(i, j, flowLat int, carried bool) {
 		d := diff / mi.Coeff
 		switch {
 		case d == 0:
-			g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+			sc.add(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
 		case d > 0:
 			// j in a later iteration touches what i touched: i -> j, omega d.
 			if carried {
-				g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi), Distance: d})
+				sc.add(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi), Distance: d})
 			}
 		default:
 			// i in a later iteration touches what j touched: j -> i, omega -d.
 			if carried {
-				g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: -d})
+				sc.add(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: -d})
 			}
 		}
 	case mi.Coeff == 0 && mj.Coeff == 0:
 		if mi.Offset != mj.Offset {
 			return // distinct scalars
 		}
-		g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+		sc.add(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
 		if carried {
-			g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
+			sc.add(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
 		}
 	default:
 		// Differing strides (or strided vs. invariant): conservative.
-		g.addEdge(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
+		sc.add(Edge{From: i, To: j, Kind: Mem, Latency: lat(oi)})
 		if carried {
-			g.addEdge(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
+			sc.add(Edge{From: j, To: i, Kind: Mem, Latency: lat(oj), Distance: 1})
 		}
 	}
 }

@@ -1,8 +1,24 @@
 package ddg
 
+import "repro/internal/scratch"
+
 // This file computes the lower bounds on the initiation interval of a
 // modulo schedule (Section 2): RecMII from dependence recurrences and
 // ResMII from resource usage, with MinII = max(RecMII, ResMII).
+
+// miniiScratch holds the Bellman-Ford relaxation buffer reused across the
+// binary search's candidate IIs (and, via the arena, across compiles),
+// plus the SCC decomposition that restricts each relaxation to one
+// recurrence's subgraph.
+type miniiScratch struct {
+	dist    []int64
+	compOf  []int32 // node -> 1+component index, 0 = not on any cycle
+	nodes   []int   // nodes of cyclic components, concatenated
+	compEnd []int32 // end offset of each component in nodes
+	scc     sccScratch
+}
+
+var miniiPool = newPool(func() *miniiScratch { return new(miniiScratch) })
 
 // RecMII returns the recurrence-constrained minimum initiation interval:
 // the smallest II such that no dependence cycle requires more than II
@@ -16,36 +32,124 @@ package ddg
 // graph with edge weights latency - II*distance (a cycle with positive
 // total weight means the II is infeasible). The test is Bellman-Ford style
 // relaxation, O(V*E) per candidate II, with a binary search over II.
-func (g *Graph) RecMII() int {
-	lo, hi := 1, 1
-	for _, outs := range g.Out {
-		for _, e := range outs {
-			if e.Latency > 0 {
-				hi += e.Latency
+func (g *Graph) RecMII() int { return g.RecMIIScratch(nil) }
+
+// RecMIIScratch is RecMII with the relaxation buffer drawn from the
+// compile's scratch arena (slot scratch.MinII); a nil arena falls back to
+// a shared pool.
+//
+// Every dependence cycle lives inside one strongly connected component, so
+// the search decomposes the graph once and binary-searches each cyclic
+// component separately: relaxation touches only the component's nodes and
+// internal edges, and each component's search starts at the best bound the
+// previous components established (a component that cannot raise the
+// running answer is skipped outright).
+func (g *Graph) RecMIIScratch(a *scratch.Arena) int {
+	sc, arenaOwned := scratch.For(a, scratch.MinII, func() *miniiScratch { return new(miniiScratch) })
+	if !arenaOwned {
+		sc = miniiPool.get()
+		defer miniiPool.put(sc)
+	}
+	n := len(g.Ops)
+	if n == 0 {
+		return 1
+	}
+	sc.compOf = scratch.Int32s(sc.compOf, n)
+	for i := range sc.compOf {
+		sc.compOf[i] = 0
+	}
+	sc.nodes = sc.nodes[:0]
+	sc.compEnd = sc.compEnd[:0]
+	g.tarjan(&sc.scc, func(comp []int) {
+		if len(comp) > 1 || g.hasSelfEdge(comp[0]) {
+			id := int32(len(sc.compEnd)) + 1
+			for _, v := range comp {
+				sc.compOf[v] = id
+			}
+			sc.nodes = append(sc.nodes, comp...)
+			sc.compEnd = append(sc.compEnd, int32(len(sc.nodes)))
+		}
+	})
+	sc.dist = scratch.Int64s(sc.dist, n)
+
+	rec := 1
+	start := int32(0)
+	for ci, end := range sc.compEnd {
+		comp := sc.nodes[start:end]
+		start = end
+		id := int32(ci) + 1
+		// hi is always feasible for this component: every internal cycle
+		// has distance >= 1 and total latency <= hi.
+		hi := 1
+		for _, v := range comp {
+			for _, e := range g.Out[v] {
+				if sc.compOf[e.To] == id && e.Latency > 0 {
+					hi += e.Latency
+				}
 			}
 		}
+		if hi <= rec {
+			continue // cannot raise the running bound
+		}
+		// Invariant: hi feasible, lo-1 infeasible or lo == rec (a component
+		// whose true bound is below rec just confirms rec).
+		lo := rec
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.hasPositiveCycleIn(mid, comp, id, sc) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rec = lo
 	}
-	// Invariant: hi is always feasible (every cycle has distance >= 1 and
-	// total latency <= hi), lo-1 is infeasible or lo == 1.
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if g.hasPositiveCycle(mid) {
-			lo = mid + 1
-		} else {
-			hi = mid
+	return rec
+}
+
+// hasPositiveCycleIn reports whether the component (nodes comp, identified
+// by id in sc.compOf) contains a cycle of positive total weight under edge
+// weights latency - ii*distance. Relaxation is restricted to the
+// component's nodes and internal edges; sc.dist is indexed by global node
+// number but only the component's entries are touched.
+func (g *Graph) hasPositiveCycleIn(ii int, comp []int, id int32, sc *miniiScratch) bool {
+	dist := sc.dist
+	for _, v := range comp {
+		dist[v] = 0 // every node is a potential cycle start
+	}
+	for round := 0; round < len(comp); round++ {
+		changed := false
+		for _, from := range comp {
+			for _, e := range g.Out[from] {
+				if sc.compOf[e.To] != id {
+					continue
+				}
+				w := int64(e.Latency) - int64(ii)*int64(e.Distance)
+				if nd := dist[from] + w; nd > dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return false
 		}
 	}
-	return lo
+	return true // still relaxing after |comp| rounds: positive cycle
 }
 
 // hasPositiveCycle reports whether the graph with edge weights
 // latency - ii*distance contains a positive-weight cycle.
-func (g *Graph) hasPositiveCycle(ii int) bool {
+func (g *Graph) hasPositiveCycle(ii int, sc *miniiScratch) bool {
 	n := len(g.Ops)
 	if n == 0 {
 		return false
 	}
-	dist := make([]int64, n) // all zero: every node is a potential cycle start
+	sc.dist = scratch.Int64s(sc.dist, n)
+	dist := sc.dist
+	for i := range dist {
+		dist[i] = 0 // every node is a potential cycle start
+	}
 	for round := 0; round < n; round++ {
 		changed := false
 		for from, outs := range g.Out {
@@ -81,8 +185,11 @@ func ResMII(numOps, width int) int {
 }
 
 // MinII returns max(RecMII, ResMII(width)).
-func (g *Graph) MinII(width int) int {
-	rec := g.RecMII()
+func (g *Graph) MinII(width int) int { return g.MinIIScratch(width, nil) }
+
+// MinIIScratch is MinII drawing RecMII's relaxation buffer from the arena.
+func (g *Graph) MinIIScratch(width int, a *scratch.Arena) int {
+	rec := g.RecMIIScratch(a)
 	res := ResMII(len(g.Ops), width)
 	if rec > res {
 		return rec

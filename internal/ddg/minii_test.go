@@ -141,14 +141,14 @@ func TestHasPositiveCycleMonotone(t *testing.T) {
 	b.AddInto(x, tmp, tmp)
 	g := Build(l.Body, machine.Ideal16(), Options{Carried: true})
 	rec := g.RecMII()
-	if g.hasPositiveCycle(rec) {
+	if g.hasPositiveCycle(rec, new(miniiScratch)) {
 		t.Errorf("RecMII %d reported infeasible", rec)
 	}
-	if rec > 1 && !g.hasPositiveCycle(rec-1) {
+	if rec > 1 && !g.hasPositiveCycle(rec-1, new(miniiScratch)) {
 		t.Errorf("RecMII-1 = %d reported feasible", rec-1)
 	}
 	f := func(extra uint8) bool {
-		return !g.hasPositiveCycle(rec + int(extra%32))
+		return !g.hasPositiveCycle(rec+int(extra%32), new(miniiScratch))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,14 @@
+package ddg
+
+import "sync"
+
+// pool is a small typed wrapper over sync.Pool used for the package's
+// fallback scratch (when no arena is supplied).
+type pool[T any] struct{ p sync.Pool }
+
+func newPool[T any](mk func() T) *pool[T] {
+	return &pool[T]{p: sync.Pool{New: func() any { return mk() }}}
+}
+
+func (p *pool[T]) get() T  { return p.p.Get().(T) }
+func (p *pool[T]) put(v T) { p.p.Put(v) }

@@ -1,5 +1,7 @@
 package ddg
 
+import "repro/internal/scratch"
+
 // This file finds the dependence graph's recurrences: the strongly
 // connected components of the full (distance-inclusive) graph. Nystrom and
 // Eichenberger's partitioner is built around them — "they try to prevent
@@ -7,30 +9,45 @@ package ddg
 // reproduction exposes the same information for diagnostics and for the
 // optional recurrence-aware weighting in internal/core.
 
-// SCCs returns the strongly connected components of the graph (Tarjan's
-// algorithm, iterative), ordered by their smallest member. Components of
-// size one are included only when the operation has a self-edge (a
-// one-operation recurrence such as an accumulator).
-func (g *Graph) SCCs() [][]int {
+// sccFrame is one level of the iterative Tarjan DFS.
+type sccFrame struct {
+	v, ei int
+}
+
+// sccScratch pools the DFS working arrays; the returned components are
+// always freshly allocated (callers retain them).
+type sccScratch struct {
+	index, low []int
+	onStack    []bool
+	stack      []int
+	frames     []sccFrame
+}
+
+var sccPool = newPool(func() *sccScratch { return new(sccScratch) })
+
+// tarjan runs the iterative SCC DFS over the graph, invoking emit once per
+// strongly connected component — including trivial single-node ones. The
+// comp slice aliases the DFS stack and is valid only for the duration of
+// the emit call; callers that keep it must copy.
+func (g *Graph) tarjan(sc *sccScratch, emit func(comp []int)) {
 	n := len(g.Ops)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
+	sc.index = scratch.Ints(sc.index, n)
+	sc.low = scratch.Ints(sc.low, n)
+	index, low := sc.index, sc.low
+	sc.onStack = scratch.Bools(sc.onStack, n)
+	onStack := sc.onStack
+	for i := 0; i < n; i++ {
 		index[i] = -1
+		onStack[i] = false
 	}
-	var stack []int
-	var out [][]int
+	stack := sc.stack[:0]
 	next := 0
 
-	type frame struct {
-		v, ei int
-	}
 	for root := 0; root < n; root++ {
 		if index[root] >= 0 {
 			continue
 		}
-		frames := []frame{{root, 0}}
+		frames := append(sc.frames[:0], sccFrame{root, 0})
 		index[root], low[root] = next, next
 		next++
 		stack = append(stack, root)
@@ -45,7 +62,7 @@ func (g *Graph) SCCs() [][]int {
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					frames = append(frames, frame{w, 0})
+					frames = append(frames, sccFrame{w, 0})
 				} else if onStack[w] && index[w] < low[f.v] {
 					low[f.v] = index[w]
 				}
@@ -60,24 +77,40 @@ func (g *Graph) SCCs() [][]int {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
+				// The component is exactly the stack suffix back to v.
+				k := len(stack) - 1
+				for stack[k] != v {
+					k--
+				}
+				comp := stack[k:]
+				for _, w := range comp {
 					onStack[w] = false
-					comp = append(comp, w)
-					if w == v {
-						break
-					}
 				}
-				if len(comp) > 1 || g.hasSelfEdge(comp[0]) {
-					// Sorted small-to-large for deterministic output.
-					sortInts(comp)
-					out = append(out, comp)
-				}
+				stack = stack[:k]
+				emit(comp)
 			}
 		}
+		sc.frames = frames // keep any growth for the next root / next call
 	}
+	sc.stack = stack[:0]
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan's
+// algorithm, iterative), ordered by their smallest member. Components of
+// size one are included only when the operation has a self-edge (a
+// one-operation recurrence such as an accumulator).
+func (g *Graph) SCCs() [][]int {
+	sc := sccPool.get()
+	defer sccPool.put(sc)
+	var out [][]int
+	g.tarjan(sc, func(comp []int) {
+		if len(comp) > 1 || g.hasSelfEdge(comp[0]) {
+			// Sorted small-to-large for deterministic output.
+			c := append(make([]int, 0, len(comp)), comp...)
+			sortInts(c)
+			out = append(out, c)
+		}
+	})
 	sortBySmallest(out)
 	return out
 }

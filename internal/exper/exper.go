@@ -18,6 +18,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -241,11 +242,19 @@ func Run(ctx context.Context, loops []*ir.Loop, cfgs []*machine.Config, cfg code
 					stop()
 				}
 			}()
+			// Pin one scratch arena per worker: the worker compiles its
+			// jobs sequentially, so every compile on this goroutine reuses
+			// the same stage buffers instead of cycling them through the
+			// shared pool. Always per-worker — an arena on the caller's
+			// Config would be shared across workers, which arenas forbid.
+			wcfg := cfg
+			wcfg.Scratch = scratch.Get()
+			defer wcfg.Scratch.Release()
 			for j := range jobs {
 				if ctx.Err() != nil {
 					continue // drain the queue without compiling
 				}
-				results[j.ci].Outcomes[j.li] = compileOne(ctx, loops[j.li], cfgs[j.ci], cfg)
+				results[j.ci].Outcomes[j.li] = compileOne(ctx, loops[j.li], cfgs[j.ci], wcfg)
 			}
 		}()
 	}

@@ -33,11 +33,48 @@ func (b *Block) Renumber() {
 	}
 }
 
-// Clone deep-copies the block.
+// Clone deep-copies the block. The copies are slab-allocated: one backing
+// array each for the operations, their operand slices and their memory
+// references, so cloning — the entry cost of every copy-insertion rewrite —
+// is a handful of allocations instead of several per operation. Operand
+// subslices are carved at full capacity, so appending to a cloned op's
+// Defs/Uses reallocates rather than bleeding into a neighbor's operands.
 func (b *Block) Clone() *Block {
 	c := &Block{Depth: b.Depth, Ops: make([]*Op, len(b.Ops))}
+	nRegs, nMem := 0, 0
+	for _, op := range b.Ops {
+		nRegs += len(op.Defs) + len(op.Uses)
+		if op.Mem != nil {
+			nMem++
+		}
+	}
+	ops := make([]Op, len(b.Ops))
+	regs := make([]Reg, nRegs)
+	var mems []MemRef
+	if nMem > 0 {
+		mems = make([]MemRef, nMem)
+	}
+	ri, mi := 0, 0
 	for i, op := range b.Ops {
-		c.Ops[i] = op.Clone()
+		ops[i] = *op
+		nd, nu := len(op.Defs), len(op.Uses)
+		ops[i].Defs, ops[i].Uses = nil, nil
+		if nd > 0 {
+			ops[i].Defs = regs[ri : ri+nd : ri+nd]
+			copy(ops[i].Defs, op.Defs)
+			ri += nd
+		}
+		if nu > 0 {
+			ops[i].Uses = regs[ri : ri+nu : ri+nu]
+			copy(ops[i].Uses, op.Uses)
+			ri += nu
+		}
+		if op.Mem != nil {
+			mems[mi] = *op.Mem
+			ops[i].Mem = &mems[mi]
+			mi++
+		}
+		c.Ops[i] = &ops[i]
 	}
 	return c
 }

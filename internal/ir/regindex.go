@@ -1,0 +1,117 @@
+package ir
+
+// RegIndex is a dense numbering of the symbolic registers of one block: a
+// one-time ir.Reg -> small-integer mapping that the pipeline's hot stages
+// (dependence analysis, live-range extraction, RCG construction, copy
+// insertion) share so their per-register state lives in flat slices
+// instead of maps. Indices are assigned in first-appearance order (defs
+// before uses within an operation), which is deterministic for a given
+// block.
+//
+// A RegIndex is not safe for concurrent mutation; build one per
+// compilation (or per rewritten body) and treat it as read-only
+// afterwards. Reset allows pooled reuse.
+type RegIndex struct {
+	regs []Reg
+	// ids maps class -> register ID -> dense index + 1 (0 = absent). The
+	// two paper classes use the first two rows; any further class grows
+	// the table on demand.
+	ids [][]int32
+}
+
+// NewRegIndex numbers every register mentioned in the block.
+func NewRegIndex(b *Block) *RegIndex {
+	ri := &RegIndex{}
+	ri.Reset(b)
+	return ri
+}
+
+// Reset rebuilds the index for a new block, reusing prior capacity.
+func (ri *RegIndex) Reset(b *Block) {
+	if b == nil {
+		ri.ResetOps(nil)
+		return
+	}
+	ri.ResetOps(b.Ops)
+}
+
+// ResetOps rebuilds the index over an operation slice, reusing prior
+// capacity — for callers that hold ops without a Block (e.g. a dependence
+// graph's op view).
+func (ri *RegIndex) ResetOps(ops []*Op) {
+	ri.regs = ri.regs[:0]
+	for c := range ri.ids {
+		row := ri.ids[c]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	for _, op := range ops {
+		for _, d := range op.Defs {
+			ri.Add(d)
+		}
+		for _, u := range op.Uses {
+			ri.Add(u)
+		}
+	}
+}
+
+// Len returns the number of distinct registers indexed.
+func (ri *RegIndex) Len() int { return len(ri.regs) }
+
+// Add interns r, returning its dense index (existing or new).
+func (ri *RegIndex) Add(r Reg) int {
+	row := ri.row(r)
+	if v := row[r.ID]; v != 0 {
+		return int(v - 1)
+	}
+	i := len(ri.regs)
+	ri.regs = append(ri.regs, r)
+	row[r.ID] = int32(i + 1)
+	return i
+}
+
+// Of returns the dense index of r, or -1 when r was never indexed.
+func (ri *RegIndex) Of(r Reg) int {
+	c := int(r.Class)
+	if c >= len(ri.ids) || r.ID < 0 || r.ID >= len(ri.ids[c]) {
+		return -1
+	}
+	return int(ri.ids[c][r.ID]) - 1
+}
+
+// Reg returns the register at dense index i.
+func (ri *RegIndex) Reg(i int) Reg { return ri.regs[i] }
+
+// Regs exposes the dense-order register slice (read-only; aliases the
+// index's internal storage).
+func (ri *RegIndex) Regs() []Reg { return ri.regs }
+
+// AppendSorted appends the indexed registers in (class, ID) order to dst
+// and returns it — the deterministic iteration order Block.Registers
+// established, without the map.
+func (ri *RegIndex) AppendSorted(dst []Reg) []Reg {
+	dst = append(dst, ri.regs...)
+	SortRegs(dst[len(dst)-len(ri.regs):])
+	return dst
+}
+
+// row returns the class row for r, growing the table so r.ID is in range.
+func (ri *RegIndex) row(r Reg) []int32 {
+	c := int(r.Class)
+	for c >= len(ri.ids) {
+		ri.ids = append(ri.ids, nil)
+	}
+	row := ri.ids[c]
+	if r.ID >= len(row) {
+		n := len(row)*2 + 16
+		if n <= r.ID {
+			n = r.ID + 16
+		}
+		nrow := make([]int32, n)
+		copy(nrow, row)
+		row = nrow
+		ri.ids[c] = row
+	}
+	return row
+}

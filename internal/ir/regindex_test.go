@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Unit tests for the dense register index that every hot stage keys its
+// flat per-register state by. The contracts that matter downstream:
+// first-appearance numbering (defs before uses within an op), -1 for
+// unindexed registers, sorted iteration matching Block.Registers, and full
+// invalidation of stale entries across Reset reuse.
+
+func riReg(id int, c Class) Reg { return Reg{ID: id, Class: c} }
+
+func riBlock(ops ...*Op) *Block {
+	b := &Block{}
+	for _, op := range ops {
+		b.Append(op)
+	}
+	return b
+}
+
+func TestRegIndexFirstAppearanceOrder(t *testing.T) {
+	// Op 0 defines r5 and uses r3, r9; op 1 defines r3 (already seen) and
+	// uses r5 (seen) and r1 (new). Expected dense order: 5, 3, 9, 1.
+	b := riBlock(
+		&Op{Code: Add, Defs: []Reg{riReg(5, Int)}, Uses: []Reg{riReg(3, Int), riReg(9, Int)}},
+		&Op{Code: Add, Defs: []Reg{riReg(3, Int)}, Uses: []Reg{riReg(5, Int), riReg(1, Int)}},
+	)
+	ri := NewRegIndex(b)
+	if ri.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ri.Len())
+	}
+	wantOrder := []int{5, 3, 9, 1}
+	for i, id := range wantOrder {
+		if got := ri.Reg(i); got.ID != id {
+			t.Errorf("dense index %d = %v, want ID %d", i, got, id)
+		}
+		if got := ri.Of(riReg(id, Int)); got != i {
+			t.Errorf("Of(r%d) = %d, want %d", id, got, i)
+		}
+	}
+}
+
+func TestRegIndexAbsentIsMinusOne(t *testing.T) {
+	ri := NewRegIndex(riBlock(&Op{Code: Add, Defs: []Reg{riReg(1, Int)}}))
+	if got := ri.Of(riReg(2, Int)); got != -1 {
+		t.Errorf("Of(unseen ID) = %d, want -1", got)
+	}
+	if got := ri.Of(riReg(1, Float)); got != -1 {
+		t.Errorf("Of(unseen class) = %d, want -1", got)
+	}
+	if got := ri.Of(riReg(1 << 20, Int)); got != -1 {
+		t.Errorf("Of(huge ID) = %d, want -1", got)
+	}
+}
+
+func TestRegIndexAppendSortedMatchesBlockRegisters(t *testing.T) {
+	b := riBlock(
+		&Op{Code: Add, Defs: []Reg{riReg(7, Float)}, Uses: []Reg{riReg(2, Int), riReg(7, Int)}},
+		&Op{Code: Add, Defs: []Reg{riReg(1, Int)}, Uses: []Reg{riReg(7, Float), riReg(3, Float)}},
+	)
+	ri := NewRegIndex(b)
+	got := ri.AppendSorted(nil)
+	want := b.Registers()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendSorted = %v, want Block.Registers order %v", got, want)
+	}
+	// Appending onto an existing prefix must leave the prefix alone.
+	pre := []Reg{riReg(99, Int)}
+	got2 := ri.AppendSorted(pre)
+	if got2[0] != riReg(99, Int) || !reflect.DeepEqual(got2[1:], want) {
+		t.Errorf("AppendSorted with prefix = %v", got2)
+	}
+}
+
+func TestRegIndexResetInvalidatesStaleEntries(t *testing.T) {
+	ri := NewRegIndex(riBlock(
+		&Op{Code: Add, Defs: []Reg{riReg(1, Int), riReg(50, Float)}},
+	))
+	// Reset onto a block that shares neither register.
+	ri.Reset(riBlock(&Op{Code: Add, Defs: []Reg{riReg(2, Int)}}))
+	if ri.Len() != 1 {
+		t.Fatalf("Len after Reset = %d, want 1", ri.Len())
+	}
+	if got := ri.Of(riReg(1, Int)); got != -1 {
+		t.Errorf("stale Int entry survived Reset: Of = %d", got)
+	}
+	if got := ri.Of(riReg(50, Float)); got != -1 {
+		t.Errorf("stale Float entry survived Reset: Of = %d", got)
+	}
+	if got := ri.Of(riReg(2, Int)); got != 0 {
+		t.Errorf("Of(new reg) = %d, want 0", got)
+	}
+	// Reset(nil) empties the index entirely.
+	ri.Reset(nil)
+	if ri.Len() != 0 || ri.Of(riReg(2, Int)) != -1 {
+		t.Errorf("Reset(nil) left entries: Len=%d", ri.Len())
+	}
+}
+
+func TestRegIndexAddIdempotentAndGrowth(t *testing.T) {
+	ri := &RegIndex{}
+	ri.ResetOps(nil)
+	if i := ri.Add(riReg(1000, Int)); i != 0 {
+		t.Fatalf("first Add = %d, want 0", i)
+	}
+	if i := ri.Add(riReg(1000, Int)); i != 0 {
+		t.Fatalf("repeat Add = %d, want 0", i)
+	}
+	if i := ri.Add(riReg(3, Class(5))); i != 1 { // high class grows the table
+		t.Fatalf("Add(high class) = %d, want 1", i)
+	}
+	if ri.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ri.Len())
+	}
+	if got := ri.Regs(); len(got) != 2 || got[0] != riReg(1000, Int) {
+		t.Errorf("Regs = %v", got)
+	}
+}

@@ -1,32 +1,54 @@
 package modulo
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
 
 	"repro/internal/ddg"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 )
+
+// runScratch is one scheduling run's reusable working set: the per-op
+// arrays, the typed priority heap, and the flattened occupancy cells.
+// It lives in the compile arena (slot scratch.Modulo) or a package pool
+// and is dirty between runs; tryII re-initializes everything it reads.
+// Successful schedules copy their Time/Cluster out into fresh slices, so
+// results never alias this scratch.
+type runScratch struct {
+	height, time, clus, lastTime []int
+	inQueue                      []bool
+	heap                         []int
+	// cells backs the occupancy tables of one attempt, flattened:
+	// functional units at [row*nclus+cl], copy ports at
+	// [ii*nclus + row*nclus+cl], busses at [2*ii*nclus + row].
+	cells [][]int
+	// fu/ports tally per-cluster demand in resMII.
+	fu, ports []int
+	order     []int // compactLifetimes visit order
+}
+
+var runPool = newPool(func() *runScratch { return new(runScratch) })
 
 // attempt is the mutable scheduling state for one candidate II.
 type attempt struct {
 	st     *state
+	sc     *runScratch
 	ii     int
+	nclus  int
 	height []int
 	time   []int // -1 when unscheduled
 	clus   []int
 	// lastTime forces progress on repeated placements of the same op
 	// (Rau's "schedule no earlier than last time + 1" rule).
 	lastTime []int
-	// Occupancy per kernel row: fuRows[row][cluster] and
-	// copyRows[row][cluster] list the op indices holding a slot there;
-	// busRows[row] lists copy ops holding a bus.
-	fuRows   [][][]int
-	copyRows [][][]int
-	busRows  [][]int
-	pq       *prioHeap
-	inQueue  []bool
+	// cells aliases sc.cells, sized for this II (see runScratch layout).
+	cells   [][]int
+	inQueue []bool
 }
+
+func (a *attempt) fuCell(row, cl int) int   { return row*a.nclus + cl }
+func (a *attempt) copyCell(row, cl int) int { return a.ii*a.nclus + row*a.nclus + cl }
+func (a *attempt) busCell(row int) int      { return 2*a.ii*a.nclus + row }
 
 // ctxPollInterval is how many placements pass between context polls
 // inside an II attempt: frequent enough that even one attempt on a large
@@ -38,38 +60,52 @@ const ctxPollInterval = 64
 // placement budget. It returns (schedule, true, nil) on success and a
 // non-nil error only when the run's context is cancelled mid-attempt.
 func (st *state) tryII(ii, budget int) (*Schedule, bool, error) {
+	sc := st.sc
+	nclus := st.cfg.Clusters
+	ncells := 2*ii*nclus + ii
+	if cap(sc.cells) < ncells {
+		cells := make([][]int, ncells, 2*ncells)
+		copy(cells, sc.cells[:cap(sc.cells)])
+		sc.cells = cells
+	}
+	sc.cells = sc.cells[:ncells]
+	for i := range sc.cells {
+		sc.cells[i] = sc.cells[i][:0]
+	}
+	sc.time = scratch.Ints(sc.time, st.n)
+	sc.clus = scratch.Ints(sc.clus, st.n)
+	sc.lastTime = scratch.Ints(sc.lastTime, st.n)
+	sc.inQueue = scratch.Bools(sc.inQueue, st.n)
 	a := &attempt{
 		st:       st,
+		sc:       sc,
 		ii:       ii,
+		nclus:    nclus,
 		height:   st.heights(ii),
-		time:     make([]int, st.n),
-		clus:     make([]int, st.n),
-		lastTime: make([]int, st.n),
-		fuRows:   make([][][]int, ii),
-		copyRows: make([][][]int, ii),
-		busRows:  make([][]int, ii),
-		inQueue:  make([]bool, st.n),
-	}
-	for r := 0; r < ii; r++ {
-		a.fuRows[r] = make([][]int, st.cfg.Clusters)
-		a.copyRows[r] = make([][]int, st.cfg.Clusters)
+		time:     sc.time,
+		clus:     sc.clus,
+		lastTime: sc.lastTime,
+		cells:    sc.cells,
+		inQueue:  sc.inQueue,
 	}
 	for i := 0; i < st.n; i++ {
 		a.time[i] = -1
+		a.clus[i] = 0
 		a.lastTime[i] = -1
+		a.inQueue[i] = false
 	}
-	a.pq = &prioHeap{height: a.height}
+	sc.heap = sc.heap[:0]
 	for i := 0; i < st.n; i++ {
 		a.enqueue(i)
 	}
 
-	for a.pq.Len() > 0 && budget > 0 {
+	for len(sc.heap) > 0 && budget > 0 {
 		if st.ctx != nil && budget%ctxPollInterval == 0 {
 			if err := st.ctx.Err(); err != nil {
 				return nil, false, err
 			}
 		}
-		idx := heap.Pop(a.pq).(int)
+		idx := a.heapPop()
 		a.inQueue[idx] = false
 		budget--
 		estart := a.earliestStart(idx)
@@ -85,24 +121,77 @@ func (st *state) tryII(ii, budget int) (*Schedule, bool, error) {
 		a.place(idx, slot, cluster, forced)
 		a.evictViolatedSuccessors(idx)
 	}
-	if a.pq.Len() > 0 {
+	if len(sc.heap) > 0 {
 		return nil, false, nil // budget exhausted
 	}
 	if st.opt.Lifetime {
 		a.compactLifetimes()
 	}
-	s := &Schedule{II: ii, Time: a.time, Cluster: a.clus}
-	for i := range a.time {
-		if end := a.time[i] + st.cfg.Latency(st.g.Ops[i]); end > s.Length {
+	// Copy the schedule out of scratch: results outlive the arena.
+	s := &Schedule{II: ii, Time: make([]int, st.n), Cluster: make([]int, st.n)}
+	copy(s.Time, a.time)
+	copy(s.Cluster, a.clus)
+	for i := range s.Time {
+		if end := s.Time[i] + st.cfg.Latency(st.g.Ops[i]); end > s.Length {
 			s.Length = end
 		}
 	}
 	return s, true, nil
 }
 
+// heapLess orders operation indices by decreasing height, ties to the
+// lower index, so scheduling is deterministic. The order is total (index
+// tiebreak), so the pop sequence matches any correct heap implementation.
+func (a *attempt) heapLess(x, y int) bool {
+	if a.height[x] != a.height[y] {
+		return a.height[x] > a.height[y]
+	}
+	return x < y
+}
+
+func (a *attempt) heapPush(x int) {
+	h := append(a.sc.heap, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.heapLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	a.sc.heap = h
+}
+
+func (a *attempt) heapPop() int {
+	h := a.sc.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && a.heapLess(h[r], h[l]) {
+			c = r
+		}
+		if !a.heapLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	a.sc.heap = h
+	return top
+}
+
 func (a *attempt) enqueue(i int) {
 	if !a.inQueue[i] {
-		heap.Push(a.pq, i)
+		a.heapPush(i)
 		a.inQueue[i] = true
 	}
 }
@@ -178,14 +267,14 @@ func (a *attempt) latestStart(idx int) (int, bool) {
 func (a *attempt) rowHasRoom(idx, row, want int) (int, bool) {
 	cfg := a.st.cfg
 	if a.st.usesCopyPort(idx) {
-		if cfg.Busses > 0 && len(a.busRows[row]) >= cfg.Busses {
+		if cfg.Busses > 0 && len(a.cells[a.busCell(row)]) >= cfg.Busses {
 			return 0, false
 		}
 		cl := want
 		if cl == AnyCluster {
 			cl = 0
 		}
-		if cfg.CopyPortsPerCluster > 0 && len(a.copyRows[row][cl]) >= cfg.CopyPortsPerCluster {
+		if cfg.CopyPortsPerCluster > 0 && len(a.cells[a.copyCell(row, cl)]) >= cfg.CopyPortsPerCluster {
 			return 0, false
 		}
 		return cl, true
@@ -198,7 +287,7 @@ func (a *attempt) rowHasRoom(idx, row, want int) (int, bool) {
 	}
 	best, bestUsed := -1, cfg.FUsPerCluster()
 	for cl := 0; cl < cfg.Clusters; cl++ {
-		if u := len(a.fuRows[row][cl]); u < bestUsed && a.fuFits(row, cl, idx) {
+		if u := len(a.cells[a.fuCell(row, cl)]); u < bestUsed && a.fuFits(row, cl, idx) {
 			best, bestUsed = cl, u
 		}
 	}
@@ -213,7 +302,7 @@ func (a *attempt) rowHasRoom(idx, row, want int) (int, bool) {
 // demand check against the cluster's typed units on heterogeneous ones.
 func (a *attempt) fuFits(row, cl, idx int) bool {
 	cfg := a.st.cfg
-	occupants := a.fuRows[row][cl]
+	occupants := a.cells[a.fuCell(row, cl)]
 	if !cfg.Heterogeneous() {
 		return len(occupants) < cfg.FUsPerCluster()
 	}
@@ -244,27 +333,29 @@ func (a *attempt) place(idx, t, cluster int, forced bool) {
 	cfg := a.st.cfg
 	row := t % a.ii
 	if a.st.usesCopyPort(idx) {
+		bus, cp := a.busCell(row), a.copyCell(row, cluster)
 		if forced {
 			if cfg.Busses > 0 {
-				for len(a.busRows[row]) >= cfg.Busses {
-					a.unschedule(a.lowestPriority(a.busRows[row]))
+				for len(a.cells[bus]) >= cfg.Busses {
+					a.unschedule(a.lowestPriority(a.cells[bus]))
 				}
 			}
 			if cfg.CopyPortsPerCluster > 0 {
-				for len(a.copyRows[row][cluster]) >= cfg.CopyPortsPerCluster {
-					a.unschedule(a.lowestPriority(a.copyRows[row][cluster]))
+				for len(a.cells[cp]) >= cfg.CopyPortsPerCluster {
+					a.unschedule(a.lowestPriority(a.cells[cp]))
 				}
 			}
 		}
-		a.copyRows[row][cluster] = append(a.copyRows[row][cluster], idx)
-		a.busRows[row] = append(a.busRows[row], idx)
+		a.cells[cp] = append(a.cells[cp], idx)
+		a.cells[bus] = append(a.cells[bus], idx)
 	} else {
+		fu := a.fuCell(row, cluster)
 		if forced {
-			for !a.fuFits(row, cluster, idx) && len(a.fuRows[row][cluster]) > 0 {
-				a.unschedule(a.lowestPriority(a.fuRows[row][cluster]))
+			for !a.fuFits(row, cluster, idx) && len(a.cells[fu]) > 0 {
+				a.unschedule(a.lowestPriority(a.cells[fu]))
 			}
 		}
-		a.fuRows[row][cluster] = append(a.fuRows[row][cluster], idx)
+		a.cells[fu] = append(a.cells[fu], idx)
 	}
 	a.time[idx] = t
 	a.clus[idx] = cluster
@@ -294,10 +385,12 @@ func (a *attempt) unschedule(idx int) {
 	row := t % a.ii
 	cl := a.clus[idx]
 	if a.st.usesCopyPort(idx) {
-		a.copyRows[row][cl] = removeOne(a.copyRows[row][cl], idx)
-		a.busRows[row] = removeOne(a.busRows[row], idx)
+		cp, bus := a.copyCell(row, cl), a.busCell(row)
+		a.cells[cp] = removeOne(a.cells[cp], idx)
+		a.cells[bus] = removeOne(a.cells[bus], idx)
 	} else {
-		a.fuRows[row][cl] = removeOne(a.fuRows[row][cl], idx)
+		fu := a.fuCell(row, cl)
+		a.cells[fu] = removeOne(a.cells[fu], idx)
 	}
 	a.time[idx] = -1
 	a.enqueue(idx)
@@ -339,15 +432,16 @@ func (a *attempt) compactLifetimes() {
 	g := a.st.g
 	n := a.st.n
 	for pass := 0; pass < 2; pass++ {
-		order := make([]int, n)
+		a.sc.order = scratch.Ints(a.sc.order, n)
+		order := a.sc.order
 		for i := range order {
 			order[i] = i
 		}
-		sort.Slice(order, func(x, y int) bool {
-			if a.time[order[x]] != a.time[order[y]] {
-				return a.time[order[x]] > a.time[order[y]]
+		slices.SortFunc(order, func(x, y int) int {
+			if a.time[x] != a.time[y] {
+				return a.time[y] - a.time[x] // later cycles first
 			}
-			return order[x] < order[y]
+			return x - y
 		})
 		for _, idx := range order {
 			if len(g.Ops[idx].Defs) == 0 {
@@ -381,10 +475,12 @@ func (a *attempt) unscheduleQuiet(idx int) {
 	row := t % a.ii
 	cl := a.clus[idx]
 	if a.st.usesCopyPort(idx) {
-		a.copyRows[row][cl] = removeOne(a.copyRows[row][cl], idx)
-		a.busRows[row] = removeOne(a.busRows[row], idx)
+		cp, bus := a.copyCell(row, cl), a.busCell(row)
+		a.cells[cp] = removeOne(a.cells[cp], idx)
+		a.cells[bus] = removeOne(a.cells[bus], idx)
 	} else {
-		a.fuRows[row][cl] = removeOne(a.fuRows[row][cl], idx)
+		fu := a.fuCell(row, cl)
+		a.cells[fu] = removeOne(a.cells[fu], idx)
 	}
 	a.lastTime[idx] = t
 	a.time[idx] = -1
@@ -434,29 +530,4 @@ func max(a, b int) int {
 		return a
 	}
 	return b
-}
-
-// prioHeap orders operation indices by decreasing height, ties to the lower
-// index, so scheduling is deterministic.
-type prioHeap struct {
-	items  []int
-	height []int
-}
-
-func (h *prioHeap) Len() int { return len(h.items) }
-func (h *prioHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if h.height[a] != h.height[b] {
-		return h.height[a] > h.height[b]
-	}
-	return a < b
-}
-func (h *prioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *prioHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
-func (h *prioHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
 }

@@ -27,12 +27,25 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
+
+// pool is a small typed wrapper over sync.Pool for the package's fallback
+// scratch (when no arena is supplied).
+type pool[T any] struct{ p sync.Pool }
+
+func newPool[T any](mk func() T) *pool[T] {
+	return &pool[T]{p: sync.Pool{New: func() any { return mk() }}}
+}
+
+func (p *pool[T]) get() T  { return p.p.Get().(T) }
+func (p *pool[T]) put(v T) { p.p.Put(v) }
 
 // AnyCluster lets the scheduler choose the cluster for an operation.
 const AnyCluster = -1
@@ -61,6 +74,10 @@ type Options struct {
 	// Tracer records a "modulo.run" span per scheduling run, with the
 	// II search's attempt/placement/eviction counts; nil disables.
 	Tracer *trace.Tracer
+	// Scratch optionally supplies the compile's scratch arena so repeated
+	// runs reuse the scheduler's working buffers; nil falls back to a
+	// shared pool. Returned schedules never alias scratch memory.
+	Scratch *scratch.Arena
 }
 
 // Schedule is a modulo schedule: operation i issues at absolute cycle
@@ -140,6 +157,12 @@ func Run(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opt Options) (*
 	}
 	sp := opt.Tracer.StartSpan("modulo.run")
 	st := &state{g: g, cfg: cfg, opt: opt, n: n}
+	sc, arenaOwned := scratch.For(opt.Scratch, scratch.Modulo, func() *runScratch { return new(runScratch) })
+	if !arenaOwned {
+		sc = runPool.get()
+		defer runPool.put(sc)
+	}
+	st.sc = sc
 	serial := st.serialII()
 	maxII := opt.MaxII
 	if maxII <= 0 {
@@ -194,6 +217,7 @@ type state struct {
 	cfg *machine.Config
 	opt Options
 	n   int
+	sc  *runScratch
 	// ctx is polled inside the placement loop so one over-budget II
 	// attempt on a large loop cannot outlive the caller's deadline.
 	ctx context.Context
@@ -221,7 +245,7 @@ func (st *state) usesCopyPort(i int) bool {
 
 // minII returns max(RecMII, resource MII) for the run's cluster pinning.
 func (st *state) minII() int {
-	rec := st.g.RecMII()
+	rec := st.g.RecMIIScratch(st.opt.Scratch)
 	res := st.resMII()
 	if rec > res {
 		return rec
@@ -243,8 +267,11 @@ func (st *state) resMII() int {
 		return res
 	}
 	per := st.cfg.FUsPerCluster()
-	fu := make([]int, st.cfg.Clusters)
-	ports := make([]int, st.cfg.Clusters)
+	st.sc.fu = scratch.Ints(st.sc.fu, st.cfg.Clusters)
+	st.sc.ports = scratch.Ints(st.sc.ports, st.cfg.Clusters)
+	fu, ports := st.sc.fu, st.sc.ports
+	scratch.FillInts(fu, 0)
+	scratch.FillInts(ports, 0)
 	totalCopies := 0
 	for i := 0; i < st.n; i++ {
 		c := st.opt.ClusterOf[i]
@@ -366,7 +393,8 @@ func (st *state) serialSchedule(ii int) *Schedule {
 // operation's own latency. With II >= RecMII there is no positive cycle, so
 // Bellman-Ford style relaxation converges within n rounds.
 func (st *state) heights(ii int) []int {
-	h := make([]int, st.n)
+	st.sc.height = scratch.Ints(st.sc.height, st.n)
+	h := st.sc.height
 	for i, op := range st.g.Ops {
 		h[i] = st.cfg.Latency(op)
 	}

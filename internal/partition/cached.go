@@ -43,10 +43,10 @@ func rcgKey(in *Input) cache.Key {
 // as-is: every consumer treats it read-only.
 func buildRCG(in *Input) (*core.RCG, error) {
 	if !in.Cache.Enabled() {
-		return core.BuildTraced([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer), nil
+		return core.BuildScratch([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer, in.Arena), nil
 	}
 	g, hit, err := cache.GetAs(in.Cache, rcgKey(in), func() (*core.RCG, error) {
-		return core.BuildTraced([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer), nil
+		return core.BuildScratch([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer, in.Arena), nil
 	})
 	countCache(in.Tracer, "rcg", hit)
 	return g, err

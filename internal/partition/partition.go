@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -50,6 +51,10 @@ type Input struct {
 	// Block, saving a re-encoding per cache key; keys are identical with
 	// or without it. Ignored when Cache is nil.
 	BlockFP *cache.BlockFP
+	// Arena optionally supplies the compile's scratch arena for RCG
+	// construction and the greedy engine's working arrays. Nil falls back
+	// to per-package pools; results are identical either way.
+	Arena *scratch.Arena
 }
 
 // Partitioner assigns every symbolic register in the input to a register

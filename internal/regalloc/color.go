@@ -1,9 +1,11 @@
 package regalloc
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -27,6 +29,20 @@ type Result struct {
 	// UsedColors is the number of distinct machine registers consumed.
 	UsedColors int
 }
+
+// colorScratch is one coloring call's reusable working set: the dense
+// per-node arrays, the CSR interference adjacency, and the free-color
+// bitset shared across select-phase nodes. Results (the maps and slices
+// in Result) are always freshly allocated.
+type colorScratch struct {
+	need, color, wdeg, stack            []int
+	fixed, removed, optimistic, spilled []bool
+	deg, adjStart, adjList, pairs       []int32
+	taken                               []uint64
+	rows                                []int
+}
+
+var colorPool = sync.Pool{New: func() any { return new(colorScratch) }}
 
 // Color performs Chaitin/Briggs graph-coloring register assignment on one
 // bank's cyclic live ranges with K machine registers available:
@@ -56,8 +72,19 @@ func Color(ranges []LiveRange, ii, k int) *Result {
 // and colors used) and accumulates the "regalloc.spills" counter. A nil
 // tr is free.
 func ColorTraced(ranges []LiveRange, ii, k int, pre map[ir.Reg]int, tr *trace.Tracer) *Result {
+	return ColorScratch(ranges, ii, k, pre, tr, nil)
+}
+
+// ColorScratch is ColorTraced drawing working buffers from the compile's
+// scratch arena (slot scratch.Color); nil falls back to a shared pool.
+func ColorScratch(ranges []LiveRange, ii, k int, pre map[ir.Reg]int, tr *trace.Tracer, a *scratch.Arena) *Result {
 	sp := tr.StartSpan("regalloc.color")
-	res := ColorPre(ranges, ii, k, pre)
+	sc, arenaOwned := scratch.For(a, scratch.Color, func() *colorScratch { return new(colorScratch) })
+	if !arenaOwned {
+		sc = colorPool.Get().(*colorScratch)
+		defer colorPool.Put(sc)
+	}
+	res := colorPre(ranges, ii, k, pre, sc)
 	if sp != nil {
 		sp.Int("ranges", int64(len(ranges))).Int("k", int64(k)).
 			Int("spills", int64(len(res.Spilled))).Int("maxLive", int64(res.MaxLive)).
@@ -77,13 +104,20 @@ func ColorTraced(ranges []LiveRange, ii, k int, pre map[ir.Reg]int, tr *trace.Tr
 // pinned to overlapping numbers) surfaces as spills of the conflicting
 // un-pinned neighbors and is reported via Conflicts.
 func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
+	sc := colorPool.Get().(*colorScratch)
+	defer colorPool.Put(sc)
+	return colorPre(ranges, ii, k, pre, sc)
+}
+
+func colorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int, sc *colorScratch) *Result {
 	n := len(ranges)
 	res := &Result{
 		Colors:  make(map[ir.Reg]int, n),
 		Needs:   make(map[ir.Reg]int, n),
-		MaxLive: MaxLive(ranges, ii),
+		MaxLive: maxLiveScratch(ranges, ii, sc),
 	}
-	need := make([]int, n)
+	sc.need = scratch.Ints(sc.need, n)
+	need := sc.need
 	for i, lr := range ranges {
 		need[i] = (lr.Len() + ii - 1) / ii
 		if need[i] < 1 {
@@ -92,25 +126,57 @@ func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
 		res.Needs[lr.Reg] = need[i]
 	}
 
-	// Interference graph.
-	adj := make([][]int, n)
+	// Interference graph, CSR form: record interfering pairs once, count
+	// degrees, then carve each node's neighbor list out of one flat array.
+	// Neighbor lists come out sorted ascending, matching the append order
+	// of the old per-node slice build.
+	sc.deg = scratch.Int32s(sc.deg, n)
+	deg := sc.deg
+	for i := range deg {
+		deg[i] = 0
+	}
+	pairs := sc.pairs[:0]
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if interfere(ranges[i], ranges[j], ii) {
-				adj[i] = append(adj[i], j)
-				adj[j] = append(adj[j], i)
+				pairs = append(pairs, int32(i), int32(j))
+				deg[i]++
+				deg[j]++
 			}
 		}
 	}
+	sc.pairs = pairs
+	sc.adjStart = scratch.Int32s(sc.adjStart, n+1)
+	starts := sc.adjStart
+	starts[0] = 0
+	for i := 0; i < n; i++ {
+		starts[i+1] = starts[i] + deg[i]
+	}
+	sc.adjList = scratch.Int32s(sc.adjList, len(pairs))
+	adjList := sc.adjList
+	fill := deg // reuse as per-node fill cursor
+	for i := range fill {
+		fill[i] = 0
+	}
+	for p := 0; p < len(pairs); p += 2 {
+		i, j := pairs[p], pairs[p+1]
+		adjList[starts[i]+fill[i]] = j
+		adjList[starts[j]+fill[j]] = i
+		fill[i]++
+		fill[j]++
+	}
+	adj := func(v int) []int32 { return adjList[starts[v]:starts[v+1]] }
 
 	// Pre-colored nodes are fixed before simplification: they never enter
 	// the stack, never spill, and permanently block their color block for
 	// every neighbor.
-	color := make([]int, n)
-	fixed := make([]bool, n)
+	sc.color = scratch.Ints(sc.color, n)
+	sc.fixed = scratch.Bools(sc.fixed, n)
+	color, fixed := sc.color, sc.fixed
 	nFree := n
 	for i := range color {
 		color[i] = -1
+		fixed[i] = false
 	}
 	for i, lr := range ranges {
 		if c, ok := pre[lr.Reg]; ok {
@@ -127,8 +193,8 @@ func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
 		if !fixed[i] {
 			continue
 		}
-		for _, u := range adj[i] {
-			if fixed[u] && u > i && blocksOverlap(color[i], need[i], color[u], need[u]) {
+		for _, u := range adj(i) {
+			if fixed[u] && int(u) > i && blocksOverlap(color[i], need[i], color[u], need[u]) {
 				res.Conflicts = append(res.Conflicts, [2]ir.Reg{ranges[i].Reg, ranges[u].Reg})
 			}
 		}
@@ -138,15 +204,20 @@ func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
 	// sum of need(u) over live neighbors; v is trivially colorable when
 	// weightedDegree(v) + need(v) <= k. Fixed nodes count as permanent
 	// neighbors: their weight is never subtracted.
-	removed := make([]bool, n)
-	wdeg := make([]int, n)
+	sc.removed = scratch.Bools(sc.removed, n)
+	sc.optimistic = scratch.Bools(sc.optimistic, n)
+	removed, optimistic := sc.removed, sc.optimistic
+	scratch.ZeroBools(removed)
+	scratch.ZeroBools(optimistic)
+	sc.wdeg = scratch.Ints(sc.wdeg, n)
+	wdeg := sc.wdeg
 	for v := 0; v < n; v++ {
-		for _, u := range adj[v] {
+		wdeg[v] = 0
+		for _, u := range adj(v) {
 			wdeg[v] += need[u]
 		}
 	}
-	stack := make([]int, 0, n)
-	optimistic := make([]bool, n)
+	stack := sc.stack[:0]
 	for len(stack) < nFree {
 		pick := -1
 		for v := 0; v < n; v++ {
@@ -182,22 +253,32 @@ func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
 		removed[pick] = true
 		optimistic[pick] = opt
 		stack = append(stack, pick)
-		for _, u := range adj[pick] {
+		for _, u := range adj(pick) {
 			if !removed[u] {
 				wdeg[u] -= need[pick]
 			}
 		}
 	}
+	sc.stack = stack
 
-	// Select.
-	spilled := make([]bool, n)
+	// Select. One free-color bitset (k bits) is cleared and re-marked per
+	// node instead of allocating a taken-set for each — colors at or above
+	// k can never be granted, so marks beyond k-1 are simply dropped.
+	sc.spilled = scratch.Bools(sc.spilled, n)
+	spilled := sc.spilled
+	scratch.ZeroBools(spilled)
+	kw := (k + 63) / 64
+	sc.taken = scratch.Words(sc.taken, kw)
+	taken := sc.taken
 	for i := len(stack) - 1; i >= 0; i-- {
 		v := stack[i]
-		taken := make(map[int]bool)
-		for _, u := range adj[v] {
+		scratch.ZeroWords(taken)
+		for _, u := range adj(v) {
 			if color[u] >= 0 && !spilled[u] {
-				for c := 0; c < need[u]; c++ {
-					taken[color[u]+c] = true
+				for c := color[u]; c < color[u]+need[u] && c < k; c++ {
+					if c >= 0 {
+						taken[c>>6] |= 1 << (c & 63)
+					}
 				}
 			}
 		}
@@ -213,12 +294,11 @@ func ColorPre(ranges []LiveRange, ii, k int, pre map[ir.Reg]int) *Result {
 			res.UsedColors = top
 		}
 	}
-	sort.Slice(res.Spilled, func(a, b int) bool {
-		x, y := res.Spilled[a], res.Spilled[b]
+	slices.SortFunc(res.Spilled, func(x, y ir.Reg) int {
 		if x.Class != y.Class {
-			return x.Class < y.Class
+			return int(x.Class) - int(y.Class)
 		}
-		return x.ID < y.ID
+		return x.ID - y.ID
 	})
 	return res
 }
@@ -231,11 +311,11 @@ func blocksOverlap(a, na, b, nb int) bool {
 
 // firstFreeBlock finds the lowest base color such that the block
 // [base, base+need) fits under k and avoids taken colors; -1 if none.
-func firstFreeBlock(taken map[int]bool, need, k int) int {
+func firstFreeBlock(taken []uint64, need, k int) int {
 	for base := 0; base+need <= k; base++ {
 		ok := true
-		for c := 0; c < need; c++ {
-			if taken[base+c] {
+		for c := base; c < base+need; c++ {
+			if taken[c>>6]&(1<<(c&63)) != 0 {
 				ok = false
 				break
 			}

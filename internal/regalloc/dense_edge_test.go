@@ -1,0 +1,94 @@
+package regalloc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// Edge-case tests for the dense-index allocator paths: pre-colored
+// conflict reporting and the determinism of spill ordering. Both re-run
+// the allocator many times over identical inputs — with the pooled scratch
+// dirty from prior runs — so any dependence on leftover scratch state or
+// map iteration order shows up as a diff.
+
+func lr(id int, class ir.Class, start, end int) LiveRange {
+	return LiveRange{Reg: ir.Reg{ID: id, Class: class}, Start: start, End: end}
+}
+
+// TestPreColoredConflictReporting pins the reporting contract for an
+// infeasible pre-coloring: two interfering ranges pinned to overlapping
+// color blocks appear in Conflicts exactly once, in range-index order,
+// and neither pinned register ever spills.
+func TestPreColoredConflictReporting(t *testing.T) {
+	// Three mutually interfering ranges; a and b pinned to the same color.
+	ranges := []LiveRange{
+		lr(1, ir.Int, 0, 4),
+		lr(2, ir.Int, 1, 5),
+		lr(3, ir.Int, 2, 6),
+	}
+	pre := map[ir.Reg]int{
+		{ID: 1, Class: ir.Int}: 0,
+		{ID: 2, Class: ir.Int}: 0,
+	}
+	var first *Result
+	for trial := 0; trial < 20; trial++ {
+		res := ColorPre(ranges, 8, 4, pre)
+		wantPair := [2]ir.Reg{{ID: 1, Class: ir.Int}, {ID: 2, Class: ir.Int}}
+		if len(res.Conflicts) != 1 || res.Conflicts[0] != wantPair {
+			t.Fatalf("trial %d: Conflicts = %v, want exactly [%v]", trial, res.Conflicts, wantPair)
+		}
+		for _, s := range res.Spilled {
+			if _, pinned := pre[s]; pinned {
+				t.Fatalf("trial %d: pre-colored register %v spilled", trial, s)
+			}
+		}
+		if res.Colors[ir.Reg{ID: 1, Class: ir.Int}] != 0 ||
+			res.Colors[ir.Reg{ID: 2, Class: ir.Int}] != 0 {
+			t.Fatalf("trial %d: pinned colors moved: %v", trial, res.Colors)
+		}
+		if first == nil {
+			first = res
+		} else if !reflect.DeepEqual(first, res) {
+			t.Fatalf("trial %d: result diverged from first run:\nfirst: %+v\n  now: %+v", trial, first, res)
+		}
+	}
+}
+
+// TestSpillOrderingDeterministic forces spills and checks that the spill
+// set is identical across repeated runs and reported in (class, ID) order
+// — the contract the experiment tables and goldens rely on.
+func TestSpillOrderingDeterministic(t *testing.T) {
+	// 12 long ranges all alive at once with k=4: most must spill.
+	var ranges []LiveRange
+	for i := 0; i < 12; i++ {
+		// Interleave IDs and classes so sortedness of the report is not an
+		// accident of construction order.
+		class := ir.Int
+		if i%3 == 0 {
+			class = ir.Float
+		}
+		ranges = append(ranges, lr(40-i, class, 0, 16))
+	}
+	var first *Result
+	for trial := 0; trial < 20; trial++ {
+		res := Color(ranges, 8, 4)
+		if len(res.Spilled) == 0 {
+			t.Fatal("fixture did not force any spills")
+		}
+		for i := 1; i < len(res.Spilled); i++ {
+			a, b := res.Spilled[i-1], res.Spilled[i]
+			if a.Class > b.Class || (a.Class == b.Class && a.ID >= b.ID) {
+				t.Fatalf("trial %d: Spilled not in (class, ID) order: %v", trial, res.Spilled)
+			}
+		}
+		if first == nil {
+			first = res
+		} else if !reflect.DeepEqual(first.Spilled, res.Spilled) ||
+			!reflect.DeepEqual(first.Colors, res.Colors) {
+			t.Fatalf("trial %d: allocation diverged:\nfirst: %+v %+v\n  now: %+v %+v",
+				trial, first.Spilled, first.Colors, res.Spilled, res.Colors)
+		}
+	}
+}

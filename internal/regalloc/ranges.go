@@ -13,13 +13,31 @@
 package regalloc
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/ir"
 	"repro/internal/modulo"
 	"repro/internal/sched"
+	"repro/internal/scratch"
 )
+
+// span is one register's lifetime accumulator during range extraction.
+type span struct {
+	start, end int
+	hasDef     bool
+}
+
+// rangesScratch holds live-range extraction's per-call working set: a
+// dense register index over the graph's operations and the span table it
+// indexes. The returned []LiveRange is always freshly allocated.
+type rangesScratch struct {
+	ri    ir.RegIndex
+	spans []span
+}
+
+var rangesPool = sync.Pool{New: func() any { return new(rangesScratch) }}
 
 // LiveRange is the half-open lifetime [Start, End) of a register in
 // schedule time. In a modulo schedule the range repeats every II cycles.
@@ -44,37 +62,45 @@ func (lr LiveRange) Len() int { return lr.End - lr.Start }
 // modulo-scheduled loop body. The dependence graph supplies the def-use
 // pairs (true edges carry the register and the iteration distance).
 func KernelRanges(g *ddg.Graph, s *modulo.Schedule) []LiveRange {
-	type span struct {
-		start, end int
-		hasDef     bool
+	return KernelRangesScratch(g, s, nil)
+}
+
+// KernelRangesScratch is KernelRanges drawing its span table from the
+// compile's scratch arena (slot scratch.Ranges); nil falls back to a
+// shared pool. The returned ranges never alias scratch memory.
+func KernelRangesScratch(g *ddg.Graph, s *modulo.Schedule, a *scratch.Arena) []LiveRange {
+	sc, arenaOwned := scratch.For(a, scratch.Ranges, func() *rangesScratch { return new(rangesScratch) })
+	if !arenaOwned {
+		sc = rangesPool.Get().(*rangesScratch)
+		defer rangesPool.Put(sc)
 	}
-	spans := make(map[ir.Reg]*span)
-	get := func(r ir.Reg) *span {
-		sp := spans[r]
-		if sp == nil {
-			sp = &span{start: -1, end: -1}
-			spans[r] = sp
-		}
-		return sp
+	sc.ri.ResetOps(g.Ops)
+	nr := sc.ri.Len()
+	if cap(sc.spans) < nr {
+		sc.spans = make([]span, nr, nr*2)
+	}
+	sc.spans = sc.spans[:nr]
+	spans := sc.spans
+	for i := range spans {
+		spans[i] = span{start: -1, end: -1}
 	}
 	for i, op := range g.Ops {
 		for _, d := range op.Defs {
-			sp := get(d)
+			sp := &spans[sc.ri.Of(d)]
 			if !sp.hasDef || s.Time[i] < sp.start {
 				sp.start = s.Time[i]
 				sp.hasDef = true
 			}
 		}
-		for _, u := range op.Uses {
-			get(u) // ensure presence even if never extended by an edge
-		}
+		// Uses are present in the index by construction, so pure live-ins
+		// get a span even if never extended by an edge.
 	}
 	for from := range g.Ops {
 		for _, e := range g.Out[from] {
 			if e.Kind != ddg.True {
 				continue
 			}
-			sp := get(e.Reg)
+			sp := &spans[sc.ri.Of(e.Reg)]
 			if end := s.Time[e.To] + e.Distance*s.II + 1; end > sp.end {
 				sp.end = end
 			}
@@ -82,9 +108,10 @@ func KernelRanges(g *ddg.Graph, s *modulo.Schedule) []LiveRange {
 	}
 	// Uses with no recorded true edge (pure live-in invariants) and defs
 	// never read (dead stores into registers) still need ranges.
-	var out []LiveRange
-	for r, sp := range spans {
-		lr := LiveRange{Reg: r}
+	out := make([]LiveRange, 0, nr)
+	for i := range spans {
+		sp := &spans[i]
+		lr := LiveRange{Reg: sc.ri.Reg(i)}
 		switch {
 		case !sp.hasDef:
 			// Loop invariant: live across the entire kernel, every
@@ -113,12 +140,11 @@ func BlockRanges(g *ddg.Graph, s *sched.Schedule) []LiveRange {
 }
 
 func sortRanges(rs []LiveRange) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i].Reg, rs[j].Reg
-		if a.Class != b.Class {
-			return a.Class < b.Class
+	slices.SortFunc(rs, func(x, y LiveRange) int {
+		if x.Reg.Class != y.Reg.Class {
+			return int(x.Reg.Class) - int(y.Reg.Class)
 		}
-		return a.ID < b.ID
+		return x.Reg.ID - y.Reg.ID
 	})
 }
 
@@ -130,7 +156,21 @@ func MaxLive(ranges []LiveRange, ii int) int {
 	if ii <= 0 {
 		return 0
 	}
-	rows := make([]int, ii)
+	return maxLiveRows(ranges, ii, make([]int, ii))
+}
+
+// maxLiveScratch is MaxLive with the row accumulator drawn from coloring
+// scratch.
+func maxLiveScratch(ranges []LiveRange, ii int, sc *colorScratch) int {
+	if ii <= 0 {
+		return 0
+	}
+	sc.rows = scratch.Ints(sc.rows, ii)
+	scratch.FillInts(sc.rows, 0)
+	return maxLiveRows(ranges, ii, sc.rows)
+}
+
+func maxLiveRows(ranges []LiveRange, ii int, rows []int) int {
 	for _, lr := range ranges {
 		length := lr.Len()
 		if length <= 0 {

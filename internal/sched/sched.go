@@ -8,12 +8,30 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 )
+
+// cell is one (cycle, cluster) slot's usage in the resource table.
+type cell struct {
+	count  int
+	demand [machine.NumKinds]int
+}
+
+// listScratch pools one List call's working arrays. The resource table is
+// a cycle-indexed slice (cycle-major, one cell per cluster) grown by
+// append as the schedule lengthens — bounded by the schedule length, with
+// none of the per-cycle map churn the earlier map[int][]cell design paid.
+type listScratch struct {
+	preds, earliest, height, heap []int
+	cells                         []cell
+}
+
+var listPool = sync.Pool{New: func() any { return new(listScratch) }}
 
 // Schedule is the result of list scheduling an acyclic block.
 type Schedule struct {
@@ -70,7 +88,9 @@ func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, er
 			}
 		}
 	}
-	height := Heights(g, cfg)
+	sc := listPool.Get().(*listScratch)
+	defer listPool.Put(sc)
+	height := heightsInto(sc, g, cfg)
 	s := &Schedule{
 		Time:    make([]int, n),
 		Cluster: make([]int, n),
@@ -85,31 +105,29 @@ func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, er
 
 	// ready tracks operations whose predecessors have all been scheduled
 	// and whose earliest feasible cycle is known.
-	unscheduledPreds := make([]int, n)
-	earliest := make([]int, n)
+	sc.preds = scratch.Ints(sc.preds, n)
+	sc.earliest = scratch.Ints(sc.earliest, n)
+	unscheduledPreds, earliest := sc.preds, sc.earliest
+	scratch.FillInts(earliest, 0)
 	for i := range g.Ops {
 		unscheduledPreds[i] = len(g.In[i])
 	}
-	pq := &opHeap{height: height}
+	pq := &opHeap{items: sc.heap[:0], height: height}
+	defer func() { sc.heap = pq.items[:0] }()
 	for i := range g.Ops {
 		if unscheduledPreds[i] == 0 {
-			heap.Push(pq, i)
+			pq.push(i)
 		}
 	}
 
 	perCluster := cfg.FUsPerCluster()
-	type cell struct {
-		count  int
-		demand [machine.NumKinds]int
-	}
-	slots := make(map[int][]cell) // cycle -> per-cluster usage
+	nclus := cfg.Clusters
+	sc.cells = sc.cells[:0] // cycle-major slot table, grown on demand
 	cellAt := func(cycle, cluster int) *cell {
-		row, ok := slots[cycle]
-		if !ok {
-			row = make([]cell, cfg.Clusters)
-			slots[cycle] = row
+		for need := (cycle + 1) * nclus; len(sc.cells) < need; {
+			sc.cells = append(sc.cells, cell{})
 		}
-		return &row[cluster]
+		return &sc.cells[cycle*nclus+cluster]
 	}
 	kindOf := func(idx int) machine.FUKind { return machine.OpKind(g.Ops[idx]) }
 	fits := func(cycle, cluster, idx int) bool {
@@ -152,8 +170,8 @@ func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, er
 	}
 
 	scheduled := 0
-	for pq.Len() > 0 {
-		idx := heap.Pop(pq).(int)
+	for len(pq.items) > 0 {
+		idx := pq.pop()
 		want := AnyCluster
 		if clusterOf != nil {
 			want = clusterOf(idx)
@@ -180,7 +198,7 @@ func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, er
 			}
 			unscheduledPreds[e.To]--
 			if unscheduledPreds[e.To] == 0 {
-				heap.Push(pq, e.To)
+				pq.push(e.To)
 			}
 		}
 	}
@@ -191,28 +209,58 @@ func List(g *ddg.Graph, cfg *machine.Config, clusterOf ClusterOf) (*Schedule, er
 }
 
 // opHeap orders operation indices by decreasing height, breaking ties by
-// lower index, for deterministic schedules.
+// lower index, for deterministic schedules. The order is total, so the pop
+// sequence is the sorted order regardless of heap internals; the typed
+// push/pop avoid container/heap's interface boxing.
 type opHeap struct {
 	items  []int
 	height []int
 }
 
-func (h *opHeap) Len() int { return len(h.items) }
-func (h *opHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+func (h *opHeap) less(a, b int) bool {
 	if h.height[a] != h.height[b] {
 		return h.height[a] > h.height[b]
 	}
 	return a < b
 }
-func (h *opHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *opHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
-func (h *opHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+
+func (h *opHeap) push(x int) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *opHeap) pop() int {
+	s := h.items
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h.less(s[r], s[l]) {
+			c = r
+		}
+		if !h.less(s[c], s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	h.items = s
+	return top
 }
 
 // Heights returns, for each operation, the length of the longest latency
@@ -220,8 +268,17 @@ func (h *opHeap) Pop() interface{} {
 // the critical path have maximal height; the list scheduler and the modulo
 // scheduler's acyclic fallback use it as the scheduling priority.
 func Heights(g *ddg.Graph, cfg *machine.Config) []int {
+	return heightsImpl(make([]int, len(g.Ops)), g, cfg)
+}
+
+// heightsInto computes Heights into the scratch's pooled buffer.
+func heightsInto(sc *listScratch, g *ddg.Graph, cfg *machine.Config) []int {
+	sc.height = scratch.Ints(sc.height, len(g.Ops))
+	return heightsImpl(sc.height, g, cfg)
+}
+
+func heightsImpl(h []int, g *ddg.Graph, cfg *machine.Config) []int {
 	n := len(g.Ops)
-	h := make([]int, n)
 	// Distance-0 edges point forward in program order, so a reverse sweep
 	// is a topological order.
 	for i := n - 1; i >= 0; i-- {

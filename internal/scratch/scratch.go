@@ -1,0 +1,190 @@
+// Package scratch provides the compile pipeline's per-compile scratch
+// arena: a container for the reusable working buffers of every stage
+// (dependence analysis, modulo scheduling, RCG construction, partitioning,
+// live-range extraction, coloring, copy insertion), recycled through a
+// sync.Pool so repeated compiles — the experiment suite's worker pool, the
+// portfolio partitioner's candidate sweep, the swpd server's request loop —
+// reuse allocations instead of re-making them.
+//
+// An Arena is single-threaded: it belongs to exactly one compilation at a
+// time. Concurrent compiles each take their own arena from the shared pool
+// (Get/Release); a caller that wants to pin reuse to one goroutine can
+// instead own an Arena and pass it through codegen.Config.Scratch.
+//
+// Lifetime rules (see DESIGN.md §10):
+//
+//   - Stage scratch stored in an arena slot may retain its buffers across
+//     compiles; every stage must re-initialize the prefix it reads before
+//     use (scratch is dirty on arrival).
+//   - Nothing reachable from a stage's *result* may alias arena memory:
+//     results are retained by callers (and by the compile cache) long after
+//     the arena has moved on to another compilation, so result slices are
+//     always freshly allocated or copied out of scratch.
+package scratch
+
+import "sync"
+
+// Slot names one stage's cached scratch inside an Arena. Each stage
+// package owns one slot and stores its private scratch type there, so the
+// arena needs no knowledge of stage internals.
+type Slot int
+
+// The stage slots. NumSlots bounds the arena's slot array.
+const (
+	// DDG is dependence-graph construction scratch (internal/ddg).
+	DDG Slot = iota
+	// MinII is the RecMII Bellman-Ford relaxation buffer (internal/ddg).
+	MinII
+	// Modulo is the iterative modulo scheduler's attempt state
+	// (internal/modulo).
+	Modulo
+	// Sched is the list scheduler's slot table (internal/sched).
+	Sched
+	// RCG is register-component-graph build scratch (internal/core).
+	RCG
+	// Partition is the greedy partitioner's working arrays (internal/core).
+	Partition
+	// Ranges is live-range extraction scratch (internal/regalloc).
+	Ranges
+	// Color is the Chaitin/Briggs allocator's bitsets and work arrays
+	// (internal/regalloc).
+	Color
+	// Copies is copy insertion's dense availability table
+	// (internal/codegen).
+	Copies
+	// NumSlots is the number of defined slots.
+	NumSlots
+)
+
+// Arena carries one compilation's reusable stage scratch. The zero value
+// is ready to use; Get/Release recycle arenas (and everything cached in
+// their slots) through a process-wide pool.
+type Arena struct {
+	slots [NumSlots]any
+}
+
+var pool = sync.Pool{New: func() any { return new(Arena) }}
+
+// Get takes an arena from the shared pool. Pair with Release.
+func Get() *Arena { return pool.Get().(*Arena) }
+
+// Release returns the arena — with whatever stage scratch its slots have
+// accumulated — to the shared pool for the next compilation.
+func (a *Arena) Release() {
+	if a != nil {
+		pool.Put(a)
+	}
+}
+
+// Slot returns the scratch cached for s, or nil when the slot is empty.
+func (a *Arena) Slot(s Slot) any {
+	if a == nil {
+		return nil
+	}
+	return a.slots[s]
+}
+
+// SetSlot caches v as the scratch for s. A nil arena ignores the call, so
+// stages can set unconditionally after a nil-tolerant Slot lookup.
+func (a *Arena) SetSlot(s Slot, v any) {
+	if a != nil {
+		a.slots[s] = v
+	}
+}
+
+// For fetches the stage scratch cached in slot s, creating it with mk on
+// first use of the arena by that stage. With a nil arena it returns
+// (nil, false) and the stage falls back to its own pool.
+func For[T any](a *Arena, s Slot, mk func() *T) (*T, bool) {
+	if a == nil {
+		return nil, false
+	}
+	if v, ok := a.slots[s].(*T); ok {
+		return v, true
+	}
+	v := mk()
+	a.slots[s] = v
+	return v, true
+}
+
+// Ints returns buf re-sliced to length n, growing it when needed. The
+// contents are NOT zeroed — callers that need a cleared prefix must reset
+// it themselves (most stages overwrite or fill with a sentinel anyway).
+func Ints(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// Int32s is Ints for []int32.
+func Int32s(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// Int64s is Ints for []int64.
+func Int64s(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// Float64s is Ints for []float64.
+func Float64s(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// Bools is Ints for []bool.
+func Bools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// Words is Ints for []uint64 (bitset backing).
+func Words(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n, grow(n))
+	}
+	return buf[:n]
+}
+
+// FillInts sets every element of s to v (a memset the compiler optimizes).
+func FillInts(s []int, v int) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// ZeroBools clears s.
+func ZeroBools(s []bool) {
+	for i := range s {
+		s[i] = false
+	}
+}
+
+// ZeroWords clears s.
+func ZeroWords(s []uint64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// grow rounds a requested capacity up so that a sequence of slightly
+// increasing requests (the suite's loops vary in size) settles after a few
+// reallocations instead of reallocating per compile.
+func grow(n int) int {
+	c := 16
+	for c < n {
+		c *= 2
+	}
+	return c
+}

@@ -1,0 +1,118 @@
+package scratch
+
+import "testing"
+
+// Unit tests for the arena's slot and buffer contracts. The lifetime rules
+// the stages rely on (DESIGN.md §10): slots cache stage scratch across
+// compiles, buffers keep their capacity but arrive dirty, and a nil arena
+// degrades to "no cache" so stages can fall back to their own pools.
+
+type fakeScratch struct{ buf []int }
+
+func TestForNilArenaFallsBack(t *testing.T) {
+	sc, owned := For[fakeScratch](nil, DDG, func() *fakeScratch { return new(fakeScratch) })
+	if sc != nil || owned {
+		t.Fatalf("For(nil arena) = (%v, %v), want (nil, false)", sc, owned)
+	}
+}
+
+func TestForCachesPerSlot(t *testing.T) {
+	a := new(Arena)
+	mk := func() *fakeScratch { return new(fakeScratch) }
+	s1, owned := For(a, DDG, mk)
+	if s1 == nil || !owned {
+		t.Fatal("first For did not create scratch")
+	}
+	s1.buf = append(s1.buf, 1, 2, 3)
+	s2, _ := For(a, DDG, mk)
+	if s2 != s1 {
+		t.Error("second For returned a different object for the same slot")
+	}
+	// A different slot is independent.
+	s3, _ := For(a, Color, mk)
+	if s3 == s1 {
+		t.Error("different slots shared scratch")
+	}
+}
+
+func TestGetReleaseRecycles(t *testing.T) {
+	a := Get()
+	a.SetSlot(Modulo, &fakeScratch{buf: make([]int, 8)})
+	a.Release()
+	// Release on nil must be a no-op.
+	var nilArena *Arena
+	nilArena.Release()
+	if v := nilArena.Slot(Modulo); v != nil {
+		t.Errorf("nil arena Slot = %v", v)
+	}
+	// SetSlot on nil is ignored, so stages can set unconditionally.
+	nilArena.SetSlot(Modulo, &fakeScratch{})
+}
+
+func TestBufferHelpersGrowAndKeepCapacity(t *testing.T) {
+	b := Ints(nil, 5)
+	if len(b) != 5 || cap(b) < 16 {
+		t.Fatalf("Ints(nil, 5): len=%d cap=%d, want len 5 cap >= 16", len(b), cap(b))
+	}
+	b[4] = 42
+	// Re-slicing within capacity must reuse the array (dirty contents).
+	b2 := Ints(b, 3)
+	if &b2[0] != &b[0] {
+		t.Error("Ints reallocated within capacity")
+	}
+	b3 := Ints(b2, 5)
+	if b3[4] != 42 {
+		t.Error("Ints zeroed the buffer; contract says contents are NOT zeroed")
+	}
+	// Growth rounds to a power of two, settling quickly across sizes.
+	g := Ints(b3, 100)
+	if len(g) != 100 || cap(g) != 128 {
+		t.Errorf("Ints(_, 100): len=%d cap=%d, want len 100 cap 128", len(g), cap(g))
+	}
+
+	if w := Words(nil, 70); len(w) != 70 || cap(w) != 128 {
+		t.Errorf("Words(nil, 70): len=%d cap=%d", len(w), cap(w))
+	}
+	if f := Float64s(nil, 3); len(f) != 3 || cap(f) != 16 {
+		t.Errorf("Float64s(nil, 3): len=%d cap=%d", len(f), cap(f))
+	}
+	if x := Int32s(nil, 17); cap(x) != 32 {
+		t.Errorf("Int32s(nil, 17): cap=%d, want 32", cap(x))
+	}
+	if x := Int64s(nil, 16); cap(x) != 16 {
+		t.Errorf("Int64s(nil, 16): cap=%d, want 16", cap(x))
+	}
+	if bo := Bools(nil, 1); cap(bo) != 16 {
+		t.Errorf("Bools(nil, 1): cap=%d, want 16", cap(bo))
+	}
+}
+
+func TestFillAndZeroHelpers(t *testing.T) {
+	s := Ints(nil, 8)
+	FillInts(s, -1)
+	for i, v := range s {
+		if v != -1 {
+			t.Fatalf("FillInts: s[%d] = %d", i, v)
+		}
+	}
+	bs := Bools(nil, 8)
+	for i := range bs {
+		bs[i] = true
+	}
+	ZeroBools(bs)
+	for i, v := range bs {
+		if v {
+			t.Fatalf("ZeroBools: s[%d] still true", i)
+		}
+	}
+	ws := Words(nil, 4)
+	for i := range ws {
+		ws[i] = ^uint64(0)
+	}
+	ZeroWords(ws)
+	for i, v := range ws {
+		if v != 0 {
+			t.Fatalf("ZeroWords: s[%d] = %x", i, v)
+		}
+	}
+}

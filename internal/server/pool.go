@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/scratch"
 )
 
 // ErrQueueFull is returned by submit when the queue is at capacity; the
@@ -18,7 +20,7 @@ var ErrQueueFull = errors.New("server: compile queue full")
 // the context error, and the worker moves straight to the next task.
 type task struct {
 	ctx  context.Context
-	run  func(context.Context)
+	run  func(context.Context, *scratch.Arena)
 	done chan struct{}
 	ran  bool
 }
@@ -57,12 +59,17 @@ func newPool(workers, queueDepth int) *pool {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
+	// One scratch arena per worker: compiles on this goroutine run
+	// strictly one at a time, so they can share stage buffers for the
+	// life of the pool.
+	ar := scratch.Get()
+	defer ar.Release()
 	for t := range p.tasks {
 		p.queued.Add(-1)
 		if t.ctx.Err() == nil {
 			p.inFlight.Add(1)
 			t.ran = true
-			t.run(t.ctx)
+			t.run(t.ctx, ar)
 			p.inFlight.Add(-1)
 		}
 		close(t.done)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/ir"
+	"repro/internal/scratch"
 )
 
 // Config tunes the daemon. The zero value is serviceable: GOMAXPROCS
@@ -151,7 +152,8 @@ func (s *Server) compile(r *http.Request) (int, any) {
 		hitsBefore = opt.Cache.Stats().Hits
 	}
 	t := &task{ctx: ctx, done: make(chan struct{})}
-	t.run = func(ctx context.Context) {
+	t.run = func(ctx context.Context, ar *scratch.Arena) {
+		opt.Scratch = ar
 		if req.Refine {
 			res, stats, cerr = codegen.CompileRefined(ctx, loop, mcfg, opt)
 		} else {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/fixtures"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/scratch"
 	"repro/internal/trace"
 )
 
@@ -138,7 +139,10 @@ func TestDeadlineReturns504(t *testing.T) {
 	start := time.Now()
 	code := postJSON(t, ts.URL, &CompileRequest{
 		Name:      "huge",
-		Source:    dotSource(512), // ~100ms of scheduling: far beyond 1ms
+		// ~400ms of scheduling. The fixture must compile much slower than
+		// the worst-case timer lateness (~20ms on coarse container clocks),
+		// or the pipeline can finish before the tardy 1ms timer fires.
+		Source:    dotSource(2048),
 		Machine:   MachineSpec{Clusters: 8},
 		TimeoutMS: 1,
 	}, &er)
@@ -192,7 +196,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	release := make(chan struct{})
 	park := func() *task {
 		tk := &task{ctx: context.Background(), done: make(chan struct{})}
-		tk.run = func(context.Context) { <-release }
+		tk.run = func(context.Context, *scratch.Arena) { <-release }
 		if err := s.pool.submit(tk); err != nil {
 			t.Fatalf("parking task: %v", err)
 		}
@@ -235,7 +239,7 @@ func TestGracefulDrain(t *testing.T) {
 
 	release := make(chan struct{})
 	parked := &task{ctx: context.Background(), done: make(chan struct{})}
-	parked.run = func(context.Context) { <-release }
+	parked.run = func(context.Context, *scratch.Arena) { <-release }
 	if err := s.pool.submit(parked); err != nil {
 		t.Fatal(err)
 	}

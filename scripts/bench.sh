@@ -2,29 +2,48 @@
 # Runs the benchmark suite and records the results as JSON, including the
 # headline PR-2 number — the speedup of the content-addressed compile
 # cache on the full 211-loop x 2/4/8-cluster x copy-model experiment grid
-# (BenchmarkSuiteCached vs BenchmarkSuiteUncached) — and the PR-3 number,
-# the swpd daemon's cached round-trip latency (BenchmarkServerCompile).
+# (BenchmarkSuiteCached vs BenchmarkSuiteUncached) — the PR-3 number, the
+# swpd daemon's cached round-trip latency (BenchmarkServerCompile), and
+# the PR-4 numbers: the uncached-suite speedup and the single-loop
+# allocs/op reduction from the dense-index/scratch-arena work.
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr3.json
+#   scripts/bench.sh                 # full run -> BENCH_pr4.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
+#   BASELINE=BENCH_pr2.json scripts/bench.sh   # compare against another PR
+#
+# After writing OUT, results are compared benchmark-by-benchmark against
+# BASELINE (default BENCH_pr3.json) and the time/alloc deltas are printed.
+# The comparison is informational only: it never fails the run, so CI
+# fails on build/test errors but not on machine-speed noise.
 #
 # Only the standard toolchain is used: `go test -bench` output is parsed
 # with awk into {benchmarks: {name: {ns_per_op, ...}}, derived: {...}}.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr3.json}
+OUT=${OUT:-BENCH_pr4.json}
+BASELINE=${BASELINE:-BENCH_pr3.json}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# Baseline headline numbers, folded into this run's derived block so the
+# JSON record itself carries the PR-4 before/after story.
+BASE_SUITE_NS=""
+BASE_PIPE_ALLOCS=""
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
+    BASE_SUITE_NS=$(awk -F'"ns_per_op": ' '/"BenchmarkSuiteUncached"/ {split($2, a, /[,}]/); print a[1]}' "$BASELINE")
+    BASE_PIPE_ALLOCS=$(awk -F'"allocs_per_op": ' '/"BenchmarkFullPipelineSingleLoop"/ {split($2, a, /[,}]/); print a[1]}' "$BASELINE")
+fi
+
 echo "== go test -bench $PATTERN -benchtime $BENCHTIME ==" >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
-awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" '
+awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" \
+    -v base_suite_ns="$BASE_SUITE_NS" -v base_pipe_allocs="$BASE_PIPE_ALLOCS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)        # strip GOMAXPROCS suffix if present
@@ -62,12 +81,58 @@ END {
     else
         printf "    \"suite_cache_speedup\": null,\n"
     if (ns["BenchmarkServerCompile"] != "")
-        printf "    \"server_roundtrip_us\": %.1f\n", ns["BenchmarkServerCompile"] / 1000
+        printf "    \"server_roundtrip_us\": %.1f,\n", ns["BenchmarkServerCompile"] / 1000
     else
-        printf "    \"server_roundtrip_us\": null\n"
+        printf "    \"server_roundtrip_us\": null,\n"
+    if (base_suite_ns != "" && ns["BenchmarkSuiteUncached"] != "")
+        printf "    \"uncached_suite_speedup_vs_baseline\": %.3f,\n", base_suite_ns / ns["BenchmarkSuiteUncached"]
+    else
+        printf "    \"uncached_suite_speedup_vs_baseline\": null,\n"
+    if (base_pipe_allocs != "" && allocs["BenchmarkFullPipelineSingleLoop"] != "")
+        printf "    \"single_loop_allocs_delta_pct\": %.1f\n", (allocs["BenchmarkFullPipelineSingleLoop"] - base_pipe_allocs) / base_pipe_allocs * 100
+    else
+        printf "    \"single_loop_allocs_delta_pct\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
 grep -E '"suite_cache_speedup"' "$OUT" >&2
+
+# Before/after comparison against the baseline record. Parses the flat
+# per-benchmark lines out of both JSON files (our own known format, so a
+# line-oriented awk pass is enough) and prints time and allocation deltas
+# for every benchmark present in both. Informational only — `|| true`
+# keeps baseline drift or a missing file from failing the run.
+if [ -f "$BASELINE" ] && [ "$BASELINE" != "$OUT" ]; then
+    echo "== comparison vs $BASELINE (negative % = improvement) ==" >&2
+    awk '
+    function grab(line, key,   v) {
+        if (match(line, "\"" key "\": [0-9.eE+-]+")) {
+            v = substr(line, RSTART, RLENGTH)
+            sub(/^[^:]*: /, "", v)
+            return v
+        }
+        return ""
+    }
+    /^    "Benchmark/ {
+        name = $1
+        gsub(/[":]/, "", name)
+        if (FNR == NR) { bns[name] = grab($0, "ns_per_op"); bal[name] = grab($0, "allocs_per_op") }
+        else           { ons[name] = grab($0, "ns_per_op"); oal[name] = grab($0, "allocs_per_op"); order[++n] = name }
+    }
+    END {
+        printf "%-36s %14s %9s %14s %9s\n", "benchmark", "ns/op", "time%", "allocs/op", "allocs%"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (!(name in bns) || bns[name] == "" || ons[name] == "") continue
+            dt = (ons[name] - bns[name]) / bns[name] * 100
+            line = sprintf("%-36s %14.0f %+8.1f%%", name, ons[name], dt)
+            if (bal[name] != "" && oal[name] != "" && bal[name] + 0 > 0) {
+                da = (oal[name] - bal[name]) / bal[name] * 100
+                line = line sprintf(" %14.0f %+8.1f%%", oal[name], da)
+            }
+            print line
+        }
+    }' "$BASELINE" "$OUT" >&2 || true
+fi
