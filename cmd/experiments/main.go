@@ -70,6 +70,7 @@ func main() {
 	flag.StringVar(&opt.suite, "suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
 	flag.BoolVar(&opt.verbose, "v", false, "also print the per-machine summary")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules across the machine grid")
+	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -83,8 +84,13 @@ func main() {
 	if *traceOut != "" {
 		opt.tracer = trace.New()
 	}
-	if *useCache {
-		opt.cache = cache.New()
+	if *useCache || *cacheBudget != "" {
+		budget, err := cache.ParseBudget(*cacheBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.cache = cache.NewBounded(budget)
 	}
 
 	code := run(opt)

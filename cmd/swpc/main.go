@@ -50,6 +50,7 @@ func main() {
 	machineFile := flag.String("machine", "", "target a machine parsed from this description file")
 	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules by content fingerprint")
+	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -64,8 +65,12 @@ func main() {
 		tr = trace.New()
 	}
 	var c *cache.Cache
-	if *useCache {
-		c = cache.New()
+	if *useCache || *cacheBudget != "" {
+		budget, err := cache.ParseBudget(*cacheBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c = cache.NewBounded(budget)
 	}
 
 	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,

@@ -40,6 +40,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	useCache := flag.Bool("cache", true, "share a content-addressed compile cache across requests")
+	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (empty or 0 = unlimited, none = retain nothing)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	flag.Parse()
 
@@ -57,7 +58,12 @@ func main() {
 	}
 	scfg.Pipeline.Tracer = trace.New()
 	if *useCache {
-		scfg.Pipeline.Cache = cache.New()
+		budget, err := cache.ParseBudget(*cacheBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg.Pipeline.Cache = cache.NewBounded(budget)
+		scfg.Pipeline.CacheBudget = budget
 	}
 	if !*quiet {
 		scfg.Log = log.New(os.Stderr, "swpd: ", log.LstdFlags|log.Lmicroseconds)

@@ -49,6 +49,27 @@ func WithCache(cc *Cache) Option {
 	return func(c *codegen.Config) { c.Cache = cc }
 }
 
+// WithCacheBudget bounds the attached cache's estimated resident bytes,
+// making it safe for unbounded uptime: cold entries are evicted with a
+// CLOCK sweep once the budget is exceeded, while in-flight entries stay
+// pinned so concurrent requests still compute each key exactly once.
+// 0 (the default) leaves the cache unlimited; CacheBudgetZero retains
+// nothing. Results are byte-identical at any budget — only recomputation
+// frequency changes.
+func WithCacheBudget(bytes int64) Option {
+	return func(c *codegen.Config) { c.CacheBudget = bytes }
+}
+
+// Cache budget sentinels for WithCacheBudget, re-exported from
+// internal/cache.
+const (
+	// CacheBudgetUnlimited disables eviction (the default).
+	CacheBudgetUnlimited = cache.BudgetUnlimited
+	// CacheBudgetZero retains nothing: every entry is evicted as soon as
+	// the lookups sharing it return.
+	CacheBudgetZero = cache.BudgetZero
+)
+
 // WithTracer attaches a tracer that records per-stage spans and counters
 // for every compilation the Compiler performs.
 func WithTracer(t *Tracer) Option {

@@ -1,0 +1,393 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pinsOf reads the current pin count of k's entry (0 if absent), for
+// tests that want to wait until a known number of lookups are in flight.
+func (c *Cache) pinsOf(k Key) int {
+	s := &c.shards[int(k.Sum[0])%nShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[k]; ok {
+		return e.pins
+	}
+	return 0
+}
+
+// waitPins blocks until k's entry has at least want pins or the deadline
+// passes. The deadline is a liveness fallback only: the tests' asserted
+// counts are interleaving-independent (a goroutine that arrives late
+// simply joins the next singleflight generation).
+func (c *Cache) waitPins(k Key, want int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for c.pinsOf(k) < want && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// TestCancellationRetryStats is the regression test for the
+// cancellation-retry accounting bug: a waiter that inherited
+// context.Canceled from the cancelled first computation used to return
+// hit=true and leave its hits increment in place while recomputing
+// locally, once per waiter. Now the disappointed waiters retry through
+// the cache — so exactly two computations run (the cancelled one and one
+// retry) — and the retry owner counts as a miss, keeping hit rates
+// honest. Run under -race in CI.
+func TestCancellationRetryStats(t *testing.T) {
+	c := New()
+	k := keyOf(StageModulo, "cancelled-then-retried")
+	var computes atomic.Int64
+	const waiters = 8
+
+	entered := make(chan struct{}) // first computation is running
+	release := make(chan struct{}) // lets the first computation fail
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		_, hit, err := c.GetOrCompute(k, func() (any, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return nil, context.Canceled
+		})
+		if hit {
+			t.Error("cancelled creator reported hit=true")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled creator returned %v, want context.Canceled", err)
+		}
+	}()
+	<-entered
+
+	var wg sync.WaitGroup
+	ownerCount := atomic.Int64{}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.GetOrCompute(k, func() (any, error) {
+				computes.Add(1)
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("waiter error: %v", err)
+				return
+			}
+			if v.(int) != 99 {
+				t.Errorf("waiter got %v, want 99", v)
+			}
+			if !hit {
+				ownerCount.Add(1)
+			}
+		}()
+	}
+	c.waitPins(k, waiters+1) // all waiters blocked on the in-flight entry
+	close(release)
+	wg.Wait()
+	<-firstDone
+
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("%d computations ran, want exactly 2 (the cancelled one and one retry)", got)
+	}
+	if got := ownerCount.Load(); got != 1 {
+		t.Fatalf("%d waiters reported hit=false, want exactly 1 (the retry owner)", got)
+	}
+	want := Stats{
+		Hits:    waiters - 1,
+		Misses:  2, // the cancelled creator and the retry owner
+		Entries: 1,
+		Bytes:   entryOverhead,
+	}
+	if st := c.Stats(); st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+// TestEvictionByteBudget fills a bounded cache past its budget and checks
+// the CLOCK keeps resident bytes at or under it, counts evictions, and
+// recomputes an evicted key exactly once on re-request.
+func TestEvictionByteBudget(t *testing.T) {
+	const valCost = 1024
+	const slots = 4
+	budget := int64(slots * (valCost + entryOverhead))
+	c := NewBounded(budget)
+	coster := func(any) int64 { return valCost }
+
+	var computes atomic.Int64
+	get := func(i int) {
+		t.Helper()
+		k := keyOf(StageDDG, fmt.Sprintf("entry-%d", i))
+		v, _, err := c.GetOrComputeCosted(k, func() (any, error) {
+			computes.Add(1)
+			return i, nil
+		}, coster)
+		if err != nil || v.(int) != i {
+			t.Fatalf("entry %d: v=%v err=%v", i, v, err)
+		}
+	}
+	// Fill to exactly the budget: everything stays resident, re-requests
+	// are pure hits.
+	for i := 0; i < slots; i++ {
+		get(i)
+	}
+	before := computes.Load()
+	get(0)
+	if got := computes.Load() - before; got != 0 {
+		t.Fatalf("within budget: key recomputed %d times, want 0", got)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Evictions != 0 {
+		t.Fatalf("within budget: stats %+v, want 1 hit and no evictions", st)
+	}
+
+	// Overflow: the sweep must keep bytes at or under budget and count
+	// its evictions.
+	const n = 12
+	for i := slots; i < n; i++ {
+		get(i)
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if st.Entries > slots {
+		t.Fatalf("%d entries resident, budget holds at most %d", st.Entries, slots)
+	}
+	if st.Evictions < n-slots {
+		t.Fatalf("%d evictions, want at least %d", st.Evictions, n-slots)
+	}
+	if st.Misses != n {
+		t.Fatalf("stats %+v, want %d cold misses", st, n)
+	}
+
+	// Requesting every key again recomputes each evicted one exactly once
+	// (sequential requests, so no singleflight sharing): at most the
+	// resident slots can answer without recomputing.
+	before = computes.Load()
+	for i := 0; i < n; i++ {
+		get(i)
+	}
+	recomputed := computes.Load() - before
+	if recomputed < n-slots {
+		t.Fatalf("re-request round recomputed %d of %d keys, want at least %d (only %d can be resident)",
+			recomputed, n, n-slots, slots)
+	}
+	if recomputed > n {
+		t.Fatalf("re-request round recomputed %d times for %d keys — a key recomputed more than once", recomputed, n)
+	}
+}
+
+// TestBudgetZeroRetainsNothing: the zero-byte budget evicts every entry
+// the moment its lookup returns — each request recomputes, every lookup
+// is a miss, and the cache is empty at rest.
+func TestBudgetZeroRetainsNothing(t *testing.T) {
+	c := NewBounded(BudgetZero)
+	k := keyOf(StageDDG, "ephemeral")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.GetOrCompute(k, func() (any, error) {
+			calls++
+			return calls, nil
+		})
+		if err != nil || hit {
+			t.Fatalf("request %d: hit=%v err=%v, want recompute", i, hit, err)
+		}
+		if v.(int) != i+1 {
+			t.Fatalf("request %d returned %v, want fresh value %d", i, v, i+1)
+		}
+	}
+	want := Stats{Misses: 3, Evictions: 3}
+	if st := c.Stats(); st != want {
+		t.Fatalf("stats %+v, want %+v (nothing resident)", st, want)
+	}
+}
+
+// TestPinnedEntrySurvivesEviction: even under the zero-byte budget, an
+// in-flight entry is pinned by its waiters — eviction sweeps triggered by
+// other traffic must skip it, so the contested computation still runs
+// exactly once and every waiter sees its value.
+func TestPinnedEntrySurvivesEviction(t *testing.T) {
+	c := NewBounded(BudgetZero)
+	k := keyOf(StageModulo, "slow-and-contested")
+	var computes atomic.Int64
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 6
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute(k, func() (any, error) {
+				computes.Add(1)
+				close(entered)
+				<-release
+				return "survived", nil
+			})
+			if err != nil || v.(string) != "survived" {
+				t.Errorf("waiter got %v, %v", v, err)
+			}
+		}()
+	}
+	<-entered
+	c.waitPins(k, waiters)
+
+	// Churn other keys while k is pinned: each of these lookups ends with
+	// an eviction sweep that walks straight past the pinned entry.
+	for i := 0; i < 20; i++ {
+		ki := keyOf(StageDDG, fmt.Sprintf("churn-%d", i))
+		if _, _, err := c.GetOrCompute(ki, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("pinned computation ran %d times mid-churn, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want exactly 1", got)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Pinned != 0 {
+		t.Fatalf("stats %+v, want empty cache at rest under the zero budget", st)
+	}
+}
+
+// TestSetBudgetEvictsDown: shrinking the budget on a full cache evicts
+// immediately, and lifting it back to unlimited stops eviction.
+func TestSetBudgetEvictsDown(t *testing.T) {
+	c := New()
+	coster := func(any) int64 { return 1024 }
+	const n = 32
+	for i := 0; i < n; i++ {
+		k := keyOf(StageDDG, fmt.Sprintf("bulk-%d", i))
+		if _, _, err := c.GetOrComputeCosted(k, func() (any, error) { return i, nil }, coster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries != n || st.Evictions != 0 {
+		t.Fatalf("unbounded fill: stats %+v", st)
+	}
+	budget := int64(4 * (1024 + entryOverhead))
+	c.SetBudget(budget)
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("after SetBudget(%d): %d bytes resident", budget, st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("SetBudget evicted nothing on an over-budget cache")
+	}
+	c.SetBudget(BudgetUnlimited)
+	for i := 0; i < n; i++ {
+		k := keyOf(StageRCG, fmt.Sprintf("refill-%d", i))
+		if _, _, err := c.GetOrComputeCosted(k, func() (any, error) { return i, nil }, coster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Evictions; got != st.Evictions {
+		t.Fatalf("unlimited cache kept evicting: %d -> %d", st.Evictions, got)
+	}
+}
+
+// TestBoundedHammer exercises the bounded cache's whole protocol under
+// contention (run with -race in CI): many goroutines over a key space
+// much larger than the budget, every lookup must return its key's value,
+// and at rest the cache must sit at or under budget with nothing pinned.
+func TestBoundedHammer(t *testing.T) {
+	const (
+		keys       = 64
+		goroutines = 8
+		iters      = 400
+		valCost    = 512
+	)
+	budget := int64(8 * (valCost + entryOverhead))
+	c := NewBounded(budget)
+	ks := make([]Key, keys)
+	for i := range ks {
+		ks[i] = keyOf(StageAssign, fmt.Sprintf("hammer-%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Consecutive duplicate accesses (i/2) make hits likely
+				// even under serial scheduling.
+				idx := (g*31 + (i/2)*17) % keys
+				v, _, err := c.GetOrComputeCosted(ks[idx], func() (any, error) {
+					return idx, nil
+				}, func(any) int64 { return valCost })
+				if err != nil {
+					t.Errorf("lookup error: %v", err)
+					return
+				}
+				if v.(int) != idx {
+					t.Errorf("key %d returned %v — cross-key value leak", idx, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("at rest: %d bytes resident over budget %d", st.Bytes, budget)
+	}
+	if st.Pinned != 0 {
+		t.Fatalf("at rest: %d entries still pinned", st.Pinned)
+	}
+	if st.Hits+st.Misses != goroutines*iters {
+		t.Fatalf("stats %+v: %d lookups accounted, want %d", st, st.Hits+st.Misses, goroutines*iters)
+	}
+	if st.Hits == 0 || st.Evictions == 0 {
+		t.Fatalf("stats %+v: hammer should both hit and evict", st)
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	good := []struct {
+		in   string
+		want int64
+	}{
+		{"", BudgetUnlimited},
+		{"0", BudgetUnlimited},
+		{"unlimited", BudgetUnlimited},
+		{"Unlimited", BudgetUnlimited},
+		{"0MiB", BudgetUnlimited},
+		{"none", BudgetZero},
+		{"-1", BudgetZero},
+		{"1024", 1024},
+		{"100b", 100},
+		{"64KiB", 64 << 10},
+		{"64k", 64 << 10},
+		{"10MB", 10_000_000},
+		{"2MiB", 2 << 20},
+		{"1GiB", 1 << 30},
+		{"2g", 2 << 30},
+		{" 8 MiB ", 8 << 20},
+	}
+	for _, tc := range good {
+		got, err := ParseBudget(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBudget(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"abc", "-5", "12XB", "MiB", "9223372036854775807G", "1.5GiB"} {
+		if got, err := ParseBudget(in); err == nil {
+			t.Errorf("ParseBudget(%q) = %d, want error", in, got)
+		}
+	}
+}

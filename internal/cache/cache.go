@@ -13,11 +13,21 @@
 // once per loop instead of once per (loop, machine) pair. DESIGN.md §8
 // documents the key scheme and its soundness argument.
 //
-// A Cache is safe for concurrent use and computes each entry exactly once:
-// concurrent requests for one in-flight key block on the first computation
-// instead of duplicating it (the experiment pool hits this constantly).
-// A nil *Cache disables caching; every method is nil-safe, mirroring the
-// nil-Tracer convention of internal/trace.
+// A Cache is safe for concurrent use and computes each resident entry
+// exactly once: concurrent requests for one in-flight key block on the
+// first computation instead of duplicating it (the experiment pool hits
+// this constantly). A nil *Cache disables caching; every method is
+// nil-safe, mirroring the nil-Tracer convention of internal/trace.
+//
+// A Cache may be bounded by a byte budget (SetBudget, NewBounded): each
+// entry is charged an estimated resident size by its stage's Coster, and
+// when the total exceeds the budget a per-shard CLOCK sweep evicts
+// cold, unpinned entries until the cache fits again. Entries are pinned
+// for the duration of every lookup that touches them, so eviction never
+// breaks the exactly-once protocol: an in-flight entry cannot disappear
+// under its waiters, and a key that was evicted and is requested again
+// recomputes exactly once on a fresh entry. DESIGN.md §11 documents the
+// policy and the pinning rule.
 package cache
 
 import (
@@ -25,6 +35,9 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -65,40 +78,95 @@ type Key struct {
 // String renders the key as "stage:hexprefix" for logs and errors.
 func (k Key) String() string { return fmt.Sprintf("%s:%x", k.Stage, k.Sum[:8]) }
 
+// Budget sentinels for SetBudget, NewBounded, codegen.Config.CacheBudget
+// and the -cache-budget flags. Positive values are a bound in bytes.
+const (
+	// BudgetUnlimited disables eviction — the default for New, and the
+	// zero value so unconfigured callers keep the unbounded behavior.
+	BudgetUnlimited int64 = 0
+	// BudgetZero is a zero-byte budget: every entry is evicted the moment
+	// its last in-flight lookup lets go. (A literal 0 means "unlimited"
+	// so that zero-valued configs stay unbounded; the negative sentinel
+	// expresses "retain nothing", the eviction stress mode.)
+	BudgetZero int64 = -1
+)
+
+// Coster estimates the resident size, in bytes, that a cached value keeps
+// alive — the slices, maps and blocks reachable from it — so the byte
+// budget tracks real memory rather than entry counts. Estimates may be
+// coarse; they only need to be consistent. A nil Coster charges each
+// entry the fixed bookkeeping overhead alone.
+type Coster func(v any) int64
+
+// entryOverhead is the fixed charge per entry: the entry struct, its map
+// slot, its ring slot and the key. Charged even to cached errors, so an
+// unbounded stream of distinct failing inputs still respects the budget.
+const entryOverhead = 256
+
 // nShards bounds lock contention: keys scatter by their first sum byte.
 const nShards = 32
 
 type entry struct {
+	key  Key
 	once sync.Once
 	val  any
 	err  error
+	// cost is the bytes charged to the budget, written by the once.Do
+	// owner and read by evictors only after pins reaches zero (the
+	// owner's unpin publishes it; sync.Once publishes it to co-waiters).
+	cost int64
+
+	// Guarded by the owning shard's mutex:
+	pins int  // in-flight lookups holding this entry; >0 blocks eviction
+	ref  bool // CLOCK second-chance bit, set by every lookup
+	slot int  // index in the shard's ring; -1 once removed
 }
 
 type shard struct {
-	mu sync.Mutex
-	m  map[Key]*entry
+	mu   sync.Mutex
+	m    map[Key]*entry
+	ring []*entry // CLOCK ring over resident entries
+	hand int
 }
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
-	// Hits counts lookups that reused an existing (or in-flight) entry.
+	// Hits counts lookups resolved by another goroutine's computation,
+	// finished or in-flight. A lookup that had to run the computation
+	// itself — including a waiter re-running one it inherited cancelled —
+	// counts as a miss instead.
 	Hits int64
-	// Misses counts lookups that had to compute the entry.
+	// Misses counts lookups that computed the entry.
 	Misses int64
-	// Entries is the number of distinct keys stored.
+	// Entries is the number of distinct keys currently resident.
 	Entries int64
+	// Bytes is the estimated resident size of all entries, per the
+	// stages' Costers plus the fixed per-entry overhead.
+	Bytes int64
+	// Evictions counts entries removed by the byte budget (cancelled
+	// computations, which are also removed, are not evictions).
+	Evictions int64
+	// Pinned is the number of entries currently pinned by in-flight
+	// lookups; pinned entries are immune to eviction.
+	Pinned int64
 }
 
-// Cache memoizes stage results. Create one with New; a nil *Cache is the
-// disabled cache (GetOrCompute always computes, Stats returns zeros).
+// Cache memoizes stage results. Create one with New (unbounded) or
+// NewBounded; a nil *Cache is the disabled cache (GetOrCompute always
+// computes, Stats returns zeros).
 type Cache struct {
-	shards  [nShards]shard
-	hits    atomic.Int64
-	misses  atomic.Int64
-	entries atomic.Int64
+	budget    atomic.Int64 // BudgetUnlimited, BudgetZero or a byte bound
+	rotor     atomic.Uint64
+	shards    [nShards]shard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+	evictions atomic.Int64
+	pinned    atomic.Int64
 }
 
-// New returns an empty cache.
+// New returns an empty cache with no byte budget.
 func New() *Cache {
 	c := &Cache{}
 	for i := range c.shards {
@@ -107,61 +175,232 @@ func New() *Cache {
 	return c
 }
 
+// NewBounded returns an empty cache bounded to budget bytes (see
+// SetBudget for the sentinel values).
+func NewBounded(budget int64) *Cache {
+	c := New()
+	c.SetBudget(budget)
+	return c
+}
+
+// SetBudget sets the cache's byte budget and immediately evicts down to
+// it: BudgetUnlimited (0) disables eviction, BudgetZero retains nothing,
+// a positive value bounds the estimated resident bytes. Safe to call
+// concurrently with lookups; entries pinned by in-flight lookups are
+// evicted as they unpin.
+func (c *Cache) SetBudget(budget int64) {
+	if c == nil {
+		return
+	}
+	c.budget.Store(budget)
+	c.evictOver()
+}
+
+// Budget returns the current byte budget (see SetBudget).
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return BudgetUnlimited
+	}
+	return c.budget.Load()
+}
+
 // Enabled reports whether the cache stores anything.
 func (c *Cache) Enabled() bool { return c != nil }
 
-// GetOrCompute returns the value for k, computing it with compute on the
-// first request. Concurrent requests for the same key wait for the single
-// in-flight computation rather than repeating it. The boolean reports a
-// hit: true when the entry already existed (even if still being computed
-// by another goroutine). Errors are cached too — the pipeline is
-// deterministic, so a failing input fails identically every time and
-// recomputing it would only waste the budget the cache exists to save.
+// GetOrCompute is GetOrComputeCosted with the default (overhead-only)
+// cost estimate.
+func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit bool, err error) {
+	return c.GetOrComputeCosted(k, compute, nil)
+}
+
+// GetOrComputeCosted returns the value for k, computing it with compute
+// on the first request. Concurrent requests for the same key wait for the
+// single in-flight computation rather than repeating it. The boolean
+// reports a hit: true when the value came from another goroutine's
+// computation (finished or in-flight). Errors are cached too — the
+// pipeline is deterministic, so a failing input fails identically every
+// time and recomputing it would only waste the budget the cache exists
+// to save.
 //
 // The exception is context cancellation: a computation cut short by its
 // caller's deadline says nothing about the input, so entries whose error
 // is context.Canceled or context.DeadlineExceeded are evicted instead of
 // stored — one impatient request cannot poison a key for later, patient
-// callers. A waiter that inherited such an error from the cancelled
-// computation retries the computation itself (under its own context).
+// callers. A waiter that inherited such an error retries through the
+// cache under its own context, so concurrent disappointed waiters still
+// coalesce into a single recomputation; that retry counts as a miss.
+//
+// On success, cost (nil means overhead only) estimates the entry's
+// resident bytes for the byte budget; the entry stays pinned — immune to
+// eviction — until every lookup touching it has returned, which is what
+// keeps eviction compatible with the exactly-once protocol.
 //
 // On a nil cache, compute runs unconditionally and hit is false.
-func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit bool, err error) {
+func (c *Cache) GetOrComputeCosted(k Key, compute func() (any, error), cost Coster) (v any, hit bool, err error) {
 	if c == nil {
 		v, err = compute()
 		return v, false, err
 	}
+	for {
+		v, hit, err, retry := c.lookup(k, compute, cost)
+		if !retry {
+			return v, hit, err
+		}
+	}
+}
+
+// lookup is one singleflight round: find or create the entry, pin it,
+// resolve it, unpin. retry reports that the round resolved to a
+// cancellation inherited from another goroutine and the caller should go
+// again under its own steam.
+func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, hit bool, err error, retry bool) {
 	s := &c.shards[int(k.Sum[0])%nShards]
 	s.mu.Lock()
 	e, ok := s.m[k]
 	if !ok {
-		e = &entry{}
+		e = &entry{key: k, slot: len(s.ring)}
 		s.m[k] = e
-	}
-	s.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+		s.ring = append(s.ring, e)
 		c.entries.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = compute() })
-	if e.err != nil && isCancellation(e.err) {
-		s.mu.Lock()
-		if s.m[k] == e {
-			delete(s.m, k)
-			c.entries.Add(-1)
+	e.ref = true
+	if e.pins == 0 {
+		c.pinned.Add(1)
+	}
+	e.pins++
+	s.mu.Unlock()
+
+	owner := false
+	e.once.Do(func() {
+		owner = true
+		e.val, e.err = compute()
+		if !isCancellation(e.err) {
+			e.cost = entryOverhead
+			if cost != nil && e.err == nil {
+				e.cost += cost(e.val)
+			}
+			c.bytes.Add(e.cost)
 		}
-		s.mu.Unlock()
-		if ok {
-			// We only waited; our own context may be healthy, so run the
-			// computation ourselves rather than surfacing someone else's
-			// cancellation.
-			v, err = compute()
-			return v, true, err
+	})
+	v, err = e.val, e.err
+
+	cancelled := isCancellation(err)
+	s.mu.Lock()
+	if cancelled {
+		// Cancelled computations are never retained (their cost was never
+		// charged); the first of the disappointed lookups removes the
+		// entry, the rest find slot == -1.
+		c.removeLocked(s, e)
+	}
+	e.pins--
+	if e.pins == 0 {
+		c.pinned.Add(-1)
+	}
+	s.mu.Unlock()
+
+	if cancelled && !owner {
+		// We only waited; someone else's deadline cut the computation
+		// short and says nothing about our own context. Retry through the
+		// cache so concurrent retries still compute exactly once.
+		return nil, false, nil, true
+	}
+
+	// Lookups are counted at resolution time, once per GetOrCompute call:
+	// whoever ran the computation missed, everyone who shared it hit.
+	if owner {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.evictOver()
+	return v, !owner, err, false
+}
+
+// removeLocked deletes e from its shard's map and ring and refunds its
+// charge. Idempotent; the caller holds s.mu.
+func (c *Cache) removeLocked(s *shard, e *entry) {
+	if e.slot < 0 {
+		return
+	}
+	delete(s.m, e.key)
+	last := len(s.ring) - 1
+	s.ring[e.slot] = s.ring[last]
+	s.ring[e.slot].slot = e.slot
+	s.ring[last] = nil
+	s.ring = s.ring[:last]
+	e.slot = -1
+	c.entries.Add(-1)
+	c.bytes.Add(-e.cost)
+}
+
+// limit resolves the budget sentinel into (byte bound, bounded).
+func (c *Cache) limit() (int64, bool) {
+	switch b := c.budget.Load(); {
+	case b == BudgetUnlimited:
+		return 0, false
+	case b < 0:
+		return 0, true
+	default:
+		return b, true
+	}
+}
+
+// evictOver brings the cache back under its byte budget, evicting one
+// cold entry at a time. It stops early if a full sweep finds only pinned
+// entries — those are evicted by whichever lookup unpins them last.
+func (c *Cache) evictOver() {
+	limit, bounded := c.limit()
+	if !bounded {
+		return
+	}
+	for c.bytes.Load() > limit {
+		if !c.evictOne() {
+			return
 		}
 	}
-	return e.val, ok, e.err
+}
+
+// evictOne runs the CLOCK hand across the shards, starting at a rotating
+// shard for fairness, and evicts the first unpinned entry whose
+// reference bit is already clear. Two passes suffice: the first clears
+// the bits of recently-touched entries, the second claims a victim.
+func (c *Cache) evictOne() bool {
+	start := int(c.rotor.Add(1) % nShards)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < nShards; i++ {
+			if c.sweep(&c.shards[(start+i)%nShards]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sweep advances s's clock hand at most one revolution: pinned entries
+// are skipped, referenced entries lose their bit (second chance), and
+// the first cold entry is evicted. Reports whether it evicted.
+func (c *Cache) sweep(s *shard) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := len(s.ring); n > 0; n-- {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		e := s.ring[s.hand]
+		if e.pins > 0 {
+			s.hand++
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			s.hand++
+			continue
+		}
+		c.removeLocked(s, e) // swap-remove pulls a new entry under the hand
+		c.evictions.Add(1)
+		return true
+	}
+	return false
 }
 
 // isCancellation reports whether err stems from a cancelled or expired
@@ -174,19 +413,32 @@ func isCancellation(err error) bool {
 // caller must use one value type per key consistently (the pipeline keys
 // by stage, which fixes the type).
 func GetAs[T any](c *Cache, k Key, compute func() (T, error)) (v T, hit bool, err error) {
-	got, hit, err := c.GetOrCompute(k, func() (any, error) { return compute() })
+	return GetAsCosted(c, k, compute, nil)
+}
+
+// GetAsCosted is GetAs with a stage Coster charging the entry's resident
+// bytes to the byte budget.
+func GetAsCosted[T any](c *Cache, k Key, compute func() (T, error), cost Coster) (v T, hit bool, err error) {
+	got, hit, err := c.GetOrComputeCosted(k, func() (any, error) { return compute() }, cost)
 	if err != nil {
 		return v, hit, err
 	}
 	return got.(T), hit, nil
 }
 
-// Stats returns a snapshot of the hit/miss/entry counters.
+// Stats returns a snapshot of the cache's counters.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.entries.Load()}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Evictions: c.evictions.Load(),
+		Pinned:    c.pinned.Load(),
+	}
 }
 
 // String renders the counters for command-line reporting.
@@ -196,5 +448,43 @@ func (s Stats) String() string {
 	if total > 0 {
 		pct = 100 * float64(s.Hits) / float64(total)
 	}
-	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries", s.Hits, s.Misses, pct, s.Entries)
+	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes resident, %d evictions",
+		s.Hits, s.Misses, pct, s.Entries, s.Bytes, s.Evictions)
+}
+
+// ParseBudget parses a -cache-budget flag value: "unlimited", "" or "0"
+// mean no bound (BudgetUnlimited); "none" or "-1" mean retain nothing
+// (BudgetZero); anything else is a byte count with an optional size
+// suffix — K/M/G and KiB/MiB/GiB are binary multiples, KB/MB/GB decimal.
+func ParseBudget(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "", "0", "unlimited":
+		return BudgetUnlimited, nil
+	case "none", "-1":
+		return BudgetZero, nil
+	}
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(t, suf.s) {
+			t, mult = strings.TrimSpace(strings.TrimSuffix(t, suf.s)), suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("cache: invalid budget %q (want bytes with an optional KiB/MiB/GiB suffix, %q, or %q)", s, "unlimited", "none")
+	}
+	if n == 0 {
+		return BudgetUnlimited, nil
+	}
+	return n * mult, nil
 }

@@ -226,6 +226,15 @@ func (f *BlockFP) Release() {
 // HasCopies reports the memoized copy-sensitivity of the block.
 func (f *BlockFP) HasCopies() bool { return f.hasCopies }
 
+// Size returns the bytes held by the memoized encoding, for cache cost
+// accounting of entries that retain a fingerprint. Nil-safe.
+func (f *BlockFP) Size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.enc)
+}
+
 // BlockFP splices a memoized block encoding into the stream; the
 // resulting key is identical to calling Block on the original block.
 func (h *Hasher) BlockFP(f *BlockFP) { h.buf = append(h.buf, f.enc...) }

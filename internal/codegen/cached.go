@@ -31,6 +31,47 @@ import (
 // With a nil cache each wrapper degrades to the direct call, preserving
 // the uncached pipeline (and its golden trace stream) bit for bit.
 
+// Stage Costers estimate the resident bytes each cached value keeps
+// alive, so the cache's byte budget (cache.SetBudget, Config.CacheBudget)
+// tracks real memory instead of entry counts. The constants are coarse
+// per-element footprints — struct plus slice/map-slot backing — sized
+// from the IR and graph representations; precision matters less than
+// consistency, since the budget compares entries only against each other.
+const (
+	costPerOp   = 112 // *ir.Op pointer + Op struct + operand backing
+	costPerEdge = 48  // ddg.Edge in Out plus its mirror in In
+	costPerReg  = 48  // one map[ir.Reg]int slot incl. bucket overhead
+	costPerInt  = 8
+)
+
+// ddgCost prices a cached dependence graph: the op pointer slice, both
+// adjacency lists and the per-op edge headers.
+func ddgCost(v any) int64 {
+	g := v.(*ddg.Graph)
+	return int64(len(g.Ops))*costPerOp + int64(2*g.NumEdges())*costPerEdge
+}
+
+// scheduleCost prices a cached modulo schedule: two ints per operation.
+func scheduleCost(v any) int64 {
+	s := v.(*modulo.Schedule)
+	return int64(len(s.Time)+len(s.Cluster)) * costPerInt
+}
+
+// assignCost prices a cached bank assignment: one map slot per register.
+func assignCost(v any) int64 {
+	a := v.(*core.Assignment)
+	return int64(len(a.Of)) * costPerReg
+}
+
+// copyInsCost prices a cached copy insertion: the rewritten body's ops
+// and per-op cluster row, the extended register map, and the retained
+// rewritten-body fingerprint.
+func copyInsCost(v any) int64 {
+	e := v.(copyInsEntry)
+	return int64(len(e.copies.Body.Ops))*(costPerOp+costPerInt) +
+		int64(len(e.of))*costPerReg + int64(e.fp.Size())
+}
+
 // buildGraph is ddg.Build behind the cache. Cached graphs are rebound
 // onto the caller's operation slice (Graph.WithOps) so a result computed
 // for one structurally identical loop never aliases another loop's ops.
@@ -39,9 +80,9 @@ func buildGraph(c *cache.Cache, fp *cache.BlockFP, b *ir.Block, cfg *machine.Con
 		return ddg.Build(b, cfg, opt)
 	}
 	k := fp.DDGKey(cfg.Lat, opt.Carried, opt.MemFlowLatency)
-	g, hit, _ := cache.GetAs(c, k, func() (*ddg.Graph, error) {
+	g, hit, _ := cache.GetAsCosted(c, k, func() (*ddg.Graph, error) {
 		return ddg.Build(b, cfg, opt), nil
-	})
+	}, ddgCost)
 	countCache(opt.Tracer, "ddg", hit)
 	return g.WithOps(b.Ops)
 }
@@ -61,9 +102,9 @@ func runSchedule(ctx context.Context, c *cache.Cache, fp *cache.BlockFP, gOpts d
 		return modulo.Run(ctx, g, cfg, opt)
 	}
 	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII)
-	s, hit, err := cache.GetAs(c, k, func() (*modulo.Schedule, error) {
+	s, hit, err := cache.GetAsCosted(c, k, func() (*modulo.Schedule, error) {
 		return modulo.Run(ctx, g, cfg, opt)
-	})
+	}, scheduleCost)
 	countCache(opt.Tracer, "modulo", hit)
 	return s, err
 }
@@ -118,7 +159,7 @@ func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.P
 		return compute()
 	}
 	k := assignKey(fp, res.IdealCfg, gOpts, cfg.Clusters, weights, opt)
-	frozen, hit, err := cache.GetAs(opt.Cache, k, compute)
+	frozen, hit, err := cache.GetAsCosted(opt.Cache, k, compute, assignCost)
 	countCache(tr, "assign", hit)
 	return frozen, err
 }
@@ -173,14 +214,14 @@ func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core
 		return ci, asg, nil, verify(ci)
 	}
 	k := copyInsKey(fp, loop.NextRegID(), asg)
-	v, hit, err := cache.GetAs(c, k, func() (copyInsEntry, error) {
+	v, hit, err := cache.GetAsCosted(c, k, func() (copyInsEntry, error) {
 		work := *loop // shared body, private register counter (see above)
 		local := &core.Assignment{Banks: asg.Banks, Of: maps.Clone(asg.Of)}
 		ci := insertCopiesScratch(&work, local, cfg, ar)
 		// This fingerprint is retained by the cache entry (cfp keys every
 		// later clustered stage for hits too), so it is never pooled.
 		return copyInsEntry{copies: ci, fp: cache.FingerprintBlock(ci.Body), of: local.Of}, verify(ci)
-	})
+	}, copyInsCost)
 	countCache(tr, "copyins", hit)
 	if err != nil {
 		return nil, nil, nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 )
@@ -33,8 +34,41 @@ func TestDifferentialSuiteSweepCached(t *testing.T) {
 	runDifferentialSweep(t, cache.New())
 }
 
+// TestDifferentialSweepBudgets is the same oracle again under every cache
+// budget regime — zero retention (each entry evicted the moment its
+// lookup returns, so the pinned singleflight path carries everything), a
+// small finite budget (constant eviction churn with some reuse), and
+// unlimited — on a reduced slice of the suite. Eviction must change only
+// how often stages recompute, never a single emitted bit.
+func TestDifferentialSweepBudgets(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"zero", cache.BudgetZero},
+		{"finite", 256 << 10},
+		{"unlimited", cache.BudgetUnlimited},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			loops := loopgen.Generate(loopgen.Params{N: 60, Seed: loopgen.DefaultParams().Seed})
+			c := cache.NewBounded(tc.budget)
+			runDifferentialSweepLoops(t, loops, c)
+			st := c.Stats()
+			if limit := tc.budget; limit > 0 && st.Bytes > limit {
+				t.Fatalf("cache sits at %d bytes, over the %d budget", st.Bytes, limit)
+			}
+			if tc.budget == cache.BudgetZero && (st.Entries != 0 || st.Bytes != 0) {
+				t.Fatalf("zero budget retained %d entries / %d bytes", st.Entries, st.Bytes)
+			}
+		})
+	}
+}
+
 func runDifferentialSweep(t *testing.T, c *cache.Cache) {
-	loops := loopgen.Suite()
+	runDifferentialSweepLoops(t, loopgen.Suite(), c)
+}
+
+func runDifferentialSweepLoops(t *testing.T, loops []*ir.Loop, c *cache.Cache) {
 	var cfgs []*machine.Config
 	for _, clusters := range []int{2, 4, 8} {
 		for _, model := range []machine.CopyModel{machine.Embedded, machine.CopyUnit} {

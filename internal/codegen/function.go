@@ -89,6 +89,7 @@ func CompileFunction(ctx context.Context, f *ir.Function, cfg *machine.Config, o
 	if len(f.Blocks) == 0 {
 		return nil, fmt.Errorf("codegen: function %q has no blocks", f.Name)
 	}
+	opt.applyCacheBudget()
 	weights := core.DefaultWeights()
 	if opt.Weights != nil {
 		weights = *opt.Weights

@@ -52,6 +52,13 @@ type Config struct {
 	// hit the content-addressed stages. Nil disables caching; results are
 	// identical either way.
 	Cache *cache.Cache
+	// CacheBudget bounds the attached Cache's estimated resident bytes
+	// (see cache.SetBudget): 0 leaves the cache's own budget in place
+	// (unlimited by default), a positive value is a byte bound, and
+	// cache.BudgetZero retains nothing — the eviction stress mode. The
+	// budget is applied to Cache at every pipeline entry point, so a
+	// Config fully describes the cache behavior it compiles under.
+	CacheBudget int64
 	// Scratch optionally pins one compilation's reusable stage buffers
 	// (dependence analysis, scheduling, RCG, coloring — see
 	// internal/scratch) to a caller-owned arena. Nil makes Compile take an
@@ -88,6 +95,15 @@ type RefineOptions struct {
 	Rounds int
 	// TrialsPerRound caps candidate moves evaluated per round (0 means 24).
 	TrialsPerRound int
+}
+
+// applyCacheBudget threads Config.CacheBudget onto the attached cache.
+// Idempotent and allocation-free; called at every pipeline entry point
+// so the budget holds no matter which layer built the cache.
+func (c *Config) applyCacheBudget() {
+	if c.Cache != nil && c.CacheBudget != 0 {
+		c.Cache.SetBudget(c.CacheBudget)
+	}
 }
 
 // Apply copies the legacy refinement knobs onto a Config, the migration

@@ -165,6 +165,7 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 	if err := ir.VerifyLoop(loop); err != nil {
 		return nil, err
 	}
+	opt.applyCacheBudget()
 	tr := opt.Tracer
 	sp := tr.StartSpan("codegen.compile")
 	tr.Add("codegen.compiles", 1)

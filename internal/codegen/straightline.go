@@ -61,6 +61,7 @@ func CompileBlock(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt O
 	if err := ir.VerifyLoop(loop); err != nil {
 		return nil, err
 	}
+	opt.applyCacheBudget()
 	if err := checkpoint(ctx, "sched.ideal"); err != nil {
 		return nil, err
 	}

@@ -275,7 +275,8 @@ feed:
 	if cfg.Cache.Enabled() {
 		st := cfg.Cache.Stats()
 		sp.Int("cacheHits", st.Hits).Int("cacheMisses", st.Misses).
-			Int("cacheEntries", st.Entries)
+			Int("cacheEntries", st.Entries).Int("cacheBytes", st.Bytes).
+			Int("cacheEvictions", st.Evictions)
 	}
 	sp.End()
 	if panicVal != nil {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
@@ -78,5 +79,44 @@ func TestGoldenTables(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("tables drifted from golden:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestGoldenTablesBudgeted reruns the golden-table slice with the compile
+// cache attached at every budget regime — zero retention, a small finite
+// bound (steady eviction churn) and unlimited — and demands the exact
+// bytes of the uncached golden file each time. The cache budget may only
+// change how often stages recompute, never a rendered digit.
+func TestGoldenTablesBudgeted(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "tables_n40.golden"))
+	if err != nil {
+		t.Fatalf("golden file missing (run TestGoldenTables with -update): %v", err)
+	}
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"zero", cache.BudgetZero},
+		{"finite", 128 << 10},
+		{"unlimited", cache.BudgetUnlimited},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cache.NewBounded(tc.budget)
+			results := RunSuite(loops, machine.PaperConfigs(), Options{
+				Codegen: codegen.Options{SkipAlloc: true, Cache: c},
+			})
+			got := Table1(results) + "\n" + Table2(results) + "\n" + Figure(results, 4)
+			if got != string(want) {
+				t.Errorf("budget %s: tables diverge from the uncached golden:\n--- got\n%s", tc.name, got)
+			}
+			st := c.Stats()
+			if tc.budget > 0 && st.Bytes > tc.budget {
+				t.Errorf("budget %s: cache sits at %d bytes, over budget", tc.name, st.Bytes)
+			}
+			if tc.budget > 0 && st.Hits == 0 {
+				t.Errorf("budget %s: finite budget produced zero hits", tc.name)
+			}
+		})
 	}
 }

@@ -39,15 +39,23 @@ func rcgKey(in *Input) cache.Key {
 	return h.Key(cache.StageRCG)
 }
 
+// rcgCost estimates a cached graph's resident bytes for the cache's byte
+// budget: per node the register, accumulated weight and index/head slots;
+// per edge two pooled half-edges plus the sealed CSR row.
+func rcgCost(v any) int64 {
+	g := v.(*core.RCG)
+	return int64(len(g.Nodes))*32 + int64(g.NumEdges())*64
+}
+
 // buildRCG is core.Build behind the cache. The cached graph is shared
 // as-is: every consumer treats it read-only.
 func buildRCG(in *Input) (*core.RCG, error) {
 	if !in.Cache.Enabled() {
 		return core.BuildScratch([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer, in.Arena), nil
 	}
-	g, hit, err := cache.GetAs(in.Cache, rcgKey(in), func() (*core.RCG, error) {
+	g, hit, err := cache.GetAsCosted(in.Cache, rcgKey(in), func() (*core.RCG, error) {
 		return core.BuildScratch([]core.ScheduledBlock{in.Ideal}, in.Weights, in.Tracer, in.Arena), nil
-	})
+	}, rcgCost)
 	countCache(in.Tracer, "rcg", hit)
 	return g, err
 }

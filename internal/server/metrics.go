@@ -106,6 +106,14 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "swpd_cache_misses_total %d\n", st.Misses)
 		fmt.Fprintf(w, "# HELP swpd_cache_entries Cached stage results resident.\n# TYPE swpd_cache_entries gauge\n")
 		fmt.Fprintf(w, "swpd_cache_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# HELP swpd_cache_bytes Estimated resident bytes of cached stage results.\n# TYPE swpd_cache_bytes gauge\n")
+		fmt.Fprintf(w, "swpd_cache_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# HELP swpd_cache_budget_bytes Configured cache byte budget (0 = unlimited, -1 = retain nothing).\n# TYPE swpd_cache_budget_bytes gauge\n")
+		fmt.Fprintf(w, "swpd_cache_budget_bytes %d\n", s.cfg.Pipeline.Cache.Budget())
+		fmt.Fprintf(w, "# HELP swpd_cache_evictions_total Entries evicted by the cache byte budget.\n# TYPE swpd_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "swpd_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# HELP swpd_cache_pinned Cache entries pinned by in-flight lookups.\n# TYPE swpd_cache_pinned gauge\n")
+		fmt.Fprintf(w, "swpd_cache_pinned %d\n", st.Pinned)
 	}
 
 	if s.cfg.Pipeline.Tracer.Enabled() {

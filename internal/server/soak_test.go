@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/trace"
+)
+
+// soakRequests returns the traffic volume for the soak test: scaled down
+// under the race detector (CI's dedicated soak step runs with -race) and
+// overridable via SWPD_SOAK_REQUESTS for longer local runs.
+func soakRequests() int {
+	if s := os.Getenv("SWPD_SOAK_REQUESTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if raceDelayFactor > 1 {
+		return 240 // the race detector makes each compile several times slower
+	}
+	return 600
+}
+
+// TestSoakBoundedCache drives sustained randomized loopgen traffic at a
+// live daemon whose compile cache has a finite byte budget — the
+// unbounded-uptime scenario the budget exists for. It proves the three
+// steady-state properties the ROADMAP's serving story needs:
+//
+//   - resident cache bytes hold at or under the budget once traffic
+//     quiesces (and never run away mid-flight);
+//   - the hit rate stays nonzero — a bounded cache still caches;
+//   - the budget actually binds — evictions happen — while every request
+//     still compiles successfully.
+//
+// CI runs this under -race via its soak step (short iteration count);
+// crank SWPD_SOAK_REQUESTS for a longer local soak.
+func TestSoakBoundedCache(t *testing.T) {
+	const budget = int64(192 << 10)
+	c := cache.NewBounded(budget)
+	s := New(Config{
+		// Deep enough that 4 steady clients never trip load shedding.
+		QueueDepth: 32,
+		Pipeline: codegen.Config{
+			Cache:       c,
+			CacheBudget: budget,
+			Tracer:      trace.New(),
+			SkipAlloc:   true,
+		},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A pool of distinct loops much larger than the budget can hold at
+	// once, sampled with a skew so some loops recur hot (hits) while the
+	// long tail churns the eviction clock.
+	loops := loopgen.Generate(loopgen.Params{N: 64, Seed: loopgen.DefaultParams().Seed})
+	sources := make([]string, len(loops))
+	for i, l := range loops {
+		sources[i] = l.Body.String()
+	}
+	specs := []MachineSpec{
+		{Clusters: 2, CopyModel: "embedded"},
+		{Clusters: 4, CopyModel: "embedded"},
+		{Clusters: 8, CopyModel: "copyunit"},
+	}
+
+	// postJSON calls t.Fatal, which is off-limits outside the test
+	// goroutine; the soak clients post directly and report via Errorf.
+	post := func(req *CompileRequest) (int, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	total := soakRequests()
+	const clients = 4
+	var wg sync.WaitGroup
+	var overBudget int64
+	var mu sync.Mutex
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(0x50AC ^ g)))
+			for i := 0; i < total/clients; i++ {
+				idx := rng.Intn(rng.Intn(len(sources)) + 1) // skewed: low indices run hot
+				req := &CompileRequest{
+					Name:    fmt.Sprintf("soak-%d", idx),
+					Source:  sources[idx],
+					Machine: specs[(g+i)%len(specs)],
+				}
+				code, err := post(req)
+				if err != nil {
+					t.Errorf("client %d request %d: %v", g, i, err)
+					return
+				}
+				if code != http.StatusOK {
+					t.Errorf("client %d request %d: status %d", g, i, code)
+					return
+				}
+				// Mid-flight the cache may transiently exceed the budget by
+				// what in-flight lookups pin; a run-away (2x) is a leak.
+				if b := c.Stats().Bytes; b > 2*budget {
+					mu.Lock()
+					overBudget++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	t.Logf("soak: %d requests, cache %s (pinned %d, budget %d)", total, st, st.Pinned, budget)
+	if st.Bytes > budget {
+		t.Errorf("at rest the cache sits at %d bytes, over the %d budget", st.Bytes, budget)
+	}
+	if overBudget > 0 {
+		t.Errorf("%d mid-flight samples saw resident bytes above twice the budget", overBudget)
+	}
+	if st.Hits == 0 {
+		t.Error("soak traffic produced zero cache hits — the bounded cache stopped caching")
+	}
+	if st.Evictions == 0 {
+		t.Error("soak traffic produced zero evictions — the budget never bound (shrink it or grow the loop pool)")
+	}
+	if st.Pinned != 0 {
+		t.Errorf("%d entries still pinned after traffic quiesced", st.Pinned)
+	}
+
+	// The Prometheus surface must tell the same story.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, row := range []string{
+		"swpd_cache_bytes", "swpd_cache_budget_bytes", "swpd_cache_evictions_total", "swpd_cache_pinned",
+	} {
+		if !regexp.MustCompile(`(?m)^` + row + ` `).MatchString(metrics) {
+			t.Errorf("/metrics missing %s", row)
+		}
+	}
+	m := regexp.MustCompile(`(?m)^swpd_cache_bytes (\d+)$`).FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatal("/metrics has no parsable swpd_cache_bytes row")
+	}
+	if got, _ := strconv.ParseInt(m[1], 10, 64); got > budget {
+		t.Errorf("/metrics reports %d cache bytes, over the %d budget", got, budget)
+	}
+}

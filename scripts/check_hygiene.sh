@@ -1,0 +1,30 @@
+#!/bin/sh
+# Repo hygiene: no tracked file may exceed 1MB unless allowlisted.
+# Build outputs (a 4.3MB `experiments` binary once slipped in) and
+# profiler dumps belong in .gitignore, not in history.
+set -eu
+cd "$(dirname "$0")/.."
+
+LIMIT=1048576
+# Tracked files permitted to exceed the limit, one path per line between
+# the markers. Empty today; add a path only with a written justification.
+allowed() {
+    case "$1" in
+        # example/allowed/file.bin) return 0 ;;
+        *) return 1 ;;
+    esac
+}
+
+big=$(git ls-files | while IFS= read -r f; do
+    [ -f "$f" ] || continue
+    size=$(wc -c < "$f")
+    [ "$size" -gt "$LIMIT" ] || continue
+    allowed "$f" || printf '%8s  %s\n' "$size" "$f"
+done)
+
+if [ -n "$big" ]; then
+    echo "hygiene: tracked files over $LIMIT bytes:" >&2
+    echo "$big" >&2
+    exit 1
+fi
+echo "hygiene: all tracked files under $LIMIT bytes"

@@ -5,6 +5,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== repo hygiene =="
+sh scripts/check_hygiene.sh
+
 echo "== build =="
 go build ./...
 go vet ./...
@@ -59,3 +62,9 @@ go run ./cmd/experiments -compare -cache > /dev/null
 
 echo "== swpd daemon (HTTP answer equals in-process answer) =="
 sh scripts/swpd_smoke.sh
+
+echo "== bounded-cache soak (short) =="
+# Sustained randomized traffic against a finite cache budget: resident
+# bytes must hold at the budget with a nonzero hit rate under eviction
+# churn. Short here; raise SWPD_SOAK_REQUESTS for a longer soak.
+SWPD_SOAK_REQUESTS=300 go test -race -run TestSoakBoundedCache ./internal/server
