@@ -7,6 +7,7 @@
 // Usage:
 //
 //	experiments [-n loops] [-workers n] [-table 1|2] [-figure 5|6|7] [-compare] [-v]
+//	            [-exactgap] [-exact-budget d] [-exact-nodes n]
 //	            [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // With no selection flags every table and figure is printed. -trace
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
@@ -35,22 +37,25 @@ import (
 )
 
 type options struct {
-	n        int
-	workers  int
-	table    int
-	figure   int
-	compare  bool
-	latency  bool
-	pressure bool
-	refine   bool
-	sched    bool
-	units    bool
-	jsonOut  bool
-	all      bool
-	suite    string
-	verbose  bool
-	tracer   *trace.Tracer
-	cache    *cache.Cache
+	n           int
+	workers     int
+	table       int
+	figure      int
+	compare     bool
+	latency     bool
+	pressure    bool
+	refine      bool
+	sched       bool
+	units       bool
+	exactGap    bool
+	jsonOut     bool
+	all         bool
+	suite       string
+	verbose     bool
+	exactBudget time.Duration
+	exactNodes  int64
+	tracer      *trace.Tracer
+	cache       *cache.Cache
 }
 
 func main() {
@@ -65,10 +70,13 @@ func main() {
 	flag.BoolVar(&opt.refine, "refine", false, "iterative partition refinement study (Section 6.3)")
 	flag.BoolVar(&opt.sched, "scheduler", false, "Rau vs lifetime-sensitive scheduler study (Section 6.3)")
 	flag.BoolVar(&opt.units, "units", false, "general-purpose vs C6x-style typed units study (Section 6.1)")
+	flag.BoolVar(&opt.exactGap, "exactgap", false, "optimality-gap study: heuristic vs exact branch-and-bound arms")
 	flag.BoolVar(&opt.jsonOut, "json", false, "emit per-loop results as JSON instead of tables")
 	flag.BoolVar(&opt.all, "all", false, "run every table, figure and side study")
 	flag.StringVar(&opt.suite, "suite", "spec", "workload: spec (synthetic SPEC95-style) or livermore")
 	flag.BoolVar(&opt.verbose, "v", false, "also print the per-machine summary")
+	flag.DurationVar(&opt.exactBudget, "exact-budget", 0, "enable the exact-solver arms in the main runs with this wall-clock ceiling per stage (0 = off)")
+	flag.Int64Var(&opt.exactNodes, "exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules across the machine grid")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
@@ -161,6 +169,10 @@ func run(opt options) int {
 		fmt.Print(exper.FormatUnits(exper.UnitsStudy(loops, opt.workers)))
 		return 0
 	}
+	if opt.exactGap {
+		fmt.Print(exper.FormatExactGap(exper.ExactGapStudy(loops, cfgs, opt.workers, opt.exactNodes)))
+		return 0
+	}
 	if opt.latency {
 		for _, clusters := range []int{2, 4, 8} {
 			points, err := exper.CopyLatencySweep(loops, clusters, machine.CopyUnit, opt.workers)
@@ -176,7 +188,8 @@ func run(opt options) int {
 	results := exper.RunSuite(loops, cfgs, exper.Options{
 		Workers: opt.workers,
 		Tracer:  opt.tracer,
-		Codegen: codegen.Options{Cache: opt.cache},
+		Codegen: codegen.Options{Cache: opt.cache,
+			ExactBudget: opt.exactBudget, ExactNodes: opt.exactNodes},
 	})
 	reportErrors(results)
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	swpc [-n suiteSize] [-loop index] [-clusters n] [-model embedded|copyunit]
-//	     [-partitioner rcg|portfolio|bug|roundrobin|random|single] [-dump] [-worst k]
+//	     [-partitioner rcg|portfolio|bug|roundrobin|random|single|exact] [-dump] [-worst k]
 //	     [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -trace writes the pipeline's JSON event stream (see internal/trace) and
@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
@@ -41,7 +43,7 @@ func main() {
 	loopIdx := flag.Int("loop", -1, "compile only this loop index")
 	clusters := flag.Int("clusters", 4, "cluster count (2, 4 or 8)")
 	modelName := flag.String("model", "embedded", "copy model: embedded or copyunit")
-	partName := flag.String("partitioner", "rcg", "rcg, portfolio, bug, roundrobin, random or single")
+	partName := flag.String("partitioner", "rcg", "rcg, portfolio, bug, roundrobin, random, single or exact")
 	dump := flag.Bool("dump", false, "dump IR, partition and kernels")
 	worst := flag.Int("worst", 0, "report the k worst-degrading loops")
 	breakdown := flag.Bool("breakdown", false, "report per-archetype aggregates")
@@ -49,6 +51,8 @@ func main() {
 	refined := flag.Bool("refined", false, "apply iterative partition refinement (with -loop or -file)")
 	machineFile := flag.String("machine", "", "target a machine parsed from this description file")
 	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
+	exactBudget := flag.Duration("exact-budget", 0, "enable the exact-solver arms with this wall-clock ceiling per stage (0 = off)")
+	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules by content fingerprint")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
@@ -74,7 +78,7 @@ func main() {
 	}
 
 	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,
-		*dump, *worst, *breakdown, *refined, *emit, tr, c)
+		*dump, *worst, *breakdown, *refined, *emit, *exactBudget, *exactNodes, tr, c)
 
 	if c.Enabled() {
 		fmt.Printf("cache: %s\n", c.Stats())
@@ -104,7 +108,8 @@ func writeTrace(path string, tr *trace.Tracer) error {
 }
 
 func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string,
-	dump bool, worst int, breakdown, refined, emit bool, tr *trace.Tracer, c *cache.Cache) error {
+	dump bool, worst int, breakdown, refined, emit bool,
+	exactBudget time.Duration, exactNodes int64, tr *trace.Tracer, c *cache.Cache) error {
 	var cfg *machine.Config
 	if machineFile != "" {
 		src, err := os.ReadFile(machineFile)
@@ -144,7 +149,7 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if err != nil {
 			return err
 		}
-		return compileAndReport(loop, cfg, part, dump, refined, emit, tr, c)
+		return compileAndReport(loop, cfg, part, dump, refined, emit, exactBudget, exactNodes, tr, c)
 	}
 
 	loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
@@ -153,11 +158,11 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if loopIdx >= len(loops) {
 			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
 		}
-		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, tr, c)
+		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, exactBudget, exactNodes, tr, c)
 	}
 
 	results := exper.RunSuite(loops, []*machine.Config{cfg}, exper.Options{
-		Codegen: codegen.Options{Partitioner: part, Cache: c},
+		Codegen: codegen.Options{Partitioner: part, Cache: c, ExactBudget: exactBudget, ExactNodes: exactNodes},
 		Tracer:  tr,
 	})
 	r := results[0]
@@ -198,16 +203,20 @@ func pickPartitioner(name string) (partition.Partitioner, error) {
 		return partition.Random{Seed: 1}, nil
 	case "single":
 		return partition.SingleBank{}, nil
+	case "exact":
+		return partition.Exact{}, nil
 	default:
 		return nil, fmt.Errorf("unknown partitioner %q", name)
 	}
 }
 
 func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner,
-	dump, refined, emit bool, tr *trace.Tracer, c *cache.Cache) error {
+	dump, refined, emit bool, exactBudget time.Duration, exactNodes int64,
+	tr *trace.Tracer, c *cache.Cache) error {
 	var res *codegen.Result
 	var err error
-	opt := codegen.Options{Partitioner: part, Tracer: tr, Cache: c}
+	opt := codegen.Options{Partitioner: part, Tracer: tr, Cache: c,
+		ExactBudget: exactBudget, ExactNodes: exactNodes}
 	if refined {
 		var stats *codegen.RefineStats
 		res, stats, err = codegen.CompileRefined(context.Background(), loop, cfg, opt)
@@ -233,6 +242,18 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 	fmt.Printf("  ideal RecMII=%d  clustered RecMII=%d\n", res.IdealGraph.RecMII(), res.PartGraph.RecMII())
 	fmt.Printf("  bank sizes: %v  spills=%d  max pressure=%d\n",
 		res.Assignment.Counts(), res.Spills(), res.MaxPressure())
+	if e := res.Exact; e != nil {
+		status := "budget exhausted"
+		if e.SchedProven {
+			status = "proven optimal"
+		}
+		fmt.Printf("  exact: minII=%d heuristic II=%d final II=%d (%s, %d sched nodes)\n",
+			e.MinII, e.HeuristicII, e.II, status, e.SchedNodes)
+		if e.PartRan {
+			fmt.Printf("  exact partition: proven=%v improved=%v won=%v (%d nodes)\n",
+				e.PartProven, e.PartImproved, e.PartWon, e.PartNodes)
+		}
+	}
 	if emit {
 		listing, err := codegen.Emit(res, codegen.EmitOptions{})
 		if err != nil {

@@ -39,6 +39,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	exactBudget := flag.Duration("exact-budget", 0, "enable the exact-solver arms with this wall-clock ceiling per stage (0 = off)")
+	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", true, "share a content-addressed compile cache across requests")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (empty or 0 = unlimited, none = retain nothing)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
@@ -57,6 +59,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 	}
 	scfg.Pipeline.Tracer = trace.New()
+	scfg.Pipeline.ExactBudget = *exactBudget
+	scfg.Pipeline.ExactNodes = *exactNodes
 	if *useCache {
 		budget, err := cache.ParseBudget(*cacheBudget)
 		if err != nil {

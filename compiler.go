@@ -2,6 +2,7 @@ package swp
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
@@ -98,6 +99,25 @@ func WithWorkers(n int) Option {
 // study configuration the paper's tables use.
 func WithSkipAlloc() Option {
 	return func(c *codegen.Config) { c.SkipAlloc = true }
+}
+
+// WithExactBudget enables the exact-solver arms (branch-and-bound bank
+// assignment in the portfolio, plus a provably-minimal-II re-search of
+// the winning schedule) with the given wall-clock ceiling per stage. Both
+// arms are anytime: on expiry the heuristic result stands, so the arm is
+// never worse than the default pipeline. The compiled Result carries the
+// optimality-gap telemetry in Result.Exact. d <= 0 (the default) leaves
+// the arms off and the pipeline untouched.
+func WithExactBudget(d time.Duration) Option {
+	return func(c *codegen.Config) { c.ExactBudget = d }
+}
+
+// WithExactNodes caps the exact arms' deterministic search-node budgets
+// (0 keeps the solver defaults). Results are a pure function of the node
+// budget; the wall-clock budget is only a safety net, so fixing this
+// makes exact-arm runs reproducible across machines.
+func WithExactNodes(n int64) Option {
+	return func(c *codegen.Config) { c.ExactNodes = n }
 }
 
 // Config returns a copy of the Compiler's resolved pipeline configuration.

@@ -69,6 +69,10 @@ func runDifferentialSweep(t *testing.T, c *cache.Cache) {
 }
 
 func runDifferentialSweepLoops(t *testing.T, loops []*ir.Loop, c *cache.Cache) {
+	runDifferentialSweepOpts(t, loops, Options{SkipAlloc: true, Cache: c})
+}
+
+func runDifferentialSweepOpts(t *testing.T, loops []*ir.Loop, opt Options) {
 	var cfgs []*machine.Config
 	for _, clusters := range []int{2, 4, 8} {
 		for _, model := range []machine.CopyModel{machine.Embedded, machine.CopyUnit} {
@@ -86,7 +90,7 @@ func runDifferentialSweepLoops(t *testing.T, loops []*ir.Loop, c *cache.Cache) {
 		defined := l.Body.Defined()
 
 		for _, cfg := range cfgs {
-			res, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true, Cache: c})
+			res, err := Compile(context.Background(), l, cfg, opt)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
 			}

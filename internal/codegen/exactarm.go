@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exact"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/scratch"
+	"repro/internal/trace"
+)
+
+// This file is the scheduler half of the exact-solver arm (the partition
+// half rides inside the portfolio as the "exact" candidate — see
+// internal/partition). After candidate selection commits a winner, the
+// winning clustered schedule is handed to internal/exact's ascending-II
+// branch-and-bound: either the heuristic II is proven optimal (it already
+// equals the lower bound, or every smaller II is exhausted infeasible),
+// or a strictly smaller II is found, verified against modulo.Check, and
+// adopted. Both outcomes feed the optimality-gap telemetry; an expired
+// budget feeds the budget-exhausted counter instead. With ExactBudget
+// zero none of this runs and the pipeline is untouched.
+
+// ExactReport is the optimality-gap telemetry for one compile with the
+// exact arms enabled (Result.Exact; nil when ExactBudget is zero).
+type ExactReport struct {
+	// PartRan reports the branch-and-bound bank assignment searched (the
+	// RCG was within the size gate).
+	PartRan bool
+	// PartProven reports that search exhausted its tree: the exact
+	// candidate is optimal for the RCG objective.
+	PartProven bool
+	// PartImproved reports the exact candidate strictly beat the greedy
+	// baseline on the RCG objective.
+	PartImproved bool
+	// PartWon reports the exact candidate won the downstream
+	// (spills, pressure, II) scoring and was adopted.
+	PartWon bool
+	// PartNodes is the bank-assignment search's node count.
+	PartNodes int64
+
+	// SchedRan reports the exact scheduler engaged: it searched, or the
+	// heuristic already sat on the lower bound (the free certificate).
+	// False when the size gate skipped an unproven loop.
+	SchedRan bool
+	// SchedProven reports Schedule.II is optimal — proven either by
+	// matching MinII outright or by exhausting every smaller II.
+	SchedProven bool
+	// SchedImproved reports the search found a strictly smaller II than
+	// the heuristic and the result was adopted.
+	SchedImproved bool
+	// SchedNodes is the scheduling search's node count.
+	SchedNodes int64
+	// MinII is the proven lower bound on the clustered II.
+	MinII int
+	// HeuristicII is the clustered II the iterative heuristic achieved.
+	HeuristicII int
+	// II is the final clustered II after the arm (== Result.PartII()).
+	II int
+}
+
+// ensureExact lazily attaches the telemetry report to the result.
+func (r *Result) ensureExact() *ExactReport {
+	if r.Exact == nil {
+		r.Exact = &ExactReport{}
+	}
+	return r.Exact
+}
+
+// runExactSchedArm runs the exact scheduling search on the committed
+// clustered schedule and adopts a verified improvement. A no-op unless
+// opt.ExactBudget is positive; never called on monolithic machines (the
+// gap under study is the clustered II).
+func runExactSchedArm(ctx context.Context, res *Result, cfg *machine.Config, opt Options, tr *trace.Tracer, ar *scratch.Arena) error {
+	if opt.ExactBudget <= 0 {
+		return nil
+	}
+	sp := tr.StartSpan("codegen.exact.sched")
+	rep := res.ensureExact()
+	rep.HeuristicII = res.PartSched.II
+	rep.II = res.PartSched.II
+
+	ctx, cancel := context.WithTimeout(ctx, opt.ExactBudget)
+	defer cancel()
+	eres, err := exact.Schedule(ctx, exact.ScheduleInput{
+		Graph:      res.PartGraph,
+		Cfg:        cfg,
+		ClusterOf:  res.Copies.ClusterOf,
+		Incumbent:  res.PartSched,
+		NodeBudget: opt.ExactNodes,
+	})
+	if err != nil {
+		return fmt.Errorf("codegen: exact scheduling of %q: %w", res.Loop.Name, err)
+	}
+	rep.MinII = eres.MinII
+	rep.SchedRan = eres.Nodes > 0 || eres.Proven
+	rep.SchedProven = eres.Proven
+	rep.SchedNodes = eres.Nodes
+	if eres.Improved {
+		// Trust nothing: the improved schedule must pass the same verifier
+		// the property tests use before it replaces the heuristic's.
+		mOpts := modulo.Options{ClusterOf: res.Copies.ClusterOf}
+		if err := modulo.Check(eres.Schedule, res.PartGraph, cfg, mOpts); err != nil {
+			return fmt.Errorf("codegen: exact schedule of %q rejected by verifier: %w", res.Loop.Name, err)
+		}
+		rep.SchedImproved = true
+		rep.II = eres.Schedule.II
+		res.PartSched = eres.Schedule
+		if !opt.SkipAlloc {
+			// Lifetimes moved; the per-bank coloring must be redone.
+			res.Alloc = allocateParts(res.PartGraph, res.PartSched, res.Assignment, cfg, tr, ar)
+		}
+		tr.Add("codegen.exact.sched_improvements", 1)
+	}
+	if eres.Proven {
+		tr.Add("codegen.exact.sched_proven", 1)
+	}
+	sp.Int("minII", int64(rep.MinII)).Int("heuristicII", int64(rep.HeuristicII)).
+		Int("finalII", int64(rep.II)).Int("nodes", rep.SchedNodes).End()
+	return nil
+}

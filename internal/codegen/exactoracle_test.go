@@ -1,0 +1,135 @@
+package codegen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// exactTestOptions are the exact-arm settings every oracle test here uses:
+// the portfolio (so the branch-and-bound candidate competes against the
+// greedy baseline at index 0), a fixed node budget for determinism, and a
+// generous wall-clock safety net so the node budget is what stops work.
+func exactTestOptions(skipAlloc bool) Options {
+	return Options{
+		Partitioner: partition.Portfolio{},
+		SkipAlloc:   skipAlloc,
+		ExactBudget: 10 * time.Second,
+		ExactNodes:  20_000,
+	}
+}
+
+// TestExactNeverWorseII is the differential oracle on the initiation
+// interval: with alloc skipped the portfolio scores on II alone, so the
+// exact-enabled pipeline must meet or beat the plain greedy pipeline on
+// every loop of the suite slice — never-worse is a per-loop guarantee,
+// not an aggregate one. The telemetry must agree: MinII ≤ final II ≤
+// heuristic II, and at least one loop must end with a certificate.
+func TestExactNeverWorseII(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 60, Seed: loopgen.DefaultParams().Seed})
+	proven := 0
+	for _, clusters := range []int{2, 4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		for _, l := range loops {
+			greedy, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
+			if err != nil {
+				t.Fatalf("%s on %s (greedy): %v", l.Name, cfg.Name, err)
+			}
+			ex, err := Compile(context.Background(), l, cfg, exactTestOptions(true))
+			if err != nil {
+				t.Fatalf("%s on %s (exact): %v", l.Name, cfg.Name, err)
+			}
+			if ex.PartII() > greedy.PartII() {
+				t.Fatalf("%s on %s: exact II %d worse than greedy %d",
+					l.Name, cfg.Name, ex.PartII(), greedy.PartII())
+			}
+			rep := ex.Exact
+			if rep == nil {
+				t.Fatalf("%s on %s: no exact report", l.Name, cfg.Name)
+			}
+			if rep.SchedRan && rep.MinII > rep.II {
+				t.Fatalf("%s on %s: final II %d below the lower bound %d",
+					l.Name, cfg.Name, rep.II, rep.MinII)
+			}
+			if rep.II > rep.HeuristicII {
+				t.Fatalf("%s on %s: exact arm raised II %d -> %d",
+					l.Name, cfg.Name, rep.HeuristicII, rep.II)
+			}
+			if rep.SchedProven {
+				proven++
+			}
+		}
+	}
+	if proven == 0 {
+		t.Fatal("no proven-optimal loop in the whole sweep")
+	}
+}
+
+// TestExactNeverWorseSpills is the same oracle on the allocator outcome:
+// with full per-bank coloring the portfolio scores lexicographically on
+// (spills, pressure, II), the greedy assignment stays in as candidate 0,
+// and the exact candidate must strictly win to displace it — so the
+// exact-enabled pipeline can never spill more than plain greedy.
+func TestExactNeverWorseSpills(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	for _, clusters := range []int{4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		for _, l := range loops {
+			greedy, err := Compile(context.Background(), l, cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s (greedy): %v", l.Name, cfg.Name, err)
+			}
+			ex, err := Compile(context.Background(), l, cfg, exactTestOptions(false))
+			if err != nil {
+				t.Fatalf("%s on %s (exact): %v", l.Name, cfg.Name, err)
+			}
+			if ex.Spills() > greedy.Spills() {
+				t.Fatalf("%s on %s: exact spills %d worse than greedy %d",
+					l.Name, cfg.Name, ex.Spills(), greedy.Spills())
+			}
+		}
+	}
+}
+
+// TestExactArmDisabledAllocFree complements the root package's
+// TestCompileAllocBudget: one steady-state Compile of a suite loop stays
+// within a fixed allocation budget, and switching the exact arm off
+// (ExactBudget zero, the default) adds not a single allocation over the
+// plain options — the disabled arm must be free.
+func TestExactArmDisabledAllocFree(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 8, Seed: loopgen.DefaultParams().Seed})
+	loop := loops[3]
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	compile := func(opt Options) func() {
+		return func() {
+			if _, err := Compile(context.Background(), loop, cfg, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := testing.AllocsPerRun(50, compile(Options{}))
+	armOff := testing.AllocsPerRun(50, compile(Options{ExactBudget: 0, ExactNodes: 0}))
+	// The budget brackets the PR-4 steady state (~120 allocs for a suite
+	// loop) with room for small future drift, not for regressions in kind.
+	const budget = 400
+	if base > budget {
+		t.Fatalf("plain compile costs %.0f allocs, budget %d", base, budget)
+	}
+	if armOff != base {
+		t.Fatalf("disabled exact arm changed allocations: %.0f vs %.0f", armOff, base)
+	}
+}
+
+// TestDifferentialSweepExactArm runs the interpreter-backed differential
+// oracle with both exact arms on: whatever the branch-and-bound search
+// adopts, the emitted clustered kernel must still execute bit-identically
+// to the original loop body — same store stream, same memory, same final
+// registers — across the 2/4/8-cluster grid under both copy models.
+func TestDifferentialSweepExactArm(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	runDifferentialSweepOpts(t, loops, exactTestOptions(true))
+}

@@ -3,6 +3,7 @@ package codegen
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -66,6 +67,21 @@ type Config struct {
 	// right for almost everyone; an arena must never be shared by
 	// concurrent compiles.
 	Scratch *scratch.Arena
+
+	// ExactBudget enables the exact-solver arms when positive (the
+	// -exact-budget knob): the branch-and-bound bank assignment joins the
+	// portfolio as one more candidate, and after selection the winning
+	// schedule is re-searched for a provably minimal II. The duration is a
+	// per-stage wall-clock ceiling; both arms are anytime, so expiry keeps
+	// the heuristic result. Zero (the default) disables both arms and
+	// leaves the pipeline byte-identical to the paper's.
+	ExactBudget time.Duration
+	// ExactNodes caps each exact arm's search nodes (0 = the solver
+	// defaults, exact.DefaultPartitionNodes / exact.DefaultScheduleNodes).
+	// This, not ExactBudget, is the authoritative bound: results are a
+	// pure function of the node budget, so reproduction runs stay
+	// byte-identical across machines of different speeds.
+	ExactNodes int64
 
 	// Workers bounds suite-level parallel compilations (exper.Run and the
 	// facade's Compiler.Run); <=0 uses GOMAXPROCS. It does not affect a

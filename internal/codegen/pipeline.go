@@ -48,6 +48,10 @@ type Result struct {
 
 	// Alloc holds step 5's per-bank coloring results (nil with SkipAlloc).
 	Alloc []*regalloc.Result
+
+	// Exact is the exact-solver arms' optimality-gap telemetry; nil
+	// unless Options.ExactBudget enabled them.
+	Exact *ExactReport
 }
 
 // IdealII returns the initiation interval on the monolithic machine.
@@ -247,6 +251,9 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 		if err := compilePortfolio(ctx, res, loop, fp, cfg, opt, weights, gen, tr, ar); err != nil {
 			return nil, err
 		}
+		if err := runExactSchedArm(ctx, res, cfg, opt, tr, ar); err != nil {
+			return nil, err
+		}
 		return done(), nil
 	}
 	psp := tr.StartSpan("codegen.partition")
@@ -265,6 +272,9 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 		return nil, err
 	}
 	res.adopt(parts)
+	if err := runExactSchedArm(ctx, res, cfg, opt, tr, ar); err != nil {
+		return nil, err
+	}
 	return done(), nil
 }
 

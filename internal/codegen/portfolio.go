@@ -73,16 +73,19 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 	psp := tr.StartSpan("codegen.portfolio")
 	ideal := IdealView(loop.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
 	cands, err := gen.Candidates(&partition.Input{
-		Block:   loop.Body,
-		Graph:   res.IdealGraph,
-		Ideal:   ideal,
-		Cfg:     cfg,
-		Weights: weights,
-		Pre:     opt.Pre,
-		Tracer:  tr,
-		Cache:   opt.Cache,
-		BlockFP: fp,
-		Arena:   ar,
+		Block:       loop.Body,
+		Graph:       res.IdealGraph,
+		Ideal:       ideal,
+		Cfg:         cfg,
+		Weights:     weights,
+		Pre:         opt.Pre,
+		Tracer:      tr,
+		Cache:       opt.Cache,
+		BlockFP:     fp,
+		Arena:       ar,
+		Ctx:         ctx,
+		ExactBudget: opt.ExactBudget,
+		ExactNodes:  opt.ExactNodes,
 	})
 	if err != nil {
 		return fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, gen.Name(), err)
@@ -142,6 +145,24 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 	}
 	res.adopt(parts[best])
 	res.PortfolioVariant = cands[best].Name
+	for i := range cands {
+		st := cands[i].Exact
+		if st == nil {
+			continue
+		}
+		rep := res.ensureExact()
+		rep.PartRan = st.Ran
+		rep.PartProven = st.Proven
+		rep.PartImproved = st.Improved
+		rep.PartNodes = st.Nodes
+		rep.PartWon = i == best
+		if st.Proven {
+			tr.Add("codegen.exact.part_proven", 1)
+		}
+		if rep.PartWon {
+			tr.Add("codegen.exact.part_wins", 1)
+		}
+	}
 	tr.Add("codegen.portfolio.candidates", int64(len(cands)))
 	if best != 0 {
 		tr.Add("codegen.portfolio.improvements", 1)

@@ -167,6 +167,23 @@ func (g *RCG) EdgeWeight(a, b ir.Reg) float64 {
 // NumEdges returns the number of distinct edges.
 func (g *RCG) NumEdges() int { return len(g.halves) / 2 }
 
+// ForEachEdge visits every distinct undirected edge {a, b} exactly once,
+// with a < b (node indices into Nodes), in deterministic order. The two
+// halves of an edge occupy adjacent pool slots, so slot 2k is always the
+// first-inserted direction; visiting the even slots enumerates each edge
+// once regardless of insertion pattern. Exact solvers (internal/exact)
+// consume this to build their own working copy of the adjacency without
+// reaching into the pool.
+func (g *RCG) ForEachEdge(f func(a, b int, w float64)) {
+	for v := range g.Nodes {
+		for h := g.head[v]; h >= 0; h = g.halves[h].next {
+			if to := int(g.halves[h].to); to > v {
+				f(v, to, g.halves[h].w)
+			}
+		}
+	}
+}
+
 // Build constructs the RCG of one or more scheduled blocks under the
 // weighting w. Passing all of a function's blocks implements the paper's
 // whole-function partitioning; passing a single loop kernel implements the

@@ -1,0 +1,127 @@
+package exact_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/ir"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// bigAntiClique builds K_n with every edge at weight -1 and a balanced
+// round-robin incumbent. All-negative edges zero the optimistic bound, so
+// pruning is weakest and the tree is genuinely large — the instance family
+// the abort paths need. The balanced incumbent is already optimal, so an
+// aborted search can never have displaced it.
+func bigAntiClique(n, banks int) (*core.RCG, *core.Assignment) {
+	g := core.NewRCG()
+	reg := func(i int) ir.Reg { return ir.Reg{ID: i, Class: ir.Int} }
+	for i := 0; i < n; i++ {
+		g.AddNode(reg(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(reg(i), reg(j), -1)
+		}
+	}
+	inc := &core.Assignment{Banks: banks, Of: make(map[ir.Reg]int, n)}
+	for i := 0; i < n; i++ {
+		inc.Of[reg(i)] = i % banks
+	}
+	return g, inc
+}
+
+// checkNoLeak asserts the goroutine count settles back to the baseline.
+func checkNoLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestPartitionCancelMidSearch cancels a huge branch-and-bound tree while
+// the DFS is inside it: the solver must return promptly with the incumbent
+// intact, no error, and no goroutine left behind (run under -race in CI).
+func TestPartitionCancelMidSearch(t *testing.T) {
+	before := runtime.NumGoroutine()
+	g, inc := bigAntiClique(22, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type out struct {
+		res *exact.PartitionResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := exact.Partition(ctx, exact.PartitionInput{
+			Graph: g, Banks: 4, Incumbent: inc, NodeBudget: 1 << 40,
+		})
+		done <- out{res, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("cancellation surfaced as an error: %v", o.err)
+		}
+		if o.res.Assignment == nil {
+			t.Fatal("no assignment after cancel despite an incumbent")
+		}
+		if !o.res.Proven && o.res.Assignment != inc {
+			t.Fatal("aborted search did not return the incumbent unchanged")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled search did not return")
+	}
+	checkNoLeak(t, before)
+}
+
+// TestScheduleExpiredContextOnPipelineLoop feeds the exact scheduler a
+// real pipeline product — the clustered graph and heuristic schedule of a
+// loopgen loop — under an already-expired context: it must hand the
+// incumbent back untouched, spend zero nodes, claim no proof, and leak
+// nothing.
+func TestScheduleExpiredContextOnPipelineLoop(t *testing.T) {
+	before := runtime.NumGoroutine()
+	loops := loopgen.Generate(loopgen.Params{N: 8, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	res, err := codegen.Compile(context.Background(), loops[3], cfg, codegen.Options{SkipAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eres, err := exact.Schedule(ctx, exact.ScheduleInput{
+		Graph:     res.PartGraph,
+		Cfg:       cfg,
+		ClusterOf: res.Copies.ClusterOf,
+		Incumbent: res.PartSched,
+	})
+	if err != nil {
+		t.Fatalf("expired context surfaced as an error: %v", err)
+	}
+	if eres.Schedule != res.PartSched {
+		t.Fatal("expired context did not return the incumbent schedule unchanged")
+	}
+	if eres.Nodes != 0 {
+		t.Fatalf("expired context still spent %d nodes", eres.Nodes)
+	}
+	if eres.Improved {
+		t.Fatal("expired context claims an improvement")
+	}
+	checkNoLeak(t, before)
+}

@@ -1,0 +1,49 @@
+// Package exact holds the pure-go branch-and-bound solvers behind the
+// pipeline's exact-solver portfolio arm: optimal bank assignment over a
+// sealed register component graph (Partition) and optimal modulo
+// scheduling for small loops (Schedule). Both are anytime searches in the
+// sense the combinatorial register-allocation literature uses (Castañeda
+// Lozano & Schulte's survey; Roorda's SMT software pipelining): they are
+// seeded with the heuristic's result as the incumbent, improve it when
+// the search finds something strictly better, and return the incumbent
+// unchanged when the node budget or the caller's context runs out — so a
+// caller is never worse off for having asked.
+//
+// Each result carries a Proven flag: true means the search ran to
+// exhaustion (or the incumbent already sits on a proven lower bound) and
+// the returned answer is optimal, false means the budget expired first
+// and the answer is merely the best incumbent. The distinction is the
+// heart of the optimality-gap telemetry (EXPERIMENTS.md): only proven
+// loops contribute to the greedy-vs-optimal gap, the rest are counted as
+// budget-exhausted.
+//
+// Determinism: the search trees, branch orders and node budgets are fully
+// deterministic, so two runs with the same NodeBudget return identical
+// results. The context is a cancellation safety net layered on top (the
+// PR-3 deadline machinery); when callers want reproducible tables they
+// set a generous deadline and let the node budget be the binding limit.
+//
+// No cgo, no external solver: the loops in the 211-loop suite are small
+// enough (a few dozen registers and operations) that a careful
+// branch-and-bound with symmetry breaking and optimistic bounds proves
+// optimality within tens of thousands of nodes on most of them.
+package exact
+
+// Default search limits. They bound worst-case work per compile, chosen
+// so the exact arm costs at most a few milliseconds on suite-sized loops;
+// callers override through the corresponding input fields.
+const (
+	// DefaultPartitionNodes caps Partition's search nodes (one node = one
+	// bank tried for one register).
+	DefaultPartitionNodes = 200_000
+	// DefaultScheduleNodes caps Schedule's search nodes across the whole
+	// II sweep (one node = one kernel row tried for one operation).
+	DefaultScheduleNodes = 50_000
+	// DefaultMaxRegs is the largest RCG (in nodes) the partition arm
+	// attempts; bigger graphs keep the greedy result untouched.
+	DefaultMaxRegs = 28
+	// DefaultMaxOps is the largest loop body (in operations) the
+	// scheduling arm searches; bigger loops still get the cheap
+	// lower-bound certificate (II == MinII means proven optimal).
+	DefaultMaxOps = 24
+)

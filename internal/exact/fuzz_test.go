@@ -1,0 +1,152 @@
+package exact_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/ir"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a register component
+// graph plus a partitioning request, mirroring internal/core's greedy
+// fuzzer so the two targets explore the same instance space. The decoder
+// is total: every input yields a valid (graph, banks, capacity, pre)
+// quadruple. Layout: byte 0 picks the bank count, byte 1 the node count,
+// byte 2 the per-bank capacity (0 = unlimited), byte 3 optionally
+// pre-colors a node, and the rest is consumed in (a, b, w) triples as
+// signed-weight edges, with w == 127 meaning a hard Constrain edge.
+// Node counts stay small enough that a modest node budget usually proves
+// optimality, so the cross-check below bites on most inputs.
+func fuzzGraph(data []byte) (g *core.RCG, banks, capacity int, pre map[ir.Reg]int) {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	banks = 1 + int(at(0))%4
+	n := 1 + int(at(1))%14
+	if c := int(at(2)) % 8; c > 0 {
+		capacity = c
+	}
+	reg := func(i int) ir.Reg {
+		idx := i % n
+		return ir.Reg{ID: 1 + idx, Class: ir.Class(idx % 2)}
+	}
+	g = core.NewRCG()
+	for i := 0; i < n; i++ {
+		g.AddNode(reg(i))
+	}
+	pre = map[ir.Reg]int{}
+	if at(3)%4 == 0 {
+		pre[reg(int(at(4)))] = int(at(5)) % banks
+	}
+	for i := 6; i+2 < len(data); i += 3 {
+		a, b := reg(int(data[i])), reg(int(data[i+1]))
+		switch w := int8(data[i+2]); {
+		case w == 127:
+			g.Constrain(a, b)
+		default:
+			g.AddEdge(a, b, float64(w))
+			if w > 0 {
+				g.AddNodeWeight(a, float64(w))
+				g.AddNodeWeight(b, float64(w))
+			}
+		}
+	}
+	return g, banks, capacity, pre
+}
+
+// FuzzExactPartition cross-checks the branch-and-bound solver against the
+// Figure 4 greedy heuristic on random register component graphs: the
+// solver must never fail on a well-formed request, must return a complete
+// in-range assignment honoring pre-colors, must never score below the
+// greedy incumbent it was seeded with, and — when it proves optimality —
+// must dominate greedy outright. Everything is rerun once to pin
+// determinism (the gap tables depend on it).
+func FuzzExactPartition(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 4, 0, 0, 2, 1, 0, 1, 10, 1, 2, 246, 2, 3, 127})
+	f.Add([]byte{3, 9, 2, 1, 0, 0, 0, 1, 50, 1, 2, 50, 0, 2, 127})
+	f.Add(bytes.Repeat([]byte{2, 11, 3, 9, 2, 40}, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, banks, capacity, pre := fuzzGraph(data)
+		greedy, err := g.PartitionVariant(banks, core.DefaultWeights(), pre, core.Variant{}, nil)
+		if err != nil {
+			t.Fatalf("greedy failed on valid input: %v", err)
+		}
+		res, err := exact.Partition(context.Background(), exact.PartitionInput{
+			Graph:      g,
+			Banks:      banks,
+			Capacity:   capacity,
+			Pre:        pre,
+			Incumbent:  greedy,
+			NodeBudget: 50_000,
+		})
+		if err != nil {
+			t.Fatalf("exact failed on valid input: %v", err)
+		}
+		asg := res.Assignment
+		if asg == nil {
+			t.Fatal("no assignment despite a greedy incumbent")
+		}
+		if err := asg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if asg.Banks != banks {
+			t.Fatalf("assignment reports %d banks, requested %d", asg.Banks, banks)
+		}
+		for _, r := range g.Nodes {
+			b, ok := asg.Of[r]
+			if !ok {
+				t.Fatalf("register %s left unassigned", r)
+			}
+			if b < 0 || b >= banks {
+				t.Fatalf("register %s assigned out-of-range bank %d", r, b)
+			}
+		}
+		for r, b := range pre {
+			if asg.Of[r] != b {
+				t.Fatalf("pre-colored %s moved from bank %d to %d", r, b, asg.Of[r])
+			}
+		}
+
+		// The solver must never fall below its incumbent. Capacity can make
+		// the raw objective incomparable (greedy ignores it), so the
+		// cross-check applies on uncapacitated instances.
+		if capacity == 0 {
+			go_, eo := exact.Objective(g, greedy), exact.Objective(g, asg)
+			if eo < go_ && !(math.IsInf(eo, -1) && math.IsInf(go_, -1)) {
+				t.Fatalf("exact objective %v below greedy %v", eo, go_)
+			}
+			if res.Improved && !(eo > go_) {
+				t.Fatalf("Improved set but objective %v does not beat greedy %v", eo, go_)
+			}
+			if res.Proven && !math.IsInf(go_, -1) && eo < go_ {
+				t.Fatalf("proven optimum %v worse than greedy %v", eo, go_)
+			}
+		}
+
+		// Determinism: same input, same tree, same answer.
+		res2, err := exact.Partition(context.Background(), exact.PartitionInput{
+			Graph: g, Banks: banks, Capacity: capacity, Pre: pre,
+			Incumbent: greedy, NodeBudget: 50_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Nodes != res.Nodes || res2.Proven != res.Proven || res2.Objective != res.Objective {
+			t.Fatalf("nondeterministic: (%d nodes, proven=%v, obj=%v) then (%d, %v, %v)",
+				res.Nodes, res.Proven, res.Objective, res2.Nodes, res2.Proven, res2.Objective)
+		}
+		for r, b := range res.Assignment.Of {
+			if res2.Assignment.Of[r] != b {
+				t.Fatalf("nondeterministic: %s went to bank %d, then %d", r, b, res2.Assignment.Of[r])
+			}
+		}
+	})
+}

@@ -1,0 +1,444 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// PartitionInput describes one exact bank-assignment problem. The solver
+// maximizes the total weight of RCG edges whose endpoints share a bank —
+// the same signed objective the greedy heuristic of Figure 4 climbs:
+// positive (affinity) edges kept together avoid inter-bank copies,
+// negative (anti-affinity) edges kept apart preserve issue parallelism,
+// and the per-bank Capacity bounds how much architectural pressure any
+// bank absorbs (the spill guard). Minus-infinity edges (core.Constrain)
+// are hard "never the same bank" constraints; plus-infinity edges are
+// hard "always the same bank" constraints. Neither kind enters the
+// objective sum.
+type PartitionInput struct {
+	// Graph is the sealed register component graph.
+	Graph *core.RCG
+	// Banks is the number of register banks (≥ 1).
+	Banks int
+	// Capacity caps registers per bank; ≤ 0 means unlimited. When the
+	// graph cannot fit (nodes > Banks·Capacity, or pre-coloring already
+	// overfills a bank) the cap is ignored rather than making the search
+	// vacuously infeasible.
+	Capacity int
+	// Pre pins registers to fixed banks before the search (the paper's
+	// pre-coloring hook); pinned registers are never moved.
+	Pre map[ir.Reg]int
+	// Incumbent optionally seeds the search with a known assignment
+	// (typically the greedy result). The search only reports Improved when
+	// it beats the incumbent strictly; on budget or context expiry the
+	// incumbent is returned unchanged.
+	Incumbent *core.Assignment
+	// NodeBudget caps search nodes (one node = one bank tried for one
+	// register); ≤ 0 means DefaultPartitionNodes. The budget, not the
+	// context, is what keeps results deterministic.
+	NodeBudget int64
+}
+
+// PartitionResult reports the outcome of one exact bank-assignment search.
+type PartitionResult struct {
+	// Assignment is the best known assignment: the solver's optimum when
+	// the search finished (or improved the incumbent before expiring),
+	// otherwise the incumbent. Nil only when no incumbent was given and
+	// the budget expired before the first leaf.
+	Assignment *core.Assignment
+	// Objective is Assignment's same-bank edge-weight sum (-Inf for an
+	// incumbent that violates a hard constraint).
+	Objective float64
+	// IncumbentObjective is the incumbent's objective under the same
+	// scoring (-Inf when no incumbent was given).
+	IncumbentObjective float64
+	// Proven reports that the search exhausted the tree: Assignment is
+	// optimal. False means the node budget or context expired first.
+	Proven bool
+	// Improved reports that the search found an assignment strictly
+	// better than the incumbent.
+	Improved bool
+	// Nodes is how many search nodes were expanded.
+	Nodes int64
+}
+
+// errAbort stops the DFS when the budget or context expires; it never
+// escapes Partition.
+var errAbort = errors.New("exact: search aborted")
+
+// partEdge is one undirected RCG edge in the solver's working form.
+type partEdge struct {
+	a, b int
+	w    float64 // finite contribution; 0 for hard edges
+	hard int8    // 0 soft, +1 must share, -1 must differ
+}
+
+// partSearch is the DFS state for one Partition call.
+type partSearch struct {
+	ctx      context.Context
+	banks    int
+	capacity int // 0 = unlimited
+	order    []int
+	pos      []int // node -> order position, -1 for pre-pinned
+	// adjacency restricted to edges touching at least one branched node
+	adjOff  []int32
+	adjDst  []int32
+	adjW    []float64
+	adjHard []int8
+	suffix  []float64 // suffix[p]: optimistic value of edges undecided at depth p
+	bankOf  []int     // node -> bank, -1 unassigned
+	counts  []int     // registers per bank (incl. pre)
+	bestOf  []int
+	bestObj float64
+	found   bool
+	budget  int64
+	nodes   int64
+}
+
+// Partition searches for the optimal bank assignment of in.Graph by
+// branch and bound. Registers are branched in decreasing order of
+// incident edge magnitude (the most constrained first), candidate banks
+// are limited to banks already in use plus one fresh bank (unused banks
+// are interchangeable, so trying more than one is pure symmetry), and a
+// subtree is pruned when the current value plus an optimistic bound on
+// all undecided edges cannot beat the best known assignment. The
+// incumbent seeds that bound, so the search never does work the greedy
+// answer already rules out.
+//
+// The search is anytime: on node-budget or context expiry it returns the
+// best known assignment with Proven == false. ctx errors are never
+// returned as errors — cancellation is a quality degradation, not a
+// failure (the PR-3 contract for portfolio arms).
+func Partition(ctx context.Context, in PartitionInput) (*PartitionResult, error) {
+	g := in.Graph
+	if g == nil {
+		return nil, errors.New("exact: nil graph")
+	}
+	if in.Banks < 1 {
+		return nil, fmt.Errorf("exact: cannot partition into %d banks", in.Banks)
+	}
+	n := len(g.Nodes)
+	s := &partSearch{
+		ctx:     ctx,
+		banks:   in.Banks,
+		bankOf:  make([]int, n),
+		counts:  make([]int, in.Banks),
+		pos:     make([]int, n),
+		budget:  in.NodeBudget,
+		bestObj: math.Inf(-1),
+	}
+	if s.budget <= 0 {
+		s.budget = DefaultPartitionNodes
+	}
+	for i := range s.bankOf {
+		s.bankOf[i] = -1
+	}
+	for r, b := range in.Pre {
+		if b < 0 || b >= in.Banks {
+			return nil, fmt.Errorf("exact: pre-colored register %s to bank %d of %d", r, b, in.Banks)
+		}
+		if i, ok := g.NodeIndex(r); ok {
+			s.bankOf[i] = b
+			s.counts[b]++
+		}
+	}
+
+	// Per-bank capacity, dropped when it cannot possibly hold the graph.
+	if c := in.Capacity; c > 0 && n <= in.Banks*c {
+		s.capacity = c
+		for _, cnt := range s.counts {
+			if cnt > c {
+				s.capacity = 0
+				break
+			}
+		}
+	}
+
+	edges := collectEdges(g)
+	incObj := assignmentObjective(g, edges, in.Incumbent, s.capacity)
+
+	// Branch order: decreasing total finite edge magnitude (most
+	// constrained first), ties by node weight then index — deterministic.
+	mag := make([]float64, n)
+	for _, e := range edges {
+		if e.hard == 0 {
+			mag[e.a] += math.Abs(e.w)
+			mag[e.b] += math.Abs(e.w)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.pos[i] = -1
+		if s.bankOf[i] < 0 {
+			s.order = append(s.order, i)
+		}
+	}
+	sort.Slice(s.order, func(x, y int) bool {
+		a, b := s.order[x], s.order[y]
+		if mag[a] != mag[b] {
+			return mag[a] > mag[b]
+		}
+		if g.NodeWeight[a] != g.NodeWeight[b] {
+			return g.NodeWeight[a] > g.NodeWeight[b]
+		}
+		return a < b
+	})
+	for p, v := range s.order {
+		s.pos[v] = p
+	}
+	s.buildAdjacency(n, edges)
+	s.buildSuffix(edges)
+
+	// Seed the bound with the incumbent so the DFS only explores subtrees
+	// that can strictly beat it.
+	if in.Incumbent != nil && !math.IsInf(incObj, -1) {
+		s.bestObj = incObj
+	}
+
+	// The base value covers edges already decided by pre-coloring alone.
+	base := 0.0
+	for _, e := range edges {
+		if e.hard == 0 && s.pos[e.a] < 0 && s.pos[e.b] < 0 &&
+			s.bankOf[e.a] == s.bankOf[e.b] {
+			base += e.w
+		}
+	}
+
+	// An already-expired context returns the incumbent immediately — the
+	// in-search poll only fires every 1024 nodes, and the cancellation
+	// contract promises no work at all once the deadline is gone.
+	proven := false
+	if ctx.Err() == nil {
+		proven = s.dfs(0, base) == nil
+	}
+
+	res := &PartitionResult{
+		IncumbentObjective: incObj,
+		Proven:             proven,
+		Nodes:              s.nodes,
+	}
+	if s.found {
+		asg := &core.Assignment{Banks: in.Banks, Of: make(map[ir.Reg]int, n+len(in.Pre))}
+		// Registers pre-colored but absent from the graph still belong in
+		// the assignment (the greedy engine keeps them too).
+		for r, b := range in.Pre {
+			asg.Of[r] = b
+		}
+		for i, r := range g.Nodes {
+			asg.Of[r] = s.bestOf[i]
+		}
+		res.Assignment = asg
+		res.Objective = s.bestObj
+		res.Improved = true
+	} else {
+		res.Assignment = in.Incumbent
+		res.Objective = incObj
+	}
+	return res, nil
+}
+
+// Objective scores asg against g: the sum of finite edge weights whose
+// endpoints share a bank, or -Inf when asg violates a hard constraint
+// (a -Inf edge within one bank, a +Inf edge across banks). Exported for
+// the differential tests and FuzzExactPartition, which cross-check that
+// the exact answer never scores below greedy.
+func Objective(g *core.RCG, asg *core.Assignment) float64 {
+	return assignmentObjective(g, collectEdges(g), asg, 0)
+}
+
+// collectEdges snapshots the graph's undirected edges in deterministic
+// order, classifying hard (±Inf) constraints.
+func collectEdges(g *core.RCG) []partEdge {
+	edges := make([]partEdge, 0, g.NumEdges())
+	g.ForEachEdge(func(a, b int, w float64) {
+		e := partEdge{a: a, b: b, w: w}
+		switch {
+		case math.IsInf(w, -1):
+			e.w, e.hard = 0, -1
+		case math.IsInf(w, 1):
+			e.w, e.hard = 0, 1
+		}
+		edges = append(edges, e)
+	})
+	return edges
+}
+
+// assignmentObjective scores asg over the snapshot edges; capacity > 0
+// additionally treats an overfull bank as infeasible.
+func assignmentObjective(g *core.RCG, edges []partEdge, asg *core.Assignment, capacity int) float64 {
+	if asg == nil {
+		return math.Inf(-1)
+	}
+	obj := 0.0
+	for _, e := range edges {
+		same := asg.Bank(g.Nodes[e.a]) == asg.Bank(g.Nodes[e.b])
+		switch {
+		case e.hard < 0 && same, e.hard > 0 && !same:
+			return math.Inf(-1)
+		case e.hard == 0 && same:
+			obj += e.w
+		}
+	}
+	if capacity > 0 {
+		counts := make([]int, asg.Banks)
+		for _, r := range g.Nodes {
+			if b := asg.Bank(r); b >= 0 && b < asg.Banks {
+				counts[b]++
+				if counts[b] > capacity {
+					return math.Inf(-1)
+				}
+			}
+		}
+	}
+	return obj
+}
+
+// buildAdjacency lays out, per node, the edges that connect it to a node
+// branched earlier or pre-pinned — the only edges whose value is decided
+// the moment the node picks a bank.
+func (s *partSearch) buildAdjacency(n int, edges []partEdge) {
+	deg := make([]int32, n+1)
+	at := func(e partEdge) int {
+		// The edge is decided when its later-branched endpoint is placed.
+		pa, pb := s.pos[e.a], s.pos[e.b]
+		if pa < 0 && pb < 0 {
+			return -1 // both pre-pinned: part of the base value
+		}
+		if pa > pb {
+			return e.a
+		}
+		return e.b
+	}
+	for _, e := range edges {
+		if v := at(e); v >= 0 {
+			deg[v+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	s.adjOff = deg
+	m := deg[n]
+	s.adjDst = make([]int32, m)
+	s.adjW = make([]float64, m)
+	s.adjHard = make([]int8, m)
+	fill := make([]int32, n)
+	copy(fill, deg[:n])
+	for _, e := range edges {
+		v := at(e)
+		if v < 0 {
+			continue
+		}
+		o := e.a + e.b - v
+		k := fill[v]
+		s.adjDst[k] = int32(o)
+		s.adjW[k] = e.w
+		s.adjHard[k] = e.hard
+		fill[v]++
+	}
+}
+
+// buildSuffix computes, for every depth p, the optimistic total of soft
+// edges still undecided when order[p] is about to be placed: each such
+// edge contributes max(w, 0) (keep positive edges together, split
+// negative ones — the best any completion could do).
+func (s *partSearch) buildSuffix(edges []partEdge) {
+	np := len(s.order)
+	s.suffix = make([]float64, np+1)
+	byDepth := make([]float64, np)
+	for _, e := range edges {
+		if e.hard != 0 {
+			continue
+		}
+		d := s.pos[e.a]
+		if p := s.pos[e.b]; p > d {
+			d = p
+		}
+		if d >= 0 && e.w > 0 {
+			byDepth[d] += e.w
+		}
+	}
+	for p := np - 1; p >= 0; p-- {
+		s.suffix[p] = s.suffix[p+1] + byDepth[p]
+	}
+}
+
+// dfs places order[p:] given the running value cur of all decided soft
+// edges. Returns errAbort when the budget or context expires.
+func (s *partSearch) dfs(p int, cur float64) error {
+	if p == len(s.order) {
+		if cur > s.bestObj {
+			s.bestObj = cur
+			s.found = true
+			if s.bestOf == nil {
+				s.bestOf = make([]int, len(s.bankOf))
+			}
+			copy(s.bestOf, s.bankOf)
+		}
+		return nil
+	}
+	if cur+s.suffix[p] <= s.bestObj {
+		return nil // even a perfect completion cannot beat the best
+	}
+	v := s.order[p]
+	freshTried := false
+	for b := 0; b < s.banks; b++ {
+		if s.counts[b] == 0 {
+			// Unused banks are interchangeable: try only the first. Later
+			// banks may still be in use (pre-coloring can skip banks), so
+			// keep scanning rather than stopping here.
+			if freshTried {
+				continue
+			}
+			freshTried = true
+		}
+		if s.capacity > 0 && s.counts[b] >= s.capacity {
+			continue
+		}
+		s.nodes++
+		if s.nodes > s.budget {
+			return errAbort
+		}
+		if s.nodes&1023 == 0 && s.ctx.Err() != nil {
+			return errAbort
+		}
+		delta, ok := s.place(v, b)
+		if !ok {
+			continue
+		}
+		if cur+delta+s.suffix[p+1] > s.bestObj {
+			s.bankOf[v] = b
+			s.counts[b]++
+			err := s.dfs(p+1, cur+delta)
+			s.counts[b]--
+			s.bankOf[v] = -1
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// place evaluates putting v in bank b against already-placed neighbors:
+// the soft-edge value delta, and false when a hard constraint forbids it.
+func (s *partSearch) place(v, b int) (delta float64, ok bool) {
+	for k := s.adjOff[v]; k < s.adjOff[v+1]; k++ {
+		ob := s.bankOf[s.adjDst[k]]
+		if ob < 0 {
+			continue
+		}
+		switch h := s.adjHard[k]; {
+		case h < 0 && ob == b, h > 0 && ob != b:
+			return 0, false
+		case h == 0 && ob == b:
+			delta += s.adjW[k]
+		}
+	}
+	return delta, true
+}

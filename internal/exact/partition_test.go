@@ -1,0 +1,301 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func reg(id int) ir.Reg { return ir.Reg{ID: id, Class: ir.Int} }
+
+// chainGraph builds r0-r1-...-r(n-1) with affinity w on each link.
+func chainGraph(n int, w float64) *core.RCG {
+	g := core.NewRCG()
+	for i := 0; i < n; i++ {
+		g.AddNode(reg(i))
+		g.AddNodeWeight(reg(i), float64(n-i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(reg(i), reg(i+1), w)
+	}
+	return g
+}
+
+func TestPartitionChainProvenOptimal(t *testing.T) {
+	// A pure affinity chain with no capacity pressure: the optimum keeps
+	// everything in one bank and collects every edge.
+	g := chainGraph(6, 2.0)
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatalf("chain of 6 not proven optimal (nodes=%d)", res.Nodes)
+	}
+	if want := 5 * 2.0; res.Objective != want {
+		t.Fatalf("objective = %v, want %v", res.Objective, want)
+	}
+	counts := res.Assignment.Counts()
+	for _, c := range counts {
+		if c != 0 && c != 6 {
+			t.Fatalf("optimum should be one bank, got counts %v", counts)
+		}
+	}
+}
+
+func TestPartitionAntiAffinitySplits(t *testing.T) {
+	// Two registers with a strongly negative edge must be split; a third
+	// with affinity to r0 should follow r0.
+	g := core.NewRCG()
+	g.AddEdge(reg(0), reg(1), -10)
+	g.AddEdge(reg(0), reg(2), 3)
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || res.Objective != 3 {
+		t.Fatalf("proven=%v objective=%v, want proven with 3", res.Proven, res.Objective)
+	}
+	a := res.Assignment
+	if a.Bank(reg(0)) == a.Bank(reg(1)) {
+		t.Fatal("anti-affinity pair share a bank")
+	}
+	if a.Bank(reg(0)) != a.Bank(reg(2)) {
+		t.Fatal("affinity pair split")
+	}
+}
+
+func TestPartitionBeatsBadIncumbent(t *testing.T) {
+	g := chainGraph(5, 1.0)
+	bad := &core.Assignment{Banks: 2, Of: map[ir.Reg]int{}}
+	for i := 0; i < 5; i++ {
+		bad.Of[reg(i)] = i % 2 // alternating banks: objective 0
+	}
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Incumbent: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved || !res.Proven {
+		t.Fatalf("improved=%v proven=%v, want both", res.Improved, res.Proven)
+	}
+	if res.IncumbentObjective != 0 {
+		t.Fatalf("incumbent objective = %v, want 0", res.IncumbentObjective)
+	}
+	if res.Objective <= res.IncumbentObjective {
+		t.Fatalf("objective %v did not beat incumbent %v", res.Objective, res.IncumbentObjective)
+	}
+}
+
+func TestPartitionKeepsOptimalIncumbent(t *testing.T) {
+	g := chainGraph(4, 1.0)
+	opt := &core.Assignment{Banks: 2, Of: map[ir.Reg]int{}}
+	for i := 0; i < 4; i++ {
+		opt.Of[reg(i)] = 0
+	}
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Incumbent: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improved {
+		t.Fatal("claimed improvement over an already-optimal incumbent")
+	}
+	if !res.Proven {
+		t.Fatal("exhaustive search over 4 nodes should prove the incumbent")
+	}
+	if res.Assignment != opt {
+		t.Fatal("incumbent should be returned as-is when not improved")
+	}
+}
+
+func TestPartitionHardConstraints(t *testing.T) {
+	// r0 and r1 attract strongly but are constrained apart; r2 is forced
+	// onto r0's bank by a +Inf edge.
+	g := core.NewRCG()
+	g.AddEdge(reg(0), reg(1), 100)
+	g.Constrain(reg(0), reg(1))
+	g.AddEdge(reg(0), reg(2), math.Inf(1))
+	g.AddEdge(reg(1), reg(2), 1)
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatal("not proven")
+	}
+	a := res.Assignment
+	if a.Bank(reg(0)) == a.Bank(reg(1)) {
+		t.Fatal("-Inf constraint violated")
+	}
+	if a.Bank(reg(0)) != a.Bank(reg(2)) {
+		t.Fatal("+Inf constraint violated")
+	}
+	if res.Objective != 0 {
+		t.Fatalf("objective = %v, want 0 (hard edges carry no value, r1/r2 split)", res.Objective)
+	}
+}
+
+func TestPartitionCapacity(t *testing.T) {
+	// Four mutually attracted registers, capacity 2 per bank: the optimum
+	// must split 2/2 even though affinity wants one bank.
+	g := core.NewRCG()
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(reg(i), reg(j), 1)
+		}
+	}
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatal("not proven")
+	}
+	counts := res.Assignment.Counts()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts = %v, want [2 2]", counts)
+	}
+	if res.Objective != 2 {
+		t.Fatalf("objective = %v, want 2 (one intra-bank edge per bank)", res.Objective)
+	}
+}
+
+func TestPartitionCapacityInfeasibleIgnored(t *testing.T) {
+	// 5 nodes, 2 banks, capacity 2: cannot fit, so the cap must be
+	// dropped instead of failing.
+	g := chainGraph(5, 1.0)
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || res.Objective != 4 {
+		t.Fatalf("proven=%v objective=%v, want proven with 4 (cap ignored)", res.Proven, res.Objective)
+	}
+}
+
+func TestPartitionPreColoring(t *testing.T) {
+	g := chainGraph(3, 1.0)
+	pre := map[ir.Reg]int{reg(0): 1, reg(99): 0} // reg(99) not in the graph
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Pre: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignment
+	if a.Bank(reg(0)) != 1 {
+		t.Fatalf("pre-colored reg moved to bank %d", a.Bank(reg(0)))
+	}
+	if b, ok := a.Of[reg(99)]; !ok || b != 0 {
+		t.Fatal("pre-colored register outside the graph dropped from the assignment")
+	}
+	// Optimal completion follows the pre-color: everything on bank 1.
+	if !res.Proven || res.Objective != 2 {
+		t.Fatalf("proven=%v objective=%v, want proven with 2", res.Proven, res.Objective)
+	}
+	if a.Bank(reg(1)) != 1 || a.Bank(reg(2)) != 1 {
+		t.Fatal("chain did not follow the pre-colored bank")
+	}
+}
+
+func TestPartitionPreColoringSkipsEmptyBanks(t *testing.T) {
+	// Pre-color to the last bank only: the symmetry breaker must still
+	// consider that bank for the free registers.
+	g := core.NewRCG()
+	g.AddEdge(reg(0), reg(1), 5)
+	pre := map[ir.Reg]int{reg(0): 3}
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 4, Pre: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || res.Objective != 5 {
+		t.Fatalf("proven=%v objective=%v, want proven with 5", res.Proven, res.Objective)
+	}
+	if res.Assignment.Bank(reg(1)) != 3 {
+		t.Fatalf("free register should join the pre-colored bank 3, got %d", res.Assignment.Bank(reg(1)))
+	}
+}
+
+// antiClique builds K_n with all edges -1: the optimistic bound is 0
+// everywhere (no positive edges), so the search cannot close early — the
+// instance that exercises budget and context expiry for real.
+func antiClique(n, banks int) (*core.RCG, *core.Assignment) {
+	g := core.NewRCG()
+	inc := &core.Assignment{Banks: banks, Of: map[ir.Reg]int{}}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(reg(i), reg(j), -1)
+		}
+		inc.Of[reg(i)] = i % banks
+	}
+	return g, inc
+}
+
+func TestPartitionBudgetReturnsIncumbent(t *testing.T) {
+	g, inc := antiClique(12, 2)
+	res, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 2, Incumbent: inc, NodeBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Fatal("budget of 1 node cannot prove optimality of 12 registers")
+	}
+	if res.Assignment != inc {
+		t.Fatal("budget expiry must hand back the incumbent untouched")
+	}
+	if res.Nodes > 2 {
+		t.Fatalf("expanded %d nodes on a budget of 1", res.Nodes)
+	}
+}
+
+func TestPartitionExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, inc := antiClique(16, 2)
+	res, err := Partition(ctx, PartitionInput{Graph: g, Banks: 2, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Fatal("expired context should abort, not prove")
+	}
+	if res.Assignment != inc {
+		t.Fatal("expired context must hand back the incumbent")
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("expanded %d nodes under an already-expired context, want 0", res.Nodes)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(context.Background(), PartitionInput{Banks: 2}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := chainGraph(2, 1.0)
+	if _, err := Partition(context.Background(), PartitionInput{Graph: g, Banks: 0}); err == nil {
+		t.Error("0 banks accepted")
+	}
+	if _, err := Partition(context.Background(), PartitionInput{
+		Graph: g, Banks: 2, Pre: map[ir.Reg]int{reg(0): 7},
+	}); err == nil {
+		t.Error("out-of-range pre-color accepted")
+	}
+}
+
+func TestObjectiveScoring(t *testing.T) {
+	g := core.NewRCG()
+	g.AddEdge(reg(0), reg(1), 2)
+	g.AddEdge(reg(1), reg(2), -3)
+	g.Constrain(reg(0), reg(2))
+	together := &core.Assignment{Banks: 2, Of: map[ir.Reg]int{reg(0): 0, reg(1): 0, reg(2): 1}}
+	if got := Objective(g, together); got != 2 {
+		t.Errorf("Objective = %v, want 2", got)
+	}
+	violating := &core.Assignment{Banks: 2, Of: map[ir.Reg]int{reg(0): 0, reg(1): 1, reg(2): 0}}
+	if got := Objective(g, violating); !math.IsInf(got, -1) {
+		t.Errorf("Objective = %v, want -Inf for a constrained pair sharing a bank", got)
+	}
+	if got := Objective(g, nil); !math.IsInf(got, -1) {
+		t.Errorf("Objective(nil) = %v, want -Inf", got)
+	}
+}

@@ -1,0 +1,410 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+// ScheduleInput describes one exact modulo-scheduling problem. Cluster
+// placement is taken as given (the pipeline fixes it during bank
+// assignment), so the search is over kernel rows and stages only:
+// minimize II, then compact each operation to its earliest legal cycle
+// (the register-pressure-friendly secondary objective).
+type ScheduleInput struct {
+	// Graph is the dependence graph of the loop body.
+	Graph *ddg.Graph
+	// Cfg is the machine model.
+	Cfg *machine.Config
+	// ClusterOf pins each operation to a cluster. Required (with no
+	// modulo.AnyCluster entries) on clustered machines; ignored on
+	// monolithic ones.
+	ClusterOf []int
+	// Incumbent is the heuristic schedule to improve on. Required: it
+	// bounds the II search from above and is returned unchanged when the
+	// search cannot do better (or runs out of budget).
+	Incumbent *modulo.Schedule
+	// NodeBudget caps search nodes across the whole II sweep (one node =
+	// one kernel row tried for one operation); ≤ 0 means
+	// DefaultScheduleNodes. The budget, not the context, keeps results
+	// deterministic.
+	NodeBudget int64
+	// MaxOps bounds the loop size the search attempts; 0 means
+	// DefaultMaxOps, negative means unlimited. Oversized loops skip the
+	// search but still get the free lower-bound certificate
+	// (Incumbent.II == MinII proves the heuristic optimal).
+	MaxOps int
+}
+
+// ScheduleResult reports the outcome of one exact scheduling search.
+type ScheduleResult struct {
+	// Schedule is the best known schedule: a strictly better one when the
+	// search found it, otherwise the incumbent (never nil).
+	Schedule *modulo.Schedule
+	// MinII is the scheduler's proven lower bound (max of recurrence and
+	// resource MII) — the certificate the gap telemetry reports against.
+	MinII int
+	// Proven reports that Schedule.II is optimal: either it equals MinII,
+	// or the search exhausted every smaller II without aborting.
+	Proven bool
+	// Improved reports that the search beat the incumbent's II.
+	Improved bool
+	// Nodes is how many search nodes were expanded.
+	Nodes int64
+}
+
+// Schedule searches for a modulo schedule with a provably minimal II.
+// Candidate IIs are tried in ascending order from the lower bound, so the
+// first feasible one is optimal. Within one II, operations are branched
+// in decreasing criticality (longest dependence height first), each over
+// its II possible kernel rows; rows are checked against the same
+// functional-unit, unit-kind, copy-port and bus model as modulo.Check,
+// and after each placement the stage offsets are solved as a system of
+// difference constraints (Bellman-Ford over k_to - k_from ≥
+// ceil((latency - II·distance - row_to + row_from)/II)); a positive cycle
+// means no stage assignment can realize the rows, pruning the subtree.
+// This is sound and complete per II: rows plus stages span every legal
+// schedule, so exhausting an II proves it infeasible.
+//
+// Anytime contract: on node-budget or context expiry the incumbent comes
+// back with Proven == false. ctx errors are never returned as errors.
+func Schedule(ctx context.Context, in ScheduleInput) (*ScheduleResult, error) {
+	g, cfg, inc := in.Graph, in.Cfg, in.Incumbent
+	if g == nil || cfg == nil {
+		return nil, errors.New("exact: nil graph or config")
+	}
+	if inc == nil {
+		return nil, errors.New("exact: nil incumbent schedule")
+	}
+	n := len(g.Ops)
+	if len(inc.Time) != n {
+		return nil, fmt.Errorf("exact: incumbent covers %d/%d ops", len(inc.Time), n)
+	}
+	clusterOf := in.ClusterOf
+	if !cfg.Monolithic() {
+		if len(clusterOf) != n {
+			return nil, fmt.Errorf("exact: cluster pinning covers %d/%d ops", len(clusterOf), n)
+		}
+		for i, c := range clusterOf {
+			if c == modulo.AnyCluster || c < 0 || c >= cfg.Clusters {
+				return nil, fmt.Errorf("exact: op %d not pinned to a cluster (got %d)", i, c)
+			}
+		}
+	}
+
+	minII := modulo.MinII(g, cfg, modulo.Options{ClusterOf: clusterOf})
+	res := &ScheduleResult{Schedule: inc, MinII: minII}
+	if n == 0 || inc.II <= minII {
+		// The heuristic already sits on the lower bound: proven optimal
+		// with zero search.
+		res.Proven = true
+		return res, nil
+	}
+	maxOps := in.MaxOps
+	if maxOps == 0 {
+		maxOps = DefaultMaxOps
+	}
+	if maxOps > 0 && n > maxOps {
+		return res, nil // too big to search; keep the bare certificate
+	}
+	if ctx.Err() != nil {
+		return res, nil // already cancelled: incumbent, zero search
+	}
+
+	s := &schedSearch{
+		ctx:    ctx,
+		g:      g,
+		cfg:    cfg,
+		n:      n,
+		budget: in.NodeBudget,
+		row:    make([]int, n),
+		k:      make([]int, n),
+		base:   make([]int, n),
+		height: make([]int, n),
+		order:  make([]int, n),
+		clus:   make([]int, n),
+		isPort: make([]bool, n),
+		kind:   make([]machine.FUKind, n),
+	}
+	if s.budget <= 0 {
+		s.budget = DefaultScheduleNodes
+	}
+	for i, op := range g.Ops {
+		if !cfg.Monolithic() {
+			s.clus[i] = clusterOf[i]
+		}
+		s.isPort[i] = op.Code == ir.Copy && !cfg.Monolithic() && cfg.Model == machine.CopyUnit
+		s.kind[i] = machine.OpKind(op)
+	}
+
+	for ii := minII; ii < inc.II; ii++ {
+		found, aborted := s.solveII(ii)
+		res.Nodes = s.nodes
+		if aborted {
+			return res, nil // budget or ctx expired: incumbent, unproven
+		}
+		if found {
+			res.Schedule = s.build(ii)
+			res.Proven = true // every smaller II was exhausted infeasible
+			res.Improved = true
+			return res, nil
+		}
+	}
+	res.Nodes = s.nodes
+	res.Proven = true // exhausted [minII, inc.II): the incumbent is optimal
+	return res, nil
+}
+
+// schedSearch is the DFS state for one Schedule call, reused across the
+// ascending-II sweep.
+type schedSearch struct {
+	ctx    context.Context
+	g      *ddg.Graph
+	cfg    *machine.Config
+	n      int
+	budget int64
+	nodes  int64
+
+	row    []int // op -> kernel row, -1 unassigned
+	k      []int // op -> stage, solved by feasible()
+	base   []int // op -> preferred first row (ASAP row)
+	height []int // op -> dependence height at the current II
+	order  []int // branch order, most critical first
+	clus   []int // op -> pinned cluster
+	isPort []bool
+	kind   []machine.FUKind
+
+	// Per-row resource occupancy at the current II.
+	fu     [][]int // [row][cluster]
+	ports  [][]int
+	bus    []int
+	demand [][][machine.NumKinds]int
+}
+
+// solveII exhausts row assignments at a fixed ii. found means a complete
+// legal schedule is in s.row/s.k; aborted means the budget or context
+// expired mid-search.
+func (s *schedSearch) solveII(ii int) (found, aborted bool) {
+	s.prepare(ii)
+	return s.dfs(0, ii)
+}
+
+// prepare sizes the resource tables and computes the ASAP rows and the
+// criticality order for ii.
+func (s *schedSearch) prepare(ii int) {
+	s.fu = make([][]int, ii)
+	s.ports = make([][]int, ii)
+	s.bus = make([]int, ii)
+	s.demand = make([][][machine.NumKinds]int, ii)
+	for r := range s.fu {
+		s.fu[r] = make([]int, s.cfg.Clusters)
+		s.ports[r] = make([]int, s.cfg.Clusters)
+		s.demand[r] = make([][machine.NumKinds]int, s.cfg.Clusters)
+	}
+	for i := range s.row {
+		s.row[i] = -1
+	}
+	// ASAP lower bounds by relaxation: lb[to] ≥ lb[from] + L - II·D. At
+	// ii ≥ RecMII no cycle is positive, so n rounds converge.
+	lb := s.k // reused as a scratch here; feasible() overwrites it later
+	for i := range lb {
+		lb[i] = 0
+	}
+	for round := 0; round < s.n; round++ {
+		changed := false
+		for from := 0; from < s.n; from++ {
+			for _, e := range s.g.Out[from] {
+				if t := lb[from] + e.Latency - ii*e.Distance; t > lb[e.To] {
+					lb[e.To] = t
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range s.base {
+		s.base[i] = lb[i] % ii
+	}
+	// Height: longest constraint chain below each op — the classic
+	// criticality priority. Branching critical ops first fails fast.
+	h := s.height
+	for i, op := range s.g.Ops {
+		h[i] = s.cfg.Latency(op)
+	}
+	for round := 0; round < s.n; round++ {
+		changed := false
+		for from := 0; from < s.n; from++ {
+			for _, e := range s.g.Out[from] {
+				if t := h[e.To] + e.Latency - ii*e.Distance; t > h[from] {
+					h[from] = t
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(x, y int) bool {
+		a, b := s.order[x], s.order[y]
+		if h[a] != h[b] {
+			return h[a] > h[b]
+		}
+		return a < b
+	})
+}
+
+// dfs places order[d:] at the current ii.
+func (s *schedSearch) dfs(d, ii int) (found, aborted bool) {
+	if d == s.n {
+		return true, false
+	}
+	op := s.order[d]
+	for off := 0; off < ii; off++ {
+		s.nodes++
+		if s.nodes > s.budget {
+			return false, true
+		}
+		if s.nodes&255 == 0 && s.ctx.Err() != nil {
+			return false, true
+		}
+		r := s.base[op] + off
+		if r >= ii {
+			r -= ii
+		}
+		if !s.fits(op, r) {
+			continue
+		}
+		s.occupy(op, r, 1)
+		s.row[op] = r
+		if s.feasible(ii) {
+			if found, aborted = s.dfs(d+1, ii); found || aborted {
+				return found, aborted
+			}
+		}
+		s.row[op] = -1
+		s.occupy(op, r, -1)
+	}
+	return false, false
+}
+
+// fits reports whether row r has capacity for op under the same resource
+// model modulo.Check enforces.
+func (s *schedSearch) fits(op, r int) bool {
+	c := s.clus[op]
+	if s.isPort[op] {
+		if p := s.cfg.CopyPortsPerCluster; p > 0 && s.ports[r][c]+1 > p {
+			return false
+		}
+		if b := s.cfg.Busses; b > 0 && s.bus[r]+1 > b {
+			return false
+		}
+		return true
+	}
+	if s.fu[r][c]+1 > s.cfg.FUsPerCluster() {
+		return false
+	}
+	if s.cfg.Heterogeneous() {
+		d := s.demand[r][c]
+		d[s.kind[op]]++
+		if !s.cfg.KindFits(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// occupy adds (dir=+1) or removes (dir=-1) op's resource usage in row r.
+func (s *schedSearch) occupy(op, r, dir int) {
+	c := s.clus[op]
+	if s.isPort[op] {
+		s.ports[r][c] += dir
+		s.bus[r] += dir
+	} else {
+		s.fu[r][c] += dir
+		s.demand[r][c][s.kind[op]] += dir
+	}
+}
+
+// feasible solves the stage offsets for the currently assigned rows as
+// difference constraints: for each dependence from→to with both ends
+// assigned, k_to - k_from ≥ ceil((L - II·D - row_to + row_from)/II).
+// Bellman-Ford from the all-zero least solution; a change in the n-th
+// relaxation round means a positive cycle, i.e. no stage assignment
+// exists. On success s.k holds the least (earliest, most compact)
+// solution.
+func (s *schedSearch) feasible(ii int) bool {
+	k := s.k
+	for i := range k {
+		k[i] = 0
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for from := 0; from < s.n; from++ {
+			if s.row[from] < 0 {
+				continue
+			}
+			for _, e := range s.g.Out[from] {
+				if s.row[e.To] < 0 {
+					continue
+				}
+				c := ceilDiv(e.Latency-ii*e.Distance-s.row[e.To]+s.row[from], ii)
+				if e.To == from {
+					if c > 0 {
+						return false // self-dependence tighter than II allows
+					}
+					continue
+				}
+				if t := k[from] + c; t > k[e.To] {
+					k[e.To] = t
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+		if round >= s.n {
+			return false // positive cycle: rows are unrealizable
+		}
+	}
+}
+
+// build materializes the found assignment as a modulo.Schedule with
+// Time[i] = row[i] + II·k[i] (the least k, so times are maximally
+// compact).
+func (s *schedSearch) build(ii int) *modulo.Schedule {
+	sched := &modulo.Schedule{
+		II:      ii,
+		Time:    make([]int, s.n),
+		Cluster: make([]int, s.n),
+	}
+	copy(sched.Cluster, s.clus)
+	for i := 0; i < s.n; i++ {
+		sched.Time[i] = s.row[i] + ii*s.k[i]
+		if end := sched.Time[i] + s.cfg.Latency(s.g.Ops[i]); end > sched.Length {
+			sched.Length = end
+		}
+	}
+	return sched
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and any sign of a.
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,245 @@
+package exact
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+func buildGraph(l *ir.Loop, cfg *machine.Config) *ddg.Graph {
+	return ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+}
+
+// serialSchedule builds a trivially valid one-op-at-a-time schedule: a
+// deliberately bad incumbent with plenty of room to improve.
+func serialSchedule(g *ddg.Graph, cfg *machine.Config, clusterOf []int) *modulo.Schedule {
+	n := len(g.Ops)
+	s := &modulo.Schedule{Time: make([]int, n), Cluster: make([]int, n)}
+	t := 0
+	for i, op := range g.Ops {
+		s.Time[i] = t
+		t += cfg.Latency(op)
+		if c := clusterOf; c != nil {
+			s.Cluster[i] = c[i]
+		}
+		if end := s.Time[i] + cfg.Latency(op); end > s.Length {
+			s.Length = end
+		}
+	}
+	s.II = s.Length
+	if s.II < 1 {
+		s.II = 1
+	}
+	return s
+}
+
+func triad() *ir.Loop {
+	l := ir.NewLoop("triad")
+	b := ir.NewLoopBuilder(l)
+	s0 := l.NewReg(ir.Float)
+	la := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	lb := b.Load(ir.Float, ir.MemRef{Base: "b", Coeff: 1})
+	m := b.Mul(la, s0)
+	sum := b.Add(m, lb)
+	b.Store(sum, ir.MemRef{Base: "c", Coeff: 1})
+	return l
+}
+
+func TestScheduleImprovesSerialIncumbent(t *testing.T) {
+	cfg := machine.Ideal16()
+	g := buildGraph(triad(), cfg)
+	inc := serialSchedule(g, cfg, nil)
+	if err := modulo.Check(inc, g, cfg, modulo.Options{}); err != nil {
+		t.Fatalf("serial incumbent invalid: %v", err)
+	}
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved || !res.Proven {
+		t.Fatalf("improved=%v proven=%v nodes=%d, want improved and proven", res.Improved, res.Proven, res.Nodes)
+	}
+	if res.Schedule.II != res.MinII {
+		t.Fatalf("II = %d, want the lower bound %d", res.Schedule.II, res.MinII)
+	}
+	if err := modulo.Check(res.Schedule, g, cfg, modulo.Options{}); err != nil {
+		t.Fatalf("exact schedule fails the verifier: %v", err)
+	}
+}
+
+func TestScheduleProvenAtLowerBound(t *testing.T) {
+	// The heuristic reaches MinII on the triad; the exact arm must prove
+	// it with zero search.
+	cfg := machine.Ideal16()
+	g := buildGraph(triad(), cfg)
+	inc, err := modulo.Run(context.Background(), g, cfg, modulo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || res.Improved {
+		t.Fatalf("proven=%v improved=%v, want proven incumbent", res.Proven, res.Improved)
+	}
+	if res.Schedule != inc {
+		t.Fatal("incumbent at the lower bound should come back as-is")
+	}
+	if res.Nodes != 0 {
+		t.Fatalf("lower-bound certificate should cost zero nodes, spent %d", res.Nodes)
+	}
+}
+
+func TestScheduleClusteredPinned(t *testing.T) {
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	g := buildGraph(triad(), cfg)
+	pins := []int{0, 0, 0, 0, 0}
+	inc := serialSchedule(g, cfg, pins)
+	if err := modulo.Check(inc, g, cfg, modulo.Options{ClusterOf: pins}); err != nil {
+		t.Fatalf("serial incumbent invalid: %v", err)
+	}
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, ClusterOf: pins, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatal("triad on one 4-wide cluster should be provable")
+	}
+	if err := modulo.Check(res.Schedule, g, cfg, modulo.Options{ClusterOf: pins}); err != nil {
+		t.Fatalf("exact schedule fails the verifier: %v", err)
+	}
+	for i, c := range res.Schedule.Cluster {
+		if c != pins[i] {
+			t.Fatalf("op %d moved to cluster %d, pinned to %d", i, c, pins[i])
+		}
+	}
+}
+
+func TestScheduleRecurrenceProof(t *testing.T) {
+	// A carried accumulator: RecMII = add latency. The improved schedule
+	// must land exactly on it.
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("acc")
+	b := ir.NewLoopBuilder(l)
+	acc := l.NewReg(ir.Float)
+	ld := b.Load(ir.Float, ir.MemRef{Base: "a", Coeff: 1})
+	b.AddInto(acc, acc, ld)
+	g := buildGraph(l, cfg)
+	inc := serialSchedule(g, cfg, nil)
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || !res.Improved {
+		t.Fatalf("proven=%v improved=%v, want both", res.Proven, res.Improved)
+	}
+	if res.Schedule.II != g.RecMII() {
+		t.Fatalf("II = %d, want RecMII %d", res.Schedule.II, g.RecMII())
+	}
+	if err := modulo.Check(res.Schedule, g, cfg, modulo.Options{}); err != nil {
+		t.Fatalf("exact schedule fails the verifier: %v", err)
+	}
+}
+
+func TestScheduleBudgetReturnsIncumbent(t *testing.T) {
+	cfg := machine.Ideal16()
+	g := buildGraph(triad(), cfg)
+	inc := serialSchedule(g, cfg, nil)
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc, NodeBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven || res.Improved {
+		t.Fatalf("proven=%v improved=%v on a 1-node budget, want neither", res.Proven, res.Improved)
+	}
+	if res.Schedule != inc {
+		t.Fatal("budget expiry must hand back the incumbent untouched")
+	}
+}
+
+func TestScheduleExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := machine.Ideal16()
+	g := buildGraph(triad(), cfg)
+	inc := serialSchedule(g, cfg, nil)
+	res, err := Schedule(ctx, ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule != inc {
+		t.Fatal("expired context must hand back the incumbent")
+	}
+	if res.Proven || res.Nodes != 0 {
+		t.Fatalf("proven=%v nodes=%d under an already-expired context, want unproven with 0", res.Proven, res.Nodes)
+	}
+}
+
+func TestScheduleOversizedLoopKeepsCertificate(t *testing.T) {
+	cfg := machine.Ideal16()
+	l := ir.NewLoop("big")
+	b := ir.NewLoopBuilder(l)
+	for k := 0; k < DefaultMaxOps+10; k++ {
+		b.Load(ir.Int, ir.MemRef{Base: "a", Coeff: 64, Offset: k})
+	}
+	g := buildGraph(l, cfg)
+	inc := serialSchedule(g, cfg, nil)
+	res, err := Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven || res.Nodes != 0 {
+		t.Fatalf("oversized loop should skip the search (proven=%v nodes=%d)", res.Proven, res.Nodes)
+	}
+	if res.MinII < 1 {
+		t.Fatalf("MinII = %d", res.MinII)
+	}
+	// With MaxOps lifted the same loop is searchable.
+	res, err = Schedule(context.Background(), ScheduleInput{Graph: g, Cfg: cfg, Incumbent: inc, MaxOps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || !res.Improved {
+		t.Fatalf("proven=%v improved=%v with MaxOps=-1, want both", res.Proven, res.Improved)
+	}
+	if err := modulo.Check(res.Schedule, g, cfg, modulo.Options{}); err != nil {
+		t.Fatalf("exact schedule fails the verifier: %v", err)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	cfg := machine.Ideal16()
+	g := buildGraph(triad(), cfg)
+	inc := serialSchedule(g, cfg, nil)
+	ctx := context.Background()
+	if _, err := Schedule(ctx, ScheduleInput{Cfg: cfg, Incumbent: inc}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Schedule(ctx, ScheduleInput{Graph: g, Incumbent: inc}); err == nil {
+		t.Error("nil config accepted")
+	}
+	if _, err := Schedule(ctx, ScheduleInput{Graph: g, Cfg: cfg}); err == nil {
+		t.Error("nil incumbent accepted")
+	}
+	short := &modulo.Schedule{II: 3, Time: []int{0}, Cluster: []int{0}}
+	if _, err := Schedule(ctx, ScheduleInput{Graph: g, Cfg: cfg, Incumbent: short}); err == nil {
+		t.Error("short incumbent accepted")
+	}
+	ccfg := machine.MustClustered16(4, machine.Embedded)
+	cg := buildGraph(triad(), ccfg)
+	cinc := serialSchedule(cg, ccfg, []int{0, 0, 0, 0, 0})
+	if _, err := Schedule(ctx, ScheduleInput{Graph: cg, Cfg: ccfg, Incumbent: cinc}); err == nil {
+		t.Error("clustered config without pinning accepted")
+	}
+	if _, err := Schedule(ctx, ScheduleInput{
+		Graph: cg, Cfg: ccfg, Incumbent: cinc,
+		ClusterOf: []int{0, 0, 0, 0, modulo.AnyCluster},
+	}); err == nil {
+		t.Error("AnyCluster pinning accepted")
+	}
+}

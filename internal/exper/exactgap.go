@@ -1,0 +1,151 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// This file is the optimality-gap study: how far from provably optimal is
+// the heuristic pipeline, measured with the exact-solver arms of
+// internal/exact. Two suite passes per machine — the default greedy
+// pipeline and the portfolio with the exact arms enabled — are zipped
+// loop by loop. The exact pass is never worse by construction (the greedy
+// candidate stays in the portfolio and the exact schedule only replaces
+// the heuristic when strictly smaller), so every gap measured here is a
+// one-sided bound on what the heuristic leaves on the table.
+
+// exactGapBudget is the wall-clock safety net per exact stage during the
+// study. It is deliberately generous: the node budget is the authoritative
+// bound (results stay a pure function of it), the clock only rescues a
+// pathological machine.
+const exactGapBudget = 30 * time.Second
+
+// ExactGapPoint aggregates the gap study on one machine.
+type ExactGapPoint struct {
+	Cfg *machine.Config
+	// Loops counts the loops both passes compiled successfully.
+	Loops int
+	// SchedRan counts loops where the exact scheduler engaged (searched or
+	// certified at the lower bound); SchedProven of those ended with the
+	// final II proven optimal, Exhausted with the node budget spent first.
+	SchedRan, SchedProven, Exhausted int
+	// IIWins counts loops where the exact search found a strictly smaller
+	// clustered II than the heuristic; IIGapSum is the total cycles
+	// recovered (Σ heuristic II − exact II over those loops).
+	IIWins, IIGapSum int
+	// ProvenTight counts proven-optimal loops where the heuristic already
+	// matched the optimum — the heuristic's certified successes.
+	ProvenTight int
+	// PartRan/PartProven/PartWins count the branch-and-bound bank
+	// assignment arm: sized-in, tree exhausted, and adopted-by-scoring.
+	PartRan, PartProven, PartWins int
+	// SpillWins counts loops where the exact pass spilled strictly less;
+	// SpillGapSum is the total spills avoided.
+	SpillWins, SpillGapSum int
+	// GreedyDeg and ExactDeg are the arithmetic mean degradations
+	// (100 = ideal) of the two passes over the zipped loops.
+	GreedyDeg, ExactDeg float64
+	// Nodes is the total search nodes both arms spent across the suite.
+	Nodes int64
+}
+
+// ExactGapStudy runs the study on every machine. nodes caps each solver
+// invocation's search nodes (0 = the internal/exact defaults); the study
+// is deterministic for a fixed nodes value.
+func ExactGapStudy(loops []*ir.Loop, cfgs []*machine.Config, workers int, nodes int64) []ExactGapPoint {
+	greedy := RunSuite(loops, cfgs, Options{
+		Workers: workers,
+		Codegen: codegen.Options{},
+	})
+	exactRes := RunSuite(loops, cfgs, Options{
+		Workers: workers,
+		Codegen: codegen.Options{
+			Partitioner: partition.Portfolio{},
+			ExactBudget: exactGapBudget,
+			ExactNodes:  nodes,
+		},
+	})
+
+	points := make([]ExactGapPoint, 0, len(cfgs))
+	for ci, cfg := range cfgs {
+		p := ExactGapPoint{Cfg: cfg}
+		var gDeg, eDeg []float64
+		for li := range loops {
+			g, e := greedy[ci].Outcomes[li], exactRes[ci].Outcomes[li]
+			if g.Err != nil || e.Err != nil {
+				continue
+			}
+			p.Loops++
+			gDeg = append(gDeg, g.Degradation)
+			eDeg = append(eDeg, e.Degradation)
+			if e.Spills < g.Spills {
+				p.SpillWins++
+				p.SpillGapSum += g.Spills - e.Spills
+			}
+			rep := e.Exact
+			if rep == nil {
+				continue
+			}
+			p.Nodes += rep.SchedNodes + rep.PartNodes
+			if rep.PartRan {
+				p.PartRan++
+				if rep.PartProven {
+					p.PartProven++
+				}
+				if rep.PartWon {
+					p.PartWins++
+				}
+			}
+			if !rep.SchedRan {
+				continue
+			}
+			p.SchedRan++
+			if rep.SchedProven {
+				p.SchedProven++
+				if rep.II == rep.HeuristicII {
+					p.ProvenTight++
+				}
+			} else {
+				p.Exhausted++
+			}
+			if rep.II < rep.HeuristicII {
+				p.IIWins++
+				p.IIGapSum += rep.HeuristicII - rep.II
+			}
+		}
+		p.GreedyDeg = stats.Mean(gDeg)
+		p.ExactDeg = stats.Mean(eDeg)
+		points = append(points, p)
+	}
+	return points
+}
+
+// FormatExactGap renders the study as the EXPERIMENTS.md gap table.
+func FormatExactGap(points []ExactGapPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Optimality gap: heuristic vs. exact arms (branch and bound)\n")
+	fmt.Fprintf(&sb, "%-12s %6s %7s %7s %7s %6s %6s %6s %7s %8s %8s %9s\n",
+		"machine", "loops", "schRun", "proven", "exhaus", "tight", "IIwin", "IIgap",
+		"partPf", "grdyDeg", "exctDeg", "nodes")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-12s %6d %7d %7d %7d %6d %6d %6d %3d/%-3d %8.0f %8.0f %9d\n",
+			fmt.Sprintf("%dcl/%s", p.Cfg.Clusters, shortModel(p.Cfg.Model)),
+			p.Loops, p.SchedRan, p.SchedProven, p.Exhausted, p.ProvenTight,
+			p.IIWins, p.IIGapSum, p.PartProven, p.PartRan,
+			p.GreedyDeg, p.ExactDeg, p.Nodes)
+	}
+	sb.WriteString("(schRun: exact scheduler engaged; proven: final II certified optimal;\n")
+	sb.WriteString(" exhaus: node budget spent unproven; tight: heuristic matched the optimum;\n")
+	sb.WriteString(" IIwin/IIgap: loops improved and total cycles recovered; partPf:\n")
+	sb.WriteString(" bank-assignment trees exhausted / searched; degradation means 100 = ideal.\n")
+	sb.WriteString(" Portfolio scoring is lexicographic on (spills, pressure, II), so exctDeg\n")
+	sb.WriteString(" may exceed grdyDeg on loops where it trades II for fewer spills.)\n")
+	return sb.String()
+}

@@ -39,6 +39,9 @@ type LoopOutcome struct {
 	Degradation float64
 	// Spills and MaxPressure summarize the per-bank register allocation.
 	Spills, MaxPressure int
+	// Exact carries the optimality-gap telemetry when the exact-solver
+	// arms were enabled (nil otherwise); see codegen.ExactReport.
+	Exact *codegen.ExactReport
 	// Err records a pipeline failure (nil outcomes are excluded from
 	// aggregates and reported).
 	Err error
@@ -305,6 +308,7 @@ func compileOne(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt cod
 		Degradation:     res.Degradation(),
 		Spills:          res.Spills(),
 		MaxPressure:     res.MaxPressure(),
+		Exact:           res.Exact,
 	}
 }
 

@@ -7,18 +7,35 @@ import (
 
 // jsonOutcome is the wire form of one loop outcome.
 type jsonOutcome struct {
-	Loop            string  `json:"loop"`
-	Ops             int     `json:"ops"`
-	KernelCopies    int     `json:"kernelCopies"`
-	InvariantCopies int     `json:"invariantCopies"`
-	IdealII         int     `json:"idealII"`
-	PartII          int     `json:"partII"`
-	IdealIPC        float64 `json:"idealIPC"`
-	ClusterIPC      float64 `json:"clusterIPC"`
-	Degradation     float64 `json:"degradation"`
-	Spills          int     `json:"spills"`
-	MaxPressure     int     `json:"maxPressure"`
-	Error           string  `json:"error,omitempty"`
+	Loop            string     `json:"loop"`
+	Ops             int        `json:"ops"`
+	KernelCopies    int        `json:"kernelCopies"`
+	InvariantCopies int        `json:"invariantCopies"`
+	IdealII         int        `json:"idealII"`
+	PartII          int        `json:"partII"`
+	IdealIPC        float64    `json:"idealIPC"`
+	ClusterIPC      float64    `json:"clusterIPC"`
+	Degradation     float64    `json:"degradation"`
+	Spills          int        `json:"spills"`
+	MaxPressure     int        `json:"maxPressure"`
+	Exact           *jsonExact `json:"exact,omitempty"`
+	Error           string     `json:"error,omitempty"`
+}
+
+// jsonExact is the wire form of the exact-arm optimality-gap telemetry.
+type jsonExact struct {
+	MinII         int   `json:"minII"`
+	HeuristicII   int   `json:"heuristicII"`
+	FinalII       int   `json:"finalII"`
+	SchedRan      bool  `json:"schedRan"`
+	SchedProven   bool  `json:"schedProven"`
+	SchedImproved bool  `json:"schedImproved"`
+	SchedNodes    int64 `json:"schedNodes"`
+	PartRan       bool  `json:"partRan"`
+	PartProven    bool  `json:"partProven"`
+	PartImproved  bool  `json:"partImproved"`
+	PartWon       bool  `json:"partWon"`
+	PartNodes     int64 `json:"partNodes"`
 }
 
 // jsonConfig is the wire form of one machine's suite run.
@@ -61,6 +78,16 @@ func WriteJSON(w io.Writer, results []*ConfigResult) error {
 				IdealIPC: o.IdealIPC, ClusterIPC: o.ClusterIPC,
 				Degradation: o.Degradation,
 				Spills:      o.Spills, MaxPressure: o.MaxPressure,
+			}
+			if e := o.Exact; e != nil {
+				jo.Exact = &jsonExact{
+					MinII: e.MinII, HeuristicII: e.HeuristicII, FinalII: e.II,
+					SchedRan: e.SchedRan, SchedProven: e.SchedProven,
+					SchedImproved: e.SchedImproved, SchedNodes: e.SchedNodes,
+					PartRan: e.PartRan, PartProven: e.PartProven,
+					PartImproved: e.PartImproved, PartWon: e.PartWon,
+					PartNodes: e.PartNodes,
+				}
 			}
 			if o.Err != nil {
 				jo.Error = o.Err.Error()

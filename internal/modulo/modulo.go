@@ -208,6 +208,29 @@ func Run(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opt Options) (*
 	return done(st.serialSchedule(serial), true), nil
 }
 
+// MinII returns the scheduler's proven lower bound on the initiation
+// interval for g on cfg under opt's cluster pinning: the maximum of the
+// recurrence-constrained RecMII and the resource-constrained MII
+// (per-cluster functional units, typed units, copy ports and busses).
+// Every feasible modulo schedule has II >= MinII, which makes it the
+// optimality certificate the exact solver (internal/exact) and its
+// telemetry lean on: a schedule with II == MinII is optimal, no search
+// needed. Only ClusterOf and Scratch are consulted from opt.
+func MinII(g *ddg.Graph, cfg *machine.Config, opt Options) int {
+	n := len(g.Ops)
+	if n == 0 {
+		return 1
+	}
+	st := &state{g: g, cfg: cfg, opt: opt, n: n}
+	sc, arenaOwned := scratch.For(opt.Scratch, scratch.Modulo, func() *runScratch { return new(runScratch) })
+	if !arenaOwned {
+		sc = runPool.get()
+		defer runPool.put(sc)
+	}
+	st.sc = sc
+	return st.minII()
+}
+
 // state carries the per-run immutable inputs, plus the II search's
 // effort tally (how many candidate IIs were attempted, how many operation
 // placements were made, how many scheduled operations were evicted by a

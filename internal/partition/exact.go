@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+// This file adapts internal/exact's branch-and-bound bank assignment to
+// the Partitioner interface, in two forms: Exact, a standalone method for
+// the CLIs' "exact" choice, and the exact portfolio arm that
+// Portfolio.Candidates appends when Input.ExactBudget is set. Both seed
+// the search with the greedy baseline, so by construction the result is
+// never worse than the heuristic on the RCG objective — and the
+// portfolio's downstream (spills, pressure, II) scoring independently
+// guarantees the compiled outcome is never worse either.
+
+// ExactStats reports what the exact arm did for one input, for the
+// optimality-gap telemetry (EXPERIMENTS.md table, swpd_exact_* counters).
+type ExactStats struct {
+	// Ran reports the branch-and-bound actually searched (false when the
+	// graph exceeded the size gate and the greedy answer passed through).
+	Ran bool
+	// Proven reports the search exhausted the tree: the kept assignment
+	// is optimal for the RCG objective.
+	Proven bool
+	// Improved reports the search strictly beat the greedy incumbent.
+	Improved bool
+	// Nodes is how many search nodes were expanded.
+	Nodes int64
+}
+
+// exactArm runs the branch-and-bound on in's RCG, seeded with the greedy
+// baseline. Returns the best known assignment (never worse than greedy)
+// and the run's stats.
+func exactArm(in *Input, budget time.Duration, nodeBudget int64) (*core.Assignment, *ExactStats, error) {
+	g, err := buildRCG(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	greedy, err := g.PartitionVariant(in.Cfg.Clusters, in.Weights, in.Pre, core.Variant{}, in.Tracer)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(g.Nodes) > exact.DefaultMaxRegs {
+		return greedy, &ExactStats{}, nil // size gate: greedy passes through
+	}
+	ctx := in.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	res, err := exact.Partition(ctx, exact.PartitionInput{
+		Graph:      g,
+		Banks:      in.Cfg.Clusters,
+		Capacity:   in.Cfg.RegsPerBank,
+		Pre:        in.Pre,
+		Incumbent:  greedy,
+		NodeBudget: nodeBudget,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Assignment, &ExactStats{
+		Ran:      true,
+		Proven:   res.Proven,
+		Improved: res.Improved,
+		Nodes:    res.Nodes,
+	}, nil
+}
+
+// Exact is the standalone branch-and-bound partitioner: greedy first,
+// then exact search seeded with it. Anytime — on budget expiry the greedy
+// assignment survives — so it is safe as a drop-in method.
+type Exact struct {
+	// Budget is the wall-clock ceiling per loop (0 = none; the node
+	// budget still bounds the search).
+	Budget time.Duration
+	// Nodes is the deterministic search-node budget
+	// (0 = exact.DefaultPartitionNodes).
+	Nodes int64
+}
+
+// Name implements Partitioner.
+func (Exact) Name() string { return "exact" }
+
+// Assign implements Partitioner.
+func (e Exact) Assign(in *Input) (*core.Assignment, error) {
+	asg, _, err := exactArm(in, e.Budget, e.Nodes)
+	return asg, err
+}

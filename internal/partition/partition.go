@@ -7,9 +7,11 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -55,6 +57,18 @@ type Input struct {
 	// construction and the greedy engine's working arrays. Nil falls back
 	// to per-package pools; results are identical either way.
 	Arena *scratch.Arena
+	// Ctx carries the compile's cancellation to budget-bounded methods
+	// (the exact branch-and-bound arm); nil means context.Background().
+	// Heuristic methods ignore it — they are cheaper than a poll.
+	Ctx context.Context
+	// ExactBudget enables the exact branch-and-bound portfolio arm when
+	// positive: the wall-clock ceiling layered (as a context deadline) on
+	// top of ExactNodes. Zero disables the arm entirely.
+	ExactBudget time.Duration
+	// ExactNodes is the exact arm's deterministic search-node budget
+	// (0 = exact.DefaultPartitionNodes). Determinism comes from this, not
+	// from the wall clock: reproduction runs rely on it.
+	ExactNodes int64
 }
 
 // Partitioner assigns every symbolic register in the input to a register

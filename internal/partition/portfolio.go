@@ -9,10 +9,14 @@ import (
 // Candidate is one portfolio member: a named variant of the greedy
 // heuristic and the assignment it produced.
 type Candidate struct {
-	// Name labels the generating variant ("baseline", "reversed-banks", ...).
+	// Name labels the generating variant ("baseline", "reversed-banks",
+	// "exact", ...).
 	Name string
 	// Assignment is the variant's register-to-bank map.
 	Assignment *core.Assignment
+	// Exact carries the branch-and-bound run's telemetry when this
+	// candidate came from the exact arm; nil for heuristic variants.
+	Exact *ExactStats
 }
 
 // CandidateGenerator is implemented by partitioners that can propose
@@ -73,15 +77,32 @@ func (p Portfolio) Assign(in *Input) (*core.Assignment, error) {
 // fetched from the cache) and partitioned under every variant. Index 0 is
 // the exact baseline (zero core.Variant), so downstream scoring inherits
 // its result as the floor.
+//
+// When Input.ExactBudget is positive (the -exact-budget knob), one more
+// candidate named "exact" is appended: the branch-and-bound optimum of
+// the RCG objective, seeded with the baseline and bounded by
+// Input.ExactNodes search nodes plus the wall-clock budget. Appending
+// (never replacing) preserves the portfolio guarantee — the exact
+// candidate must win the downstream (spills, pressure, II) scoring
+// strictly to displace the heuristic, so enabling the arm can only help.
 func (p Portfolio) Candidates(in *Input) ([]Candidate, error) {
 	variants := PortfolioVariants(in.Cfg.Clusters, p.Variants)
-	out := make([]Candidate, 0, len(variants))
+	out := make([]Candidate, 0, len(variants)+1)
 	for _, v := range variants {
 		asg, err := assignVariant(in, v)
 		if err != nil {
 			return nil, fmt.Errorf("partition: portfolio variant %q: %w", v.Name, err)
 		}
 		out = append(out, Candidate{Name: v.Name, Assignment: asg})
+	}
+	if in.ExactBudget > 0 {
+		asg, stats, err := exactArm(in, in.ExactBudget, in.ExactNodes)
+		if err != nil {
+			return nil, fmt.Errorf("partition: portfolio exact arm: %w", err)
+		}
+		if stats.Ran {
+			out = append(out, Candidate{Name: "exact", Assignment: asg, Exact: stats})
+		}
 	}
 	return out, nil
 }

@@ -103,6 +103,23 @@ type ExpansionReport struct {
 	Postlude    [][]string `json:"postlude"`
 }
 
+// ExactGapReport echoes codegen.ExactReport: the optimality-gap telemetry
+// when the server runs with the exact-solver arms enabled.
+type ExactGapReport struct {
+	MinII         int   `json:"min_ii"`
+	HeuristicII   int   `json:"heuristic_ii"`
+	FinalII       int   `json:"final_ii"`
+	SchedRan      bool  `json:"sched_ran"`
+	SchedProven   bool  `json:"sched_proven"`
+	SchedImproved bool  `json:"sched_improved"`
+	SchedNodes    int64 `json:"sched_nodes"`
+	PartRan       bool  `json:"part_ran"`
+	PartProven    bool  `json:"part_proven"`
+	PartImproved  bool  `json:"part_improved"`
+	PartWon       bool  `json:"part_won"`
+	PartNodes     int64 `json:"part_nodes"`
+}
+
 // CompileResponse is the POST /compile success body.
 type CompileResponse struct {
 	Name             string           `json:"name"`
@@ -117,6 +134,7 @@ type CompileResponse struct {
 	CacheHit         bool             `json:"cache_hit,omitempty"`
 	Schedule         []ScheduledOp    `json:"schedule"`
 	Refine           *RefineReport    `json:"refine,omitempty"`
+	Exact            *ExactGapReport  `json:"exact,omitempty"`
 	Expansion        *ExpansionReport `json:"expansion,omitempty"`
 }
 
@@ -176,6 +194,16 @@ func buildResponse(req *CompileRequest, res *codegen.Result, stats *codegen.Refi
 			Stage:   res.PartSched.Stage(i),
 			Cluster: res.PartSched.Cluster[i],
 		})
+	}
+	if e := res.Exact; e != nil {
+		out.Exact = &ExactGapReport{
+			MinII: e.MinII, HeuristicII: e.HeuristicII, FinalII: e.II,
+			SchedRan: e.SchedRan, SchedProven: e.SchedProven,
+			SchedImproved: e.SchedImproved, SchedNodes: e.SchedNodes,
+			PartRan: e.PartRan, PartProven: e.PartProven,
+			PartImproved: e.PartImproved, PartWon: e.PartWon,
+			PartNodes: e.PartNodes,
+		}
 	}
 	if stats != nil {
 		out.Refine = &RefineReport{

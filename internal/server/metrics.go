@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/codegen"
 )
 
 // latencyBuckets are the fixed histogram upper bounds, in seconds. They
@@ -28,6 +30,31 @@ type metrics struct {
 
 	deadlineExpired atomic.Int64
 	clientGone      atomic.Int64
+
+	// Exact-arm telemetry, aggregated over compiles whose result carried
+	// an ExactReport (ExactBudget > 0).
+	exactRuns      atomic.Int64 // compiles where an exact arm engaged
+	exactProven    atomic.Int64 // final II certified optimal
+	exactExhausted atomic.Int64 // scheduler engaged but budget ran out
+	exactImproved  atomic.Int64 // exact search beat the heuristic II
+}
+
+// observeExact folds one compile's exact-arm telemetry into the counters.
+func (m *metrics) observeExact(e *codegen.ExactReport) {
+	if e == nil {
+		return
+	}
+	if e.SchedRan || e.PartRan {
+		m.exactRuns.Add(1)
+	}
+	if e.SchedProven {
+		m.exactProven.Add(1)
+	} else if e.SchedRan {
+		m.exactExhausted.Add(1)
+	}
+	if e.SchedImproved {
+		m.exactImproved.Add(1)
+	}
 }
 
 func newMetrics(now time.Time) *metrics {
@@ -90,6 +117,15 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "swpd_deadline_expired_total %d\n", m.deadlineExpired.Load())
 	fmt.Fprintf(w, "# HELP swpd_client_gone_total Requests whose client disconnected mid-compile.\n# TYPE swpd_client_gone_total counter\n")
 	fmt.Fprintf(w, "swpd_client_gone_total %d\n", m.clientGone.Load())
+
+	fmt.Fprintf(w, "# HELP swpd_exact_runs_total Compiles where an exact-solver arm engaged.\n# TYPE swpd_exact_runs_total counter\n")
+	fmt.Fprintf(w, "swpd_exact_runs_total %d\n", m.exactRuns.Load())
+	fmt.Fprintf(w, "# HELP swpd_exact_proven_total Compiles whose final II was certified optimal.\n# TYPE swpd_exact_proven_total counter\n")
+	fmt.Fprintf(w, "swpd_exact_proven_total %d\n", m.exactProven.Load())
+	fmt.Fprintf(w, "# HELP swpd_exact_budget_exhausted_total Exact searches that spent their budget unproven.\n# TYPE swpd_exact_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "swpd_exact_budget_exhausted_total %d\n", m.exactExhausted.Load())
+	fmt.Fprintf(w, "# HELP swpd_exact_improved_total Compiles where the exact search beat the heuristic II.\n# TYPE swpd_exact_improved_total counter\n")
+	fmt.Fprintf(w, "swpd_exact_improved_total %d\n", m.exactImproved.Load())
 
 	fmt.Fprintf(w, "# HELP swpd_queue_depth Tasks waiting in the compile queue.\n# TYPE swpd_queue_depth gauge\n")
 	fmt.Fprintf(w, "swpd_queue_depth %d\n", s.pool.queued.Load())

@@ -179,6 +179,7 @@ func (s *Server) compile(r *http.Request) (int, any) {
 	if err != nil {
 		return http.StatusUnprocessableEntity, &ErrorResponse{Error: err.Error()}
 	}
+	s.metrics.observeExact(res.Exact)
 	if hitsBefore >= 0 {
 		resp.CacheHit = opt.Cache.Stats().Hits > hitsBefore
 	}

@@ -19,6 +19,11 @@ echo "== fuzz smoke (10s per target) =="
 go test -run='^$' -fuzz=FuzzGreedyPartition -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzModuloSchedule -fuzztime=10s ./internal/modulo
 go test -run='^$' -fuzz=FuzzCacheEquivalence -fuzztime=10s ./internal/codegen
+go test -run='^$' -fuzz=FuzzExactPartition -fuzztime=10s ./internal/exact
+
+echo "== exact-solver coverage floor (90%) =="
+go test -coverprofile=/tmp/exact-cover.out -coverpkg=./internal/exact ./internal/exact
+go tool cover -func=/tmp/exact-cover.out | awk '/^total:/ {gsub(/%/, "", $NF); if ($NF + 0 < 90) { print "coverage " $NF "% is below the 90% floor"; exit 1 } print "coverage " $NF "% meets the 90% floor"}'
 
 echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
 go run ./cmd/experiments
@@ -40,6 +45,10 @@ go run ./cmd/experiments -scheduler
 
 echo "== Unit generality (Section 6.1 aside) =="
 go run ./cmd/experiments -units
+
+echo "== Optimality gap (exact branch-and-bound arms) =="
+# Deterministic: the node budget, not the wall clock, bounds the search.
+go run ./cmd/experiments -exactgap -n 60 -exact-nodes 20000
 
 echo "== Livermore kernels =="
 go run ./cmd/experiments -suite livermore
