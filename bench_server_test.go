@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
@@ -84,5 +85,56 @@ func BenchmarkServerCompileUncached(b *testing.B) {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
 		resp.Body.Close()
+	}
+}
+
+// BenchmarkServerBatch measures the /compile/batch round trip: one JSON
+// decode carrying a dozen suite loops, fanned out across the worker pool,
+// answered as one buffered response. batch_loops_per_sec is the daemon's
+// bulk throughput to set against the per-request BenchmarkServerCompile
+// latency; the shared cache makes iterations after the first warm, which
+// is the steady state a long-lived batch client sees.
+func BenchmarkServerBatch(b *testing.B) {
+	svc := server.New(server.Config{
+		Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()},
+	})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const nItems = 12
+	breq := server.BatchRequest{Machine: server.MachineSpec{Clusters: 4, CopyModel: "embedded"}}
+	for _, l := range Suite()[:nItems] {
+		breq.Items = append(breq.Items, server.CompileRequest{
+			Name:   l.Name,
+			Source: l.Body.String(),
+		})
+	}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/compile/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		var out server.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.Errors != 0 || len(out.Items) != nItems {
+			b.Fatalf("batch: %d items, %d errors", len(out.Items), out.Errors)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(b.N*nItems)/elapsed.Seconds(), "batch_loops_per_sec")
 	}
 }

@@ -3,6 +3,7 @@ package swp
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -352,6 +353,73 @@ func BenchmarkFullPipelineSingleLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := codegen.Compile(context.Background(), loops[i%len(loops)], cfg, codegen.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Persistent disk tier benchmarks: the PR-7 cold-vs-warm story. ---
+
+// benchSuiteGridDisk runs the grid with a fresh memory cache backed by a
+// disk tier at dir, then closes the tier (flushing write-behinds) and
+// returns the cache and disk stats.
+func benchSuiteGridDisk(b *testing.B, dir string) (cache.Stats, cache.DiskStats) {
+	b.Helper()
+	d, err := cache.OpenDisk(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cache.New()
+	results := exper.RunSuite(paperSuite(), machine.PaperConfigs(), exper.Options{
+		Codegen: codegen.Options{SkipAlloc: true, Cache: c, Disk: d},
+	})
+	for _, r := range results {
+		if errs := r.Errors(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+	}
+	d.Close()
+	return c.Stats(), d.Stats()
+}
+
+// BenchmarkSuiteDiskCold measures the first process generation over an
+// empty cache directory: the full grid compiles from scratch while the
+// write-behind populates the disk tier. This is the cold-start cost a
+// warm restart (BenchmarkSuiteDiskWarm) amortizes away.
+func BenchmarkSuiteDiskCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "swp-bench-cold-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, ds := benchSuiteGridDisk(b, dir)
+		b.StopTimer()
+		if ds.Writes == 0 {
+			b.Fatal("cold run wrote nothing to the disk tier")
+		}
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSuiteDiskWarm measures a restarted process over a pre-warmed
+// cache directory: the memory cache starts empty (as after any restart)
+// and the persisted stages restore from verified disk records instead of
+// recomputing. disk_hit_pct reports the share of disk consultations that
+// restored a record — the ISSUE's warm-restart acceptance number — and
+// the time against BenchmarkSuiteDiskCold is the cold-start-to-warm win.
+func BenchmarkSuiteDiskWarm(b *testing.B) {
+	dir := b.TempDir()
+	benchSuiteGridDisk(b, dir) // pre-warm, untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, ds := benchSuiteGridDisk(b, dir)
+		if consults := ds.Hits + ds.Misses; consults > 0 {
+			b.ReportMetric(100*float64(ds.Hits)/float64(consults), "disk_hit_pct")
+		}
+		if st.DiskHits == 0 {
+			b.Fatal("warm run drew zero disk-tier hits")
 		}
 	}
 }

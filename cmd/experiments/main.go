@@ -79,6 +79,8 @@ func main() {
 	flag.Int64Var(&opt.exactNodes, "exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules across the machine grid")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
+	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
+	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -92,7 +94,7 @@ func main() {
 	if *traceOut != "" {
 		opt.tracer = trace.New()
 	}
-	if *useCache || *cacheBudget != "" {
+	if *useCache || *cacheBudget != "" || *cacheDir != "" {
 		budget, err := cache.ParseBudget(*cacheBudget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -100,9 +102,26 @@ func main() {
 		}
 		opt.cache = cache.NewBounded(budget)
 	}
+	var disk *cache.Disk
+	if *cacheDir != "" {
+		diskBudget, err := cache.ParseBudget(*cacheDiskBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		disk, err = cache.OpenDisk(*cacheDir, diskBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.cache.AttachDisk(disk)
+	}
 
 	code := run(opt)
 
+	if disk != nil {
+		disk.Close() // flush write-behinds so the stats below are final
+	}
 	if opt.cache.Enabled() {
 		fmt.Fprintf(os.Stderr, "cache: %s\n", opt.cache.Stats())
 	}

@@ -55,6 +55,8 @@ func main() {
 	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules by content fingerprint")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
+	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
+	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -69,17 +71,32 @@ func main() {
 		tr = trace.New()
 	}
 	var c *cache.Cache
-	if *useCache || *cacheBudget != "" {
+	if *useCache || *cacheBudget != "" || *cacheDir != "" {
 		budget, err := cache.ParseBudget(*cacheBudget)
 		if err != nil {
 			log.Fatal(err)
 		}
 		c = cache.NewBounded(budget)
 	}
+	var disk *cache.Disk
+	if *cacheDir != "" {
+		diskBudget, err := cache.ParseBudget(*cacheDiskBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		disk, err = cache.OpenDisk(*cacheDir, diskBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.AttachDisk(disk)
+	}
 
 	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,
 		*dump, *worst, *breakdown, *refined, *emit, *exactBudget, *exactNodes, tr, c)
 
+	if disk != nil {
+		disk.Close() // flush write-behinds so the stats below are final
+	}
 	if c.Enabled() {
 		fmt.Printf("cache: %s\n", c.Stats())
 	}

@@ -43,6 +43,8 @@ func main() {
 	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
 	useCache := flag.Bool("cache", true, "share a content-addressed compile cache across requests")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (empty or 0 = unlimited, none = retain nothing)")
+	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
+	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	flag.Parse()
 
@@ -61,13 +63,26 @@ func main() {
 	scfg.Pipeline.Tracer = trace.New()
 	scfg.Pipeline.ExactBudget = *exactBudget
 	scfg.Pipeline.ExactNodes = *exactNodes
-	if *useCache {
+	if *useCache || *cacheDir != "" {
 		budget, err := cache.ParseBudget(*cacheBudget)
 		if err != nil {
 			log.Fatal(err)
 		}
 		scfg.Pipeline.Cache = cache.NewBounded(budget)
 		scfg.Pipeline.CacheBudget = budget
+	}
+	var disk *cache.Disk
+	if *cacheDir != "" {
+		diskBudget, err := cache.ParseBudget(*cacheDiskBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		disk, err = cache.OpenDisk(*cacheDir, diskBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg.Pipeline.Disk = disk
+		log.Printf("swpd: disk cache at %s (%d records warm)", *cacheDir, disk.Stats().Entries)
 	}
 	if !*quiet {
 		scfg.Log = log.New(os.Stderr, "swpd: ", log.LstdFlags|log.Lmicroseconds)
@@ -96,6 +111,9 @@ func main() {
 			log.Printf("swpd: shutdown: %v", err)
 		}
 		svc.Close()
+		if disk != nil {
+			disk.Close() // flush pending write-behinds so the next start is warm
+		}
 		log.Printf("swpd: drained, bye")
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "swpd: serve: %v\n", err)

@@ -35,6 +35,11 @@ func New(opts ...Option) *Compiler {
 	for _, o := range opts {
 		o(&c.cfg)
 	}
+	// A disk tier is useless without a memory tier in front of it; if the
+	// caller asked for persistence but not for a cache, create one.
+	if c.cfg.Disk != nil && c.cfg.Cache == nil {
+		c.cfg.Cache = cache.New()
+	}
 	return c
 }
 
@@ -70,6 +75,17 @@ const (
 	// the lookups sharing it return.
 	CacheBudgetZero = cache.BudgetZero
 )
+
+// WithDiskCache attaches a persistent disk tier behind the compile cache
+// (opened with OpenDiskCache), so schedules and bank assignments survive
+// process restarts: a memory miss consults the verified on-disk record
+// before recomputing, and fresh results are written behind. If no
+// WithCache option accompanies it, New creates the memory tier
+// automatically. Results are byte-identical with the tier on, cold or
+// warm. A nil d is a no-op.
+func WithDiskCache(d *DiskCache) Option {
+	return func(c *codegen.Config) { c.Disk = d }
+}
 
 // WithTracer attaches a tracer that records per-stage spans and counters
 // for every compilation the Compiler performs.
@@ -163,6 +179,20 @@ type Cache = cache.Cache
 
 // NewCache returns an empty compile cache for WithCache.
 func NewCache() *Cache { return cache.New() }
+
+// DiskCache is the persistent second cache tier; see OpenDiskCache.
+type DiskCache = cache.Disk
+
+// OpenDiskCache opens (creating if necessary) a disk-backed cache tier
+// rooted at dir for WithDiskCache. budgetBytes bounds the directory's
+// record bytes with oldest-first eviction; <=0 means unlimited. The tier
+// is crash-safe — records are written atomically, half-written leftovers
+// are swept on open, and any record that fails its checksum on read is
+// quarantined and recomputed, never trusted. Call Close on the returned
+// tier at shutdown to flush pending write-behinds.
+func OpenDiskCache(dir string, budgetBytes int64) (*DiskCache, error) {
+	return cache.OpenDisk(dir, budgetBytes)
+}
 
 // Tracer records per-stage spans and counters; see NewTracer.
 type Tracer = trace.Tracer

@@ -111,6 +111,10 @@ type entry struct {
 	once sync.Once
 	val  any
 	err  error
+	// fromDisk records that the once.Do owner restored the value from a
+	// verified disk record instead of computing it (published to
+	// co-waiters by sync.Once, like val and err).
+	fromDisk bool
 	// cost is the bytes charged to the budget, written by the once.Do
 	// owner and read by evictors only after pins reaches zero (the
 	// owner's unpin publishes it; sync.Once publishes it to co-waiters).
@@ -129,13 +133,45 @@ type shard struct {
 	hand int
 }
 
+// Tier reports where a lookup's value came from, so callers can tell a
+// warm-memory hit from a disk-tier restore from a cold computation.
+type Tier uint8
+
+const (
+	// TierNone is a miss: this lookup ran the computation.
+	TierNone Tier = iota
+	// TierMemory is a hit served by the in-memory tier — the value was
+	// resident, or another goroutine's in-flight computation was shared.
+	TierMemory
+	// TierDisk is a hit restored from the persistent tier: the value was
+	// not in memory, but a verified disk record supplied it without
+	// recomputation.
+	TierDisk
+)
+
+// String names the tier for counters and logs.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	// Hits counts lookups resolved by another goroutine's computation,
-	// finished or in-flight. A lookup that had to run the computation
-	// itself — including a waiter re-running one it inherited cancelled —
-	// counts as a miss instead.
+	// finished or in-flight — the in-memory tier. A lookup that had to
+	// run the computation itself — including a waiter re-running one it
+	// inherited cancelled — counts as a miss instead; one restored from
+	// a verified disk record counts under DiskHits.
 	Hits int64
+	// DiskHits counts lookups restored from the persistent tier instead
+	// of recomputed (see Disk). Zero when no disk is attached.
+	DiskHits int64
 	// Misses counts lookups that computed the entry.
 	Misses int64
 	// Entries is the number of distinct keys currently resident.
@@ -149,6 +185,8 @@ type Stats struct {
 	// Pinned is the number of entries currently pinned by in-flight
 	// lookups; pinned entries are immune to eviction.
 	Pinned int64
+	// Disk is the persistent tier's snapshot; zero when none is attached.
+	Disk DiskStats
 }
 
 // Cache memoizes stage results. Create one with New (unbounded) or
@@ -157,8 +195,10 @@ type Stats struct {
 type Cache struct {
 	budget    atomic.Int64 // BudgetUnlimited, BudgetZero or a byte bound
 	rotor     atomic.Uint64
+	disk      atomic.Pointer[Disk]
 	shards    [nShards]shard
 	hits      atomic.Int64
+	diskHits  atomic.Int64
 	misses    atomic.Int64
 	entries   atomic.Int64
 	bytes     atomic.Int64
@@ -207,6 +247,25 @@ func (c *Cache) Budget() int64 {
 // Enabled reports whether the cache stores anything.
 func (c *Cache) Enabled() bool { return c != nil }
 
+// AttachDisk adds a persistent second tier behind the memory tier: a
+// memory miss consults the disk before computing, and computed values
+// for the persisted stages (DiskStages) are written behind. Attach nil
+// to detach. Safe to call concurrently with lookups; nil-safe.
+func (c *Cache) AttachDisk(d *Disk) {
+	if c == nil {
+		return
+	}
+	c.disk.Store(d)
+}
+
+// Disk returns the attached persistent tier, or nil.
+func (c *Cache) Disk() *Disk {
+	if c == nil {
+		return nil
+	}
+	return c.disk.Load()
+}
+
 // GetOrCompute is GetOrComputeCosted with the default (overhead-only)
 // cost estimate.
 func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit bool, err error) {
@@ -237,14 +296,25 @@ func (c *Cache) GetOrCompute(k Key, compute func() (any, error)) (v any, hit boo
 //
 // On a nil cache, compute runs unconditionally and hit is false.
 func (c *Cache) GetOrComputeCosted(k Key, compute func() (any, error), cost Coster) (v any, hit bool, err error) {
+	v, tier, err := c.GetOrComputeTiered(k, compute, cost)
+	return v, tier != TierNone, err
+}
+
+// GetOrComputeTiered is GetOrComputeCosted reporting which tier served
+// the value: TierNone for a computed miss, TierMemory for a resident or
+// shared in-flight value, TierDisk for a value restored from a verified
+// disk record (only possible with an attached Disk). Waiters that share
+// an in-flight disk restore count as memory hits — they were served by
+// the memory tier's singleflight, whatever filled it.
+func (c *Cache) GetOrComputeTiered(k Key, compute func() (any, error), cost Coster) (v any, tier Tier, err error) {
 	if c == nil {
 		v, err = compute()
-		return v, false, err
+		return v, TierNone, err
 	}
 	for {
-		v, hit, err, retry := c.lookup(k, compute, cost)
+		v, tier, err, retry := c.lookup(k, compute, cost)
 		if !retry {
-			return v, hit, err
+			return v, tier, err
 		}
 	}
 }
@@ -253,7 +323,7 @@ func (c *Cache) GetOrComputeCosted(k Key, compute func() (any, error), cost Cost
 // resolve it, unpin. retry reports that the round resolved to a
 // cancellation inherited from another goroutine and the caller should go
 // again under its own steam.
-func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, hit bool, err error, retry bool) {
+func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, tier Tier, err error, retry bool) {
 	s := &c.shards[int(k.Sum[0])%nShards]
 	s.mu.Lock()
 	e, ok := s.m[k]
@@ -273,7 +343,18 @@ func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, 
 	owner := false
 	e.once.Do(func() {
 		owner = true
-		e.val, e.err = compute()
+		d := c.disk.Load()
+		if d != nil {
+			if dv, ok := d.get(k); ok {
+				e.val, e.fromDisk = dv, true
+			}
+		}
+		if !e.fromDisk {
+			e.val, e.err = compute()
+			if d != nil && e.err == nil {
+				d.put(k, e.val)
+			}
+		}
 		if !isCancellation(e.err) {
 			e.cost = entryOverhead
 			if cost != nil && e.err == nil {
@@ -302,18 +383,25 @@ func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, 
 		// We only waited; someone else's deadline cut the computation
 		// short and says nothing about our own context. Retry through the
 		// cache so concurrent retries still compute exactly once.
-		return nil, false, nil, true
+		return nil, TierNone, nil, true
 	}
 
 	// Lookups are counted at resolution time, once per GetOrCompute call:
-	// whoever ran the computation missed, everyone who shared it hit.
-	if owner {
+	// whoever ran the computation missed (or restored it from disk),
+	// everyone who shared it hit the memory tier.
+	switch {
+	case owner && e.fromDisk:
+		tier = TierDisk
+		c.diskHits.Add(1)
+	case owner:
+		tier = TierNone
 		c.misses.Add(1)
-	} else {
+	default:
+		tier = TierMemory
 		c.hits.Add(1)
 	}
 	c.evictOver()
-	return v, !owner, err, false
+	return v, tier, err, false
 }
 
 // removeLocked deletes e from its shard's map and ring and refunds its
@@ -419,11 +507,19 @@ func GetAs[T any](c *Cache, k Key, compute func() (T, error)) (v T, hit bool, er
 // GetAsCosted is GetAs with a stage Coster charging the entry's resident
 // bytes to the byte budget.
 func GetAsCosted[T any](c *Cache, k Key, compute func() (T, error), cost Coster) (v T, hit bool, err error) {
-	got, hit, err := c.GetOrComputeCosted(k, func() (any, error) { return compute() }, cost)
+	got, tier, err := GetAsTiered(c, k, compute, cost)
+	return got, tier != TierNone, err
+}
+
+// GetAsTiered is GetAsCosted reporting the serving tier (see
+// GetOrComputeTiered), so per-stage counters can tell disk restores
+// from warm memory hits.
+func GetAsTiered[T any](c *Cache, k Key, compute func() (T, error), cost Coster) (v T, tier Tier, err error) {
+	got, tier, err := c.GetOrComputeTiered(k, func() (any, error) { return compute() }, cost)
 	if err != nil {
-		return v, hit, err
+		return v, tier, err
 	}
-	return got.(T), hit, nil
+	return got.(T), tier, nil
 }
 
 // Stats returns a snapshot of the cache's counters.
@@ -433,23 +529,32 @@ func (c *Cache) Stats() Stats {
 	}
 	return Stats{
 		Hits:      c.hits.Load(),
+		DiskHits:  c.diskHits.Load(),
 		Misses:    c.misses.Load(),
 		Entries:   c.entries.Load(),
 		Bytes:     c.bytes.Load(),
 		Evictions: c.evictions.Load(),
 		Pinned:    c.pinned.Load(),
+		Disk:      c.disk.Load().Stats(),
 	}
 }
 
-// String renders the counters for command-line reporting.
+// String renders the counters for command-line reporting. With a disk
+// tier attached, memory and disk hits are reported separately — a hit
+// is no longer just a hit.
 func (s Stats) String() string {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.DiskHits + s.Misses
 	pct := 0.0
 	if total > 0 {
-		pct = 100 * float64(s.Hits) / float64(total)
+		pct = 100 * float64(s.Hits+s.DiskHits) / float64(total)
 	}
-	return fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes resident, %d evictions",
+	base := fmt.Sprintf("%d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes resident, %d evictions",
 		s.Hits, s.Misses, pct, s.Entries, s.Bytes, s.Evictions)
+	if s.DiskHits > 0 || s.Disk != (DiskStats{}) {
+		base += fmt.Sprintf("; disk: %d hits, %d misses, %d entries, %d bytes, %d evictions, %d verify failures",
+			s.DiskHits, s.Disk.Misses, s.Disk.Entries, s.Disk.Bytes, s.Disk.Evictions, s.Disk.VerifyFailures)
+	}
+	return base
 }
 
 // ParseBudget parses a -cache-budget flag value: "unlimited", "" or "0"

@@ -1,0 +1,546 @@
+package cache
+
+// This file is the cache's second tier: a disk directory of
+// content-addressed records that survives process restarts, so a fleet
+// replica (or a rerun of the experiment harness) starts warm instead of
+// recomputing every proven-optimal schedule from scratch. DESIGN.md §13
+// documents the tiering and quarantine policy.
+//
+// The tier is write-behind: a computed value is stored in the memory
+// tier synchronously and queued for the disk writer, so compile latency
+// never waits on I/O. Records are length-prefixed and checksummed
+// (EncodeRecord/DecodeRecord) and verified on read — a truncated,
+// bit-flipped or zeroed record is never an error and never a crash, it
+// is a miss: the bad file is quarantined (renamed aside, out of the
+// content-addressed namespace) and the value recomputes. Half-written
+// records cannot poison the store because writes go to a ".tmp" file
+// first and reach their final name only through an atomic rename; stale
+// temp files from a killed process are swept on Open.
+//
+// A byte budget bounds the directory, mirroring the memory tier's
+// Coster accounting but with exact on-disk record sizes: when the total
+// exceeds the budget, an LRU-ish sweep (least recently used first, with
+// recency seeded from file mtimes on reopen) deletes records until the
+// store fits.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Record framing constants. A record file is:
+//
+//	magic   [4]byte  "SWD1" (format version baked into the tag)
+//	stage   varint length + bytes
+//	sum     32 bytes (the SHA-256 content fingerprint)
+//	payload varint length + bytes (stage codec output)
+//	crc     4 bytes, little-endian CRC-32C over everything above
+//
+// Everything before the checksum is covered by it, so corruption of the
+// header, the key or the payload is equally detectable.
+var recordMagic = [4]byte{'S', 'W', 'D', '1'}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms this serves from.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadRecord is (wrapped) by DecodeRecord for every malformed input:
+// short files, wrong magic, overlong prefixes, checksum mismatches.
+// Callers treat any decode failure as a miss; the sentinel exists so
+// tests can assert the failure class.
+var ErrBadRecord = errors.New("cache: bad disk record")
+
+// EncodeRecord frames a key and its codec payload into the on-disk
+// record format.
+func EncodeRecord(k Key, payload []byte) []byte {
+	buf := make([]byte, 0, 4+10+len(k.Stage)+len(k.Sum)+10+len(payload)+4)
+	buf = append(buf, recordMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(k.Stage)))
+	buf = append(buf, k.Stage...)
+	buf = append(buf, k.Sum[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf
+}
+
+// DecodeRecord parses and verifies a record produced by EncodeRecord.
+// It never panics, whatever the input: every length is bounds-checked
+// before use and the checksum is verified over exactly the bytes that
+// produced it. Trailing garbage after the checksum is corruption too —
+// a record file is one record.
+func DecodeRecord(data []byte) (Key, []byte, error) {
+	var k Key
+	if len(data) < 4+1+len(k.Sum)+1+4 {
+		return k, nil, fmt.Errorf("%w: %d bytes is shorter than any record", ErrBadRecord, len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return k, nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrBadRecord, sum, got)
+	}
+	if [4]byte(body[:4]) != recordMagic {
+		return k, nil, fmt.Errorf("%w: bad magic %q", ErrBadRecord, body[:4])
+	}
+	rest := body[4:]
+	stageLen, n := binary.Uvarint(rest)
+	if n <= 0 || stageLen > uint64(len(rest)-n) {
+		return k, nil, fmt.Errorf("%w: stage length overruns record", ErrBadRecord)
+	}
+	k.Stage = Stage(rest[n : n+int(stageLen)])
+	rest = rest[n+int(stageLen):]
+	if len(rest) < len(k.Sum) {
+		return k, nil, fmt.Errorf("%w: truncated key sum", ErrBadRecord)
+	}
+	copy(k.Sum[:], rest)
+	rest = rest[len(k.Sum):]
+	payLen, n := binary.Uvarint(rest)
+	if n <= 0 || payLen != uint64(len(rest)-n) {
+		return k, nil, fmt.Errorf("%w: payload length %d does not match remaining %d bytes", ErrBadRecord, payLen, len(rest)-n)
+	}
+	return k, rest[n:], nil
+}
+
+// DiskStats is a snapshot of the disk tier's counters.
+type DiskStats struct {
+	// Hits counts lookups served by a verified disk record.
+	Hits int64
+	// Misses counts disk consultations that found no (valid) record.
+	Misses int64
+	// Entries and Bytes describe the resident record files.
+	Entries int64
+	Bytes   int64
+	// Writes counts records durably written; Drops counts write-behind
+	// requests discarded because the queue was full (best-effort tier).
+	Writes int64
+	Drops  int64
+	// VerifyFailures counts records that failed checksum or decode
+	// verification on read; each one is quarantined and served as a miss.
+	VerifyFailures int64
+	// Evictions counts records deleted by the byte-budget sweep.
+	Evictions int64
+}
+
+// diskEntry is the in-memory index row for one record file.
+type diskEntry struct {
+	key  Key
+	size int64
+	// seq is the recency stamp for the LRU-ish sweep: bumped on every
+	// get, seeded from mtime order on reopen.
+	seq uint64
+}
+
+// writeReq is one queued write-behind record; a request with a non-nil
+// flush channel is a barrier — the writer closes it instead of writing.
+type writeReq struct {
+	key     Key
+	payload []byte
+	flush   chan struct{}
+}
+
+// Disk is the persistent cache tier: one directory, one record file per
+// (stage, fingerprint). Open it once per process and attach it to a
+// Cache with AttachDisk; all methods are safe for concurrent use and
+// nil-safe, mirroring the nil *Cache convention.
+type Disk struct {
+	dir    string
+	budget int64 // BudgetUnlimited, BudgetZero or a byte bound
+
+	mu    sync.Mutex
+	index map[Key]*diskEntry
+	bytes int64
+	seq   uint64
+
+	wq chan writeReq
+	wg sync.WaitGroup
+	// sendMu serializes queue sends against Close, so a late put can
+	// never hit a closed channel; closed is guarded by it.
+	sendMu sync.RWMutex
+	closed bool
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	writes         atomic.Int64
+	drops          atomic.Int64
+	verifyFailures atomic.Int64
+	evictions      atomic.Int64
+}
+
+// quarantineDir is where records that failed verification are moved,
+// out of the content-addressed namespace so they are never read again
+// but remain on disk for post-mortems.
+const quarantineDir = "quarantine"
+
+// recSuffix and tmpSuffix name finished records and in-flight writes.
+const (
+	recSuffix = ".rec"
+	tmpSuffix = ".tmp"
+)
+
+// writeQueueDepth bounds the write-behind queue. The tier is best
+// effort: a full queue drops the write (the value is still cached in
+// memory and will be recomputed-and-requeued if it falls out), it never
+// blocks a compile. The depth is sized so one full 211-loop suite sweep
+// across the paper's machine grid (~2k records, ~100B payloads) queues
+// without drops even when compiles outrun file I/O — a shallower queue
+// capped warm-restart hit rates near 50% because half the cold run's
+// records never reached disk.
+const writeQueueDepth = 4096
+
+// OpenDisk opens (creating if needed) the persistent tier rooted at
+// dir, bounded to budget bytes (same sentinels as SetBudget: 0 is
+// unlimited, BudgetZero retains nothing — useful only for tests). Stale
+// temp files from a previous process killed mid-write are deleted;
+// existing records are indexed with recency seeded from their
+// modification times, oldest first.
+func OpenDisk(dir string, budget int64) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: opening disk tier: %w", err)
+	}
+	d := &Disk{
+		dir:    dir,
+		budget: budget,
+		index:  make(map[Key]*diskEntry),
+		wq:     make(chan writeReq, writeQueueDepth),
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	d.wg.Add(1)
+	go d.writer()
+	return d, nil
+}
+
+// scan builds the index from the directory: every stage subdirectory's
+// *.rec files, ordered oldest-mtime-first so the LRU sweep evicts the
+// stalest survivors of previous processes first. Filenames are trusted
+// only as far as locating files — the key served to lookups is the one
+// inside the verified record, so a renamed record can at worst miss.
+func (d *Disk) scan() error {
+	type found struct {
+		key   Key
+		size  int64
+		mtime int64
+	}
+	var all []found
+	stages, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("cache: scanning disk tier: %w", err)
+	}
+	for _, sd := range stages {
+		if !sd.IsDir() || sd.Name() == quarantineDir {
+			continue
+		}
+		stage := Stage(sd.Name())
+		files, err := os.ReadDir(filepath.Join(d.dir, sd.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if strings.HasSuffix(name, tmpSuffix) {
+				// A write the previous process never finished; the rename
+				// never happened, so deleting it cannot lose a record.
+				os.Remove(filepath.Join(d.dir, sd.Name(), name))
+				continue
+			}
+			if !strings.HasSuffix(name, recSuffix) {
+				continue
+			}
+			k, ok := keyFromName(stage, strings.TrimSuffix(name, recSuffix))
+			if !ok {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			all = append(all, found{key: k, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
+	for _, f := range all {
+		d.seq++
+		d.index[f.key] = &diskEntry{key: f.key, size: f.size, seq: d.seq}
+		d.bytes += f.size
+	}
+	d.sweepLocked()
+	return nil
+}
+
+// path returns the record file for k: <dir>/<stage>/<hex sum>.rec.
+func (d *Disk) path(k Key) string {
+	return filepath.Join(d.dir, string(k.Stage), fmt.Sprintf("%x%s", k.Sum[:], recSuffix))
+}
+
+// keyFromName reverses path's basename encoding.
+func keyFromName(stage Stage, hexSum string) (Key, bool) {
+	k := Key{Stage: stage}
+	if len(hexSum) != 2*len(k.Sum) {
+		return k, false
+	}
+	raw, err := hex.DecodeString(hexSum)
+	if err != nil {
+		return k, false
+	}
+	copy(k.Sum[:], raw)
+	return k, true
+}
+
+// get reads, verifies and decodes the record for k. ok is false on any
+// miss — absent, unreadable, corrupt (which also quarantines the file)
+// or undecodable — and the caller recomputes.
+func (d *Disk) get(k Key) (any, bool) {
+	if d == nil {
+		return nil, false
+	}
+	codec, hasCodec := diskCodec(k.Stage)
+	if !hasCodec {
+		return nil, false
+	}
+	d.mu.Lock()
+	e := d.index[k]
+	if e != nil {
+		d.seq++
+		e.seq = d.seq
+	}
+	d.mu.Unlock()
+	if e == nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		d.dropEntry(k)
+		d.misses.Add(1)
+		return nil, false
+	}
+	gotKey, payload, err := DecodeRecord(data)
+	if err != nil || gotKey != k {
+		d.quarantine(k)
+		d.misses.Add(1)
+		return nil, false
+	}
+	v, err := codec.decode(payload)
+	if err != nil {
+		d.quarantine(k)
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return v, true
+}
+
+// put queues a write-behind record for k. Values without a registered
+// stage codec, duplicate keys and a full queue are all silent no-ops —
+// the disk tier is an accelerator, never a dependency.
+func (d *Disk) put(k Key, v any) {
+	if d == nil {
+		return
+	}
+	codec, ok := diskCodec(k.Stage)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	_, resident := d.index[k]
+	d.mu.Unlock()
+	if resident {
+		return
+	}
+	payload, err := codec.encode(v)
+	if err != nil {
+		return
+	}
+	d.sendMu.RLock()
+	defer d.sendMu.RUnlock()
+	if d.closed {
+		return
+	}
+	select {
+	case d.wq <- writeReq{key: k, payload: payload}:
+	default:
+		d.drops.Add(1)
+	}
+}
+
+// writer is the single write-behind goroutine: frame, write temp,
+// rename, account, sweep. One writer serializes the directory mutations
+// so the sweep never races another write to the same file.
+func (d *Disk) writer() {
+	defer d.wg.Done()
+	for req := range d.wq {
+		if req.flush != nil {
+			close(req.flush)
+			continue
+		}
+		d.writeRecord(req.key, req.payload)
+	}
+}
+
+func (d *Disk) writeRecord(k Key, payload []byte) {
+	rec := EncodeRecord(k, payload)
+	final := d.path(k)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return
+	}
+	// Temp file in the same directory so the rename is atomic on every
+	// POSIX filesystem; a crash between write and rename leaves only a
+	// .tmp file that the next Open sweeps away.
+	tmp := final + tmpSuffix
+	if err := os.WriteFile(tmp, rec, 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	d.writes.Add(1)
+	d.mu.Lock()
+	if old := d.index[k]; old != nil {
+		d.bytes -= old.size
+	}
+	d.seq++
+	d.index[k] = &diskEntry{key: k, size: int64(len(rec)), seq: d.seq}
+	d.bytes += int64(len(rec))
+	d.sweepLocked()
+	d.mu.Unlock()
+}
+
+// sweepLocked deletes least-recently-used records until the store fits
+// its budget. Caller holds d.mu (or is Open's single-threaded scan).
+func (d *Disk) sweepLocked() {
+	limit, bounded := int64(0), false
+	switch {
+	case d.budget == BudgetUnlimited:
+	case d.budget < 0:
+		bounded = true
+	default:
+		limit, bounded = d.budget, true
+	}
+	if !bounded {
+		return
+	}
+	for d.bytes > limit && len(d.index) > 0 {
+		var victim *diskEntry
+		for _, e := range d.index {
+			if victim == nil || e.seq < victim.seq {
+				victim = e
+			}
+		}
+		os.Remove(d.path(victim.key))
+		delete(d.index, victim.key)
+		d.bytes -= victim.size
+		d.evictions.Add(1)
+	}
+}
+
+// dropEntry removes k from the index (file already gone or unreadable).
+func (d *Disk) dropEntry(k Key) {
+	d.mu.Lock()
+	if e := d.index[k]; e != nil {
+		delete(d.index, k)
+		d.bytes -= e.size
+	}
+	d.mu.Unlock()
+}
+
+// quarantine moves k's record out of the content-addressed namespace
+// into <dir>/quarantine/, preserving the bytes for inspection while
+// guaranteeing the bad record is never served again.
+func (d *Disk) quarantine(k Key) {
+	d.verifyFailures.Add(1)
+	src := d.path(k)
+	qdir := filepath.Join(d.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		dst := filepath.Join(qdir, fmt.Sprintf("%s-%x%s", k.Stage, k.Sum[:8], recSuffix))
+		if os.Rename(src, dst) != nil {
+			os.Remove(src)
+		}
+	} else {
+		os.Remove(src)
+	}
+	d.dropEntry(k)
+}
+
+// Sync blocks until every write queued before the call has been written
+// and accounted: the writer drains requests in order, so a flush
+// barrier queued now completes only after everything ahead of it.
+// Tests and warm-restart measurements use it; serving paths never need
+// to. Nil-safe; a closed Disk is already flushed.
+func (d *Disk) Sync() {
+	if d == nil {
+		return
+	}
+	flush := make(chan struct{})
+	d.sendMu.RLock()
+	if d.closed {
+		d.sendMu.RUnlock()
+		return
+	}
+	d.wq <- writeReq{flush: flush}
+	d.sendMu.RUnlock()
+	<-flush
+}
+
+// Close flushes the write-behind queue and stops the writer. Lookups
+// against a closed Disk still read records; puts become no-ops.
+// Nil-safe and idempotent.
+func (d *Disk) Close() {
+	if d == nil {
+		return
+	}
+	d.sendMu.Lock()
+	already := d.closed
+	d.closed = true
+	if !already {
+		close(d.wq)
+	}
+	d.sendMu.Unlock()
+	d.wg.Wait()
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk) Dir() string {
+	if d == nil {
+		return ""
+	}
+	return d.dir
+}
+
+// Budget returns the tier's byte budget (same sentinels as SetBudget).
+func (d *Disk) Budget() int64 {
+	if d == nil {
+		return BudgetUnlimited
+	}
+	return d.budget
+}
+
+// Stats returns a snapshot of the disk tier's counters.
+func (d *Disk) Stats() DiskStats {
+	if d == nil {
+		return DiskStats{}
+	}
+	d.mu.Lock()
+	entries, bytes := int64(len(d.index)), d.bytes
+	d.mu.Unlock()
+	return DiskStats{
+		Hits:           d.hits.Load(),
+		Misses:         d.misses.Load(),
+		Entries:        entries,
+		Bytes:          bytes,
+		Writes:         d.writes.Load(),
+		Drops:          d.drops.Load(),
+		VerifyFailures: d.verifyFailures.Load(),
+		Evictions:      d.evictions.Load(),
+	}
+}

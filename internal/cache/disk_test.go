@@ -1,0 +1,496 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/modulo"
+)
+
+// testSchedule and testAssignment build representative values for the
+// two persisted stages.
+func testSchedule(n int) *modulo.Schedule {
+	s := &modulo.Schedule{II: 3, Length: 2*n + 5}
+	for i := 0; i < n; i++ {
+		s.Time = append(s.Time, 2*i+1)
+		s.Cluster = append(s.Cluster, i%4)
+	}
+	return s
+}
+
+func testAssignment(n int) *core.Assignment {
+	a := &core.Assignment{Banks: 4, Of: make(map[ir.Reg]int)}
+	for i := 0; i < n; i++ {
+		a.Of[ir.Reg{Class: ir.Class(i % 2), ID: i}] = i % 4
+	}
+	return a
+}
+
+func testKey(stage Stage, seed string) Key {
+	return Key{Stage: stage, Sum: sha256.Sum256([]byte(seed))}
+}
+
+// mustOpenDisk opens a tier rooted in dir and registers cleanup.
+func mustOpenDisk(t *testing.T, dir string, budget int64) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestDiskRecordRoundTrip(t *testing.T) {
+	k := testKey(StageModulo, "roundtrip")
+	payload := []byte("arbitrary payload bytes \x00\xff")
+	rec := EncodeRecord(k, payload)
+	gotKey, gotPayload, err := DecodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != k {
+		t.Fatalf("key round trip: got %v want %v", gotKey, k)
+	}
+	if string(gotPayload) != string(payload) {
+		t.Fatalf("payload round trip: got %q want %q", gotPayload, payload)
+	}
+}
+
+func TestDiskCodecRoundTrip(t *testing.T) {
+	s := testSchedule(17)
+	b, err := encodeSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("schedule round trip: got %+v want %+v", got, s)
+	}
+
+	a := testAssignment(23)
+	b, err = encodeAssignment(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := decodeAssignment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, a) {
+		t.Fatalf("assignment round trip: got %+v want %+v", gotA, a)
+	}
+}
+
+// TestDiskReopenRoundTrip is the restart story end to end: values
+// computed through one cache+disk pair are served, byte-identical and
+// without recomputation, by a fresh cache over a reopened directory.
+func TestDiskReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	kSched := testKey(StageModulo, "sched")
+	kAsg := testKey(StageAssign, "asg")
+	wantSched := testSchedule(9)
+	wantAsg := testAssignment(11)
+
+	d := mustOpenDisk(t, dir, BudgetUnlimited)
+	c := New()
+	c.AttachDisk(d)
+	if _, tier, err := GetAsTiered(c, kSched, func() (*modulo.Schedule, error) { return wantSched, nil }, nil); err != nil || tier != TierNone {
+		t.Fatalf("first schedule lookup: tier %v err %v", tier, err)
+	}
+	if _, tier, err := GetAsTiered(c, kAsg, func() (*core.Assignment, error) { return wantAsg, nil }, nil); err != nil || tier != TierNone {
+		t.Fatalf("first assignment lookup: tier %v err %v", tier, err)
+	}
+	d.Sync()
+	if st := d.Stats(); st.Writes != 2 {
+		t.Fatalf("expected 2 disk writes, got %+v", st)
+	}
+	d.Close()
+
+	// "Restart": fresh memory tier, reopened directory.
+	d2 := mustOpenDisk(t, dir, BudgetUnlimited)
+	if st := d2.Stats(); st.Entries != 2 {
+		t.Fatalf("reopened tier indexes %d entries, want 2", st.Entries)
+	}
+	c2 := New()
+	c2.AttachDisk(d2)
+	computed := 0
+	gotSched, tier, err := GetAsTiered(c2, kSched, func() (*modulo.Schedule, error) { computed++; return testSchedule(9), nil }, nil)
+	if err != nil || tier != TierDisk {
+		t.Fatalf("warm schedule lookup: tier %v err %v", tier, err)
+	}
+	if computed != 0 {
+		t.Fatal("warm schedule lookup recomputed")
+	}
+	if !reflect.DeepEqual(gotSched, wantSched) {
+		t.Fatalf("restored schedule differs: got %+v want %+v", gotSched, wantSched)
+	}
+	gotAsg, tier, err := GetAsTiered(c2, kAsg, func() (*core.Assignment, error) { computed++; return nil, nil }, nil)
+	if err != nil || tier != TierDisk || computed != 0 {
+		t.Fatalf("warm assignment lookup: tier %v err %v computed %d", tier, err, computed)
+	}
+	if !reflect.DeepEqual(gotAsg, wantAsg) {
+		t.Fatalf("restored assignment differs: got %+v want %+v", gotAsg, wantAsg)
+	}
+	// A second lookup of the same key is a memory hit, not a disk hit.
+	if _, tier, _ := GetAsTiered(c2, kSched, func() (*modulo.Schedule, error) { return nil, nil }, nil); tier != TierMemory {
+		t.Fatalf("resident lookup reports tier %v, want memory", tier)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 2 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after warm restart: %+v", st)
+	}
+}
+
+// corruptions are the mid-file disasters verified-on-read must absorb:
+// each mutates a record file in place.
+var corruptions = []struct {
+	name    string
+	corrupt func(t *testing.T, path string)
+}{
+	{"truncate", func(t *testing.T, path string) {
+		data := readFileT(t, path)
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"bitflip", func(t *testing.T, path string) {
+		data := readFileT(t, path)
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"zero", func(t *testing.T, path string) {
+		data := readFileT(t, path)
+		for i := range data {
+			data[i] = 0
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}},
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDiskCorruptionDegradesToMiss injects every corruption class into
+// a warm record and demands the contract of the tier: the lookup never
+// fails, the value recomputes byte-identically, the verify-failure
+// counter bumps, and the bad record is quarantined out of the
+// content-addressed namespace so it is never consulted again.
+func TestDiskCorruptionDegradesToMiss(t *testing.T) {
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			k := testKey(StageModulo, "victim-"+tc.name)
+			want := testSchedule(13)
+
+			d := mustOpenDisk(t, dir, BudgetUnlimited)
+			c := New()
+			c.AttachDisk(d)
+			if _, _, err := GetAsTiered(c, k, func() (*modulo.Schedule, error) { return want, nil }, nil); err != nil {
+				t.Fatal(err)
+			}
+			d.Sync()
+			d.Close()
+
+			path := filepath.Join(dir, string(StageModulo), nameOf(t, dir, StageModulo))
+			tc.corrupt(t, path)
+
+			d2 := mustOpenDisk(t, dir, BudgetUnlimited)
+			c2 := New()
+			c2.AttachDisk(d2)
+			computed := 0
+			got, tier, err := GetAsTiered(c2, k, func() (*modulo.Schedule, error) { computed++; return testSchedule(13), nil }, nil)
+			if err != nil {
+				t.Fatalf("corrupted record surfaced an error: %v", err)
+			}
+			if tier != TierNone || computed != 1 {
+				t.Fatalf("corrupted record did not degrade to a recomputing miss (tier %v, computed %d)", tier, computed)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recomputed value differs from the original: got %+v want %+v", got, want)
+			}
+			st := d2.Stats()
+			if st.VerifyFailures != 1 {
+				t.Fatalf("verify_failures = %d, want 1 (%+v)", st.VerifyFailures, st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt record still present in the content-addressed namespace")
+			}
+			qfiles, _ := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if len(qfiles) != 1 {
+				t.Fatalf("quarantine holds %d files, want 1", len(qfiles))
+			}
+			// The recomputed value was re-written behind; a third process
+			// restores it cleanly with no further verify failures.
+			d2.Sync()
+			d2.Close()
+			d3 := mustOpenDisk(t, dir, BudgetUnlimited)
+			c3 := New()
+			c3.AttachDisk(d3)
+			got3, tier, err := GetAsTiered(c3, k, func() (*modulo.Schedule, error) { t.Fatal("recomputed after repair"); return nil, nil }, nil)
+			if err != nil || tier != TierDisk {
+				t.Fatalf("post-repair lookup: tier %v err %v", tier, err)
+			}
+			if !reflect.DeepEqual(got3, want) {
+				t.Fatalf("post-repair value differs: got %+v want %+v", got3, want)
+			}
+			if st := d3.Stats(); st.VerifyFailures != 0 {
+				t.Fatalf("post-repair verify_failures = %d, want 0", st.VerifyFailures)
+			}
+		})
+	}
+}
+
+// nameOf returns the single record filename under dir/<stage>.
+func nameOf(t *testing.T, dir string, stage Stage) string {
+	t.Helper()
+	files, err := os.ReadDir(filepath.Join(dir, string(stage)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []string
+	for _, f := range files {
+		if strings.HasSuffix(f.Name(), recSuffix) {
+			recs = append(recs, f.Name())
+		}
+	}
+	if len(recs) != 1 {
+		t.Fatalf("expected exactly one record under %s, found %v", stage, recs)
+	}
+	return recs[0]
+}
+
+// TestDiskKillAndReopen proves a half-written write-behind record can
+// never poison the store: records become visible only through an atomic
+// rename, so a kill mid-write leaves a ".tmp" orphan that the next Open
+// deletes, and the key simply misses.
+func TestDiskKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(StageModulo, "halfwrite")
+	want := testSchedule(7)
+
+	// Simulate the crash: the payload made it halfway into the temp
+	// file and the process died before the rename.
+	stageDir := filepath.Join(dir, string(StageModulo))
+	if err := os.MkdirAll(stageDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := encodeSchedule(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := EncodeRecord(k, payload)
+	half := filepath.Join(stageDir, "deadbeef"+recSuffix+tmpSuffix)
+	if err := os.WriteFile(half, rec[:len(rec)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := mustOpenDisk(t, dir, BudgetUnlimited)
+	if _, err := os.Stat(half); !os.IsNotExist(err) {
+		t.Fatal("Open left the half-written temp file in place")
+	}
+	c := New()
+	c.AttachDisk(d)
+	computed := 0
+	got, tier, err := GetAsTiered(c, k, func() (*modulo.Schedule, error) { computed++; return testSchedule(7), nil }, nil)
+	if err != nil || tier != TierNone || computed != 1 {
+		t.Fatalf("post-crash lookup: tier %v err %v computed %d", tier, err, computed)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-crash value differs: got %+v want %+v", got, want)
+	}
+	if st := d.Stats(); st.VerifyFailures != 0 {
+		t.Fatalf("a cleaned temp file must not count as a verify failure (%+v)", st)
+	}
+}
+
+// TestDiskBudgetSweep bounds the directory: steady writes past the
+// byte budget must evict least-recently-used records and hold resident
+// bytes at or under the budget, across reopens too.
+func TestDiskBudgetSweep(t *testing.T) {
+	dir := t.TempDir()
+	const budget = int64(4 << 10)
+	d := mustOpenDisk(t, dir, budget)
+	c := New()
+	c.AttachDisk(d)
+	for i := 0; i < 200; i++ {
+		k := testKey(StageModulo, "sweep-"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		s := testSchedule(20 + i%7)
+		if _, _, err := GetAsTiered(c, k, func() (*modulo.Schedule, error) { return s, nil }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Sync()
+	st := d.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("disk tier sits at %d bytes, over the %d budget", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("budget never bound: zero evictions")
+	}
+	if st.Entries == 0 {
+		t.Fatal("sweep evicted everything: zero entries resident")
+	}
+	d.Close()
+
+	// Reopen honors the same bound over whatever survived.
+	d2 := mustOpenDisk(t, dir, budget)
+	if st := d2.Stats(); st.Bytes > budget || st.Entries == 0 {
+		t.Fatalf("reopened tier: %+v (budget %d)", st, budget)
+	}
+}
+
+// TestDiskRenamedRecordMisses: filenames locate records but never
+// authenticate them — the key inside the verified record is what
+// serves, so a record renamed onto the wrong fingerprint misses and is
+// quarantined.
+func TestDiskRenamedRecordMisses(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(StageModulo, "original")
+	d := mustOpenDisk(t, dir, BudgetUnlimited)
+	c := New()
+	c.AttachDisk(d)
+	if _, _, err := GetAsTiered(c, k, func() (*modulo.Schedule, error) { return testSchedule(5), nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	d.Close()
+
+	stageDir := filepath.Join(dir, string(StageModulo))
+	other := testKey(StageModulo, "someone-else")
+	oldPath := filepath.Join(stageDir, nameOf(t, dir, StageModulo))
+	newPath := filepath.Join(stageDir, fmt.Sprintf("%x%s", other.Sum[:], recSuffix))
+	if err := os.Rename(oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpenDisk(t, dir, BudgetUnlimited)
+	c2 := New()
+	c2.AttachDisk(d2)
+	computed := 0
+	if _, tier, err := GetAsTiered(c2, other, func() (*modulo.Schedule, error) { computed++; return testSchedule(1), nil }, nil); err != nil || tier != TierNone || computed != 1 {
+		t.Fatalf("renamed record: tier %v err %v computed %d", tier, err, computed)
+	}
+	if st := d2.Stats(); st.VerifyFailures != 1 {
+		t.Fatalf("renamed record verify_failures = %d, want 1", st.VerifyFailures)
+	}
+}
+
+// TestDiskUnpersistedStageStaysMemoryOnly: stages without a codec never
+// touch the directory.
+func TestDiskUnpersistedStageStaysMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpenDisk(t, dir, BudgetUnlimited)
+	c := New()
+	c.AttachDisk(d)
+	k := testKey(StageDDG, "graph")
+	if _, tier, err := GetAsTiered(c, k, func() (int, error) { return 42, nil }, nil); err != nil || tier != TierNone {
+		t.Fatalf("ddg lookup: tier %v err %v", tier, err)
+	}
+	d.Sync()
+	if st := d.Stats(); st.Writes != 0 || st.Misses != 0 {
+		t.Fatalf("unpersisted stage touched the disk tier: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, string(StageDDG))); !os.IsNotExist(err) {
+		t.Fatal("unpersisted stage grew a directory")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{TierNone: "miss", TierMemory: "memory", TierDisk: "disk"} {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", tier, got, want)
+		}
+	}
+}
+
+// TestDiskAccessorsAndClosedBehavior pins the tier's small read-only
+// surface (Dir, Budget, Stats, DiskStages, the Cache attach point) plus
+// the closed-Disk contract: after Close, lookups still read records
+// while puts and Sync degrade to no-ops — nothing panics, nothing
+// blocks.
+func TestDiskAccessorsAndClosedBehavior(t *testing.T) {
+	// The whole surface is nil-safe so callers can thread an optional
+	// tier without guards.
+	var nd *Disk
+	nd.Sync()
+	nd.Close()
+	if nd.Dir() != "" || nd.Budget() != BudgetUnlimited || nd.Stats() != (DiskStats{}) {
+		t.Error("nil Disk accessors are not zero-valued")
+	}
+	var nc *Cache
+	nc.AttachDisk(nil)
+	if nc.Disk() != nil {
+		t.Error("nil Cache claims an attached disk")
+	}
+
+	stages := DiskStages()
+	wantStage := map[Stage]bool{StageModulo: true, StageAssign: true}
+	if len(stages) != len(wantStage) {
+		t.Fatalf("DiskStages() = %v, want the two persisted stages", stages)
+	}
+	for _, s := range stages {
+		if !wantStage[s] {
+			t.Fatalf("DiskStages() includes unpersisted stage %v", s)
+		}
+	}
+
+	dir := t.TempDir()
+	d := mustOpenDisk(t, dir, 12345)
+	if d.Dir() != dir || d.Budget() != 12345 {
+		t.Errorf("accessors: dir %q budget %d", d.Dir(), d.Budget())
+	}
+	c := New()
+	c.AttachDisk(d)
+	if c.Disk() != d {
+		t.Error("AttachDisk did not take")
+	}
+
+	k := testKey(StageModulo, "accessors")
+	if _, _, err := c.GetOrComputeTiered(k, func() (any, error) {
+		return testSchedule(3), nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	d.Close()
+	d.Close() // idempotent
+	d.Sync()  // no-op after Close
+
+	// Lookups still serve the written record after Close...
+	if v, ok := d.get(k); !ok || v == nil {
+		t.Error("closed Disk no longer serves its records")
+	}
+	// ...while puts are silently dropped rather than panicking on the
+	// closed queue.
+	d.put(testKey(StageModulo, "late"), testSchedule(4))
+	if _, ok := d.get(testKey(StageModulo, "late")); ok {
+		t.Error("put after Close still stored a record")
+	}
+
+	// Detach restores the memory-only cache.
+	c.AttachDisk(nil)
+	if c.Disk() != nil {
+		t.Error("detach did not take")
+	}
+}

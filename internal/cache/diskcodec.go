@@ -1,0 +1,230 @@
+package cache
+
+// Stage value codecs for the disk tier. Only stages whose cached values
+// are plain data records are persisted: the modulo schedule (the II
+// loop is the pipeline's dominant cost, and the exact-solver arms can
+// spend real budget proving one optimal) and the composite bank
+// assignment. Dependence graphs and copy-inserted bodies stay
+// memory-only — they are cheap to rebuild relative to their serialized
+// size and full of pointers into compile-local IR.
+//
+// Every decoder is written against adversarial input: lengths are
+// bounds-checked before any allocation sized by them, and a malformed
+// payload is an error, never a panic (FuzzDiskCacheCodec pins this).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/modulo"
+)
+
+// codec serializes one stage's cached values for the disk tier.
+type codec struct {
+	encode func(v any) ([]byte, error)
+	decode func(b []byte) (any, error)
+}
+
+// diskCodecs maps the persisted stages to their codecs. Immutable after
+// package init, so reads need no lock.
+var diskCodecs = map[Stage]codec{
+	StageModulo: {encode: encodeSchedule, decode: decodeSchedule},
+	StageAssign: {encode: encodeAssignment, decode: decodeAssignment},
+}
+
+// diskCodec returns the codec for stage, if the stage is persisted.
+func diskCodec(s Stage) (codec, bool) {
+	c, ok := diskCodecs[s]
+	return c, ok
+}
+
+// DiskStages lists the pipeline stages the disk tier persists, for
+// documentation and tests.
+func DiskStages() []Stage { return []Stage{StageModulo, StageAssign} }
+
+// maxDecodeElems caps decoded slice lengths: no real loop has a million
+// operations or registers, and the cap keeps a corrupt length prefix
+// from turning into a giant allocation before the contents fail to
+// parse.
+const maxDecodeElems = 1 << 20
+
+// reader is a bounds-checked varint cursor over a codec payload.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) int() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrBadRecord, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// length reads a non-negative element count with the sanity cap.
+func (r *reader) length() (int, error) {
+	v, err := r.int()
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxDecodeElems {
+		return 0, fmt.Errorf("%w: implausible length %d", ErrBadRecord, v)
+	}
+	return int(v), nil
+}
+
+// done errors unless the payload was consumed exactly.
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadRecord, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func appendInts(buf []byte, xs []int) []byte {
+	buf = binary.AppendVarint(buf, int64(len(xs)))
+	for _, x := range xs {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
+}
+
+func (r *reader) ints() ([]int, error) {
+	n, err := r.length()
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		v, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: implausible value %d", ErrBadRecord, v)
+		}
+		xs[i] = int(v)
+	}
+	return xs, nil
+}
+
+// encodeSchedule flattens a *modulo.Schedule: II, Length, the per-op
+// cycle and cluster vectors.
+func encodeSchedule(v any) ([]byte, error) {
+	s, ok := v.(*modulo.Schedule)
+	if !ok || s == nil {
+		return nil, fmt.Errorf("cache: modulo codec got %T", v)
+	}
+	buf := make([]byte, 0, 8+2*10*len(s.Time))
+	buf = binary.AppendVarint(buf, int64(s.II))
+	buf = binary.AppendVarint(buf, int64(s.Length))
+	buf = appendInts(buf, s.Time)
+	buf = appendInts(buf, s.Cluster)
+	return buf, nil
+}
+
+func decodeSchedule(b []byte) (any, error) {
+	r := &reader{b: b}
+	ii, err := r.int()
+	if err != nil {
+		return nil, err
+	}
+	length, err := r.int()
+	if err != nil {
+		return nil, err
+	}
+	if ii < 0 || ii > maxDecodeElems || length < 0 || length > maxDecodeElems {
+		return nil, fmt.Errorf("%w: implausible schedule shape (II=%d, length=%d)", ErrBadRecord, ii, length)
+	}
+	times, err := r.ints()
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := r.ints()
+	if err != nil {
+		return nil, err
+	}
+	if len(clusters) != len(times) {
+		return nil, fmt.Errorf("%w: schedule has %d times but %d clusters", ErrBadRecord, len(times), len(clusters))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &modulo.Schedule{II: int(ii), Length: int(length), Time: times, Cluster: clusters}, nil
+}
+
+// encodeAssignment flattens a *core.Assignment: the bank count plus
+// (class, id, bank) triples in sorted register order, so one assignment
+// always encodes to one byte string.
+func encodeAssignment(v any) ([]byte, error) {
+	a, ok := v.(*core.Assignment)
+	if !ok || a == nil {
+		return nil, fmt.Errorf("cache: assign codec got %T", v)
+	}
+	regs := make([]ir.Reg, 0, len(a.Of))
+	for r := range a.Of {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Class != regs[j].Class {
+			return regs[i].Class < regs[j].Class
+		}
+		return regs[i].ID < regs[j].ID
+	})
+	buf := make([]byte, 0, 8+3*10*len(regs))
+	buf = binary.AppendVarint(buf, int64(a.Banks))
+	buf = binary.AppendVarint(buf, int64(len(regs)))
+	for _, r := range regs {
+		buf = binary.AppendVarint(buf, int64(r.Class))
+		buf = binary.AppendVarint(buf, int64(r.ID))
+		buf = binary.AppendVarint(buf, int64(a.Of[r]))
+	}
+	return buf, nil
+}
+
+func decodeAssignment(b []byte) (any, error) {
+	r := &reader{b: b}
+	banks, err := r.int()
+	if err != nil {
+		return nil, err
+	}
+	if banks < 0 || banks > maxDecodeElems {
+		return nil, fmt.Errorf("%w: implausible bank count %d", ErrBadRecord, banks)
+	}
+	n, err := r.length()
+	if err != nil {
+		return nil, err
+	}
+	of := make(map[ir.Reg]int, n)
+	for i := 0; i < n; i++ {
+		class, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		id, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		bank, err := r.int()
+		if err != nil {
+			return nil, err
+		}
+		if class < 0 || class > math.MaxUint8 || id < 0 || id > maxDecodeElems || bank < 0 || bank >= max(banks, 1) {
+			return nil, fmt.Errorf("%w: implausible assignment entry (class=%d id=%d bank=%d)", ErrBadRecord, class, id, bank)
+		}
+		of[ir.Reg{Class: ir.Class(class), ID: int(id)}] = int(bank)
+	}
+	if len(of) != n {
+		return nil, fmt.Errorf("%w: duplicate registers in assignment", ErrBadRecord)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &core.Assignment{Banks: int(banks), Of: of}, nil
+}

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+)
+
+// FuzzDiskCacheCodec hammers the disk tier's two defensive layers with
+// arbitrary bytes:
+//
+//  1. the record framing (DecodeRecord) and both stage payload decoders
+//     must never panic, whatever the input — a corrupt or adversarial
+//     record file degrades to a miss, not a crash;
+//  2. whenever arbitrary bytes do parse, the parsed value must survive
+//     an encode→decode round trip unchanged — writes are canonical even
+//     when reads are liberal (non-minimal varints, unsorted assignment
+//     entries), so everything the tier ever writes re-reads exactly.
+func FuzzDiskCacheCodec(f *testing.F) {
+	// Seed with well-formed records of both persisted stages, plus
+	// near-miss mutations the fuzzer can build on.
+	sched, _ := encodeSchedule(testSchedule(6))
+	asg, _ := encodeAssignment(testAssignment(4))
+	rec := EncodeRecord(Key{Stage: StageModulo, Sum: sha256.Sum256([]byte("seed"))}, sched)
+	f.Add(rec)
+	f.Add(EncodeRecord(Key{Stage: StageAssign, Sum: sha256.Sum256([]byte("seed2"))}, asg))
+	f.Add(rec[:len(rec)-1])
+	f.Add(append(bytes.Clone(rec), 0))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// None of these may panic on any input.
+		if k, payload, err := DecodeRecord(data); err == nil {
+			// A record that verified must survive re-framing.
+			k2, payload2, err := DecodeRecord(EncodeRecord(k, payload))
+			if err != nil || k2 != k || !bytes.Equal(payload2, payload) {
+				t.Fatalf("frame round trip diverges (err %v)", err)
+			}
+		}
+		if v, err := decodeSchedule(data); err == nil {
+			re, err := encodeSchedule(v)
+			if err != nil {
+				t.Fatalf("decoded schedule fails to re-encode: %v", err)
+			}
+			v2, err := decodeSchedule(re)
+			if err != nil || !reflect.DeepEqual(v, v2) {
+				t.Fatalf("schedule round trip diverges (err %v):\n in  %+v\n out %+v", err, v, v2)
+			}
+		}
+		if v, err := decodeAssignment(data); err == nil {
+			re, err := encodeAssignment(v)
+			if err != nil {
+				t.Fatalf("decoded assignment fails to re-encode: %v", err)
+			}
+			v2, err := decodeAssignment(re)
+			if err != nil || !reflect.DeepEqual(v, v2) {
+				t.Fatalf("assignment round trip diverges (err %v):\n in  %+v\n out %+v", err, v, v2)
+			}
+		}
+	})
+}

@@ -102,10 +102,10 @@ func runSchedule(ctx context.Context, c *cache.Cache, fp *cache.BlockFP, gOpts d
 		return modulo.Run(ctx, g, cfg, opt)
 	}
 	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII)
-	s, hit, err := cache.GetAsCosted(c, k, func() (*modulo.Schedule, error) {
+	s, tier, err := cache.GetAsTiered(c, k, func() (*modulo.Schedule, error) {
 		return modulo.Run(ctx, g, cfg, opt)
 	}, scheduleCost)
-	countCache(opt.Tracer, "modulo", hit)
+	countCacheTier(opt.Tracer, "modulo", tier)
 	return s, err
 }
 
@@ -159,8 +159,8 @@ func assignBanks(loop *ir.Loop, fp *cache.BlockFP, res *Result, part partition.P
 		return compute()
 	}
 	k := assignKey(fp, res.IdealCfg, gOpts, cfg.Clusters, weights, opt)
-	frozen, hit, err := cache.GetAsCosted(opt.Cache, k, compute, assignCost)
-	countCache(tr, "assign", hit)
+	frozen, tier, err := cache.GetAsTiered(opt.Cache, k, compute, assignCost)
+	countCacheTier(tr, "assign", tier)
 	return frozen, err
 }
 
@@ -237,5 +237,16 @@ func countCache(tr *trace.Tracer, stage string, hit bool) {
 		tr.Add("cache."+stage+".hits", 1)
 	} else {
 		tr.Add("cache."+stage+".misses", 1)
+	}
+}
+
+// countCacheTier is countCache for the stages with a persistent tier: a
+// restore from disk counts as a hit (no recompute happened) but also
+// bumps a dedicated diskhits counter, so trace summaries show how much
+// warmth survived a restart versus living in memory.
+func countCacheTier(tr *trace.Tracer, stage string, tier cache.Tier) {
+	countCache(tr, stage, tier != cache.TierNone)
+	if tier == cache.TierDisk {
+		tr.Add("cache."+stage+".diskhits", 1)
 	}
 }

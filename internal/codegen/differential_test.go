@@ -150,3 +150,41 @@ func diffMemory(t *testing.T, loop, cfg string, want, got *interp.State) {
 		}
 	}
 }
+
+// TestDifferentialSweepDiskCache runs the interpreter equivalence sweep
+// (identical memory stores and register results for every loop on every
+// clustered machine) with the persistent disk tier attached — first
+// against a cold directory that the sweep itself populates, then as a
+// simulated restart: a fresh memory cache in front of the now-warm
+// directory. Disk-restored schedules and assignments must steer the
+// compiled code to the same interpreted behavior as recomputation, the
+// tier's end-to-end correctness guarantee.
+func TestDifferentialSweepDiskCache(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	dir := t.TempDir()
+
+	cold, err := cache.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDifferentialSweepOpts(t, loops, Options{SkipAlloc: true, Cache: cache.New(), Disk: cold})
+	cold.Close() // flush write-behinds so the warm arm sees every record
+	if cold.Stats().Writes == 0 {
+		t.Fatal("cold sweep wrote nothing to the disk tier")
+	}
+
+	warm, err := cache.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	c := cache.New()
+	runDifferentialSweepOpts(t, loops, Options{SkipAlloc: true, Cache: c, Disk: warm})
+	st := c.Stats()
+	if st.DiskHits == 0 {
+		t.Fatal("warm sweep drew zero disk-tier hits — it re-proved nothing")
+	}
+	if vf := warm.Stats().VerifyFailures; vf != 0 {
+		t.Fatalf("%d records failed verification on a cleanly written directory", vf)
+	}
+}

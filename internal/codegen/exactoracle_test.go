@@ -119,6 +119,13 @@ func TestExactArmDisabledAllocFree(t *testing.T) {
 	if base > budget {
 		t.Fatalf("plain compile costs %.0f allocs, budget %d", base, budget)
 	}
+	if raceDelayFactor > 1 {
+		// The race runtime allocates nondeterministically inside
+		// instrumented code, so AllocsPerRun counts jitter by a few
+		// allocations between runs; exact equality only holds on the
+		// plain runtime.
+		t.Skipf("skipping exact-equality check under the race detector (base %.0f, armOff %.0f)", base, armOff)
+	}
 	if armOff != base {
 		t.Fatalf("disabled exact arm changed allocations: %.0f vs %.0f", armOff, base)
 	}

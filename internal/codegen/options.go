@@ -60,6 +60,14 @@ type Config struct {
 	// budget is applied to Cache at every pipeline entry point, so a
 	// Config fully describes the cache behavior it compiles under.
 	CacheBudget int64
+	// Disk attaches a persistent second tier behind Cache (see
+	// cache.OpenDisk): memory misses for the persisted stages consult
+	// verified on-disk records before recomputing, and fresh results are
+	// written behind, so a restarted process starts warm. Like
+	// CacheBudget it is applied at every pipeline entry point; nil
+	// leaves whatever tier the Cache already has (usually none).
+	// Results are byte-identical with the tier on, cold or warm.
+	Disk *cache.Disk
 	// Scratch optionally pins one compilation's reusable stage buffers
 	// (dependence analysis, scheduling, RCG, coloring — see
 	// internal/scratch) to a caller-owned arena. Nil makes Compile take an
@@ -113,12 +121,19 @@ type RefineOptions struct {
 	TrialsPerRound int
 }
 
-// applyCacheBudget threads Config.CacheBudget onto the attached cache.
-// Idempotent and allocation-free; called at every pipeline entry point
-// so the budget holds no matter which layer built the cache.
+// applyCacheBudget threads Config.CacheBudget and Config.Disk onto the
+// attached cache. Idempotent and allocation-free; called at every
+// pipeline entry point so the budget and the persistent tier hold no
+// matter which layer built the cache.
 func (c *Config) applyCacheBudget() {
-	if c.Cache != nil && c.CacheBudget != 0 {
+	if c.Cache == nil {
+		return
+	}
+	if c.CacheBudget != 0 {
 		c.Cache.SetBudget(c.CacheBudget)
+	}
+	if c.Disk != nil && c.Cache.Disk() != c.Disk {
+		c.Cache.AttachDisk(c.Disk)
 	}
 }
 

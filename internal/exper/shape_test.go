@@ -120,3 +120,53 @@ func TestGoldenTablesBudgeted(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenTablesDiskCache is the persistent tier's differential
+// guarantee at suite scale: Tables 1-2 and the Figure histogram must be
+// byte-identical to the uncached golden with the disk tier off, with a
+// cold (empty) disk directory, and with a pre-warmed directory serving a
+// restarted process whose memory cache starts empty. Byte-identity here
+// means the tier can never change a result — only where it came from.
+func TestGoldenTablesDiskCache(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "tables_n40.golden"))
+	if err != nil {
+		t.Fatalf("golden file missing (run TestGoldenTables with -update): %v", err)
+	}
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	render := func(c *cache.Cache, d *cache.Disk) string {
+		results := RunSuite(loops, machine.PaperConfigs(), Options{
+			Codegen: codegen.Options{SkipAlloc: true, Cache: c, Disk: d},
+		})
+		return Table1(results) + "\n" + Table2(results) + "\n" + Figure(results, 4)
+	}
+	dir := t.TempDir()
+
+	if got := render(cache.New(), nil); got != string(want) {
+		t.Errorf("disk off: tables diverge from the uncached golden:\n--- got\n%s", got)
+	}
+
+	cold, err := cache.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(cache.New(), cold); got != string(want) {
+		t.Errorf("disk cold: tables diverge from the uncached golden:\n--- got\n%s", got)
+	}
+	cold.Close() // flush the write-behind queue before the reopen
+	if cold.Stats().Writes == 0 {
+		t.Fatal("cold run wrote nothing — the warm arm below would prove nothing")
+	}
+
+	warm, err := cache.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	c := cache.New()
+	if got := render(c, warm); got != string(want) {
+		t.Errorf("disk warm: tables diverge from the uncached golden:\n--- got\n%s", got)
+	}
+	if st := c.Stats(); st.DiskHits == 0 {
+		t.Error("warm run drew zero disk-tier hits — the directory did not serve the restart")
+	}
+}

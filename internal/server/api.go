@@ -132,10 +132,64 @@ type CompileResponse struct {
 	KernelCopies     int              `json:"kernel_copies"`
 	Spills           int              `json:"spills"`
 	CacheHit         bool             `json:"cache_hit,omitempty"`
+	CacheTier        string           `json:"cache_tier,omitempty"`
 	Schedule         []ScheduledOp    `json:"schedule"`
 	Refine           *RefineReport    `json:"refine,omitempty"`
 	Exact            *ExactGapReport  `json:"exact,omitempty"`
 	Expansion        *ExpansionReport `json:"expansion,omitempty"`
+}
+
+// BatchRequest is the POST /compile/batch body: many loops in one
+// request, decoded in a single pass. The top-level fields are defaults
+// an item inherits when it leaves the corresponding field zero.
+type BatchRequest struct {
+	// Machine is the default target for items whose own spec is zero.
+	Machine MachineSpec `json:"machine,omitempty"`
+	// Partitioner is the default method for items that name none.
+	Partitioner string `json:"partitioner,omitempty"`
+	// TimeoutMS is the default per-item compile deadline; each item runs
+	// under its own deadline, so one slow loop cannot consume the whole
+	// batch's time. 0 uses the server default, and the server's
+	// -max-timeout cap applies per item.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Items are the loops to compile, at most MaxBatchItems of them.
+	Items []CompileRequest `json:"items"`
+}
+
+// applyDefaults folds the batch-level defaults into one item.
+func (b *BatchRequest) applyDefaults(item *CompileRequest, idx int) {
+	if item.Name == "" {
+		item.Name = fmt.Sprintf("loop%d", idx)
+	}
+	if item.Machine == (MachineSpec{}) {
+		item.Machine = b.Machine
+	}
+	if item.Partitioner == "" {
+		item.Partitioner = b.Partitioner
+	}
+	if item.TimeoutMS == 0 {
+		item.TimeoutMS = b.TimeoutMS
+	}
+}
+
+// BatchItem is one loop's outcome inside a batch: exactly one of Result
+// and Error is set, and Code is the status the same request would have
+// drawn from /compile (200, 422, 504...). A failing item never fails the
+// batch — errors stay item-level. In the NDJSON streaming mode each
+// BatchItem is one output line, emitted in completion order; Index maps
+// it back to the request's Items slice.
+type BatchItem struct {
+	Index  int              `json:"index"`
+	Code   int              `json:"code"`
+	Result *CompileResponse `json:"result,omitempty"`
+	Error  *ErrorResponse   `json:"error,omitempty"`
+}
+
+// BatchResponse is the buffered (non-streaming) POST /compile/batch
+// success body; Items is in request order.
+type BatchResponse struct {
+	Items  []BatchItem `json:"items"`
+	Errors int         `json:"errors"`
 }
 
 // ErrorResponse is every non-2xx body.

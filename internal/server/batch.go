@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file implements POST /compile/batch: many loops through one
+// request. The batch body is decoded in a single pass, then every item
+// becomes an independent compile on the shared worker pool — batch items
+// enter the queue with blocking backpressure (pool.submitWait) instead
+// of the single endpoint's 429 shedding, so a large batch trickles
+// through at pool speed without starving interactive requests of their
+// fast-fail behavior. Each item runs under its own deadline and fails
+// item-level: one malformed or timed-out loop yields one BatchItem with
+// an error, never a failed batch.
+//
+// Two response modes share the handler:
+//
+//   - buffered JSON (default): one BatchResponse, items in request order;
+//   - NDJSON streaming (?stream=1 or Accept: application/x-ndjson): one
+//     BatchItem JSON line per loop in completion order, flushed as each
+//     compile finishes, so a client can pipeline its own consumption.
+
+const (
+	// MaxBatchItems caps the loops in one batch request.
+	MaxBatchItems = 1024
+	// maxBatchBody bounds the batch request body; at ~1KiB per typical
+	// loop this comfortably fits a full MaxBatchItems batch.
+	maxBatchBody = 8 << 20
+)
+
+// ndjsonContentType is the streaming response MIME type; requesting it
+// via Accept is equivalent to ?stream=1.
+const ndjsonContentType = "application/x-ndjson"
+
+func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var req BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, &ErrorResponse{Error: "batch has no items"})
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		writeJSON(w, http.StatusBadRequest, &ErrorResponse{
+			Error: fmt.Sprintf("batch of %d items exceeds the limit of %d", len(req.Items), MaxBatchItems),
+		})
+		return
+	}
+	stream := r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
+
+	// Fan the items out. The goroutines only wait (parse + queue + block
+	// on the worker); the CPU-bound compiles themselves stay bounded by
+	// the pool, so a 1024-item batch holds 1024 cheap waiters and at
+	// most `workers` running compiles.
+	results := make(chan BatchItem, len(req.Items))
+	for i := range req.Items {
+		item := req.Items[i]
+		req.applyDefaults(&item, i)
+		go func(idx int, item CompileRequest) {
+			code, body := s.compileOne(r.Context(), &item, s.pool.submitWait)
+			bi := BatchItem{Index: idx, Code: code}
+			if resp, ok := body.(*CompileResponse); ok {
+				bi.Result = resp
+			} else if er, ok := body.(*ErrorResponse); ok {
+				bi.Error = er
+			}
+			results <- bi
+		}(i, item)
+	}
+
+	errs := 0
+	if stream {
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for range req.Items {
+			bi := <-results
+			if bi.Error != nil {
+				errs++
+			}
+			_ = enc.Encode(&bi) // Encoder terminates each value with \n
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	} else {
+		items := make([]BatchItem, len(req.Items))
+		for range req.Items {
+			bi := <-results
+			items[bi.Index] = bi
+			if bi.Error != nil {
+				errs++
+			}
+		}
+		writeJSON(w, http.StatusOK, &BatchResponse{Items: items, Errors: errs})
+	}
+
+	s.metrics.observeBatch(len(req.Items), time.Since(started))
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("batch items=%d errors=%d stream=%v dur=%s",
+			len(req.Items), errs, stream, time.Since(started).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,365 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/trace"
+)
+
+// postBatch fires one buffered /compile/batch request and decodes the
+// response; non-200 responses are decoded into an ErrorResponse instead.
+func postBatch(t *testing.T, url string, req *BatchRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/compile/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %d response: %v", resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestBatchMixedItems proves the partial-failure contract: one batch
+// carrying good loops and one malformed loop yields HTTP 200 with the
+// bad item failed item-level, good items compiled normally, and every
+// item in request order. It also pins the default inheritance (machine,
+// per-item names) and that a second identical batch is served from the
+// cache with the tier labeled.
+func TestBatchMixedItems(t *testing.T) {
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := &BatchRequest{
+		Machine: MachineSpec{Clusters: 4, CopyModel: "embedded"},
+		Items: []CompileRequest{
+			{Name: "good-a", Source: dotSource(2)},
+			{Source: "0: this is not a loop"},
+			{Name: "good-b", Source: dotSource(3), Machine: MachineSpec{Clusters: 2}},
+		},
+	}
+	var got BatchResponse
+	if code := postBatch(t, ts.URL, req, &got); code != http.StatusOK {
+		t.Fatalf("status %d, want 200 despite the bad item", code)
+	}
+	if len(got.Items) != 3 || got.Errors != 1 {
+		t.Fatalf("got %d items / %d errors, want 3 / 1", len(got.Items), got.Errors)
+	}
+	for i, bi := range got.Items {
+		if bi.Index != i {
+			t.Errorf("item %d carries index %d — buffered mode must be request order", i, bi.Index)
+		}
+	}
+	if bi := got.Items[0]; bi.Code != http.StatusOK || bi.Result == nil || bi.Result.Name != "good-a" {
+		t.Errorf("item 0: code %d result %+v", bi.Code, bi.Result)
+	}
+	if bi := got.Items[1]; bi.Code != http.StatusBadRequest || bi.Error == nil || bi.Result != nil {
+		t.Errorf("bad item: code %d error %+v result %+v, want item-level 400", bi.Code, bi.Error, bi.Result)
+	}
+	// Item 0 had no machine spec: the batch default (4 clusters) applies.
+	// Item 2 named its own and must keep it.
+	if m := got.Items[0].Result.Machine; got.Items[2].Result.Machine == m {
+		t.Errorf("default and explicit machine collapsed to %q", m)
+	}
+
+	// The same batch again: every good item must now be a memory-tier hit.
+	var again BatchResponse
+	if code := postBatch(t, ts.URL, req, &again); code != http.StatusOK {
+		t.Fatalf("second batch status %d", code)
+	}
+	for _, bi := range again.Items {
+		if bi.Result == nil {
+			continue
+		}
+		if !bi.Result.CacheHit || bi.Result.CacheTier != "memory" {
+			t.Errorf("repeat item %d: cache_hit=%v tier=%q, want memory-tier hit",
+				bi.Index, bi.Result.CacheHit, bi.Result.CacheTier)
+		}
+	}
+}
+
+// TestBatchStreaming exercises the NDJSON mode: one BatchItem per line,
+// flushed in completion order, every index represented exactly once, and
+// results identical to what the single endpoint would return.
+func TestBatchStreaming(t *testing.T) {
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New()}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 6
+	req := &BatchRequest{Machine: MachineSpec{Clusters: 4}}
+	for i := 0; i < n; i++ {
+		req.Items = append(req.Items, CompileRequest{Source: dotSource(1 + i%3)})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/compile/batch?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ndjsonContentType {
+		t.Fatalf("content type %q, want %q", ct, ndjsonContentType)
+	}
+	seen := make(map[int]bool)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var bi BatchItem
+		if err := dec.Decode(&bi); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding stream line: %v", err)
+		}
+		if seen[bi.Index] {
+			t.Fatalf("index %d streamed twice", bi.Index)
+		}
+		seen[bi.Index] = true
+		if bi.Code != http.StatusOK || bi.Result == nil {
+			t.Fatalf("index %d: code %d", bi.Index, bi.Code)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("stream delivered %d items, want %d", len(seen), n)
+	}
+}
+
+// TestBatchItemDeadline pins the per-item deadline semantics: a 1ms item
+// deadline on a heavyweight loop fails that item with the single
+// endpoint's 504 convention while its batchmates, under the server
+// default deadline, still compile.
+func TestBatchItemDeadline(t *testing.T) {
+	s := New(Config{Pipeline: codegen.Config{}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := &BatchRequest{
+		Machine: MachineSpec{Clusters: 4},
+		Items: []CompileRequest{
+			// Refinement multiplies the compile by ~a hundred trial
+			// compiles, so 1ms cannot possibly cover it on any machine.
+			{Name: "doomed", Source: dotSource(32), Refine: true, TimeoutMS: 1},
+			{Name: "fine", Source: dotSource(2)},
+		},
+	}
+	var got BatchResponse
+	if code := postBatch(t, ts.URL, req, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if bi := got.Items[0]; bi.Code != http.StatusGatewayTimeout || bi.Error == nil {
+		t.Errorf("deadline item: code %d error %+v, want 504", bi.Code, bi.Error)
+	}
+	if bi := got.Items[1]; bi.Code != http.StatusOK || bi.Result == nil {
+		t.Errorf("patient item: code %d, want 200", bi.Code)
+	}
+}
+
+// TestBatchRejectsOversizeAndEmpty pins the request-level 400s: no items,
+// and more items than MaxBatchItems.
+func TestBatchRejectsOversizeAndEmpty(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var er ErrorResponse
+	if code := postBatch(t, ts.URL, &BatchRequest{}, &er); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	big := &BatchRequest{Items: make([]CompileRequest, MaxBatchItems+1)}
+	if code := postBatch(t, ts.URL, big, &er); code != http.StatusBadRequest {
+		t.Errorf("oversize batch: status %d, want 400", code)
+	}
+}
+
+// TestSoakBatchDisk is TestSoakBoundedCache's persistent-tier sibling,
+// run under -race in CI's soak step. Generation one warms a disk
+// directory through batch traffic and shuts down; generation two reopens
+// the same directory behind a cold memory cache and serves concurrent
+// /compile/batch (buffered and streaming) plus single /compile traffic.
+// It proves the serving properties the tier exists for:
+//
+//   - the restarted process draws nonzero disk-tier hits — warmth
+//     survived the restart;
+//   - disk bytes stay at or under the configured budget, and no record
+//     ever fails verification under concurrent access;
+//   - after both generations drain, no goroutine outlives its server or
+//     disk tier.
+func TestSoakBatchDisk(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	const diskBudget = int64(1 << 20)
+
+	loops := loopgen.Generate(loopgen.Params{N: 24, Seed: loopgen.DefaultParams().Seed})
+	sources := make([]string, len(loops))
+	for i, l := range loops {
+		sources[i] = l.Body.String()
+	}
+	newGen := func() (*cache.Cache, *cache.Disk, *Server, *httptest.Server) {
+		d, err := cache.OpenDisk(dir, diskBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cache.New()
+		s := New(Config{
+			QueueDepth: 64,
+			Pipeline:   codegen.Config{Cache: c, Disk: d, SkipAlloc: true},
+		})
+		return c, d, s, httptest.NewServer(s.Handler())
+	}
+	batchOf := func(rng *rand.Rand, size int) *BatchRequest {
+		req := &BatchRequest{Machine: MachineSpec{Clusters: 4}}
+		for i := 0; i < size; i++ {
+			idx := rng.Intn(len(sources))
+			req.Items = append(req.Items, CompileRequest{
+				Name:    fmt.Sprintf("soak-%d", idx),
+				Source:  sources[idx],
+				Machine: MachineSpec{Clusters: 2 << uint(i%3)},
+			})
+		}
+		return req
+	}
+
+	// Generation one: push every (loop, machine) combination through the
+	// batch endpoint so the write-behind populates the directory, then
+	// shut down cleanly (Close flushes the queue).
+	c1, d1, s1, ts1 := newGen()
+	rng := rand.New(rand.NewSource(0xBA7C4))
+	for i := 0; i < 6; i++ {
+		var resp BatchResponse
+		if code := postBatch(t, ts1.URL, batchOf(rng, 12), &resp); code != http.StatusOK {
+			t.Fatalf("warm-up batch %d: status %d", i, code)
+		}
+		if resp.Errors != 0 {
+			t.Fatalf("warm-up batch %d: %d item errors", i, resp.Errors)
+		}
+	}
+	ts1.Close()
+	s1.Close()
+	d1.Close()
+	if w := d1.Stats().Writes; w == 0 {
+		t.Fatal("generation one wrote nothing to the disk tier")
+	}
+	if st := c1.Stats(); st.Misses == 0 {
+		t.Fatalf("generation one compiled nothing: %s", st)
+	}
+
+	// Generation two: cold memory, warm disk, mixed concurrent traffic.
+	c2, d2, s2, ts2 := newGen()
+	iters := 8
+	if raceDelayFactor > 1 {
+		iters = 3
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(2)
+		// One batch client per pair, buffered or streaming.
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(0xBEEF ^ g)))
+			for i := 0; i < iters; i++ {
+				req := batchOf(rng, 8)
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Errorf("batch client %d: %v", g, err)
+					return
+				}
+				url := ts2.URL + "/compile/batch"
+				if g%2 == 1 {
+					url += "?stream=1"
+				}
+				resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("batch client %d: %v", g, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch client %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+		// One single-compile client per pair, sharing the same tiers.
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(0xF00D ^ g)))
+			for i := 0; i < iters*6; i++ {
+				idx := rng.Intn(len(sources))
+				body, _ := json.Marshal(&CompileRequest{
+					Name:    fmt.Sprintf("soak-%d", idx),
+					Source:  sources[idx],
+					Machine: MachineSpec{Clusters: 4},
+				})
+				resp, err := http.Post(ts2.URL+"/compile", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("single client %d: %v", g, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("single client %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c2.Stats()
+	ds := d2.Stats()
+	t.Logf("generation two: cache %s", st)
+	if st.DiskHits == 0 {
+		t.Error("restarted server drew zero disk-tier hits — warmth did not survive the restart")
+	}
+	if ds.Bytes > diskBudget {
+		t.Errorf("disk tier sits at %d bytes, over the %d budget", ds.Bytes, diskBudget)
+	}
+	if ds.VerifyFailures != 0 {
+		t.Errorf("%d records failed verification under clean concurrent traffic", ds.VerifyFailures)
+	}
+
+	ts2.Close()
+	s2.Close()
+	d2.Close()
+
+	// Both generations are down; nothing of theirs may still be running.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked: %d before, %d after drain", before, now)
+	}
+}

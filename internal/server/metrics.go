@@ -28,6 +28,13 @@ type metrics struct {
 	latSum   float64
 	latCount int64
 
+	// Batch endpoint telemetry: whole-batch latency histogram (same
+	// bucket bounds) plus the item throughput counter.
+	batchBuckets []int64
+	batchSum     float64
+	batchCount   int64
+	batchItems   atomic.Int64
+
 	deadlineExpired atomic.Int64
 	clientGone      atomic.Int64
 
@@ -59,9 +66,10 @@ func (m *metrics) observeExact(e *codegen.ExactReport) {
 
 func newMetrics(now time.Time) *metrics {
 	return &metrics{
-		start:   now,
-		byCode:  make(map[int]int64),
-		buckets: make([]int64, len(latencyBuckets)+1),
+		start:        now,
+		byCode:       make(map[int]int64),
+		buckets:      make([]int64, len(latencyBuckets)+1),
+		batchBuckets: make([]int64, len(latencyBuckets)+1),
 	}
 }
 
@@ -80,6 +88,23 @@ func (m *metrics) observe(code int, d time.Duration) {
 		}
 	}
 	m.buckets[len(latencyBuckets)]++
+}
+
+// observeBatch records one finished /compile/batch request.
+func (m *metrics) observeBatch(items int, d time.Duration) {
+	m.batchItems.Add(int64(items))
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchSum += sec
+	m.batchCount++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.batchBuckets[i]++
+			return
+		}
+	}
+	m.batchBuckets[len(latencyBuckets)]++
 }
 
 // handler renders every gauge and counter the server owns, plus the
@@ -111,7 +136,19 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "swpd_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "swpd_request_seconds_sum %g\n", m.latSum)
 	fmt.Fprintf(w, "swpd_request_seconds_count %d\n", m.latCount)
+	fmt.Fprintf(w, "# HELP swpd_batch_seconds Whole-batch /compile/batch latency.\n# TYPE swpd_batch_seconds histogram\n")
+	cum = 0
+	for i, ub := range latencyBuckets {
+		cum += m.batchBuckets[i]
+		fmt.Fprintf(w, "swpd_batch_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.batchBuckets[len(latencyBuckets)]
+	fmt.Fprintf(w, "swpd_batch_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "swpd_batch_seconds_sum %g\n", m.batchSum)
+	fmt.Fprintf(w, "swpd_batch_seconds_count %d\n", m.batchCount)
 	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP swpd_batch_items_total Loops compiled through /compile/batch.\n# TYPE swpd_batch_items_total counter\n")
+	fmt.Fprintf(w, "swpd_batch_items_total %d\n", m.batchItems.Load())
 
 	fmt.Fprintf(w, "# HELP swpd_deadline_expired_total Requests that hit their deadline mid-compile.\n# TYPE swpd_deadline_expired_total counter\n")
 	fmt.Fprintf(w, "swpd_deadline_expired_total %d\n", m.deadlineExpired.Load())
@@ -150,6 +187,26 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "swpd_cache_evictions_total %d\n", st.Evictions)
 		fmt.Fprintf(w, "# HELP swpd_cache_pinned Cache entries pinned by in-flight lookups.\n# TYPE swpd_cache_pinned gauge\n")
 		fmt.Fprintf(w, "swpd_cache_pinned %d\n", st.Pinned)
+
+		if d := s.cfg.Pipeline.Cache.Disk(); d != nil {
+			ds := d.Stats()
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_hits_total Lookups restored from the persistent tier instead of recomputed.\n# TYPE swpd_disk_cache_hits_total counter\n")
+			fmt.Fprintf(w, "swpd_disk_cache_hits_total %d\n", st.DiskHits)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_misses_total Disk-tier consultations that found no usable record.\n# TYPE swpd_disk_cache_misses_total counter\n")
+			fmt.Fprintf(w, "swpd_disk_cache_misses_total %d\n", ds.Misses)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_entries Records resident in the disk tier.\n# TYPE swpd_disk_cache_entries gauge\n")
+			fmt.Fprintf(w, "swpd_disk_cache_entries %d\n", ds.Entries)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_bytes Record bytes resident in the disk tier.\n# TYPE swpd_disk_cache_bytes gauge\n")
+			fmt.Fprintf(w, "swpd_disk_cache_bytes %d\n", ds.Bytes)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_budget_bytes Configured disk-tier byte budget (0 = unlimited).\n# TYPE swpd_disk_cache_budget_bytes gauge\n")
+			fmt.Fprintf(w, "swpd_disk_cache_budget_bytes %d\n", d.Budget())
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_writes_total Records written behind to the disk tier.\n# TYPE swpd_disk_cache_writes_total counter\n")
+			fmt.Fprintf(w, "swpd_disk_cache_writes_total %d\n", ds.Writes)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_evictions_total Records evicted by the disk byte budget.\n# TYPE swpd_disk_cache_evictions_total counter\n")
+			fmt.Fprintf(w, "swpd_disk_cache_evictions_total %d\n", ds.Evictions)
+			fmt.Fprintf(w, "# HELP swpd_disk_cache_verify_failures_total Records that failed checksum or decode verification and were quarantined.\n# TYPE swpd_disk_cache_verify_failures_total counter\n")
+			fmt.Fprintf(w, "swpd_disk_cache_verify_failures_total %d\n", ds.VerifyFailures)
+		}
 	}
 
 	if s.cfg.Pipeline.Tracer.Enabled() {

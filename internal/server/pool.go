@@ -94,6 +94,27 @@ func (p *pool) submit(t *task) error {
 	}
 }
 
+// submitWait enqueues t, blocking until queue space frees up or the
+// task's context dies. Batch items use it instead of submit so a large
+// batch trickles through the bounded queue with backpressure rather than
+// shedding itself with 429s; single requests keep the non-blocking
+// submit so interactive latency stays flat under load. A closed pool is
+// still an immediate ErrQueueFull.
+func (p *pool) submitWait(t *task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrQueueFull
+	}
+	select {
+	case p.tasks <- t:
+		p.queued.Add(1)
+		return nil
+	case <-t.ctx.Done():
+		return t.ctx.Err()
+	}
+}
+
 // close stops intake and waits for queued and running tasks to finish.
 // http.Server.Shutdown has already stopped new connections by the time
 // this runs, so the drain is bounded by the queue depth.

@@ -60,6 +60,7 @@ func New(cfg Config) *Server {
 		draining: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /compile", s.compileHandler)
+	s.mux.HandleFunc("POST /compile/batch", s.batchHandler)
 	s.mux.HandleFunc("GET /healthz", s.healthHandler)
 	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
 	return s
@@ -113,6 +114,16 @@ func (s *Server) compile(r *http.Request) (int, any) {
 	if req.Name == "" {
 		req.Name = "loop"
 	}
+	return s.compileOne(r.Context(), &req, s.pool.submit)
+}
+
+// compileOne runs one already-decoded compile request to completion:
+// parse, bound, enqueue via submit, wait, build the response. It is the
+// shared core of the single /compile handler (non-blocking submit, full
+// queue = 429) and each /compile/batch item (blocking submitWait, full
+// queue = backpressure). baseCtx is the connection context; the request
+// deadline is layered on top here.
+func (s *Server) compileOne(baseCtx context.Context, req *CompileRequest, submit func(*task) error) (int, any) {
 	loop, err := ir.ParseLoop(req.Name, req.Source)
 	if err != nil {
 		return http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
@@ -137,9 +148,9 @@ func (s *Server) compile(r *http.Request) (int, any) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	// r.Context() dies when the client disconnects; the deadline is
-	// layered on top so whichever fires first cancels the compile.
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// baseCtx dies when the client disconnects; the deadline is layered
+	// on top so whichever fires first cancels the compile.
+	ctx, cancel := context.WithTimeout(baseCtx, timeout)
 	defer cancel()
 
 	var (
@@ -147,9 +158,10 @@ func (s *Server) compile(r *http.Request) (int, any) {
 		stats *codegen.RefineStats
 		cerr  error
 	)
-	hitsBefore := int64(-1)
+	hitsBefore, diskBefore := int64(-1), int64(-1)
 	if opt.Cache.Enabled() {
-		hitsBefore = opt.Cache.Stats().Hits
+		cst := opt.Cache.Stats()
+		hitsBefore, diskBefore = cst.Hits, cst.DiskHits
 	}
 	t := &task{ctx: ctx, done: make(chan struct{})}
 	t.run = func(ctx context.Context, ar *scratch.Arena) {
@@ -160,8 +172,13 @@ func (s *Server) compile(r *http.Request) (int, any) {
 			res, cerr = codegen.Compile(ctx, loop, mcfg, opt)
 		}
 	}
-	if err := s.pool.submit(t); err != nil {
-		return http.StatusTooManyRequests, &ErrorResponse{Error: err.Error()}
+	if err := submit(t); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			return http.StatusTooManyRequests, &ErrorResponse{Error: err.Error()}
+		}
+		// submitWait gave up because the item's context died while it
+		// was waiting for queue space.
+		return s.ctxFailure(err, "")
 	}
 	<-t.done
 
@@ -175,13 +192,24 @@ func (s *Server) compile(r *http.Request) (int, any) {
 		}
 		return http.StatusUnprocessableEntity, &ErrorResponse{Error: cerr.Error()}
 	}
-	resp, err := buildResponse(&req, res, stats)
+	resp, err := buildResponse(req, res, stats)
 	if err != nil {
 		return http.StatusUnprocessableEntity, &ErrorResponse{Error: err.Error()}
 	}
 	s.metrics.observeExact(res.Exact)
 	if hitsBefore >= 0 {
-		resp.CacheHit = opt.Cache.Stats().Hits > hitsBefore
+		// Deltas over the shared counters: approximate under concurrency
+		// (as CacheHit always was) but the tier label lets clients see
+		// restart warmth — "disk" means at least one stage was restored
+		// from the persistent tier rather than recomputed.
+		cst := opt.Cache.Stats()
+		resp.CacheHit = cst.Hits > hitsBefore || cst.DiskHits > diskBefore
+		switch {
+		case cst.DiskHits > diskBefore:
+			resp.CacheTier = "disk"
+		case cst.Hits > hitsBefore:
+			resp.CacheTier = "memory"
+		}
 	}
 	return http.StatusOK, resp
 }

@@ -3,17 +3,20 @@
 # headline PR-2 number — the speedup of the content-addressed compile
 # cache on the full 211-loop x 2/4/8-cluster x copy-model experiment grid
 # (BenchmarkSuiteCached vs BenchmarkSuiteUncached) — the PR-3 number, the
-# swpd daemon's cached round-trip latency (BenchmarkServerCompile), and
-# the PR-4 numbers: the uncached-suite speedup and the single-loop
-# allocs/op reduction from the dense-index/scratch-arena work.
+# swpd daemon's cached round-trip latency (BenchmarkServerCompile), the
+# PR-4 numbers (uncached-suite speedup, single-loop allocs/op), and the
+# PR-7 numbers: the persistent disk tier's cold-start-to-warm speedup
+# (BenchmarkSuiteDiskCold vs BenchmarkSuiteDiskWarm, with the warm run's
+# disk_hit_pct) and the /compile/batch throughput in loops per second
+# (BenchmarkServerBatch).
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr4.json
+#   scripts/bench.sh                 # full run -> BENCH_pr7.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
 #   BASELINE=BENCH_pr2.json scripts/bench.sh   # compare against another PR
 #
 # After writing OUT, results are compared benchmark-by-benchmark against
-# BASELINE (default BENCH_pr3.json) and the time/alloc deltas are printed.
+# BASELINE (default BENCH_pr6.json) and the time/alloc deltas are printed.
 # The comparison is informational only: it never fails the run, so CI
 # fails on build/test errors but not on machine-speed noise.
 #
@@ -22,8 +25,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr4.json}
-BASELINE=${BASELINE:-BENCH_pr3.json}
+OUT=${OUT:-BENCH_pr7.json}
+BASELINE=${BASELINE:-BENCH_pr6.json}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
 
@@ -89,15 +92,23 @@ END {
     else
         printf "    \"uncached_suite_speedup_vs_baseline\": null,\n"
     if (base_pipe_allocs != "" && allocs["BenchmarkFullPipelineSingleLoop"] != "")
-        printf "    \"single_loop_allocs_delta_pct\": %.1f\n", (allocs["BenchmarkFullPipelineSingleLoop"] - base_pipe_allocs) / base_pipe_allocs * 100
+        printf "    \"single_loop_allocs_delta_pct\": %.1f,\n", (allocs["BenchmarkFullPipelineSingleLoop"] - base_pipe_allocs) / base_pipe_allocs * 100
     else
-        printf "    \"single_loop_allocs_delta_pct\": null\n"
+        printf "    \"single_loop_allocs_delta_pct\": null,\n"
+    if (ns["BenchmarkSuiteDiskCold"] != "" && ns["BenchmarkSuiteDiskWarm"] != "")
+        printf "    \"disk_warm_speedup\": %.3f,\n", ns["BenchmarkSuiteDiskCold"] / ns["BenchmarkSuiteDiskWarm"]
+    else
+        printf "    \"disk_warm_speedup\": null,\n"
+    if (ns["BenchmarkSuiteDiskCold"] != "" && ns["BenchmarkSuiteDiskWarm"] != "")
+        printf "    \"disk_cold_to_warm_saved_ms\": %.1f\n", (ns["BenchmarkSuiteDiskCold"] - ns["BenchmarkSuiteDiskWarm"]) / 1e6
+    else
+        printf "    \"disk_cold_to_warm_saved_ms\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
-grep -E '"suite_cache_speedup"' "$OUT" >&2
+grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"disk_cold_to_warm_saved_ms"' "$OUT" >&2
 
 # Before/after comparison against the baseline record. Parses the flat
 # per-benchmark lines out of both JSON files (our own known format, so a

@@ -20,10 +20,15 @@ go test -run='^$' -fuzz=FuzzGreedyPartition -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzModuloSchedule -fuzztime=10s ./internal/modulo
 go test -run='^$' -fuzz=FuzzCacheEquivalence -fuzztime=10s ./internal/codegen
 go test -run='^$' -fuzz=FuzzExactPartition -fuzztime=10s ./internal/exact
+go test -run='^$' -fuzz=FuzzDiskCacheCodec -fuzztime=10s ./internal/cache
 
 echo "== exact-solver coverage floor (90%) =="
 go test -coverprofile=/tmp/exact-cover.out -coverpkg=./internal/exact ./internal/exact
 go tool cover -func=/tmp/exact-cover.out | awk '/^total:/ {gsub(/%/, "", $NF); if ($NF + 0 < 90) { print "coverage " $NF "% is below the 90% floor"; exit 1 } print "coverage " $NF "% meets the 90% floor"}'
+
+echo "== disk-cache coverage floor (85%) =="
+go test -coverprofile=/tmp/cache-cover.out -coverpkg=./internal/cache ./internal/cache
+go tool cover -func=/tmp/cache-cover.out | awk '/^total:/ {gsub(/%/, "", $NF); if ($NF + 0 < 85) { print "coverage " $NF "% is below the 85% floor"; exit 1 } print "coverage " $NF "% meets the 85% floor"}'
 
 echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
 go run ./cmd/experiments
@@ -77,3 +82,14 @@ echo "== bounded-cache soak (short) =="
 # bytes must hold at the budget with a nonzero hit rate under eviction
 # churn. Short here; raise SWPD_SOAK_REQUESTS for a longer soak.
 SWPD_SOAK_REQUESTS=300 go test -race -run TestSoakBoundedCache ./internal/server
+
+echo "== disk tier: grid equality and crash/corruption layer =="
+# The persisted tier must never change an answer: golden tables and the
+# differential sweep re-run cold and warm over a disk directory, then the
+# corruption tests truncate/bit-flip/zero records and demand recomputing
+# misses with quarantine, and the batch+disk soak crosses a restart under
+# the race detector.
+go test -race -run 'TestGoldenTablesDiskCache' ./internal/exper
+go test -race -run 'TestDifferentialSweepDiskCache' ./internal/codegen
+go test -race -run 'TestDisk' ./internal/cache
+go test -race -run 'TestSoakBatchDisk' ./internal/server

@@ -23,7 +23,8 @@ echo "== building swpd and swpc ==" >&2
 go build -o "$TMP/swpd" ./cmd/swpd
 go build -o "$TMP/swpc" ./cmd/swpc
 
-"$TMP/swpd" -addr "127.0.0.1:$PORT" -quiet 2> "$TMP/swpd.log" &
+CACHEDIR="$TMP/cachedir"
+"$TMP/swpd" -addr "127.0.0.1:$PORT" -cache-dir "$CACHEDIR" -quiet 2> "$TMP/swpd.log" &
 PID=$!
 
 ok=0
@@ -72,7 +73,61 @@ curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/metrics.txt"
 grep -q 'swpd_requests_total{code="200"} 1' "$TMP/metrics.txt"
 grep -q 'swpd_request_seconds_count 1' "$TMP/metrics.txt"
 
-# SIGTERM must drain and exit cleanly.
+# Batch endpoint: two good items plus one malformed loop must yield HTTP
+# 200 with exactly one item-level error, and the streaming mode must
+# emit one NDJSON line per item.
+printf '{"machine": {"clusters": 4}, "items": [{"name": "a", "source": "%s"}, {"name": "bad", "source": "0: not a loop"}, {"name": "b", "source": "%s"}]}' "$SRC" "$SRC" > "$TMP/batch.json"
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/batch.json" \
+    "http://127.0.0.1:$PORT/compile/batch" > "$TMP/batchresp.json"
+grep -q '"errors": 1' "$TMP/batchresp.json"
+BATCH_II=$(sed -n 's/.*"part_ii": *\([0-9][0-9]*\).*/\1/p' "$TMP/batchresp.json" | head -1)
+if [ "$BATCH_II" != "$DAEMON_II" ]; then
+    echo "batch II mismatch: batch says $BATCH_II, single says $DAEMON_II" >&2
+    exit 1
+fi
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/batch.json" \
+    "http://127.0.0.1:$PORT/compile/batch?stream=1" > "$TMP/stream.ndjson"
+LINES=$(wc -l < "$TMP/stream.ndjson")
+if [ "$LINES" != 3 ]; then
+    echo "streaming batch emitted $LINES lines, want 3" >&2
+    cat "$TMP/stream.ndjson" >&2
+    exit 1
+fi
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/batch-metrics.txt"
+grep -q 'swpd_batch_items_total 6' "$TMP/batch-metrics.txt"
+echo "batch smoke: buffered and streaming agree" >&2
+
+# SIGTERM must drain and exit cleanly (flushing the disk write-behind).
+kill -TERM "$PID"
+wait "$PID"
+PID=
+
+# A restarted daemon over the same cache directory must serve the same
+# request from the disk tier: warmth survives the restart.
+"$TMP/swpd" -addr "127.0.0.1:$PORT" -cache-dir "$CACHEDIR" -quiet 2>> "$TMP/swpd.log" &
+PID=$!
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$ok" = 1 ]
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$PORT/compile" > "$TMP/warm.json"
+grep -q '"cache_tier": "disk"' "$TMP/warm.json"
+WARM_II=$(sed -n 's/.*"part_ii": *\([0-9][0-9]*\).*/\1/p' "$TMP/warm.json" | head -1)
+if [ "$WARM_II" != "$DAEMON_II" ]; then
+    echo "warm-restart II mismatch: warm says $WARM_II, cold said $DAEMON_II" >&2
+    exit 1
+fi
+curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/warm-metrics.txt"
+grep -Eq 'swpd_disk_cache_hits_total [1-9]' "$TMP/warm-metrics.txt"
+grep -q 'swpd_disk_cache_verify_failures_total 0' "$TMP/warm-metrics.txt"
+echo "disk tier smoke: restart served from disk (II=$WARM_II)" >&2
+
 kill -TERM "$PID"
 wait "$PID"
 PID=
