@@ -1,0 +1,131 @@
+package main
+
+// swpc's client mode: -server posts the loop to a running swpd over the
+// versioned /v1/ surface instead of compiling in-process, speaking either
+// codec (-wire json or binary). The binary path exercises the exact frame
+// layout the daemon's own differential tests pin, so the smoke script can
+// assert the two codecs agree end to end from a real client.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/loopgen"
+	"repro/internal/wire"
+)
+
+// runRemote compiles one loop through a remote swpd and prints a summary
+// in the same shape as the in-process report.
+func runRemote(serverURL, codec, file, partName, modelName string, n, loopIdx, clusters int, refined bool) error {
+	req := &wire.CompileRequest{
+		Machine:     wire.MachineSpec{Clusters: clusters, CopyModel: modelName},
+		Partitioner: partName,
+		Refine:      refined,
+	}
+	if clusters <= 1 {
+		req.Machine = wire.MachineSpec{}
+	}
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		req.Name, req.Source = file, string(src)
+	} else {
+		if loopIdx < 0 {
+			loopIdx = 0
+		}
+		loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
+		if loopIdx >= len(loops) {
+			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
+		}
+		req.Name, req.Source = loops[loopIdx].Name, loops[loopIdx].Body.String()
+	}
+
+	var resp *wire.CompileResponse
+	var err error
+	started := time.Now()
+	switch codec {
+	case "json":
+		resp, err = postCompileJSON(serverURL, req)
+	case "binary", "bin":
+		resp, err = postCompileBinary(serverURL, req)
+	default:
+		return fmt.Errorf("unknown wire codec %q (want json or binary)", codec)
+	}
+	if err != nil {
+		return err
+	}
+	rtt := time.Since(started)
+
+	fmt.Printf("loop %s on %s via %s (partitioner %s, %s codec)\n",
+		resp.Name, resp.Machine, serverURL, resp.Partitioner, codec)
+	fmt.Printf("  ideal II=%d   clustered II=%d   degradation=%.0f%%\n",
+		resp.IdealII, resp.PartII, resp.Degradation-100)
+	fmt.Printf("  kernel copies=%d  spills=%d  schedule rows=%d\n",
+		resp.KernelCopies, resp.Spills, len(resp.Schedule))
+	if resp.CacheHit {
+		fmt.Printf("  cache hit (%s tier)\n", resp.CacheTier)
+	}
+	fmt.Printf("  round trip %s\n", rtt.Round(time.Microsecond))
+	return nil
+}
+
+func postCompileJSON(serverURL string, req *wire.CompileRequest) (*wire.CompileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := http.Post(serverURL+"/v1/compile", wire.ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var e wire.ErrorResponse
+		if json.NewDecoder(hresp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %d: %s", hresp.StatusCode, e.Error)
+		}
+		return nil, fmt.Errorf("server: status %d", hresp.StatusCode)
+	}
+	var out wire.CompileResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+func postCompileBinary(serverURL string, req *wire.CompileRequest) (*wire.CompileResponse, error) {
+	frame := wire.AppendCompileRequest(nil, req)
+	hreq, err := http.NewRequest(http.MethodPost, serverURL+"/v1/compile", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hreq.Header.Set("Accept", wire.ContentTypeBinary)
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := wire.DecodeResponse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("decoding binary response (status %d): %w", hresp.StatusCode, err)
+	}
+	if dec.Err != nil {
+		return nil, fmt.Errorf("server: %d: %s", dec.Code, dec.Err.Error)
+	}
+	if dec.Compile == nil {
+		return nil, fmt.Errorf("unexpected frame kind in response (status %d)", hresp.StatusCode)
+	}
+	return dec.Compile, nil
+}

@@ -8,6 +8,11 @@
 //	swpc [-n suiteSize] [-loop index] [-clusters n] [-model embedded|copyunit]
 //	     [-partitioner rcg|portfolio|bug|roundrobin|random|single|exact] [-dump] [-worst k]
 //	     [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	     [-server http://host:8080 [-wire json|binary]]
+//
+// -server switches swpc into client mode: the loop is POSTed to a running
+// swpd's /v1/compile in the chosen codec (-wire) and the daemon's answer
+// is reported instead of compiling in-process.
 //
 // -trace writes the pipeline's JSON event stream (see internal/trace) and
 // prints the per-stage wall-time/counter breakdown after the report;
@@ -57,10 +62,20 @@ func main() {
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
 	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
+	serverURL := flag.String("server", "", "compile via a running swpd at this base URL instead of in-process")
+	wireName := flag.String("wire", "json", "client codec with -server: json or binary")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *serverURL != "" {
+		if err := runRemote(*serverURL, *wireName, *file, *partName, *modelName,
+			*n, *loopIdx, *clusters, *refined); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/modulo"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -45,6 +46,8 @@ func main() {
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (empty or 0 = unlimited, none = retain nothing)")
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
 	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
+	iiseed := flag.Bool("iiseed", true, "share a per-loop II prediction table so repeat scheduling starts at the last known II")
+	iiseedCap := flag.Int("iiseed-cap", 0, "entries retained in the II seed table (0 = default 65536)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	flag.Parse()
 
@@ -63,6 +66,9 @@ func main() {
 	scfg.Pipeline.Tracer = trace.New()
 	scfg.Pipeline.ExactBudget = *exactBudget
 	scfg.Pipeline.ExactNodes = *exactNodes
+	if *iiseed {
+		scfg.Pipeline.IISeed = modulo.NewSeedTable(*iiseedCap)
+	}
 	if *useCache || *cacheDir != "" {
 		budget, err := cache.ParseBudget(*cacheBudget)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/modulo"
 	"repro/internal/partition"
 	"repro/internal/trace"
 )
@@ -85,6 +86,17 @@ const (
 // warm. A nil d is a no-op.
 func WithDiskCache(d *DiskCache) Option {
 	return func(c *codegen.Config) { c.Disk = d }
+}
+
+// WithIISeed attaches a cross-compile II-seed table: both scheduling
+// stages start their II search from the II a previous structurally
+// identical problem settled on instead of at the lower bound, cutting
+// warm scheduling latency. Seeding never changes a schedule — by
+// determinism the skipped candidates are exactly the ones that failed
+// before — so results are byte-identical with or without it. A nil t is
+// a no-op.
+func WithIISeed(t *IISeedTable) Option {
+	return func(c *codegen.Config) { c.IISeed = t }
 }
 
 // WithTracer attaches a tracer that records per-stage spans and counters
@@ -193,6 +205,13 @@ type DiskCache = cache.Disk
 func OpenDiskCache(dir string, budgetBytes int64) (*DiskCache, error) {
 	return cache.OpenDisk(dir, budgetBytes)
 }
+
+// IISeedTable is the bounded cross-compile II-seed memo; see NewIISeed.
+type IISeedTable = modulo.SeedTable
+
+// NewIISeed returns an empty II-seed table for WithIISeed. capacity
+// bounds the entry count; <=0 selects the default (64Ki entries).
+func NewIISeed(capacity int) *IISeedTable { return modulo.NewSeedTable(capacity) }
 
 // Tracer records per-stage spans and counters; see NewTracer.
 type Tracer = trace.Tracer

@@ -14,7 +14,7 @@ import (
 // pinsOf reads the current pin count of k's entry (0 if absent), for
 // tests that want to wait until a known number of lookups are in flight.
 func (c *Cache) pinsOf(k Key) int {
-	s := &c.shards[int(k.Sum[0])%nShards]
+	s := &c.shards[int(k.Sum%nShards)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.m[k]; ok {

@@ -1,10 +1,13 @@
 // Package cache is the compile pipeline's content-addressed memoization
 // layer. Stage results (dependence graphs, modulo schedules) are keyed by
-// a canonical SHA-256 fingerprint of exactly the inputs the stage
-// consults — the loop body and the stage-relevant slice of the machine
-// configuration — so structurally identical requests share one
-// computation no matter which machine of the experiment grid, which
-// partitioning method, or which worker goroutine asks.
+// a canonical fingerprint of exactly the inputs the stage consults — the
+// loop body and the stage-relevant slice of the machine configuration —
+// so structurally identical requests share one computation no matter
+// which machine of the experiment grid, which partitioning method, or
+// which worker goroutine asks. In-memory keys digest the encoding with
+// XXH64 (internal/xxh); keys bound for the persistent tier additionally
+// carry a SHA-256 sum so on-disk record names are unchanged across the
+// hashing split (see Key and DiskKey).
 //
 // The design target is the experiment harness: regenerating the paper's
 // tables runs the same 211 loops across the 2/4/8-cluster × copy-model
@@ -65,18 +68,44 @@ const (
 	// assignment — independent of the copy model, which only prices the
 	// inserted copies downstream.
 	StageCopyIns Stage = "copyins"
+	// StageAlloc keys per-bank register allocation (step 5), a pure
+	// function of the clustered graph, schedule and extended assignment —
+	// all themselves determined by the rewritten body and the scheduling
+	// inputs, so the key names those rather than the intermediate objects.
+	StageAlloc Stage = "alloc"
 )
 
-// Key is a content-addressed cache key: the stage plus the SHA-256 sum of
-// the stage's canonical input encoding. Keys are comparable values and
-// safe to use across goroutines.
+// Key is a content-addressed cache key: the stage plus a fast 64-bit
+// digest (XXH64) of the stage's canonical input encoding. Keys are
+// comparable values and safe to use across goroutines.
+//
+// The 64-bit sum addresses only the in-memory tier, where keys are
+// process-local and a collision needs ~2^32 distinct keys to become
+// likely — the pipeline computes a few thousand per run. Keys that may
+// reach the persistent tier additionally carry the SHA-256 of the same
+// encoding (DiskSum, produced by Hasher.KeyDisk), because on-disk
+// record names outlive the process and must stay compatible across
+// versions; DiskKey is that boundary type. The split is what took
+// per-compile fingerprinting off the warm path: four or five SHA-256
+// digests per compile became XXH64 except where a disk tier is actually
+// attached. DESIGN.md §14 documents the scheme.
 type Key struct {
 	Stage Stage
-	Sum   [sha256.Size]byte
+	Sum   uint64
+	// DiskSum is the SHA-256 of the same canonical encoding; valid only
+	// when DiskKeyed is set (see Hasher.KeyDisk). Keys without it never
+	// touch the persistent tier.
+	DiskSum   [sha256.Size]byte
+	DiskKeyed bool
 }
 
-// String renders the key as "stage:hexprefix" for logs and errors.
-func (k Key) String() string { return fmt.Sprintf("%s:%x", k.Stage, k.Sum[:8]) }
+// String renders the key as "stage:hex" for logs and errors.
+func (k Key) String() string { return fmt.Sprintf("%s:%016x", k.Stage, k.Sum) }
+
+// DiskKey returns the persistent-tier key, if this key carries one.
+func (k Key) DiskKey() (DiskKey, bool) {
+	return DiskKey{Stage: k.Stage, Sum: k.DiskSum}, k.DiskKeyed
+}
 
 // Budget sentinels for SetBudget, NewBounded, codegen.Config.CacheBudget
 // and the -cache-budget flags. Positive values are a bound in bytes.
@@ -324,7 +353,7 @@ func (c *Cache) GetOrComputeTiered(k Key, compute func() (any, error), cost Cost
 // cancellation inherited from another goroutine and the caller should go
 // again under its own steam.
 func (c *Cache) lookup(k Key, compute func() (any, error), cost Coster) (v any, tier Tier, err error, retry bool) {
-	s := &c.shards[int(k.Sum[0])%nShards]
+	s := &c.shards[int(k.Sum%nShards)]
 	s.mu.Lock()
 	e, ok := s.m[k]
 	if !ok {

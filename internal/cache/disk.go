@@ -24,6 +24,7 @@ package cache
 // store fits.
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
@@ -36,6 +37,21 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// DiskKey addresses one record in the persistent tier: the stage plus
+// the SHA-256 of the stage's canonical input encoding. The tier keeps
+// the full cryptographic sum even though the memory tier moved to a
+// 64-bit digest, because record names are shared state — they outlive
+// the process, travel between replicas, and must never collide — and
+// because keeping them SHA-256 makes the hashing split invisible on
+// disk: every record written before the split still resolves.
+type DiskKey struct {
+	Stage Stage
+	Sum   [sha256.Size]byte
+}
+
+// String renders the key as "stage:hexprefix" for logs and errors.
+func (k DiskKey) String() string { return fmt.Sprintf("%s:%x", k.Stage, k.Sum[:8]) }
 
 // Record framing constants. A record file is:
 //
@@ -61,7 +77,7 @@ var ErrBadRecord = errors.New("cache: bad disk record")
 
 // EncodeRecord frames a key and its codec payload into the on-disk
 // record format.
-func EncodeRecord(k Key, payload []byte) []byte {
+func EncodeRecord(k DiskKey, payload []byte) []byte {
 	buf := make([]byte, 0, 4+10+len(k.Stage)+len(k.Sum)+10+len(payload)+4)
 	buf = append(buf, recordMagic[:]...)
 	buf = binary.AppendUvarint(buf, uint64(len(k.Stage)))
@@ -78,8 +94,8 @@ func EncodeRecord(k Key, payload []byte) []byte {
 // before use and the checksum is verified over exactly the bytes that
 // produced it. Trailing garbage after the checksum is corruption too —
 // a record file is one record.
-func DecodeRecord(data []byte) (Key, []byte, error) {
-	var k Key
+func DecodeRecord(data []byte) (DiskKey, []byte, error) {
+	var k DiskKey
 	if len(data) < 4+1+len(k.Sum)+1+4 {
 		return k, nil, fmt.Errorf("%w: %d bytes is shorter than any record", ErrBadRecord, len(data))
 	}
@@ -131,7 +147,7 @@ type DiskStats struct {
 
 // diskEntry is the in-memory index row for one record file.
 type diskEntry struct {
-	key  Key
+	key  DiskKey
 	size int64
 	// seq is the recency stamp for the LRU-ish sweep: bumped on every
 	// get, seeded from mtime order on reopen.
@@ -141,7 +157,7 @@ type diskEntry struct {
 // writeReq is one queued write-behind record; a request with a non-nil
 // flush channel is a barrier — the writer closes it instead of writing.
 type writeReq struct {
-	key     Key
+	key     DiskKey
 	payload []byte
 	flush   chan struct{}
 }
@@ -155,7 +171,7 @@ type Disk struct {
 	budget int64 // BudgetUnlimited, BudgetZero or a byte bound
 
 	mu    sync.Mutex
-	index map[Key]*diskEntry
+	index map[DiskKey]*diskEntry
 	bytes int64
 	seq   uint64
 
@@ -208,7 +224,7 @@ func OpenDisk(dir string, budget int64) (*Disk, error) {
 	d := &Disk{
 		dir:    dir,
 		budget: budget,
-		index:  make(map[Key]*diskEntry),
+		index:  make(map[DiskKey]*diskEntry),
 		wq:     make(chan writeReq, writeQueueDepth),
 	}
 	if err := d.scan(); err != nil {
@@ -226,7 +242,7 @@ func OpenDisk(dir string, budget int64) (*Disk, error) {
 // inside the verified record, so a renamed record can at worst miss.
 func (d *Disk) scan() error {
 	type found struct {
-		key   Key
+		key   DiskKey
 		size  int64
 		mtime int64
 	}
@@ -277,13 +293,13 @@ func (d *Disk) scan() error {
 }
 
 // path returns the record file for k: <dir>/<stage>/<hex sum>.rec.
-func (d *Disk) path(k Key) string {
+func (d *Disk) path(k DiskKey) string {
 	return filepath.Join(d.dir, string(k.Stage), fmt.Sprintf("%x%s", k.Sum[:], recSuffix))
 }
 
 // keyFromName reverses path's basename encoding.
-func keyFromName(stage Stage, hexSum string) (Key, bool) {
-	k := Key{Stage: stage}
+func keyFromName(stage Stage, hexSum string) (DiskKey, bool) {
+	k := DiskKey{Stage: stage}
 	if len(hexSum) != 2*len(k.Sum) {
 		return k, false
 	}
@@ -297,7 +313,9 @@ func keyFromName(stage Stage, hexSum string) (Key, bool) {
 
 // get reads, verifies and decodes the record for k. ok is false on any
 // miss — absent, unreadable, corrupt (which also quarantines the file)
-// or undecodable — and the caller recomputes.
+// or undecodable — and the caller recomputes. A key that never took the
+// disk digest (Hasher.Key instead of KeyDisk) is a silent miss: it has
+// no record name to look up.
 func (d *Disk) get(k Key) (any, bool) {
 	if d == nil {
 		return nil, false
@@ -306,8 +324,12 @@ func (d *Disk) get(k Key) (any, bool) {
 	if !hasCodec {
 		return nil, false
 	}
+	dk, keyed := k.DiskKey()
+	if !keyed {
+		return nil, false
+	}
 	d.mu.Lock()
-	e := d.index[k]
+	e := d.index[dk]
 	if e != nil {
 		d.seq++
 		e.seq = d.seq
@@ -317,21 +339,21 @@ func (d *Disk) get(k Key) (any, bool) {
 		d.misses.Add(1)
 		return nil, false
 	}
-	data, err := os.ReadFile(d.path(k))
+	data, err := os.ReadFile(d.path(dk))
 	if err != nil {
-		d.dropEntry(k)
+		d.dropEntry(dk)
 		d.misses.Add(1)
 		return nil, false
 	}
 	gotKey, payload, err := DecodeRecord(data)
-	if err != nil || gotKey != k {
-		d.quarantine(k)
+	if err != nil || gotKey != dk {
+		d.quarantine(dk)
 		d.misses.Add(1)
 		return nil, false
 	}
 	v, err := codec.decode(payload)
 	if err != nil {
-		d.quarantine(k)
+		d.quarantine(dk)
 		d.misses.Add(1)
 		return nil, false
 	}
@@ -340,8 +362,9 @@ func (d *Disk) get(k Key) (any, bool) {
 }
 
 // put queues a write-behind record for k. Values without a registered
-// stage codec, duplicate keys and a full queue are all silent no-ops —
-// the disk tier is an accelerator, never a dependency.
+// stage codec, keys without a disk digest, duplicate keys and a full
+// queue are all silent no-ops — the disk tier is an accelerator, never
+// a dependency.
 func (d *Disk) put(k Key, v any) {
 	if d == nil {
 		return
@@ -350,8 +373,12 @@ func (d *Disk) put(k Key, v any) {
 	if !ok {
 		return
 	}
+	dk, keyed := k.DiskKey()
+	if !keyed {
+		return
+	}
 	d.mu.Lock()
-	_, resident := d.index[k]
+	_, resident := d.index[dk]
 	d.mu.Unlock()
 	if resident {
 		return
@@ -366,7 +393,7 @@ func (d *Disk) put(k Key, v any) {
 		return
 	}
 	select {
-	case d.wq <- writeReq{key: k, payload: payload}:
+	case d.wq <- writeReq{key: dk, payload: payload}:
 	default:
 		d.drops.Add(1)
 	}
@@ -386,7 +413,7 @@ func (d *Disk) writer() {
 	}
 }
 
-func (d *Disk) writeRecord(k Key, payload []byte) {
+func (d *Disk) writeRecord(k DiskKey, payload []byte) {
 	rec := EncodeRecord(k, payload)
 	final := d.path(k)
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
@@ -445,7 +472,7 @@ func (d *Disk) sweepLocked() {
 }
 
 // dropEntry removes k from the index (file already gone or unreadable).
-func (d *Disk) dropEntry(k Key) {
+func (d *Disk) dropEntry(k DiskKey) {
 	d.mu.Lock()
 	if e := d.index[k]; e != nil {
 		delete(d.index, k)
@@ -457,7 +484,7 @@ func (d *Disk) dropEntry(k Key) {
 // quarantine moves k's record out of the content-addressed namespace
 // into <dir>/quarantine/, preserving the bytes for inspection while
 // guaranteeing the bad record is never served again.
-func (d *Disk) quarantine(k Key) {
+func (d *Disk) quarantine(k DiskKey) {
 	d.verifyFailures.Add(1)
 	src := d.path(k)
 	qdir := filepath.Join(d.dir, quarantineDir)

@@ -1,7 +1,6 @@
 package cache
 
 import (
-	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,8 +32,21 @@ func testAssignment(n int) *core.Assignment {
 	return a
 }
 
+// testKey builds a disk-capable key (memory sum plus SHA-256 disk sum)
+// from a seed string, the shape every persisted-stage lookup carries.
 func testKey(stage Stage, seed string) Key {
-	return Key{Stage: stage, Sum: sha256.Sum256([]byte(seed))}
+	h := NewHasher(stage)
+	h.Str(seed)
+	return h.KeyDisk(stage)
+}
+
+// testDiskKey is testKey's persistent-tier half, for record-level tests.
+func testDiskKey(stage Stage, seed string) DiskKey {
+	dk, ok := testKey(stage, seed).DiskKey()
+	if !ok {
+		panic("testKey lost its disk digest")
+	}
+	return dk
 }
 
 // mustOpenDisk opens a tier rooted in dir and registers cleanup.
@@ -49,7 +61,7 @@ func mustOpenDisk(t *testing.T, dir string, budget int64) *Disk {
 }
 
 func TestDiskRecordRoundTrip(t *testing.T) {
-	k := testKey(StageModulo, "roundtrip")
+	k := testDiskKey(StageModulo, "roundtrip")
 	payload := []byte("arbitrary payload bytes \x00\xff")
 	rec := EncodeRecord(k, payload)
 	gotKey, gotPayload, err := DecodeRecord(rec)
@@ -299,7 +311,8 @@ func TestDiskKillAndReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := EncodeRecord(k, payload)
+	dk, _ := k.DiskKey()
+	rec := EncodeRecord(dk, payload)
 	half := filepath.Join(stageDir, "deadbeef"+recSuffix+tmpSuffix)
 	if err := os.WriteFile(half, rec[:len(rec)/2], 0o644); err != nil {
 		t.Fatal(err)
@@ -379,7 +392,7 @@ func TestDiskRenamedRecordMisses(t *testing.T) {
 	stageDir := filepath.Join(dir, string(StageModulo))
 	other := testKey(StageModulo, "someone-else")
 	oldPath := filepath.Join(stageDir, nameOf(t, dir, StageModulo))
-	newPath := filepath.Join(stageDir, fmt.Sprintf("%x%s", other.Sum[:], recSuffix))
+	newPath := filepath.Join(stageDir, fmt.Sprintf("%x%s", other.DiskSum[:], recSuffix))
 	if err := os.Rename(oldPath, newPath); err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/xxh"
 )
 
 // Hasher accumulates a canonical byte encoding of a stage's inputs and
@@ -16,11 +17,15 @@ import (
 // so distinct input sequences can never encode to the same byte stream
 // (the injectivity the suite-wide fingerprint test checks end to end).
 //
-// The encoding is buffered and digested in one Sum256 call at Key time:
-// fingerprints are a few hundred bytes, and feeding SHA-256 varint by
+// The encoding is buffered and digested in one call at finalize time:
+// fingerprints are a few hundred bytes, and feeding the digest varint by
 // varint would spend more time in Write bookkeeping than in hashing —
 // measurably so, since the cached experiment grid computes thousands of
-// keys per run.
+// keys per run. Key digests with XXH64 alone (the in-memory memo); a
+// key that may reach the persistent tier is finalized with KeyDisk,
+// which also takes the SHA-256 the disk boundary requires — over the
+// identical buffer, so on-disk record names are byte-for-byte what the
+// all-SHA-256 scheme produced.
 type Hasher struct {
 	buf []byte
 }
@@ -175,12 +180,39 @@ func (h *Hasher) SchedConfig(cfg *machine.Config, copySensitive bool) {
 	}
 }
 
-// Key finalizes the fingerprint and releases the Hasher back to the
-// internal pool; the Hasher must not be used afterwards.
+// Key finalizes the fingerprint as a memory-only key (XXH64 digest) and
+// releases the Hasher back to the internal pool; the Hasher must not be
+// used afterwards. Stages that may reach the disk tier finalize with
+// KeyDisk instead.
 func (h *Hasher) Key(stage Stage) Key {
-	k := Key{Stage: stage, Sum: sha256.Sum256(h.buf)}
+	k := Key{Stage: stage, Sum: xxh.Sum64(h.buf)}
 	hasherPool.Put(h)
 	return k
+}
+
+// KeyDisk finalizes the fingerprint as a disk-capable key: the fast
+// XXH64 sum for the memory tier plus the SHA-256 of the same canonical
+// encoding for the persistent tier's record names — exactly the digest
+// the pre-split scheme used, so existing on-disk stores stay warm.
+func (h *Hasher) KeyDisk(stage Stage) Key {
+	k := Key{
+		Stage:     stage,
+		Sum:       xxh.Sum64(h.buf),
+		DiskSum:   sha256.Sum256(h.buf),
+		DiskKeyed: true,
+	}
+	hasherPool.Put(h)
+	return k
+}
+
+// KeyTiered finalizes with KeyDisk when disk is set and Key otherwise —
+// the call-site form for stages whose keys reach the persistent tier
+// only when one is attached.
+func (h *Hasher) KeyTiered(stage Stage, disk bool) Key {
+	if disk {
+		return h.KeyDisk(stage)
+	}
+	return h.Key(stage)
 }
 
 // BlockFP is the reusable fingerprint of one block: its canonical
@@ -250,8 +282,11 @@ func (f *BlockFP) DDGKey(lat machine.Latencies, carried bool, memFlowLatency int
 }
 
 // ModuloKey is the memoized-block form of the package-level ModuloKey.
+// disk requests a disk-capable key (SHA-256 alongside the memo sum);
+// pass it as cache.Disk() != nil so the expensive digest is computed
+// only when a persistent tier can actually consume it.
 func (f *BlockFP) ModuloKey(cfg *machine.Config, carried bool, memFlowLatency int,
-	clusterOf []int, budgetRatio int, lifetime bool, maxII int) Key {
+	clusterOf []int, budgetRatio int, lifetime bool, maxII int, disk bool) Key {
 	h := NewHasher(StageModulo)
 	h.BlockFP(f)
 	h.Bool(carried)
@@ -266,7 +301,7 @@ func (f *BlockFP) ModuloKey(cfg *machine.Config, carried bool, memFlowLatency in
 	h.Int(int64(budgetRatio))
 	h.Bool(lifetime)
 	h.Int(int64(maxII))
-	return h.Key(StageModulo)
+	return h.KeyTiered(StageModulo, disk)
 }
 
 // HasCopies reports whether the block contains inter-cluster copy
@@ -297,9 +332,11 @@ func DDGKey(b *ir.Block, lat machine.Latencies, carried bool, memFlowLatency int
 // graph-shaping options (which determine the dependence graph the
 // scheduler consumes), the scheduler-relevant machine slice, and the
 // scheduling options (cluster pinning, budget, lifetime mode, II cap).
+// disk additionally takes the SHA-256 the persistent tier's record
+// names require (see Hasher.KeyDisk).
 func ModuloKey(b *ir.Block, cfg *machine.Config, carried bool, memFlowLatency int,
-	clusterOf []int, budgetRatio int, lifetime bool, maxII int) Key {
+	clusterOf []int, budgetRatio int, lifetime bool, maxII int, disk bool) Key {
 	f := FingerprintBlock(b)
 	defer f.Release()
-	return f.ModuloKey(cfg, carried, memFlowLatency, clusterOf, budgetRatio, lifetime, maxII)
+	return f.ModuloKey(cfg, carried, memFlowLatency, clusterOf, budgetRatio, lifetime, maxII, disk)
 }

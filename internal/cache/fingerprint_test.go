@@ -78,13 +78,13 @@ func TestIdealStageSharedAcrossPaperMachines(t *testing.T) {
 	cfgs := machine.PaperConfigs()
 	ideal0 := codegen.IdealOf(cfgs[0])
 	dk := cache.DDGKey(l.Body, ideal0.Lat, true, 0)
-	mk := cache.ModuloKey(l.Body, ideal0, true, 0, nil, 0, false, 0)
+	mk := cache.ModuloKey(l.Body, ideal0, true, 0, nil, 0, false, 0, false)
 	for _, cfg := range cfgs[1:] {
 		ideal := codegen.IdealOf(cfg)
 		if got := cache.DDGKey(l.Body, ideal.Lat, true, 0); got != dk {
 			t.Fatalf("%s: ideal DDG key %s differs from %s", cfg.Name, got, dk)
 		}
-		if got := cache.ModuloKey(l.Body, ideal, true, 0, nil, 0, false, 0); got != mk {
+		if got := cache.ModuloKey(l.Body, ideal, true, 0, nil, 0, false, 0, false); got != mk {
 			t.Fatalf("%s: ideal modulo key %s differs from %s", cfg.Name, got, mk)
 		}
 	}
@@ -98,8 +98,8 @@ func TestCopyModelSensitivity(t *testing.T) {
 	cu := machine.MustClustered16(4, machine.CopyUnit)
 
 	free := loopgen.Suite()[0].Body
-	if k1, k2 := cache.ModuloKey(free, emb, true, 0, nil, 0, false, 0),
-		cache.ModuloKey(free, cu, true, 0, nil, 0, false, 0); k1 != k2 {
+	if k1, k2 := cache.ModuloKey(free, emb, true, 0, nil, 0, false, 0, false),
+		cache.ModuloKey(free, cu, true, 0, nil, 0, false, 0, false); k1 != k2 {
 		t.Fatal("copy-free block keys differ across copy models")
 	}
 
@@ -111,8 +111,8 @@ func TestCopyModelSensitivity(t *testing.T) {
 	if !cache.HasCopies(withCopy) {
 		t.Fatal("HasCopies missed an appended copy")
 	}
-	if k1, k2 := cache.ModuloKey(withCopy, emb, true, 0, nil, 0, false, 0),
-		cache.ModuloKey(withCopy, cu, true, 0, nil, 0, false, 0); k1 == k2 {
+	if k1, k2 := cache.ModuloKey(withCopy, emb, true, 0, nil, 0, false, 0, false),
+		cache.ModuloKey(withCopy, cu, true, 0, nil, 0, false, 0, false); k1 == k2 {
 		t.Fatal("copy-bearing block keys coincide across copy models")
 	}
 }
@@ -122,15 +122,15 @@ func TestCopyModelSensitivity(t *testing.T) {
 func TestModuloKeySensitivity(t *testing.T) {
 	b := loopgen.Suite()[1].Body
 	cfg := machine.MustClustered16(4, machine.Embedded)
-	base := cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 0)
+	base := cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 0, false)
 	clusterOf := make([]int, len(b.Ops))
 	variants := map[string]cache.Key{
-		"carried=false": cache.ModuloKey(b, cfg, false, 0, nil, 0, false, 0),
-		"memFlow=1":     cache.ModuloKey(b, cfg, true, 1, nil, 0, false, 0),
-		"clusterOf":     cache.ModuloKey(b, cfg, true, 0, clusterOf, 0, false, 0),
-		"budget=7":      cache.ModuloKey(b, cfg, true, 0, nil, 7, false, 0),
-		"lifetime":      cache.ModuloKey(b, cfg, true, 0, nil, 0, true, 0),
-		"maxII=64":      cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 64),
+		"carried=false": cache.ModuloKey(b, cfg, false, 0, nil, 0, false, 0, false),
+		"memFlow=1":     cache.ModuloKey(b, cfg, true, 1, nil, 0, false, 0, false),
+		"clusterOf":     cache.ModuloKey(b, cfg, true, 0, clusterOf, 0, false, 0, false),
+		"budget=7":      cache.ModuloKey(b, cfg, true, 0, nil, 7, false, 0, false),
+		"lifetime":      cache.ModuloKey(b, cfg, true, 0, nil, 0, true, 0, false),
+		"maxII=64":      cache.ModuloKey(b, cfg, true, 0, nil, 0, false, 64, false),
 	}
 	for name, k := range variants {
 		if k == base {
@@ -138,7 +138,7 @@ func TestModuloKeySensitivity(t *testing.T) {
 		}
 	}
 	other := machine.MustClustered16(2, machine.Embedded)
-	if cache.ModuloKey(b, other, true, 0, nil, 0, false, 0) == base {
+	if cache.ModuloKey(b, other, true, 0, nil, 0, false, 0, false) == base {
 		t.Error("cluster geometry did not change the modulo key")
 	}
 	lat := cfg.Lat

@@ -22,9 +22,9 @@ func FuzzDiskCacheCodec(f *testing.F) {
 	// near-miss mutations the fuzzer can build on.
 	sched, _ := encodeSchedule(testSchedule(6))
 	asg, _ := encodeAssignment(testAssignment(4))
-	rec := EncodeRecord(Key{Stage: StageModulo, Sum: sha256.Sum256([]byte("seed"))}, sched)
+	rec := EncodeRecord(DiskKey{Stage: StageModulo, Sum: sha256.Sum256([]byte("seed"))}, sched)
 	f.Add(rec)
-	f.Add(EncodeRecord(Key{Stage: StageAssign, Sum: sha256.Sum256([]byte("seed2"))}, asg))
+	f.Add(EncodeRecord(DiskKey{Stage: StageAssign, Sum: sha256.Sum256([]byte("seed2"))}, asg))
 	f.Add(rec[:len(rec)-1])
 	f.Add(append(bytes.Clone(rec), 0))
 	f.Add([]byte{})

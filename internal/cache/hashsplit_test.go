@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/xxh"
+)
+
+// TestDiskSumMatchesCanonicalSHA256 pins the hashing split's
+// compatibility contract: a disk-capable key's DiskSum must be the
+// SHA-256 of the hasher's canonical byte encoding — exactly the digest
+// the pre-split, all-SHA-256 scheme used for every key — so records
+// written by older builds still resolve by name and golden stores stay
+// warm across the change.
+func TestDiskSumMatchesCanonicalSHA256(t *testing.T) {
+	// Reconstruct, by hand, the canonical encoding the Hasher writes for
+	// this sequence: stage string, a string, an int.
+	var enc []byte
+	writeStr := func(s string) {
+		enc = binary.AppendVarint(enc, int64(len(s)))
+		enc = append(enc, s...)
+	}
+	writeStr(string(StageModulo))
+	writeStr("compat probe")
+	enc = binary.AppendVarint(enc, 42)
+
+	h := NewHasher(StageModulo)
+	h.Str("compat probe")
+	h.Int(42)
+	k := h.KeyDisk(StageModulo)
+
+	if !k.DiskKeyed {
+		t.Fatal("KeyDisk did not mark the key disk-capable")
+	}
+	if want := sha256.Sum256(enc); k.DiskSum != want {
+		t.Fatalf("DiskSum diverged from SHA-256 of the canonical encoding:\n got  %x\n want %x", k.DiskSum, want)
+	}
+	if want := xxh.Sum64(enc); k.Sum != want {
+		t.Fatalf("memory sum diverged from XXH64 of the canonical encoding: got %#x want %#x", k.Sum, want)
+	}
+
+	// Both finalizers agree on the memory sum, so a stage that sometimes
+	// runs diskless hits the same in-memory entries either way.
+	h2 := NewHasher(StageModulo)
+	h2.Str("compat probe")
+	h2.Int(42)
+	k2 := h2.Key(StageModulo)
+	if k2.Sum != k.Sum {
+		t.Fatalf("Key and KeyDisk disagree on the memory sum: %#x vs %#x", k2.Sum, k.Sum)
+	}
+	if k2.DiskKeyed {
+		t.Fatal("memory-only finalizer claimed a disk digest")
+	}
+}
+
+// TestDiskIgnoresMemoryOnlyKeys: a key without the disk digest must be
+// invisible to the persistent tier — no record written, no counters
+// disturbed — even for a persisted stage.
+func TestDiskIgnoresMemoryOnlyKeys(t *testing.T) {
+	d := mustOpenDisk(t, t.TempDir(), BudgetUnlimited)
+	h := NewHasher(StageModulo)
+	h.Str("memory only")
+	k := h.Key(StageModulo)
+
+	d.put(k, testSchedule(3))
+	d.Sync()
+	if st := d.Stats(); st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("memory-only key reached the disk tier: %+v", st)
+	}
+	if _, ok := d.get(k); ok {
+		t.Fatal("memory-only key served from the disk tier")
+	}
+	if st := d.Stats(); st.Misses != 0 {
+		t.Fatalf("memory-only key counted a disk miss: %+v", st)
+	}
+}

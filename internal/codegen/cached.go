@@ -12,6 +12,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/modulo"
 	"repro/internal/partition"
+	"repro/internal/regalloc"
 	"repro/internal/scratch"
 	"repro/internal/trace"
 )
@@ -63,6 +64,18 @@ func assignCost(v any) int64 {
 	return int64(len(a.Of)) * costPerReg
 }
 
+// allocCost prices a cached register allocation: per bank, the color and
+// need maps plus the spill list.
+func allocCost(v any) int64 {
+	n := int64(64)
+	for _, r := range v.([]*regalloc.Result) {
+		if r != nil {
+			n += int64(len(r.Colors)+len(r.Needs))*costPerReg + int64(len(r.Spilled))*costPerInt
+		}
+	}
+	return n
+}
+
 // copyInsCost prices a cached copy insertion: the rewritten body's ops
 // and per-op cluster row, the extended register map, and the retained
 // rewritten-body fingerprint.
@@ -101,7 +114,7 @@ func runSchedule(ctx context.Context, c *cache.Cache, fp *cache.BlockFP, gOpts d
 	if c == nil {
 		return modulo.Run(ctx, g, cfg, opt)
 	}
-	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII)
+	k := fp.ModuloKey(cfg, gOpts.Carried, gOpts.MemFlowLatency, opt.ClusterOf, opt.BudgetRatio, opt.Lifetime, opt.MaxII, c.Disk() != nil)
 	s, tier, err := cache.GetAsTiered(c, k, func() (*modulo.Schedule, error) {
 		return modulo.Run(ctx, g, cfg, opt)
 	}, scheduleCost)
@@ -127,7 +140,9 @@ func assignKey(fp *cache.BlockFP, idealCfg *machine.Config, gOpts ddg.Options, c
 	h.Int(int64(clusters))
 	h.Weights(weights)
 	h.PreColoring(opt.Pre)
-	return h.Key(cache.StageAssign)
+	// Assignments are a persisted stage: take the disk digest only when a
+	// tier is attached to consume it.
+	return h.KeyTiered(cache.StageAssign, opt.Cache.Disk() != nil)
 }
 
 // assignBanks is Compile's step 3 for single-shot partitioners. For the
@@ -227,6 +242,50 @@ func insertCopiesFor(c *cache.Cache, fp *cache.BlockFP, loop *ir.Loop, asg *core
 		return nil, nil, nil, err
 	}
 	return v.copies, &core.Assignment{Banks: asg.Banks, Of: maps.Clone(v.of)}, v.fp, nil
+}
+
+// allocKey fingerprints step 5 by the inputs that determine the clustered
+// graph and schedule — rewritten body, graph options, scheduler machine
+// slice, scheduling options — plus what the allocator itself reads: the
+// bank size (excluded from SchedConfig: the scheduler never sees it) and
+// the extended register-to-bank assignment. Keying on inputs rather than
+// the schedule object mirrors assignKey, and is sound for the same
+// reason: the schedule is a deterministic function of them.
+func allocKey(cfp *cache.BlockFP, cfg *machine.Config, gOpts ddg.Options, mOpt modulo.Options, asg *core.Assignment) cache.Key {
+	h := cache.NewHasher(cache.StageAlloc)
+	h.BlockFP(cfp)
+	h.Bool(gOpts.Carried)
+	h.Int(int64(gOpts.MemFlowLatency))
+	h.SchedConfig(cfg, cfp.HasCopies())
+	if mOpt.ClusterOf != nil {
+		h.Bool(true)
+		h.Ints(mOpt.ClusterOf)
+	} else {
+		h.Bool(false)
+	}
+	h.Int(int64(mOpt.BudgetRatio))
+	h.Bool(mOpt.Lifetime)
+	h.Int(int64(mOpt.MaxII))
+	h.Int(int64(cfg.RegsPerBank))
+	h.Int(int64(asg.Banks))
+	h.PreColoring(asg.Of)
+	return h.Key(cache.StageAlloc)
+}
+
+// allocParts is allocateParts behind the cache. Results are shared
+// read-only across hits — every consumer (spill counts, pressure scoring,
+// the wire response) only reads them, and refinement recomputes trial
+// allocations through the uncached path rather than mutating these.
+func allocParts(c *cache.Cache, cfp *cache.BlockFP, g *ddg.Graph, s *modulo.Schedule, asg *core.Assignment, cfg *machine.Config, gOpts ddg.Options, mOpt modulo.Options, tr *trace.Tracer, ar *scratch.Arena) []*regalloc.Result {
+	if !c.Enabled() || cfp == nil {
+		return allocateParts(g, s, asg, cfg, tr, ar)
+	}
+	k := allocKey(cfp, cfg, gOpts, mOpt, asg)
+	out, hit, _ := cache.GetAsCosted(c, k, func() ([]*regalloc.Result, error) {
+		return allocateParts(g, s, asg, cfg, tr, ar), nil
+	}, allocCost)
+	countCache(tr, "alloc", hit)
+	return out
 }
 
 // countCache surfaces per-stage hit/miss counters through the tracer, so

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/modulo"
 	"repro/internal/partition"
 	"repro/internal/scratch"
 	"repro/internal/trace"
@@ -68,6 +69,11 @@ type Config struct {
 	// leaves whatever tier the Cache already has (usually none).
 	// Results are byte-identical with the tier on, cold or warm.
 	Disk *cache.Disk
+	// IISeed attaches the cross-compile II-seed table (modulo.SeedTable):
+	// both scheduling stages start their II search from the II a previous
+	// structurally identical problem settled on, cutting warm scheduling
+	// latency without changing any schedule. Nil disables seeding.
+	IISeed *modulo.SeedTable
 	// Scratch optionally pins one compilation's reusable stage buffers
 	// (dependence analysis, scheduling, RCG, coloring — see
 	// internal/scratch) to a caller-owned arena. Nil makes Compile take an

@@ -222,7 +222,7 @@ func Compile(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt Option
 	gOpts := ddg.Options{Carried: true, Tracer: tr, Scratch: ar}
 	res.IdealGraph = buildGraph(opt.Cache, fp, loop.Body, res.IdealCfg, gOpts)
 	idealSched, err := runSchedule(ctx, opt.Cache, fp, gOpts, res.IdealGraph, res.IdealCfg,
-		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Tracer: tr, Scratch: ar})
+		modulo.Options{BudgetRatio: opt.BudgetRatio, Lifetime: opt.LifetimeSched, Seed: opt.IISeed, Tracer: tr, Scratch: ar})
 	if err != nil {
 		return nil, stageFail("modulo.ideal", err, "codegen: ideal scheduling of %q", loop.Name)
 	}
@@ -321,13 +321,15 @@ func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg
 	tr.Add("codegen.kernel_copies", int64(p.copies.KernelCopies))
 	gOpts := ddg.Options{Carried: true, Tracer: tr, Scratch: ar}
 	p.graph = buildGraph(opt.Cache, cfp, p.copies.Body, cfg, gOpts)
-	partSched, err := runSchedule(ctx, opt.Cache, cfp, gOpts, p.graph, cfg, modulo.Options{
+	mOpt := modulo.Options{
 		ClusterOf:   p.copies.ClusterOf,
 		BudgetRatio: opt.BudgetRatio,
 		Lifetime:    opt.LifetimeSched,
+		Seed:        opt.IISeed,
 		Tracer:      tr,
 		Scratch:     ar,
-	})
+	}
+	partSched, err := runSchedule(ctx, opt.Cache, cfp, gOpts, p.graph, cfg, mOpt)
 	if err != nil {
 		return nil, stageFail("modulo.clustered", err, "codegen: clustered scheduling of %q", loop.Name)
 	}
@@ -338,7 +340,7 @@ func compileClustered(ctx context.Context, loop *ir.Loop, fp *cache.BlockFP, cfg
 		if err := checkpoint(ctx, "regalloc"); err != nil {
 			return nil, err
 		}
-		p.alloc = allocateParts(p.graph, partSched, p.asg, cfg, tr, ar)
+		p.alloc = allocParts(opt.Cache, cfp, p.graph, partSched, p.asg, cfg, gOpts, mOpt, tr, ar)
 	}
 	return p, nil
 }

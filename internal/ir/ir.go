@@ -16,6 +16,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -61,10 +62,12 @@ type Reg struct {
 // prefix for floating-point registers so the two classes are visually
 // distinct in dumps.
 func (r Reg) String() string {
+	// strconv, not fmt: register rendering dominates schedule dumps and
+	// the wire response tables, where fmt's reflection is measurable.
 	if r.Class == Float {
-		return fmt.Sprintf("f%d", r.ID)
+		return "f" + strconv.Itoa(r.ID)
 	}
-	return fmt.Sprintf("r%d", r.ID)
+	return "r" + strconv.Itoa(r.ID)
 }
 
 // Invalid reports whether the register is the zero-value placeholder.
@@ -193,15 +196,17 @@ type MemRef struct {
 
 // String renders the reference as Base[Coeff*i+Offset].
 func (m MemRef) String() string {
+	// strconv, not fmt, for the same reason as Reg.String: memory operands
+	// appear in every rendered load/store row of the wire response.
 	switch {
 	case m.Coeff == 0:
-		return fmt.Sprintf("%s[%d]", m.Base, m.Offset)
+		return m.Base + "[" + strconv.Itoa(m.Offset) + "]"
 	case m.Offset == 0:
-		return fmt.Sprintf("%s[%d*i]", m.Base, m.Coeff)
+		return m.Base + "[" + strconv.Itoa(m.Coeff) + "*i]"
 	case m.Offset > 0:
-		return fmt.Sprintf("%s[%d*i+%d]", m.Base, m.Coeff, m.Offset)
+		return m.Base + "[" + strconv.Itoa(m.Coeff) + "*i+" + strconv.Itoa(m.Offset) + "]"
 	default:
-		return fmt.Sprintf("%s[%d*i%d]", m.Base, m.Coeff, m.Offset)
+		return m.Base + "[" + strconv.Itoa(m.Coeff) + "*i" + strconv.Itoa(m.Offset) + "]"
 	}
 }
 
@@ -300,7 +305,7 @@ func (op *Op) String() string {
 		writeOperand(op.Mem.String())
 	}
 	if op.Code == LoadImm {
-		writeOperand(fmt.Sprintf("#%d", op.Imm))
+		writeOperand("#" + strconv.FormatInt(op.Imm, 10))
 	}
 	if op.Comment != "" {
 		fmt.Fprintf(&b, "  ; %s", op.Comment)

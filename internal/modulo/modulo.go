@@ -71,6 +71,12 @@ type Options struct {
 	// The II search is unchanged; only value lifetimes (and hence
 	// register pressure) differ.
 	Lifetime bool
+	// Seed optionally consults a cross-compile II-seed table (see seed.go):
+	// the search starts from the II a previous structurally identical
+	// problem settled on instead of at MinII, and successful searches are
+	// recorded back. Nil disables seeding; the schedule produced is
+	// identical either way.
+	Seed *SeedTable
 	// Tracer records a "modulo.run" span per scheduling run, with the
 	// II search's attempt/placement/eviction counts; nil disables.
 	Tracer *trace.Tracer
@@ -187,7 +193,13 @@ func Run(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opt Options) (*
 		return s
 	}
 	st.ctx = ctx
-	for ii := minII; ii <= maxII; ii++ {
+	startII := minII
+	var sk seedKey
+	if opt.Seed != nil {
+		sk = st.seedKeyOf(ratio, maxII)
+		startII = st.startII(sk, minII, maxII)
+	}
+	for ii := startII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			done(&Schedule{II: ii}, false)
 			return nil, fmt.Errorf("modulo: II search stopped at II=%d (minII=%d, %d placements): %w",
@@ -201,8 +213,17 @@ func Run(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opt Options) (*
 				ii, minII, st.placements, err)
 		}
 		if ok {
+			opt.Seed.record(sk, s.II)
 			return done(s, false), nil
 		}
+	}
+	// The whole [startII, maxII] range failed. When the walk covered the
+	// full range from minII, that exhausts this key's search space — a
+	// fact the seed key covers exactly (maxII is hashed into it) — so
+	// record it as maxII+1 and the next identical run skips the doomed
+	// walk and goes straight to the serial fallback (see startII).
+	if opt.Seed != nil && startII == minII {
+		opt.Seed.record(sk, maxII+1)
 	}
 	// Guaranteed fallback: the serial schedule at II == sum of latencies.
 	return done(st.serialSchedule(serial), true), nil

@@ -1,0 +1,275 @@
+package modulo
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xxh"
+)
+
+// This file implements the II-seed table: a small cross-compile memo that
+// remembers, per scheduling problem, the initiation interval the search
+// settled on, so the next structurally identical compile starts its II
+// search there instead of at MinII.
+//
+// Soundness rests on determinism: Run is a pure function of the inputs the
+// seed key covers, so if a previous run with the same key succeeded at II
+// == r, every candidate in [MinII, r) failed then and will fail again now.
+// Starting at r therefore skips only doomed attempts and produces the
+// byte-identical schedule the unseeded search would — the property
+// TestSeededMatchesUnseeded pins. A stale or evicted entry merely costs
+// the skipped attempts back; a recorded II below MinII is ignored.
+//
+// Exhaustion is recorded too: when a full walk from MinII fails every
+// candidate up to MaxII and falls back to the serial schedule, the table
+// stores MaxII+1. MaxII is part of the key, so the fact is exact — the
+// next identical run skips the entire doomed walk and goes straight to
+// the (deterministic) serial fallback. This is where seeding pays most:
+// the loops that exhaust the range are precisely the ones that re-walk
+// it on every compile.
+
+// seedLo and seedHi are the two XXH64 seeds that split one canonical
+// encoding into a 128-bit key, making cross-problem collisions — the only
+// way a seed could mislead the search — negligible.
+const (
+	seedLo = 0x9e3779b97f4a7c15
+	seedHi = 0xc2b2ae3d27d4eb4f
+)
+
+// seedKey is the 128-bit identity of one scheduling problem.
+type seedKey struct{ lo, hi uint64 }
+
+const seedShards = 16
+
+// defaultSeedCap bounds the table at 64Ki entries (~1.5 MiB): far beyond
+// any benchmark suite's distinct-loop count, small enough to sit in a
+// long-lived server without accounting.
+const defaultSeedCap = 1 << 16
+
+// SeedTable is a bounded, sharded map from scheduling problem to the II
+// its search settled on. All methods are safe for concurrent use and on a
+// nil receiver (a nil table never hits and records nothing), so callers
+// thread it unconditionally.
+type SeedTable struct {
+	shards [seedShards]seedShard
+
+	lookups   atomic.Int64
+	hits      atomic.Int64
+	records   atomic.Int64
+	evictions atomic.Int64
+	saved     atomic.Int64
+}
+
+// seedShard holds one shard's entries plus a FIFO ring of their keys; when
+// the shard is full the oldest insertion is evicted. FIFO (rather than an
+// access-ordered policy) keeps record() a single map write — the table is
+// consulted on every schedule, so cheap beats clever here.
+type seedShard struct {
+	mu   sync.Mutex
+	m    map[seedKey]int
+	ring []seedKey
+	next int
+	cap  int
+}
+
+// NewSeedTable returns a table bounded at capacity entries; capacity <= 0
+// selects the default (64Ki).
+func NewSeedTable(capacity int) *SeedTable {
+	if capacity <= 0 {
+		capacity = defaultSeedCap
+	}
+	per := (capacity + seedShards - 1) / seedShards
+	if per < 1 {
+		per = 1
+	}
+	t := &SeedTable{}
+	for i := range t.shards {
+		t.shards[i].cap = per
+	}
+	return t
+}
+
+// SeedStats is a point-in-time snapshot of the table's effectiveness.
+type SeedStats struct {
+	// Lookups and Hits count consultations; Hits is lookups that found a
+	// usable entry — a success strictly above the search's MinII, or a
+	// recorded exhaustion of the whole [MinII, MaxII] range.
+	Lookups, Hits int64
+	// Records counts successful searches written back; Evictions counts
+	// entries displaced by the capacity bound.
+	Records, Evictions int64
+	// SavedAttempts totals the candidate-II attempts the seeds skipped —
+	// the table's whole value, directly comparable to modulo.attempts.
+	SavedAttempts int64
+}
+
+// Stats snapshots the counters; zero on a nil table.
+func (t *SeedTable) Stats() SeedStats {
+	if t == nil {
+		return SeedStats{}
+	}
+	return SeedStats{
+		Lookups:       t.lookups.Load(),
+		Hits:          t.hits.Load(),
+		Records:       t.records.Load(),
+		Evictions:     t.evictions.Load(),
+		SavedAttempts: t.saved.Load(),
+	}
+}
+
+// Len reports the current entry count across all shards.
+func (t *SeedTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// lookup returns the recorded II for k, if any.
+func (t *SeedTable) lookup(k seedKey) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.lookups.Add(1)
+	s := &t.shards[k.lo%seedShards]
+	s.mu.Lock()
+	ii, ok := s.m[k]
+	s.mu.Unlock()
+	return ii, ok
+}
+
+// record stores k → ii, evicting the shard's oldest insertion when full.
+// Overwriting an existing key (a re-search after an eviction elsewhere
+// changed nothing) does not consume ring space.
+func (t *SeedTable) record(k seedKey, ii int) {
+	if t == nil {
+		return
+	}
+	s := &t.shards[k.lo%seedShards]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[seedKey]int)
+	}
+	if _, exists := s.m[k]; exists {
+		s.m[k] = ii
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		old := s.ring[s.next]
+		delete(s.m, old)
+		s.ring[s.next] = k
+		s.next = (s.next + 1) % len(s.ring)
+		t.evictions.Add(1)
+	} else {
+		s.ring = append(s.ring, k)
+	}
+	s.m[k] = ii
+	s.mu.Unlock()
+	t.records.Add(1)
+}
+
+// seedBufPool recycles the canonical-encoding buffer across runs; the key
+// is two hashes of a transient byte string, so nothing retains it.
+var seedBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// seedKeyOf canonically encodes every input Run's outcome depends on —
+// the graph's scheduling-relevant shape, the machine's scheduling slice,
+// and the resolved search parameters — and hashes it twice. Anything the
+// search consults must appear here: a missed field would let two distinct
+// problems share a key, and a seed from one could skip a feasible II of
+// the other.
+func (st *state) seedKeyOf(ratio, maxII int) seedKey {
+	bp := seedBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	put := func(v int64) { b = binary.AppendVarint(b, v) }
+
+	put(int64(st.n))
+	for _, op := range st.g.Ops {
+		put(int64(op.Code))
+		put(int64(op.Class))
+	}
+	for i := 0; i < st.n; i++ {
+		out := st.g.Out[i]
+		put(int64(len(out)))
+		for _, e := range out {
+			put(int64(e.To))
+			put(int64(e.Kind))
+			put(int64(e.Latency))
+			put(int64(e.Distance))
+		}
+	}
+
+	cfg := st.cfg
+	put(int64(cfg.Width))
+	put(int64(cfg.Clusters))
+	put(int64(cfg.Model))
+	put(int64(cfg.CopyPortsPerCluster))
+	put(int64(cfg.Busses))
+	put(int64(len(cfg.Units)))
+	for _, u := range cfg.Units {
+		put(int64(u))
+	}
+	lat := cfg.Lat
+	for _, v := range [...]int{
+		lat.Load, lat.Store,
+		lat.IntMul, lat.IntDiv, lat.IntOther,
+		lat.FloatMul, lat.FloatDiv, lat.FloatOther,
+		lat.CopyInt, lat.CopyFloat,
+	} {
+		put(int64(v))
+	}
+
+	if st.opt.ClusterOf == nil {
+		put(0)
+	} else {
+		put(1)
+		for _, c := range st.opt.ClusterOf {
+			put(int64(c))
+		}
+	}
+	put(int64(ratio))
+	if st.opt.Lifetime {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(int64(maxII))
+
+	k := seedKey{lo: xxh.Sum64Seed(b, seedLo), hi: xxh.Sum64Seed(b, seedHi)}
+	*bp = b
+	seedBufPool.Put(bp)
+	return k
+}
+
+// startII consults the seed table and returns the II the search should
+// start from. A recorded success in (minII, maxII] starts the walk there;
+// a recorded exhaustion (maxII+1 — every candidate in [minII, maxII]
+// failed last time, and maxII is part of the key) returns maxII+1 so Run
+// skips the walk entirely and falls straight to the serial schedule. It
+// also reports the hit/miss to the tracer and credits skipped attempts.
+func (st *state) startII(k seedKey, minII, maxII int) int {
+	tr := st.opt.Tracer
+	ii, ok := st.opt.Seed.lookup(k)
+	if !ok || ii <= minII {
+		// A recorded II at minII saves nothing; count it as a miss so the
+		// hit rate measures usefulness, not key presence.
+		tr.Add("modulo.seed.misses", 1)
+		return minII
+	}
+	tr.Add("modulo.seed.hits", 1)
+	st.opt.Seed.hits.Add(1)
+	if ii > maxII {
+		ii = maxII + 1 // recorded exhaustion: skip the whole doomed walk
+	}
+	st.opt.Seed.saved.Add(int64(ii - minII))
+	return ii
+}

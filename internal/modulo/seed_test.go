@@ -1,0 +1,194 @@
+package modulo
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+// TestSeededMatchesUnseeded is the seed table's correctness property: for
+// every loop of a suite slice on every paper machine, the schedule from a
+// seeded run (warm table, so the search starts at the recorded II) must be
+// identical to the unseeded one — the seed may only skip attempts, never
+// change the answer.
+func TestSeededMatchesUnseeded(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 30, Seed: 17})
+	cfgs := append([]*machine.Config{machine.Ideal16()}, machine.PaperConfigs()...)
+	table := NewSeedTable(0)
+	for _, l := range loops {
+		for _, cfg := range cfgs {
+			g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+			plain, err := Run(context.Background(), g, cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Name, cfg.Name, err)
+			}
+			// Cold pass populates the table; warm pass must start from the
+			// recorded II and still reproduce the unseeded schedule exactly.
+			cold, err := Run(context.Background(), g, cfg, Options{Seed: table})
+			if err != nil {
+				t.Fatalf("%s on %s (cold seeded): %v", l.Name, cfg.Name, err)
+			}
+			warm, err := Run(context.Background(), g, cfg, Options{Seed: table})
+			if err != nil {
+				t.Fatalf("%s on %s (warm seeded): %v", l.Name, cfg.Name, err)
+			}
+			for name, s := range map[string]*Schedule{"cold": cold, "warm": warm} {
+				if !reflect.DeepEqual(plain, s) {
+					t.Fatalf("%s on %s: %s seeded schedule diverges from unseeded:\n plain %+v\n got   %+v",
+						l.Name, cfg.Name, name, plain, s)
+				}
+			}
+		}
+	}
+	st := table.Stats()
+	if st.Records == 0 || st.Lookups == 0 {
+		t.Fatalf("seed table never engaged: %+v", st)
+	}
+}
+
+// TestSeedSkipsAttempts pins the point of the table: a warm re-run of a
+// problem whose search needed several candidate IIs must attempt exactly
+// one.
+func TestSeedSkipsAttempts(t *testing.T) {
+	// 40 loads on a 16-wide machine: ResMII 3, and the search succeeds at
+	// the first attempt, so force distance from minII with a recurrence
+	// that RecMII underestimates. Simplest reliable shape: a loop where
+	// tryII fails at minII. Build one and verify via the attempt counters.
+	loops := loopgen.Generate(loopgen.Params{N: 60, Seed: 5})
+	cfg := machine.MustClustered16(4, machine.CopyUnit)
+	table := NewSeedTable(0)
+	for _, l := range loops {
+		g := ddg.Build(l.Body, cfg, ddg.Options{Carried: true})
+
+		if _, err := Run(context.Background(), g, cfg, Options{Seed: table}); err != nil {
+			t.Fatalf("%s cold: %v", l.Name, err)
+		}
+		warmSt := seedProbe(t, g, cfg, table)
+		if warmSt != nil && warmSt.attempts > 1 {
+			t.Fatalf("%s: warm seeded search attempted %d IIs", l.Name, warmSt.attempts)
+		}
+	}
+	if st := table.Stats(); st.SavedAttempts == 0 {
+		t.Skip("suite slice never escalated past MinII; nothing to measure")
+	}
+}
+
+// seedProbe replays Run's seeded II search by hand and returns the state
+// so tests can read the attempt tally. Problems the table never recorded
+// (the cold search fell back to serial) return nil — re-walking the IIs is
+// correct there, not a regression.
+func seedProbe(t *testing.T, g *ddg.Graph, cfg *machine.Config, table *SeedTable) *state {
+	t.Helper()
+	st := &state{g: g, cfg: cfg, opt: Options{Seed: table}, n: len(g.Ops)}
+	sc := runPool.get()
+	defer runPool.put(sc)
+	st.sc = sc
+	st.ctx = context.Background()
+	serial := st.serialII()
+	minII := st.minII()
+	sk := st.seedKeyOf(6, serial)
+	if _, ok := table.lookup(sk); !ok {
+		return nil
+	}
+	start := st.startII(sk, minII, serial)
+	for ii := start; ii <= serial; ii++ {
+		st.attempts++
+		_, ok, err := st.tryII(ii, 6*st.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+	}
+	return st
+}
+
+// TestSeedTableNilSafe: a nil table must behave as "no seeding" for every
+// method — the unconditional threading in the pipeline depends on it.
+func TestSeedTableNilSafe(t *testing.T) {
+	var nt *SeedTable
+	if ii, ok := nt.lookup(seedKey{1, 2}); ok || ii != 0 {
+		t.Fatal("nil table reported a hit")
+	}
+	nt.record(seedKey{1, 2}, 5)
+	if st := nt.Stats(); st != (SeedStats{}) {
+		t.Fatalf("nil table has stats: %+v", st)
+	}
+	if nt.Len() != 0 {
+		t.Fatal("nil table has entries")
+	}
+}
+
+// TestSeedTableBound: the capacity bound evicts oldest-first per shard and
+// the counters account for it.
+func TestSeedTableBound(t *testing.T) {
+	table := NewSeedTable(seedShards) // one entry per shard
+	for i := 0; i < 4; i++ {
+		table.record(seedKey{lo: 0, hi: uint64(i)}, i+2) // same shard (lo selects)
+	}
+	if got := table.Len(); got != 1 {
+		t.Fatalf("shard holds %d entries, want 1", got)
+	}
+	if ii, ok := table.lookup(seedKey{lo: 0, hi: 3}); !ok || ii != 5 {
+		t.Fatalf("newest entry missing: ii=%d ok=%v", ii, ok)
+	}
+	if _, ok := table.lookup(seedKey{lo: 0, hi: 0}); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	st := table.Stats()
+	if st.Records != 4 || st.Evictions != 3 {
+		t.Fatalf("stats %+v, want 4 records / 3 evictions", st)
+	}
+
+	// Overwriting a live key must not evict or grow the ring.
+	table.record(seedKey{lo: 0, hi: 3}, 9)
+	if ii, _ := table.lookup(seedKey{lo: 0, hi: 3}); ii != 9 {
+		t.Fatalf("overwrite lost: ii=%d", ii)
+	}
+	if st := table.Stats(); st.Evictions != 3 {
+		t.Fatalf("overwrite evicted: %+v", st)
+	}
+}
+
+// TestSeedKeyCoversInputs: distinct scheduling problems must get distinct
+// keys — each consulted input perturbs the key.
+func TestSeedKeyCoversInputs(t *testing.T) {
+	l := loopgen.Generate(loopgen.Params{N: 1, Seed: 11})[0]
+	base := machine.Ideal16()
+	g := ddg.Build(l.Body, base, ddg.Options{Carried: true})
+	key := func(cfg *machine.Config, opt Options, ratio, maxII int) seedKey {
+		st := &state{g: g, cfg: cfg, opt: opt, n: len(g.Ops)}
+		return st.seedKeyOf(ratio, maxII)
+	}
+	ref := key(base, Options{}, 6, 40)
+	seen := map[seedKey]string{ref: "base"}
+	add := func(name string, k seedKey) {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	wide := *base
+	wide.Width = 8
+	add("width", key(&wide, Options{}, 6, 40))
+
+	lat := *base
+	lat.Lat.Load = 7
+	add("latency", key(&lat, Options{}, 6, 40))
+
+	pins := make([]int, len(g.Ops))
+	add("pins", key(base, Options{ClusterOf: pins}, 6, 40))
+	add("ratio", key(base, Options{}, 7, 40))
+	add("maxII", key(base, Options{}, 6, 41))
+	add("lifetime", key(base, Options{Lifetime: true}, 6, 40))
+
+	if key(base, Options{}, 6, 40) != ref {
+		t.Error("key is not deterministic")
+	}
+}

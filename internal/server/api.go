@@ -1,8 +1,17 @@
 // Package server implements swpd, the compile-as-a-service daemon: a
-// long-running HTTP/JSON front end over the five-step pipeline. Requests
+// long-running HTTP front end over the five-step pipeline. Requests
 // carry a loop in the ir.ParseLoop assembly format plus a machine spec;
 // responses carry the compiled outcome (II, degradation, copies, the
 // clustered schedule and optionally the expanded prelude/kernel/postlude).
+//
+// The surface is versioned under /v1/ and speaks two codecs, negotiated
+// per request: JSON (the default) and the compact binary encoding of
+// internal/wire (application/x-swp-bin), selected via Content-Type for
+// the request body and Accept for the response. The historical
+// unversioned routes remain as aliases of their /v1/ twins and answer
+// with a Deprecation header. The DTOs live in internal/wire — shared by
+// both codecs and by the swpc client — and are aliased here so existing
+// server-side code keeps its names.
 //
 // The daemon exists because the pipeline is CPU-bound and bursty: a
 // bounded worker pool keeps at most GOMAXPROCS compilations running, a
@@ -21,184 +30,40 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/ir"
-	"repro/internal/machine"
 	"repro/internal/modulo"
 	"repro/internal/partition"
+	"repro/internal/wire"
 )
 
-// MachineSpec selects a target machine in a request.
-type MachineSpec struct {
-	// Clusters is 1 (the monolithic ideal) or one of the paper's cluster
-	// counts 2, 4, 8.
-	Clusters int `json:"clusters"`
-	// CopyModel is "embedded" (default) or "copyunit"; ignored for the
-	// monolithic machine.
-	CopyModel string `json:"copy_model,omitempty"`
-}
-
-// Config builds the machine.Config the spec names.
-func (ms MachineSpec) Config() (*machine.Config, error) {
-	if ms.Clusters <= 1 {
-		return machine.Ideal16(), nil
-	}
-	model := machine.Embedded
-	switch strings.ToLower(ms.CopyModel) {
-	case "", "embedded":
-	case "copyunit", "copy_unit", "copy-unit":
-		model = machine.CopyUnit
-	default:
-		return nil, fmt.Errorf("unknown copy model %q (want embedded or copyunit)", ms.CopyModel)
-	}
-	return machine.Clustered16(ms.Clusters, model)
-}
-
-// CompileRequest is the POST /compile body.
-type CompileRequest struct {
-	// Name labels the loop in responses and logs.
-	Name string `json:"name"`
-	// Source is the loop body in the ir.ParseLoop assembly format.
-	Source string `json:"source"`
-	// Machine selects the target; the zero value is the monolithic ideal.
-	Machine MachineSpec `json:"machine"`
-	// Partitioner optionally overrides the server's default method:
-	// rcg, portfolio, bug, uas, roundrobin, random, single.
-	Partitioner string `json:"partitioner,omitempty"`
-	// Refine enables the iterative partition improvement loop.
-	Refine bool `json:"refine,omitempty"`
-	// ExpandTrip, when positive, additionally expands the clustered
-	// schedule into prelude/kernel/postlude for that trip count.
-	ExpandTrip int `json:"expand_trip,omitempty"`
-	// TimeoutMS caps this request's compile time in milliseconds; 0 uses
-	// the server default.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
-
-// ScheduledOp is one operation of the clustered kernel schedule.
-type ScheduledOp struct {
-	Op      string `json:"op"`
-	Cycle   int    `json:"cycle"`
-	Row     int    `json:"row"`
-	Stage   int    `json:"stage"`
-	Cluster int    `json:"cluster"`
-}
-
-// RefineReport echoes codegen.RefineStats.
-type RefineReport struct {
-	Rounds     int `json:"rounds"`
-	MovesTried int `json:"moves_tried"`
-	MovesKept  int `json:"moves_kept"`
-	StartII    int `json:"start_ii"`
-	FinalII    int `json:"final_ii"`
-}
-
-// ExpansionReport is the flattened pipeline: rows of rendered instances.
-type ExpansionReport struct {
-	II          int        `json:"ii"`
-	Stages      int        `json:"stages"`
-	Trip        int        `json:"trip"`
-	KernelReps  int        `json:"kernel_reps"`
-	TotalCycles int        `json:"total_cycles"`
-	Prelude     [][]string `json:"prelude"`
-	Kernel      [][]string `json:"kernel"`
-	Postlude    [][]string `json:"postlude"`
-}
-
-// ExactGapReport echoes codegen.ExactReport: the optimality-gap telemetry
-// when the server runs with the exact-solver arms enabled.
-type ExactGapReport struct {
-	MinII         int   `json:"min_ii"`
-	HeuristicII   int   `json:"heuristic_ii"`
-	FinalII       int   `json:"final_ii"`
-	SchedRan      bool  `json:"sched_ran"`
-	SchedProven   bool  `json:"sched_proven"`
-	SchedImproved bool  `json:"sched_improved"`
-	SchedNodes    int64 `json:"sched_nodes"`
-	PartRan       bool  `json:"part_ran"`
-	PartProven    bool  `json:"part_proven"`
-	PartImproved  bool  `json:"part_improved"`
-	PartWon       bool  `json:"part_won"`
-	PartNodes     int64 `json:"part_nodes"`
-}
-
-// CompileResponse is the POST /compile success body.
-type CompileResponse struct {
-	Name             string           `json:"name"`
-	Machine          string           `json:"machine"`
-	Partitioner      string           `json:"partitioner"`
-	PortfolioVariant string           `json:"portfolio_variant,omitempty"`
-	IdealII          int              `json:"ideal_ii"`
-	PartII           int              `json:"part_ii"`
-	Degradation      float64          `json:"degradation"`
-	KernelCopies     int              `json:"kernel_copies"`
-	Spills           int              `json:"spills"`
-	CacheHit         bool             `json:"cache_hit,omitempty"`
-	CacheTier        string           `json:"cache_tier,omitempty"`
-	Schedule         []ScheduledOp    `json:"schedule"`
-	Refine           *RefineReport    `json:"refine,omitempty"`
-	Exact            *ExactGapReport  `json:"exact,omitempty"`
-	Expansion        *ExpansionReport `json:"expansion,omitempty"`
-}
-
-// BatchRequest is the POST /compile/batch body: many loops in one
-// request, decoded in a single pass. The top-level fields are defaults
-// an item inherits when it leaves the corresponding field zero.
-type BatchRequest struct {
-	// Machine is the default target for items whose own spec is zero.
-	Machine MachineSpec `json:"machine,omitempty"`
-	// Partitioner is the default method for items that name none.
-	Partitioner string `json:"partitioner,omitempty"`
-	// TimeoutMS is the default per-item compile deadline; each item runs
-	// under its own deadline, so one slow loop cannot consume the whole
-	// batch's time. 0 uses the server default, and the server's
-	// -max-timeout cap applies per item.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// Items are the loops to compile, at most MaxBatchItems of them.
-	Items []CompileRequest `json:"items"`
-}
-
-// applyDefaults folds the batch-level defaults into one item.
-func (b *BatchRequest) applyDefaults(item *CompileRequest, idx int) {
-	if item.Name == "" {
-		item.Name = fmt.Sprintf("loop%d", idx)
-	}
-	if item.Machine == (MachineSpec{}) {
-		item.Machine = b.Machine
-	}
-	if item.Partitioner == "" {
-		item.Partitioner = b.Partitioner
-	}
-	if item.TimeoutMS == 0 {
-		item.TimeoutMS = b.TimeoutMS
-	}
-}
-
-// BatchItem is one loop's outcome inside a batch: exactly one of Result
-// and Error is set, and Code is the status the same request would have
-// drawn from /compile (200, 422, 504...). A failing item never fails the
-// batch — errors stay item-level. In the NDJSON streaming mode each
-// BatchItem is one output line, emitted in completion order; Index maps
-// it back to the request's Items slice.
-type BatchItem struct {
-	Index  int              `json:"index"`
-	Code   int              `json:"code"`
-	Result *CompileResponse `json:"result,omitempty"`
-	Error  *ErrorResponse   `json:"error,omitempty"`
-}
-
-// BatchResponse is the buffered (non-streaming) POST /compile/batch
-// success body; Items is in request order.
-type BatchResponse struct {
-	Items  []BatchItem `json:"items"`
-	Errors int         `json:"errors"`
-}
-
-// ErrorResponse is every non-2xx body.
-type ErrorResponse struct {
-	Error string `json:"error"`
-	// Stage is the pipeline stage a cancelled or timed-out compile had
-	// reached (empty otherwise); see codegen.Stage.
-	Stage string `json:"stage,omitempty"`
-}
+// The wire DTOs, aliased so handler code and tests keep their historical
+// names. internal/wire owns the definitions (and both codecs).
+type (
+	// MachineSpec selects a target machine in a request.
+	MachineSpec = wire.MachineSpec
+	// CompileRequest is the POST /v1/compile body.
+	CompileRequest = wire.CompileRequest
+	// RequestDefaults is the shared request envelope both handlers fold
+	// into items.
+	RequestDefaults = wire.RequestDefaults
+	// ScheduledOp is one operation of the clustered kernel schedule.
+	ScheduledOp = wire.ScheduledOp
+	// RefineReport echoes codegen.RefineStats.
+	RefineReport = wire.RefineReport
+	// ExpansionReport is the flattened pipeline: rows of rendered instances.
+	ExpansionReport = wire.ExpansionReport
+	// ExactGapReport echoes codegen.ExactReport.
+	ExactGapReport = wire.ExactGapReport
+	// CompileResponse is the POST /v1/compile success body.
+	CompileResponse = wire.CompileResponse
+	// BatchRequest is the POST /v1/compile/batch body.
+	BatchRequest = wire.BatchRequest
+	// BatchItem is one loop's outcome inside a batch.
+	BatchItem = wire.BatchItem
+	// BatchResponse is the buffered batch success body.
+	BatchResponse = wire.BatchResponse
+	// ErrorResponse is every non-2xx body.
+	ErrorResponse = wire.ErrorResponse
+)
 
 // pickPartitioner mirrors the swpc flag of the same vocabulary.
 func pickPartitioner(name string) (partition.Partitioner, error) {
@@ -304,4 +169,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeResponse renders one compile outcome — a *CompileResponse or an
+// *ErrorResponse — in the negotiated format. Binary responses carry the
+// HTTP status inline in error frames (wire.AppendError), so binary
+// clients can decode without consulting the transport.
+func writeResponse(w http.ResponseWriter, code int, body any, f wire.Format) {
+	if f != wire.FormatBinary {
+		writeJSON(w, code, body)
+		return
+	}
+	bp := wire.GetBuffer()
+	defer wire.PutBuffer(bp)
+	buf := *bp
+	switch v := body.(type) {
+	case *CompileResponse:
+		buf = wire.AppendCompileResponse(buf, v)
+	case *ErrorResponse:
+		buf = wire.AppendError(buf, code, v)
+	default:
+		buf = wire.AppendError(buf, code, &ErrorResponse{Error: fmt.Sprintf("%v", body)})
+	}
+	*bp = buf
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.WriteHeader(code)
+	_, _ = w.Write(buf)
 }

@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
-// This file implements POST /compile/batch: many loops through one
+// This file implements POST /v1/compile/batch: many loops through one
 // request. The batch body is decoded in a single pass, then every item
 // becomes an independent compile on the shared worker pool — batch items
 // enter the queue with blocking backpressure (pool.submitWait) instead
@@ -19,12 +21,16 @@ import (
 // item-level: one malformed or timed-out loop yields one BatchItem with
 // an error, never a failed batch.
 //
-// Two response modes share the handler:
+// Three response modes share the handler:
 //
 //   - buffered JSON (default): one BatchResponse, items in request order;
 //   - NDJSON streaming (?stream=1 or Accept: application/x-ndjson): one
 //     BatchItem JSON line per loop in completion order, flushed as each
-//     compile finishes, so a client can pipeline its own consumption.
+//     compile finishes, so a client can pipeline its own consumption;
+//   - binary (Content-Type/Accept: application/x-swp-bin): one batch
+//     response frame whose items stream in completion order — the frame
+//     layout is identical buffered or streamed, so the client decodes it
+//     either way (wire.DecodeResponse reassembles request order).
 
 const (
 	// MaxBatchItems caps the loops in one batch request.
@@ -36,26 +42,43 @@ const (
 
 // ndjsonContentType is the streaming response MIME type; requesting it
 // via Accept is equivalent to ?stream=1.
-const ndjsonContentType = "application/x-ndjson"
+const ndjsonContentType = wire.ContentTypeNDJSON
 
 func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	reqF, respF, extraType, ok := s.negotiate(w, r, ndjsonContentType)
+	if !ok {
+		return
+	}
 	var req BatchRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()})
+	if reqF == wire.FormatBinary {
+		data, release, err := readBody(r, maxBatchBody)
+		if err != nil {
+			writeResponse(w, http.StatusBadRequest, &ErrorResponse{Error: "reading request: " + err.Error()}, respF)
+			return
+		}
+		err = wire.DecodeBatchRequest(data, &req)
+		release()
+		if err != nil {
+			writeResponse(w, http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}, respF)
+			return
+		}
+	} else if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&req); err != nil {
+		writeResponse(w, http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}, respF)
 		return
 	}
 	if len(req.Items) == 0 {
-		writeJSON(w, http.StatusBadRequest, &ErrorResponse{Error: "batch has no items"})
+		writeResponse(w, http.StatusBadRequest, &ErrorResponse{Error: "batch has no items"}, respF)
 		return
 	}
 	if len(req.Items) > MaxBatchItems {
-		writeJSON(w, http.StatusBadRequest, &ErrorResponse{
+		writeResponse(w, http.StatusBadRequest, &ErrorResponse{
 			Error: fmt.Sprintf("batch of %d items exceeds the limit of %d", len(req.Items), MaxBatchItems),
-		})
+		}, respF)
 		return
 	}
 	stream := r.URL.Query().Get("stream") == "1" ||
+		extraType == ndjsonContentType ||
 		strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
 
 	// Fan the items out. The goroutines only wait (parse + queue + block
@@ -65,7 +88,7 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 	results := make(chan BatchItem, len(req.Items))
 	for i := range req.Items {
 		item := req.Items[i]
-		req.applyDefaults(&item, i)
+		req.Apply(&item, fmt.Sprintf("loop%d", i))
 		go func(idx int, item CompileRequest) {
 			code, body := s.compileOne(r.Context(), &item, s.pool.submitWait)
 			bi := BatchItem{Index: idx, Code: code}
@@ -79,10 +102,31 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 	}
 
 	errs := 0
-	if stream {
+	fl, _ := w.(http.Flusher)
+	switch {
+	case respF == wire.FormatBinary:
+		// One batch response frame, items streamed in completion order.
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		bp := wire.GetBuffer()
+		buf := wire.AppendBatchResponseHeader(*bp, len(req.Items))
+		_, _ = w.Write(buf)
+		for range req.Items {
+			bi := <-results
+			if bi.Error != nil {
+				errs++
+			}
+			buf = wire.AppendBatchResponseItem(buf[:0], &bi)
+			_, _ = w.Write(buf)
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		*bp = buf
+		wire.PutBuffer(bp)
+	case stream:
 		w.Header().Set("Content-Type", ndjsonContentType)
 		w.WriteHeader(http.StatusOK)
-		fl, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
 		for range req.Items {
 			bi := <-results
@@ -94,7 +138,7 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 				fl.Flush()
 			}
 		}
-	} else {
+	default:
 		items := make([]BatchItem, len(req.Items))
 		for range req.Items {
 			bi := <-results
@@ -108,7 +152,7 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.observeBatch(len(req.Items), time.Since(started))
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("batch items=%d errors=%d stream=%v dur=%s",
-			len(req.Items), errs, stream, time.Since(started).Round(time.Microsecond))
+		s.cfg.Log.Printf("batch items=%d errors=%d wire=%s stream=%v dur=%s",
+			len(req.Items), errs, respF, stream, time.Since(started).Round(time.Microsecond))
 	}
 }

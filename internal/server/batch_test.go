@@ -53,7 +53,7 @@ func TestBatchMixedItems(t *testing.T) {
 	defer ts.Close()
 
 	req := &BatchRequest{
-		Machine: MachineSpec{Clusters: 4, CopyModel: "embedded"},
+		RequestDefaults: RequestDefaults{Machine: MachineSpec{Clusters: 4, CopyModel: "embedded"}},
 		Items: []CompileRequest{
 			{Name: "good-a", Source: dotSource(2)},
 			{Source: "0: this is not a loop"},
@@ -110,7 +110,7 @@ func TestBatchStreaming(t *testing.T) {
 	defer ts.Close()
 
 	const n = 6
-	req := &BatchRequest{Machine: MachineSpec{Clusters: 4}}
+	req := &BatchRequest{RequestDefaults: RequestDefaults{Machine: MachineSpec{Clusters: 4}}}
 	for i := 0; i < n; i++ {
 		req.Items = append(req.Items, CompileRequest{Source: dotSource(1 + i%3)})
 	}
@@ -162,7 +162,7 @@ func TestBatchItemDeadline(t *testing.T) {
 	defer ts.Close()
 
 	req := &BatchRequest{
-		Machine: MachineSpec{Clusters: 4},
+		RequestDefaults: RequestDefaults{Machine: MachineSpec{Clusters: 4}},
 		Items: []CompileRequest{
 			// Refinement multiplies the compile by ~a hundred trial
 			// compiles, so 1ms cannot possibly cover it on any machine.
@@ -236,7 +236,7 @@ func TestSoakBatchDisk(t *testing.T) {
 		return c, d, s, httptest.NewServer(s.Handler())
 	}
 	batchOf := func(rng *rand.Rand, size int) *BatchRequest {
-		req := &BatchRequest{Machine: MachineSpec{Clusters: 4}}
+		req := &BatchRequest{RequestDefaults: RequestDefaults{Machine: MachineSpec{Clusters: 4}}}
 		for i := 0; i < size; i++ {
 			idx := rng.Intn(len(sources))
 			req.Items = append(req.Items, CompileRequest{

@@ -209,6 +209,20 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	if t := s.cfg.Pipeline.IISeed; t != nil {
+		st := t.Stats()
+		fmt.Fprintf(w, "# HELP swpd_iiseed_lookups_total II-seed table consultations.\n# TYPE swpd_iiseed_lookups_total counter\n")
+		fmt.Fprintf(w, "swpd_iiseed_lookups_total %d\n", st.Lookups)
+		fmt.Fprintf(w, "# HELP swpd_iiseed_hits_total Consultations that advanced the II search start.\n# TYPE swpd_iiseed_hits_total counter\n")
+		fmt.Fprintf(w, "swpd_iiseed_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP swpd_iiseed_saved_attempts_total Candidate-II attempts skipped thanks to seeds.\n# TYPE swpd_iiseed_saved_attempts_total counter\n")
+		fmt.Fprintf(w, "swpd_iiseed_saved_attempts_total %d\n", st.SavedAttempts)
+		fmt.Fprintf(w, "# HELP swpd_iiseed_entries Seeds resident in the table.\n# TYPE swpd_iiseed_entries gauge\n")
+		fmt.Fprintf(w, "swpd_iiseed_entries %d\n", t.Len())
+		fmt.Fprintf(w, "# HELP swpd_iiseed_evictions_total Seeds displaced by the capacity bound.\n# TYPE swpd_iiseed_evictions_total counter\n")
+		fmt.Fprintf(w, "swpd_iiseed_evictions_total %d\n", st.Evictions)
+	}
+
 	if s.cfg.Pipeline.Tracer.Enabled() {
 		fmt.Fprintf(w, "# HELP swpd_stage_seconds_total Cumulative wall time per pipeline stage.\n# TYPE swpd_stage_seconds_total counter\n")
 		stats := s.cfg.Pipeline.Tracer.Stats()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,11 +9,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/ir"
 	"repro/internal/scratch"
+	"repro/internal/wire"
 )
 
 // Config tunes the daemon. The zero value is serviceable: GOMAXPROCS
@@ -34,6 +37,13 @@ type Config struct {
 	Log *log.Logger
 }
 
+// maxCompileBody bounds the single-compile request body for both codecs.
+const maxCompileBody = 1 << 20
+
+// legacyDeprecation is the RFC 9745 Deprecation timestamp the unversioned
+// route aliases answer with: the date the /v1/ surface shipped.
+var legacyDeprecation = fmt.Sprintf("@%d", time.Date(2026, time.August, 8, 0, 0, 0, 0, time.UTC).Unix())
+
 // Server is the swpd HTTP service: a worker pool, its metrics, and the
 // handlers. Create with New, mount via Handler, stop with Close.
 type Server struct {
@@ -42,6 +52,44 @@ type Server struct {
 	metrics  *metrics
 	mux      *http.ServeMux
 	draining chan struct{}
+	parses   parseCache
+}
+
+// parseCache memoizes ir.ParseLoop by exact (name, source) text, so the
+// steady-state warm path — the same loop compiled again — skips the
+// parser entirely. Safe to share: the pipeline treats a *ir.Loop as
+// read-only (copy insertion works on a value copy of the loop and never
+// mutates the source body), which the stage cache already relies on.
+// Keys are the verbatim strings, so there is no collision risk; a flat
+// cap bounds the memory and a full table is simply dropped — parsing is
+// cheap enough that a rare cold sweep is invisible.
+type parseCache struct {
+	mu sync.Mutex
+	m  map[string]*ir.Loop
+}
+
+// parseCacheCap bounds distinct (name, source) texts retained.
+const parseCacheCap = 4096
+
+func (pc *parseCache) parse(name, src string) (*ir.Loop, error) {
+	key := name + "\x00" + src
+	pc.mu.Lock()
+	loop, ok := pc.m[key]
+	pc.mu.Unlock()
+	if ok {
+		return loop, nil
+	}
+	loop, err := ir.ParseLoop(name, src)
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	if pc.m == nil || len(pc.m) >= parseCacheCap {
+		pc.m = make(map[string]*ir.Loop, 64)
+	}
+	pc.m[key] = loop
+	pc.mu.Unlock()
+	return loop, nil
 }
 
 // New builds a Server and starts its workers.
@@ -59,11 +107,26 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		draining: make(chan struct{}),
 	}
-	s.mux.HandleFunc("POST /compile", s.compileHandler)
-	s.mux.HandleFunc("POST /compile/batch", s.batchHandler)
+	s.mux.HandleFunc("POST /v1/compile", s.compileHandler)
+	s.mux.HandleFunc("POST /v1/compile/batch", s.batchHandler)
+	// The unversioned routes alias their /v1/ twins bit for bit, plus a
+	// Deprecation header so clients learn to move without breaking.
+	s.mux.HandleFunc("POST /compile", deprecated("/v1/compile", s.compileHandler))
+	s.mux.HandleFunc("POST /compile/batch", deprecated("/v1/compile/batch", s.batchHandler))
 	s.mux.HandleFunc("GET /healthz", s.healthHandler)
 	s.mux.HandleFunc("GET /metrics", s.metricsHandler)
 	return s
+}
+
+// deprecated wraps a v1 handler for its legacy unversioned route: same
+// behavior, same body, plus the RFC 9745 Deprecation header and a Link to
+// the successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", legacyDeprecation)
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // Handler returns the route table for an http.Server.
@@ -93,38 +156,97 @@ func (s *Server) healthHandler(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// compileHandler is the daemon's purpose: decode, bound, enqueue, wait,
-// encode. The compile runs on a pool worker under a context that dies
-// with the client connection or the request deadline, whichever first.
+// negotiate resolves one request's codecs: the request format from
+// Content-Type, the response format from Accept (defaulting to the
+// request's own format, so a binary client gets binary back without an
+// Accept header). A failure writes the 415 or 406 itself and reports
+// ok=false. extra lists response-only types the endpoint can also
+// produce; a match is returned through extraType.
+func (s *Server) negotiate(w http.ResponseWriter, r *http.Request, extra ...string) (reqF, respF wire.Format, extraType string, ok bool) {
+	reqF, ctErr := wire.ParseContentType(r.Header.Get("Content-Type"))
+	respF, extraType, accErr := wire.NegotiateAccept(r.Header.Get("Accept"), reqF, extra...)
+	switch {
+	case ctErr != nil:
+		writeResponse(w, http.StatusUnsupportedMediaType, &ErrorResponse{
+			Error:     ctErr.Error(),
+			Supported: wire.RequestTypes(),
+		}, respF)
+		return 0, 0, "", false
+	case accErr != nil:
+		writeResponse(w, http.StatusNotAcceptable, &ErrorResponse{
+			Error:     accErr.Error(),
+			Supported: wire.ResponseTypes(extra...),
+		}, reqF)
+		return 0, 0, "", false
+	}
+	return reqF, respF, extraType, true
+}
+
+// readBody drains the request body into a pooled buffer. The returned
+// release func recycles it; the bytes are invalid afterwards.
+func readBody(r *http.Request, limit int64) ([]byte, func(), error) {
+	bp := wire.GetBuffer()
+	buf := bytes.NewBuffer(*bp)
+	_, err := io.Copy(buf, io.LimitReader(r.Body, limit))
+	b := buf.Bytes()
+	release := func() { *bp = b[:0]; wire.PutBuffer(bp) }
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	return b, release, nil
+}
+
+// compileHandler is the daemon's purpose: negotiate, decode, bound,
+// enqueue, wait, encode. The compile runs on a pool worker under a
+// context that dies with the client connection or the request deadline,
+// whichever first.
 func (s *Server) compileHandler(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	code, body := s.compile(r)
-	writeJSON(w, code, body)
+	reqF, respF, _, ok := s.negotiate(w, r)
+	if !ok {
+		return
+	}
+	code, body := s.compile(r, reqF)
+	writeResponse(w, code, body, respF)
 	s.metrics.observe(code, time.Since(started))
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("compile code=%d dur=%s", code, time.Since(started).Round(time.Microsecond))
+		s.cfg.Log.Printf("compile code=%d wire=%s dur=%s", code, respF, time.Since(started).Round(time.Microsecond))
 	}
 }
 
-func (s *Server) compile(r *http.Request) (int, any) {
+func (s *Server) compile(r *http.Request, f wire.Format) (int, any) {
+	var defaults RequestDefaults
+	if f == wire.FormatBinary {
+		data, release, err := readBody(r, maxCompileBody)
+		if err != nil {
+			return http.StatusBadRequest, &ErrorResponse{Error: "reading request: " + err.Error()}
+		}
+		defer release()
+		req := wire.GetCompileRequest()
+		defer wire.PutCompileRequest(req)
+		if err := wire.DecodeCompileRequest(data, req); err != nil {
+			return http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}
+		}
+		defaults.Apply(req, "loop")
+		return s.compileOne(r.Context(), req, s.pool.submit)
+	}
 	var req CompileRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxCompileBody)).Decode(&req); err != nil {
 		return http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}
 	}
-	if req.Name == "" {
-		req.Name = "loop"
-	}
+	defaults.Apply(&req, "loop")
 	return s.compileOne(r.Context(), &req, s.pool.submit)
 }
 
 // compileOne runs one already-decoded compile request to completion:
 // parse, bound, enqueue via submit, wait, build the response. It is the
-// shared core of the single /compile handler (non-blocking submit, full
-// queue = 429) and each /compile/batch item (blocking submitWait, full
-// queue = backpressure). baseCtx is the connection context; the request
-// deadline is layered on top here.
+// shared core of the single /v1/compile handler (non-blocking submit,
+// full queue = 429) and each /v1/compile/batch item (blocking submitWait,
+// full queue = backpressure). baseCtx is the connection context; the
+// request deadline is layered on top here.
 func (s *Server) compileOne(baseCtx context.Context, req *CompileRequest, submit func(*task) error) (int, any) {
-	loop, err := ir.ParseLoop(req.Name, req.Source)
+	loop, err := s.parses.parse(req.Name, req.Source)
 	if err != nil {
 		return http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
 	}

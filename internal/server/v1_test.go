@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// This file covers the v1 surface: codec negotiation (415/406), the
+// deprecated unversioned aliases, and the JSON-vs-binary differential —
+// the same compile answered through both codecs must carry byte-identical
+// compile tables once re-marshaled.
+
+func newV1Server(t testing.TB) *httptest.Server {
+	t.Helper()
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func v1Request(t testing.TB) *CompileRequest {
+	t.Helper()
+	return &CompileRequest{
+		Name:       "dot",
+		Source:     dotSource(2),
+		Machine:    MachineSpec{Clusters: 4, CopyModel: "embedded"},
+		ExpandTrip: 8,
+	}
+}
+
+// TestUnknownContentTypeReturns415 pins the negotiation failure for a
+// request body in a codec the server does not speak: 415 plus the
+// supported list, so a client can self-correct.
+func TestUnknownContentTypeReturns415(t *testing.T) {
+	ts := newV1Server(t)
+	for _, path := range []string{"/v1/compile", "/v1/compile/batch"} {
+		resp, err := http.Post(ts.URL+path, "application/msgpack", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: decoding 415 body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Fatalf("%s: status %d, want 415", path, resp.StatusCode)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: 415 body has no error message", path)
+		}
+		want := wire.RequestTypes()
+		if len(e.Supported) != len(want) {
+			t.Fatalf("%s: supported list %v, want %v", path, e.Supported, want)
+		}
+		for i, ct := range want {
+			if e.Supported[i] != ct {
+				t.Errorf("%s: supported[%d] = %q, want %q", path, i, e.Supported[i], ct)
+			}
+		}
+	}
+}
+
+// TestUnsatisfiableAcceptReturns406 pins the response-side negotiation
+// failure: an Accept header naming only codecs the server cannot produce.
+func TestUnsatisfiableAcceptReturns406(t *testing.T) {
+	ts := newV1Server(t)
+	body, err := json.Marshal(v1Request(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/html")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding 406 body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("status %d, want 406", resp.StatusCode)
+	}
+	if len(e.Supported) == 0 {
+		t.Error("406 body lists no supported response types")
+	}
+	// The batch route additionally offers NDJSON.
+	breq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile/batch", strings.NewReader(`{"items":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	breq.Header.Set("Content-Type", "application/json")
+	breq.Header.Set("Accept", "text/html")
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("batch status %d, want 406", bresp.StatusCode)
+	}
+}
+
+// TestLegacyAliasDeprecation proves the unversioned routes still answer —
+// with byte-identical bodies to their /v1/ twins — and advertise the move
+// via the RFC 9745 Deprecation header plus a successor-version Link.
+func TestLegacyAliasDeprecation(t *testing.T) {
+	ts := newV1Server(t)
+	body, err := json.Marshal(v1Request(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(path string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, b)
+		}
+		return resp, b
+	}
+
+	v1Resp, v1Body := fetch("/v1/compile")
+	legacyResp, legacyBody := fetch("/compile")
+
+	if got := v1Resp.Header.Get("Deprecation"); got != "" {
+		t.Errorf("/v1/compile carries Deprecation %q; the versioned route is not deprecated", got)
+	}
+	dep := legacyResp.Header.Get("Deprecation")
+	if !strings.HasPrefix(dep, "@") {
+		t.Errorf("legacy /compile Deprecation = %q, want RFC 9745 @unix-timestamp", dep)
+	}
+	link := legacyResp.Header.Get("Link")
+	if !strings.Contains(link, "/v1/compile") || !strings.Contains(link, `rel="successor-version"`) {
+		t.Errorf("legacy /compile Link = %q, want successor-version pointing at /v1/compile", link)
+	}
+	// Normalize cache provenance: the second request is served warm.
+	norm := func(b []byte) *CompileResponse {
+		var r CompileResponse
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		r.CacheHit, r.CacheTier = false, ""
+		return &r
+	}
+	a, bb := norm(v1Body), norm(legacyBody)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(bb)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("legacy /compile body diverges from /v1/compile:\n%s\nvs\n%s", bj, aj)
+	}
+}
+
+// TestBinaryJSONDifferential is the codec differential: one request
+// compiled through application/json and through application/x-swp-bin
+// must produce the same compile tables byte-for-byte once both are
+// re-marshaled to canonical JSON (cache provenance normalized — the two
+// requests necessarily hit different tiers).
+func TestBinaryJSONDifferential(t *testing.T) {
+	ts := newV1Server(t)
+	req := v1Request(t)
+
+	var fromJSON CompileResponse
+	if code := postJSON(t, ts.URL+"/v1", req, &fromJSON); code != http.StatusOK {
+		t.Fatalf("JSON status %d", code)
+	}
+
+	frame := wire.AppendCompileRequest(nil, req)
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hr.Header.Set("Accept", wire.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeBinary {
+		t.Fatalf("binary response Content-Type = %q", ct)
+	}
+	dec, err := wire.DecodeResponse(raw)
+	if err != nil {
+		t.Fatalf("decoding binary response: %v", err)
+	}
+	if dec.Compile == nil {
+		t.Fatalf("binary response is not a compile result: %+v", dec)
+	}
+
+	normalize := func(r CompileResponse) []byte {
+		r.CacheHit, r.CacheTier = false, ""
+		b, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	jb := normalize(fromJSON)
+	bb := normalize(*dec.Compile)
+	if !bytes.Equal(jb, bb) {
+		t.Errorf("binary compile tables diverge from JSON:\nJSON:   %s\nbinary: %s", jb, bb)
+	}
+	if fromJSON.Expansion == nil || dec.Compile.Expansion == nil {
+		t.Error("differential did not cover the expansion tables")
+	}
+}
+
+// TestBinaryBatchRoundTrip drives /v1/compile/batch end to end in the
+// binary codec: frame in, one streamed batch frame out, decoded items in
+// request order matching a buffered JSON batch of the same loops.
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	ts := newV1Server(t)
+	breq := &BatchRequest{
+		RequestDefaults: RequestDefaults{Machine: MachineSpec{Clusters: 4, CopyModel: "embedded"}},
+		Items: []CompileRequest{
+			{Name: "a", Source: dotSource(2)},
+			{Name: "b", Source: dotSource(4)},
+			{Source: "bad loop"},
+		},
+	}
+	frame := wire.AppendBatchRequest(nil, breq)
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile/batch", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hr.Header.Set("Accept", wire.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	dec, err := wire.DecodeResponse(raw)
+	if err != nil {
+		t.Fatalf("decoding batch frame: %v", err)
+	}
+	if dec.Batch == nil || len(dec.Batch.Items) != len(breq.Items) {
+		t.Fatalf("batch decode: %+v", dec)
+	}
+	if dec.Batch.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (the malformed loop)", dec.Batch.Errors)
+	}
+	for i, it := range dec.Batch.Items {
+		if it.Index != i {
+			t.Fatalf("item %d decoded out of request order (index %d)", i, it.Index)
+		}
+	}
+	if dec.Batch.Items[0].Result == nil || dec.Batch.Items[0].Result.PartII == 0 {
+		t.Errorf("item 0 has no result: %+v", dec.Batch.Items[0])
+	}
+	if dec.Batch.Items[2].Error == nil {
+		t.Error("malformed item 2 did not fail item-level")
+	}
+}

@@ -1,0 +1,695 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// The binary codec: a compact, length-prefixed encoding of the wire DTOs
+// for clients that compile in a hot loop and cannot afford JSON's parse
+// and allocation cost.
+//
+// Every message is one frame:
+//
+//	magic "SWPB" (4 bytes) | version (1 byte) | kind (1 byte) | payload
+//
+// Payload scalars are varints (signed zig-zag for ints, unsigned for
+// counts), strings and slices are length-prefixed, float64 is its IEEE
+// bit pattern in 8 little-endian bytes, and optional pointers are a
+// presence byte followed by the value. Field order is fixed and is the
+// protocol: a field added later must be appended behind a version bump.
+//
+// The batch response frame streams: after the header comes the item
+// count, then one uvarint-length-prefixed BatchItem payload per item in
+// completion order, so a client can act on each item as it arrives
+// without buffering the batch. DecodeBatchResponse reassembles request
+// order (by Index), making the decoded value equal to the buffered JSON
+// BatchResponse for the same batch.
+//
+// Decoders are defensive: all lengths are bounds-checked against the
+// remaining input and capped (maxElems, maxStr), so arbitrary bytes
+// degrade to an error, never a panic or an absurd allocation —
+// FuzzWireCodec pins this.
+
+// Magic opens every binary frame.
+const Magic = "SWPB"
+
+// Version is the current binary protocol version.
+const Version = 1
+
+// Kind discriminates frame payloads.
+type Kind byte
+
+// Frame kinds.
+const (
+	KindCompileReq  Kind = 1
+	KindBatchReq    Kind = 2
+	KindCompileResp Kind = 3
+	KindError       Kind = 4
+	KindBatchResp   Kind = 5
+	KindBatchItem   Kind = 6
+)
+
+const (
+	headerLen = 6       // magic + version + kind
+	maxElems  = 1 << 20 // slice element cap: far beyond any real payload
+	maxStr    = 8 << 20 // string/byte-length cap, matches the HTTP body cap
+)
+
+// bufPool recycles encode buffers across requests.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuffer returns a pooled, empty byte slice for encoding into.
+func GetBuffer() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must
+// not retain the slice afterwards.
+func PutBuffer(bp *[]byte) { bufPool.Put(bp) }
+
+// reqPool recycles request scratch structs for the server's hot decode
+// path: one pooled CompileRequest per in-flight binary compile.
+var reqPool = sync.Pool{New: func() any { return new(CompileRequest) }}
+
+// GetCompileRequest returns a pooled, zeroed CompileRequest to decode
+// into.
+func GetCompileRequest() *CompileRequest {
+	return reqPool.Get().(*CompileRequest)
+}
+
+// PutCompileRequest zeroes and recycles a request obtained from
+// GetCompileRequest.
+func PutCompileRequest(r *CompileRequest) {
+	*r = CompileRequest{}
+	reqPool.Put(r)
+}
+
+// appendHeader opens a frame.
+func appendHeader(dst []byte, kind Kind) []byte {
+	dst = append(dst, Magic...)
+	return append(dst, Version, byte(kind))
+}
+
+// checkHeader validates a frame's header and returns its kind and
+// payload.
+func checkHeader(data []byte) (Kind, []byte, error) {
+	if len(data) < headerLen {
+		return 0, nil, fmt.Errorf("wire: frame too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != Magic {
+		return 0, nil, fmt.Errorf("wire: bad magic %q", data[:4])
+	}
+	if data[4] != Version {
+		return 0, nil, fmt.Errorf("wire: protocol version %d, want %d", data[4], Version)
+	}
+	return Kind(data[5]), data[headerLen:], nil
+}
+
+// --- encoding primitives -------------------------------------------------
+
+func putInt(dst []byte, v int) []byte     { return binary.AppendVarint(dst, int64(v)) }
+func putInt64(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+func putUint(dst []byte, v int) []byte    { return binary.AppendUvarint(dst, uint64(v)) }
+
+func putStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func putF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// --- decoding primitives -------------------------------------------------
+
+// dec is an error-latching bounds-checked reader over one payload. After
+// the first failure every read returns a zero value and err() reports the
+// cause, so decoders read straight through without per-field checks.
+type dec struct {
+	b    []byte
+	off  int
+	fail error
+}
+
+func (d *dec) errf(format string, args ...any) {
+	if d.fail == nil {
+		d.fail = fmt.Errorf("wire: "+format+" at offset %d", append(args, d.off)...)
+	}
+}
+
+func (d *dec) err() error { return d.fail }
+
+func (d *dec) done() error {
+	if d.fail == nil && d.off != len(d.b) {
+		d.errf("%d trailing bytes", len(d.b)-d.off)
+	}
+	return d.fail
+}
+
+func (d *dec) int() int { return int(d.int64()) }
+
+func (d *dec) int64() int64 {
+	if d.fail != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.errf("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) uint() int {
+	if d.fail != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.errf("bad uvarint")
+		return 0
+	}
+	d.off += n
+	if v > maxStr {
+		d.errf("length %d exceeds cap", v)
+		return 0
+	}
+	return int(v)
+}
+
+// count reads a slice length and bounds it both by the element cap and by
+// the bytes actually remaining (each element is at least one byte), so a
+// hostile length cannot force a giant allocation.
+func (d *dec) count() int {
+	n := d.uint()
+	if d.fail != nil {
+		return 0
+	}
+	if n > maxElems || n > len(d.b)-d.off {
+		d.errf("count %d exceeds remaining input", n)
+		return 0
+	}
+	return n
+}
+
+func (d *dec) str() string {
+	n := d.uint()
+	if d.fail != nil {
+		return ""
+	}
+	if n > len(d.b)-d.off {
+		d.errf("string length %d exceeds remaining input", n)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.fail != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.errf("missing bool")
+		return false
+	}
+	c := d.b[d.off]
+	d.off++
+	if c > 1 {
+		d.errf("bad bool %d", c)
+		return false
+	}
+	return c == 1
+}
+
+func (d *dec) f64() float64 {
+	if d.fail != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.errf("missing float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// --- sub-encoders (payload only, shared by the frame encoders) -----------
+
+func putMachineSpec(dst []byte, ms *MachineSpec) []byte {
+	dst = putInt(dst, ms.Clusters)
+	return putStr(dst, ms.CopyModel)
+}
+
+func (d *dec) machineSpec(ms *MachineSpec) {
+	ms.Clusters = d.int()
+	ms.CopyModel = d.str()
+}
+
+func putCompileRequestBody(dst []byte, r *CompileRequest) []byte {
+	dst = putStr(dst, r.Name)
+	dst = putStr(dst, r.Source)
+	dst = putMachineSpec(dst, &r.Machine)
+	dst = putStr(dst, r.Partitioner)
+	dst = putBool(dst, r.Refine)
+	dst = putInt(dst, r.ExpandTrip)
+	return putInt(dst, r.TimeoutMS)
+}
+
+func (d *dec) compileRequestBody(r *CompileRequest) {
+	r.Name = d.str()
+	r.Source = d.str()
+	d.machineSpec(&r.Machine)
+	r.Partitioner = d.str()
+	r.Refine = d.bool()
+	r.ExpandTrip = d.int()
+	r.TimeoutMS = d.int()
+}
+
+func putRows(dst []byte, rows [][]string) []byte {
+	dst = putUint(dst, len(rows))
+	for _, row := range rows {
+		dst = putUint(dst, len(row))
+		for _, s := range row {
+			dst = putStr(dst, s)
+		}
+	}
+	return dst
+}
+
+// rows mirrors the server's renderRows shape exactly — every slice
+// non-nil, empty rows included — so a decoded expansion re-marshals to
+// byte-identical JSON.
+func (d *dec) rows() [][]string {
+	rows := make([][]string, d.count())
+	for i := range rows {
+		rows[i] = make([]string, d.count())
+		for j := range rows[i] {
+			rows[i][j] = d.str()
+		}
+	}
+	return rows
+}
+
+func putCompileResponseBody(dst []byte, r *CompileResponse) []byte {
+	dst = putStr(dst, r.Name)
+	dst = putStr(dst, r.Machine)
+	dst = putStr(dst, r.Partitioner)
+	dst = putStr(dst, r.PortfolioVariant)
+	dst = putInt(dst, r.IdealII)
+	dst = putInt(dst, r.PartII)
+	dst = putF64(dst, r.Degradation)
+	dst = putInt(dst, r.KernelCopies)
+	dst = putInt(dst, r.Spills)
+	dst = putBool(dst, r.CacheHit)
+	dst = putStr(dst, r.CacheTier)
+	dst = putUint(dst, len(r.Schedule))
+	for i := range r.Schedule {
+		op := &r.Schedule[i]
+		dst = putStr(dst, op.Op)
+		dst = putInt(dst, op.Cycle)
+		dst = putInt(dst, op.Row)
+		dst = putInt(dst, op.Stage)
+		dst = putInt(dst, op.Cluster)
+	}
+	dst = putBool(dst, r.Refine != nil)
+	if r.Refine != nil {
+		dst = putInt(dst, r.Refine.Rounds)
+		dst = putInt(dst, r.Refine.MovesTried)
+		dst = putInt(dst, r.Refine.MovesKept)
+		dst = putInt(dst, r.Refine.StartII)
+		dst = putInt(dst, r.Refine.FinalII)
+	}
+	dst = putBool(dst, r.Exact != nil)
+	if e := r.Exact; e != nil {
+		dst = putInt(dst, e.MinII)
+		dst = putInt(dst, e.HeuristicII)
+		dst = putInt(dst, e.FinalII)
+		dst = putBool(dst, e.SchedRan)
+		dst = putBool(dst, e.SchedProven)
+		dst = putBool(dst, e.SchedImproved)
+		dst = putInt64(dst, e.SchedNodes)
+		dst = putBool(dst, e.PartRan)
+		dst = putBool(dst, e.PartProven)
+		dst = putBool(dst, e.PartImproved)
+		dst = putBool(dst, e.PartWon)
+		dst = putInt64(dst, e.PartNodes)
+	}
+	dst = putBool(dst, r.Expansion != nil)
+	if x := r.Expansion; x != nil {
+		dst = putInt(dst, x.II)
+		dst = putInt(dst, x.Stages)
+		dst = putInt(dst, x.Trip)
+		dst = putInt(dst, x.KernelReps)
+		dst = putInt(dst, x.TotalCycles)
+		dst = putRows(dst, x.Prelude)
+		dst = putRows(dst, x.Kernel)
+		dst = putRows(dst, x.Postlude)
+	}
+	return dst
+}
+
+func (d *dec) compileResponseBody(r *CompileResponse) {
+	r.Name = d.str()
+	r.Machine = d.str()
+	r.Partitioner = d.str()
+	r.PortfolioVariant = d.str()
+	r.IdealII = d.int()
+	r.PartII = d.int()
+	r.Degradation = d.f64()
+	r.KernelCopies = d.int()
+	r.Spills = d.int()
+	r.CacheHit = d.bool()
+	r.CacheTier = d.str()
+	if n := d.count(); n > 0 {
+		r.Schedule = make([]ScheduledOp, n)
+		for i := range r.Schedule {
+			op := &r.Schedule[i]
+			op.Op = d.str()
+			op.Cycle = d.int()
+			op.Row = d.int()
+			op.Stage = d.int()
+			op.Cluster = d.int()
+		}
+	}
+	if d.bool() {
+		r.Refine = &RefineReport{
+			Rounds:     d.int(),
+			MovesTried: d.int(),
+			MovesKept:  d.int(),
+			StartII:    d.int(),
+			FinalII:    d.int(),
+		}
+	}
+	if d.bool() {
+		r.Exact = &ExactGapReport{
+			MinII:         d.int(),
+			HeuristicII:   d.int(),
+			FinalII:       d.int(),
+			SchedRan:      d.bool(),
+			SchedProven:   d.bool(),
+			SchedImproved: d.bool(),
+			SchedNodes:    d.int64(),
+			PartRan:       d.bool(),
+			PartProven:    d.bool(),
+			PartImproved:  d.bool(),
+			PartWon:       d.bool(),
+			PartNodes:     d.int64(),
+		}
+	}
+	if d.bool() {
+		r.Expansion = &ExpansionReport{
+			II:          d.int(),
+			Stages:      d.int(),
+			Trip:        d.int(),
+			KernelReps:  d.int(),
+			TotalCycles: d.int(),
+			Prelude:     d.rows(),
+			Kernel:      d.rows(),
+			Postlude:    d.rows(),
+		}
+	}
+}
+
+func putErrorBody(dst []byte, code int, e *ErrorResponse) []byte {
+	dst = putInt(dst, code)
+	dst = putStr(dst, e.Error)
+	dst = putStr(dst, e.Stage)
+	dst = putUint(dst, len(e.Supported))
+	for _, s := range e.Supported {
+		dst = putStr(dst, s)
+	}
+	return dst
+}
+
+func (d *dec) errorBody() (int, *ErrorResponse) {
+	code := d.int()
+	e := &ErrorResponse{Error: d.str(), Stage: d.str()}
+	if n := d.count(); n > 0 {
+		e.Supported = make([]string, n)
+		for i := range e.Supported {
+			e.Supported[i] = d.str()
+		}
+	}
+	return code, e
+}
+
+func putBatchItemBody(dst []byte, it *BatchItem) []byte {
+	dst = putInt(dst, it.Index)
+	dst = putInt(dst, it.Code)
+	dst = putBool(dst, it.Result != nil)
+	if it.Result != nil {
+		dst = putCompileResponseBody(dst, it.Result)
+	}
+	dst = putBool(dst, it.Error != nil)
+	if it.Error != nil {
+		dst = putStr(dst, it.Error.Error)
+		dst = putStr(dst, it.Error.Stage)
+	}
+	return dst
+}
+
+func (d *dec) batchItemBody(it *BatchItem) {
+	it.Index = d.int()
+	it.Code = d.int()
+	if d.bool() {
+		it.Result = new(CompileResponse)
+		d.compileResponseBody(it.Result)
+	}
+	if d.bool() {
+		it.Error = &ErrorResponse{Error: d.str(), Stage: d.str()}
+	}
+}
+
+// --- frame encoders / decoders -------------------------------------------
+
+// AppendCompileRequest encodes r as a complete frame onto dst.
+func AppendCompileRequest(dst []byte, r *CompileRequest) []byte {
+	return putCompileRequestBody(appendHeader(dst, KindCompileReq), r)
+}
+
+// DecodeCompileRequest decodes a compile-request frame into r (typically
+// a pooled struct; see GetCompileRequest).
+func DecodeCompileRequest(data []byte, r *CompileRequest) error {
+	kind, payload, err := checkHeader(data)
+	if err != nil {
+		return err
+	}
+	if kind != KindCompileReq {
+		return fmt.Errorf("wire: frame kind %d, want compile request", kind)
+	}
+	d := &dec{b: payload}
+	d.compileRequestBody(r)
+	return d.done()
+}
+
+// AppendBatchRequest encodes r as a complete frame onto dst.
+func AppendBatchRequest(dst []byte, r *BatchRequest) []byte {
+	dst = appendHeader(dst, KindBatchReq)
+	dst = putMachineSpec(dst, &r.Machine)
+	dst = putStr(dst, r.Partitioner)
+	dst = putInt(dst, r.TimeoutMS)
+	dst = putUint(dst, len(r.Items))
+	for i := range r.Items {
+		dst = putCompileRequestBody(dst, &r.Items[i])
+	}
+	return dst
+}
+
+// DecodeBatchRequest decodes a batch-request frame into r.
+func DecodeBatchRequest(data []byte, r *BatchRequest) error {
+	kind, payload, err := checkHeader(data)
+	if err != nil {
+		return err
+	}
+	if kind != KindBatchReq {
+		return fmt.Errorf("wire: frame kind %d, want batch request", kind)
+	}
+	d := &dec{b: payload}
+	d.machineSpec(&r.Machine)
+	r.Partitioner = d.str()
+	r.TimeoutMS = d.int()
+	if n := d.count(); n > 0 {
+		r.Items = make([]CompileRequest, n)
+		for i := range r.Items {
+			d.compileRequestBody(&r.Items[i])
+		}
+	}
+	return d.done()
+}
+
+// AppendCompileResponse encodes r as a complete frame onto dst.
+func AppendCompileResponse(dst []byte, r *CompileResponse) []byte {
+	return putCompileResponseBody(appendHeader(dst, KindCompileResp), r)
+}
+
+// AppendError encodes an error frame carrying the HTTP status code it was
+// served under.
+func AppendError(dst []byte, code int, e *ErrorResponse) []byte {
+	return putErrorBody(appendHeader(dst, KindError), code, e)
+}
+
+// AppendBatchItem encodes one streamed batch item: the frame header, then
+// the uvarint-length-prefixed item payload — the same framing the batch
+// response stream uses, so a client can decode a standalone item frame
+// and a stream element with one routine.
+func AppendBatchItem(dst []byte, it *BatchItem) []byte {
+	dst = appendHeader(dst, KindBatchItem)
+	return appendSizedItem(dst, it)
+}
+
+// appendSizedItem appends uvarint(len(payload)) + payload for one item.
+func appendSizedItem(dst []byte, it *BatchItem) []byte {
+	bp := GetBuffer()
+	body := putBatchItemBody(*bp, it)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	*bp = body
+	PutBuffer(bp)
+	return dst
+}
+
+// AppendBatchResponseHeader opens a batch-response stream for count
+// items. The caller then appends count appendSized item frames (see
+// AppendBatchResponseItem) in any order.
+func AppendBatchResponseHeader(dst []byte, count int) []byte {
+	dst = appendHeader(dst, KindBatchResp)
+	return putUint(dst, count)
+}
+
+// AppendBatchResponseItem appends one uvarint-length-prefixed item to an
+// open batch-response stream.
+func AppendBatchResponseItem(dst []byte, it *BatchItem) []byte {
+	return appendSizedItem(dst, it)
+}
+
+// AppendBatchResponse encodes a whole batch response as one frame.
+func AppendBatchResponse(dst []byte, r *BatchResponse) []byte {
+	dst = AppendBatchResponseHeader(dst, len(r.Items))
+	for i := range r.Items {
+		dst = AppendBatchResponseItem(dst, &r.Items[i])
+	}
+	return dst
+}
+
+// decodeBatchPayload reads a batch-response payload: count, then count
+// length-prefixed items in stream (completion) order. Items are
+// reassembled into request order by Index — the decoded value equals the
+// buffered JSON BatchResponse for the same batch — and Errors is
+// recomputed from the items.
+func decodeBatchPayload(payload []byte) (*BatchResponse, error) {
+	d := &dec{b: payload}
+	n := d.count()
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	items := make([]BatchItem, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		size := d.uint()
+		if d.fail == nil && size > len(d.b)-d.off {
+			d.errf("item length %d exceeds remaining input", size)
+		}
+		if err := d.err(); err != nil {
+			return nil, err
+		}
+		id := &dec{b: d.b[d.off : d.off+size]}
+		d.off += size
+		var it BatchItem
+		id.batchItemBody(&it)
+		if err := id.done(); err != nil {
+			return nil, err
+		}
+		if it.Index < 0 || it.Index >= n || seen[it.Index] {
+			return nil, fmt.Errorf("wire: batch item index %d invalid or duplicate", it.Index)
+		}
+		seen[it.Index] = true
+		items[it.Index] = it
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	out := &BatchResponse{Items: items}
+	for i := range items {
+		if items[i].Error != nil {
+			out.Errors++
+		}
+	}
+	return out, nil
+}
+
+// Response is a decoded response frame of any kind: exactly one of
+// Compile, Batch and Err is set. Code is the HTTP status an error frame
+// was served under (error frames carry it inline so binary clients need
+// not consult transport status); success frames report 200.
+type Response struct {
+	Code    int
+	Compile *CompileResponse
+	Batch   *BatchResponse
+	Err     *ErrorResponse
+}
+
+// DecodeResponse decodes any response frame — compile response, batch
+// response, batch item or error — dispatching on the frame kind. This is
+// the one entry point a client needs.
+func DecodeResponse(data []byte) (*Response, error) {
+	kind, payload, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindCompileResp:
+		r := new(CompileResponse)
+		d := &dec{b: payload}
+		d.compileResponseBody(r)
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return &Response{Code: 200, Compile: r}, nil
+	case KindError:
+		d := &dec{b: payload}
+		code, e := d.errorBody()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return &Response{Code: code, Err: e}, nil
+	case KindBatchResp:
+		b, err := decodeBatchPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Code: 200, Batch: b}, nil
+	case KindBatchItem:
+		d := &dec{b: payload}
+		size := d.uint()
+		if d.fail == nil && size != len(d.b)-d.off {
+			d.errf("item length %d does not match frame", size)
+		}
+		if err := d.err(); err != nil {
+			return nil, err
+		}
+		var it BatchItem
+		d.batchItemBody(&it)
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return &Response{Code: 200, Batch: &BatchResponse{Items: []BatchItem{it}}}, nil
+	default:
+		return nil, fmt.Errorf("wire: unexpected response frame kind %d", kind)
+	}
+}

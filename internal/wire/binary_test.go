@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleResponse exercises every field of the response shape, including
+// all three optional reports.
+func sampleResponse() *CompileResponse {
+	return &CompileResponse{
+		Name:             "dot",
+		Machine:          "16-wide, 4x4, embedded",
+		Partitioner:      "rcg",
+		PortfolioVariant: "uas",
+		IdealII:          3,
+		PartII:           4,
+		Degradation:      133.3333,
+		KernelCopies:     2,
+		Spills:           1,
+		CacheHit:         true,
+		CacheTier:        "disk",
+		Schedule: []ScheduledOp{
+			{Op: "r3 = add r1, r2", Cycle: 0, Row: 0, Stage: 0, Cluster: 1},
+			{Op: "store r3", Cycle: 5, Row: 1, Stage: 1, Cluster: 0},
+		},
+		Refine: &RefineReport{Rounds: 2, MovesTried: 9, MovesKept: 1, StartII: 5, FinalII: 4},
+		Exact: &ExactGapReport{
+			MinII: 3, HeuristicII: 4, FinalII: 4,
+			SchedRan: true, SchedNodes: 1234, PartRan: true, PartWon: true, PartNodes: 77,
+		},
+		Expansion: &ExpansionReport{
+			II: 4, Stages: 2, Trip: 8, KernelReps: 7, TotalCycles: 36,
+			Prelude:  [][]string{{"[i+0] r1 = load a"}},
+			Kernel:   [][]string{{"[i+0] r3 = add r1, r2", "[i-1] store r3"}, {}},
+			Postlude: [][]string{{"[i-1] store r3"}},
+		},
+	}
+}
+
+func TestCompileRequestRoundTrip(t *testing.T) {
+	in := &CompileRequest{
+		Name:        "dot",
+		Source:      "r1 = load a\nstore r1",
+		Machine:     MachineSpec{Clusters: 4, CopyModel: "copyunit"},
+		Partitioner: "portfolio",
+		Refine:      true,
+		ExpandTrip:  12,
+		TimeoutMS:   250,
+	}
+	frame := AppendCompileRequest(nil, in)
+	out := GetCompileRequest()
+	defer PutCompileRequest(out)
+	if err := DecodeCompileRequest(frame, out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverges:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestCompileResponseRoundTrip(t *testing.T) {
+	for name, in := range map[string]*CompileResponse{
+		"full":    sampleResponse(),
+		"minimal": {Name: "empty"},
+	} {
+		frame := AppendCompileResponse(nil, in)
+		resp, err := DecodeResponse(frame)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Code != 200 || resp.Compile == nil {
+			t.Fatalf("%s: decoded %+v", name, resp)
+		}
+		if !reflect.DeepEqual(in, resp.Compile) {
+			t.Fatalf("%s: round trip diverges:\n in  %+v\n out %+v", name, in, resp.Compile)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	in := &ErrorResponse{Error: "unsupported content type", Supported: RequestTypes()}
+	frame := AppendError(nil, 415, in)
+	resp, err := DecodeResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != 415 || !reflect.DeepEqual(resp.Err, in) {
+		t.Fatalf("decoded %+v / %+v", resp.Code, resp.Err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	req := &BatchRequest{
+		RequestDefaults: RequestDefaults{
+			Machine:     MachineSpec{Clusters: 2},
+			Partitioner: "uas",
+			TimeoutMS:   100,
+		},
+		Items: []CompileRequest{
+			{Name: "a", Source: "r1 = load a"},
+			{Source: "store r2", Machine: MachineSpec{Clusters: 8}},
+		},
+	}
+	frame := AppendBatchRequest(nil, req)
+	var got BatchRequest
+	if err := DecodeBatchRequest(frame, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, &got) {
+		t.Fatalf("request round trip diverges:\n in  %+v\n out %+v", req, &got)
+	}
+
+	// Response streamed in completion order must decode to request order.
+	items := []BatchItem{
+		{Index: 1, Code: 422, Error: &ErrorResponse{Error: "parse", Stage: ""}},
+		{Index: 0, Code: 200, Result: sampleResponse()},
+	}
+	buf := AppendBatchResponseHeader(nil, len(items))
+	for i := range items {
+		buf = AppendBatchResponseItem(buf, &items[i])
+	}
+	resp, err := DecodeResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := resp.Batch
+	if b == nil || len(b.Items) != 2 || b.Errors != 1 {
+		t.Fatalf("decoded batch %+v", b)
+	}
+	if b.Items[0].Index != 0 || b.Items[1].Index != 1 {
+		t.Fatalf("items not in request order: %+v", b.Items)
+	}
+	if !reflect.DeepEqual(b.Items[0].Result, items[1].Result) {
+		t.Fatal("item 0 result diverged")
+	}
+}
+
+func TestBatchDuplicateIndexRejected(t *testing.T) {
+	items := []BatchItem{{Index: 0, Code: 200}, {Index: 0, Code: 200}}
+	buf := AppendBatchResponseHeader(nil, len(items))
+	for i := range items {
+		buf = AppendBatchResponseItem(buf, &items[i])
+	}
+	if _, err := DecodeResponse(buf); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}
+
+func TestDecodeRejectsBadFrames(t *testing.T) {
+	good := AppendCompileResponse(nil, sampleResponse())
+	for name, data := range map[string][]byte{
+		"empty":      {},
+		"short":      []byte("SWP"),
+		"bad magic":  []byte("XXXX\x01\x03"),
+		"bad ver":    []byte("SWPB\x09\x03"),
+		"truncated":  good[:len(good)-3],
+		"trailing":   append(append([]byte{}, good...), 0),
+		"wrong kind": AppendCompileRequest(nil, &CompileRequest{Name: "x"}),
+	} {
+		if _, err := DecodeResponse(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// And the request decoder symmetrically.
+	var r CompileRequest
+	if err := DecodeCompileRequest(good, &r); err == nil {
+		t.Error("request decoder accepted a response frame")
+	}
+}
+
+func TestNegotiation(t *testing.T) {
+	for _, tc := range []struct {
+		ct      string
+		want    Format
+		wantErr bool
+	}{
+		{"", FormatJSON, false},
+		{"application/json", FormatJSON, false},
+		{"application/json; charset=utf-8", FormatJSON, false},
+		{"Application/JSON", FormatJSON, false},
+		{"application/x-swp-bin", FormatBinary, false},
+		{"text/plain", FormatJSON, true},
+		{"application/xml", FormatJSON, true},
+	} {
+		got, err := ParseContentType(tc.ct)
+		if (err != nil) != tc.wantErr || got != tc.want {
+			t.Errorf("ParseContentType(%q) = %v, %v", tc.ct, got, err)
+		}
+	}
+	for _, tc := range []struct {
+		accept  string
+		def     Format
+		want    Format
+		extra   string
+		wantErr bool
+	}{
+		{"", FormatBinary, FormatBinary, "", false},
+		{"*/*", FormatBinary, FormatBinary, "", false},
+		{"application/*", FormatJSON, FormatJSON, "", false},
+		{"application/json", FormatBinary, FormatJSON, "", false},
+		{"application/x-swp-bin", FormatJSON, FormatBinary, "", false},
+		{"text/html, application/json;q=0.9", FormatJSON, FormatJSON, "", false},
+		{"text/html", FormatJSON, FormatJSON, "", true},
+	} {
+		got, extra, err := NegotiateAccept(tc.accept, tc.def)
+		if (err != nil) != tc.wantErr || got != tc.want || extra != tc.extra {
+			t.Errorf("NegotiateAccept(%q, %v) = %v, %q, %v", tc.accept, tc.def, got, extra, err)
+		}
+	}
+	// The batch endpoint's NDJSON streaming mode negotiates through extra.
+	if _, extra, err := NegotiateAccept(ContentTypeNDJSON, FormatJSON, ContentTypeNDJSON); err != nil || extra != ContentTypeNDJSON {
+		t.Errorf("NDJSON negotiation: %q, %v", extra, err)
+	}
+}
+
+// TestRequestDefaultsApply pins the shared envelope semantics both
+// handlers rely on.
+func TestRequestDefaultsApply(t *testing.T) {
+	d := RequestDefaults{
+		Machine:     MachineSpec{Clusters: 4},
+		Partitioner: "uas",
+		TimeoutMS:   100,
+	}
+	blank := CompileRequest{Source: "store r1"}
+	d.Apply(&blank, "loop7")
+	if blank.Name != "loop7" || blank.Machine.Clusters != 4 || blank.Partitioner != "uas" || blank.TimeoutMS != 100 {
+		t.Fatalf("defaults not applied: %+v", blank)
+	}
+	set := CompileRequest{
+		Name: "mine", Source: "store r1",
+		Machine: MachineSpec{Clusters: 8}, Partitioner: "bug", TimeoutMS: 5,
+	}
+	d.Apply(&set, "loop7")
+	if set.Name != "mine" || set.Machine.Clusters != 8 || set.Partitioner != "bug" || set.TimeoutMS != 5 {
+		t.Fatalf("defaults overrode explicit fields: %+v", set)
+	}
+}
+
+// TestBatchRequestJSONShape pins the RequestDefaults embedding to the
+// historical JSON wire shape: defaults at the top level, not nested.
+func TestBatchRequestJSONShape(t *testing.T) {
+	legacy := `{"machine":{"clusters":4},"partitioner":"uas","timeout_ms":50,"items":[{"name":"a","source":"store r1"}]}`
+	var br BatchRequest
+	if err := json.Unmarshal([]byte(legacy), &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Machine.Clusters != 4 || br.Partitioner != "uas" || br.TimeoutMS != 50 || len(br.Items) != 1 {
+		t.Fatalf("legacy JSON did not decode into the embedded defaults: %+v", br)
+	}
+	out, err := json.Marshal(&br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(out); strings.Contains(s, "RequestDefaults") || !strings.Contains(s, `"partitioner":"uas"`) {
+		t.Fatalf("marshalled shape regressed: %s", s)
+	}
+}
+
+// FuzzWireCodec is the binary codec's defensive property: arbitrary bytes
+// never panic any decoder, and anything that decodes re-encodes to a
+// value-identical message (encode∘decode is the identity on the image of
+// decode).
+func FuzzWireCodec(f *testing.F) {
+	f.Add(AppendCompileRequest(nil, &CompileRequest{Name: "a", Source: "store r1"}))
+	f.Add(AppendCompileResponse(nil, sampleResponse()))
+	f.Add(AppendError(nil, 415, &ErrorResponse{Error: "no", Supported: RequestTypes()}))
+	f.Add(AppendBatchRequest(nil, &BatchRequest{Items: []CompileRequest{{Name: "x"}}}))
+	it := BatchItem{Index: 0, Code: 200, Result: sampleResponse()}
+	f.Add(AppendBatchResponseItem(AppendBatchResponseHeader(nil, 1), &it))
+	f.Add([]byte("SWPB\x01\x03"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req CompileRequest
+		if err := DecodeCompileRequest(data, &req); err == nil {
+			again := AppendCompileRequest(nil, &req)
+			var req2 CompileRequest
+			if err := DecodeCompileRequest(again, &req2); err != nil || !reflect.DeepEqual(req, req2) {
+				t.Fatalf("compile request round trip diverges (err %v)", err)
+			}
+		}
+		var br BatchRequest
+		if err := DecodeBatchRequest(data, &br); err == nil {
+			again := AppendBatchRequest(nil, &br)
+			var br2 BatchRequest
+			if err := DecodeBatchRequest(again, &br2); err != nil || !reflect.DeepEqual(br, br2) {
+				t.Fatalf("batch request round trip diverges (err %v)", err)
+			}
+		}
+		if resp, err := DecodeResponse(data); err == nil {
+			var again []byte
+			switch {
+			case resp.Compile != nil:
+				again = AppendCompileResponse(nil, resp.Compile)
+			case resp.Err != nil:
+				again = AppendError(nil, resp.Code, resp.Err)
+			case resp.Batch != nil:
+				// Batch frames normalize item order on decode, so re-encoding
+				// from the decoded value is the canonical form; it must decode
+				// to the same value.
+				again = AppendBatchResponse(nil, resp.Batch)
+				if Kind(data[5]) == KindBatchItem {
+					again = AppendBatchItem(nil, &resp.Batch.Items[0])
+				}
+			}
+			resp2, err := DecodeResponse(again)
+			if err != nil || !reflect.DeepEqual(resp, resp2) {
+				t.Fatalf("response round trip diverges (err %v):\n in  %+v\n out %+v", err, resp, resp2)
+			}
+		}
+	})
+}

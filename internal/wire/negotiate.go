@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Media types the v1 surface speaks. NDJSON is response-only (the batch
+// streaming mode); requests are JSON or binary.
+const (
+	// ContentTypeJSON is the default codec on every endpoint.
+	ContentTypeJSON = "application/json"
+	// ContentTypeBinary is the compact length-prefixed binary codec
+	// defined in binary.go.
+	ContentTypeBinary = "application/x-swp-bin"
+	// ContentTypeNDJSON is the batch endpoint's JSON streaming mode: one
+	// BatchItem object per line, in completion order.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// Format is a negotiated codec.
+type Format int
+
+const (
+	// FormatJSON selects the JSON codec.
+	FormatJSON Format = iota
+	// FormatBinary selects the binary codec.
+	FormatBinary
+)
+
+// ContentType returns the media type the format is served under.
+func (f Format) ContentType() string {
+	if f == FormatBinary {
+		return ContentTypeBinary
+	}
+	return ContentTypeJSON
+}
+
+// String names the format for logs and error bodies.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// RequestTypes lists the request media types every v1 endpoint accepts —
+// the Supported field of a 415 body.
+func RequestTypes() []string { return []string{ContentTypeJSON, ContentTypeBinary} }
+
+// mediaType extracts the bare lowercase media type from a header value,
+// dropping parameters ("application/json; charset=utf-8" → "application/json").
+func mediaType(v string) string {
+	v, _, _ = strings.Cut(v, ";")
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+// ParseContentType maps a request's Content-Type header to the codec its
+// body is encoded with. An absent header defaults to JSON (the historical
+// behavior of the unversioned endpoints); an unknown type is an error the
+// server surfaces as 415 with RequestTypes in the body.
+func ParseContentType(header string) (Format, error) {
+	switch mediaType(header) {
+	case "", ContentTypeJSON:
+		return FormatJSON, nil
+	case ContentTypeBinary:
+		return FormatBinary, nil
+	default:
+		return FormatJSON, fmt.Errorf("unsupported content type %q", mediaType(header))
+	}
+}
+
+// NegotiateAccept maps a request's Accept header to the response codec,
+// defaulting to def (the request's own format, so a binary client gets a
+// binary answer without sending Accept). Wildcards accept the default.
+// A header that names only types the endpoint cannot produce is an error
+// the server surfaces as 406 with the producible types in the body.
+//
+// extra lists additional response-only types the endpoint can produce
+// (the batch endpoint passes ContentTypeNDJSON); a match on one reports
+// that type through the returned string instead of a Format.
+func NegotiateAccept(header string, def Format, extra ...string) (Format, string, error) {
+	if strings.TrimSpace(header) == "" {
+		return def, "", nil
+	}
+	for _, part := range strings.Split(header, ",") {
+		switch mt := mediaType(part); mt {
+		case "*/*", "application/*":
+			return def, "", nil
+		case ContentTypeJSON:
+			return FormatJSON, "", nil
+		case ContentTypeBinary:
+			return FormatBinary, "", nil
+		default:
+			for _, e := range extra {
+				if mt == e {
+					return def, e, nil
+				}
+			}
+		}
+	}
+	return def, "", fmt.Errorf("not acceptable: %q", strings.TrimSpace(header))
+}
+
+// ResponseTypes lists the response media types an endpoint can produce —
+// the Supported field of a 406 body. extra appends response-only types.
+func ResponseTypes(extra ...string) []string {
+	return append([]string{ContentTypeJSON, ContentTypeBinary}, extra...)
+}

@@ -1,0 +1,207 @@
+// Package wire defines the compile service's versioned wire surface: the
+// request/response DTOs shared by every codec, content-type negotiation
+// for the /v1/ endpoints, and a compact length-prefixed binary encoding
+// (application/x-swp-bin) that round-trips the exact same data as the
+// JSON codec.
+//
+// The package is the single source of truth for what travels between
+// swpc, swpd and any other client: internal/server aliases these types,
+// so handler code and client code marshal the same structs. JSON encoding
+// uses the struct tags below; binary encoding lives in binary.go and is
+// field-order-defined (see the frame layout in DESIGN.md §14). Both
+// codecs carry identical information — the differential tests in
+// internal/server pin byte-identical compile tables across them.
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// MachineSpec selects a target machine in a request.
+type MachineSpec struct {
+	// Clusters is 1 (the monolithic ideal) or one of the paper's cluster
+	// counts 2, 4, 8.
+	Clusters int `json:"clusters"`
+	// CopyModel is "embedded" (default) or "copyunit"; ignored for the
+	// monolithic machine.
+	CopyModel string `json:"copy_model,omitempty"`
+}
+
+// Config builds the machine.Config the spec names.
+func (ms MachineSpec) Config() (*machine.Config, error) {
+	if ms.Clusters <= 1 {
+		return machine.Ideal16(), nil
+	}
+	model := machine.Embedded
+	switch strings.ToLower(ms.CopyModel) {
+	case "", "embedded":
+	case "copyunit", "copy_unit", "copy-unit":
+		model = machine.CopyUnit
+	default:
+		return nil, fmt.Errorf("unknown copy model %q (want embedded or copyunit)", ms.CopyModel)
+	}
+	return machine.Clustered16(ms.Clusters, model)
+}
+
+// CompileRequest is the POST /v1/compile body.
+type CompileRequest struct {
+	// Name labels the loop in responses and logs.
+	Name string `json:"name"`
+	// Source is the loop body in the ir.ParseLoop assembly format.
+	Source string `json:"source"`
+	// Machine selects the target; the zero value is the monolithic ideal.
+	Machine MachineSpec `json:"machine"`
+	// Partitioner optionally overrides the server's default method:
+	// rcg, portfolio, bug, uas, roundrobin, random, single.
+	Partitioner string `json:"partitioner,omitempty"`
+	// Refine enables the iterative partition improvement loop.
+	Refine bool `json:"refine,omitempty"`
+	// ExpandTrip, when positive, additionally expands the clustered
+	// schedule into prelude/kernel/postlude for that trip count.
+	ExpandTrip int `json:"expand_trip,omitempty"`
+	// TimeoutMS caps this request's compile time in milliseconds; 0 uses
+	// the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RequestDefaults is the shared request envelope: the fields a handler
+// folds into an item that left them zero. The batch endpoint carries one
+// explicitly (its top-level defaults, embedded in BatchRequest so the
+// JSON shape is unchanged); the single-compile endpoint uses the zero
+// value, so both handlers normalize items through the same code path.
+type RequestDefaults struct {
+	// Machine is the default target for items whose own spec is zero.
+	Machine MachineSpec `json:"machine,omitempty"`
+	// Partitioner is the default method for items that name none.
+	Partitioner string `json:"partitioner,omitempty"`
+	// TimeoutMS is the default per-item compile deadline in milliseconds;
+	// 0 uses the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Apply folds the defaults into one item. An item with no name gets
+// fallbackName, so responses and logs always label the loop.
+func (d *RequestDefaults) Apply(item *CompileRequest, fallbackName string) {
+	if item.Name == "" {
+		item.Name = fallbackName
+	}
+	if item.Machine == (MachineSpec{}) {
+		item.Machine = d.Machine
+	}
+	if item.Partitioner == "" {
+		item.Partitioner = d.Partitioner
+	}
+	if item.TimeoutMS == 0 {
+		item.TimeoutMS = d.TimeoutMS
+	}
+}
+
+// ScheduledOp is one operation of the clustered kernel schedule.
+type ScheduledOp struct {
+	Op      string `json:"op"`
+	Cycle   int    `json:"cycle"`
+	Row     int    `json:"row"`
+	Stage   int    `json:"stage"`
+	Cluster int    `json:"cluster"`
+}
+
+// RefineReport echoes codegen.RefineStats.
+type RefineReport struct {
+	Rounds     int `json:"rounds"`
+	MovesTried int `json:"moves_tried"`
+	MovesKept  int `json:"moves_kept"`
+	StartII    int `json:"start_ii"`
+	FinalII    int `json:"final_ii"`
+}
+
+// ExpansionReport is the flattened pipeline: rows of rendered instances.
+type ExpansionReport struct {
+	II          int        `json:"ii"`
+	Stages      int        `json:"stages"`
+	Trip        int        `json:"trip"`
+	KernelReps  int        `json:"kernel_reps"`
+	TotalCycles int        `json:"total_cycles"`
+	Prelude     [][]string `json:"prelude"`
+	Kernel      [][]string `json:"kernel"`
+	Postlude    [][]string `json:"postlude"`
+}
+
+// ExactGapReport echoes codegen.ExactReport: the optimality-gap telemetry
+// when the server runs with the exact-solver arms enabled.
+type ExactGapReport struct {
+	MinII         int   `json:"min_ii"`
+	HeuristicII   int   `json:"heuristic_ii"`
+	FinalII       int   `json:"final_ii"`
+	SchedRan      bool  `json:"sched_ran"`
+	SchedProven   bool  `json:"sched_proven"`
+	SchedImproved bool  `json:"sched_improved"`
+	SchedNodes    int64 `json:"sched_nodes"`
+	PartRan       bool  `json:"part_ran"`
+	PartProven    bool  `json:"part_proven"`
+	PartImproved  bool  `json:"part_improved"`
+	PartWon       bool  `json:"part_won"`
+	PartNodes     int64 `json:"part_nodes"`
+}
+
+// CompileResponse is the POST /v1/compile success body.
+type CompileResponse struct {
+	Name             string           `json:"name"`
+	Machine          string           `json:"machine"`
+	Partitioner      string           `json:"partitioner"`
+	PortfolioVariant string           `json:"portfolio_variant,omitempty"`
+	IdealII          int              `json:"ideal_ii"`
+	PartII           int              `json:"part_ii"`
+	Degradation      float64          `json:"degradation"`
+	KernelCopies     int              `json:"kernel_copies"`
+	Spills           int              `json:"spills"`
+	CacheHit         bool             `json:"cache_hit,omitempty"`
+	CacheTier        string           `json:"cache_tier,omitempty"`
+	Schedule         []ScheduledOp    `json:"schedule"`
+	Refine           *RefineReport    `json:"refine,omitempty"`
+	Exact            *ExactGapReport  `json:"exact,omitempty"`
+	Expansion        *ExpansionReport `json:"expansion,omitempty"`
+}
+
+// BatchRequest is the POST /v1/compile/batch body: many loops in one
+// request, decoded in a single pass. The embedded RequestDefaults fields
+// sit at the top level of the JSON object (field promotion), so the wire
+// shape is identical to the historical explicit fields.
+type BatchRequest struct {
+	RequestDefaults
+	// Items are the loops to compile, at most MaxBatchItems of them.
+	Items []CompileRequest `json:"items"`
+}
+
+// BatchItem is one loop's outcome inside a batch: exactly one of Result
+// and Error is set, and Code is the status the same request would have
+// drawn from /v1/compile (200, 422, 504...). A failing item never fails
+// the batch — errors stay item-level. In the streaming modes (NDJSON and
+// binary) each BatchItem is one output frame, emitted in completion
+// order; Index maps it back to the request's Items slice.
+type BatchItem struct {
+	Index  int              `json:"index"`
+	Code   int              `json:"code"`
+	Result *CompileResponse `json:"result,omitempty"`
+	Error  *ErrorResponse   `json:"error,omitempty"`
+}
+
+// BatchResponse is the buffered POST /v1/compile/batch success body;
+// Items is in request order.
+type BatchResponse struct {
+	Items  []BatchItem `json:"items"`
+	Errors int         `json:"errors"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Stage is the pipeline stage a cancelled or timed-out compile had
+	// reached (empty otherwise); see codegen.Stage.
+	Stage string `json:"stage,omitempty"`
+	// Supported lists the media types the endpoint accepts; set on 415
+	// (unknown Content-Type) and 406 (unsatisfiable Accept) responses.
+	Supported []string `json:"supported,omitempty"`
+}

@@ -1,0 +1,90 @@
+// Package xxh is a dependency-free implementation of the XXH64 hash
+// (Yann Collet's xxHash, 64-bit variant): a fast, high-quality,
+// non-cryptographic 64-bit hash. The compile cache uses it for its
+// in-memory memo keys, where a digest only has to scatter process-local
+// keys and collide with vanishing probability — the cryptographic
+// strength (and cost) of SHA-256 is reserved for the shared disk-cache
+// boundary, whose content-addressed filenames outlive the process (see
+// internal/cache and DESIGN.md §14).
+//
+// The implementation matches the reference algorithm bit for bit (the
+// published test vectors pin this), so hashes are stable across
+// processes and architectures even though nothing currently persists
+// them.
+package xxh
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	prime1 uint64 = 11400714785074694791
+	prime2 uint64 = 14029467366897019727
+	prime3 uint64 = 1609587929392839161
+	prime4 uint64 = 9650029242287828579
+	prime5 uint64 = 2870177450012600261
+)
+
+// Sum64 returns the XXH64 digest of b with seed 0.
+func Sum64(b []byte) uint64 { return Sum64Seed(b, 0) }
+
+// Sum64Seed returns the XXH64 digest of b under the given seed. Distinct
+// seeds give independent hash functions over the same bytes, which is how
+// the II-seed table derives a 128-bit key from two 64-bit digests.
+func Sum64Seed(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += uint64(n)
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, u uint64) uint64 {
+	acc += u * prime2
+	return bits.RotateLeft64(acc, 31) * prime1
+}
+
+func mergeRound(h, v uint64) uint64 {
+	h ^= round(0, v)
+	return h*prime1 + prime4
+}

@@ -1,0 +1,84 @@
+package xxh
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestVectors pins the implementation to the reference XXH64: these
+// digests come from the upstream xxHash test suite, so a pass means the
+// function is the published hash, not a lookalike.
+func TestVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0xef46db3751d8e999},
+		{"", 1, 0xd5afba1336a3be4b},
+		{"a", 0, 0xd24ec4f1a98c6e5b},
+		{"as", 0, 0x1c330fb2d66be179},
+		{"asd", 0, 0x631c37ce72a97393},
+		{"asdf", 0, 0x415872f599cea71e},
+		{"Call me Ishmael. Some years ago--never mind how long precisely-", 0, 0x02a2e85470d6fd96},
+	}
+	for _, tc := range cases {
+		if got := Sum64Seed([]byte(tc.in), tc.seed); got != tc.want {
+			t.Errorf("Sum64Seed(%q, %d) = %#016x, want %#016x", tc.in, tc.seed, got, tc.want)
+		}
+	}
+	if Sum64([]byte("a")) != Sum64Seed([]byte("a"), 0) {
+		t.Error("Sum64 is not Sum64Seed with seed 0")
+	}
+}
+
+// TestLengthBoundaries walks every input length across the algorithm's
+// block boundaries (31/32/33 bytes switch the main loop on; 4- and
+// 8-byte tails exercise each finalizer branch) and checks basic hash
+// hygiene: determinism, and sensitivity to every byte position.
+func TestLengthBoundaries(t *testing.T) {
+	base := []byte(strings.Repeat("0123456789abcdef", 8)) // 128 bytes
+	for n := 0; n <= len(base); n++ {
+		in := base[:n]
+		h1, h2 := Sum64(in), Sum64(in)
+		if h1 != h2 {
+			t.Fatalf("len %d: nondeterministic digest", n)
+		}
+		for i := 0; i < n; i++ {
+			mut := append([]byte(nil), in...)
+			mut[i] ^= 0x01
+			if Sum64(mut) == h1 {
+				t.Fatalf("len %d: flipping byte %d left the digest unchanged", n, i)
+			}
+		}
+	}
+}
+
+// TestSeedSeparation: different seeds must act as independent functions.
+func TestSeedSeparation(t *testing.T) {
+	in := []byte("seed separation probe")
+	seen := make(map[uint64]uint64)
+	for seed := uint64(0); seed < 64; seed++ {
+		h := Sum64Seed(in, seed)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("seeds %d and %d collide on %q", prev, seed, in)
+		}
+		seen[h] = seed
+	}
+}
+
+func BenchmarkSum64(b *testing.B) {
+	for _, size := range []int{64, 512, 4096} {
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i * 131)
+		}
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				_ = Sum64(buf)
+			}
+		})
+	}
+}

@@ -7,10 +7,19 @@
 # PR-4 numbers (uncached-suite speedup, single-loop allocs/op), and the
 # PR-7 numbers: the persistent disk tier's cold-start-to-warm speedup
 # (BenchmarkSuiteDiskCold vs BenchmarkSuiteDiskWarm, with the warm run's
-# disk_hit_pct) and the /compile/batch throughput in loops per second
-# (BenchmarkServerBatch).
+# disk_hit_pct), the /compile/batch throughput in loops per second
+# (BenchmarkServerBatch), and the PR-8 numbers: the warm /v1/compile
+# round trip in each codec (BenchmarkServerCompileJSON vs
+# BenchmarkServerCompileBinary, with p50_us and allocs/op) plus the
+# II-seed table's hit rate on repeat scheduling
+# (BenchmarkServerCompileSeeded's ii_seed_hit_rate).
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr7.json
+# The PR-8 comparison is ENFORCED: if both codec benchmarks ran and the
+# binary round trip is not faster than JSON, the script exits nonzero so
+# CI catches a regressed codec. Set ENFORCE=0 to disable (e.g. for
+# exploratory runs on noisy machines).
+#
+#   scripts/bench.sh                 # full run -> BENCH_pr8.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
 #   BASELINE=BENCH_pr2.json scripts/bench.sh   # compare against another PR
@@ -25,8 +34,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr7.json}
-BASELINE=${BASELINE:-BENCH_pr6.json}
+OUT=${OUT:-BENCH_pr8.json}
+BASELINE=${BASELINE:-BENCH_pr7.json}
+ENFORCE=${ENFORCE:-1}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
 
@@ -59,6 +69,8 @@ awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" \
         else if (unit == "allocs/op")  allocs[name] = v
         else {
             gsub(/[^A-Za-z0-9_]/, "_", unit)
+            if (unit == "p50_us")           p50[name] = v
+            if (unit == "ii_seed_hit_rate") seedhit[name] = v
             if (extras[name] != "") extras[name] = extras[name] ", "
             extras[name] = extras[name] "\"" unit "\": " v
         }
@@ -100,15 +112,50 @@ END {
     else
         printf "    \"disk_warm_speedup\": null,\n"
     if (ns["BenchmarkSuiteDiskCold"] != "" && ns["BenchmarkSuiteDiskWarm"] != "")
-        printf "    \"disk_cold_to_warm_saved_ms\": %.1f\n", (ns["BenchmarkSuiteDiskCold"] - ns["BenchmarkSuiteDiskWarm"]) / 1e6
+        printf "    \"disk_cold_to_warm_saved_ms\": %.1f,\n", (ns["BenchmarkSuiteDiskCold"] - ns["BenchmarkSuiteDiskWarm"]) / 1e6
     else
-        printf "    \"disk_cold_to_warm_saved_ms\": null\n"
+        printf "    \"disk_cold_to_warm_saved_ms\": null,\n"
+    if (p50["BenchmarkServerCompileBinary"] != "")
+        printf "    \"warm_binary_p50_us\": %s,\n", p50["BenchmarkServerCompileBinary"]
+    else
+        printf "    \"warm_binary_p50_us\": null,\n"
+    if (p50["BenchmarkServerCompileJSON"] != "")
+        printf "    \"warm_json_p50_us\": %s,\n", p50["BenchmarkServerCompileJSON"]
+    else
+        printf "    \"warm_json_p50_us\": null,\n"
+    if (ns["BenchmarkServerCompileJSON"] != "" && ns["BenchmarkServerCompileBinary"] != "")
+        printf "    \"binary_vs_json_speedup\": %.3f,\n", ns["BenchmarkServerCompileJSON"] / ns["BenchmarkServerCompileBinary"]
+    else
+        printf "    \"binary_vs_json_speedup\": null,\n"
+    if (allocs["BenchmarkServerCompileBinary"] != "")
+        printf "    \"warm_binary_allocs_per_op\": %s,\n", allocs["BenchmarkServerCompileBinary"]
+    else
+        printf "    \"warm_binary_allocs_per_op\": null,\n"
+    if (seedhit["BenchmarkServerCompileSeeded"] != "")
+        printf "    \"ii_seed_hit_rate\": %s\n", seedhit["BenchmarkServerCompileSeeded"]
+    else
+        printf "    \"ii_seed_hit_rate\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
-grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"disk_cold_to_warm_saved_ms"' "$OUT" >&2
+grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"warm_binary_p50_us"|"binary_vs_json_speedup"|"ii_seed_hit_rate"' "$OUT" >&2
+
+# PR-8 enforcement: the binary codec must beat JSON on the warm round
+# trip whenever both benchmarks were part of this run.
+if [ "$ENFORCE" = "1" ]; then
+    JSON_NS=$(awk -F'"ns_per_op": ' '/"BenchmarkServerCompileJSON"/ {split($2, a, /[,}]/); print a[1]}' "$OUT")
+    BIN_NS=$(awk -F'"ns_per_op": ' '/"BenchmarkServerCompileBinary"/ {split($2, a, /[,}]/); print a[1]}' "$OUT")
+    if [ -n "$JSON_NS" ] && [ -n "$BIN_NS" ]; then
+        if awk "BEGIN { exit !($BIN_NS < $JSON_NS) }"; then
+            echo "ok: binary warm round trip ${BIN_NS}ns beats JSON ${JSON_NS}ns" >&2
+        else
+            echo "FAIL: binary warm round trip ${BIN_NS}ns is not faster than JSON ${JSON_NS}ns" >&2
+            exit 1
+        fi
+    fi
+fi
 
 # Before/after comparison against the baseline record. Parses the flat
 # per-benchmark lines out of both JSON files (our own known format, so a

@@ -21,6 +21,7 @@ go test -run='^$' -fuzz=FuzzModuloSchedule -fuzztime=10s ./internal/modulo
 go test -run='^$' -fuzz=FuzzCacheEquivalence -fuzztime=10s ./internal/codegen
 go test -run='^$' -fuzz=FuzzExactPartition -fuzztime=10s ./internal/exact
 go test -run='^$' -fuzz=FuzzDiskCacheCodec -fuzztime=10s ./internal/cache
+go test -run='^$' -fuzz=FuzzWireCodec -fuzztime=10s ./internal/wire
 
 echo "== exact-solver coverage floor (90%) =="
 go test -coverprofile=/tmp/exact-cover.out -coverpkg=./internal/exact ./internal/exact

@@ -73,6 +73,40 @@ curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TMP/metrics.txt"
 grep -q 'swpd_requests_total{code="200"} 1' "$TMP/metrics.txt"
 grep -q 'swpd_request_seconds_count 1' "$TMP/metrics.txt"
 
+# Versioned surface: /v1/compile is the canonical route and must not carry
+# a Deprecation header; the bare legacy route must answer identically while
+# announcing its successor. Cache provenance fields are the only legal
+# difference between the two bodies, so they are stripped before comparing.
+curl -fsS -D "$TMP/v1.hdr" -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$PORT/v1/compile" > "$TMP/v1.json"
+if grep -qi '^deprecation:' "$TMP/v1.hdr"; then
+    echo "/v1/compile must not be marked deprecated" >&2
+    exit 1
+fi
+curl -fsS -D "$TMP/legacy.hdr" -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$PORT/compile" > "$TMP/legacy.json"
+grep -qi '^deprecation:' "$TMP/legacy.hdr"
+grep -qi 'successor-version' "$TMP/legacy.hdr"
+grep -v '"cache_hit"\|"cache_tier"' "$TMP/v1.json" > "$TMP/v1.norm"
+grep -v '"cache_hit"\|"cache_tier"' "$TMP/legacy.json" > "$TMP/legacy.norm"
+if ! cmp -s "$TMP/v1.norm" "$TMP/legacy.norm"; then
+    echo "legacy /compile and /v1/compile answers differ:" >&2
+    diff "$TMP/v1.norm" "$TMP/legacy.norm" >&2 || true
+    exit 1
+fi
+echo "v1 smoke: legacy route deprecated, answers identical" >&2
+
+# Binary wire codec through a real client: swpc -server -wire binary posts
+# an application/x-swp-bin frame and must report the same clustered II the
+# JSON path produced.
+BIN_II=$("$TMP/swpc" -server "http://127.0.0.1:$PORT" -wire binary -n 1 -loop 0 -clusters 4 -model embedded |
+    sed -n 's/.*clustered II=\([0-9][0-9]*\).*/\1/p' | head -1)
+if [ "$BIN_II" != "$DAEMON_II" ]; then
+    echo "binary codec II mismatch: binary says $BIN_II, JSON said $DAEMON_II" >&2
+    exit 1
+fi
+echo "binary codec smoke: II agrees over application/x-swp-bin (II=$BIN_II)" >&2
+
 # Batch endpoint: two good items plus one malformed loop must yield HTTP
 # 200 with exactly one item-level error, and the streaming mode must
 # emit one NDJSON line per item.
