@@ -1,0 +1,197 @@
+package swp
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/codegen"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// clusterWorkingSet is the benchmark's request population: distinct suite
+// loops on the 4-cluster copy-unit machine, the grid's expensive corner.
+func clusterWorkingSet(n int) []server.CompileRequest {
+	loops := Suite()[:n]
+	reqs := make([]server.CompileRequest, len(loops))
+	for i, l := range loops {
+		reqs[i] = server.CompileRequest{
+			Name:    l.Name,
+			Source:  l.Body.String(),
+			Machine: server.MachineSpec{Clusters: 4, CopyModel: "copyunit"},
+		}
+	}
+	return reqs
+}
+
+// startFleet spins up n replicas (each with its own cache of the given
+// byte budget; 0 = unbounded) behind a pure routing gateway, and returns
+// the gateway's base URL plus a teardown.
+func startFleet(b *testing.B, n int, budget int64) (string, func()) {
+	b.Helper()
+	var closers []func()
+	peers := make([]string, n)
+	for i := range peers {
+		c := cache.New()
+		if budget > 0 {
+			c.SetBudget(budget)
+		}
+		svc := server.New(server.Config{
+			Pipeline: codegen.Config{Cache: c, Tracer: trace.New()},
+		})
+		ts := httptest.NewServer(svc.Handler())
+		peers[i] = ts.URL
+		closers = append(closers, ts.Close, svc.Close)
+	}
+	rt := cluster.NewRouter(cluster.Config{Peers: peers})
+	gw := server.New(server.Config{Workers: 1, QueueDepth: 1, Cluster: rt})
+	gts := httptest.NewServer(gw.Handler())
+	closers = append(closers, gts.Close, gw.Close)
+	return gts.URL, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// BenchmarkClusterWarm measures warm-state sharing across the fleet: 32
+// distinct compiles routed by fingerprint through a gateway onto 3
+// replicas, swept repeatedly. After the untimed warm-up sweep every
+// request must land on the replica that already owns its state, so
+// cross_replica_warm_hit_rate is the fraction of routed requests answered
+// from a replica cache — the tentpole number, with 0.9 the floor
+// scripts/bench.sh enforces. One op is a full 32-request sweep.
+func BenchmarkClusterWarm(b *testing.B) {
+	gw, stop := startFleet(b, 3, 0)
+	defer stop()
+
+	reqs := clusterWorkingSet(32)
+	bodies := make([][]byte, len(reqs))
+	for i := range reqs {
+		body, err := json.Marshal(&reqs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	client := &http.Client{}
+	sweep := func() (hits int) {
+		for _, body := range bodies {
+			resp, err := client.Post(gw+"/v1/compile", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out server.CompileResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			if out.CacheHit {
+				hits++
+			}
+		}
+		return hits
+	}
+	sweep() // warm-up: every fingerprint now owned by one warm replica
+
+	hits, total := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits += sweep()
+		total += len(bodies)
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(float64(hits)/float64(total), "cross_replica_warm_hit_rate")
+	}
+}
+
+// benchClusterBatch is the capacity half of the cluster story: every
+// replica carries the same bounded cache (half the working set), so a
+// single replica thrashes — each sweep's CLOCK evictions force
+// recompiles — while 3 replicas shard the set by fingerprint, each share
+// fits its owner's budget, and the fleet stays warm. The scaling factor
+// (scripts/bench.sh derives it as BenchmarkClusterBatch1 ns/op over
+// BenchmarkClusterBatch3 ns/op) is aggregate cache capacity, which holds
+// on any core count. One op is one /v1/compile/batch round trip carrying
+// the whole working set; batch_loops_per_sec is comparable with
+// BenchmarkServerBatch.
+func benchClusterBatch(b *testing.B, replicas int) {
+	reqs := clusterWorkingSet(24)
+
+	// Measure the working set's resident bytes on a probe cache, then
+	// give every replica half of it.
+	probe := cache.New()
+	{
+		svc := server.New(server.Config{Pipeline: codegen.Config{Cache: probe, Tracer: trace.New()}})
+		ts := httptest.NewServer(svc.Handler())
+		breq := server.BatchRequest{Items: reqs}
+		body, err := json.Marshal(&breq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/compile/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		svc.Close()
+	}
+	budget := probe.Stats().Bytes / 2
+	if budget <= 0 {
+		b.Fatal("probe compile recorded no cache bytes")
+	}
+
+	gw, stop := startFleet(b, replicas, budget)
+	defer stop()
+
+	breq := server.BatchRequest{Items: reqs}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{}
+	run := func() {
+		resp, err := client.Post(gw+"/v1/compile/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out server.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Errors != 0 || len(out.Items) != len(reqs) {
+			b.Fatalf("batch: status %d, %d items, %d errors", resp.StatusCode, len(out.Items), out.Errors)
+		}
+	}
+	run() // populate what fits; the timed sweeps are the steady state
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(b.N*len(reqs))/elapsed.Seconds(), "batch_loops_per_sec")
+	}
+}
+
+// BenchmarkClusterBatch1 is the whole working set against one replica
+// whose cache holds only half of it: the steady state recompiles.
+func BenchmarkClusterBatch1(b *testing.B) { benchClusterBatch(b, 1) }
+
+// BenchmarkClusterBatch3 is the same working set and the same per-replica
+// budget across 3 fingerprint-routed replicas: each ring share fits, the
+// fleet serves from memory.
+func BenchmarkClusterBatch3(b *testing.B) { benchClusterBatch(b, 3) }

@@ -214,10 +214,21 @@ func BenchmarkServerCompileBinary(b *testing.B) { benchWarmRoundTrip(b, wire.For
 // path: no compile memo, so every request re-runs the full pipeline, but
 // the shared seed table predicts the starting II after the first pass
 // over each loop. One op is a sweep of all 32 loops, so ns/op is the
-// working set's cost, not one compile's. ii_seed_hit_rate is the fraction of modulo searches
-// that started from a recorded II strictly above minII — searches whose
-// last run escalated, which is where the copy-unit machine lives (its
-// single shared copy unit makes minII infeasible for copy-heavy loops).
+// working set's cost, not one compile's.
+//
+// All three seed metrics are deltas over the timed iterations only — an
+// untimed warm-up sweep populates the table first, so the numbers are the
+// steady state a long-lived daemon sees rather than an average diluted by
+// the cold first pass. ii_seed_found_rate is the table's coverage: the
+// fraction of modulo searches that found a recorded entry, which must be
+// ~1 once the working set has been seen (scripts/bench.sh enforces 0.9).
+// ii_seed_hit_rate is the strict subset that started from a recorded II
+// above minII — searches whose last run escalated, which is where the
+// copy-unit machine lives (its single shared copy unit makes minII
+// infeasible for copy-heavy loops). Most of this suite schedules at
+// minII, so the hit rate is legitimately small; coverage is the health
+// signal, hits and ii_attempts_saved are the payoff where escalation
+// exists.
 func BenchmarkServerCompileSeeded(b *testing.B) {
 	seed := NewIISeed(0)
 	svc := server.New(server.Config{Pipeline: codegen.Config{IISeed: seed}})
@@ -233,12 +244,7 @@ func BenchmarkServerCompileSeeded(b *testing.B) {
 			Machine: server.MachineSpec{Clusters: 4, CopyModel: "copyunit"},
 		})
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	// Each iteration sweeps the whole working set, so from the second
-	// iteration on every search consults a populated table — the steady
-	// state a long-lived daemon sees, independent of b.N.
-	for i := 0; i < b.N; i++ {
+	sweep := func() {
 		for _, body := range bodies {
 			hr, err := http.NewRequest(http.MethodPost, "/v1/compile", bytes.NewReader(body))
 			if err != nil {
@@ -253,9 +259,19 @@ func BenchmarkServerCompileSeeded(b *testing.B) {
 			}
 		}
 	}
+	sweep() // populate the table: timed sweeps measure the steady state
+	base := seed.Stats()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
 	b.StopTimer()
-	if st := seed.Stats(); st.Lookups > 0 {
-		b.ReportMetric(float64(st.Hits)/float64(st.Lookups), "ii_seed_hit_rate")
-		b.ReportMetric(float64(st.SavedAttempts), "ii_attempts_saved")
+	if st := seed.Stats(); st.Lookups > base.Lookups {
+		lookups := float64(st.Lookups - base.Lookups)
+		b.ReportMetric(float64(st.Found-base.Found)/lookups, "ii_seed_found_rate")
+		b.ReportMetric(float64(st.Hits-base.Hits)/lookups, "ii_seed_hit_rate")
+		b.ReportMetric(float64(st.SavedAttempts-base.SavedAttempts), "ii_attempts_saved")
 	}
 }

@@ -1,0 +1,66 @@
+package swp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/loopgen"
+	"repro/internal/wire"
+)
+
+// suiteRouteKeys fingerprints the paper-scale loop suite under the config
+// grid a real fleet serves: every suite loop crossed with the cluster
+// counts and copy models the benchmarks sweep. These are the actual keys
+// the ring routes in production, unlike the synthetic uniform keys the
+// cluster package's own balance test uses.
+func suiteRouteKeys() []uint64 {
+	loops := loopgen.Suite()
+	keys := make([]uint64, 0, len(loops)*12)
+	for _, l := range loops {
+		src := l.Body.String()
+		for _, clusters := range []int{2, 4, 8} {
+			for _, model := range []string{"copyunit", "embedded"} {
+				for _, refine := range []bool{false, true} {
+					keys = append(keys, cluster.RouteKey(&wire.CompileRequest{
+						Name:    l.Name,
+						Source:  src,
+						Machine: wire.MachineSpec{Clusters: clusters, CopyModel: model},
+						Refine:  refine,
+					}))
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// TestRingBalanceOnSuiteFingerprints pins the load split a fleet actually
+// sees: across 2, 3 and 5 replicas, no replica's share of the suite's
+// route keys may sit more than 15% off the fair share.
+func TestRingBalanceOnSuiteFingerprints(t *testing.T) {
+	keys := suiteRouteKeys()
+	if len(keys) < 2000 {
+		t.Fatalf("suite grid yields only %d keys — population too small for a balance bound", len(keys))
+	}
+	for _, n := range []int{2, 3, 5} {
+		peers := make([]string, n)
+		for i := range peers {
+			peers[i] = fmt.Sprintf("http://replica%d:8080", i)
+		}
+		r := cluster.NewRing(peers, 0)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for peer, c := range counts {
+			dev := (float64(c) - fair) / fair
+			t.Logf("n=%d: %s owns %d/%d (%+.1f%%)", n, peer, c, len(keys), dev*100)
+			if dev > 0.15 || dev < -0.15 {
+				t.Errorf("n=%d: %s owns %d suite keys, %.1f%% off the fair share %.0f",
+					n, peer, c, dev*100, fair)
+			}
+		}
+	}
+}

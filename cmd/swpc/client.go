@@ -13,15 +13,20 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/loopgen"
 	"repro/internal/wire"
 )
 
 // runRemote compiles one loop through a remote swpd and prints a summary
-// in the same shape as the in-process report.
-func runRemote(serverURL, codec, file, partName, modelName string, n, loopIdx, clusters int, refined bool) error {
+// in the same shape as the in-process report. With peers set, the client
+// builds the same consistent-hash ring the fleet uses and posts straight
+// to the replica owning the request fingerprint — the gateway hop
+// skipped, warm-state locality kept.
+func runRemote(serverURL, peers, codec, file, partName, modelName string, n, loopIdx, clusters int, refined bool) error {
 	req := &wire.CompileRequest{
 		Machine:     wire.MachineSpec{Clusters: clusters, CopyModel: modelName},
 		Partitioner: partName,
@@ -45,6 +50,20 @@ func runRemote(serverURL, codec, file, partName, modelName string, n, loopIdx, c
 			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
 		}
 		req.Name, req.Source = loops[loopIdx].Name, loops[loopIdx].Body.String()
+	}
+
+	if peers != "" {
+		list := strings.Split(peers, ",")
+		for i := range list {
+			list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
+		}
+		ring := cluster.NewRing(list, 0)
+		owner := ring.Owner(cluster.RouteKey(req))
+		if owner == "" {
+			return fmt.Errorf("-peers %q names no usable replica", peers)
+		}
+		fmt.Printf("ring: %d replicas, owner %s\n", ring.Len(), owner)
+		serverURL = owner
 	}
 
 	var resp *wire.CompileResponse

@@ -63,14 +63,15 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
 	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
 	serverURL := flag.String("server", "", "compile via a running swpd at this base URL instead of in-process")
+	peersFlag := flag.String("peers", "", "comma-separated swpd replica base URLs: client-side consistent-hash ring mode, posting straight to the ring owner (no gateway hop; implies client mode)")
 	wireName := flag.String("wire", "json", "client codec with -server: json or binary")
 	traceOut := flag.String("trace", "", "write the pipeline's JSON trace event stream to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
-	if *serverURL != "" {
-		if err := runRemote(*serverURL, *wireName, *file, *partName, *modelName,
+	if *serverURL != "" || *peersFlag != "" {
+		if err := runRemote(*serverURL, *peersFlag, *wireName, *file, *partName, *modelName,
 			*n, *loopIdx, *clusters, *refined); err != nil {
 			log.Fatal(err)
 		}

@@ -24,10 +24,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/modulo"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -48,6 +50,10 @@ func main() {
 	cacheDiskBudget := flag.String("cache-disk-budget", "", "byte budget for the disk cache tier, e.g. 256MiB (empty or 0 = unlimited)")
 	iiseed := flag.Bool("iiseed", true, "share a per-loop II prediction table so repeat scheduling starts at the last known II")
 	iiseedCap := flag.Int("iiseed-cap", 0, "entries retained in the II seed table (0 = default 65536)")
+	peers := flag.String("peers", "", "comma-separated replica base URLs forming a consistent-hash ring; requests this node does not own are proxied to their ring owner")
+	self := flag.String("self", "", "this node's own entry in -peers (empty with -peers = pure gateway, compiles nothing locally)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default 256)")
+	peerProbe := flag.Duration("peer-probe", 2*time.Second, "active /healthz probe interval for ring peers (0 = passive health only)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	flag.Parse()
 
@@ -89,6 +95,21 @@ func main() {
 		}
 		scfg.Pipeline.Disk = disk
 		log.Printf("swpd: disk cache at %s (%d records warm)", *cacheDir, disk.Stats().Entries)
+	}
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
+		}
+		selfID := strings.TrimRight(strings.TrimSpace(*self), "/")
+		rt := cluster.NewRouter(cluster.Config{Peers: list, Self: selfID, Vnodes: *vnodes})
+		rt.StartProbing(*peerProbe)
+		scfg.Cluster = rt
+		mode := "replica"
+		if selfID == "" {
+			mode = "gateway"
+		}
+		log.Printf("swpd: cluster %s over %s (self=%q)", mode, rt.Ring(), selfID)
 	}
 	if !*quiet {
 		scfg.Log = log.New(os.Stderr, "swpd: ", log.LstdFlags|log.Lmicroseconds)

@@ -1,0 +1,100 @@
+// Command swpgw is the thin cluster gateway: an swpd front end that
+// compiles nothing itself and instead routes every /v1/compile and
+// /v1/compile/batch request to the swpd replica owning its fingerprint
+// on a consistent-hash ring (see internal/cluster). Batches are split by
+// ring owner, fanned out concurrently, and merged back — request order
+// for buffered responses, completion order for NDJSON streaming — so
+// batch throughput scales with replica count.
+//
+//	swpd -addr :8081 &
+//	swpd -addr :8082 &
+//	swpgw -addr :8080 -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Clients talk to the gateway exactly as they would to one swpd: same
+// endpoints, same codecs, byte-identical answers. /metrics exports the
+// swpd_cluster_* routing counters; /healthz reports gateway liveness.
+//
+// swpgw is equivalent to `swpd -peers ... ` with an empty -self, minus
+// the compile pipeline: it allocates no cache, no worker-pool compile
+// state beyond the (idle) pool, and fails fast (502) when no replica is
+// reachable. Replicas that should ALSO serve their own ring share run
+// `swpd -peers ... -self <own-url>` instead.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	peers := flag.String("peers", "", "comma-separated swpd replica base URLs forming the ring (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default 256)")
+	peerProbe := flag.Duration("peer-probe", 2*time.Second, "active /healthz probe interval for ring peers (0 = passive health only)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
+	flag.Parse()
+
+	if *peers == "" {
+		log.Fatal("swpgw: -peers is required (nothing to route to)")
+	}
+	list := strings.Split(*peers, ",")
+	for i := range list {
+		list[i] = strings.TrimRight(strings.TrimSpace(list[i]), "/")
+	}
+	rt := cluster.NewRouter(cluster.Config{Peers: list, Vnodes: *vnodes})
+	rt.StartProbing(*peerProbe)
+
+	scfg := server.Config{
+		// The pool exists only for the (misconfigured) case of a request
+		// arriving with a hop header; one worker keeps it inert.
+		Workers:        1,
+		QueueDepth:     1,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Cluster:        rt,
+	}
+	if !*quiet {
+		scfg.Log = log.New(os.Stderr, "swpgw: ", log.LstdFlags|log.Lmicroseconds)
+	}
+	svc := server.New(scfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("swpgw listening on %s, routing %s", *addr, rt.Ring())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("swpgw: %s received, draining (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("swpgw: shutdown: %v", err)
+		}
+		svc.Close()
+		log.Printf("swpgw: drained, bye")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "swpgw: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

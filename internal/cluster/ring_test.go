@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+	"repro/internal/xxh"
+)
+
+// syntheticKeys returns n well-scattered 64-bit keys, deterministically.
+func syntheticKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	var b [8]byte
+	for i := range keys {
+		binary.LittleEndian.PutUint64(b[:], uint64(i))
+		keys[i] = xxh.Sum64(b[:])
+	}
+	return keys
+}
+
+func peerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica%d:8080", i)
+	}
+	return out
+}
+
+// TestRingDeterministic pins that the ring is a pure function of the
+// member set: peer order, duplicates and trailing noise must not change
+// any key's owner — every node of a fleet configures its own ring, and
+// they must all agree.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"p1", "p2", "p3"}, 0)
+	b := NewRing([]string{"p3", "p1", "p2", "p2", ""}, 0)
+	for _, k := range syntheticKeys(1000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%#x): %q vs %q for permuted membership", k, ao, bo)
+		}
+	}
+}
+
+// TestRingBalance checks the keyspace share per replica: with the
+// default vnode count, no replica may sit more than 15% above or below
+// the fair share on a large scattered key population.
+func TestRingBalance(t *testing.T) {
+	keys := syntheticKeys(100000)
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(peerNames(n), 0)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for peer, c := range counts {
+			dev := (float64(c) - fair) / fair
+			if dev > 0.15 || dev < -0.15 {
+				t.Errorf("n=%d: %s owns %d keys, %.1f%% off the fair share %.0f",
+					n, peer, c, dev*100, fair)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d replicas own any keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract: a
+// replica joining an N-ring may remap at most ~1/(N+1) of the keys (all
+// of them onto itself), and a replica leaving remaps exactly its own
+// keys (never a key between two surviving replicas).
+func TestRingMinimalMovement(t *testing.T) {
+	keys := syntheticKeys(100000)
+	for _, n := range []int{2, 3, 7} {
+		before := NewRing(peerNames(n), 0)
+		joined := "http://joiner:8080"
+		after := before.Add(joined)
+
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != joined {
+				t.Fatalf("n=%d: key %#x moved %q→%q, not to the joiner", n, k, ob, oa)
+			}
+		}
+		// Expected movement is 1/(n+1); allow 25% slack for vnode
+		// placement variance (deterministic, so this is not flaky).
+		limit := int(float64(len(keys)) / float64(n+1) * 1.25)
+		if moved > limit {
+			t.Errorf("n=%d: join moved %d of %d keys, want <= %d", n, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: join moved nothing — joiner owns no keyspace", n)
+		}
+
+		// Leaving must be the exact inverse: only the departed peer's
+		// keys remap, everyone else's stay put.
+		back := after.Remove(joined)
+		for _, k := range keys {
+			if back.Owner(k) != before.Owner(k) {
+				t.Fatalf("n=%d: remove(join(ring)) is not identity for key %#x", n, k)
+			}
+			if after.Owner(k) != joined && after.Owner(k) != back.Owner(k) {
+				t.Fatalf("n=%d: key %#x owned by %q moved on an unrelated departure", n, k, after.Owner(k))
+			}
+		}
+	}
+}
+
+// TestOwnersFailoverOrder pins the failover walk: the first owner is
+// Owner(key), every entry is distinct, and the order is stable.
+func TestOwnersFailoverOrder(t *testing.T) {
+	r := NewRing(peerNames(5), 0)
+	for _, k := range syntheticKeys(500) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%#x, 3) = %d entries", k, len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] %q != Owner %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate peer %q in failover order %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners(42, 99); len(got) != 5 {
+		t.Fatalf("Owners capped at peer count: got %d, want 5", len(got))
+	}
+	if got := NewRing(nil, 0).Owners(42, 3); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+// TestRouteKey pins what routes together and what routes apart: name and
+// timeout are presentation/limits (same key), while anything that
+// changes the compiled answer must change the key.
+func TestRouteKey(t *testing.T) {
+	base := func() *wire.CompileRequest {
+		return &wire.CompileRequest{
+			Name:    "a",
+			Source:  "0: load f1, a[1*i]\n1: add f2, f1, f1",
+			Machine: wire.MachineSpec{Clusters: 4, CopyModel: "embedded"},
+		}
+	}
+	k0 := RouteKey(base())
+	if RouteKey(base()) != k0 {
+		t.Fatal("RouteKey is not deterministic")
+	}
+
+	same := base()
+	same.Name = "renamed"
+	same.TimeoutMS = 9999
+	if RouteKey(same) != k0 {
+		t.Error("name/timeout changed the route key; warm state would scatter")
+	}
+	spelled := base()
+	spelled.Machine.CopyModel = "Embedded"
+	if RouteKey(spelled) != k0 {
+		t.Error("copy-model capitalization changed the route key")
+	}
+
+	for name, mut := range map[string]func(*wire.CompileRequest){
+		"source":      func(r *wire.CompileRequest) { r.Source += "\n2: add f3, f2, f2" },
+		"clusters":    func(r *wire.CompileRequest) { r.Machine.Clusters = 8 },
+		"copy model":  func(r *wire.CompileRequest) { r.Machine.CopyModel = "copyunit" },
+		"partitioner": func(r *wire.CompileRequest) { r.Partitioner = "portfolio" },
+		"refine":      func(r *wire.CompileRequest) { r.Refine = true },
+		"expand trip": func(r *wire.CompileRequest) { r.ExpandTrip = 10 },
+	} {
+		req := base()
+		mut(req)
+		if RouteKey(req) == k0 {
+			t.Errorf("%s change did not change the route key", name)
+		}
+	}
+}

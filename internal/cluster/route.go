@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// This file defines the routing key: the SHA-256 fingerprint of the
+// compile-relevant slice of a request. Routing keys on the same digest
+// family as the persistent cache tier (SHA-256 at the durable boundary,
+// see internal/cache), so the mapping from request to owner is stable
+// across processes, architectures and restarts — a gateway, a client-side
+// ring in swpc, and every replica all compute the same owner for the
+// same problem without coordination.
+//
+// The fingerprint covers exactly the fields that change the compiled
+// answer or the caches it warms: the source text, the machine spec, the
+// partitioner, the refine flag and the expansion trip count. Name is
+// presentation (two clients naming the same loop differently must share
+// a replica's warm state) and TimeoutMS is an execution bound, not an
+// input, so both are excluded — as they are from the stage caches.
+
+// routeBufPool recycles the canonical-encoding buffer; routing is on the
+// gateway's per-request hot path.
+var routeBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// RouteKey fingerprints one compile request for ring placement: the
+// first 8 bytes of the SHA-256 of the request's canonical encoding.
+func RouteKey(req *wire.CompileRequest) uint64 {
+	bp := routeBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	put := func(s string) {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	put(req.Source)
+	b = binary.AppendUvarint(b, uint64(req.Machine.Clusters))
+	// Copy model spellings that parse identically route identically.
+	put(canonicalCopyModel(req.Machine.CopyModel))
+	put(strings.ToLower(req.Partitioner))
+	if req.Refine {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(req.ExpandTrip))
+
+	sum := sha256.Sum256(b)
+	*bp = b
+	routeBufPool.Put(bp)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// canonicalCopyModel folds the accepted copy-model spellings (see
+// wire.MachineSpec.Config) into one routing form.
+func canonicalCopyModel(m string) string {
+	switch strings.ToLower(m) {
+	case "", "embedded":
+		return "embedded"
+	case "copyunit", "copy_unit", "copy-unit":
+		return "copyunit"
+	default:
+		return strings.ToLower(m)
+	}
+}

@@ -1,0 +1,517 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// HopHeader marks a request as already routed once. A replica receiving
+// it compiles locally no matter what its own ring says, so a membership
+// disagreement between nodes (a replica mid-join, a stale -peers list)
+// degrades to one extra hop instead of a forwarding loop.
+const HopHeader = "X-Swp-Cluster-Hop"
+
+// Config tunes a Router.
+type Config struct {
+	// Peers are the replica base URLs forming the ring (e.g.
+	// "http://host1:8080"). Order does not matter.
+	Peers []string
+	// Self, when non-empty, is this process's own entry in Peers: keys it
+	// owns are compiled locally instead of proxied. Empty means a pure
+	// gateway that forwards everything.
+	Self string
+	// Vnodes per replica; <=0 selects DefaultVnodes (128).
+	Vnodes int
+	// MaxAttempts bounds how many distinct ring nodes one request may
+	// visit (owner plus failovers); <=0 means min(3, len(Peers)).
+	MaxAttempts int
+	// Backoff is the pause before each retry hop, growing linearly per
+	// attempt; <=0 means 25ms.
+	Backoff time.Duration
+	// Cooldown is how long a peer stays marked down after a transport
+	// failure before traffic retries it; <=0 means 1s.
+	Cooldown time.Duration
+	// Transport overrides the pooled HTTP transport (tests inject the
+	// httptest client's); nil builds a keep-alive pool sized for a fleet.
+	Transport http.RoundTripper
+}
+
+// peerState is one replica's health and traffic counters.
+type peerState struct {
+	downUntil atomic.Int64 // unixnano; 0 = healthy
+	requests  atomic.Int64 // proxied requests (batch = one per sub-batch)
+	failures  atomic.Int64 // transport-level failures
+}
+
+// Router maps compile requests to ring owners and proxies the remote
+// ones. Safe for concurrent use; a nil Router routes nothing (every
+// request is local), so callers thread it unconditionally.
+type Router struct {
+	ring   *Ring
+	self   string
+	client *http.Client
+	cfg    Config
+
+	peers map[string]*peerState
+
+	local     atomic.Int64
+	remote    atomic.Int64
+	failovers atomic.Int64
+	errors    atomic.Int64
+
+	probeStop chan struct{}
+	probeOnce sync.Once
+}
+
+// NewRouter builds a router over the configured fleet.
+func NewRouter(cfg Config) *Router {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+		if n := len(cfg.Peers); n < 3 {
+			cfg.MaxAttempts = n
+		}
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	rt := &Router{
+		ring:      NewRing(cfg.Peers, cfg.Vnodes),
+		self:      cfg.Self,
+		client:    &http.Client{Transport: tr},
+		cfg:       cfg,
+		peers:     make(map[string]*peerState),
+		probeStop: make(chan struct{}),
+	}
+	for _, p := range rt.ring.Peers() {
+		rt.peers[p] = &peerState{}
+	}
+	return rt
+}
+
+// Self reports this process's own peer id ("" for a pure gateway).
+func (rt *Router) Self() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.self
+}
+
+// Ring exposes the underlying ring (for tests and logs).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Enabled reports whether routing is active: a non-nil router with at
+// least one peer.
+func (rt *Router) Enabled() bool { return rt != nil && rt.ring.Len() > 0 }
+
+// OwnerOf returns the ring owner for one request.
+func (rt *Router) OwnerOf(req *wire.CompileRequest) string {
+	return rt.ring.Owner(RouteKey(req))
+}
+
+// healthy reports whether peer is currently taking traffic.
+func (rt *Router) healthy(peer string) bool {
+	ps := rt.peers[peer]
+	if ps == nil {
+		return false
+	}
+	du := ps.downUntil.Load()
+	return du == 0 || time.Now().UnixNano() > du
+}
+
+// markDown benches a peer for the cooldown window after a transport
+// failure; the next health probe or the cooldown expiry restores it.
+func (rt *Router) markDown(peer string) {
+	if ps := rt.peers[peer]; ps != nil {
+		ps.failures.Add(1)
+		ps.downUntil.Store(time.Now().Add(rt.cfg.Cooldown).UnixNano())
+	}
+}
+
+// markUp restores a peer immediately (a successful probe or request).
+func (rt *Router) markUp(peer string) {
+	if ps := rt.peers[peer]; ps != nil {
+		ps.downUntil.Store(0)
+	}
+}
+
+// candidates returns the failover-ordered peers for key, healthy ones
+// first. The unhealthy tail is kept: when every candidate is benched the
+// request still tries them in ring order rather than failing outright.
+func (rt *Router) candidates(key uint64) []string {
+	cands := rt.ring.Owners(key, rt.cfg.MaxAttempts)
+	healthy := make([]string, 0, len(cands))
+	benched := cands[:0:0]
+	for _, p := range cands {
+		if p == rt.self || rt.healthy(p) {
+			healthy = append(healthy, p)
+		} else {
+			benched = append(benched, p)
+		}
+	}
+	return append(healthy, benched...)
+}
+
+// Outcome is one routed compile's result. Exactly one of three shapes:
+// Local (the caller should compile in-process), a decoded remote reply
+// (Code + Resp or Err), or a routing failure (Code 502 + Err) after the
+// attempt budget.
+type Outcome struct {
+	Local bool
+	Peer  string // serving peer for logs/metrics ("" when local)
+	Code  int
+	Resp  *wire.CompileResponse
+	Err   *wire.ErrorResponse
+}
+
+// Compile routes one decoded request: local if this process owns the
+// key (or failover lands on it), otherwise proxied to the owner over the
+// binary wire codec, walking the ring with bounded retry/backoff when a
+// replica is down. A pure gateway with every candidate down answers 502.
+func (rt *Router) Compile(ctx context.Context, req *wire.CompileRequest) Outcome {
+	key := RouteKey(req)
+	var lastErr error
+	for attempt, peer := range rt.candidates(key) {
+		if peer == rt.self {
+			rt.local.Add(1)
+			return Outcome{Local: true}
+		}
+		if attempt > 0 {
+			rt.failovers.Add(1)
+			if !rt.pause(ctx, attempt) {
+				return Outcome{Code: http.StatusBadGateway, Err: &wire.ErrorResponse{Error: "cluster: " + ctx.Err().Error()}}
+			}
+		}
+		code, resp, errResp, err := rt.compilePeer(ctx, peer, req)
+		if err != nil {
+			lastErr = err
+			rt.markDown(peer)
+			continue
+		}
+		rt.remote.Add(1)
+		rt.markUp(peer)
+		return Outcome{Peer: peer, Code: code, Resp: resp, Err: errResp}
+	}
+	if rt.self != "" {
+		// Every remote candidate failed but this process can still
+		// answer: degraded locality beats an error.
+		rt.failovers.Add(1)
+		rt.local.Add(1)
+		return Outcome{Local: true}
+	}
+	rt.errors.Add(1)
+	msg := "cluster: no replica reachable"
+	if lastErr != nil {
+		msg = fmt.Sprintf("cluster: no replica reachable: %v", lastErr)
+	}
+	return Outcome{Code: http.StatusBadGateway, Err: &wire.ErrorResponse{Error: msg}}
+}
+
+// pause sleeps the linear backoff for one failover attempt; false means
+// the context died while waiting.
+func (rt *Router) pause(ctx context.Context, attempt int) bool {
+	t := time.NewTimer(time.Duration(attempt) * rt.cfg.Backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// compilePeer posts one request to peer's /v1/compile as a binary frame
+// and decodes the binary reply. The error return is transport-level
+// (connect/read failure) and triggers failover; an HTTP-level error from
+// the replica (422, 504...) is a decoded reply the client should see.
+func (rt *Router) compilePeer(ctx context.Context, peer string, req *wire.CompileRequest) (int, *wire.CompileResponse, *wire.ErrorResponse, error) {
+	bp := wire.GetBuffer()
+	defer wire.PutBuffer(bp)
+	frame := wire.AppendCompileRequest((*bp)[:0], req)
+	*bp = frame
+
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/compile", bytes.NewReader(frame))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hreq.Header.Set("Accept", wire.ContentTypeBinary)
+	hreq.Header.Set(HopHeader, "1")
+	if ps := rt.peers[peer]; ps != nil {
+		ps.requests.Add(1)
+	}
+	hresp, err := rt.client.Do(hreq)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	dec, err := wire.DecodeResponse(raw)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("decoding reply from %s (status %d): %w", peer, hresp.StatusCode, err)
+	}
+	if dec.Err != nil {
+		return dec.Code, nil, dec.Err, nil
+	}
+	if dec.Compile == nil {
+		return 0, nil, nil, fmt.Errorf("unexpected frame kind from %s", peer)
+	}
+	return http.StatusOK, dec.Compile, nil, nil
+}
+
+// BatchGroup is one owner's share of a split batch: the items plus their
+// indices in the original request.
+type BatchGroup struct {
+	Peer    string
+	Items   []wire.CompileRequest
+	Indices []int
+}
+
+// SplitBatch partitions already-defaulted batch items by ring owner.
+// Groups come back keyed by peer; the caller fans them out concurrently
+// and merges on the original indices.
+func (rt *Router) SplitBatch(items []wire.CompileRequest) []BatchGroup {
+	byPeer := make(map[string]int)
+	var groups []BatchGroup
+	for i := range items {
+		peer := rt.ring.Owner(RouteKey(&items[i]))
+		gi, ok := byPeer[peer]
+		if !ok {
+			gi = len(groups)
+			byPeer[peer] = gi
+			groups = append(groups, BatchGroup{Peer: peer})
+		}
+		groups[gi].Items = append(groups[gi].Items, items[i])
+		groups[gi].Indices = append(groups[gi].Indices, i)
+	}
+	return groups
+}
+
+// CompileBatch streams one owner's sub-batch: it posts the group to its
+// peer as an NDJSON-streamed batch request and calls emit for every item
+// as it completes, with Index remapped to the original request. Items a
+// failed replica never answered fail over to the next ring node; items
+// unanswered after the attempt budget are emitted as per-item 502s, so
+// the caller's merge loop always receives exactly len(group.Items)
+// emissions and errors stay item-level.
+func (rt *Router) CompileBatch(ctx context.Context, group BatchGroup, emit func(wire.BatchItem)) {
+	pending := group
+	key := uint64(0)
+	if len(group.Items) > 0 {
+		key = RouteKey(&group.Items[0])
+	}
+	for attempt, peer := range rt.candidates(key) {
+		if len(pending.Items) == 0 {
+			return
+		}
+		if peer == rt.self {
+			// The caller routed this group here because the owner was
+			// this process; it should have compiled locally instead.
+			break
+		}
+		if attempt > 0 {
+			rt.failovers.Add(1)
+			if !rt.pause(ctx, attempt) {
+				break
+			}
+		}
+		served, err := rt.batchPeer(ctx, peer, pending, emit)
+		if err == nil {
+			rt.remote.Add(1)
+			rt.markUp(peer)
+			return
+		}
+		rt.markDown(peer)
+		// Drop the served prefix-set and fail the remainder over.
+		pending = unserved(pending, served)
+	}
+	rt.errors.Add(1)
+	for _, idx := range pending.Indices {
+		emit(wire.BatchItem{Index: idx, Code: http.StatusBadGateway,
+			Error: &wire.ErrorResponse{Error: "cluster: no replica reachable"}})
+	}
+}
+
+// unserved filters a group down to the items not yet emitted.
+func unserved(g BatchGroup, served map[int]bool) BatchGroup {
+	if len(served) == 0 {
+		return g
+	}
+	out := BatchGroup{Peer: g.Peer}
+	for i, idx := range g.Indices {
+		if !served[idx] {
+			out.Items = append(out.Items, g.Items[i])
+			out.Indices = append(out.Indices, idx)
+		}
+	}
+	return out
+}
+
+// batchPeer posts one sub-batch to peer with NDJSON streaming and emits
+// each line as it arrives, remapped to original indices. Returns the set
+// of original indices served; a transport error mid-stream returns what
+// was emitted so the caller retries only the remainder.
+func (rt *Router) batchPeer(ctx context.Context, peer string, group BatchGroup, emit func(wire.BatchItem)) (map[int]bool, error) {
+	breq := wire.BatchRequest{Items: group.Items}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/compile/batch?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", wire.ContentTypeJSON)
+	hreq.Header.Set("Accept", wire.ContentTypeNDJSON)
+	hreq.Header.Set(HopHeader, "1")
+	if ps := rt.peers[peer]; ps != nil {
+		ps.requests.Add(1)
+	}
+	hresp, err := rt.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sub-batch to %s: status %d", peer, hresp.StatusCode)
+	}
+	served := make(map[int]bool, len(group.Items))
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var bi wire.BatchItem
+		if err := json.Unmarshal(line, &bi); err != nil {
+			return served, fmt.Errorf("sub-batch line from %s: %w", peer, err)
+		}
+		if bi.Index < 0 || bi.Index >= len(group.Indices) {
+			return served, fmt.Errorf("sub-batch from %s: index %d out of range", peer, bi.Index)
+		}
+		orig := group.Indices[bi.Index]
+		bi.Index = orig
+		served[orig] = true
+		emit(bi)
+	}
+	if err := sc.Err(); err != nil {
+		return served, err
+	}
+	if len(served) != len(group.Items) {
+		return served, fmt.Errorf("sub-batch from %s: %d of %d items answered", peer, len(served), len(group.Items))
+	}
+	return served, nil
+}
+
+// StartProbing launches the active health loop: every interval each peer
+// (excluding self) is probed at /healthz, benched on failure or a
+// draining answer, and restored on success. Stop with Close.
+func (rt *Router) StartProbing(interval time.Duration) {
+	if rt == nil || interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.probeStop:
+				return
+			case <-t.C:
+				rt.probeAll()
+			}
+		}
+	}()
+}
+
+func (rt *Router) probeAll() {
+	for _, peer := range rt.ring.Peers() {
+		if peer == rt.self {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.markDown(peer)
+		} else {
+			rt.markUp(peer)
+		}
+	}
+}
+
+// Close stops the health probe loop and the idle connection pool.
+func (rt *Router) Close() {
+	if rt == nil {
+		return
+	}
+	rt.probeOnce.Do(func() { close(rt.probeStop) })
+	rt.client.CloseIdleConnections()
+}
+
+// PeerStats is one replica's routing telemetry.
+type PeerStats struct {
+	Requests, Failures int64
+	Healthy            bool
+}
+
+// Stats snapshots the router's counters for /metrics.
+type Stats struct {
+	Local, Remote, Failovers, Errors int64
+	Peers                            map[string]PeerStats
+}
+
+// Stats reports routing telemetry; zero on a nil router.
+func (rt *Router) Stats() Stats {
+	if rt == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Local:     rt.local.Load(),
+		Remote:    rt.remote.Load(),
+		Failovers: rt.failovers.Load(),
+		Errors:    rt.errors.Load(),
+		Peers:     make(map[string]PeerStats, len(rt.peers)),
+	}
+	for id, ps := range rt.peers {
+		st.Peers[id] = PeerStats{
+			Requests: ps.requests.Load(),
+			Failures: ps.failures.Load(),
+			Healthy:  rt.healthy(id),
+		}
+	}
+	return st
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeReplica answers /v1/compile with a canned binary response naming
+// itself, and /v1/compile/batch?stream=1 with NDJSON items, so routing
+// and failover are testable without the real pipeline.
+func fakeReplica(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(HopHeader) == "" {
+			t.Errorf("%s: proxied request missing hop header", name)
+		}
+		req := wire.GetCompileRequest()
+		defer wire.PutCompileRequest(req)
+		data := make([]byte, 0, 1024)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			data = append(data, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		if err := wire.DecodeCompileRequest(data, req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := &wire.CompileResponse{Name: req.Name, Machine: name, PartII: 7}
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.Write(wire.AppendCompileResponse(nil, resp))
+	})
+	mux.HandleFunc("POST /v1/compile/batch", func(w http.ResponseWriter, r *http.Request) {
+		var breq wire.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		// Completion order deliberately reversed to prove the caller
+		// merges on indices, not arrival.
+		for i := len(breq.Items) - 1; i >= 0; i-- {
+			enc.Encode(&wire.BatchItem{
+				Index:  i,
+				Code:   http.StatusOK,
+				Result: &wire.CompileResponse{Name: breq.Items[i].Name, Machine: name, PartII: 7},
+			})
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	return httptest.NewServer(mux)
+}
+
+func reqFor(src string) *wire.CompileRequest {
+	return &wire.CompileRequest{
+		Name:    "t",
+		Source:  src,
+		Machine: wire.MachineSpec{Clusters: 4},
+	}
+}
+
+// findSourceOwnedBy brute-forces a source string whose ring owner is the
+// given peer, so tests can steer requests deterministically.
+func findSourceOwnedBy(t *testing.T, ring *Ring, peer string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		src := fmt.Sprintf("0: add f1, f1, f%d", i)
+		if ring.Owner(RouteKey(reqFor(src))) == peer {
+			return src
+		}
+	}
+	t.Fatalf("no source found owned by %s", peer)
+	return ""
+}
+
+// TestRouterCompileRoutes pins that a gateway router sends each request
+// to its ring owner and decodes the reply.
+func TestRouterCompileRoutes(t *testing.T) {
+	a := fakeReplica(t, "A")
+	defer a.Close()
+	b := fakeReplica(t, "B")
+	defer b.Close()
+
+	rt := NewRouter(Config{Peers: []string{a.URL, b.URL}})
+	defer rt.Close()
+
+	for _, peer := range []string{a.URL, b.URL} {
+		src := findSourceOwnedBy(t, rt.Ring(), peer)
+		out := rt.Compile(context.Background(), reqFor(src))
+		if out.Local {
+			t.Fatal("gateway router returned a local outcome")
+		}
+		if out.Code != http.StatusOK || out.Resp == nil {
+			t.Fatalf("code %d, resp %v, err %v", out.Code, out.Resp, out.Err)
+		}
+		if out.Peer != peer {
+			t.Errorf("served by %s, ring owner is %s", out.Peer, peer)
+		}
+	}
+	st := rt.Stats()
+	if st.Remote != 2 || st.Local != 0 || st.Failovers != 0 {
+		t.Errorf("stats = %+v, want 2 remote", st)
+	}
+}
+
+// TestRouterSelfIsLocal pins the replica-mesh path: a key owned by this
+// process must come back Local, never proxied.
+func TestRouterSelfIsLocal(t *testing.T) {
+	b := fakeReplica(t, "B")
+	defer b.Close()
+	self := "http://self.invalid:1"
+	rt := NewRouter(Config{Peers: []string{self, b.URL}, Self: self})
+	defer rt.Close()
+
+	src := findSourceOwnedBy(t, rt.Ring(), self)
+	out := rt.Compile(context.Background(), reqFor(src))
+	if !out.Local {
+		t.Fatalf("outcome %+v, want local", out)
+	}
+	if st := rt.Stats(); st.Local != 1 {
+		t.Errorf("stats = %+v, want 1 local", st)
+	}
+}
+
+// TestRouterFailover kills the ring owner and checks the request lands
+// on the next ring node, the failover is counted, and the dead peer is
+// benched for subsequent traffic.
+func TestRouterFailover(t *testing.T) {
+	a := fakeReplica(t, "A")
+	b := fakeReplica(t, "B")
+	defer b.Close()
+
+	rt := NewRouter(Config{Peers: []string{a.URL, b.URL}, Backoff: time.Millisecond})
+	defer rt.Close()
+
+	src := findSourceOwnedBy(t, rt.Ring(), a.URL)
+	a.Close() // owner dies before the request
+
+	out := rt.Compile(context.Background(), reqFor(src))
+	if out.Code != http.StatusOK || out.Resp == nil {
+		t.Fatalf("failover outcome: code %d err %v", out.Code, out.Err)
+	}
+	if out.Peer != b.URL {
+		t.Errorf("served by %s, want survivor %s", out.Peer, b.URL)
+	}
+	st := rt.Stats()
+	if st.Failovers == 0 {
+		t.Error("failover not counted")
+	}
+	if st.Peers[a.URL].Failures == 0 {
+		t.Error("dead peer's failure not counted")
+	}
+	if st.Peers[a.URL].Healthy {
+		t.Error("dead peer still marked healthy")
+	}
+
+	// The bench means the next request for the same key goes straight to
+	// the survivor without a fresh connection attempt on the corpse.
+	before := st.Peers[a.URL].Requests
+	out = rt.Compile(context.Background(), reqFor(src))
+	if out.Code != http.StatusOK {
+		t.Fatalf("second request failed: %d", out.Code)
+	}
+	if got := rt.Stats().Peers[a.URL].Requests; got != before {
+		t.Errorf("benched peer was dialed again (%d → %d requests)", before, got)
+	}
+}
+
+// TestRouterAllDown pins the gateway's terminal behavior: every ring
+// node unreachable yields one 502 with the error counted.
+func TestRouterAllDown(t *testing.T) {
+	a := fakeReplica(t, "A")
+	b := fakeReplica(t, "B")
+	rt := NewRouter(Config{Peers: []string{a.URL, b.URL}, Backoff: time.Millisecond})
+	defer rt.Close()
+	a.Close()
+	b.Close()
+
+	out := rt.Compile(context.Background(), reqFor("0: add f1, f1, f1"))
+	if out.Local || out.Code != http.StatusBadGateway || out.Err == nil {
+		t.Fatalf("outcome %+v, want 502", out)
+	}
+	if st := rt.Stats(); st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 error", st)
+	}
+}
+
+// TestRouterBatchSplitMerge pins the batch path: items split by owner,
+// each group streamed through its peer, and every original index emitted
+// exactly once even though replicas answer in reversed completion order.
+func TestRouterBatchSplitMerge(t *testing.T) {
+	a := fakeReplica(t, "A")
+	defer a.Close()
+	b := fakeReplica(t, "B")
+	defer b.Close()
+
+	rt := NewRouter(Config{Peers: []string{a.URL, b.URL}})
+	defer rt.Close()
+
+	items := make([]wire.CompileRequest, 8)
+	for i := range items {
+		items[i] = *reqFor(fmt.Sprintf("0: add f1, f1, f%d", i))
+		items[i].Name = fmt.Sprintf("item%d", i)
+	}
+	groups := rt.SplitBatch(items)
+	if len(groups) != 2 {
+		t.Fatalf("%d groups, want 2 (both replicas should own something)", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Items)
+		for j, idx := range g.Indices {
+			if g.Items[j].Name != items[idx].Name {
+				t.Fatalf("group item %d carries wrong original index %d", j, idx)
+			}
+		}
+	}
+	if total != len(items) {
+		t.Fatalf("groups carry %d items, want %d", total, len(items))
+	}
+
+	var mu sync.Mutex
+	got := map[int]string{}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g BatchGroup) {
+			defer wg.Done()
+			rt.CompileBatch(context.Background(), g, func(bi wire.BatchItem) {
+				mu.Lock()
+				defer mu.Unlock()
+				if _, dup := got[bi.Index]; dup {
+					t.Errorf("index %d emitted twice", bi.Index)
+				}
+				if bi.Result == nil {
+					t.Errorf("index %d: no result (code %d)", bi.Index, bi.Code)
+					got[bi.Index] = ""
+					return
+				}
+				got[bi.Index] = bi.Result.Name
+			})
+		}(g)
+	}
+	wg.Wait()
+	if len(got) != len(items) {
+		t.Fatalf("%d items emitted, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i].Name {
+			t.Errorf("index %d answered as %q, want %q", i, got[i], items[i].Name)
+		}
+	}
+}
+
+// TestRouterBatchFailover pins that a dead owner's whole group fails
+// over to the next ring node and still answers every item.
+func TestRouterBatchFailover(t *testing.T) {
+	a := fakeReplica(t, "A")
+	b := fakeReplica(t, "B")
+	defer b.Close()
+	rt := NewRouter(Config{Peers: []string{a.URL, b.URL}, Backoff: time.Millisecond})
+	defer rt.Close()
+
+	src := findSourceOwnedBy(t, rt.Ring(), a.URL)
+	a.Close()
+	group := BatchGroup{Peer: a.URL, Items: []wire.CompileRequest{*reqFor(src)}, Indices: []int{3}}
+
+	var items []wire.BatchItem
+	rt.CompileBatch(context.Background(), group, func(bi wire.BatchItem) { items = append(items, bi) })
+	if len(items) != 1 {
+		t.Fatalf("%d items emitted, want 1", len(items))
+	}
+	if items[0].Index != 3 || items[0].Code != http.StatusOK || items[0].Result == nil {
+		t.Fatalf("failover item = %+v", items[0])
+	}
+	if items[0].Result.Machine != "B" {
+		t.Errorf("served by %q, want the survivor B", items[0].Result.Machine)
+	}
+}
+
+// TestRouterProbeRecovers pins the active health loop: a benched peer
+// that comes back is restored by the probe without waiting for traffic.
+func TestRouterProbeRecovers(t *testing.T) {
+	a := fakeReplica(t, "A")
+	defer a.Close()
+	rt := NewRouter(Config{Peers: []string{a.URL}, Cooldown: time.Hour})
+	defer rt.Close()
+
+	rt.markDown(a.URL)
+	if rt.healthy(a.URL) {
+		t.Fatal("peer not benched")
+	}
+	rt.probeAll()
+	if !rt.healthy(a.URL) {
+		t.Fatal("probe did not restore a live peer")
+	}
+}

@@ -55,6 +55,7 @@ type SeedTable struct {
 	shards [seedShards]seedShard
 
 	lookups   atomic.Int64
+	found     atomic.Int64
 	hits      atomic.Int64
 	records   atomic.Int64
 	evictions atomic.Int64
@@ -92,10 +93,17 @@ func NewSeedTable(capacity int) *SeedTable {
 
 // SeedStats is a point-in-time snapshot of the table's effectiveness.
 type SeedStats struct {
-	// Lookups and Hits count consultations; Hits is lookups that found a
-	// usable entry — a success strictly above the search's MinII, or a
-	// recorded exhaustion of the whole [MinII, MaxII] range.
-	Lookups, Hits int64
+	// Lookups counts consultations. Found is lookups that located an
+	// entry at all — the table's coverage of the workload, which in a
+	// warm steady state should approach 1. Hits is the strict subset of
+	// Found whose entry was usable — a success strictly above the
+	// search's MinII, or a recorded exhaustion of the whole
+	// [MinII, MaxII] range. Found-but-not-Hit means the search settled
+	// at MinII last time, so the seed confirms the start point without
+	// skipping anything: on workloads where most loops schedule at MinII
+	// the hit rate is legitimately near zero while coverage is full —
+	// read the two together before concluding the table is broken.
+	Lookups, Found, Hits int64
 	// Records counts successful searches written back; Evictions counts
 	// entries displaced by the capacity bound.
 	Records, Evictions int64
@@ -111,6 +119,7 @@ func (t *SeedTable) Stats() SeedStats {
 	}
 	return SeedStats{
 		Lookups:       t.lookups.Load(),
+		Found:         t.found.Load(),
 		Hits:          t.hits.Load(),
 		Records:       t.records.Load(),
 		Evictions:     t.evictions.Load(),
@@ -143,6 +152,9 @@ func (t *SeedTable) lookup(k seedKey) (int, bool) {
 	s.mu.Lock()
 	ii, ok := s.m[k]
 	s.mu.Unlock()
+	if ok {
+		t.found.Add(1)
+	}
 	return ii, ok
 }
 

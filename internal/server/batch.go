@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/wire"
 )
 
@@ -81,15 +82,25 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 		extraType == ndjsonContentType ||
 		strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
 
-	// Fan the items out. The goroutines only wait (parse + queue + block
-	// on the worker); the CPU-bound compiles themselves stay bounded by
-	// the pool, so a 1024-item batch holds 1024 cheap waiters and at
-	// most `workers` running compiles.
-	results := make(chan BatchItem, len(req.Items))
+	// Fold the shared defaults into every item up front: the cluster
+	// router fingerprints the folded form, so a defaulted and an explicit
+	// spelling of the same compile route to the same replica.
 	for i := range req.Items {
-		item := req.Items[i]
-		req.Apply(&item, fmt.Sprintf("loop%d", i))
-		go func(idx int, item CompileRequest) {
+		req.Apply(&req.Items[i], fmt.Sprintf("loop%d", i))
+	}
+
+	// Fan the items out. Local goroutines only wait (parse + queue +
+	// block on the worker); the CPU-bound compiles themselves stay
+	// bounded by the pool, so a 1024-item batch holds 1024 cheap waiters
+	// and at most `workers` running compiles. In cluster mode the batch
+	// is first split by ring owner: each remote group streams through
+	// its owner concurrently (one sub-request per replica), items owned
+	// by this process run locally, and everything merges back through
+	// one channel — request-ordered below for the buffered mode,
+	// completion-ordered for the streaming modes.
+	results := make(chan BatchItem, len(req.Items))
+	local := func(idx int, item CompileRequest) {
+		go func() {
 			code, body := s.compileOne(r.Context(), &item, s.pool.submitWait)
 			bi := BatchItem{Index: idx, Code: code}
 			if resp, ok := body.(*CompileResponse); ok {
@@ -98,7 +109,25 @@ func (s *Server) batchHandler(w http.ResponseWriter, r *http.Request) {
 				bi.Error = er
 			}
 			results <- bi
-		}(i, item)
+		}()
+	}
+	if s.routed(r) {
+		rt := s.cfg.Cluster
+		for _, g := range rt.SplitBatch(req.Items) {
+			if g.Peer == rt.Self() {
+				for i, idx := range g.Indices {
+					local(idx, g.Items[i])
+				}
+				continue
+			}
+			go func(g cluster.BatchGroup) {
+				rt.CompileBatch(r.Context(), g, func(bi wire.BatchItem) { results <- bi })
+			}(g)
+		}
+	} else {
+		for i := range req.Items {
+			local(i, req.Items[i])
+		}
 	}
 
 	errs := 0

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/codegen"
+	"repro/internal/loopgen"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// newReplica spins up one standalone swpd replica with its own caches —
+// exactly what each fleet member runs in production.
+func newReplica(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// newGateway fronts the replicas with a pure routing gateway (Self="").
+func newGateway(t *testing.T, replicas ...string) (*Server, *httptest.Server, *cluster.Router) {
+	t.Helper()
+	rt := cluster.NewRouter(cluster.Config{Peers: replicas})
+	s := New(Config{Workers: 1, QueueDepth: 1, Cluster: rt})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, rt
+}
+
+// clusterSuite returns a deterministic spread of compile requests that a
+// two-replica ring splits across both members. Requests are deduplicated
+// by route key so every entry is a structurally distinct compile (two
+// generated loops can share a body, which would alias their cache
+// fingerprints and muddy warm/cold accounting).
+func clusterSuite(n int) []wire.CompileRequest {
+	loops := loopgen.Generate(loopgen.Params{N: 3 * n, Seed: loopgen.DefaultParams().Seed})
+	reqs := make([]wire.CompileRequest, 0, n)
+	seen := map[uint64]bool{}
+	for i, l := range loops {
+		req := wire.CompileRequest{
+			Name:    l.Name,
+			Source:  l.Body.String(),
+			Machine: wire.MachineSpec{Clusters: 4, CopyModel: "copyunit"},
+		}
+		if i%3 == 1 {
+			req.Machine = wire.MachineSpec{Clusters: 2, CopyModel: "embedded"}
+		}
+		// A distinct trip expansion per kept request keeps every entry
+		// structurally unique even when two generated loops canonicalize
+		// to the same body (which would legitimately share cache state).
+		req.ExpandTrip = 16 + len(reqs)
+		if k := cluster.RouteKey(&req); !seen[k] {
+			seen[k] = true
+			reqs = append(reqs, req)
+		}
+		if len(reqs) == n {
+			break
+		}
+	}
+	return reqs
+}
+
+// normalize zeroes the only fields allowed to differ between a routed and
+// a single-node compile: which cache tier answered. Everything else —
+// schedule, IIs, assignments, copies — must match byte for byte.
+func normalize(r *wire.CompileResponse) *wire.CompileResponse {
+	r.CacheHit = false
+	r.CacheTier = ""
+	return r
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClusterDifferential pins the acceptance criterion: a compile routed
+// through the gateway is byte-identical to the same compile on a single
+// node, for every loop in a mixed-config suite.
+func TestClusterDifferential(t *testing.T) {
+	_, solo := newReplica(t)
+	_, ra := newReplica(t)
+	_, rb := newReplica(t)
+	_, gw, rt := newGateway(t, ra.URL, rb.URL)
+
+	post := func(base string, req *wire.CompileRequest) *wire.CompileResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/compile", wire.ContentTypeJSON,
+			bytes.NewReader(mustJSON(t, req)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d for %s", base, resp.StatusCode, req.Name)
+		}
+		var out wire.CompileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	suite := clusterSuite(10)
+	for i := range suite {
+		req := &suite[i]
+		want := mustJSON(t, normalize(post(solo.URL, req)))
+		got := mustJSON(t, normalize(post(gw.URL, req)))
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: routed output differs from single-node\n solo: %s\n ring: %s",
+				req.Name, want, got)
+		}
+	}
+
+	st := rt.Stats()
+	if st.Peers[ra.URL].Requests == 0 || st.Peers[rb.URL].Requests == 0 {
+		t.Errorf("suite did not split across both replicas: %+v", st.Peers)
+	}
+	if st.Errors != 0 || st.Failovers != 0 {
+		t.Errorf("unexpected routing trouble: %+v", st)
+	}
+}
+
+// TestClusterWarmSharing pins the point of fingerprint routing: the same
+// request re-posted through the gateway lands on the same replica and
+// answers from its cache.
+func TestClusterWarmSharing(t *testing.T) {
+	_, ra := newReplica(t)
+	_, rb := newReplica(t)
+	_, gw, _ := newGateway(t, ra.URL, rb.URL)
+
+	suite := clusterSuite(8)
+	run := func() (hits int) {
+		for i := range suite {
+			resp, err := http.Post(gw.URL+"/v1/compile", wire.ContentTypeJSON,
+				bytes.NewReader(mustJSON(t, &suite[i])))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out wire.CompileResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			if out.CacheHit {
+				hits++
+			}
+		}
+		return hits
+	}
+	// A few cold hits are legitimate — CacheHit reports any stage-cache
+	// delta, and distinct loops can share a stage entry — but the warm
+	// pass must hit on every request: fingerprint routing lands each
+	// repeat on the replica that already owns its state.
+	cold := run()
+	warm := run()
+	if warm != len(suite) {
+		t.Errorf("warm pass hit %d/%d — routing is not sticky per fingerprint", warm, len(suite))
+	}
+	if cold >= warm {
+		t.Errorf("cold pass hit %d of %d, as much as the warm pass — accounting is broken", cold, len(suite))
+	}
+}
+
+// TestClusterBatchOrder pins the batch split/merge: a mixed-owner batch
+// through the gateway returns items in request order, each identical to
+// its single-node answer.
+func TestClusterBatchOrder(t *testing.T) {
+	_, solo := newReplica(t)
+	_, ra := newReplica(t)
+	_, rb := newReplica(t)
+	_, gw, _ := newGateway(t, ra.URL, rb.URL)
+
+	breq := wire.BatchRequest{Items: clusterSuite(9)}
+	post := func(base string) *wire.BatchResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/compile/batch", wire.ContentTypeJSON,
+			bytes.NewReader(mustJSON(t, &breq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: batch status %d", base, resp.StatusCode)
+		}
+		var out wire.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	want, got := post(solo.URL), post(gw.URL)
+	if len(got.Items) != len(breq.Items) || got.Errors != 0 {
+		t.Fatalf("gateway batch: %d items, %d errors", len(got.Items), got.Errors)
+	}
+	for i, bi := range got.Items {
+		if bi.Index != i {
+			t.Fatalf("item %d carries index %d — merge lost request order", i, bi.Index)
+		}
+		if bi.Result == nil {
+			t.Fatalf("item %d: no result (code %d)", i, bi.Code)
+		}
+		w := mustJSON(t, normalize(want.Items[i].Result))
+		g := mustJSON(t, normalize(bi.Result))
+		if !bytes.Equal(w, g) {
+			t.Errorf("batch item %d differs from single-node\n solo: %s\n ring: %s", i, w, g)
+		}
+	}
+}
+
+// TestClusterBatchStream pins the NDJSON mode through the gateway: one
+// line per item, every index served exactly once.
+func TestClusterBatchStream(t *testing.T) {
+	_, ra := newReplica(t)
+	_, rb := newReplica(t)
+	_, gw, _ := newGateway(t, ra.URL, rb.URL)
+
+	breq := wire.BatchRequest{Items: clusterSuite(6)}
+	resp, err := http.Post(gw.URL+"/v1/compile/batch?stream=1", wire.ContentTypeJSON,
+		bytes.NewReader(mustJSON(t, &breq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeNDJSON {
+		t.Fatalf("content type %q", ct)
+	}
+	seen := map[int]bool{}
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var bi wire.BatchItem
+		if err := dec.Decode(&bi); err != nil {
+			t.Fatal(err)
+		}
+		if seen[bi.Index] {
+			t.Fatalf("index %d streamed twice", bi.Index)
+		}
+		seen[bi.Index] = true
+		if bi.Result == nil {
+			t.Errorf("index %d: no result (code %d)", bi.Index, bi.Code)
+		}
+	}
+	if len(seen) != len(breq.Items) {
+		t.Fatalf("streamed %d items, want %d", len(seen), len(breq.Items))
+	}
+}
+
+// TestClusterHopNoLoop pins the loop-prevention contract: a request that
+// already took its routing hop compiles wherever it lands, even when this
+// replica's ring disagrees about the owner.
+func TestClusterHopNoLoop(t *testing.T) {
+	var hits atomic.Int64
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "must never be reached", http.StatusTeapot)
+	}))
+	defer other.Close()
+
+	self := "http://replica-self.invalid:1"
+	rt := cluster.NewRouter(cluster.Config{Peers: []string{self, other.URL}, Self: self})
+	s := New(Config{Pipeline: codegen.Config{Cache: cache.New(), Tracer: trace.New()}, Cluster: rt})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	// Find a request the ring assigns to the other peer, so forwarding
+	// would be the default without the hop header.
+	var req *wire.CompileRequest
+	for _, cand := range clusterSuite(40) {
+		if rt.OwnerOf(&cand) == other.URL {
+			req = &cand
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("no request found owned by the other peer")
+	}
+
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile",
+		bytes.NewReader(mustJSON(t, req)))
+	hreq.Header.Set("Content-Type", wire.ContentTypeJSON)
+	hreq.Header.Set(cluster.HopHeader, "1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hopped request not compiled locally: status %d", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("hopped request was forwarded again (%d hits) — routing loop", hits.Load())
+	}
+}
+
+// TestClusterMetricsExposed pins the swpd_cluster_* surface on a routing
+// node's /metrics.
+func TestClusterMetricsExposed(t *testing.T) {
+	_, ra := newReplica(t)
+	_, gw, _ := newGateway(t, ra.URL)
+
+	req := &clusterSuite(1)[0]
+	if resp, err := http.Post(gw.URL+"/v1/compile", wire.ContentTypeJSON,
+		bytes.NewReader(mustJSON(t, req))); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(gw.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	for _, name := range []string{
+		"swpd_cluster_local_total",
+		"swpd_cluster_remote_total 1",
+		"swpd_cluster_failovers_total",
+		"swpd_cluster_errors_total",
+		"swpd_cluster_peer_requests_total",
+		"swpd_cluster_peer_healthy",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %q", name)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

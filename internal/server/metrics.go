@@ -209,10 +209,45 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	if rt := s.cfg.Cluster; rt.Enabled() {
+		cs := rt.Stats()
+		fmt.Fprintf(w, "# HELP swpd_cluster_local_total Requests this node owned and compiled locally.\n# TYPE swpd_cluster_local_total counter\n")
+		fmt.Fprintf(w, "swpd_cluster_local_total %d\n", cs.Local)
+		fmt.Fprintf(w, "# HELP swpd_cluster_remote_total Requests proxied to their ring owner (batch sub-requests count once).\n# TYPE swpd_cluster_remote_total counter\n")
+		fmt.Fprintf(w, "swpd_cluster_remote_total %d\n", cs.Remote)
+		fmt.Fprintf(w, "# HELP swpd_cluster_failovers_total Attempts that moved past an unreachable ring node.\n# TYPE swpd_cluster_failovers_total counter\n")
+		fmt.Fprintf(w, "swpd_cluster_failovers_total %d\n", cs.Failovers)
+		fmt.Fprintf(w, "# HELP swpd_cluster_errors_total Requests no replica could serve.\n# TYPE swpd_cluster_errors_total counter\n")
+		fmt.Fprintf(w, "swpd_cluster_errors_total %d\n", cs.Errors)
+		peers := make([]string, 0, len(cs.Peers))
+		for p := range cs.Peers {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		fmt.Fprintf(w, "# HELP swpd_cluster_peer_requests_total Proxied requests per ring peer.\n# TYPE swpd_cluster_peer_requests_total counter\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "swpd_cluster_peer_requests_total{peer=%q} %d\n", p, cs.Peers[p].Requests)
+		}
+		fmt.Fprintf(w, "# HELP swpd_cluster_peer_failures_total Transport failures per ring peer.\n# TYPE swpd_cluster_peer_failures_total counter\n")
+		for _, p := range peers {
+			fmt.Fprintf(w, "swpd_cluster_peer_failures_total{peer=%q} %d\n", p, cs.Peers[p].Failures)
+		}
+		fmt.Fprintf(w, "# HELP swpd_cluster_peer_healthy Whether the peer is currently taking traffic.\n# TYPE swpd_cluster_peer_healthy gauge\n")
+		for _, p := range peers {
+			up := 0
+			if cs.Peers[p].Healthy {
+				up = 1
+			}
+			fmt.Fprintf(w, "swpd_cluster_peer_healthy{peer=%q} %d\n", p, up)
+		}
+	}
+
 	if t := s.cfg.Pipeline.IISeed; t != nil {
 		st := t.Stats()
 		fmt.Fprintf(w, "# HELP swpd_iiseed_lookups_total II-seed table consultations.\n# TYPE swpd_iiseed_lookups_total counter\n")
 		fmt.Fprintf(w, "swpd_iiseed_lookups_total %d\n", st.Lookups)
+		fmt.Fprintf(w, "# HELP swpd_iiseed_found_total Consultations that located an entry (table coverage).\n# TYPE swpd_iiseed_found_total counter\n")
+		fmt.Fprintf(w, "swpd_iiseed_found_total %d\n", st.Found)
 		fmt.Fprintf(w, "# HELP swpd_iiseed_hits_total Consultations that advanced the II search start.\n# TYPE swpd_iiseed_hits_total counter\n")
 		fmt.Fprintf(w, "swpd_iiseed_hits_total %d\n", st.Hits)
 		fmt.Fprintf(w, "# HELP swpd_iiseed_saved_attempts_total Candidate-II attempts skipped thanks to seeds.\n# TYPE swpd_iiseed_saved_attempts_total counter\n")

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/codegen"
 	"repro/internal/ir"
 	"repro/internal/scratch"
@@ -33,6 +34,12 @@ type Config struct {
 	// Pipeline configures every compile (partitioner, cache, tracer...).
 	// The per-request partitioner override is layered on top of it.
 	Pipeline codegen.Config
+	// Cluster, when non-nil, routes requests across a consistent-hash
+	// ring of swpd replicas: keys this process does not own are proxied
+	// to their ring owner so the fleet shares warm state (see
+	// internal/cluster). Nil keeps the single-node behavior. Close
+	// releases it.
+	Cluster *cluster.Router
 	// Log receives one line per finished request; nil disables.
 	Log *log.Logger
 }
@@ -137,6 +144,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	close(s.draining)
 	s.pool.close()
+	s.cfg.Cluster.Close()
+}
+
+// routed reports whether this request should consult the cluster router:
+// routing is configured and the request has not already been routed by
+// another node (the hop header breaks forwarding loops when two nodes
+// disagree about ring membership).
+func (s *Server) routed(r *http.Request) bool {
+	return s.cfg.Cluster.Enabled() && r.Header.Get(cluster.HopHeader) == ""
 }
 
 // healthHandler reports liveness plus the load gauges a balancer wants.
@@ -229,14 +245,31 @@ func (s *Server) compile(r *http.Request, f wire.Format) (int, any) {
 			return http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}
 		}
 		defaults.Apply(req, "loop")
-		return s.compileOne(r.Context(), req, s.pool.submit)
+		return s.dispatch(r, req)
 	}
 	var req CompileRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxCompileBody)).Decode(&req); err != nil {
 		return http.StatusBadRequest, &ErrorResponse{Error: "decoding request: " + err.Error()}
 	}
 	defaults.Apply(&req, "loop")
-	return s.compileOne(r.Context(), &req, s.pool.submit)
+	return s.dispatch(r, &req)
+}
+
+// dispatch sends one decoded, defaulted request either to its ring owner
+// (cluster mode, key owned elsewhere) or into the local worker pool. The
+// remote reply is already decoded wire data, so the handler re-encodes
+// it in the client's negotiated format — byte-identical to a local
+// answer, which the cluster differential test pins.
+func (s *Server) dispatch(r *http.Request, req *CompileRequest) (int, any) {
+	if s.routed(r) {
+		if out := s.cfg.Cluster.Compile(r.Context(), req); !out.Local {
+			if out.Err != nil {
+				return out.Code, out.Err
+			}
+			return out.Code, out.Resp
+		}
+	}
+	return s.compileOne(r.Context(), req, s.pool.submit)
 }
 
 // compileOne runs one already-decoded compile request to completion:

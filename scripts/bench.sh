@@ -12,14 +12,22 @@
 # round trip in each codec (BenchmarkServerCompileJSON vs
 # BenchmarkServerCompileBinary, with p50_us and allocs/op) plus the
 # II-seed table's hit rate on repeat scheduling
-# (BenchmarkServerCompileSeeded's ii_seed_hit_rate).
+# (BenchmarkServerCompileSeeded's ii_seed_hit_rate), and the PR-9
+# numbers: the consistent-hash cluster tier's cross-replica warm hit rate
+# (BenchmarkClusterWarm) and the capacity scaling of a fingerprint-routed
+# 3-replica fleet over a single replica with the same per-replica cache
+# budget (BenchmarkClusterBatch1 vs BenchmarkClusterBatch3).
 #
-# The PR-8 comparison is ENFORCED: if both codec benchmarks ran and the
-# binary round trip is not faster than JSON, the script exits nonzero so
-# CI catches a regressed codec. Set ENFORCE=0 to disable (e.g. for
-# exploratory runs on noisy machines).
+# Three comparisons are ENFORCED (exit nonzero so CI catches them):
+#   - PR-8: the binary warm round trip must beat JSON;
+#   - PR-9: cross_replica_warm_hit_rate must reach 0.9 — fingerprint
+#     routing is the whole point of the ring, so repeats must land warm;
+#   - PR-9: the 3-replica batch sweep must beat the 1-replica sweep;
+#   - PR-9 satellite: ii_seed_found_rate must reach 0.9 — the seed
+#     table's steady-state coverage of the working set.
+# Set ENFORCE=0 to disable (e.g. for exploratory runs on noisy machines).
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr8.json
+#   scripts/bench.sh                 # full run -> BENCH_pr9.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
 #   BASELINE=BENCH_pr2.json scripts/bench.sh   # compare against another PR
@@ -34,8 +42,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr8.json}
-BASELINE=${BASELINE:-BENCH_pr7.json}
+OUT=${OUT:-BENCH_pr9.json}
+BASELINE=${BASELINE:-BENCH_pr8.json}
 ENFORCE=${ENFORCE:-1}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
@@ -71,6 +79,9 @@ awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" \
             gsub(/[^A-Za-z0-9_]/, "_", unit)
             if (unit == "p50_us")           p50[name] = v
             if (unit == "ii_seed_hit_rate") seedhit[name] = v
+            if (unit == "ii_seed_found_rate") seedfound[name] = v
+            if (unit == "cross_replica_warm_hit_rate") clusterwarm[name] = v
+            if (unit == "batch_loops_per_sec") batchlps[name] = v
             if (extras[name] != "") extras[name] = extras[name] ", "
             extras[name] = extras[name] "\"" unit "\": " v
         }
@@ -132,18 +143,48 @@ END {
     else
         printf "    \"warm_binary_allocs_per_op\": null,\n"
     if (seedhit["BenchmarkServerCompileSeeded"] != "")
-        printf "    \"ii_seed_hit_rate\": %s\n", seedhit["BenchmarkServerCompileSeeded"]
+        printf "    \"ii_seed_hit_rate\": %s,\n", seedhit["BenchmarkServerCompileSeeded"]
     else
-        printf "    \"ii_seed_hit_rate\": null\n"
+        printf "    \"ii_seed_hit_rate\": null,\n"
+    if (seedfound["BenchmarkServerCompileSeeded"] != "")
+        printf "    \"ii_seed_found_rate\": %s,\n", seedfound["BenchmarkServerCompileSeeded"]
+    else
+        printf "    \"ii_seed_found_rate\": null,\n"
+    if (clusterwarm["BenchmarkClusterWarm"] != "")
+        printf "    \"cross_replica_warm_hit_rate\": %s,\n", clusterwarm["BenchmarkClusterWarm"]
+    else
+        printf "    \"cross_replica_warm_hit_rate\": null,\n"
+    if (batchlps["BenchmarkClusterBatch1"] != "")
+        printf "    \"cluster_batch_loops_per_sec_1\": %s,\n", batchlps["BenchmarkClusterBatch1"]
+    else
+        printf "    \"cluster_batch_loops_per_sec_1\": null,\n"
+    if (batchlps["BenchmarkClusterBatch3"] != "")
+        printf "    \"cluster_batch_loops_per_sec_3\": %s,\n", batchlps["BenchmarkClusterBatch3"]
+    else
+        printf "    \"cluster_batch_loops_per_sec_3\": null,\n"
+    if (ns["BenchmarkClusterBatch1"] != "" && ns["BenchmarkClusterBatch3"] != "")
+        printf "    \"cluster_batch_scaling\": %.3f\n", ns["BenchmarkClusterBatch1"] / ns["BenchmarkClusterBatch3"]
+    else
+        printf "    \"cluster_batch_scaling\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
-grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"warm_binary_p50_us"|"binary_vs_json_speedup"|"ii_seed_hit_rate"' "$OUT" >&2
+grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"warm_binary_p50_us"|"binary_vs_json_speedup"|"ii_seed_hit_rate"|"ii_seed_found_rate"|"cross_replica_warm_hit_rate"|"cluster_batch_scaling"' "$OUT" >&2
+
+# grab_derived pulls one numeric value out of OUT's derived block. The
+# same key can also appear on a benchmark's extras line, so keep only the
+# last occurrence — the derived block closes the file.
+grab_derived() {
+    awk -F"\"$1\": " '$2 != "" {split($2, a, /[,}\n]/); v = a[1]}
+        END {if (v != "" && v != "null") print v}' "$OUT"
+}
 
 # PR-8 enforcement: the binary codec must beat JSON on the warm round
-# trip whenever both benchmarks were part of this run.
+# trip whenever both benchmarks were part of this run. PR-9 enforcement:
+# the cluster's cross-replica warm hit rate and the seed table's coverage
+# must each reach 0.9, and the 3-replica batch sweep must beat 1-replica.
 if [ "$ENFORCE" = "1" ]; then
     JSON_NS=$(awk -F'"ns_per_op": ' '/"BenchmarkServerCompileJSON"/ {split($2, a, /[,}]/); print a[1]}' "$OUT")
     BIN_NS=$(awk -F'"ns_per_op": ' '/"BenchmarkServerCompileBinary"/ {split($2, a, /[,}]/); print a[1]}' "$OUT")
@@ -152,6 +193,33 @@ if [ "$ENFORCE" = "1" ]; then
             echo "ok: binary warm round trip ${BIN_NS}ns beats JSON ${JSON_NS}ns" >&2
         else
             echo "FAIL: binary warm round trip ${BIN_NS}ns is not faster than JSON ${JSON_NS}ns" >&2
+            exit 1
+        fi
+    fi
+    WARMHIT=$(grab_derived cross_replica_warm_hit_rate)
+    if [ -n "$WARMHIT" ]; then
+        if awk "BEGIN { exit !($WARMHIT >= 0.9) }"; then
+            echo "ok: cross-replica warm hit rate $WARMHIT >= 0.9" >&2
+        else
+            echo "FAIL: cross-replica warm hit rate $WARMHIT below the 0.9 floor" >&2
+            exit 1
+        fi
+    fi
+    SCALING=$(grab_derived cluster_batch_scaling)
+    if [ -n "$SCALING" ]; then
+        if awk "BEGIN { exit !($SCALING > 1) }"; then
+            echo "ok: 3-replica batch sweep ${SCALING}x the 1-replica sweep" >&2
+        else
+            echo "FAIL: 3-replica batch scaling $SCALING is not above 1" >&2
+            exit 1
+        fi
+    fi
+    SEEDFOUND=$(grab_derived ii_seed_found_rate)
+    if [ -n "$SEEDFOUND" ]; then
+        if awk "BEGIN { exit !($SEEDFOUND >= 0.9) }"; then
+            echo "ok: ii-seed steady-state coverage $SEEDFOUND >= 0.9" >&2
+        else
+            echo "FAIL: ii-seed steady-state coverage $SEEDFOUND below the 0.9 floor" >&2
             exit 1
         fi
     fi

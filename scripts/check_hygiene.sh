@@ -28,3 +28,18 @@ if [ -n "$big" ]; then
     exit 1
 fi
 echo "hygiene: all tracked files under $LIMIT bytes"
+
+# Compiled test binaries (`go test -c`, or a crashed -bench run) are
+# .gitignore'd, so they can never be committed — but they still linger in
+# working trees at 10MB+ apiece and end up inside editor indexes and
+# container image layers. Flag any the toolchain left behind.
+stray=$(find . -name '*.test' -type f -not -path './.git/*' | sed 's|^\./||')
+if [ -n "$stray" ]; then
+    echo "hygiene: untracked compiled test binaries lingering in the tree:" >&2
+    echo "$stray" | while IFS= read -r f; do
+        printf '%8s  %s\n' "$(wc -c < "$f")" "$f" >&2
+    done
+    echo "hygiene: remove them (go clean -testcache does not; plain rm does)" >&2
+    exit 1
+fi
+echo "hygiene: no stray *.test binaries"

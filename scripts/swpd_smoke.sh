@@ -13,11 +13,31 @@ cd "$(dirname "$0")/.."
 PORT=${PORT:-18080}
 TMP=$(mktemp -d)
 PID=
+R1PID=
+R2PID=
+GWPID=
 cleanup() {
-    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    for p in "$PID" "$R1PID" "$R2PID" "$GWPID"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
     rm -rf "$TMP"
 }
 trap cleanup EXIT
+
+# wait_healthy <url> <logfile>: poll /healthz until the daemon answers.
+wait_healthy() {
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fsS "$1/healthz" > /dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+        i=$((i+1))
+    done
+    echo "daemon at $1 never became healthy; log:" >&2
+    cat "$2" >&2
+    return 1
+}
 
 echo "== building swpd and swpc ==" >&2
 go build -o "$TMP/swpd" ./cmd/swpd
@@ -165,4 +185,75 @@ echo "disk tier smoke: restart served from disk (II=$WARM_II)" >&2
 kill -TERM "$PID"
 wait "$PID"
 PID=
+
+# Cluster tier smoke: two fresh replica daemons behind a swpgw gateway.
+# The gateway must route the compile to its ring owner without changing
+# the answer, and a repeat of the same request must land on the same
+# replica and be served from its cache across the wire — the
+# warm-state-sharing property the ring exists for.
+echo "== cluster smoke: 2 replicas behind swpgw ==" >&2
+go build -o "$TMP/swpgw" ./cmd/swpgw
+R1=$((PORT+1)); R2=$((PORT+2)); GW=$((PORT+3))
+"$TMP/swpd" -addr "127.0.0.1:$R1" -quiet 2> "$TMP/replica1.log" &
+R1PID=$!
+"$TMP/swpd" -addr "127.0.0.1:$R2" -quiet 2> "$TMP/replica2.log" &
+R2PID=$!
+"$TMP/swpgw" -addr "127.0.0.1:$GW" \
+    -peers "http://127.0.0.1:$R1,http://127.0.0.1:$R2" \
+    -quiet 2> "$TMP/swpgw.log" &
+GWPID=$!
+wait_healthy "http://127.0.0.1:$R1" "$TMP/replica1.log"
+wait_healthy "http://127.0.0.1:$R2" "$TMP/replica2.log"
+wait_healthy "http://127.0.0.1:$GW" "$TMP/swpgw.log"
+
+# Cold pass through the gateway: routed output must match the single-node
+# answer from the start of this script.
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$GW/v1/compile" > "$TMP/ring-cold.json"
+RING_II=$(sed -n 's/.*"part_ii": *\([0-9][0-9]*\).*/\1/p' "$TMP/ring-cold.json" | head -1)
+if [ "$RING_II" != "$DAEMON_II" ]; then
+    echo "routed II mismatch: gateway says $RING_II, single node said $DAEMON_II" >&2
+    exit 1
+fi
+
+# Warm pass: the fingerprint routes to the same replica, whose cache now
+# owns the result — the hit crosses the gateway hop.
+curl -fsS -H 'Content-Type: application/json' -d @"$TMP/req.json" \
+    "http://127.0.0.1:$GW/v1/compile" > "$TMP/ring-warm.json"
+grep -q '"cache_hit": true' "$TMP/ring-warm.json"
+grep -q '"cache_tier": "memory"' "$TMP/ring-warm.json"
+WARM_RING_II=$(sed -n 's/.*"part_ii": *\([0-9][0-9]*\).*/\1/p' "$TMP/ring-warm.json" | head -1)
+[ "$WARM_RING_II" = "$DAEMON_II" ]
+
+# The gateway's own metrics must show both requests proxied to ring
+# peers, nothing compiled locally and no failovers taken.
+curl -fsS "http://127.0.0.1:$GW/metrics" > "$TMP/gw-metrics.txt"
+grep -q 'swpd_cluster_remote_total 2' "$TMP/gw-metrics.txt"
+grep -q 'swpd_cluster_local_total 0' "$TMP/gw-metrics.txt"
+grep -q 'swpd_cluster_failovers_total 0' "$TMP/gw-metrics.txt"
+grep -Eq 'swpd_cluster_peer_healthy\{peer="[^"]*"\} 1' "$TMP/gw-metrics.txt"
+
+# Exactly one replica must have served both requests (fingerprint
+# stickiness), and it answered the repeat from its cache.
+HITS1=$(curl -fsS "http://127.0.0.1:$R1/metrics" | sed -n 's/^swpd_cache_hits_total \([0-9][0-9]*\)$/\1/p')
+HITS2=$(curl -fsS "http://127.0.0.1:$R2/metrics" | sed -n 's/^swpd_cache_hits_total \([0-9][0-9]*\)$/\1/p')
+if [ "${HITS1:-0}" = 0 ] && [ "${HITS2:-0}" = 0 ]; then
+    echo "no replica reports a cache hit for the repeated request" >&2
+    exit 1
+fi
+
+# swpc's client-side ring mode must compute the same owner the gateway
+# used and report the warm answer straight from the replica.
+PEER_II=$("$TMP/swpc" -peers "http://127.0.0.1:$R1,http://127.0.0.1:$R2" \
+    -n 1 -loop 0 -clusters 4 -model embedded |
+    sed -n 's/.*clustered II=\([0-9][0-9]*\).*/\1/p' | head -1)
+if [ "$PEER_II" != "$DAEMON_II" ]; then
+    echo "swpc -peers II mismatch: ring client says $PEER_II, want $DAEMON_II" >&2
+    exit 1
+fi
+echo "cluster smoke: routed II=$RING_II, warm repeat hit across the ring" >&2
+
+kill -TERM "$GWPID"; wait "$GWPID"; GWPID=
+kill -TERM "$R1PID"; wait "$R1PID"; R1PID=
+kill -TERM "$R2PID"; wait "$R2PID"; R2PID=
 echo "swpd smoke: OK" >&2
