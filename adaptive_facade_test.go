@@ -1,0 +1,46 @@
+package swp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestWithAdaptiveWeightsNeverWorse exercises the facade option end to
+// end: an adaptive Compiler on portfolio partitioning must meet or beat
+// the default Compiler's clustered II on every loop of a suite slice, and
+// any compile whose report says the arm won must name "adaptive" as the
+// portfolio variant.
+func TestWithAdaptiveWeightsNeverWorse(t *testing.T) {
+	loops := SmallSuite(30)
+	cfg := Machine(4, Embedded)
+	base := New(WithSkipAlloc())
+	ad := New(WithSkipAlloc(), WithAdaptiveWeights(), WithPartitioner(partition.Portfolio{}))
+	if ad.Config().Adaptive == nil {
+		t.Fatal("WithAdaptiveWeights did not attach the table")
+	}
+	ran := 0
+	for _, l := range loops {
+		b, err := base.Compile(context.Background(), l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ad.Compile(context.Background(), l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PartII() > b.PartII() {
+			t.Fatalf("%s: adaptive II %d worse than default %d", l.Name, a.PartII(), b.PartII())
+		}
+		if rep := a.Adaptive; rep != nil {
+			ran++
+			if rep.Won != (a.PortfolioVariant == "adaptive") {
+				t.Fatalf("%s: report Won=%v but variant %q", l.Name, rep.Won, a.PortfolioVariant)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("adaptive arm never engaged on the suite slice")
+	}
+}

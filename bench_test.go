@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ddg"
 	"repro/internal/exper"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
@@ -173,6 +174,64 @@ func BenchmarkWeightsAblation(b *testing.B) {
 			a, _ := results[0].MeanDegradation()
 			b.ReportMetric(a, v.name)
 		}
+	}
+}
+
+// BenchmarkAdaptiveWeights is the PR-10 gate: the full 211-loop suite on
+// the 2-, 4- and 8-cluster embedded machines, fixed-weight greedy vs the
+// feature-conditioned adaptive portfolio. Reported metrics:
+// adaptive_never_worse is 1 when no (loop, machine) cell degraded versus
+// greedy (the floor bench.sh enforces), adaptive_ran / adaptive_wins
+// count the cells where the arm proposed and where its candidate was
+// adopted, and deg_greedy / deg_adaptive are the mean degradations.
+func BenchmarkAdaptiveWeights(b *testing.B) {
+	cfgs := []*machine.Config{
+		machine.MustClustered16(2, machine.Embedded),
+		machine.MustClustered16(4, machine.Embedded),
+		machine.MustClustered16(8, machine.Embedded),
+	}
+	for i := 0; i < b.N; i++ {
+		greedy := exper.RunSuite(paperSuite(), cfgs, exper.Options{
+			Codegen: codegen.Options{SkipAlloc: true},
+		})
+		adaptive := exper.RunSuite(paperSuite(), cfgs, exper.Options{
+			Codegen: codegen.Options{
+				Partitioner: partition.Portfolio{},
+				Adaptive:    features.Default(),
+				SkipAlloc:   true,
+			},
+		})
+		neverWorse, ran, wins := 1.0, 0, 0
+		var degGreedy, degAdaptive float64
+		for ci := range cfgs {
+			if errs := greedy[ci].Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			if errs := adaptive[ci].Errors(); len(errs) > 0 {
+				b.Fatal(errs[0])
+			}
+			ga, _ := greedy[ci].MeanDegradation()
+			aa, _ := adaptive[ci].MeanDegradation()
+			degGreedy += ga
+			degAdaptive += aa
+			for li := range adaptive[ci].Outcomes {
+				g, a := &greedy[ci].Outcomes[li], &adaptive[ci].Outcomes[li]
+				if a.PartII > g.PartII {
+					neverWorse = 0
+				}
+				if rep := a.Adaptive; rep != nil {
+					ran++
+					if rep.Won {
+						wins++
+					}
+				}
+			}
+		}
+		b.ReportMetric(neverWorse, "adaptive_never_worse")
+		b.ReportMetric(float64(ran), "adaptive_ran")
+		b.ReportMetric(float64(wins), "adaptive_wins")
+		b.ReportMetric(degGreedy/float64(len(cfgs)), "deg_greedy")
+		b.ReportMetric(degAdaptive/float64(len(cfgs)), "deg_adaptive")
 	}
 }
 

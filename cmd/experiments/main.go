@@ -7,7 +7,7 @@
 // Usage:
 //
 //	experiments [-n loops] [-workers n] [-table 1|2] [-figure 5|6|7] [-compare] [-v]
-//	            [-exactgap] [-exact-budget d] [-exact-nodes n]
+//	            [-exactgap] [-exact-budget d] [-exact-nodes n] [-adaptive] [-weights w.json]
 //	            [-cache] [-trace out.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // With no selection flags every table and figure is printed. -trace
@@ -27,13 +27,16 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/codegen"
+	"repro/internal/core"
 	"repro/internal/exper"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/profiling"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 type options struct {
@@ -54,6 +57,8 @@ type options struct {
 	verbose     bool
 	exactBudget time.Duration
 	exactNodes  int64
+	adaptive    *features.Table
+	weights     *core.Weights
 	tracer      *trace.Tracer
 	cache       *cache.Cache
 }
@@ -77,6 +82,8 @@ func main() {
 	flag.BoolVar(&opt.verbose, "v", false, "also print the per-machine summary")
 	flag.DurationVar(&opt.exactBudget, "exact-budget", 0, "enable the exact-solver arms in the main runs with this wall-clock ceiling per stage (0 = off)")
 	flag.Int64Var(&opt.exactNodes, "exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
+	adaptive := flag.Bool("adaptive", false, "enable the feature-conditioned adaptive-weights arm in the main runs (portfolio partitioning)")
+	weightsFile := flag.String("weights", "", "override the partitioner weights with this JSON file (see internal/tune.LoadWeights)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules across the machine grid")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
@@ -93,6 +100,17 @@ func main() {
 	}
 	if *traceOut != "" {
 		opt.tracer = trace.New()
+	}
+	if *adaptive {
+		opt.adaptive = features.Default()
+	}
+	if *weightsFile != "" {
+		w, err := tune.LoadWeights(*weightsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.weights = w
 	}
 	if *useCache || *cacheBudget != "" || *cacheDir != "" {
 		budget, err := cache.ParseBudget(*cacheBudget)
@@ -204,11 +222,17 @@ func run(opt options) int {
 		return 0
 	}
 
+	cg := codegen.Options{Cache: opt.cache, Weights: opt.weights,
+		ExactBudget: opt.exactBudget, ExactNodes: opt.exactNodes}
+	if opt.adaptive != nil {
+		// The adaptive arm engages only on portfolio-capable partitioners.
+		cg.Adaptive = opt.adaptive
+		cg.Partitioner = partition.Portfolio{}
+	}
 	results := exper.RunSuite(loops, cfgs, exper.Options{
 		Workers: opt.workers,
 		Tracer:  opt.tracer,
-		Codegen: codegen.Options{Cache: opt.cache,
-			ExactBudget: opt.exactBudget, ExactNodes: opt.exactNodes},
+		Codegen: cg,
 	})
 	reportErrors(results)
 

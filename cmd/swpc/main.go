@@ -28,17 +28,17 @@ import (
 	"log"
 	"os"
 
-	"time"
-
 	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/exper"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/profiling"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -58,6 +58,8 @@ func main() {
 	emit := flag.Bool("emit", false, "print the final pipelined machine code (with -loop or -file)")
 	exactBudget := flag.Duration("exact-budget", 0, "enable the exact-solver arms with this wall-clock ceiling per stage (0 = off)")
 	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
+	adaptive := flag.Bool("adaptive", false, "enable the feature-conditioned adaptive-weights arm (implies -partitioner portfolio when rcg)")
+	weightsFile := flag.String("weights", "", "override the partitioner weights with this JSON file (see internal/tune.LoadWeights)")
 	useCache := flag.Bool("cache", false, "memoize dependence graphs and modulo schedules by content fingerprint")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (implies -cache; empty or 0 = unlimited, none = retain nothing)")
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
@@ -107,8 +109,23 @@ func main() {
 		c.AttachDisk(disk)
 	}
 
+	base := codegen.Options{Tracer: tr, Cache: c, ExactBudget: *exactBudget, ExactNodes: *exactNodes}
+	if *adaptive {
+		base.Adaptive = features.Default()
+		if *partName == "rcg" {
+			*partName = "portfolio" // the arm engages only on portfolio-capable partitioners
+		}
+	}
+	if *weightsFile != "" {
+		w, err := tune.LoadWeights(*weightsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base.Weights = w
+	}
+
 	runErr := run(*n, *loopIdx, *clusters, *modelName, *partName, *machineFile, *file,
-		*dump, *worst, *breakdown, *refined, *emit, *exactBudget, *exactNodes, tr, c)
+		*dump, *worst, *breakdown, *refined, *emit, base)
 
 	if disk != nil {
 		disk.Close() // flush write-behinds so the stats below are final
@@ -141,8 +158,7 @@ func writeTrace(path string, tr *trace.Tracer) error {
 }
 
 func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string,
-	dump bool, worst int, breakdown, refined, emit bool,
-	exactBudget time.Duration, exactNodes int64, tr *trace.Tracer, c *cache.Cache) error {
+	dump bool, worst int, breakdown, refined, emit bool, base codegen.Options) error {
 	var cfg *machine.Config
 	if machineFile != "" {
 		src, err := os.ReadFile(machineFile)
@@ -182,7 +198,7 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if err != nil {
 			return err
 		}
-		return compileAndReport(loop, cfg, part, dump, refined, emit, exactBudget, exactNodes, tr, c)
+		return compileAndReport(loop, cfg, part, dump, refined, emit, base)
 	}
 
 	loops := loopgen.Generate(loopgen.Params{N: n, Seed: loopgen.DefaultParams().Seed})
@@ -191,18 +207,20 @@ func run(n, loopIdx, clusters int, modelName, partName, machineFile, file string
 		if loopIdx >= len(loops) {
 			return fmt.Errorf("loop %d out of range (suite has %d)", loopIdx, len(loops))
 		}
-		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, exactBudget, exactNodes, tr, c)
+		return compileAndReport(loops[loopIdx], cfg, part, dump, refined, emit, base)
 	}
 
+	suiteOpt := base
+	suiteOpt.Partitioner = part
 	results := exper.RunSuite(loops, []*machine.Config{cfg}, exper.Options{
-		Codegen: codegen.Options{Partitioner: part, Cache: c, ExactBudget: exactBudget, ExactNodes: exactNodes},
-		Tracer:  tr,
+		Codegen: suiteOpt,
+		Tracer:  base.Tracer,
 	})
 	r := results[0]
 	for _, err := range r.Errors() {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 	}
-	fmt.Print(exper.SummaryWithTrace(results, tr))
+	fmt.Print(exper.SummaryWithTrace(results, base.Tracer))
 	if breakdown {
 		fmt.Println()
 		fmt.Print(exper.FormatBreakdown(r))
@@ -244,12 +262,11 @@ func pickPartitioner(name string) (partition.Partitioner, error) {
 }
 
 func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partitioner,
-	dump, refined, emit bool, exactBudget time.Duration, exactNodes int64,
-	tr *trace.Tracer, c *cache.Cache) error {
+	dump, refined, emit bool, base codegen.Options) error {
 	var res *codegen.Result
 	var err error
-	opt := codegen.Options{Partitioner: part, Tracer: tr, Cache: c,
-		ExactBudget: exactBudget, ExactNodes: exactNodes}
+	opt := base
+	opt.Partitioner = part
 	if refined {
 		var stats *codegen.RefineStats
 		res, stats, err = codegen.CompileRefined(context.Background(), loop, cfg, opt)
@@ -287,6 +304,13 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 				e.PartProven, e.PartImproved, e.PartWon, e.PartNodes)
 		}
 	}
+	if a := res.Adaptive; a != nil && a.Ran {
+		match := "nearest"
+		if a.ExactBucket {
+			match = "exact"
+		}
+		fmt.Printf("  adaptive: bucket=%s (%s match) won=%v\n", a.Bucket, match, a.Won)
+	}
 	if emit {
 		listing, err := codegen.Emit(res, codegen.EmitOptions{})
 		if err != nil {
@@ -305,9 +329,9 @@ func compileAndReport(loop *ir.Loop, cfg *machine.Config, part partition.Partiti
 		fmt.Printf("\nideal kernel (II=%d):\n%s", res.IdealII(), res.IdealSched.Kernel(loop.Body.Ops))
 		fmt.Printf("\nclustered kernel (II=%d):\n%s", res.PartII(), res.PartSched.Kernel(res.Copies.Body.Ops))
 	}
-	if tr != nil {
+	if base.Tracer != nil {
 		fmt.Println()
-		fmt.Print(tr.Summary())
+		fmt.Print(base.Tracer.Summary())
 	}
 	return nil
 }

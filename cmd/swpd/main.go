@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/features"
 	"repro/internal/modulo"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -44,6 +45,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	exactBudget := flag.Duration("exact-budget", 0, "enable the exact-solver arms with this wall-clock ceiling per stage (0 = off)")
 	exactNodes := flag.Int64("exact-nodes", 0, "deterministic search-node budget for the exact arms (0 = solver defaults)")
+	adaptive := flag.Bool("adaptive", false, "enable the feature-conditioned adaptive-weights arm on portfolio-capable requests")
 	useCache := flag.Bool("cache", true, "share a content-addressed compile cache across requests")
 	cacheBudget := flag.String("cache-budget", "", "byte budget for the compile cache, e.g. 64MiB (empty or 0 = unlimited, none = retain nothing)")
 	cacheDir := flag.String("cache-dir", "", "directory for a persistent disk cache tier behind the in-memory cache (implies -cache; empty = memory only)")
@@ -72,6 +74,9 @@ func main() {
 	scfg.Pipeline.Tracer = trace.New()
 	scfg.Pipeline.ExactBudget = *exactBudget
 	scfg.Pipeline.ExactNodes = *exactNodes
+	if *adaptive {
+		scfg.Pipeline.Adaptive = features.Default()
+	}
 	if *iiseed {
 		scfg.Pipeline.IISeed = modulo.NewSeedTable(*iiseedCap)
 	}

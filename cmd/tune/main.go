@@ -4,16 +4,34 @@
 // weights generalize to a held-out slice — for the default coefficients
 // and the tuned ones side by side.
 //
+// With -emit, the command instead trains the feature-conditioned
+// adaptive-weights table: the training loops are bucketed by their
+// quantized feature key (see internal/features), each populated bucket
+// gets its own per-bucket search with a seed derived deterministically
+// from -seed, and the buckets whose tuned vector strictly beats the
+// defaults are written out as the checked-in Go table. The canonical
+// regeneration command — what CI diffs against — is:
+//
+//	go run ./cmd/tune -emit internal/features/table_default.go
+//
 // Usage:
 //
-//	tune [-train n] [-test n] [-iters n] [-seed s] [-clusters n]
+//	tune [-train n] [-test n] [-iters n] [-seed s] [-clusters n] [-emit path]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
 
+	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ir"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/tune"
@@ -25,7 +43,16 @@ func main() {
 	iters := flag.Int("iters", 40, "search iterations")
 	seed := flag.Int64("seed", 1, "search seed")
 	clusters := flag.Int("clusters", 0, "tune for one cluster count only (0 = all six machines)")
+	emit := flag.String("emit", "", "train the per-bucket adaptive table and write it to this Go file")
 	flag.Parse()
+
+	if *emit != "" {
+		if err := emitTable(*emit, *trainN, *iters, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tune:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	base := loopgen.DefaultParams()
 	train := loopgen.Generate(loopgen.Params{N: *trainN, Seed: base.Seed + 1})
@@ -58,8 +85,153 @@ func main() {
 	fmt.Printf("  Balance        %7.3f  (%.3f)\n", res.Best.Balance, d.Balance)
 	fmt.Printf("  InvariantScale %7.3f  (%.3f)\n", res.Best.InvariantScale, d.InvariantScale)
 
-	fmt.Printf("\naccepted improvements:\n")
+	fmt.Printf("\naccepted points (* = improved on the best so far):\n")
 	for _, s := range res.History {
-		fmt.Printf("  iter %3d: %.2f\n", s.Iteration, s.Score)
+		mark := " "
+		if s.Improved {
+			mark = "*"
+		}
+		fmt.Printf("  iter %3d: %s %.2f\n", s.Iteration, mark, s.Score)
 	}
+}
+
+// keyOf computes one training loop's quantized feature key the same way
+// the runtime adaptive arm does: ideal compile on the monolithic machine,
+// IdealView, RCG build under the default weights, feature extraction
+// against the clustered reference target.
+func keyOf(l *ir.Loop, ref *machine.Config) (features.Key, error) {
+	ideal := machine.Ideal16()
+	res, err := codegen.Compile(context.Background(), l, ideal, codegen.Options{SkipAlloc: true})
+	if err != nil {
+		return features.Key{}, fmt.Errorf("ideal compile of %q: %w", l.Name, err)
+	}
+	view := codegen.IdealView(l.Body, res.IdealGraph, res.IdealCfg, res.IdealSched)
+	rcg := core.Build([]core.ScheduledBlock{view}, core.DefaultWeights())
+	return features.Extract(rcg, view, res.IdealGraph, ref).Key(), nil
+}
+
+// minBucket is the smallest training-bucket population worth tuning: a
+// vector fit to fewer loops memorizes them instead of the bucket.
+const minBucket = 4
+
+// emitTable trains the per-bucket adaptive table and writes it as the Go
+// source file the features package embeds. Deterministic end to end: the
+// loop suite, the bucketing, the per-bucket search seeds and the emitted
+// formatting are all pure functions of the flags.
+func emitTable(path string, trainN, iters int, seed int64) error {
+	base := loopgen.DefaultParams()
+	train := loopgen.Generate(loopgen.Params{N: trainN, Seed: base.Seed + 1})
+
+	// The reference target: the paper's central 4-cluster machine, both
+	// copy models, so a bucket's vector must help under either model to
+	// win. The bucket key itself is machine-robust (all paper machines are
+	// 16-wide), so one key per loop suffices.
+	ref := machine.MustClustered16(4, machine.Embedded)
+	cfgs := []*machine.Config{ref, machine.MustClustered16(4, machine.CopyUnit)}
+
+	buckets := map[features.Key][]*ir.Loop{}
+	for _, l := range train {
+		k, err := keyOf(l, ref)
+		if err != nil {
+			return err
+		}
+		buckets[k] = append(buckets[k], l)
+	}
+	keys := make([]features.Key, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Rec != b.Rec {
+			return a.Rec < b.Rec
+		}
+		if a.Dens != b.Dens {
+			return a.Dens < b.Dens
+		}
+		return a.Bound < b.Bound
+	})
+
+	table := &features.Table{Version: 1, Seed: seed}
+	for _, k := range keys {
+		loops := buckets[k]
+		if len(loops) < minBucket {
+			fmt.Printf("bucket %s: %d loops, too few — skipped\n", k, len(loops))
+			continue
+		}
+		obj := tune.SuiteObjective(loops, cfgs, 0)
+		// One independent, reproducible perturbation stream per bucket.
+		bseed := seed*1000 + int64(k.Rec*100+k.Dens*10+k.Bound)
+		res := tune.Search(obj, tune.Options{Iterations: iters, Seed: bseed})
+		if res.Score >= res.StartScore {
+			fmt.Printf("bucket %s: %d loops, no improvement (%.2f) — skipped\n", k, len(loops), res.StartScore)
+			continue
+		}
+		fmt.Printf("bucket %s: %d loops, %.2f -> %.2f\n", k, len(loops), res.StartScore, res.Score)
+		table.Entries = append(table.Entries, features.Entry{Key: k, Weights: res.Best, Loops: len(loops)})
+	}
+	table.Sort()
+
+	src := renderTable(table)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(table.Entries), path)
+	return nil
+}
+
+// renderTable formats the table as the features package's generated
+// source file, gofmt-clean by construction.
+func renderTable(t *features.Table) string {
+	var b strings.Builder
+	b.WriteString(`// Code generated by "go run ./cmd/tune -emit internal/features/table_default.go"; DO NOT EDIT.
+
+package features
+
+`)
+	if len(t.Entries) > 0 {
+		b.WriteString("import \"repro/internal/core\"\n\n")
+	}
+	b.WriteString(`// Default returns the checked-in feature→weights table, trained off-line
+// by cmd/tune with the fixed seed below. Regenerate with:
+//
+//	go run ./cmd/tune -emit internal/features/table_default.go
+func Default() *Table {
+	return &Table{
+`)
+	fmt.Fprintf(&b, "\t\tVersion: %d,\n", t.Version)
+	fmt.Fprintf(&b, "\t\tSeed:    %d,\n", t.Seed)
+	if len(t.Entries) == 0 {
+		b.WriteString("\t\tEntries: []Entry{},\n")
+	} else {
+		b.WriteString("\t\tEntries: []Entry{\n")
+		for _, e := range t.Entries {
+			fmt.Fprintf(&b, "\t\t\t{\n\t\t\t\tKey:   Key{Rec: %d, Dens: %d, Bound: %d},\n\t\t\t\tLoops: %d,\n",
+				e.Key.Rec, e.Key.Dens, e.Key.Bound, e.Loops)
+			w := e.Weights
+			fmt.Fprintf(&b, "\t\t\t\tWeights: core.Weights{\n")
+			fmt.Fprintf(&b, "\t\t\t\t\tAffinity:        %s,\n", g(w.Affinity))
+			fmt.Fprintf(&b, "\t\t\t\t\tAntiAffinity:    %s,\n", g(w.AntiAffinity))
+			fmt.Fprintf(&b, "\t\t\t\t\tCriticalBonus:   %s,\n", g(w.CriticalBonus))
+			fmt.Fprintf(&b, "\t\t\t\t\tDepthBase:       %s,\n", g(w.DepthBase))
+			fmt.Fprintf(&b, "\t\t\t\t\tMaxDepth:        %d,\n", w.MaxDepth)
+			fmt.Fprintf(&b, "\t\t\t\t\tBalance:         %s,\n", g(w.Balance))
+			fmt.Fprintf(&b, "\t\t\t\t\tInvariantScale:  %s,\n", g(w.InvariantScale))
+			fmt.Fprintf(&b, "\t\t\t\t\tRecurrenceBonus: %s,\n", g(w.RecurrenceBonus))
+			b.WriteString("\t\t\t\t},\n\t\t\t},\n")
+		}
+		b.WriteString("\t\t},\n")
+	}
+	b.WriteString("\t}\n}\n")
+	return b.String()
+}
+
+// g renders a float64 with the shortest representation that round-trips,
+// so the emitted table is byte-stable across regenerations.
+func g(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	return s
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exper"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/modulo"
@@ -138,6 +139,20 @@ func WithSkipAlloc() Option {
 // the arms off and the pipeline untouched.
 func WithExactBudget(d time.Duration) Option {
 	return func(c *codegen.Config) { c.ExactBudget = d }
+}
+
+// WithAdaptiveWeights enables the feature-conditioned adaptive-weights
+// arm with the checked-in trained table (features.Default, regenerated by
+// cmd/tune with a fixed seed): portfolio partitioning appends one more
+// candidate partitioned under the weight vector predicted for the loop's
+// feature bucket. The candidate must strictly win the downstream
+// (spills, pressure, II) scoring to be adopted, so the arm is never worse
+// than the fixed-weight greedy. The arm engages only on portfolio-capable
+// partitioners (see Partitioners); combine with
+// WithPartitioner(partition.Portfolio{}) when the default single-shot
+// greedy is configured. Adoption telemetry lands in Result.Adaptive.
+func WithAdaptiveWeights() Option {
+	return func(c *codegen.Config) { c.Adaptive = features.Default() }
 }
 
 // WithExactNodes caps the exact arms' deterministic search-node budgets

@@ -1,0 +1,35 @@
+package codegen
+
+// This file holds the adaptive-weights arm's compile telemetry. The arm
+// itself rides inside the portfolio as the "adaptive" candidate (see
+// internal/partition and internal/features): the loop's feature vector
+// selects a trained weight-vector bucket, the greedy baseline re-runs
+// under the predicted weights, and downstream (spills, pressure, II)
+// scoring decides adoption. With Options.Adaptive nil none of this runs
+// and the pipeline is untouched.
+
+// AdaptiveReport is the adoption telemetry for one compile with the
+// adaptive-weights arm enabled (Result.Adaptive; nil when the arm is off
+// or proposed nothing — empty table, or predicted weights identical to
+// the configured ones).
+type AdaptiveReport struct {
+	// Ran reports the arm proposed a candidate.
+	Ran bool
+	// Bucket names the feature→weights table entry the lookup matched
+	// (e.g. "r1d2b0").
+	Bucket string
+	// ExactBucket reports the loop's own bucket was trained; false means
+	// the nearest-neighbor bucket stood in.
+	ExactBucket bool
+	// Won reports the adaptive candidate won the downstream
+	// (spills, pressure, II) scoring and was adopted.
+	Won bool
+}
+
+// ensureAdaptive lazily attaches the telemetry report to the result.
+func (r *Result) ensureAdaptive() *AdaptiveReport {
+	if r.Adaptive == nil {
+		r.Adaptive = &AdaptiveReport{}
+	}
+	return r.Adaptive
+}

@@ -1,0 +1,173 @@
+package codegen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// adaptiveTestOptions enables the adaptive-weights arm the way the CLIs
+// do: the checked-in trained table on top of portfolio partitioning.
+func adaptiveTestOptions(skipAlloc bool) Options {
+	return Options{
+		Partitioner: partition.Portfolio{},
+		SkipAlloc:   skipAlloc,
+		Adaptive:    features.Default(),
+	}
+}
+
+// lexWorse reports whether (s1,p1,i1) loses to (s2,p2,i2) on the
+// portfolio's lexicographic (spills, max pressure, II) order.
+func lexWorse(s1, p1, i1, s2, p2, i2 int) bool {
+	if s1 != s2 {
+		return s1 > s2
+	}
+	if p1 != p2 {
+		return p1 > p2
+	}
+	return i1 > i2
+}
+
+// TestAdaptiveNeverWorseSuite is the suite-wide differential oracle on
+// the II: with alloc skipped the portfolio scores on II alone, so for
+// every (loop, machine) cell the adaptive-enabled pipeline must meet or
+// beat both the fixed-weight greedy and the plain portfolio. The
+// guarantee is structural — the adaptive candidate is appended after the
+// baseline and must strictly win the downstream scoring to be adopted —
+// so a violation means the arm broke candidate selection.
+func TestAdaptiveNeverWorseSuite(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 60, Seed: loopgen.DefaultParams().Seed})
+	ran, won := 0, 0
+	for _, clusters := range []int{2, 4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		for _, l := range loops {
+			greedy, err := Compile(context.Background(), l, cfg, Options{SkipAlloc: true})
+			if err != nil {
+				t.Fatalf("%s on %s (greedy): %v", l.Name, cfg.Name, err)
+			}
+			plain, err := Compile(context.Background(), l, cfg,
+				Options{Partitioner: partition.Portfolio{}, SkipAlloc: true})
+			if err != nil {
+				t.Fatalf("%s on %s (portfolio): %v", l.Name, cfg.Name, err)
+			}
+			ad, err := Compile(context.Background(), l, cfg, adaptiveTestOptions(true))
+			if err != nil {
+				t.Fatalf("%s on %s (adaptive): %v", l.Name, cfg.Name, err)
+			}
+			if ad.PartII() > greedy.PartII() {
+				t.Fatalf("%s on %s: adaptive II %d worse than greedy %d",
+					l.Name, cfg.Name, ad.PartII(), greedy.PartII())
+			}
+			if ad.PartII() > plain.PartII() {
+				t.Fatalf("%s on %s: adaptive II %d worse than plain portfolio %d",
+					l.Name, cfg.Name, ad.PartII(), plain.PartII())
+			}
+			rep := ad.Adaptive
+			if rep == nil {
+				continue
+			}
+			if !rep.Ran || rep.Bucket == "" {
+				t.Fatalf("%s on %s: malformed adaptive report %+v", l.Name, cfg.Name, rep)
+			}
+			ran++
+			if rep.Won {
+				won++
+				if ad.PortfolioVariant != "adaptive" {
+					t.Fatalf("%s on %s: report says the adaptive arm won but the variant is %q",
+						l.Name, cfg.Name, ad.PortfolioVariant)
+				}
+			} else if ad.PortfolioVariant == "adaptive" {
+				t.Fatalf("%s on %s: variant is adaptive but the report says it lost", l.Name, cfg.Name)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("the adaptive arm never proposed a candidate across the whole sweep")
+	}
+	t.Logf("adaptive arm ran on %d cells, won %d", ran, won)
+}
+
+// TestAdaptiveNeverWorseAlloc is the same oracle under full per-bank
+// coloring, on the portfolio's real lexicographic (spills, pressure, II)
+// score.
+func TestAdaptiveNeverWorseAlloc(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 40, Seed: loopgen.DefaultParams().Seed})
+	for _, clusters := range []int{4, 8} {
+		cfg := machine.MustClustered16(clusters, machine.Embedded)
+		for _, l := range loops {
+			greedy, err := Compile(context.Background(), l, cfg, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s (greedy): %v", l.Name, cfg.Name, err)
+			}
+			ad, err := Compile(context.Background(), l, cfg, adaptiveTestOptions(false))
+			if err != nil {
+				t.Fatalf("%s on %s (adaptive): %v", l.Name, cfg.Name, err)
+			}
+			if lexWorse(ad.Spills(), ad.MaxPressure(), ad.PartII(),
+				greedy.Spills(), greedy.MaxPressure(), greedy.PartII()) {
+				t.Fatalf("%s on %s: adaptive (%d,%d,%d) worse than greedy (%d,%d,%d)",
+					l.Name, cfg.Name, ad.Spills(), ad.MaxPressure(), ad.PartII(),
+					greedy.Spills(), greedy.MaxPressure(), greedy.PartII())
+			}
+		}
+	}
+}
+
+// TestAdaptiveOffNoReport pins the off-by-default contract: without
+// Options.Adaptive no report appears and no "adaptive" candidate can win,
+// and the arm never engages on a single-shot partitioner even when the
+// table is set — matching greedy's output exactly.
+func TestAdaptiveOffNoReport(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 10, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loops {
+		plain, err := Compile(context.Background(), l, cfg, Options{Partitioner: partition.Portfolio{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Adaptive != nil {
+			t.Fatalf("%s: adaptive report present with the arm off: %+v", l.Name, plain.Adaptive)
+		}
+		if plain.PortfolioVariant == "adaptive" {
+			t.Fatalf("%s: adaptive variant won with the arm off", l.Name)
+		}
+
+		greedy, err := Compile(context.Background(), l, cfg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onGreedy, err := Compile(context.Background(), l, cfg, Options{Adaptive: features.Default()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if onGreedy.Adaptive != nil {
+			t.Fatalf("%s: adaptive arm engaged on the single-shot greedy", l.Name)
+		}
+		if onGreedy.PartII() != greedy.PartII() || onGreedy.Spills() != greedy.Spills() {
+			t.Fatalf("%s: table on a single-shot partitioner changed the result", l.Name)
+		}
+	}
+}
+
+// TestAdaptiveEmptyTableNoCandidate: an empty table (no trained buckets)
+// must behave exactly like the arm being off — lookup fails, no candidate
+// is appended, no report is written.
+func TestAdaptiveEmptyTableNoCandidate(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 10, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	empty := &features.Table{Version: 1}
+	for _, l := range loops {
+		res, err := Compile(context.Background(), l, cfg,
+			Options{Partitioner: partition.Portfolio{}, Adaptive: empty})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adaptive != nil {
+			t.Fatalf("%s: empty table produced a report %+v", l.Name, res.Adaptive)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/modulo"
 	"repro/internal/partition"
@@ -96,6 +97,16 @@ type Config struct {
 	// pure function of the node budget, so reproduction runs stay
 	// byte-identical across machines of different speeds.
 	ExactNodes int64
+
+	// Adaptive enables the feature-conditioned adaptive-weights arm (the
+	// -adaptive knob): portfolio partitioning appends one more candidate
+	// partitioned under the weight vector the table predicts for the
+	// loop's feature bucket (features.Default() is the checked-in trained
+	// table). The candidate must strictly win the downstream (spills,
+	// pressure, II) scoring to be adopted, so the arm is never worse than
+	// the fixed-weight greedy. Nil (the default) disables the arm; it
+	// also only engages on portfolio-capable partitioners.
+	Adaptive *features.Table
 
 	// Workers bounds suite-level parallel compilations (exper.Run and the
 	// facade's Compiler.Run); <=0 uses GOMAXPROCS. It does not affect a

@@ -52,6 +52,11 @@ type Result struct {
 	// Exact is the exact-solver arms' optimality-gap telemetry; nil
 	// unless Options.ExactBudget enabled them.
 	Exact *ExactReport
+
+	// Adaptive is the adaptive-weights arm's adoption telemetry; nil
+	// unless Options.Adaptive enabled it and the arm proposed a
+	// candidate.
+	Adaptive *AdaptiveReport
 }
 
 // IdealII returns the initiation interval on the monolithic machine.

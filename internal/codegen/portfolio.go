@@ -86,6 +86,7 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 		Ctx:         ctx,
 		ExactBudget: opt.ExactBudget,
 		ExactNodes:  opt.ExactNodes,
+		Adaptive:    opt.Adaptive,
 	})
 	if err != nil {
 		return fmt.Errorf("codegen: partitioning %q with %s: %w", loop.Name, gen.Name(), err)
@@ -161,6 +162,21 @@ func compilePortfolio(ctx context.Context, res *Result, loop *ir.Loop, fp *cache
 		}
 		if rep.PartWon {
 			tr.Add("codegen.exact.part_wins", 1)
+		}
+	}
+	for i := range cands {
+		st := cands[i].Adaptive
+		if st == nil {
+			continue
+		}
+		rep := res.ensureAdaptive()
+		rep.Ran = true
+		rep.Bucket = st.Bucket
+		rep.ExactBucket = st.ExactBucket
+		rep.Won = i == best
+		tr.Add("codegen.adaptive.candidates", 1)
+		if rep.Won {
+			tr.Add("codegen.adaptive.wins", 1)
 		}
 	}
 	tr.Add("codegen.portfolio.candidates", int64(len(cands)))

@@ -42,6 +42,10 @@ type LoopOutcome struct {
 	// Exact carries the optimality-gap telemetry when the exact-solver
 	// arms were enabled (nil otherwise); see codegen.ExactReport.
 	Exact *codegen.ExactReport
+	// Adaptive carries the adaptive-weights arm's adoption telemetry when
+	// the arm was enabled and proposed a candidate (nil otherwise); see
+	// codegen.AdaptiveReport.
+	Adaptive *codegen.AdaptiveReport
 	// Err records a pipeline failure (nil outcomes are excluded from
 	// aggregates and reported).
 	Err error
@@ -309,6 +313,7 @@ func compileOne(ctx context.Context, loop *ir.Loop, cfg *machine.Config, opt cod
 		Spills:          res.Spills(),
 		MaxPressure:     res.MaxPressure(),
 		Exact:           res.Exact,
+		Adaptive:        res.Adaptive,
 	}
 }
 

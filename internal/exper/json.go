@@ -7,19 +7,27 @@ import (
 
 // jsonOutcome is the wire form of one loop outcome.
 type jsonOutcome struct {
-	Loop            string     `json:"loop"`
-	Ops             int        `json:"ops"`
-	KernelCopies    int        `json:"kernelCopies"`
-	InvariantCopies int        `json:"invariantCopies"`
-	IdealII         int        `json:"idealII"`
-	PartII          int        `json:"partII"`
-	IdealIPC        float64    `json:"idealIPC"`
-	ClusterIPC      float64    `json:"clusterIPC"`
-	Degradation     float64    `json:"degradation"`
-	Spills          int        `json:"spills"`
-	MaxPressure     int        `json:"maxPressure"`
-	Exact           *jsonExact `json:"exact,omitempty"`
-	Error           string     `json:"error,omitempty"`
+	Loop            string        `json:"loop"`
+	Ops             int           `json:"ops"`
+	KernelCopies    int           `json:"kernelCopies"`
+	InvariantCopies int           `json:"invariantCopies"`
+	IdealII         int           `json:"idealII"`
+	PartII          int           `json:"partII"`
+	IdealIPC        float64       `json:"idealIPC"`
+	ClusterIPC      float64       `json:"clusterIPC"`
+	Degradation     float64       `json:"degradation"`
+	Spills          int           `json:"spills"`
+	MaxPressure     int           `json:"maxPressure"`
+	Exact           *jsonExact    `json:"exact,omitempty"`
+	Adaptive        *jsonAdaptive `json:"adaptive,omitempty"`
+	Error           string        `json:"error,omitempty"`
+}
+
+// jsonAdaptive is the wire form of the adaptive-arm adoption telemetry.
+type jsonAdaptive struct {
+	Bucket      string `json:"bucket"`
+	ExactBucket bool   `json:"exactBucket"`
+	Won         bool   `json:"won"`
 }
 
 // jsonExact is the wire form of the exact-arm optimality-gap telemetry.
@@ -88,6 +96,9 @@ func WriteJSON(w io.Writer, results []*ConfigResult) error {
 					PartImproved: e.PartImproved, PartWon: e.PartWon,
 					PartNodes: e.PartNodes,
 				}
+			}
+			if a := o.Adaptive; a != nil {
+				jo.Adaptive = &jsonAdaptive{Bucket: a.Bucket, ExactBucket: a.ExactBucket, Won: a.Won}
 			}
 			if o.Err != nil {
 				jo.Error = o.Err.Error()

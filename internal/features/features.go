@@ -1,0 +1,138 @@
+// Package features extracts a deterministic per-problem feature vector
+// from the sealed register component graph (RCG) and its scheduling
+// context, and quantizes it into the small bucket key the adaptive
+// feature→weights table is indexed by. The paper's Section 7 proposes
+// off-line tuning of the greedy heuristic's coefficients; one global
+// tuned vector leaves structure on the table, because which coefficients
+// matter depends on the problem — a recurrence-bound loop wants its
+// recurrence registers pulled together, a wide resource-bound loop wants
+// balance. The features here are pure functions of the built RCG, the
+// ideal schedule view and the dependence graph, so a vector is
+// bit-reproducible and cacheable off the existing block fingerprint.
+package features
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Vector is the per-problem feature vector. Every field is a
+// deterministic function of the inputs; the quantized Key (see Key) uses
+// only the machine-robust axes, the rest ride along for telemetry and
+// training diagnostics.
+type Vector struct {
+	// Regs is the RCG node count (symbolic registers).
+	Regs int
+	// Components counts the positive-affinity connected components;
+	// LargestComp and MeanComp summarize their size distribution. Many
+	// small components mean the partitioner has freedom, one giant
+	// component means every cut costs copies.
+	Components  int
+	LargestComp int
+	MeanComp    float64
+	// AffinityMass and AntiMass are the total positive and (absolute)
+	// negative finite edge weight; AntiRatio = AntiMass / (AffinityMass +
+	// AntiMass). -Inf constraint edges are excluded from the masses.
+	AffinityMass float64
+	AntiMass     float64
+	AntiRatio    float64
+	// Density is the DDD density: operations per ideal-schedule
+	// instruction (Section 5's scaling term).
+	Density float64
+	// RecMII and ResMII are the scheduling lower bounds; BoundSlack =
+	// RecMII / max(ResMII, 1) says which bound dominates (>1 means the
+	// loop is recurrence-bound).
+	RecMII, ResMII int
+	BoundSlack     float64
+	// RecFraction is the fraction of operations marked on a dependence
+	// recurrence (0 when no recurrence information is present).
+	RecFraction float64
+	// Pressure is a register-pressure proxy: symbolic registers per
+	// ideal-schedule cycle.
+	Pressure float64
+}
+
+// Extract computes the feature vector of one partitioning problem: the
+// built RCG g, the ideal schedule view it was built from, the dependence
+// graph dg and the clustered target cfg. Pure and read-only: same inputs,
+// same vector, bit for bit.
+func Extract(g *core.RCG, ideal core.ScheduledBlock, dg *ddg.Graph, cfg *machine.Config) Vector {
+	v := Vector{Regs: len(g.Nodes)}
+	comps := g.Components()
+	v.Components = len(comps)
+	for _, c := range comps {
+		if len(c) > v.LargestComp {
+			v.LargestComp = len(c)
+		}
+	}
+	if v.Components > 0 {
+		v.MeanComp = float64(v.Regs) / float64(v.Components)
+	}
+	g.ForEachEdge(func(a, b int, w float64) {
+		if math.IsInf(w, 0) {
+			return
+		}
+		if w > 0 {
+			v.AffinityMass += w
+		} else {
+			v.AntiMass += -w
+		}
+	})
+	if mass := v.AffinityMass + v.AntiMass; mass > 0 {
+		v.AntiRatio = v.AntiMass / mass
+	}
+	v.Density = ideal.Density()
+	v.RecMII = dg.RecMII()
+	v.ResMII = ddg.ResMII(len(dg.Ops), cfg.Width)
+	res := v.ResMII
+	if res < 1 {
+		res = 1
+	}
+	v.BoundSlack = float64(v.RecMII) / float64(res)
+	if n := len(ideal.Recurrent); n > 0 {
+		marked := 0
+		for _, r := range ideal.Recurrent {
+			if r {
+				marked++
+			}
+		}
+		v.RecFraction = float64(marked) / float64(len(ideal.Block.Ops))
+	}
+	if ideal.Length > 0 {
+		v.Pressure = float64(v.Regs) / float64(ideal.Length)
+	}
+	return v
+}
+
+// Key quantizes the vector onto the table's three bucket axes. The axes
+// were chosen to be robust across machines (they move with the loop's
+// structure, not the bank count): how recurrence-heavy the loop is, how
+// dense its ideal schedule is, and which II lower bound dominates.
+func (v Vector) Key() Key {
+	k := Key{}
+	switch {
+	case v.RecFraction == 0:
+	case v.RecFraction < 0.5:
+		k.Rec = 1
+	default:
+		k.Rec = 2
+	}
+	switch {
+	case v.Density < 2:
+	case v.Density < 6:
+		k.Dens = 1
+	default:
+		k.Dens = 2
+	}
+	switch {
+	case v.RecMII < v.ResMII:
+	case v.RecMII == v.ResMII:
+		k.Bound = 1
+	default:
+		k.Bound = 2
+	}
+	return k
+}

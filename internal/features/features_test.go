@@ -1,0 +1,154 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// buildProblem assembles one small partitioning problem — the paper's dot
+// product — the way the pipeline would: parse, dependence graph on the
+// ideal machine, a hand-pinned ideal schedule view, RCG build.
+func buildProblem(t *testing.T) (*core.RCG, core.ScheduledBlock, *ddg.Graph, *machine.Config) {
+	t.Helper()
+	l, err := ir.ParseLoop("dot",
+		"0: load f2, a[1*i]\n1: load f3, b[1*i]\n2: mult f4, f2, f3\n3: add f1, f1, f4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := machine.Ideal16()
+	g := ddg.Build(l.Body, ideal, ddg.Options{Carried: true})
+	sb := core.ScheduledBlock{
+		Block:     l.Body,
+		Time:      []int{0, 0, 1, 2},
+		Length:    3,
+		Slack:     []int{0, 0, 0, 0},
+		Recurrent: g.RecurrenceOps(),
+	}
+	rcg := core.Build([]core.ScheduledBlock{sb}, core.DefaultWeights())
+	return rcg, sb, g, machine.MustClustered16(4, machine.Embedded)
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	rcg1, sb1, g1, cfg := buildProblem(t)
+	rcg2, sb2, g2, _ := buildProblem(t)
+	v1 := Extract(rcg1, sb1, g1, cfg)
+	v2 := Extract(rcg2, sb2, g2, cfg)
+	if v1 != v2 {
+		t.Fatalf("two extractions of the same problem differ:\n%+v\n%+v", v1, v2)
+	}
+}
+
+func TestExtractValues(t *testing.T) {
+	rcg, sb, g, cfg := buildProblem(t)
+	v := Extract(rcg, sb, g, cfg)
+	if v.Regs <= 0 || v.Components <= 0 || v.LargestComp <= 0 {
+		t.Fatalf("degenerate structure counts: %+v", v)
+	}
+	if v.AffinityMass <= 0 {
+		t.Errorf("dot product has def/use pairs; affinity mass %f", v.AffinityMass)
+	}
+	if v.AntiRatio < 0 || v.AntiRatio > 1 {
+		t.Errorf("anti ratio %f out of [0,1]", v.AntiRatio)
+	}
+	if v.Density <= 0 {
+		t.Errorf("density %f, want positive", v.Density)
+	}
+	if v.RecMII < 1 || v.ResMII < 1 {
+		t.Errorf("II bounds must be >= 1: %+v", v)
+	}
+	if v.RecFraction <= 0 || v.RecFraction > 1 {
+		t.Errorf("the f1 accumulation is a recurrence; fraction %f", v.RecFraction)
+	}
+	if v.Pressure <= 0 {
+		t.Errorf("pressure proxy %f, want positive", v.Pressure)
+	}
+}
+
+func TestKeyQuantization(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want Key
+	}{
+		{Vector{RecFraction: 0, Density: 1, RecMII: 1, ResMII: 3}, Key{0, 0, 0}},
+		{Vector{RecFraction: 0.25, Density: 3, RecMII: 2, ResMII: 2}, Key{1, 1, 1}},
+		{Vector{RecFraction: 0.9, Density: 8, RecMII: 5, ResMII: 2}, Key{2, 2, 2}},
+		{Vector{RecFraction: 0.5, Density: 6, RecMII: 3, ResMII: 2}, Key{2, 2, 2}},
+		{Vector{RecFraction: 0.49, Density: 5.99, RecMII: 1, ResMII: 2}, Key{1, 1, 0}},
+	}
+	for _, c := range cases {
+		if got := c.v.Key(); got != c.want {
+			t.Errorf("Key(%+v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if s := (Key{Rec: 1, Dens: 2, Bound: 0}).String(); s != "r1d2b0" {
+		t.Errorf("bucket name %q, want r1d2b0", s)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	wa, wb := core.DefaultWeights(), core.DefaultWeights()
+	wa.Affinity, wb.Affinity = 3, 7
+	tbl := &Table{Version: 1, Entries: []Entry{
+		{Key: Key{0, 0, 0}, Weights: wa},
+		{Key: Key{2, 2, 2}, Weights: wb},
+	}}
+	if !tbl.sorted() {
+		t.Fatal("test table not sorted")
+	}
+	w, bucket, exact, ok := tbl.Lookup(Key{0, 0, 0})
+	if !ok || !exact || bucket != "r0d0b0" || w.Affinity != 3 {
+		t.Errorf("exact lookup: w=%+v bucket=%s exact=%v ok=%v", w, bucket, exact, ok)
+	}
+	w, bucket, exact, ok = tbl.Lookup(Key{2, 2, 1})
+	if !ok || exact || bucket != "r2d2b2" || w.Affinity != 7 {
+		t.Errorf("nearest lookup: w=%+v bucket=%s exact=%v ok=%v", w, bucket, exact, ok)
+	}
+	// Equidistant from both entries: ties break to the first in sorted
+	// Key order, deterministically.
+	w, bucket, exact, ok = tbl.Lookup(Key{1, 1, 1})
+	if !ok || exact || bucket != "r0d0b0" || w.Affinity != 3 {
+		t.Errorf("tie-break lookup: w=%+v bucket=%s exact=%v ok=%v", w, bucket, exact, ok)
+	}
+	if _, _, _, ok := (&Table{}).Lookup(Key{}); ok {
+		t.Error("empty table lookup reported ok")
+	}
+	var nilTable *Table
+	if _, _, _, ok := nilTable.Lookup(Key{}); ok {
+		t.Error("nil table lookup reported ok")
+	}
+}
+
+// TestDefaultTable pins the committed generated table's invariants: it is
+// canonically sorted, keys are unique and in range, and MaxDepth — the
+// one coefficient tuning never perturbs — matches the default everywhere.
+func TestDefaultTable(t *testing.T) {
+	tbl := Default()
+	if tbl.Version < 1 {
+		t.Errorf("table version %d", tbl.Version)
+	}
+	if !tbl.sorted() {
+		t.Error("default table entries not sorted by key")
+	}
+	seen := map[Key]bool{}
+	for _, e := range tbl.Entries {
+		if seen[e.Key] {
+			t.Errorf("duplicate bucket %v", e.Key)
+		}
+		seen[e.Key] = true
+		for _, ax := range []int{e.Key.Rec, e.Key.Dens, e.Key.Bound} {
+			if ax < 0 || ax > 2 {
+				t.Errorf("bucket %v axis out of range", e.Key)
+			}
+		}
+		if e.Weights.MaxDepth != core.DefaultWeights().MaxDepth {
+			t.Errorf("bucket %v perturbed MaxDepth", e.Key)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Key is the quantized bucket key of the feature→weights table: three
+// small-integer classes (each 0..2). Keys order lexicographically by
+// (Rec, Dens, Bound).
+type Key struct {
+	// Rec classifies the recurrence-marked operation fraction:
+	// 0 = none, 1 = some (< 0.5), 2 = heavy (>= 0.5).
+	Rec int
+	// Dens classifies DDD density (ops per ideal instruction):
+	// 0 = sparse (< 2), 1 = medium (< 6), 2 = dense.
+	Dens int
+	// Bound says which II lower bound dominates: 0 = resource-bound
+	// (RecMII < ResMII), 1 = balanced, 2 = recurrence-bound.
+	Bound int
+}
+
+// String renders the key as the compact bucket name used in telemetry,
+// e.g. "r1d2b0".
+func (k Key) String() string { return fmt.Sprintf("r%dd%db%d", k.Rec, k.Dens, k.Bound) }
+
+// less orders keys lexicographically.
+func (k Key) less(o Key) bool {
+	if k.Rec != o.Rec {
+		return k.Rec < o.Rec
+	}
+	if k.Dens != o.Dens {
+		return k.Dens < o.Dens
+	}
+	return k.Bound < o.Bound
+}
+
+// dist is the L1 distance between keys over the three axes — the nearest
+// bucket under this metric stands in when a problem's exact bucket was
+// never populated during training.
+func (k Key) dist(o Key) int {
+	return abs(k.Rec-o.Rec) + abs(k.Dens-o.Dens) + abs(k.Bound-o.Bound)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Entry maps one trained bucket to its tuned weight vector.
+type Entry struct {
+	Key     Key
+	Weights core.Weights
+	// Loops records the training-bucket population (documentation only;
+	// lookup ignores it).
+	Loops int
+}
+
+// Table is the versioned feature→weights table the adaptive portfolio
+// arm consults. Entries are kept sorted by Key so lookup — exact match
+// first, then nearest by L1 axis distance with a first-in-sorted-order
+// tie-break — is deterministic. A Table is read-only after construction
+// and safe for concurrent use.
+type Table struct {
+	// Version numbers the table format; Seed is the fixed training seed
+	// the committed table regenerates from.
+	Version int
+	Seed    int64
+	Entries []Entry
+}
+
+// sorted returns whether the entries are in strictly ascending Key order.
+func (t *Table) sorted() bool {
+	return sort.SliceIsSorted(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Key.less(t.Entries[j].Key)
+	})
+}
+
+// Sort orders the entries by Key; cmd/tune calls it before emitting so
+// the committed table is canonical.
+func (t *Table) Sort() {
+	sort.Slice(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Key.less(t.Entries[j].Key)
+	})
+}
+
+// Lookup returns the weight vector for k: the exact bucket when trained,
+// otherwise the nearest bucket by L1 axis distance (ties break to the
+// first entry in sorted Key order). bucket names the matched entry for
+// telemetry, exact reports whether the match was exact, and ok is false
+// only for an empty table.
+func (t *Table) Lookup(k Key) (w core.Weights, bucket string, exact, ok bool) {
+	if t == nil || len(t.Entries) == 0 {
+		return core.Weights{}, "", false, false
+	}
+	best, bestDist := -1, int(^uint(0)>>1)
+	for i := range t.Entries {
+		d := t.Entries[i].Key.dist(k)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	e := &t.Entries[best]
+	return e.Weights, e.Key.String(), bestDist == 0, true
+}

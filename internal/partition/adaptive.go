@@ -1,0 +1,48 @@
+package partition
+
+import (
+	"repro/internal/core"
+	"repro/internal/features"
+)
+
+// AdaptiveStats records the adaptive arm's table lookup, for the
+// pipeline's adoption telemetry.
+type AdaptiveStats struct {
+	// Bucket names the table entry the lookup matched (e.g. "r1d2b0").
+	Bucket string
+	// ExactBucket reports whether the problem's own bucket was trained;
+	// false means the nearest neighbor stood in.
+	ExactBucket bool
+}
+
+// adaptiveArm runs the feature-conditioned arm: extract the problem's
+// feature vector off the baseline RCG (cached — the same graph the
+// heuristic variants partition), look up the nearest trained bucket in
+// the table and partition once more under the predicted weights. The
+// predicted-weights RCG caches independently, because rcgKey folds the
+// weights into the cache key.
+//
+// Returns (nil, nil, nil) when the arm has nothing to add: no dependence
+// graph, an empty table, or a prediction identical to the weights the
+// portfolio already runs.
+func adaptiveArm(in *Input) (*core.Assignment, *AdaptiveStats, error) {
+	if in.Graph == nil {
+		return nil, nil, nil
+	}
+	g, err := buildRCG(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	vec := features.Extract(g, in.Ideal, in.Graph, in.Cfg)
+	w, bucket, exactBucket, ok := in.Adaptive.Lookup(vec.Key())
+	if !ok || w == in.Weights {
+		return nil, nil, nil
+	}
+	pin := *in
+	pin.Weights = w
+	asg, err := assignVariant(&pin, core.Variant{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return asg, &AdaptiveStats{Bucket: bucket, ExactBucket: exactBucket}, nil
+}

@@ -1,0 +1,85 @@
+package partition_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	. "repro/internal/partition"
+)
+
+// TestAdaptiveCandidateAppended: with a table attached the portfolio must
+// append exactly one extra candidate named "adaptive", after every
+// heuristic variant, carrying the lookup telemetry; with no table the
+// candidate list is unchanged.
+func TestAdaptiveCandidateAppended(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 12, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	appended := 0
+	for _, l := range loops {
+		in := makeInput(t, l, cfg)
+		base, err := Portfolio{}.Candidates(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range base {
+			if c.Name == "adaptive" || c.Adaptive != nil {
+				t.Fatalf("%s: adaptive candidate present without a table", l.Name)
+			}
+		}
+
+		in2 := makeInput(t, l, cfg)
+		in2.Adaptive = features.Default()
+		with, err := Portfolio{}.Candidates(in2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(with) == len(base) {
+			continue // prediction matched the configured weights; arm stood down
+		}
+		if len(with) != len(base)+1 {
+			t.Fatalf("%s: table added %d candidates, want at most 1", l.Name, len(with)-len(base))
+		}
+		last := with[len(with)-1]
+		if last.Name != "adaptive" || last.Adaptive == nil || last.Adaptive.Bucket == "" {
+			t.Fatalf("%s: malformed adaptive candidate %+v", l.Name, last)
+		}
+		if last.Assignment == nil {
+			t.Fatalf("%s: adaptive candidate carries no assignment", l.Name)
+		}
+		if err := last.Assignment.Validate(); err != nil {
+			t.Fatalf("%s: adaptive assignment invalid: %v", l.Name, err)
+		}
+		appended++
+	}
+	if appended == 0 {
+		t.Fatal("no loop got an adaptive candidate; the trained table should differ from the defaults somewhere")
+	}
+}
+
+// TestAdaptiveStandsDownOnMatchingWeights: when the table's prediction
+// equals the configured weight vector the arm must not duplicate the
+// baseline.
+func TestAdaptiveStandsDownOnMatchingWeights(t *testing.T) {
+	loops := loopgen.Generate(loopgen.Params{N: 6, Seed: loopgen.DefaultParams().Seed})
+	cfg := machine.MustClustered16(4, machine.Embedded)
+	for _, l := range loops {
+		in := makeInput(t, l, cfg)
+		// A one-entry table predicting exactly the input weights for every
+		// bucket (nearest-match lookup always lands on it).
+		in.Adaptive = &features.Table{Version: 1, Entries: []features.Entry{
+			{Key: features.Key{}, Weights: core.DefaultWeights()},
+		}}
+		cands, err := Portfolio{}.Candidates(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if c.Name == "adaptive" {
+				t.Fatalf("%s: arm proposed a candidate under the baseline weights", l.Name)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ddg"
+	"repro/internal/features"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -69,6 +70,9 @@ type Input struct {
 	// (0 = exact.DefaultPartitionNodes). Determinism comes from this, not
 	// from the wall clock: reproduction runs rely on it.
 	ExactNodes int64
+	// Adaptive supplies the feature→weights table consulted by the
+	// portfolio's adaptive arm (internal/features); nil disables the arm.
+	Adaptive *features.Table
 }
 
 // Partitioner assigns every symbolic register in the input to a register

@@ -17,6 +17,9 @@ type Candidate struct {
 	// Exact carries the branch-and-bound run's telemetry when this
 	// candidate came from the exact arm; nil for heuristic variants.
 	Exact *ExactStats
+	// Adaptive carries the table-lookup telemetry when this candidate
+	// came from the adaptive-weights arm; nil otherwise.
+	Adaptive *AdaptiveStats
 }
 
 // CandidateGenerator is implemented by partitioners that can propose
@@ -85,6 +88,13 @@ func (p Portfolio) Assign(in *Input) (*core.Assignment, error) {
 // (never replacing) preserves the portfolio guarantee — the exact
 // candidate must win the downstream (spills, pressure, II) scoring
 // strictly to displace the heuristic, so enabling the arm can only help.
+//
+// When Input.Adaptive is non-nil (the -adaptive knob), one more candidate
+// named "adaptive" is appended last: the greedy baseline re-run under the
+// weight vector the feature→weights table predicts for this problem's
+// bucket. The same appending argument applies — the adaptive candidate
+// must strictly win the downstream scoring, so the arm is never worse
+// than the fixed-weight greedy by construction.
 func (p Portfolio) Candidates(in *Input) ([]Candidate, error) {
 	variants := PortfolioVariants(in.Cfg.Clusters, p.Variants)
 	out := make([]Candidate, 0, len(variants)+1)
@@ -102,6 +112,15 @@ func (p Portfolio) Candidates(in *Input) ([]Candidate, error) {
 		}
 		if stats.Ran {
 			out = append(out, Candidate{Name: "exact", Assignment: asg, Exact: stats})
+		}
+	}
+	if in.Adaptive != nil {
+		asg, stats, err := adaptiveArm(in)
+		if err != nil {
+			return nil, fmt.Errorf("partition: portfolio adaptive arm: %w", err)
+		}
+		if stats != nil {
+			out = append(out, Candidate{Name: "adaptive", Assignment: asg, Adaptive: stats})
 		}
 	}
 	return out, nil

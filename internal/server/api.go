@@ -53,6 +53,8 @@ type (
 	ExpansionReport = wire.ExpansionReport
 	// ExactGapReport echoes codegen.ExactReport.
 	ExactGapReport = wire.ExactGapReport
+	// AdaptiveReport echoes codegen.AdaptiveReport.
+	AdaptiveReport = wire.AdaptiveReport
 	// CompileResponse is the POST /v1/compile success body.
 	CompileResponse = wire.CompileResponse
 	// BatchRequest is the POST /v1/compile/batch body.
@@ -122,6 +124,11 @@ func buildResponse(req *CompileRequest, res *codegen.Result, stats *codegen.Refi
 			PartRan: e.PartRan, PartProven: e.PartProven,
 			PartImproved: e.PartImproved, PartWon: e.PartWon,
 			PartNodes: e.PartNodes,
+		}
+	}
+	if a := res.Adaptive; a != nil && a.Ran {
+		out.Adaptive = &AdaptiveReport{
+			Bucket: a.Bucket, ExactBucket: a.ExactBucket, Won: a.Won,
 		}
 	}
 	if stats != nil {

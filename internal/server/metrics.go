@@ -44,6 +44,27 @@ type metrics struct {
 	exactProven    atomic.Int64 // final II certified optimal
 	exactExhausted atomic.Int64 // scheduler engaged but budget ran out
 	exactImproved  atomic.Int64 // exact search beat the heuristic II
+
+	// Adaptive-weights telemetry, aggregated over compiles whose result
+	// carried an AdaptiveReport (the -adaptive flag).
+	adaptiveRuns  atomic.Int64 // compiles where the adaptive arm produced a candidate
+	adaptiveWins  atomic.Int64 // compiles where that candidate was adopted
+	adaptiveExact atomic.Int64 // candidates predicted from an exact feature-bucket match
+}
+
+// observeAdaptive folds one compile's adaptive-arm telemetry into the
+// counters.
+func (m *metrics) observeAdaptive(a *codegen.AdaptiveReport) {
+	if a == nil || !a.Ran {
+		return
+	}
+	m.adaptiveRuns.Add(1)
+	if a.Won {
+		m.adaptiveWins.Add(1)
+	}
+	if a.ExactBucket {
+		m.adaptiveExact.Add(1)
+	}
 }
 
 // observeExact folds one compile's exact-arm telemetry into the counters.
@@ -163,6 +184,13 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "swpd_exact_budget_exhausted_total %d\n", m.exactExhausted.Load())
 	fmt.Fprintf(w, "# HELP swpd_exact_improved_total Compiles where the exact search beat the heuristic II.\n# TYPE swpd_exact_improved_total counter\n")
 	fmt.Fprintf(w, "swpd_exact_improved_total %d\n", m.exactImproved.Load())
+
+	fmt.Fprintf(w, "# HELP swpd_adaptive_runs_total Compiles where the adaptive-weights arm produced a candidate.\n# TYPE swpd_adaptive_runs_total counter\n")
+	fmt.Fprintf(w, "swpd_adaptive_runs_total %d\n", m.adaptiveRuns.Load())
+	fmt.Fprintf(w, "# HELP swpd_adaptive_wins_total Compiles where the adaptive candidate was adopted.\n# TYPE swpd_adaptive_wins_total counter\n")
+	fmt.Fprintf(w, "swpd_adaptive_wins_total %d\n", m.adaptiveWins.Load())
+	fmt.Fprintf(w, "# HELP swpd_adaptive_exact_bucket_total Adaptive candidates predicted from an exact feature-bucket match.\n# TYPE swpd_adaptive_exact_bucket_total counter\n")
+	fmt.Fprintf(w, "swpd_adaptive_exact_bucket_total %d\n", m.adaptiveExact.Load())
 
 	fmt.Fprintf(w, "# HELP swpd_queue_depth Tasks waiting in the compile queue.\n# TYPE swpd_queue_depth gauge\n")
 	fmt.Fprintf(w, "swpd_queue_depth %d\n", s.pool.queued.Load())

@@ -352,6 +352,7 @@ func (s *Server) compileOne(baseCtx context.Context, req *CompileRequest, submit
 		return http.StatusUnprocessableEntity, &ErrorResponse{Error: err.Error()}
 	}
 	s.metrics.observeExact(res.Exact)
+	s.metrics.observeAdaptive(res.Adaptive)
 	if hitsBefore >= 0 {
 		// Deltas over the shared counters: approximate under concurrency
 		// (as CacheHit always was) but the tier label lets clients see

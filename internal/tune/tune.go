@@ -22,10 +22,39 @@ import (
 // Objective scores a weight vector; lower is better.
 type Objective func(core.Weights) float64
 
+// FailurePenalty is the objective cost charged per failed loop by
+// ScoreSuite. MeanDegradation excludes Err != nil outcomes from its mean,
+// so without the penalty a weight vector that makes hard loops fail to
+// compile would drop them from its own score and could look strictly
+// better than a vector that compiles everything. The penalty dwarfs any
+// achievable degradation mean (the paper's worst cells sit near 160), so
+// one failure loses to every all-compiling candidate.
+const FailurePenalty = 1e6
+
+// ScoreSuite collapses a suite run into the tuning objective: the
+// arithmetic-mean normalized degradation averaged over the machines, plus
+// FailurePenalty for every failed (loop, machine) cell. Exposed so the
+// penalty semantics are testable without running a compile.
+func ScoreSuite(results []*exper.ConfigResult) float64 {
+	total := 0.0
+	failures := 0
+	for _, r := range results {
+		a, _ := r.MeanDegradation()
+		total += a
+		for i := range r.Outcomes {
+			if r.Outcomes[i].Err != nil {
+				failures++
+			}
+		}
+	}
+	return total/float64(len(results)) + float64(failures)*FailurePenalty
+}
+
 // SuiteObjective returns the natural objective of the paper's experiments:
 // the arithmetic-mean normalized degradation of the given loops, averaged
-// over the given machines. Compilation skips register assignment (only
-// the II matters to the metric).
+// over the given machines, with failed loops charged FailurePenalty each
+// (see ScoreSuite). Compilation skips register assignment (only the II
+// matters to the metric).
 func SuiteObjective(loops []*ir.Loop, cfgs []*machine.Config, workers int) Objective {
 	return func(w core.Weights) float64 {
 		weights := w
@@ -33,12 +62,7 @@ func SuiteObjective(loops []*ir.Loop, cfgs []*machine.Config, workers int) Objec
 			Workers: workers,
 			Codegen: codegen.Options{Weights: &weights, SkipAlloc: true},
 		})
-		total := 0.0
-		for _, r := range results {
-			a, _ := r.MeanDegradation()
-			total += a
-		}
-		return total / float64(len(results))
+		return ScoreSuite(results)
 	}
 }
 
@@ -47,6 +71,9 @@ type Step struct {
 	Iteration int
 	Weights   core.Weights
 	Score     float64
+	// Improved marks the points that strictly improved on the best score
+	// seen so far; the rest are temperature-accepted uphill moves.
+	Improved bool
 }
 
 // Options controls the search.
@@ -67,7 +94,8 @@ type Result struct {
 	// Start and StartScore record the initial point for comparison.
 	Start      core.Weights
 	StartScore float64
-	// History lists every accepted improvement in order.
+	// History lists every accepted point in order — strict improvements
+	// (Improved set) and temperature-accepted uphill moves alike.
 	History []Step
 }
 
@@ -95,17 +123,31 @@ func Search(obj Objective, opt Options) *Result {
 			rng.Float64() < math.Exp((curScore-score)/(2*temp+1e-9))
 		if accept {
 			cur, curScore = cand, score
-		}
-		if score < res.Score {
-			res.Best, res.Score = cand, score
-			res.History = append(res.History, Step{Iteration: i, Weights: cand, Score: score})
+			// res.Score <= curScore always, so a strict improvement is
+			// always an accepted move: recording inside the accept branch
+			// loses nothing.
+			improved := score < res.Score
+			if improved {
+				res.Best, res.Score = cand, score
+			}
+			res.History = append(res.History, Step{Iteration: i, Weights: cand, Score: score, Improved: improved})
 		}
 		// Restart from the incumbent when the walk has drifted far above.
-		if curScore > res.Score*1.15 {
+		if curScore > res.Score+restartBand(res.Score) {
 			cur, curScore = res.Best, res.Score
 		}
 	}
 	return res
+}
+
+// restartBand returns how far above the incumbent score the walk may
+// drift before restarting from the incumbent. The band is proportional to
+// the score's magnitude with an additive floor: the old multiplicative
+// rule (restart when cur > best*1.15) degenerated as the incumbent
+// approached 0 — every positive walk point triggered an immediate
+// restart, collapsing the annealing walk into greedy hill-climbing.
+func restartBand(best float64) float64 {
+	return 0.15 * (math.Abs(best) + 1)
 }
 
 // perturb multiplies each continuous coefficient by exp(N(0, sigma)),

@@ -1,10 +1,12 @@
 package tune
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exper"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
 )
@@ -54,6 +56,120 @@ func TestSearchKeepsWeightsPositive(t *testing.T) {
 	}
 	if w.MaxDepth != core.DefaultWeights().MaxDepth {
 		t.Error("MaxDepth must not be perturbed")
+	}
+}
+
+// TestScoreSuitePenalizesFailures pins the fixed objective bug: a weight
+// vector that makes hard loops fail to compile used to drop them from its
+// own mean (MeanDegradation excludes Err != nil outcomes) and could score
+// strictly better than one that compiles everything. The failure penalty
+// must make the failing candidate lose, decisively. The pipeline's
+// guaranteed serial-schedule fallback means no weight vector can induce a
+// real compile failure on valid loops, so the scenario is modeled with
+// synthetic outcomes — exactly the shape RunSuite produces.
+func TestScoreSuitePenalizesFailures(t *testing.T) {
+	honest := []*exper.ConfigResult{{Outcomes: []exper.LoopOutcome{
+		{Loop: "easy", Degradation: 110},
+		{Loop: "hard1", Degradation: 160},
+		{Loop: "hard2", Degradation: 175},
+	}}}
+	// The cheating vector: better survivor mean, but only because the two
+	// hard loops failed out of the average entirely.
+	cheat := []*exper.ConfigResult{{Outcomes: []exper.LoopOutcome{
+		{Loop: "easy", Degradation: 100},
+		{Loop: "hard1", Err: errors.New("no schedule found")},
+		{Loop: "hard2", Err: errors.New("no schedule found")},
+	}}}
+	hs, cs := ScoreSuite(honest), ScoreSuite(cheat)
+	if cs <= hs {
+		t.Fatalf("failure-inducing candidate still wins: %f <= %f", cs, hs)
+	}
+	if cs < 2*FailurePenalty {
+		t.Errorf("two failures must cost at least 2*FailurePenalty, got %f", cs)
+	}
+	if hs >= FailurePenalty {
+		t.Errorf("all-compiling candidate must not be penalized, got %f", hs)
+	}
+}
+
+// TestRestartBandZeroIncumbent pins the restart-rule fix: the old
+// multiplicative rule (restart when cur > best*1.15) meant a zero
+// incumbent restarted on every positive walk point.
+func TestRestartBandZeroIncumbent(t *testing.T) {
+	if b := restartBand(0); b <= 0 {
+		t.Fatalf("restart band at a zero incumbent must stay positive, got %f", b)
+	}
+	// A walk point slightly above a zero incumbent must be tolerated...
+	if cur, best := 0.1, 0.0; cur > best+restartBand(best) {
+		t.Errorf("walk point %f above zero incumbent triggers a restart", cur)
+	}
+	// ...while far drift above a nonzero incumbent still restarts.
+	if cur, best := 100.0, 10.0; cur <= best+restartBand(best) {
+		t.Errorf("far-drifted walk point %f does not restart", cur)
+	}
+}
+
+// TestSearchZeroIncumbentKeepsWalking drives Search with an objective
+// whose optimum is 0 at the start point: the annealing walk must still
+// accept (and record) uphill moves instead of collapsing into greedy
+// hill-climbing via per-iteration restarts.
+func TestSearchZeroIncumbentKeepsWalking(t *testing.T) {
+	start := core.DefaultWeights()
+	obj := func(w core.Weights) float64 {
+		if w == start {
+			return 0
+		}
+		return 0.05
+	}
+	res := Search(obj, Options{Iterations: 50, Seed: 5, Start: &start})
+	if res.Score != 0 {
+		t.Fatalf("search lost the zero incumbent: %f", res.Score)
+	}
+	uphill := 0
+	for _, s := range res.History {
+		if !s.Improved {
+			uphill++
+		}
+	}
+	if uphill == 0 {
+		t.Error("zero incumbent collapsed the walk: no uphill move was accepted")
+	}
+}
+
+// TestHistoryRecordsAcceptedMoves pins the documented History contract:
+// every accepted point appears, strict best-improvements carry Improved,
+// and temperature-accepted uphill moves are present rather than vanishing.
+func TestHistoryRecordsAcceptedMoves(t *testing.T) {
+	res := Search(quadratic, Options{Iterations: 400, Seed: 9})
+	sawUphill, sawImproved := false, false
+	best := res.StartScore
+	last := -1
+	for _, s := range res.History {
+		if s.Iteration <= last {
+			t.Fatalf("history out of iteration order at %d", s.Iteration)
+		}
+		last = s.Iteration
+		if s.Improved {
+			sawImproved = true
+			if s.Score >= best {
+				t.Errorf("improved step %d does not improve: %f >= %f", s.Iteration, s.Score, best)
+			}
+			best = s.Score
+		} else {
+			sawUphill = true
+			if s.Score < best {
+				t.Errorf("step %d beats the incumbent but is not marked Improved", s.Iteration)
+			}
+		}
+	}
+	if !sawImproved {
+		t.Error("no improvements recorded")
+	}
+	if !sawUphill {
+		t.Error("no uphill-accepted moves recorded; History promises every accepted point")
+	}
+	if best != res.Score {
+		t.Errorf("last improvement %f != final score %f", best, res.Score)
 	}
 }
 

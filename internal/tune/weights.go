@@ -1,0 +1,39 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// LoadWeights reads a core.Weights vector from a JSON file — the format
+// SaveWeights writes and the -weights flag of swpc and experiments
+// consumes. Fields absent from the file keep the paper's defaults, so a
+// partial override like {"Affinity": 3} is valid; unknown fields are
+// rejected so a typo cannot silently leave a knob at its default.
+func LoadWeights(path string) (*core.Weights, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tune: reading weights: %w", err)
+	}
+	w := core.DefaultWeights()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("tune: parsing weights %s: %w", path, err)
+	}
+	return &w, nil
+}
+
+// SaveWeights writes the vector as indented JSON, round-trippable through
+// LoadWeights.
+func SaveWeights(path string, w core.Weights) error {
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

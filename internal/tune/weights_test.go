@@ -1,0 +1,58 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestWeightsRoundTrip(t *testing.T) {
+	w := core.DefaultWeights()
+	w.Affinity = 3.25
+	w.RecurrenceBonus = 0.125
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := SaveWeights(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWeights(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != w {
+		t.Fatalf("round trip changed the vector:\nsaved  %+v\nloaded %+v", w, *got)
+	}
+}
+
+func TestLoadWeightsPartial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, []byte(`{"Affinity": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWeights(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.DefaultWeights()
+	want.Affinity = 7
+	if *got != want {
+		t.Fatalf("partial override: got %+v, want defaults with Affinity=7", *got)
+	}
+}
+
+func TestLoadWeightsRejectsUnknownField(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := os.WriteFile(path, []byte(`{"Afinity": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWeights(path); err == nil {
+		t.Fatal("misspelled field accepted silently")
+	}
+}
+
+func TestLoadWeightsMissingFile(t *testing.T) {
+	if _, err := LoadWeights(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -36,8 +36,9 @@ import (
 // Magic opens every binary frame.
 const Magic = "SWPB"
 
-// Version is the current binary protocol version.
-const Version = 1
+// Version is the current binary protocol version. Version 2 appended the
+// optional adaptive-arm report to the compile-response body.
+const Version = 2
 
 // Kind discriminates frame payloads.
 type Kind byte
@@ -361,6 +362,12 @@ func putCompileResponseBody(dst []byte, r *CompileResponse) []byte {
 		dst = putRows(dst, x.Kernel)
 		dst = putRows(dst, x.Postlude)
 	}
+	dst = putBool(dst, r.Adaptive != nil)
+	if a := r.Adaptive; a != nil {
+		dst = putStr(dst, a.Bucket)
+		dst = putBool(dst, a.ExactBucket)
+		dst = putBool(dst, a.Won)
+	}
 	return dst
 }
 
@@ -422,6 +429,13 @@ func (d *dec) compileResponseBody(r *CompileResponse) {
 			Prelude:     d.rows(),
 			Kernel:      d.rows(),
 			Postlude:    d.rows(),
+		}
+	}
+	if d.bool() {
+		r.Adaptive = &AdaptiveReport{
+			Bucket:      d.str(),
+			ExactBucket: d.bool(),
+			Won:         d.bool(),
 		}
 	}
 }

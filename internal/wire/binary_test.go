@@ -8,7 +8,7 @@ import (
 )
 
 // sampleResponse exercises every field of the response shape, including
-// all three optional reports.
+// all four optional reports.
 func sampleResponse() *CompileResponse {
 	return &CompileResponse{
 		Name:             "dot",
@@ -37,6 +37,7 @@ func sampleResponse() *CompileResponse {
 			Kernel:   [][]string{{"[i+0] r3 = add r1, r2", "[i-1] store r3"}, {}},
 			Postlude: [][]string{{"[i-1] store r3"}},
 		},
+		Adaptive: &AdaptiveReport{Bucket: "r1d2b0", ExactBucket: true, Won: true},
 	}
 }
 

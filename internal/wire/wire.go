@@ -129,6 +129,14 @@ type ExpansionReport struct {
 	Postlude    [][]string `json:"postlude"`
 }
 
+// AdaptiveReport echoes codegen.AdaptiveReport: the adaptive-weights
+// arm's adoption telemetry when the server runs with -adaptive.
+type AdaptiveReport struct {
+	Bucket      string `json:"bucket"`
+	ExactBucket bool   `json:"exact_bucket"`
+	Won         bool   `json:"won"`
+}
+
 // ExactGapReport echoes codegen.ExactReport: the optimality-gap telemetry
 // when the server runs with the exact-solver arms enabled.
 type ExactGapReport struct {
@@ -163,6 +171,7 @@ type CompileResponse struct {
 	Refine           *RefineReport    `json:"refine,omitempty"`
 	Exact            *ExactGapReport  `json:"exact,omitempty"`
 	Expansion        *ExpansionReport `json:"expansion,omitempty"`
+	Adaptive         *AdaptiveReport  `json:"adaptive,omitempty"`
 }
 
 // BatchRequest is the POST /v1/compile/batch body: many loops in one

@@ -16,24 +16,30 @@
 # numbers: the consistent-hash cluster tier's cross-replica warm hit rate
 # (BenchmarkClusterWarm) and the capacity scaling of a fingerprint-routed
 # 3-replica fleet over a single replica with the same per-replica cache
-# budget (BenchmarkClusterBatch1 vs BenchmarkClusterBatch3).
+# budget (BenchmarkClusterBatch1 vs BenchmarkClusterBatch3), and the PR-10
+# numbers: the feature-conditioned adaptive-weights arm on the full suite
+# (BenchmarkAdaptiveWeights: adaptive_never_worse, adaptive_wins and the
+# greedy-vs-adaptive mean degradations).
 #
-# Three comparisons are ENFORCED (exit nonzero so CI catches them):
+# These comparisons are ENFORCED (exit nonzero so CI catches them):
 #   - PR-8: the binary warm round trip must beat JSON;
 #   - PR-9: cross_replica_warm_hit_rate must reach 0.9 — fingerprint
 #     routing is the whole point of the ring, so repeats must land warm;
 #   - PR-9: the 3-replica batch sweep must beat the 1-replica sweep;
 #   - PR-9 satellite: ii_seed_found_rate must reach 0.9 — the seed
-#     table's steady-state coverage of the working set.
+#     table's steady-state coverage of the working set;
+#   - PR-10: adaptive_never_worse must be true — the adaptive candidate is
+#     appended behind strict-improvement scoring, so a single degraded
+#     (loop, machine) cell means the selection contract broke.
 # Set ENFORCE=0 to disable (e.g. for exploratory runs on noisy machines).
 #
-#   scripts/bench.sh                 # full run -> BENCH_pr9.json
+#   scripts/bench.sh                 # full run -> BENCH_pr10.json
 #   BENCHTIME=1x scripts/bench.sh    # CI smoke: one iteration per benchmark
 #   OUT=/tmp/b.json scripts/bench.sh
 #   BASELINE=BENCH_pr2.json scripts/bench.sh   # compare against another PR
 #
 # After writing OUT, results are compared benchmark-by-benchmark against
-# BASELINE (default BENCH_pr6.json) and the time/alloc deltas are printed.
+# BASELINE (default BENCH_pr9.json) and the time/alloc deltas are printed.
 # The comparison is informational only: it never fails the run, so CI
 # fails on build/test errors but not on machine-speed noise.
 #
@@ -42,8 +48,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${OUT:-BENCH_pr9.json}
-BASELINE=${BASELINE:-BENCH_pr8.json}
+OUT=${OUT:-BENCH_pr10.json}
+BASELINE=${BASELINE:-BENCH_pr9.json}
 ENFORCE=${ENFORCE:-1}
 BENCHTIME=${BENCHTIME:-10x}
 PATTERN=${PATTERN:-.}
@@ -82,6 +88,8 @@ awk -v goversion="$(go version)" -v benchtime="$BENCHTIME" \
             if (unit == "ii_seed_found_rate") seedfound[name] = v
             if (unit == "cross_replica_warm_hit_rate") clusterwarm[name] = v
             if (unit == "batch_loops_per_sec") batchlps[name] = v
+            if (unit == "adaptive_never_worse") adnw[name] = v
+            if (unit == "adaptive_wins")        adwins[name] = v
             if (extras[name] != "") extras[name] = extras[name] ", "
             extras[name] = extras[name] "\"" unit "\": " v
         }
@@ -163,15 +171,23 @@ END {
     else
         printf "    \"cluster_batch_loops_per_sec_3\": null,\n"
     if (ns["BenchmarkClusterBatch1"] != "" && ns["BenchmarkClusterBatch3"] != "")
-        printf "    \"cluster_batch_scaling\": %.3f\n", ns["BenchmarkClusterBatch1"] / ns["BenchmarkClusterBatch3"]
+        printf "    \"cluster_batch_scaling\": %.3f,\n", ns["BenchmarkClusterBatch1"] / ns["BenchmarkClusterBatch3"]
     else
-        printf "    \"cluster_batch_scaling\": null\n"
+        printf "    \"cluster_batch_scaling\": null,\n"
+    if (adnw["BenchmarkAdaptiveWeights"] != "")
+        printf "    \"adaptive_never_worse\": %s,\n", (adnw["BenchmarkAdaptiveWeights"] >= 1 ? "true" : "false")
+    else
+        printf "    \"adaptive_never_worse\": null,\n"
+    if (adwins["BenchmarkAdaptiveWeights"] != "")
+        printf "    \"adaptive_wins\": %s\n", adwins["BenchmarkAdaptiveWeights"]
+    else
+        printf "    \"adaptive_wins\": null\n"
     printf "  }\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
-grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"warm_binary_p50_us"|"binary_vs_json_speedup"|"ii_seed_hit_rate"|"ii_seed_found_rate"|"cross_replica_warm_hit_rate"|"cluster_batch_scaling"' "$OUT" >&2
+grep -E '"suite_cache_speedup"|"disk_warm_speedup"|"warm_binary_p50_us"|"binary_vs_json_speedup"|"ii_seed_hit_rate"|"ii_seed_found_rate"|"cross_replica_warm_hit_rate"|"cluster_batch_scaling"|"adaptive_never_worse"|"adaptive_wins"' "$OUT" >&2
 
 # grab_derived pulls one numeric value out of OUT's derived block. The
 # same key can also appear on a benchmark's extras line, so keep only the
@@ -220,6 +236,16 @@ if [ "$ENFORCE" = "1" ]; then
             echo "ok: ii-seed steady-state coverage $SEEDFOUND >= 0.9" >&2
         else
             echo "FAIL: ii-seed steady-state coverage $SEEDFOUND below the 0.9 floor" >&2
+            exit 1
+        fi
+    fi
+    # PR-10 enforcement: the adaptive arm must never degrade a cell.
+    ADNW=$(awk -F'"adaptive_never_worse": ' '$2 != "" {split($2, a, /[,}\n]/); v = a[1]} END {if (v != "" && v != "null") print v}' "$OUT")
+    if [ -n "$ADNW" ]; then
+        if [ "$ADNW" = "true" ]; then
+            echo "ok: adaptive arm never degraded a (loop, machine) cell" >&2
+        else
+            echo "FAIL: adaptive arm degraded at least one (loop, machine) cell" >&2
             exit 1
         fi
     fi

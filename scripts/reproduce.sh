@@ -31,6 +31,17 @@ echo "== disk-cache coverage floor (85%) =="
 go test -coverprofile=/tmp/cache-cover.out -coverpkg=./internal/cache ./internal/cache
 go tool cover -func=/tmp/cache-cover.out | awk '/^total:/ {gsub(/%/, "", $NF); if ($NF + 0 < 85) { print "coverage " $NF "% is below the 85% floor"; exit 1 } print "coverage " $NF "% meets the 85% floor"}'
 
+echo "== adaptive table drift (regenerate and diff) =="
+# The feature->weights table is training output checked in as Go source;
+# regenerating it with the committed trainer and its fixed seed must
+# reproduce the committed bytes exactly.
+go run ./cmd/tune -emit /tmp/table_check.go
+diff -u internal/features/table_default.go /tmp/table_check.go
+echo "table reproduces byte-for-byte"
+
+echo "== Adaptive arm never-worse sweep (full suite) =="
+go test -run TestAdaptiveNeverWorseSuite ./internal/codegen
+
 echo "== Tables 1-2, Figures 5-7 (paper Section 6) =="
 go run ./cmd/experiments
 
